@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! experiments: squaring, the exact solvers, the 5/3 algorithm, the
+//! CONGEST simulator, and the Lemma-29 estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pga_core::mds::estimator::estimate_two_hop_sizes;
+use pga_core::mvc::centralized::five_thirds_vertex_cover;
+use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
+use pga_exact::vc::solve_mvc;
+use pga_graph::generators;
+use pga_graph::power::square;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_square");
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::connected_gnp(n, 8.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| square(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_mvc_on_squares(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_mvc_square");
+    for n in [16usize, 24, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g2 = square(&generators::connected_gnp(n, 0.12, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g2, |b, g2| {
+            b.iter(|| solve_mvc(g2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_five_thirds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("five_thirds");
+    for n in [100usize, 300] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g2 = square(&generators::connected_gnp(n, 6.0 / n as f64, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g2, |b, g2| {
+            b.iter(|| five_thirds_vertex_cover(g2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem1_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_congest");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::connected_gnp(n, 6.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| g2_mvc_congest(g, 0.5, LocalSolver::FiveThirds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma29_estimator");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::connected_gnp(60, 0.08, &mut rng);
+    let in_u: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+    for r in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| estimate_two_hop_sizes(&g, &in_u, r, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_square,
+    bench_exact_mvc_on_squares,
+    bench_five_thirds,
+    bench_theorem1_simulation,
+    bench_estimator
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! A1 — Ablation: the Phase-II local solver choice in Algorithm 1.
+//!
+//! Theorem 1 uses an exact local solve (unbounded computation);
+//! Corollary 17 swaps in the polynomial 5/3-approximation; the
+//! 2-approximation is the naive floor. This ablation shows what each
+//! choice costs in cover quality (the gather communication is
+//! solver-independent; only the solution broadcast varies).
+
+use pga_bench::{banner, f3, Table};
+use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
+use pga_exact::vc::mvc_size;
+use pga_graph::cover::is_vertex_cover_on_square;
+use pga_graph::power::square;
+use pga_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("A1: Phase-II local solver ablation (ε = 1/2)");
+    let t = Table::new(&[
+        "family", "opt", "exact", "5/3", "2apx", "r(exact)", "r(5/3)", "r(2apx)",
+    ]);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let cases = vec![
+        ("path(30)".to_string(), generators::path(30)),
+        ("cycle(30)".to_string(), generators::cycle(30)),
+        (
+            "gnp(25,.12)".to_string(),
+            generators::connected_gnp(25, 0.12, &mut rng),
+        ),
+        ("caterpillar".to_string(), generators::caterpillar(6, 3)),
+        ("clique-chain".to_string(), generators::clique_chain(4, 5)),
+    ];
+
+    for (name, g) in &cases {
+        let opt = mvc_size(&square(g));
+        let mut sizes = Vec::new();
+        let mut rounds = Vec::new();
+        for solver in [LocalSolver::Exact, LocalSolver::FiveThirds, LocalSolver::TwoApprox] {
+            let r = g2_mvc_congest(g, 0.5, solver).expect("simulation");
+            assert!(is_vertex_cover_on_square(g, &r.cover));
+            sizes.push(r.size());
+            rounds.push(r.total_rounds());
+        }
+        t.row(&[
+            name.clone(),
+            opt.to_string(),
+            sizes[0].to_string(),
+            sizes[1].to_string(),
+            sizes[2].to_string(),
+            rounds[0].to_string(),
+            rounds[1].to_string(),
+            rounds[2].to_string(),
+        ]);
+    }
+
+    banner("A1b: measured worst ratios per solver (40 random graphs, n = 16)");
+    let t = Table::new(&["solver", "worst ratio", "guarantee"]);
+    let mut rng = StdRng::seed_from_u64(2);
+    let graphs: Vec<_> = (0..40)
+        .map(|_| generators::connected_gnp(16, 0.15, &mut rng))
+        .collect();
+    for (name, solver, bound) in [
+        ("exact", LocalSolver::Exact, 1.5),
+        ("5/3", LocalSolver::FiveThirds, 5.0 / 3.0),
+        ("2-approx", LocalSolver::TwoApprox, 2.0),
+    ] {
+        let mut worst: f64 = 1.0;
+        for g in &graphs {
+            let opt = mvc_size(&square(g)).max(1);
+            let r = g2_mvc_congest(g, 0.5, solver).expect("simulation");
+            worst = worst.max(r.size() as f64 / opt as f64);
+        }
+        assert!(worst <= bound + 1e-9);
+        t.row(&[name.to_string(), f3(worst), f3(bound)]);
+    }
+
+    println!("\nreading: the gather phase is solver-independent; rounds differ only by");
+    println!("the broadcast length of the solver's (larger) cover. The exact solve buys");
+    println!("the 1+ε factor; 5/3 keeps computation polynomial at a bounded quality");
+    println!("cost (Corollary 17).");
+}

@@ -1,0 +1,60 @@
+//! E10 — Lemma 6: the zero-round trivial approximation on powers `G^r`.
+//!
+//! Measures the realized ratio of the all-vertices cover against the
+//! exact optimum of `G^r` for growing `r`, confirming the
+//! `1 + 1/⌊r/2⌋` bound and its improvement with `r`.
+
+use pga_bench::{banner, f3, Table};
+use pga_core::mvc::trivial::{trivial_ratio, vertex_cover_lower_bound};
+use pga_exact::vc::mvc_size;
+use pga_graph::power::power;
+use pga_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E10: Lemma 6 — all-vertices cover on G^r (0 CONGEST rounds)");
+    let t = Table::new(&[
+        "family", "r", "opt(G^r)", "Lem6 LB", "n/opt", "bound",
+    ]);
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let cases = vec![
+        ("path(24)".to_string(), generators::path(24)),
+        ("cycle(24)".to_string(), generators::cycle(24)),
+        (
+            "gnp(20,.1)".to_string(),
+            generators::connected_gnp(20, 0.1, &mut rng),
+        ),
+        (
+            "tree(20)".to_string(),
+            generators::random_tree(20, &mut rng),
+        ),
+    ];
+
+    for (name, g) in &cases {
+        let n = g.num_nodes();
+        for r in 2..=6usize {
+            let gr = power(g, r);
+            let opt = mvc_size(&gr);
+            if opt == 0 {
+                continue;
+            }
+            let ratio = n as f64 / opt as f64;
+            let bound = trivial_ratio(r);
+            assert!(ratio <= bound + 1e-9, "{name} r={r}");
+            assert!(opt >= vertex_cover_lower_bound(n, r));
+            t.row(&[
+                name.clone(),
+                r.to_string(),
+                opt.to_string(),
+                vertex_cover_lower_bound(n, r).to_string(),
+                f3(ratio),
+                f3(bound),
+            ]);
+        }
+    }
+
+    println!("\nshape check: the measured ratio respects 1 + 1/⌊r/2⌋ and tightens as r");
+    println!("grows — a 2-approximation at r = 2 free of any communication (Lemma 6).");
+}

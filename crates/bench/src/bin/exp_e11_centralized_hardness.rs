@@ -1,0 +1,84 @@
+//! E11 — Section 8 (Theorems 44, 45): the centralized hardness
+//! reductions, verified quantitatively.
+//!
+//! `MVC(H²) = MVC(G) + 2m` for the dangling-path reduction and
+//! `MDS(H²) = MDS(G) + 1` for the merged reduction, across random and
+//! structured bases; plus the FPTAS-refutation arithmetic.
+
+use pga_bench::{banner, Table};
+use pga_exact::mds::mds_size;
+use pga_exact::vc::mvc_size;
+use pga_graph::power::square;
+use pga_graph::{generators, Graph};
+use pga_lowerbounds::centralized::{
+    dangling_path_reduction, fptas_refutation_eps, merged_dangling_reduction,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E11: Theorem 44 — MVC(H²) = MVC(G) + 2m");
+    let t = Table::new(&["base", "n", "m", "MVC(G)", "MVC(H^2)", "expected", "equal"]);
+    let mut rng = StdRng::seed_from_u64(44);
+    let bases: Vec<(String, Graph)> = vec![
+        ("cycle(8)".into(), generators::cycle(8)),
+        ("star(7)".into(), generators::star(7)),
+        ("K5".into(), generators::complete(5)),
+        ("grid(2,4)".into(), generators::grid(2, 4)),
+        ("gnp(9,.3)".into(), generators::gnp(9, 0.3, &mut rng)),
+        ("gnp(10,.25)".into(), generators::gnp(10, 0.25, &mut rng)),
+    ];
+    for (name, g) in &bases {
+        let h = dangling_path_reduction(g);
+        let lhs = mvc_size(&square(&h));
+        let rhs = mvc_size(g) + 2 * g.num_edges();
+        assert_eq!(lhs, rhs, "{name}");
+        t.row(&[
+            name.clone(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            mvc_size(g).to_string(),
+            lhs.to_string(),
+            rhs.to_string(),
+            "true".into(),
+        ]);
+    }
+
+    banner("E11b: Theorem 45 — MDS(H²) = MDS(G) + 1 (merged gadget)");
+    let t = Table::new(&["base", "MDS(G)", "MDS(H^2)", "equal"]);
+    for (name, g) in &bases {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let (h, _tail) = merged_dangling_reduction(g);
+        let lhs = mds_size(&square(&h));
+        let rhs = mds_size(g) + 1;
+        assert_eq!(lhs, rhs, "{name}");
+        t.row(&[
+            name.clone(),
+            mds_size(g).to_string(),
+            lhs.to_string(),
+            "true".into(),
+        ]);
+    }
+
+    banner("E11c: the FPTAS-refutation arithmetic (Theorem 44, second part)");
+    let t = Table::new(&["m", "eps=1/(3m)", "(1+eps)(opt+2m)", "opt+2m+1", "rounds down"]);
+    for &(opt, m) in &[(5usize, 12usize), (10, 30), (20, 80)] {
+        let eps = fptas_refutation_eps(m);
+        let apx = (1.0 + eps) * (opt as f64 + 2.0 * m as f64);
+        let strict = opt as f64 + 2.0 * m as f64 + 1.0;
+        assert!(apx < strict);
+        t.row(&[
+            m.to_string(),
+            format!("{eps:.5}"),
+            format!("{apx:.3}"),
+            format!("{strict:.0}"),
+            "true".into(),
+        ]);
+    }
+
+    println!("\nreading: a (1+ε)-approximation with ε = 1/(3m) would recover exact MVC,");
+    println!("so no FPTAS for G²-MVC unless P = NP; the MDS reduction transfers Feige's");
+    println!("(1−ε)·ln n inapproximability to G²-MDS.");
+}

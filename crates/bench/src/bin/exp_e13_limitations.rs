@@ -1,0 +1,80 @@
+//! E13 — Lemma 25: small-cut families cannot lower-bound `(1+ε)`-MVC.
+//!
+//! Runs the two-party protocol (cut vertices + per-side optimal covers)
+//! on the paper's own Figure-1 families and on engineered small-cut
+//! graphs, reporting bits exchanged and the realized approximation ratio
+//! — which collapses toward 1 as `n` grows while the cut stays small.
+
+use pga_bench::{banner, f3, Table};
+use pga_exact::vc::mvc_size;
+use pga_graph::power::square;
+use pga_graph::{generators, GraphBuilder, NodeId};
+use pga_lowerbounds::ckp17;
+use pga_lowerbounds::disjointness::{DisjInstance, PartitionedGraph};
+use pga_lowerbounds::limitations::{ratio_bound, two_party_protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two dense blobs of size `s` joined by `links` edges.
+fn barbell(s: usize, links: usize) -> PartitionedGraph {
+    let a = generators::complete(s);
+    let bgraph = generators::complete(s);
+    let u = generators::disjoint_union(&a, &bgraph);
+    let mut b = GraphBuilder::new(2 * s);
+    for (x, y) in u.edges() {
+        b.add_edge(x, y);
+    }
+    for i in 0..links {
+        b.add_edge(NodeId::from_index(i), NodeId::from_index(s + i));
+    }
+    PartitionedGraph {
+        graph: b.build(),
+        alice: (0..2 * s).map(|i| i < s).collect(),
+    }
+}
+
+fn main() {
+    banner("E13: Lemma 25 — the two-party protocol on small-cut families");
+    let t = Table::new(&[
+        "family", "n", "cut", "bits", "proto", "opt", "ratio", "Lem25 bound",
+    ]);
+
+    for &s in &[8usize, 12, 16] {
+        let pg = barbell(s, 1);
+        let out = two_party_protocol(&pg);
+        let opt = mvc_size(&square(&pg.graph));
+        t.row(&[
+            format!("barbell({s})"),
+            (2 * s).to_string(),
+            pg.cut_size().to_string(),
+            out.bits_exchanged.to_string(),
+            out.size().to_string(),
+            opt.to_string(),
+            f3(out.size() as f64 / opt.max(1) as f64),
+            f3(ratio_bound(2 * s, out.cut_vertices)),
+        ]);
+    }
+
+    for &k in &[2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let inst = DisjInstance::random(k, 0.5, &mut rng);
+        let fam = ckp17::build(&inst);
+        let out = two_party_protocol(&fam.partitioned);
+        let opt = mvc_size(&square(fam.graph()));
+        t.row(&[
+            format!("ckp17(k={k})"),
+            fam.graph().num_nodes().to_string(),
+            fam.partitioned.cut_size().to_string(),
+            out.bits_exchanged.to_string(),
+            out.size().to_string(),
+            opt.to_string(),
+            f3(out.size() as f64 / opt.max(1) as f64),
+            f3(ratio_bound(fam.graph().num_nodes(), out.cut_vertices)),
+        ]);
+    }
+
+    println!("\nreading: with O(log n) bits of communication the players already get a");
+    println!("(1 + o(1))-approximation on ANY o(n)-cut family — so Theorem 19 cannot");
+    println!("yield super-constant (1+ε)-MVC lower bounds, and the paper's conditional");
+    println!("hardness (Theorem 26) is the right tool instead.");
+}

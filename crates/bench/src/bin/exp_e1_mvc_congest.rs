@@ -1,0 +1,83 @@
+//! E1 — Theorem 1: `(1+ε)`-approximate `G²`-MVC in `O(n/ε)` CONGEST
+//! rounds.
+//!
+//! Sweeps `n` and `ε` over random connected graphs, reporting simulated
+//! rounds, the normalized quantity `rounds/(n/ε)` (which should stay
+//! bounded — the paper's shape), and the approximation ratio against the
+//! exact optimum where feasible, otherwise against the maximal-matching
+//! lower bound of the square.
+
+use pga_bench::{banner, f3, square_mvc_lower_bound, Table};
+use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
+use pga_exact::vc::mvc_size;
+use pga_graph::cover::is_vertex_cover_on_square;
+use pga_graph::power::square;
+use pga_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E1: Theorem 1 — rounds and ratio vs n, ε (connected G(n,p), avg deg ≈ 6)");
+    let t = Table::new(&[
+        "n", "eps", "rounds", "r/(n/eps)", "|S|", "|R*|", "cover", "opt/LB", "ratio<=", "1+eps",
+    ]);
+
+    for &n in &[50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::connected_gnp(n, 6.0 / n as f64, &mut rng);
+        // Exact optimum is feasible only at small n; otherwise use the
+        // matching lower bound (ratio column is then an upper bound).
+        let reference = if n <= 100 {
+            mvc_size(&square(&g))
+        } else {
+            square_mvc_lower_bound(&g)
+        };
+        for &eps in &[1.0f64, 0.5, 0.25, 0.125] {
+            let solver = if n <= 100 {
+                LocalSolver::Exact
+            } else {
+                LocalSolver::FiveThirds
+            };
+            let r = g2_mvc_congest(&g, eps, solver).expect("simulation");
+            assert!(is_vertex_cover_on_square(&g, &r.cover));
+            let rounds = r.total_rounds();
+            t.row(&[
+                n.to_string(),
+                format!("{eps}"),
+                rounds.to_string(),
+                f3(rounds as f64 / (n as f64 / eps)),
+                r.s_size.to_string(),
+                r.r_star_size.to_string(),
+                r.size().to_string(),
+                reference.to_string(),
+                f3(r.size() as f64 / reference.max(1) as f64),
+                f3(1.0 + eps),
+            ]);
+        }
+    }
+
+    banner("E1b: same sweep on cycles (worst case for Phase I: nothing to harvest)");
+    let t = Table::new(&["n", "eps", "rounds", "r/(n/eps)", "cover", "opt/LB", "ratio<="]);
+    for &n in &[50usize, 100, 200] {
+        let g = generators::cycle(n);
+        let reference = square_mvc_lower_bound(&g);
+        for &eps in &[0.5f64, 0.25] {
+            let r = g2_mvc_congest(&g, eps, LocalSolver::FiveThirds).expect("simulation");
+            assert!(is_vertex_cover_on_square(&g, &r.cover));
+            t.row(&[
+                n.to_string(),
+                format!("{eps}"),
+                r.total_rounds().to_string(),
+                f3(r.total_rounds() as f64 / (n as f64 / eps)),
+                r.size().to_string(),
+                reference.to_string(),
+                f3(r.size() as f64 / reference.max(1) as f64),
+            ]);
+        }
+    }
+
+    println!(
+        "\nshape check: rounds/(n/ε) stays O(1) across the sweep — the paper's O(n/ε);"
+    );
+    println!("ratio<= is measured against exact OPT for n ≤ 100, else against a lower bound.");
+}

@@ -1,0 +1,66 @@
+//! E3 — Corollary 10 and Theorem 11: CONGESTED CLIQUE round counts.
+//!
+//! The deterministic variant processes one 2-hop-locally-maximal winner
+//! at a time — `O(εn)` iterations in the worst case; the randomized
+//! voting variant lets *every* candidate with enough votes fire at once —
+//! `O(log n)` iterations w.h.p. The separating workload is a caterpillar
+//! whose spine ids increase monotonically: each spine hub is eligible,
+//! but only the top of the id gradient is a 2-hop local maximum, so the
+//! deterministic Phase I serializes while voting harvests all hubs in a
+//! round or two.
+
+use pga_bench::{banner, f3, Table};
+use pga_core::mvc::clique_det::g2_mvc_clique_det;
+use pga_core::mvc::clique_rand::g2_mvc_clique_rand;
+use pga_core::mvc::congest::LocalSolver;
+use pga_graph::cover::is_vertex_cover_on_square;
+use pga_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E3: CONGESTED CLIQUE — caterpillar(m spine hubs, 20 legs each), ε = 1/2");
+    let eps = 0.5;
+    let t = Table::new(&[
+        "spine", "n", "det iters", "rand iters", "det rounds", "rand rounds", "log2 n",
+    ]);
+
+    for &m in &[5usize, 10, 20, 40] {
+        let g = generators::caterpillar(m, 20);
+        let n = g.num_nodes();
+        let det = g2_mvc_clique_det(&g, eps, LocalSolver::FiveThirds).expect("det");
+        assert!(is_vertex_cover_on_square(&g, &det.cover));
+        let rnd = g2_mvc_clique_rand(&g, eps, LocalSolver::FiveThirds, 7).expect("rand");
+        assert!(is_vertex_cover_on_square(&g, &rnd.cover));
+        t.row(&[
+            m.to_string(),
+            n.to_string(),
+            det.phase1_metrics.rounds.div_ceil(4).to_string(),
+            rnd.phase1_metrics.rounds.div_ceil(4).to_string(),
+            det.total_rounds().to_string(),
+            rnd.total_rounds().to_string(),
+            f3((n as f64).log2()),
+        ]);
+    }
+
+    banner("E3b: dense G(n, 1/2) — few iterations for both (one winner covers half)");
+    let t = Table::new(&["n", "det iters", "rand iters", "det cover", "rand cover"]);
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = generators::connected_gnp(n, 0.5, &mut rng);
+        let det = g2_mvc_clique_det(&g, 0.25, LocalSolver::FiveThirds).expect("det");
+        let rnd = g2_mvc_clique_rand(&g, 0.25, LocalSolver::FiveThirds, 3).expect("rand");
+        t.row(&[
+            n.to_string(),
+            det.phase1_metrics.rounds.div_ceil(4).to_string(),
+            rnd.phase1_metrics.rounds.div_ceil(4).to_string(),
+            det.size().to_string(),
+            rnd.size().to_string(),
+        ]);
+    }
+
+    println!("\nshape check: on the id-gradient caterpillar the deterministic Phase I");
+    println!("iterations grow ~linearly with the spine (Θ(εn) worst case), while the");
+    println!("voting scheme stays O(1)–O(log n) — Theorem 11's speedup. Phase II is");
+    println!("O(1/ε) in the clique for both (Lemma 9).");
+}

@@ -1,0 +1,77 @@
+//! E4 — Theorem 12: the centralized 5/3-approximation for `G²`-MVC.
+//!
+//! Measures the realized approximation ratio against the exact optimum
+//! across graph families, with the per-part accounting (`s₁, s₂, s₃`) the
+//! proof of Theorem 12 amortizes over. Contrast column: the best
+//! poly-time factor on general graphs is 2 (UGC-hard to beat).
+
+use pga_bench::{banner, f3, Table};
+use pga_core::mvc::centralized::five_thirds_vertex_cover;
+use pga_exact::vc::mvc_size;
+use pga_graph::cover::is_vertex_cover;
+use pga_graph::matching::two_approx_vertex_cover;
+use pga_graph::power::square;
+use pga_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E4: Theorem 12 — 5/3-approximation on squares vs exact and 2-approx");
+    let t = Table::new(&[
+        "family", "n", "opt", "5/3 size", "ratio", "s1", "s2", "s3", "2apx size", "2apx ratio",
+    ]);
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let families: Vec<(String, Graph)> = vec![
+        ("path".into(), generators::path(40)),
+        ("cycle".into(), generators::cycle(40)),
+        ("star".into(), generators::star(30)),
+        ("caterpillar".into(), generators::caterpillar(10, 3)),
+        ("clique-chain".into(), generators::clique_chain(5, 5)),
+        ("grid".into(), generators::grid(5, 6)),
+        ("gnp(35,.1)".into(), generators::connected_gnp(35, 0.1, &mut rng)),
+        ("gnp(35,.2)".into(), generators::connected_gnp(35, 0.2, &mut rng)),
+        ("pref-att".into(), generators::preferential_attachment(35, 2, &mut rng)),
+    ];
+
+    let mut worst: f64 = 1.0;
+    for (name, g) in &families {
+        let g2 = square(g);
+        let opt = mvc_size(&g2);
+        let r = five_thirds_vertex_cover(&g2);
+        assert!(is_vertex_cover(&g2, &r.cover));
+        let two = two_approx_vertex_cover(&g2);
+        let two_size = two.iter().filter(|&&b| b).count();
+        let ratio = r.size() as f64 / opt.max(1) as f64;
+        worst = worst.max(ratio);
+        t.row(&[
+            name.clone(),
+            g.num_nodes().to_string(),
+            opt.to_string(),
+            r.size().to_string(),
+            f3(ratio),
+            r.part1.len().to_string(),
+            r.part2.len().to_string(),
+            r.part3.len().to_string(),
+            two_size.to_string(),
+            f3(two_size as f64 / opt.max(1) as f64),
+        ]);
+    }
+
+    banner("E4b: adversarial sweep — 60 random squares, worst ratio observed");
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut sweep_worst: f64 = 1.0;
+    for _ in 0..60 {
+        let g = generators::gnp(16, 0.18, &mut rng);
+        let g2 = square(&g);
+        let opt = mvc_size(&g2);
+        if opt == 0 {
+            continue;
+        }
+        let r = five_thirds_vertex_cover(&g2);
+        sweep_worst = sweep_worst.max(r.size() as f64 / opt as f64);
+    }
+    println!("worst ratio over families: {}", f3(worst));
+    println!("worst ratio over sweep:    {} (bound: {} = 5/3)", f3(sweep_worst), f3(5.0 / 3.0));
+    assert!(worst <= 5.0 / 3.0 + 1e-9 && sweep_worst <= 5.0 / 3.0 + 1e-9);
+}

@@ -1,0 +1,87 @@
+//! E5 — Theorem 28: `O(log Δ)`-approximate `G²`-MDS in polylog CONGEST
+//! rounds.
+//!
+//! Compares the distributed algorithm against the centralized CD18 run
+//! on a precomputed square (the estimation-free idealization), the greedy
+//! `ln Δ` baseline, and the exact optimum; reports rounds against the
+//! polylog budget.
+
+use pga_bench::{banner, f3, Table};
+use pga_core::mds::cd18::cd18_mds;
+use pga_core::mds::congest_g2::g2_mds_congest;
+use pga_exact::greedy::greedy_mds;
+use pga_exact::mds::mds_size;
+use pga_graph::cover::{is_dominating_set, is_dominating_set_on_square, set_size};
+use pga_graph::power::square;
+use pga_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E5: Theorem 28 — G²-MDS, distributed vs baselines");
+    let t = Table::new(&[
+        "family", "n", "opt", "thm28", "cd18-ideal", "greedy", "rounds", "r/log^3 n",
+    ]);
+
+    let mut rng = StdRng::seed_from_u64(28);
+    let cases = vec![
+        ("star".to_string(), generators::star(40)),
+        ("path".to_string(), generators::path(40)),
+        ("grid".to_string(), generators::grid(6, 6)),
+        (
+            "gnp(40,.08)".to_string(),
+            generators::connected_gnp(40, 0.08, &mut rng),
+        ),
+        (
+            "pref-att(40)".to_string(),
+            generators::preferential_attachment(40, 2, &mut rng),
+        ),
+    ];
+
+    for (name, g) in &cases {
+        let n = g.num_nodes();
+        let g2 = square(g);
+        let opt = mds_size(&g2);
+
+        let dist = g2_mds_congest(g, 8, 5).expect("simulation");
+        assert!(is_dominating_set_on_square(g, &dist.dominating_set));
+
+        let ideal = cd18_mds(&g2, 5);
+        assert!(is_dominating_set(&g2, &ideal.dominating_set));
+
+        let greedy = greedy_mds(&g2);
+        let logn = (n as f64).log2();
+        t.row(&[
+            name.clone(),
+            n.to_string(),
+            opt.to_string(),
+            dist.size().to_string(),
+            set_size(&ideal.dominating_set).to_string(),
+            set_size(&greedy).to_string(),
+            dist.metrics.rounds.to_string(),
+            f3(dist.metrics.rounds as f64 / logn.powi(3)),
+        ]);
+    }
+
+    banner("E5b: approximation factor vs the O(log Δ) guarantee (random sweep)");
+    let t = Table::new(&["seed", "delta(G2)", "opt", "thm28", "ratio", "8*H(delta)"]);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let g = generators::connected_gnp(30, 0.1, &mut rng);
+        let g2 = square(&g);
+        let opt = mds_size(&g2).max(1);
+        let dist = g2_mds_congest(&g, 8, seed).expect("simulation");
+        let delta = g2.max_degree().max(2) as f64;
+        t.row(&[
+            seed.to_string(),
+            (delta as usize).to_string(),
+            opt.to_string(),
+            dist.size().to_string(),
+            f3(dist.size() as f64 / opt as f64),
+            f3(8.0 * (delta.ln() + 1.0)),
+        ]);
+    }
+
+    println!("\nshape check: thm28 tracks cd18-ideal (estimation costs little quality),");
+    println!("both within O(log Δ) of opt; rounds stay polylogarithmic in n.");
+}

@@ -1,0 +1,69 @@
+//! Run metrics: rounds, messages, and bits.
+
+/// Aggregate communication metrics of a simulated run.
+///
+/// `rounds` is the quantity the paper's theorems bound; messages and bits
+/// are reported for congestion analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of synchronous rounds executed (rounds in which at least one
+    /// node was still active).
+    pub rounds: usize,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Total number of message bits delivered.
+    pub bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+}
+
+impl Metrics {
+    /// Average bits per message, or 0.0 when no messages were sent.
+    pub fn avg_message_bits(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bits as f64 / self.messages as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits (max msg {} bits)",
+            self.rounds, self.messages, self.bits, self.max_message_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_bits() {
+        let m = Metrics {
+            rounds: 3,
+            messages: 4,
+            bits: 100,
+            max_message_bits: 40,
+        };
+        assert!((m.avg_message_bits() - 25.0).abs() < 1e-9);
+        assert_eq!(Metrics::default().avg_message_bits(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let m = Metrics {
+            rounds: 2,
+            messages: 5,
+            bits: 50,
+            max_message_bits: 10,
+        };
+        let s = format!("{m}");
+        assert!(s.contains("2 rounds"));
+        assert!(s.contains("5 messages"));
+    }
+}

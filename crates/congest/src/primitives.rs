@@ -1,0 +1,518 @@
+//! Reusable distributed primitives.
+//!
+//! The centerpiece is [`GatherScatter`], the pattern Algorithm 1's second
+//! phase is built from (Lemma 2 of the paper): build a BFS tree rooted at a
+//! leader, *pipeline* every node's items up the tree to the leader
+//! (convergecast), let the leader compute a response locally, and pipeline
+//! the response back down to every node (broadcast). With `k` total items
+//! and diameter `D`, the whole pattern costs `O(k + D)` rounds — the
+//! pipelining argument the paper invokes for "the leader can learn `c`
+//! pieces of information per node in `O(c · n)` rounds".
+//!
+//! The leader is fixed to node 0. The paper elects a leader by id; with the
+//! globally-known dense id space `0..n` this election is free, and it does
+//! not affect any asymptotic round count (leader election costs `O(D)`,
+//! dominated by every use of this primitive).
+
+use crate::sim::{Algorithm, Ctx, MsgSize};
+use pga_graph::NodeId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Messages exchanged by [`GatherScatter`].
+#[derive(Clone, Debug)]
+pub enum GsMsg<I, D> {
+    /// BFS-tree construction: "I have joined the tree; my parent is ...".
+    /// `parent == Some(you)` tells the receiver the sender is its child;
+    /// the root sends `parent == None`.
+    Explore {
+        /// The sender's chosen parent in the BFS tree.
+        parent: Option<NodeId>,
+    },
+    /// One pipelined item traveling toward the root.
+    Up(I),
+    /// The sender's subtree has no more items to send.
+    UpDone,
+    /// One pipelined response item traveling from the root to everyone.
+    Down(D),
+    /// No more response items.
+    DownEnd,
+}
+
+impl<I: MsgSize, D: MsgSize> MsgSize for GsMsg<I, D> {
+    fn size_bits(&self, id_bits: usize) -> usize {
+        // 3 tag bits plus the payload.
+        3 + match self {
+            GsMsg::Explore { parent } => 1 + parent.map_or(0, |_| id_bits),
+            GsMsg::Up(i) => i.size_bits(id_bits),
+            GsMsg::UpDone => 0,
+            GsMsg::Down(d) => d.size_bits(id_bits),
+            GsMsg::DownEnd => 0,
+        }
+    }
+}
+
+/// The local computation performed by the leader once it has gathered all
+/// items: it receives every item in the network (including its own) and
+/// returns the response to broadcast.
+pub type LeaderCompute<I, D> = Arc<dyn Fn(Vec<I>) -> Vec<D>>;
+
+enum Phase {
+    /// Waiting to join the BFS tree (root starts immediately).
+    Joining,
+    /// Announcing tree membership next round.
+    Announce,
+    /// Forwarding items toward the root.
+    Upcast,
+    /// Forwarding response items toward the leaves.
+    Downcast,
+    /// Finished.
+    Done,
+}
+
+/// Per-node state machine for the gather–compute–scatter pattern.
+///
+/// Every node contributes a list of items; node 0 acts as the leader,
+/// applies `compute` to the multiset of all items, and the result is
+/// broadcast so every node's output is the full response vector.
+///
+/// Requires a connected input graph.
+pub struct GatherScatter<I, D> {
+    items: VecDeque<I>,
+    compute: LeaderCompute<I, D>,
+    phase: Phase,
+    parent: Option<NodeId>,
+    /// Neighbors whose Explore we have heard (to learn child status).
+    heard_from: Vec<NodeId>,
+    children: Vec<NodeId>,
+    children_done: usize,
+    gathered: Vec<I>,
+    response: Vec<D>,
+    down_queue: VecDeque<D>,
+    down_end_pending: bool,
+    sent_up_done: bool,
+}
+
+impl<I, D> GatherScatter<I, D> {
+    /// Creates the state for one node with its local `items`.
+    ///
+    /// `compute` is only invoked at node 0 but every node carries a handle
+    /// (the states are homogeneous).
+    pub fn new(items: Vec<I>, compute: LeaderCompute<I, D>) -> Self {
+        GatherScatter {
+            items: items.into(),
+            compute,
+            phase: Phase::Joining,
+            parent: None,
+            heard_from: Vec::new(),
+            children: Vec::new(),
+            children_done: 0,
+            gathered: Vec::new(),
+            response: Vec::new(),
+            down_queue: VecDeque::new(),
+            down_end_pending: false,
+            sent_up_done: false,
+        }
+    }
+
+    fn is_root(&self, ctx: &Ctx) -> bool {
+        ctx.id == NodeId(0)
+    }
+
+    fn tree_known(&self, ctx: &Ctx) -> bool {
+        // All neighbors have announced, so the children set is final.
+        self.heard_from.len() == ctx.graph_neighbors.len()
+    }
+
+    /// Whether the root has received everything: all children reported
+    /// their subtrees drained. (The root's own items never travel and are
+    /// merged in [`GatherScatter::start_downcast`].)
+    fn upcast_complete(&self) -> bool {
+        self.children_done == self.children.len()
+    }
+
+}
+
+impl<I, D: Clone> GatherScatter<I, D> {
+    fn start_downcast(&mut self, ctx: &Ctx) {
+        let gathered = std::mem::take(&mut self.gathered);
+        let mut items: Vec<I> = gathered;
+        items.extend(std::mem::take(&mut self.items));
+        self.response = (self.compute)(items);
+        self.down_queue = self.response.iter().cloned().collect::<VecDeque<D>>();
+        self.down_end_pending = true;
+        self.phase = Phase::Downcast;
+        let _ = ctx;
+    }
+}
+
+impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
+    type Msg = GsMsg<I, D>;
+    type Output = Vec<D>;
+
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Self::Msg)]) -> Vec<(NodeId, Self::Msg)> {
+        let mut out: Vec<(NodeId, Self::Msg)> = Vec::new();
+
+        // Ingest messages.
+        for (from, msg) in inbox {
+            match msg {
+                GsMsg::Explore { parent } => {
+                    self.heard_from.push(*from);
+                    if *parent == Some(ctx.id) {
+                        self.children.push(*from);
+                    }
+                    if matches!(self.phase, Phase::Joining)
+                        && !self.is_root(ctx)
+                        && self.parent.is_none()
+                    {
+                        // First Explore this round: choose the smallest
+                        // sender as parent (inbox is sorted by sender).
+                        self.parent = Some(*from);
+                        self.phase = Phase::Announce;
+                    }
+                }
+                GsMsg::Up(item) => self.gathered.push(item.clone()),
+                GsMsg::UpDone => self.children_done += 1,
+                GsMsg::Down(d) => {
+                    self.response.push(d.clone());
+                    self.down_queue.push_back(d.clone());
+                }
+                GsMsg::DownEnd => {
+                    self.down_end_pending = true;
+                }
+            }
+        }
+
+        // Root bootstraps the BFS wave.
+        if self.is_root(ctx) && ctx.round == 0 {
+            self.phase = Phase::Upcast;
+            for &v in ctx.graph_neighbors {
+                out.push((v, GsMsg::Explore { parent: None }));
+            }
+            // Handle the single-node network.
+            if ctx.graph_neighbors.is_empty() {
+                self.start_downcast(ctx);
+                self.phase = Phase::Done;
+            }
+            return out;
+        }
+
+        match self.phase {
+            Phase::Joining => {}
+            Phase::Announce => {
+                // Tell every neighbor our parent; this is both the BFS wave
+                // and the child/non-child notification.
+                for &v in ctx.graph_neighbors {
+                    out.push((
+                        v,
+                        GsMsg::Explore {
+                            parent: self.parent,
+                        },
+                    ));
+                }
+                self.phase = Phase::Upcast;
+            }
+            Phase::Upcast => {
+                if self.tree_known(ctx) {
+                    if self.is_root(ctx) {
+                        if self.upcast_complete() {
+                            self.start_downcast(ctx);
+                        }
+                    } else if let Some(p) = self.parent {
+                        // Pipeline: forward received items first, then our
+                        // own, one per round; finish with UpDone.
+                        if let Some(item) = self.gathered.pop() {
+                            out.push((p, GsMsg::Up(item)));
+                        } else if let Some(item) = self.items.pop_front() {
+                            out.push((p, GsMsg::Up(item)));
+                        } else if self.children_done == self.children.len() && !self.sent_up_done {
+                            out.push((p, GsMsg::UpDone));
+                            self.sent_up_done = true;
+                            self.phase = Phase::Downcast;
+                        }
+                    }
+                }
+            }
+            Phase::Downcast => {}
+            Phase::Done => {}
+        }
+
+        // Downcast forwarding runs for every node that has a queue, even
+        // the root right after computing.
+        if matches!(self.phase, Phase::Downcast) {
+            if let Some(d) = self.down_queue.pop_front() {
+                for &c in &self.children {
+                    out.push((c, GsMsg::Down(d.clone())));
+                }
+            } else if self.down_end_pending {
+                for &c in &self.children {
+                    out.push((c, GsMsg::DownEnd));
+                }
+                self.down_end_pending = false;
+                self.phase = Phase::Done;
+            }
+        }
+
+        out
+    }
+
+    fn is_done(&self, _ctx: &Ctx) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    fn output(&self, _ctx: &Ctx) -> Vec<D> {
+        self.response.clone()
+    }
+}
+
+/// A `u64` payload counted as a given number of bits.
+///
+/// Convenience for tests and simple algorithms: wraps a value together
+/// with its declared model size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizedU64 {
+    /// The payload value.
+    pub value: u64,
+    /// Declared size in bits.
+    pub bits: usize,
+}
+
+impl MsgSize for SizedU64 {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use pga_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_sum(g: &pga_graph::Graph) -> (Vec<Vec<SizedU64>>, crate::Metrics) {
+        let n = g.num_nodes();
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items: Vec<SizedU64>| {
+            let s: u64 = items.iter().map(|i| i.value).sum();
+            vec![SizedU64 { value: s, bits: 64 }]
+        });
+        let nodes = (0..n)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 {
+                        value: i as u64,
+                        bits: 64,
+                    }],
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        let report = Simulator::congest(g).run(nodes).unwrap();
+        (report.outputs, report.metrics)
+    }
+
+    #[test]
+    fn gather_scatter_sums_on_path() {
+        let g = generators::path(7);
+        let (outputs, metrics) = run_sum(&g);
+        let expect: u64 = (0..7).sum();
+        for o in &outputs {
+            assert_eq!(o.len(), 1);
+            assert_eq!(o[0].value, expect);
+        }
+        assert!(metrics.rounds > 0);
+    }
+
+    #[test]
+    fn gather_scatter_on_single_node() {
+        let g = pga_graph::Graph::empty(1);
+        let (outputs, _metrics) = run_sum(&g);
+        assert_eq!(outputs[0][0].value, 0);
+    }
+
+    #[test]
+    fn gather_scatter_on_star_and_grid() {
+        for g in [generators::star(9), generators::grid(4, 4)] {
+            let n = g.num_nodes();
+            let (outputs, _m) = run_sum(&g);
+            let expect: u64 = (0..n as u64).sum();
+            assert!(outputs.iter().all(|o| o[0].value == expect));
+        }
+    }
+
+    #[test]
+    fn gather_scatter_on_random_connected() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let g = generators::connected_gnp(40, 0.05, &mut rng);
+            let (outputs, _m) = run_sum(&g);
+            let expect: u64 = (0..40u64).sum();
+            assert!(outputs.iter().all(|o| o[0].value == expect));
+        }
+    }
+
+    #[test]
+    fn multi_item_multi_response() {
+        // Every node contributes 3 items; leader echoes all back sorted.
+        let g = generators::cycle(6);
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|mut items: Vec<SizedU64>| {
+            items.sort_by_key(|i| i.value);
+            items
+        });
+        let nodes = (0..6)
+            .map(|i| {
+                GatherScatter::new(
+                    (0..3)
+                        .map(|j| SizedU64 {
+                            value: (i * 3 + j) as u64,
+                            bits: 32,
+                        })
+                        .collect(),
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        for o in &report.outputs {
+            assert_eq!(o.len(), 18);
+            let values: Vec<u64> = o.iter().map(|d| d.value).collect();
+            assert_eq!(values, (0..18u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pipelining_round_bound() {
+        // k total items over diameter D must finish in O(k + D) rounds;
+        // check a generous constant.
+        let g = generators::path(20); // D = 19
+        let (outputs, metrics) = run_sum(&g);
+        assert_eq!(outputs.len(), 20);
+        let k = 20; // one item per node
+        let d = 19;
+        assert!(
+            metrics.rounds <= 4 * (k + d) + 10,
+            "rounds {} too large",
+            metrics.rounds
+        );
+    }
+
+    #[test]
+    fn empty_items_everywhere() {
+        let g = generators::path(4);
+        let compute: LeaderCompute<SizedU64, SizedU64> =
+            Arc::new(|items: Vec<SizedU64>| {
+                assert!(items.is_empty());
+                vec![SizedU64 { value: 7, bits: 8 }]
+            });
+        let nodes = (0..4)
+            .map(|_| GatherScatter::new(Vec::new(), Arc::clone(&compute)))
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        assert!(report.outputs.iter().all(|o| o == &vec![SizedU64 { value: 7, bits: 8 }]));
+    }
+}
+
+/// Classic flood-max leader election: every node repeatedly forwards the
+/// largest id it has heard; after the flood quiesces every node knows the
+/// global maximum. Terminates in `O(D)` rounds on a connected graph.
+///
+/// Provided as a reference algorithm and engine validation — the paper's
+/// constructions fix node 0 as the leader instead (ids `0..n` are global
+/// knowledge), which costs zero rounds.
+pub struct FloodMax {
+    best: u32,
+    changed: bool,
+    quiet: bool,
+}
+
+/// Message of [`FloodMax`]: a candidate maximum id.
+#[derive(Clone, Debug)]
+pub struct MaxId(pub u32);
+
+impl MsgSize for MaxId {
+    fn size_bits(&self, id_bits: usize) -> usize {
+        id_bits
+    }
+}
+
+impl FloodMax {
+    /// State for the node with the given id.
+    pub fn new(id: NodeId) -> Self {
+        FloodMax {
+            best: id.0,
+            changed: false,
+            quiet: false,
+        }
+    }
+}
+
+impl Algorithm for FloodMax {
+    type Msg = MaxId;
+    type Output = NodeId;
+
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, MaxId)]) -> Vec<(NodeId, MaxId)> {
+        for (_, m) in inbox {
+            if m.0 > self.best {
+                self.best = m.0;
+                self.changed = true;
+            }
+        }
+        let send = ctx.round == 0 || self.changed;
+        self.changed = false;
+        self.quiet = !send;
+        if send {
+            ctx.graph_neighbors
+                .iter()
+                .map(|&v| (v, MaxId(self.best)))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn is_done(&self, _ctx: &Ctx) -> bool {
+        self.quiet
+    }
+
+    fn output(&self, _ctx: &Ctx) -> NodeId {
+        NodeId(self.best)
+    }
+}
+
+#[cfg(test)]
+mod flood_tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use pga_graph::generators;
+    use pga_graph::traversal::diameter;
+
+    #[test]
+    fn flood_max_elects_global_maximum() {
+        for g in [
+            generators::path(12),
+            generators::star(9),
+            generators::grid(3, 4),
+        ] {
+            let n = g.num_nodes();
+            let report = Simulator::congest(&g)
+                .run((0..n).map(|i| FloodMax::new(NodeId::from_index(i))).collect())
+                .unwrap();
+            assert!(report
+                .outputs
+                .iter()
+                .all(|&l| l == NodeId::from_index(n - 1)));
+            let d = diameter(&g).unwrap();
+            assert!(report.metrics.rounds <= 2 * d + 3);
+        }
+    }
+
+    #[test]
+    fn flood_max_on_single_vertex() {
+        let g = pga_graph::Graph::empty(1);
+        let report = Simulator::congest(&g)
+            .run(vec![FloodMax::new(NodeId(0))])
+            .unwrap();
+        assert_eq!(report.outputs[0], NodeId(0));
+    }
+}

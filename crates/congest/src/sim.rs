@@ -1,0 +1,610 @@
+//! The synchronous round-based simulation engine.
+
+use crate::Metrics;
+use pga_graph::{Graph, NodeId};
+
+/// Communication topology of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Messages travel only along edges of the input graph (the CONGEST
+    /// model of Peleg).
+    Congest,
+    /// Any vertex may message any other vertex (the CONGESTED CLIQUE model
+    /// of Lotker et al.); the input graph remains each node's local
+    /// knowledge.
+    CongestedClique,
+}
+
+/// Size accounting for messages.
+///
+/// `id_bits = ⌈log₂ n⌉` is passed in so message types can charge the
+/// model-correct `O(log n)` bits for every node identifier they carry.
+pub trait MsgSize {
+    /// The size of this message in bits.
+    fn size_bits(&self, id_bits: usize) -> usize;
+}
+
+/// Per-node view of the network, passed to every [`Algorithm`] callback.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Total number of nodes (globally known, as the paper assumes).
+    pub n: usize,
+    /// `⌈log₂ n⌉`, the number of bits of a node identifier.
+    pub id_bits: usize,
+    /// Neighbors of this node in the *input graph* `G` (sorted).
+    pub graph_neighbors: &'a [NodeId],
+    /// Current round number, starting at 0.
+    pub round: usize,
+    /// The communication topology.
+    pub topology: Topology,
+    /// The bandwidth `B` in bits available per directed edge per round.
+    pub bandwidth_bits: usize,
+}
+
+impl Ctx<'_> {
+    /// Whether this node may send a message to `to` in the current
+    /// topology.
+    pub fn can_send(&self, to: NodeId) -> bool {
+        match self.topology {
+            Topology::Congest => self.graph_neighbors.binary_search(&to).is_ok(),
+            Topology::CongestedClique => to.index() < self.n && to != self.id,
+        }
+    }
+}
+
+/// A distributed algorithm, written as a per-node state machine.
+///
+/// The simulator calls [`Algorithm::round`] once per node per round (in
+/// node-id order, though well-formed algorithms must not depend on that),
+/// delivering the messages sent to this node in the previous round. The
+/// run ends when every node reports [`Algorithm::is_done`] and no messages
+/// are in flight.
+pub trait Algorithm {
+    /// Message type exchanged by this algorithm.
+    type Msg: Clone + MsgSize;
+    /// Per-node output produced at the end of the run.
+    type Output;
+
+    /// Executes one round: consume the inbox, return the outbox.
+    ///
+    /// The inbox contains `(sender, message)` pairs sorted by sender id.
+    /// Each outbox entry `(to, msg)` must satisfy the topology
+    /// ([`Ctx::can_send`]), at most one message per destination, each at
+    /// most [`Ctx::bandwidth_bits`] bits — violations abort the run with a
+    /// [`SimError`].
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Self::Msg)]) -> Vec<(NodeId, Self::Msg)>;
+
+    /// Whether this node has terminated (quiescent and output-ready).
+    fn is_done(&self, ctx: &Ctx) -> bool;
+
+    /// The node's final output.
+    fn output(&self, ctx: &Ctx) -> Self::Output;
+}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct Report<O> {
+    /// Output of every node, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Communication metrics of the run.
+    pub metrics: Metrics,
+}
+
+/// Errors that abort a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node sent a message to a non-neighbor (CONGEST) or out-of-range
+    /// destination.
+    IllegalDestination {
+        /// Sending node.
+        from: NodeId,
+        /// Intended destination.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// A node sent two messages to the same destination in one round.
+    DuplicateMessage {
+        /// Sending node.
+        from: NodeId,
+        /// Destination that received two messages.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// A message exceeded the bandwidth `B`.
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Size of the offending message in bits.
+        size_bits: usize,
+        /// The bandwidth limit in bits.
+        limit_bits: usize,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// The round budget was exhausted before all nodes terminated.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The algorithm's precondition on the input graph was violated
+    /// (e.g. a spanning-tree-based phase requires a connected graph).
+    PreconditionViolated {
+        /// Human-readable description of the violated precondition.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::IllegalDestination { from, to, round } => {
+                write!(f, "round {round}: {from:?} sent to non-reachable {to:?}")
+            }
+            SimError::DuplicateMessage { from, to, round } => {
+                write!(f, "round {round}: {from:?} sent two messages to {to:?}")
+            }
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                size_bits,
+                limit_bits,
+                round,
+            } => write!(
+                f,
+                "round {round}: message {from:?} → {to:?} has {size_bits} bits > B = {limit_bits}"
+            ),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit {limit} exceeded without termination")
+            }
+            SimError::PreconditionViolated { what } => {
+                write!(f, "algorithm precondition violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulation driver.
+///
+/// Construct with [`Simulator::congest`] or [`Simulator::congested_clique`]
+/// and tune with the builder-style setters.
+pub struct Simulator<'g> {
+    g: &'g Graph,
+    topology: Topology,
+    bandwidth_bits: usize,
+    max_rounds: usize,
+}
+
+/// Default bandwidth: `16·⌈log₂ n⌉ + 64` bits.
+///
+/// The CONGEST model allows `B = O(log n)`; the constant is chosen so a
+/// message can carry a small constant number of identifiers plus a tag and
+/// a 64-bit numeric payload (used by the randomized estimator of Lemma 29).
+pub fn default_bandwidth_bits(n: usize) -> usize {
+    16 * id_bits(n) + 64
+}
+
+/// `⌈log₂ n⌉`, with a minimum of 1.
+pub fn id_bits(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (n - 1).ilog2() as usize + 1
+    }
+}
+
+impl<'g> Simulator<'g> {
+    /// A CONGEST simulator over the communication graph `g`.
+    pub fn congest(g: &'g Graph) -> Self {
+        Simulator {
+            g,
+            topology: Topology::Congest,
+            bandwidth_bits: default_bandwidth_bits(g.num_nodes()),
+            max_rounds: 1_000_000,
+        }
+    }
+
+    /// A CONGESTED CLIQUE simulator with input graph `g`.
+    pub fn congested_clique(g: &'g Graph) -> Self {
+        Simulator {
+            topology: Topology::CongestedClique,
+            ..Simulator::congest(g)
+        }
+    }
+
+    /// Overrides the per-edge bandwidth `B` (bits per message).
+    pub fn with_bandwidth_bits(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// Overrides the safety round budget (default one million).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    fn ctx(&self, id: NodeId, round: usize) -> Ctx<'_> {
+        Ctx {
+            id,
+            n: self.g.num_nodes(),
+            id_bits: id_bits(self.g.num_nodes()),
+            graph_neighbors: self.g.neighbors(id),
+            round,
+            topology: self.topology,
+            bandwidth_bits: self.bandwidth_bits,
+        }
+    }
+
+    /// Runs `nodes` (one algorithm state per vertex, indexed by id) to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run<A: Algorithm>(&self, mut nodes: Vec<A>) -> Result<Report<A::Output>, SimError> {
+        let n = self.g.num_nodes();
+        assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
+        let idb = id_bits(n);
+        let mut metrics = Metrics::default();
+        let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut round = 0;
+
+        loop {
+            // Termination: all done and no messages in flight.
+            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
+            let all_done = (0..n).all(|i| {
+                let ctx = self.ctx(NodeId::from_index(i), round);
+                nodes[i].is_done(&ctx)
+            });
+            if all_done && !in_flight {
+                break;
+            }
+            if round >= self.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                });
+            }
+
+            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> =
+                (0..n).map(|_| Vec::new()).collect();
+            let mut sent_any = false;
+
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                let ctx = self.ctx(id, round);
+                let inbox = std::mem::take(&mut inboxes[i]);
+                let outbox = nodes[i].round(&ctx, &inbox);
+                let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
+                for (to, msg) in outbox {
+                    if !ctx.can_send(to) {
+                        return Err(SimError::IllegalDestination {
+                            from: id,
+                            to,
+                            round,
+                        });
+                    }
+                    if seen.contains(&to) {
+                        return Err(SimError::DuplicateMessage {
+                            from: id,
+                            to,
+                            round,
+                        });
+                    }
+                    seen.push(to);
+                    let size = msg.size_bits(idb);
+                    if size > self.bandwidth_bits {
+                        return Err(SimError::BandwidthExceeded {
+                            from: id,
+                            to,
+                            size_bits: size,
+                            limit_bits: self.bandwidth_bits,
+                            round,
+                        });
+                    }
+                    metrics.messages += 1;
+                    metrics.bits += size as u64;
+                    metrics.max_message_bits = metrics.max_message_bits.max(size);
+                    next_inboxes[to.index()].push((id, msg));
+                    sent_any = true;
+                }
+            }
+
+            // Deterministic delivery order.
+            for ib in &mut next_inboxes {
+                ib.sort_by_key(|&(from, _)| from);
+            }
+            inboxes = next_inboxes;
+            round += 1;
+            metrics.rounds = round;
+
+            // Fast-path termination check to avoid an extra empty round:
+            // if nothing was sent and everyone is done, stop.
+            if !sent_any {
+                let all_done_now = (0..n).all(|i| {
+                    let ctx = self.ctx(NodeId::from_index(i), round);
+                    nodes[i].is_done(&ctx)
+                });
+                if all_done_now {
+                    break;
+                }
+            }
+        }
+
+        let outputs = (0..n)
+            .map(|i| {
+                let ctx = self.ctx(NodeId::from_index(i), round);
+                nodes[i].output(&ctx)
+            })
+            .collect();
+        Ok(Report { outputs, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_graph::generators;
+
+    #[derive(Clone)]
+    struct U32Msg(u32);
+    impl MsgSize for U32Msg {
+        fn size_bits(&self, id_bits: usize) -> usize {
+            id_bits
+        }
+    }
+
+    /// Every node floods the max id it has seen; outputs it.
+    struct FloodMax {
+        best: u32,
+        changed: bool,
+        quiet: bool,
+    }
+
+    impl FloodMax {
+        fn new(i: usize) -> Self {
+            FloodMax {
+                best: i as u32,
+                changed: false,
+                quiet: false,
+            }
+        }
+    }
+
+    impl Algorithm for FloodMax {
+        type Msg = U32Msg;
+        type Output = u32;
+        fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+            for (_, m) in inbox {
+                if m.0 > self.best {
+                    self.best = m.0;
+                    self.changed = true;
+                }
+            }
+            let send = ctx.round == 0 || self.changed;
+            self.changed = false;
+            self.quiet = !send;
+            if send {
+                ctx.graph_neighbors
+                    .iter()
+                    .map(|&v| (v, U32Msg(self.best)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        }
+        fn is_done(&self, _ctx: &Ctx) -> bool {
+            self.quiet
+        }
+        fn output(&self, _ctx: &Ctx) -> u32 {
+            self.best
+        }
+    }
+
+    #[test]
+    fn flood_max_on_path() {
+        let g = generators::path(10);
+        let report = Simulator::congest(&g)
+            .run((0..10).map(FloodMax::new).collect())
+            .unwrap();
+        assert!(report.outputs.iter().all(|&b| b == 9));
+        // Max id must travel 9 hops: at least 9 rounds.
+        assert!(report.metrics.rounds >= 9, "{}", report.metrics.rounds);
+        assert!(report.metrics.messages > 0);
+    }
+
+    #[test]
+    fn flood_max_on_clique_topology_one_hop() {
+        let g = generators::path(10); // input graph is a path...
+        struct Shout {
+            best: u32,
+            done: bool,
+        }
+        impl Algorithm for Shout {
+            type Msg = U32Msg;
+            type Output = u32;
+            fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                for (_, m) in inbox {
+                    self.best = self.best.max(m.0);
+                }
+                if ctx.round == 0 {
+                    // ...but the clique topology lets everyone shout once.
+                    (0..ctx.n)
+                        .filter(|&j| j != ctx.id.index())
+                        .map(|j| (NodeId::from_index(j), U32Msg(self.best)))
+                        .collect()
+                } else {
+                    self.done = true;
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                self.done
+            }
+            fn output(&self, _ctx: &Ctx) -> u32 {
+                self.best
+            }
+        }
+        let report = Simulator::congested_clique(&g)
+            .run(
+                (0..10)
+                    .map(|i| Shout {
+                        best: i as u32,
+                        done: false,
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        assert!(report.outputs.iter().all(|&b| b == 9));
+        assert!(report.metrics.rounds <= 3);
+    }
+
+    #[test]
+    fn illegal_destination_congest() {
+        let g = generators::path(4);
+        struct Bad;
+        impl Algorithm for Bad {
+            type Msg = U32Msg;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                if ctx.id == NodeId(0) && ctx.round == 0 {
+                    vec![(NodeId(3), U32Msg(0))] // not a path-neighbor
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let err = Simulator::congest(&g)
+            .run(vec![Bad, Bad, Bad, Bad])
+            .unwrap_err();
+        assert!(matches!(err, SimError::IllegalDestination { .. }));
+    }
+
+    #[test]
+    fn bandwidth_violation() {
+        let g = generators::path(2);
+        #[derive(Clone)]
+        struct Huge;
+        impl MsgSize for Huge {
+            fn size_bits(&self, _id_bits: usize) -> usize {
+                1 << 20
+            }
+        }
+        struct Sender;
+        impl Algorithm for Sender {
+            type Msg = Huge;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, Huge)]) -> Vec<(NodeId, Huge)> {
+                if ctx.round == 0 && ctx.id == NodeId(0) {
+                    vec![(NodeId(1), Huge)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let err = Simulator::congest(&g).run(vec![Sender, Sender]).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let g = generators::path(2);
+        struct Dup;
+        impl Algorithm for Dup {
+            type Msg = U32Msg;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                if ctx.round == 0 && ctx.id == NodeId(0) {
+                    vec![(NodeId(1), U32Msg(1)), (NodeId(1), U32Msg(2))]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let err = Simulator::congest(&g).run(vec![Dup, Dup]).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateMessage { .. }));
+    }
+
+    #[test]
+    fn round_limit() {
+        let g = generators::path(2);
+        struct Chatter;
+        impl Algorithm for Chatter {
+            type Msg = U32Msg;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                ctx.graph_neighbors
+                    .iter()
+                    .map(|&v| (v, U32Msg(0)))
+                    .collect()
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let err = Simulator::congest(&g)
+            .with_max_rounds(10)
+            .run(vec![Chatter, Chatter])
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+
+    #[test]
+    fn zero_round_algorithm() {
+        // A node set that is immediately done runs 0 rounds and sends
+        // nothing (Lemma 6's trivial approximation is such an algorithm).
+        let g = generators::path(3);
+        struct Lazy;
+        impl Algorithm for Lazy {
+            type Msg = U32Msg;
+            type Output = bool;
+            fn round(&mut self, _ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                Vec::new()
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                true
+            }
+            fn output(&self, _ctx: &Ctx) -> bool {
+                true
+            }
+        }
+        let report = Simulator::congest(&g).run(vec![Lazy, Lazy, Lazy]).unwrap();
+        assert_eq!(report.metrics.messages, 0);
+        assert!(report.outputs.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the simulator and the gather–scatter
+//! primitive.
+
+use pga_congest::primitives::{GatherScatter, LeaderCompute, SizedU64};
+use pga_congest::{Algorithm, Ctx, MsgSize, Simulator};
+use pga_graph::traversal::{bfs_distances, diameter};
+use pga_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_connected() -> impl Strategy<Value = Graph> {
+    (2usize..25, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generators::connected_gnp(n, 0.1, &mut rng)
+    })
+}
+
+/// A BFS-layer algorithm: node 0 floods; every node outputs its first
+/// round of contact, which must equal its BFS distance.
+struct Layer {
+    dist: Option<usize>,
+    announce: bool,
+}
+
+#[derive(Clone)]
+struct Ping;
+impl MsgSize for Ping {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        1
+    }
+}
+
+impl Algorithm for Layer {
+    type Msg = Ping;
+    type Output = Option<usize>;
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Ping)]) -> Vec<(NodeId, Ping)> {
+        if ctx.round == 0 && ctx.id == NodeId(0) {
+            self.dist = Some(0);
+            self.announce = false;
+            return ctx.graph_neighbors.iter().map(|&v| (v, Ping)).collect();
+        }
+        if !inbox.is_empty() && self.dist.is_none() {
+            self.dist = Some(ctx.round);
+            self.announce = true;
+        }
+        if self.announce {
+            self.announce = false;
+            return ctx.graph_neighbors.iter().map(|&v| (v, Ping)).collect();
+        }
+        Vec::new()
+    }
+    fn is_done(&self, _ctx: &Ctx) -> bool {
+        self.dist.is_some() && !self.announce
+    }
+    fn output(&self, _ctx: &Ctx) -> Option<usize> {
+        self.dist
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One hop per round: flooding reaches each vertex exactly at its BFS
+    /// distance, and the run finishes within diameter + O(1) rounds.
+    #[test]
+    fn flooding_matches_bfs(g in arb_connected()) {
+        let n = g.num_nodes();
+        let report = Simulator::congest(&g)
+            .run((0..n).map(|_| Layer { dist: None, announce: false }).collect())
+            .unwrap();
+        let bfs = bfs_distances(&g, NodeId(0));
+        for v in 0..n {
+            prop_assert_eq!(report.outputs[v], bfs[v], "node {}", v);
+        }
+        let d = diameter(&g).unwrap();
+        prop_assert!(report.metrics.rounds <= d + 3);
+    }
+
+    /// Gather–scatter computes a global sum on arbitrary connected
+    /// topologies, with every node receiving the same response.
+    #[test]
+    fn gather_scatter_global_sum(g in arb_connected()) {
+        let n = g.num_nodes();
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items| {
+            let s: u64 = items.iter().map(|i: &SizedU64| i.value).sum();
+            vec![SizedU64 { value: s, bits: 64 }]
+        });
+        let nodes = (0..n)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 { value: (i * i) as u64, bits: 64 }],
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        let expect: u64 = (0..n as u64).map(|i| i * i).sum();
+        for o in &report.outputs {
+            prop_assert_eq!(o.len(), 1);
+            prop_assert_eq!(o[0].value, expect);
+        }
+    }
+
+    /// Pipelining bound: k items over diameter D finish in O(k + D).
+    #[test]
+    fn gather_scatter_round_bound(g in arb_connected(), per_node in 0usize..4) {
+        let n = g.num_nodes();
+        let compute: LeaderCompute<SizedU64, SizedU64> =
+            Arc::new(|items| items); // echo everything back
+        let nodes = (0..n)
+            .map(|i| {
+                GatherScatter::new(
+                    (0..per_node)
+                        .map(|j| SizedU64 { value: (i * 10 + j) as u64, bits: 32 })
+                        .collect(),
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        let k = n * per_node;
+        let d = diameter(&g).unwrap();
+        prop_assert!(
+            report.metrics.rounds <= 6 * (k + d) + 12,
+            "rounds {} for k={} d={}",
+            report.metrics.rounds, k, d
+        );
+        // Every node received all k items.
+        for o in &report.outputs {
+            prop_assert_eq!(o.len(), k);
+        }
+    }
+
+    /// Messages never exceed the bandwidth, and metrics are consistent.
+    #[test]
+    fn metrics_consistency(g in arb_connected()) {
+        let n = g.num_nodes();
+        let report = Simulator::congest(&g)
+            .run((0..n).map(|_| Layer { dist: None, announce: false }).collect())
+            .unwrap();
+        let m = &report.metrics;
+        prop_assert!(m.bits >= m.messages, "each Ping is ≥1 bit");
+        prop_assert!(m.max_message_bits <= pga_congest::default_bandwidth_bits(n));
+        if m.messages > 0 {
+            prop_assert!(m.avg_message_bits() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The [CD18] (Censor-Hillel–Dory) `O(log Δ)`-approximation for minimum
+//! dominating set — the substrate algorithm that Theorem 28 simulates on
+//! `G²`.
+//!
+//! This module implements the algorithm's *logic* centrally (exact
+//! densities, exact vote counts), parameterized by the graph on which
+//! domination is defined. Running it on `G` gives the [CD18] baseline;
+//! running it on a precomputed square gives the idealized (no-estimation)
+//! version of Theorem 28, which the distributed implementation in
+//! [`crate::mds::congest_g2`] approximates with Lemma 29 estimates.
+//!
+//! Per phase:
+//! 1. every vertex computes its *rounded density* `ρ_v` — the number of
+//!    still-uncovered vertices in `N[v]`, rounded up to a power of two;
+//! 2. vertices whose `ρ` is maximal within distance 2 (of the domination
+//!    graph) become *candidates*;
+//! 3. candidates draw random ranks; every uncovered vertex votes for the
+//!    best-ranked candidate that covers it;
+//! 4. candidates with at least `|C_v|/8` votes join the dominating set.
+
+use pga_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a CD18 run.
+#[derive(Clone, Debug)]
+pub struct Cd18Result {
+    /// The dominating set (membership vector over the domination graph).
+    pub dominating_set: Vec<bool>,
+    /// Number of phases executed.
+    pub phases: usize,
+}
+
+/// Runs CD18 on the domination graph `g` (pass `square(g0)` for `G²`).
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{generators, cover::is_dominating_set};
+/// use pga_core::mds::cd18::cd18_mds;
+///
+/// let g = generators::grid(4, 4);
+/// let r = cd18_mds(&g, 42);
+/// assert!(is_dominating_set(&g, &r.dominating_set));
+/// ```
+pub fn cd18_mds(g: &Graph, seed: u64) -> Cd18Result {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut covered = vec![false; n];
+    let mut ds = vec![false; n];
+    let mut phases = 0;
+
+    let closed = |v: NodeId| std::iter::once(v).chain(g.neighbors(v).iter().copied());
+
+    while covered.iter().any(|&c| !c) {
+        phases += 1;
+
+        // 1. Rounded densities.
+        let density: Vec<usize> = (0..n)
+            .map(|v| {
+                closed(NodeId::from_index(v))
+                    .filter(|u| !covered[u.index()])
+                    .count()
+            })
+            .collect();
+        let rho: Vec<usize> = density
+            .iter()
+            .map(|&d| if d == 0 { 0 } else { d.next_power_of_two() })
+            .collect();
+
+        // 2. Candidates: ρ_v maximal within distance 2 in g.
+        let mut is_cand = vec![false; n];
+        for v in 0..n {
+            if rho[v] == 0 {
+                continue;
+            }
+            let two_hop = pga_graph::power::two_hop_neighborhood(g, NodeId::from_index(v));
+            if two_hop.iter().all(|u| rho[u.index()] <= rho[v]) {
+                is_cand[v] = true;
+            }
+        }
+
+        // 3. Ranks and votes: an uncovered vertex votes for the covering
+        // candidate with the smallest (rank, id).
+        let rank: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        let mut votes = vec![0usize; n];
+        for u in 0..n {
+            if covered[u] {
+                continue;
+            }
+            let best = closed(NodeId::from_index(u))
+                .filter(|c| is_cand[c.index()])
+                .min_by_key(|c| (rank[c.index()], c.index()));
+            if let Some(c) = best {
+                votes[c.index()] += 1;
+            }
+        }
+
+        // 4. Join decisions.
+        let mut joined = Vec::new();
+        for v in 0..n {
+            if is_cand[v] && votes[v] * 8 >= density[v] && votes[v] > 0 && !ds[v] {
+                ds[v] = true;
+                joined.push(v);
+            }
+        }
+        for v in joined {
+            for u in closed(NodeId::from_index(v)) {
+                covered[u.index()] = true;
+            }
+        }
+    }
+
+    Cd18Result {
+        dominating_set: ds,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::mds::mds_size;
+    use pga_graph::cover::{is_dominating_set, set_size};
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_on_families() {
+        for g in [
+            generators::star(15),
+            generators::cycle(12),
+            generators::grid(5, 5),
+            generators::path(20),
+        ] {
+            let r = cd18_mds(&g, 3);
+            assert!(is_dominating_set(&g, &r.dominating_set));
+        }
+    }
+
+    #[test]
+    fn approximation_factor_log_delta() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let g = generators::connected_gnp(18, 0.15, &mut rng);
+            let r = cd18_mds(&g, 11);
+            assert!(is_dominating_set(&g, &r.dominating_set));
+            let opt = mds_size(&g);
+            let delta = g.max_degree().max(2) as f64;
+            // 8·H_k bound with k ≤ Δ+1 (paper footnote 4); generous form.
+            let bound = 8.0 * ((delta + 1.0).ln() + 1.0);
+            assert!(
+                set_size(&r.dominating_set) as f64 <= bound * opt as f64,
+                "{} vs opt {opt} (bound {bound})",
+                set_size(&r.dominating_set)
+            );
+        }
+    }
+
+    #[test]
+    fn runs_on_precomputed_square() {
+        let g = generators::path(25);
+        let g2 = square(&g);
+        let r = cd18_mds(&g2, 5);
+        assert!(is_dominating_set(&g2, &r.dominating_set));
+        // On P25², radius-2 balls have 5 vertices: OPT = 5; CD18 stays
+        // within the log bound (tiny here).
+        assert!(set_size(&r.dominating_set) <= 4 * mds_size(&g2));
+    }
+
+    #[test]
+    fn phase_count_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::connected_gnp(100, 0.08, &mut rng);
+        let r = cd18_mds(&g, 1);
+        assert!(
+            r.phases <= 60,
+            "{} phases on n=100 is not logarithmic-ish",
+            r.phases
+        );
+    }
+
+    #[test]
+    fn star_takes_center() {
+        let g = generators::star(30);
+        let r = cd18_mds(&g, 2);
+        assert!(r.dominating_set[0], "the center has maximal density");
+        assert!(is_dominating_set(&g, &r.dominating_set));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::grid(4, 5);
+        assert_eq!(
+            cd18_mds(&g, 17).dominating_set,
+            cd18_mds(&g, 17).dominating_set
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_join_themselves() {
+        let g = pga_graph::Graph::empty(4);
+        let r = cd18_mds(&g, 4);
+        assert!(is_dominating_set(&g, &r.dominating_set));
+        assert_eq!(set_size(&r.dominating_set), 4);
+    }
+}

@@ -1,0 +1,5 @@
+//! `G²`-minimum-dominating-set algorithms (Section 6 of the paper).
+
+pub mod cd18;
+pub mod congest_g2;
+pub mod estimator;

@@ -1,0 +1,363 @@
+//! Theorem 12: the centralized polynomial-time 5/3-approximation for
+//! `G²`-minimum vertex cover (Algorithm 2 of the paper).
+//!
+//! The algorithm runs three parts on the (square) graph:
+//!
+//! 1. **Triangles** — while a triangle exists, take all three corners
+//!    (optimum pays ≥ 2, we pay 3);
+//! 2. **Low degrees** — while a vertex of degree ≤ 3 exists, resolve it
+//!    with the case analysis of the paper (paying 1-vs-1, 3-vs-2, 5-vs-3);
+//! 3. **Matching** — a maximal-matching 2-approximation on what remains.
+//!
+//! The 5/3 bound is *not* the max of the per-part ratios: Lemma 14 shows
+//! the triangle part is at least 3/2 the size of the final remainder, so
+//! the sloppy part 3 is amortized against part 1. The bound only holds
+//! when the input is the square of some graph (`G²`-structure is what
+//! makes `s₁ ≥ (3/2)|V_{R'}|` true); the procedure itself is well defined
+//! on any graph and always returns a valid cover.
+
+use pga_exact::bitset::BitSet;
+use pga_graph::{Graph, NodeId};
+
+/// Result of the 5/3-approximation with per-part accounting.
+#[derive(Clone, Debug)]
+pub struct FiveThirdsResult {
+    /// The vertex cover (membership vector).
+    pub cover: Vec<bool>,
+    /// Vertices taken during the triangle part (`s₁` of the analysis).
+    pub part1: Vec<NodeId>,
+    /// Vertices taken during the low-degree part (`s₂`).
+    pub part2: Vec<NodeId>,
+    /// Vertices taken during the matching part (`s₃`).
+    pub part3: Vec<NodeId>,
+}
+
+impl FiveThirdsResult {
+    /// Size of the returned cover.
+    pub fn size(&self) -> usize {
+        self.part1.len() + self.part2.len() + self.part3.len()
+    }
+
+    /// The lower bound on any optimal cover implied by the per-part
+    /// accounting of Lemma 15: `opt ≥ (2/3)s₁ + (3/5)s₂ + (1/2)s₃`.
+    pub fn optimum_lower_bound(&self) -> f64 {
+        (2.0 / 3.0) * self.part1.len() as f64
+            + (3.0 / 5.0) * self.part2.len() as f64
+            + 0.5 * self.part3.len() as f64
+    }
+}
+
+struct State {
+    n: usize,
+    adj: Vec<BitSet>,
+    active: BitSet,
+}
+
+impl State {
+    fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut adj = vec![BitSet::new(n); n];
+        for (u, v) in g.edges() {
+            adj[u.index()].insert(v.index());
+            adj[v.index()].insert(u.index());
+        }
+        State {
+            n,
+            adj,
+            active: BitSet::full(n),
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adj[v].intersection_len(&self.active)
+    }
+
+    fn active_neighbors(&self, v: usize) -> Vec<usize> {
+        let mut nb = self.adj[v].clone();
+        nb.intersect_with(&self.active);
+        nb.iter().collect()
+    }
+
+    /// Takes `v` into the cover: removed from the graph with its edges.
+    fn take(&mut self, v: usize, into: &mut Vec<NodeId>) {
+        debug_assert!(self.active.contains(v));
+        self.active.remove(v);
+        into.push(NodeId::from_index(v));
+    }
+
+    /// Finds a triangle through `v`, if any.
+    fn triangle_through(&self, v: usize) -> Option<(usize, usize)> {
+        let nb = self.active_neighbors(v);
+        for (i, &a) in nb.iter().enumerate() {
+            let mut common = self.adj[v].clone();
+            common.intersect_with(&self.adj[a]);
+            common.intersect_with(&self.active);
+            for b in common.iter() {
+                if b != a && nb[i..].contains(&b) {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs Algorithm 2 on `g2` (intended to be the square of a graph) and
+/// returns the cover with per-part accounting.
+///
+/// Always returns a valid vertex cover of `g2`; the 5/3 ratio guarantee
+/// applies when `g2` is a square (or an induced subgraph of one obtained
+/// by deleting closed vertex sets, as in Corollary 17).
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{generators, power::square};
+/// use pga_graph::cover::is_vertex_cover;
+/// use pga_core::mvc::centralized::five_thirds_vertex_cover;
+///
+/// let g = generators::cycle(9);
+/// let g2 = square(&g);
+/// let result = five_thirds_vertex_cover(&g2);
+/// assert!(is_vertex_cover(&g2, &result.cover));
+/// ```
+pub fn five_thirds_vertex_cover(g2: &Graph) -> FiveThirdsResult {
+    let mut st = State::new(g2);
+    let mut part1 = Vec::new();
+    let mut part2 = Vec::new();
+    let mut part3 = Vec::new();
+
+    // Part 1: eliminate triangles. Removals never create triangles, so a
+    // single left-to-right sweep that exhausts each vertex suffices.
+    for v in 0..st.n {
+        while st.active.contains(v) {
+            match st.triangle_through(v) {
+                Some((a, b)) => {
+                    st.take(v, &mut part1);
+                    st.take(a, &mut part1);
+                    st.take(b, &mut part1);
+                }
+                None => break,
+            }
+        }
+    }
+
+    // Part 2: resolve low-degree vertices with the paper's case analysis.
+    // Priority matters: the degree-2 and degree-3 cases assume no vertex
+    // of smaller positive degree exists.
+    loop {
+        // Drop isolated vertices (degree 0 leaves V' without joining S).
+        let zero: Vec<usize> = st
+            .active
+            .iter()
+            .filter(|&v| st.degree(v) == 0)
+            .collect();
+        for v in zero {
+            st.active.remove(v);
+        }
+
+        let mut by_degree = [usize::MAX; 4];
+        for v in st.active.iter() {
+            let d = st.degree(v);
+            if (1..=3).contains(&d) && by_degree[d] == usize::MAX {
+                by_degree[d] = v;
+            }
+        }
+
+        if by_degree[1] != usize::MAX {
+            // Degree 1: take the single neighbor.
+            let x = by_degree[1];
+            let y = st.active_neighbors(x)[0];
+            st.take(y, &mut part2);
+        } else if by_degree[2] != usize::MAX {
+            // Degree 2: x has neighbors y1, y2; no degree-1 vertex exists,
+            // so y1 has a neighbor z ≠ x. Take z, y1, y2.
+            let x = by_degree[2];
+            let nb = st.active_neighbors(x);
+            let (y1, y2) = (nb[0], nb[1]);
+            let z = st
+                .active_neighbors(y1)
+                .into_iter()
+                .find(|&z| z != x)
+                .expect("deg(y1) ≥ 2 since no degree-1 vertices remain");
+            st.take(z, &mut part2);
+            if st.active.contains(y1) {
+                st.take(y1, &mut part2);
+            }
+            if st.active.contains(y2) {
+                st.take(y2, &mut part2);
+            }
+        } else if by_degree[3] != usize::MAX {
+            // Degree 3: x has neighbors y1, y2, y3; all degrees are ≥ 3
+            // and there are no triangles, so distinct z1 ∈ N(y1), z2 ∈
+            // N(y2) outside {x, y1, y2, y3} exist.
+            let x = by_degree[3];
+            let nb = st.active_neighbors(x);
+            let (y1, y2, y3) = (nb[0], nb[1], nb[2]);
+            let z1 = st
+                .active_neighbors(y1)
+                .into_iter()
+                .find(|&z| z != x && z != y1 && z != y2 && z != y3)
+                .expect("deg(y1) ≥ 3, no triangles: an outside neighbor exists");
+            let z2 = st
+                .active_neighbors(y2)
+                .into_iter()
+                .find(|&z| z != x && z != y1 && z != y2 && z != y3 && z != z1)
+                .expect("deg(y2) ≥ 3, no triangles: a second outside neighbor exists");
+            for v in [y1, y2, y3, z1, z2] {
+                if st.active.contains(v) {
+                    st.take(v, &mut part2);
+                }
+            }
+        } else {
+            break;
+        }
+    }
+
+    // Part 3: greedy maximal matching on the remainder, take both
+    // endpoints.
+    let active_now: Vec<usize> = st.active.iter().collect();
+    for &u in &active_now {
+        if !st.active.contains(u) {
+            continue;
+        }
+        if let Some(&v) = st.active_neighbors(u).first() {
+            st.take(u, &mut part3);
+            st.take(v, &mut part3);
+        }
+    }
+
+    let mut cover = vec![false; st.n];
+    for v in part1.iter().chain(&part2).chain(&part3) {
+        cover[v.index()] = true;
+    }
+    FiveThirdsResult {
+        cover,
+        part1,
+        part2,
+        part3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::vc::mvc_size;
+    use pga_graph::cover::{is_vertex_cover, set_size};
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_cover_on_squares() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let g = generators::gnp(20, 0.15, &mut rng);
+            let g2 = square(&g);
+            let r = five_thirds_vertex_cover(&g2);
+            assert!(is_vertex_cover(&g2, &r.cover));
+            assert_eq!(set_size(&r.cover), r.size());
+        }
+    }
+
+    #[test]
+    fn ratio_at_most_five_thirds_on_squares() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..25 {
+            let g = generators::gnp(13, 0.18, &mut rng);
+            let g2 = square(&g);
+            if g2.num_edges() == 0 {
+                continue;
+            }
+            let r = five_thirds_vertex_cover(&g2);
+            let opt = mvc_size(&g2);
+            if opt == 0 {
+                assert_eq!(r.size(), 0);
+                continue;
+            }
+            let ratio = r.size() as f64 / opt as f64;
+            assert!(
+                ratio <= 5.0 / 3.0 + 1e-9,
+                "iteration {i}: ratio {ratio} > 5/3 (size {} vs opt {opt})",
+                r.size()
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_on_structured_squares() {
+        for g in [
+            generators::path(30),
+            generators::cycle(30),
+            generators::caterpillar(8, 3),
+            generators::star(20),
+            generators::clique_chain(4, 4),
+        ] {
+            let g2 = square(&g);
+            let r = five_thirds_vertex_cover(&g2);
+            assert!(is_vertex_cover(&g2, &r.cover));
+            let opt = mvc_size(&g2);
+            if opt > 0 {
+                assert!(
+                    r.size() as f64 / opt as f64 <= 5.0 / 3.0 + 1e-9,
+                    "{:?}: {} vs {opt}",
+                    g,
+                    r.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_part_takes_whole_triangles() {
+        // K3 (a square of itself... K3 = P3²): part 1 takes all three.
+        let g2 = square(&generators::path(3));
+        let r = five_thirds_vertex_cover(&g2);
+        assert_eq!(r.part1.len(), 3);
+        assert!(r.part2.is_empty() && r.part3.is_empty());
+    }
+
+    #[test]
+    fn triangle_free_square_skips_part1() {
+        // A single edge: square is itself, no triangles; degree-1 rule.
+        let g2 = pga_graph::Graph::from_edges(2, &[(0, 1)]);
+        let r = five_thirds_vertex_cover(&g2);
+        assert!(r.part1.is_empty());
+        assert_eq!(r.size(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = five_thirds_vertex_cover(&pga_graph::Graph::empty(5));
+        assert_eq!(r.size(), 0);
+    }
+
+    #[test]
+    fn optimum_lower_bound_holds() {
+        // Lemma 15: opt ≥ (2/3)s₁ + (3/5)s₂ + (1/2)s₃ on squares.
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..15 {
+            let g = generators::gnp(12, 0.2, &mut rng);
+            let g2 = square(&g);
+            let r = five_thirds_vertex_cover(&g2);
+            let opt = mvc_size(&g2) as f64;
+            assert!(
+                opt >= r.optimum_lower_bound() - 1e-9,
+                "lower bound {} exceeds opt {opt}",
+                r.optimum_lower_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn valid_on_arbitrary_graphs_too() {
+        // No ratio guarantee off-squares, but always a valid cover.
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..20 {
+            let g = generators::gnp(18, 0.3, &mut rng);
+            let r = five_thirds_vertex_cover(&g);
+            assert!(is_vertex_cover(&g, &r.cover));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Corollary 10: a deterministic `(1 + ε)`-approximation for `G²`-MVC in
+//! the CONGESTED CLIQUE, in `O(εn + 1/ε)` rounds.
+//!
+//! Phase I is the CONGEST clique harvesting unchanged (clique edges are a
+//! superset of `G`'s). Phase II exploits the clique: every node sends its
+//! at most `⌊1/ε'⌋` edges of `F` *directly* to the leader, one per round
+//! (Lemma 9), and the leader answers each node with a personalized 1-bit
+//! verdict in a single round.
+
+use crate::mvc::congest::G2MvcResult;
+use crate::mvc::phase1::{P1Output, Phase1};
+use crate::mvc::remainder::{f_edges_for_node, solve_remainder, FEdge, LocalSolver};
+use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, SimError, Simulator};
+use pga_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Messages of the clique Phase II.
+#[derive(Clone, Debug)]
+pub(crate) enum CliqueMsg {
+    /// One `F`-edge report, sent directly to the leader.
+    Edge(FEdge),
+    /// "I have no more edges to report."
+    Done,
+    /// Personalized verdict from the leader: "you are in the cover".
+    Verdict(bool),
+}
+
+impl MsgSize for CliqueMsg {
+    fn size_bits(&self, id_bits: usize) -> usize {
+        2 + match self {
+            CliqueMsg::Edge(e) => e.size_bits(id_bits),
+            CliqueMsg::Done => 0,
+            CliqueMsg::Verdict(_) => 1,
+        }
+    }
+}
+
+/// Phase II on the clique: direct upload to the leader, personalized
+/// 1-round verdict broadcast.
+pub(crate) struct CliquePhase2 {
+    pub items: VecDeque<FEdge>,
+    pub in_s: bool,
+    pub sent_done: bool,
+    pub verdict: Option<bool>,
+    // Leader-only state.
+    pub gathered: Vec<FEdge>,
+    pub done_count: usize,
+    pub solver: LocalSolver,
+    pub answered: bool,
+}
+
+impl CliquePhase2 {
+    pub(crate) fn new(items: Vec<FEdge>, in_s: bool, solver: LocalSolver) -> Self {
+        CliquePhase2 {
+            items: items.into(),
+            in_s,
+            sent_done: false,
+            verdict: None,
+            gathered: Vec::new(),
+            done_count: 0,
+            solver,
+            answered: false,
+        }
+    }
+}
+
+const LEADER: NodeId = NodeId(0);
+
+impl Algorithm for CliquePhase2 {
+    type Msg = CliqueMsg;
+    type Output = bool;
+
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, CliqueMsg)]) -> Vec<(NodeId, CliqueMsg)> {
+        let mut out = Vec::new();
+        for (_from, msg) in inbox {
+            match msg {
+                CliqueMsg::Edge(e) => self.gathered.push(e.clone()),
+                CliqueMsg::Done => self.done_count += 1,
+                CliqueMsg::Verdict(v) => self.verdict = Some(*v),
+            }
+        }
+
+        if ctx.id == LEADER {
+            if !self.answered && self.done_count == ctx.n - 1 {
+                // Everyone reported: solve and answer all nodes at once
+                // (n−1 messages in one round — legal in the clique).
+                let mut edges = std::mem::take(&mut self.gathered);
+                edges.extend(self.items.drain(..));
+                let chosen = solve_remainder(&edges, self.solver);
+                let mut in_cover = vec![false; ctx.n];
+                for c in &chosen {
+                    in_cover[c.0.index()] = true;
+                }
+                self.verdict = Some(in_cover[LEADER.index()]);
+                for j in 1..ctx.n {
+                    out.push((NodeId::from_index(j), CliqueMsg::Verdict(in_cover[j])));
+                }
+                self.answered = true;
+            }
+        } else if let Some(e) = self.items.pop_front() {
+            out.push((LEADER, CliqueMsg::Edge(e)));
+        } else if !self.sent_done {
+            out.push((LEADER, CliqueMsg::Done));
+            self.sent_done = true;
+        }
+        out
+    }
+
+    fn is_done(&self, ctx: &Ctx) -> bool {
+        if ctx.id == LEADER {
+            self.answered || ctx.n == 1
+        } else {
+            self.verdict.is_some()
+        }
+    }
+
+    fn output(&self, _ctx: &Ctx) -> bool {
+        self.in_s || self.verdict.unwrap_or(false)
+    }
+}
+
+/// Assembles a [`G2MvcResult`] from Phase-I outputs plus clique Phase II.
+pub(crate) fn run_clique_phase2(
+    g: &Graph,
+    p1_out: &[P1Output],
+    p1_metrics: Metrics,
+    solver: LocalSolver,
+) -> Result<G2MvcResult, SimError> {
+    let n = g.num_nodes();
+    let nodes = (0..n)
+        .map(|i| {
+            let o = &p1_out[i];
+            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1);
+            CliquePhase2::new(items, o.in_s, solver)
+        })
+        .collect();
+    let p2 = Simulator::congested_clique(g).run(nodes)?;
+
+    // Special case n == 1: the leader never answers itself over the wire.
+    let mut cover: Vec<bool> = p2.outputs.clone();
+    if n == 1 {
+        cover[0] = p1_out[0].in_s;
+    }
+    let s_size = p1_out.iter().filter(|o| o.in_s).count();
+    let total = cover.iter().filter(|&&b| b).count();
+
+    Ok(G2MvcResult {
+        cover,
+        s_size,
+        r_star_size: total - s_size,
+        phase1_metrics: p1_metrics,
+        phase2_metrics: p2.metrics,
+    })
+}
+
+/// Runs Corollary 10's deterministic CONGESTED CLIQUE algorithm.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on model violations.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::generators;
+/// use pga_graph::cover::is_vertex_cover_on_square;
+/// use pga_core::mvc::clique_det::g2_mvc_clique_det;
+/// use pga_core::mvc::congest::LocalSolver;
+///
+/// let g = generators::clique_chain(3, 5);
+/// let r = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+/// assert!(is_vertex_cover_on_square(&g, &r.cover));
+/// ```
+pub fn g2_mvc_clique_det(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+) -> Result<G2MvcResult, SimError> {
+    let n = g.num_nodes();
+    if eps >= 1.0 {
+        return Ok(G2MvcResult {
+            cover: vec![true; n],
+            s_size: n,
+            r_star_size: 0,
+            phase1_metrics: Metrics::default(),
+            phase2_metrics: Metrics::default(),
+        });
+    }
+    let l = crate::mvc::congest::threshold_for_eps(eps);
+    let p1 = Simulator::congested_clique(g).run((0..n).map(|_| Phase1::new(l)).collect())?;
+    run_clique_phase2(g, &p1.outputs, p1.metrics, solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvc::congest::g2_mvc_congest;
+    use pga_exact::vc::mvc_size;
+    use pga_graph::cover::is_vertex_cover_on_square;
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_and_approximate() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..8 {
+            let g = generators::connected_gnp(15, 0.15, &mut rng);
+            let r = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+            assert!(is_vertex_cover_on_square(&g, &r.cover));
+            let opt = mvc_size(&square(&g));
+            assert!(r.size() as f64 <= 1.5 * opt as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase2_much_faster_than_congest() {
+        // On a long path the CONGEST Phase II pays Θ(n) for pipelining;
+        // the clique Phase II pays O(1/ε).
+        let g = generators::path(60);
+        let congest = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        let clique = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+        assert!(
+            clique.phase2_metrics.rounds * 4 < congest.phase2_metrics.rounds,
+            "clique {} vs congest {}",
+            clique.phase2_metrics.rounds,
+            congest.phase2_metrics.rounds
+        );
+        assert!(is_vertex_cover_on_square(&g, &clique.cover));
+    }
+
+    #[test]
+    fn same_cover_size_as_congest_variant() {
+        // Both run the same Phase I and an exact Phase II, so sizes match.
+        let g = generators::clique_chain(4, 5);
+        let a = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        let b = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+        assert_eq!(a.size(), b.size());
+    }
+
+    #[test]
+    fn works_on_disconnected_graphs() {
+        // The clique topology does not need G to be connected.
+        let g = generators::disjoint_union(&generators::star(6), &generators::cycle(5));
+        let r = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+        assert!(is_vertex_cover_on_square(&g, &r.cover));
+    }
+
+    #[test]
+    fn trivial_eps() {
+        let g = generators::path(5);
+        let r = g2_mvc_clique_det(&g, 1.5, LocalSolver::Exact).unwrap();
+        assert_eq!(r.size(), 5);
+    }
+
+    #[test]
+    fn single_node() {
+        let r = g2_mvc_clique_det(&Graph::empty(1), 0.5, LocalSolver::Exact).unwrap();
+        assert_eq!(r.size(), 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! `G²`-minimum-vertex-cover algorithms (Sections 3 and 4 of the paper).
+
+pub mod centralized;
+pub mod clique_det;
+pub mod clique_rand;
+pub mod congest;
+pub mod trivial;
+pub mod weighted;
+
+pub(crate) mod phase1;
+pub(crate) mod remainder;

@@ -1,0 +1,122 @@
+//! Lemma 6: the zero-round trivial approximation on powers.
+//!
+//! For a connected `n`-vertex graph `G` and `1 ≤ r ≤ n`, any vertex cover
+//! of `G^r` has size at least `n − n/α` where `α = ⌊r/2⌋ + 1`, because any
+//! independent set of `G^r` can charge `⌊r/2⌋` private non-members to each
+//! member. Hence taking **all** vertices — with no communication at all —
+//! is a `(1 + 1/⌊r/2⌋)`-approximation: a 2-approximation on `G²` that
+//! improves as `r` grows.
+
+use pga_graph::Graph;
+
+/// The all-vertices cover (membership vector), the paper's zero-round
+/// algorithm.
+pub fn all_vertices_cover(n: usize) -> Vec<bool> {
+    vec![true; n]
+}
+
+/// The approximation guarantee of [`all_vertices_cover`] on `G^r`:
+/// `1 + 1/⌊r/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `r < 2` (for `r = 1` the bound is vacuous).
+pub fn trivial_ratio(r: usize) -> f64 {
+    assert!(r >= 2, "Lemma 6's ratio needs r ≥ 2");
+    1.0 + 1.0 / ((r / 2) as f64)
+}
+
+/// Lemma 6's upper bound on the size of any independent set of `G^r` for a
+/// *connected* `G` on `n ≥ 2` vertices: strictly less than `n/α` with
+/// `α = ⌊r/2⌋ + 1`; we return `⌈n/α⌉` as a safe ceiling.
+pub fn independent_set_upper_bound(n: usize, r: usize) -> usize {
+    let alpha = r / 2 + 1;
+    n.div_ceil(alpha)
+}
+
+/// Lemma 6's lower bound on the size of any vertex cover of `G^r` for a
+/// connected `G`: `n − ⌈n/α⌉`.
+pub fn vertex_cover_lower_bound(n: usize, r: usize) -> usize {
+    n.saturating_sub(independent_set_upper_bound(n, r))
+}
+
+/// Convenience: checks the bound's preconditions for a given graph.
+pub fn applies_to(g: &Graph) -> bool {
+    g.num_nodes() >= 2 && pga_graph::traversal::is_connected(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::vc::mvc_size;
+    use pga_graph::generators;
+    use pga_graph::power::power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_values() {
+        assert!((trivial_ratio(2) - 2.0).abs() < 1e-12);
+        assert!((trivial_ratio(3) - 2.0).abs() < 1e-12);
+        assert!((trivial_ratio(4) - 1.5).abs() < 1e-12);
+        assert!((trivial_ratio(6) - (4.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cover_lower_bound_holds_on_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let g = generators::connected_gnp(14, 0.1, &mut rng);
+            assert!(applies_to(&g));
+            for r in 2..=4 {
+                let gr = power(&g, r);
+                let opt = mvc_size(&gr);
+                assert!(
+                    opt >= vertex_cover_lower_bound(14, r),
+                    "r={r}: opt {opt} below Lemma 6 bound {}",
+                    vertex_cover_lower_bound(14, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_vertices_achieves_ratio() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..8 {
+            let g = generators::connected_gnp(12, 0.15, &mut rng);
+            for r in 2..=5 {
+                let gr = power(&g, r);
+                let opt = mvc_size(&gr);
+                if opt == 0 {
+                    continue;
+                }
+                let ratio = 12.0 / opt as f64;
+                assert!(
+                    ratio <= trivial_ratio(r) + 1e-9,
+                    "r={r}: all-vertices ratio {ratio} > {}",
+                    trivial_ratio(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_tight_case() {
+        // On a long path, G² has an independent set of ~n/2 (every other
+        // pair), so the 2-approximation is near-tight for r = 2.
+        let n = 24;
+        let g = generators::path(n);
+        let g2 = power(&g, 2);
+        let opt = mvc_size(&g2);
+        let ratio = n as f64 / opt as f64;
+        assert!(ratio > 1.4, "trivial cover should be visibly suboptimal");
+        assert!(ratio <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn bound_on_disconnected_graph_does_not_apply() {
+        let g = pga_graph::Graph::empty(4);
+        assert!(!applies_to(&g));
+    }
+}

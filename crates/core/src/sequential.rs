@@ -1,0 +1,271 @@
+//! Centralized (sequential) executions of Algorithm 1 and its weighted
+//! variant.
+//!
+//! These produce the same covers as the distributed implementations would
+//! (same greedy rule, deterministic order) without paying the simulator's
+//! per-round cost — used by the benchmark harness for approximation-ratio
+//! sweeps at sizes where simulating every round is unnecessary.
+
+use crate::mvc::centralized::five_thirds_vertex_cover;
+use crate::mvc::congest::{threshold_for_eps, LocalSolver};
+use pga_exact::vc::solve_mvc;
+use pga_exact::wvc::solve_mwvc;
+use pga_graph::matching::two_approx_vertex_cover;
+use pga_graph::power::square;
+use pga_graph::subgraph::induced_subgraph;
+use pga_graph::{Graph, NodeId, VertexWeights};
+
+/// Result of a sequential Algorithm-1 run.
+#[derive(Clone, Debug)]
+pub struct SequentialResult {
+    /// The `G²` vertex cover.
+    pub cover: Vec<bool>,
+    /// Number of Phase-I vertices (the set `S`).
+    pub s_size: usize,
+    /// Number of Phase-I loop iterations (centers processed) — each costs
+    /// `O(1)` distributed rounds.
+    pub iterations: usize,
+}
+
+/// Sequential Algorithm 1 (Theorem 1): clique harvesting then an exact (or
+/// approximate) solve of `G²[U]`.
+///
+/// Matches the paper's pseudocode: while some center has more than `1/ε'`
+/// remaining neighbors, process it (largest id first, mirroring the
+/// distributed tie-breaking).
+pub fn g2_mvc_sequential(g: &Graph, eps: f64, solver: LocalSolver) -> SequentialResult {
+    let n = g.num_nodes();
+    if eps >= 1.0 {
+        return SequentialResult {
+            cover: vec![true; n],
+            s_size: n,
+            iterations: 0,
+        };
+    }
+    let l = threshold_for_eps(eps);
+
+    let mut in_s = vec![false; n];
+    let mut in_c = vec![true; n];
+    let mut iterations = 0;
+    loop {
+        // Largest-id eligible center (the distributed algorithm's global
+        // winner is always eligible, so orders agree on who fires).
+        let mut pick = None;
+        for v in (0..n).rev() {
+            if in_c[v] {
+                let d_r = g
+                    .neighbors(NodeId::from_index(v))
+                    .iter()
+                    .filter(|u| !in_s[u.index()])
+                    .count();
+                if d_r > l {
+                    pick = Some(v);
+                    break;
+                }
+            }
+        }
+        let Some(c) = pick else { break };
+        iterations += 1;
+        in_c[c] = false;
+        for &u in g.neighbors(NodeId::from_index(c)) {
+            in_s[u.index()] = true;
+        }
+    }
+
+    let cover = finish_with_local_solver(g, &in_s, solver);
+    let s_size = in_s.iter().filter(|&&b| b).count();
+    SequentialResult {
+        cover,
+        s_size,
+        iterations,
+    }
+}
+
+fn finish_with_local_solver(g: &Graph, in_s: &[bool], solver: LocalSolver) -> Vec<bool> {
+    let g2 = square(g);
+    let keep: Vec<bool> = in_s.iter().map(|&b| !b).collect();
+    let sub = induced_subgraph(&g2, &keep);
+    let sub_cover = match solver {
+        LocalSolver::Exact => solve_mvc(&sub.graph),
+        LocalSolver::FiveThirds => five_thirds_vertex_cover(&sub.graph).cover,
+        LocalSolver::TwoApprox => two_approx_vertex_cover(&sub.graph),
+    };
+    let mut cover = in_s.to_vec();
+    for (i, &m) in sub_cover.iter().enumerate() {
+        if m {
+            cover[sub.to_host[i].index()] = true;
+        }
+    }
+    cover
+}
+
+/// Sequential Theorem 7 (weighted): weight-class harvesting then an exact
+/// weighted solve of `G²[U]`.
+pub fn g2_mwvc_sequential(g: &Graph, w: &VertexWeights, eps: f64) -> SequentialResult {
+    assert!(w.matches(g));
+    assert!(eps > 0.0);
+    let n = g.num_nodes();
+
+    // Zero-weight vertices are free cover.
+    let mut in_s: Vec<bool> = (0..n).map(|i| w.as_slice()[i] == 0).collect();
+    let mut iterations = 0;
+
+    // Static bucketing base per center: min positive neighbor weight.
+    let w_star: Vec<Option<u64>> = (0..n)
+        .map(|v| {
+            g.neighbors(NodeId::from_index(v))
+                .iter()
+                .map(|&u| w.get(u))
+                .filter(|&x| x > 0)
+                .min()
+        })
+        .collect();
+
+    loop {
+        let mut fired = false;
+        for c in (0..n).rev() {
+            let Some(ws) = w_star[c] else { continue };
+            // Gather remaining neighbors per bucket.
+            let mut best: Option<(u32, Vec<NodeId>)> = None;
+            let mut buckets: std::collections::HashMap<u32, (u64, u64, Vec<NodeId>)> =
+                std::collections::HashMap::new();
+            for &u in g.neighbors(NodeId::from_index(c)) {
+                let wu = w.get(u);
+                if wu == 0 || in_s[u.index()] {
+                    continue;
+                }
+                let b = (wu / ws).ilog2();
+                let e = buckets.entry(b).or_insert((0, 0, Vec::new()));
+                e.0 = e.0.max(wu);
+                e.1 += wu;
+                e.2.push(u);
+            }
+            let mut keys: Vec<u32> = buckets.keys().copied().collect();
+            keys.sort_unstable();
+            for b in keys {
+                let (wm, wsum, members) = &buckets[&b];
+                if (*wm as f64) <= (*wsum as f64) * eps / (1.0 + eps) {
+                    best = Some((b, members.clone()));
+                    break;
+                }
+            }
+            if let Some((_b, members)) = best {
+                iterations += 1;
+                for u in members {
+                    in_s[u.index()] = true;
+                }
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+
+    // Exact weighted solve of the remainder.
+    let g2 = square(g);
+    let keep: Vec<bool> = in_s.iter().map(|&b| !b).collect();
+    let sub = induced_subgraph(&g2, &keep);
+    let sub_w = VertexWeights::from_vec(
+        sub.to_host.iter().map(|&v| w.get(v)).collect::<Vec<u64>>(),
+    );
+    let sub_cover = solve_mwvc(&sub.graph, &sub_w);
+    let mut cover = in_s.clone();
+    for (i, &m) in sub_cover.iter().enumerate() {
+        if m {
+            cover[sub.to_host[i].index()] = true;
+        }
+    }
+    let s_size = in_s.iter().filter(|&&b| b).count();
+    SequentialResult {
+        cover,
+        s_size,
+        iterations,
+    }
+}
+
+/// The analytic CONGEST round count of Theorem 1 for a sequential run:
+/// `4·iterations` for Phase I plus `O(|F| + D)` for Phase II. Used by the
+/// harness to report paper-formula rounds next to simulated rounds.
+pub fn theorem1_round_formula(n: usize, eps: f64, iterations: usize, diameter: usize) -> usize {
+    let l = threshold_for_eps(eps.min(1.0));
+    4 * iterations + n * l.min(n) + 4 * diameter + n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::vc::mvc_size;
+    use pga_exact::wvc::mwvc_weight;
+    use pga_graph::cover::{is_vertex_cover, set_size};
+    use pga_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_matches_guarantee() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..10 {
+            let g = generators::gnp(16, 0.2, &mut rng);
+            let g2 = square(&g);
+            let opt = mvc_size(&g2);
+            let r = g2_mvc_sequential(&g, 0.5, LocalSolver::Exact);
+            assert!(is_vertex_cover(&g2, &r.cover));
+            if opt > 0 {
+                assert!(set_size(&r.cover) as f64 <= 1.5 * opt as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_distributed_same_size() {
+        use crate::mvc::congest::g2_mvc_congest;
+        for g in [generators::star(15), generators::clique_chain(3, 6)] {
+            let seq = g2_mvc_sequential(&g, 0.5, LocalSolver::Exact);
+            let dist = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+            assert_eq!(set_size(&seq.cover), dist.size());
+            assert_eq!(seq.s_size, dist.s_size);
+        }
+    }
+
+    #[test]
+    fn iteration_bound() {
+        // ≤ εn + 1 iterations (each removes > 1/ε vertices from R).
+        let mut rng = StdRng::seed_from_u64(102);
+        let g = generators::connected_gnp(60, 0.2, &mut rng);
+        let eps = 0.25;
+        let r = g2_mvc_sequential(&g, eps, LocalSolver::TwoApprox);
+        assert!(
+            r.iterations as f64 <= eps * 60.0 + 1.0,
+            "{} iterations",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn weighted_sequential_guarantee() {
+        let mut rng = StdRng::seed_from_u64(103);
+        for _ in 0..6 {
+            let g = generators::gnp(13, 0.2, &mut rng);
+            let w = VertexWeights::random(13, 1..16, &mut rng);
+            let g2 = square(&g);
+            let opt = mwvc_weight(&g2, &w);
+            let r = g2_mwvc_sequential(&g, &w, 0.5);
+            assert!(is_vertex_cover(&g2, &r.cover));
+            assert!(
+                w.subset_weight(&r.cover) as f64 <= 1.5 * opt as f64 + 1e-6,
+                "{} vs {opt}",
+                w.subset_weight(&r.cover)
+            );
+        }
+    }
+
+    #[test]
+    fn formula_is_monotone_in_n() {
+        assert!(
+            theorem1_round_formula(100, 0.5, 10, 5)
+                < theorem1_round_formula(200, 0.5, 10, 5)
+        );
+    }
+}

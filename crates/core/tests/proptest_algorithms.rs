@@ -1,0 +1,100 @@
+//! Property-based tests for the paper's algorithms — Lemma-level
+//! invariants beyond end-to-end ratios.
+
+use pga_core::mvc::centralized::five_thirds_vertex_cover;
+use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
+use pga_core::mvc::trivial::{independent_set_upper_bound, vertex_cover_lower_bound};
+use pga_core::sequential::g2_mvc_sequential;
+use pga_exact::vc::mvc_size;
+use pga_graph::cover::{is_vertex_cover_on_square, set_size};
+use pga_graph::power::{power, square};
+use pga_graph::{generators, Graph};
+use proptest::prelude::*;
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generators::connected_gnp(n, 0.12, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 4: the two-phase cover is always feasible on G².
+    #[test]
+    fn lemma4_validity(g in arb_connected(16), eps in 0.15f64..0.9) {
+        let r = g2_mvc_congest(&g, eps, LocalSolver::Exact).unwrap();
+        prop_assert!(is_vertex_cover_on_square(&g, &r.cover));
+    }
+
+    /// Lemma 5's consequence: the Phase-I set S alone never exceeds
+    /// (1+ε)·OPT — S is a (1+ε)-approximation *for the part it covers*,
+    /// so in particular |S| ≤ (1+ε)·OPT(G²).
+    #[test]
+    fn lemma5_phase1_bounded(g in arb_connected(14)) {
+        let eps = 0.5;
+        let r = g2_mvc_congest(&g, eps, LocalSolver::Exact).unwrap();
+        let opt = mvc_size(&square(&g));
+        prop_assert!(
+            r.s_size as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
+            "|S| = {} vs OPT = {}", r.s_size, opt
+        );
+    }
+
+    /// Distributed and sequential Algorithm 1 always produce equal-size
+    /// covers (same rule, same exact finisher).
+    #[test]
+    fn distributed_equals_sequential(g in arb_connected(14)) {
+        let dist = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        let seq = g2_mvc_sequential(&g, 0.5, LocalSolver::Exact);
+        prop_assert_eq!(dist.size(), set_size(&seq.cover));
+    }
+
+    /// Lemma 6's two bounds hold on every connected graph and power.
+    #[test]
+    fn lemma6_bounds(g in arb_connected(13), r in 2usize..5) {
+        let n = g.num_nodes();
+        let gr = power(&g, r);
+        let opt = mvc_size(&gr);
+        prop_assert!(opt >= vertex_cover_lower_bound(n, r));
+        // complement bound: max independent set of G^r ≤ ⌈n/α⌉
+        let is_max = n - opt; // complement of a minimum VC is a max IS
+        prop_assert!(is_max <= independent_set_upper_bound(n, r));
+    }
+
+    /// The 5/3 algorithm's parts partition its cover.
+    #[test]
+    fn five_thirds_parts_partition(g in arb_connected(14)) {
+        let g2 = square(&g);
+        let r = five_thirds_vertex_cover(&g2);
+        let mut seen = vec![false; g2.num_nodes()];
+        for v in r.part1.iter().chain(&r.part2).chain(&r.part3) {
+            prop_assert!(!seen[v.index()], "vertex taken twice");
+            seen[v.index()] = true;
+        }
+        prop_assert_eq!(
+            seen.iter().filter(|&&b| b).count(),
+            set_size(&r.cover)
+        );
+    }
+
+    /// Triangle accounting: part 1 takes vertices in groups of 3, and on
+    /// triangle-free squares (matchings) part 1 is empty.
+    #[test]
+    fn five_thirds_triangle_accounting(g in arb_connected(14)) {
+        let g2 = square(&g);
+        let r = five_thirds_vertex_cover(&g2);
+        prop_assert_eq!(r.part1.len() % 3, 0, "triangles come in threes");
+    }
+
+    /// Rounds are deterministic: same input, same round count.
+    #[test]
+    fn deterministic_rounds(g in arb_connected(12)) {
+        let a = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        let b = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        prop_assert_eq!(a.total_rounds(), b.total_rounds());
+        prop_assert_eq!(a.cover, b.cover);
+    }
+}

@@ -1,0 +1,265 @@
+//! A small fixed-capacity bitset used by the branch-and-bound solvers.
+
+/// A fixed-capacity set of vertex indices backed by `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use pga_exact::bitset::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(77);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 77]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a full set containing all of `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Capacity (exclusive upper bound on indices).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts index `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes index `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements also present in `other` (`|self ∩ other|`).
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ∩ other` is nonempty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union: `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Collects into a boolean membership vector of length `capacity`.
+    pub fn to_membership(&self) -> Vec<bool> {
+        let mut out = vec![false; self.capacity];
+        for i in self.iter() {
+            out[i] = true;
+        }
+        out
+    }
+
+    /// Builds from a boolean membership vector.
+    pub fn from_membership(set: &[bool]) -> Self {
+        let mut s = BitSet::new(set.len());
+        for (i, &m) in set.iter().enumerate() {
+            if m {
+                s.insert(i);
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        let s64 = BitSet::full(64);
+        assert_eq!(s64.len(), 64);
+        let s0 = BitSet::full(0);
+        assert_eq!(s0.len(), 0);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in [1, 5, 70] {
+            a.insert(i);
+        }
+        for i in [5, 70, 99] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.is_subset(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![5, 70]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(d.is_subset(&a));
+    }
+
+    #[test]
+    fn first_and_iter() {
+        let mut s = BitSet::new(200);
+        assert_eq!(s.first(), None);
+        s.insert(150);
+        s.insert(63);
+        s.insert(64);
+        assert_eq!(s.first(), Some(63));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 150]);
+    }
+
+    #[test]
+    fn membership_roundtrip() {
+        let mv = vec![true, false, true, false, true];
+        let s = BitSet::from_membership(&mv);
+        assert_eq!(s.to_membership(), mv);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        let mut s = BitSet::new(10);
+        s.insert(2);
+        assert_eq!(format!("{s:?}"), "{2}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Cheap lower bounds for MVC and MDS, usable at sizes where the exact
+//! solvers are not.
+//!
+//! The benchmark harness uses these to bound approximation ratios from
+//! below on large instances:
+//!
+//! * matching lower bound for vertex cover (factor-2 tight),
+//! * the clique-decomposition bound that powers Lemma 5: disjoint
+//!   `G²`-cliques of sizes `s₁, …, s_k` force any cover to pay
+//!   `Σ (sᵢ − 1)`,
+//! * disjoint closed-2-neighborhood packing for `G²`-MDS.
+
+use pga_graph::matching::maximal_matching;
+use pga_graph::power::two_hop_neighborhood;
+use pga_graph::{Graph, NodeId};
+
+/// Matching lower bound for `MVC(g)`.
+pub fn vc_matching_bound(g: &Graph) -> usize {
+    maximal_matching(g).len()
+}
+
+/// Clique-harvest lower bound for `MVC(G²)` computed on `G`: greedily pick
+/// vertex-disjoint neighborhoods `N(c)` (largest first); each is a clique
+/// of `G²`, so any cover pays `|N(c) ∩ picked| − 1` per block.
+///
+/// This mirrors exactly how Algorithm 1's Phase I charges the optimum
+/// (Lemma 5), making it the natural certificate to report next to the
+/// algorithm's output.
+pub fn square_vc_clique_bound(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut used = vec![false; n];
+    let mut bound = 0;
+    for c in order {
+        let block: Vec<NodeId> = g
+            .neighbors(c)
+            .iter()
+            .copied()
+            .filter(|u| !used[u.index()])
+            .collect();
+        if block.len() >= 2 {
+            bound += block.len() - 1;
+            for u in block {
+                used[u.index()] = true;
+            }
+        }
+    }
+    bound
+}
+
+/// The better of the two `MVC(G²)` lower bounds (matching on the square
+/// is computed via a matching in `G²`'s edge set streamed from `G`,
+/// approximated here by a matching on `G` itself — always valid since
+/// `E(G) ⊆ E(G²)`).
+pub fn square_vc_bound(g: &Graph) -> usize {
+    vc_matching_bound(g).max(square_vc_clique_bound(g))
+}
+
+/// Packing lower bound for `MDS(G²)`: a set of vertices with pairwise
+/// `G`-distance > 4 needs pairwise-distinct dominators, so any `G²`-MDS
+/// is at least as large as the packing. Greedy construction.
+pub fn square_mds_packing_bound(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut blocked = vec![false; n];
+    let mut count = 0;
+    for v in g.nodes() {
+        if blocked[v.index()] {
+            continue;
+        }
+        count += 1;
+        // Block everything within distance 4 = two applications of the
+        // 2-hop neighborhood.
+        let two = two_hop_neighborhood(g, v);
+        blocked[v.index()] = true;
+        for &u in &two {
+            blocked[u.index()] = true;
+            for w in two_hop_neighborhood(g, u) {
+                blocked[w.index()] = true;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mds::mds_size;
+    use crate::vc::mvc_size;
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vc_bounds_below_optimum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let g = generators::gnp(16, 0.2, &mut rng);
+            let opt = mvc_size(&square(&g));
+            assert!(vc_matching_bound(&g) <= opt);
+            assert!(square_vc_clique_bound(&g) <= opt, "clique bound invalid");
+            assert!(square_vc_bound(&g) <= opt);
+        }
+    }
+
+    #[test]
+    fn clique_bound_tight_on_star() {
+        // Star: N(center) is a clique of size n−1 in G²; bound = n−2,
+        // optimum = n−2... the square of a star is K_n: opt = n−1. The
+        // clique bound gives n−2 — off by one, but far better than the
+        // matching bound of 1 on G.
+        let g = generators::star(12);
+        assert_eq!(square_vc_clique_bound(&g), 10);
+        assert_eq!(vc_matching_bound(&g), 1);
+        assert_eq!(mvc_size(&square(&g)), 11);
+    }
+
+    #[test]
+    fn mds_packing_below_optimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..15 {
+            let g = generators::gnp(16, 0.15, &mut rng);
+            let opt = mds_size(&square(&g));
+            assert!(square_mds_packing_bound(&g) <= opt);
+        }
+    }
+
+    #[test]
+    fn mds_packing_on_long_path() {
+        // P_n: G²-balls have radius 2, so a distance-5 packing has
+        // ~n/5 vertices and OPT(G²-MDS) = ⌈n/5⌉.
+        let g = generators::path(25);
+        let bound = square_mds_packing_bound(&g);
+        let opt = mds_size(&square(&g));
+        assert_eq!(opt, 5);
+        assert!(bound >= 3, "packing should capture most of OPT, got {bound}");
+        assert!(bound <= opt);
+    }
+
+    #[test]
+    fn empty_graph_bounds() {
+        let g = pga_graph::Graph::empty(5);
+        assert_eq!(vc_matching_bound(&g), 0);
+        assert_eq!(square_vc_clique_bound(&g), 0);
+        // every isolated vertex needs itself in any dominating set
+        assert_eq!(square_mds_packing_bound(&g), 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Exact and baseline centralized solvers for minimum vertex cover and
+//! minimum dominating set, in both unweighted and vertex-weighted variants.
+//!
+//! The PODC 2020 paper assumes *unbounded local computation* in the CONGEST
+//! model: in Algorithm 1 a leader vertex locally computes an **optimal**
+//! vertex cover of the small remaining graph `G²[U]`. This crate provides
+//! that local solver ([`vc::solve_mvc`]), its weighted and dominating-set
+//! cousins, and the simple approximation baselines the paper compares
+//! against (maximal-matching 2-approximation, greedy `ln Δ` dominating set,
+//! local-ratio weighted vertex cover).
+//!
+//! The exact solvers are branch-and-bound over bitset adjacency with
+//! standard reductions; they are intended for the graph sizes used in the
+//! experiment harness (up to a few hundred vertices of structured
+//! instances), not for arbitrary large graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use pga_graph::generators;
+//! use pga_exact::vc::solve_mvc;
+//!
+//! let g = generators::cycle(5);
+//! let cover = solve_mvc(&g);
+//! assert_eq!(cover.iter().filter(|&&b| b).count(), 3); // OPT(C5) = 3
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod bounds;
+pub mod greedy;
+pub mod mds;
+pub mod vc;
+pub mod wvc;

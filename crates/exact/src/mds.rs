@@ -1,0 +1,391 @@
+//! Exact minimum (weighted) dominating set via set-cover branch and bound.
+//!
+//! To solve a dominating set problem on a power graph `G^r`, precompute the
+//! power with [`pga_graph::power::power`] and pass it here — domination is
+//! always interpreted on the graph given.
+//!
+//! Zero-weight vertices are chosen up front in the weighted variant: they
+//! dominate for free, exactly as the paper exploits for its merged path
+//! gadgets (`A*[3]` has weight 0 in the Theorem 35 construction).
+
+use crate::bitset::BitSet;
+use pga_graph::{Graph, VertexWeights};
+
+/// Exact minimum dominating set of `g` as a membership vector.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::generators;
+/// use pga_exact::mds::mds_size;
+///
+/// assert_eq!(mds_size(&generators::star(8)), 1);
+/// assert_eq!(mds_size(&generators::path(3)), 1);
+/// assert_eq!(mds_size(&generators::path(7)), 3);
+/// ```
+pub fn solve_mds(g: &Graph) -> Vec<bool> {
+    solve_mwds(g, &VertexWeights::uniform(g.num_nodes()))
+}
+
+/// Size of a minimum dominating set of `g`.
+pub fn mds_size(g: &Graph) -> usize {
+    solve_mds(g).iter().filter(|&&b| b).count()
+}
+
+/// Decides whether `g` has a dominating set of size at most `budget`.
+pub fn solve_mds_with_budget(g: &Graph, budget: usize) -> Option<Vec<bool>> {
+    solve_mwds_with_budget(g, &VertexWeights::uniform(g.num_nodes()), budget as u64)
+}
+
+/// Exact minimum-weight dominating set of `(g, w)`.
+pub fn solve_mwds(g: &Graph, w: &VertexWeights) -> Vec<bool> {
+    assert!(w.matches(g), "weights must match the graph");
+    let mut solver = MdsSolver::new(g, w);
+    solver.best_cost = w.total().saturating_add(1);
+    solver.run();
+    solver
+        .best
+        .map(|b| b.to_membership())
+        .unwrap_or_else(|| vec![true; g.num_nodes()])
+}
+
+/// Weight of a minimum-weight dominating set of `(g, w)`.
+pub fn mwds_weight(g: &Graph, w: &VertexWeights) -> u64 {
+    w.subset_weight(&solve_mwds(g, w))
+}
+
+/// Decides whether `(g, w)` has a dominating set of weight at most
+/// `budget`, returning one if so.
+pub fn solve_mwds_with_budget(g: &Graph, w: &VertexWeights, budget: u64) -> Option<Vec<bool>> {
+    assert!(w.matches(g), "weights must match the graph");
+    let mut solver = MdsSolver::new(g, w);
+    solver.best_cost = budget.saturating_add(1);
+    solver.run();
+    solver.best.map(|b| b.to_membership())
+}
+
+struct MdsSolver {
+    n: usize,
+    /// `dom[v]`: closed neighborhood of `v` — the vertices that choosing
+    /// `v` dominates.
+    dom: Vec<BitSet>,
+    w: Vec<u64>,
+    best: Option<BitSet>,
+    best_cost: u64,
+}
+
+impl MdsSolver {
+    fn new(g: &Graph, w: &VertexWeights) -> Self {
+        let n = g.num_nodes();
+        let mut dom = vec![BitSet::new(n); n];
+        for v in g.nodes() {
+            dom[v.index()].insert(v.index());
+            for &u in g.neighbors(v) {
+                dom[v.index()].insert(u.index());
+            }
+        }
+        MdsSolver {
+            n,
+            dom,
+            w: w.as_slice().to_vec(),
+            best: None,
+            best_cost: u64::MAX,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut chosen = BitSet::new(self.n);
+        let mut covered = BitSet::new(self.n);
+        let mut cost = 0u64;
+        // Zero-weight vertices dominate for free.
+        for v in 0..self.n {
+            if self.w[v] == 0 {
+                chosen.insert(v);
+                covered.union_with(&self.dom[v]);
+            }
+        }
+        // Dominance elimination: `u` is never needed as a dominator when
+        // some `v` covers a superset at no greater weight (the classic
+        // set-cover reduction). The strictness of the tie-breaking makes
+        // the elimination relation acyclic, so every eliminated vertex
+        // keeps a surviving witness. This is what collapses the paper's
+        // dangling-path tails: `DP[4]`, `DP[5]` are dominated by `DP[3]`,
+        // leaving `DP[5]` with a unique dominator and forcing `DP[3]`
+        // into every solution by unit propagation.
+        let mut forbidden = BitSet::new(self.n);
+        for u in 0..self.n {
+            if chosen.contains(u) {
+                continue;
+            }
+            for v in 0..self.n {
+                if v == u {
+                    continue;
+                }
+                if !self.dom[u].is_subset(&self.dom[v]) {
+                    continue;
+                }
+                let equal = self.dom[u] == self.dom[v];
+                let eliminate = if equal {
+                    self.w[v] < self.w[u] || (self.w[v] == self.w[u] && v < u)
+                } else {
+                    self.w[v] <= self.w[u]
+                };
+                if eliminate {
+                    forbidden.insert(u);
+                    break;
+                }
+            }
+        }
+        self.branch(&mut chosen, &mut covered, &forbidden, &mut cost);
+    }
+
+    /// Greedy disjoint-group lower bound: repeatedly pick an uncovered
+    /// vertex, charge the cheapest allowed dominator, and discard every
+    /// vertex sharing a dominator with it.
+    fn lower_bound(&self, covered: &BitSet, forbidden: &BitSet) -> u64 {
+        let mut remaining = BitSet::full(self.n);
+        remaining.difference_with(covered);
+        let mut lb = 0u64;
+        while let Some(x) = remaining.first() {
+            remaining.remove(x);
+            let mut cheapest = u64::MAX;
+            // Union of coverage of all allowed dominators of x.
+            let mut blocked = BitSet::new(self.n);
+            for d in self.dom[x].iter() {
+                if forbidden.contains(d) {
+                    continue;
+                }
+                cheapest = cheapest.min(self.w[d]);
+                blocked.union_with(&self.dom[d]);
+            }
+            if cheapest == u64::MAX {
+                // x cannot be dominated at all: infeasible branch.
+                return u64::MAX;
+            }
+            lb = lb.saturating_add(cheapest);
+            remaining.difference_with(&blocked);
+        }
+        lb
+    }
+
+    fn branch(
+        &mut self,
+        chosen: &mut BitSet,
+        covered: &mut BitSet,
+        forbidden: &BitSet,
+        cost: &mut u64,
+    ) {
+        if *cost >= self.best_cost {
+            return;
+        }
+        // All covered: record.
+        let mut uncovered = BitSet::full(self.n);
+        uncovered.difference_with(covered);
+        let Some(_) = uncovered.first() else {
+            if *cost < self.best_cost {
+                self.best_cost = *cost;
+                self.best = Some(chosen.clone());
+            }
+            return;
+        };
+
+        let lb = self.lower_bound(covered, forbidden);
+        if lb == u64::MAX || cost.saturating_add(lb) >= self.best_cost {
+            return;
+        }
+
+        // Branch on the uncovered vertex with the fewest allowed
+        // dominators (fail-first).
+        let mut pivot = usize::MAX;
+        let mut pivot_doms: Vec<usize> = Vec::new();
+        let mut best_count = usize::MAX;
+        for x in uncovered.iter() {
+            let doms: Vec<usize> = self.dom[x]
+                .iter()
+                .filter(|&d| !forbidden.contains(d))
+                .collect();
+            if doms.len() < best_count {
+                best_count = doms.len();
+                pivot = x;
+                pivot_doms = doms;
+                if best_count <= 1 {
+                    break;
+                }
+            }
+        }
+        debug_assert!(pivot != usize::MAX);
+        if pivot_doms.is_empty() {
+            return; // infeasible
+        }
+
+        // Order dominators: cheapest per newly-covered vertex first.
+        pivot_doms.sort_by_key(|&d| {
+            let mut newly = self.dom[d].clone();
+            newly.difference_with(covered);
+            let gain = newly.len().max(1) as u64;
+            // scale to compare weight/gain without floats
+            (self.w[d].saturating_mul(1024)) / gain
+        });
+
+        // Inclusion-exclusion branching: branch i chooses pivot_doms[i] and
+        // forbids pivot_doms[0..i] (they were already tried).
+        let mut forb = forbidden.clone();
+        for &d in &pivot_doms {
+            // Choose d.
+            let mut newly = self.dom[d].clone();
+            newly.difference_with(covered);
+            chosen.insert(d);
+            covered.union_with(&self.dom[d]);
+            *cost += self.w[d];
+            self.branch(chosen, covered, &forb, cost);
+            // Undo.
+            *cost -= self.w[d];
+            covered.difference_with(&newly);
+            chosen.remove(d);
+            // Forbid d for the remaining branches.
+            forb.insert(d);
+        }
+    }
+}
+
+/// Brute-force oracle for tiny instances (`n ≤ 20`).
+pub fn solve_mds_bruteforce(g: &Graph) -> Vec<bool> {
+    let n = g.num_nodes();
+    assert!(n <= 20, "brute force limited to 20 vertices");
+    let mut best_mask: u32 = (1u32 << n).wrapping_sub(1);
+    let mut best_count = n as u32;
+    let dom: Vec<u32> = (0..n)
+        .map(|v| {
+            let mut m = 1u32 << v;
+            for &u in g.neighbors(pga_graph::NodeId::from_index(v)) {
+                m |= 1 << u.index();
+            }
+            m
+        })
+        .collect();
+    let all = (1u32 << n).wrapping_sub(1);
+    for mask in 0..(1u32 << n) {
+        if mask.count_ones() >= best_count {
+            continue;
+        }
+        let mut cov = 0u32;
+        for v in 0..n {
+            if mask >> v & 1 == 1 {
+                cov |= dom[v];
+            }
+        }
+        if cov & all == all {
+            best_count = mask.count_ones();
+            best_mask = mask;
+        }
+    }
+    (0..n).map(|i| best_mask >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_graph::cover::{is_dominating_set, set_size, set_weight};
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use pga_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(mds_size(&generators::star(9)), 1);
+        assert_eq!(mds_size(&generators::path(3)), 1);
+        assert_eq!(mds_size(&generators::path(7)), 3);
+        assert_eq!(mds_size(&generators::cycle(9)), 3);
+        assert_eq!(mds_size(&generators::complete(5)), 1);
+        assert_eq!(mds_size(&Graph::empty(4)), 4); // isolated vertices
+        assert_eq!(mds_size(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn solution_is_dominating() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..15 {
+            let g = generators::gnp(18, 0.15, &mut rng);
+            let s = solve_mds(&g);
+            assert!(is_dominating_set(&g, &s));
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_random() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..25 {
+            let n = 6 + (i % 8);
+            let g = generators::gnp(n, 0.25, &mut rng);
+            let bb = set_size(&solve_mds(&g));
+            let bf = set_size(&solve_mds_bruteforce(&g));
+            assert_eq!(bb, bf, "n={n} i={i}");
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_dominator() {
+        // Star where the center is expensive: cover with center (cost 10)
+        // vs all leaves (cost 5 × 1): leaves win.
+        let g = generators::star(6);
+        let mut weights = vec![1; 6];
+        weights[0] = 10;
+        let w = VertexWeights::from_vec(weights);
+        assert_eq!(mwds_weight(&g, &w), 5);
+        // Cheap center wins.
+        let mut weights2 = vec![10; 6];
+        weights2[0] = 1;
+        let w2 = VertexWeights::from_vec(weights2);
+        assert_eq!(mwds_weight(&g, &w2), 1);
+    }
+
+    #[test]
+    fn zero_weight_free_domination() {
+        let g = generators::star(6);
+        let mut weights = vec![3; 6];
+        weights[0] = 0;
+        let w = VertexWeights::from_vec(weights);
+        assert_eq!(mwds_weight(&g, &w), 0);
+    }
+
+    #[test]
+    fn budget_mode() {
+        let g = generators::cycle(9); // OPT = 3
+        assert!(solve_mds_with_budget(&g, 2).is_none());
+        let s = solve_mds_with_budget(&g, 3).expect("OPT fits");
+        assert!(is_dominating_set(&g, &s));
+        assert!(set_size(&s) <= 3);
+    }
+
+    #[test]
+    fn mds_on_square_smaller() {
+        // Path P7: MDS(G) = 3 but MDS(G²) = 2 (radius-2 balls).
+        let g = generators::path(7);
+        let g2 = square(&g);
+        assert_eq!(mds_size(&g2), 2);
+        // P5 squared: one center vertex dominates everything within 2 hops.
+        let p5sq = square(&generators::path(5));
+        assert_eq!(mds_size(&p5sq), 1);
+    }
+
+    #[test]
+    fn weighted_matches_uniform_unweighted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnp(14, 0.2, &mut rng);
+        let w = VertexWeights::uniform(14);
+        assert_eq!(mwds_weight(&g, &w), set_size(&solve_mds(&g)) as u64);
+    }
+
+    #[test]
+    fn weighted_budget_respects_weight() {
+        let g = generators::path(4);
+        let w = VertexWeights::from_vec(vec![4, 1, 1, 4]);
+        // Optimal: {1, 2} with weight 2.
+        assert_eq!(mwds_weight(&g, &w), 2);
+        assert!(solve_mwds_with_budget(&g, &w, 1).is_none());
+        let s = solve_mwds_with_budget(&g, &w, 2).expect("weight-2 DS");
+        assert!(set_weight(&s, w.as_slice()) <= 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Exact minimum *weighted* vertex cover via branch and bound.
+//!
+//! Zero-weight vertices are taken into the cover up front — they cover
+//! edges for free. This matters for the paper's lower-bound family
+//! `H_{x,y}` of Theorem 20, whose path-gadget vertices all have weight 0.
+
+use crate::bitset::BitSet;
+use pga_graph::{Graph, VertexWeights};
+
+/// Exact minimum-weight vertex cover of `(g, w)` as a membership vector.
+///
+/// # Panics
+///
+/// Panics if `w` does not match `g`.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{Graph, VertexWeights};
+/// use pga_exact::wvc::solve_mwvc;
+/// use pga_graph::cover::set_weight;
+///
+/// // Path 0-1-2; middle vertex is expensive.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let w = VertexWeights::from_vec(vec![1, 10, 1]);
+/// let cover = solve_mwvc(&g, &w);
+/// assert_eq!(set_weight(&cover, w.as_slice()), 2); // take both endpoints
+/// ```
+pub fn solve_mwvc(g: &Graph, w: &VertexWeights) -> Vec<bool> {
+    assert!(w.matches(g), "weights must match the graph");
+    let mut solver = WvcSolver::new(g, w);
+    // Seed: all vertices (always a cover).
+    solver.best_cost = w.total() + 1;
+    let mut active = BitSet::full(g.num_nodes());
+    let mut cover = BitSet::new(g.num_nodes());
+    // Zero-weight vertices are free: include them immediately.
+    for v in g.nodes() {
+        if w[v] == 0 {
+            cover.insert(v.index());
+            active.remove(v.index());
+        }
+    }
+    solver.branch(active, cover, 0);
+    match solver.best {
+        Some(b) => b.to_membership(),
+        None => vec![true; g.num_nodes()],
+    }
+}
+
+/// Weight of a minimum-weight vertex cover of `(g, w)`.
+pub fn mwvc_weight(g: &Graph, w: &VertexWeights) -> u64 {
+    let c = solve_mwvc(g, w);
+    w.subset_weight(&c)
+}
+
+/// Decides whether `(g, w)` has a vertex cover of weight at most `budget`,
+/// returning one if so.
+pub fn solve_mwvc_with_budget(g: &Graph, w: &VertexWeights, budget: u64) -> Option<Vec<bool>> {
+    assert!(w.matches(g), "weights must match the graph");
+    let mut solver = WvcSolver::new(g, w);
+    solver.best_cost = budget.saturating_add(1);
+    let mut active = BitSet::full(g.num_nodes());
+    let mut cover = BitSet::new(g.num_nodes());
+    for v in g.nodes() {
+        if w[v] == 0 {
+            cover.insert(v.index());
+            active.remove(v.index());
+        }
+    }
+    solver.branch(active, cover, 0);
+    solver.best.map(|b| b.to_membership())
+}
+
+struct WvcSolver {
+    adj: Vec<BitSet>,
+    w: Vec<u64>,
+    best: Option<BitSet>,
+    best_cost: u64,
+}
+
+impl WvcSolver {
+    fn new(g: &Graph, w: &VertexWeights) -> Self {
+        let n = g.num_nodes();
+        let mut adj = vec![BitSet::new(n); n];
+        for (u, v) in g.edges() {
+            adj[u.index()].insert(v.index());
+            adj[v.index()].insert(u.index());
+        }
+        WvcSolver {
+            adj,
+            w: w.as_slice().to_vec(),
+            best: None,
+            best_cost: u64::MAX,
+        }
+    }
+
+    /// Greedy disjoint edge packing: every matched edge {u, v} forces at
+    /// least `min(w(u), w(v))` of cost.
+    fn packing_lower_bound(&self, active: &BitSet) -> u64 {
+        let mut avail = active.clone();
+        let mut lb = 0u64;
+        loop {
+            let Some(u) = avail.first() else { break };
+            avail.remove(u);
+            let mut nb = self.adj[u].clone();
+            nb.intersect_with(&avail);
+            if let Some(v) = nb.first() {
+                avail.remove(v);
+                lb += self.w[u].min(self.w[v]);
+            }
+        }
+        lb
+    }
+
+    fn branch(&mut self, mut active: BitSet, mut cover: BitSet, mut cost: u64) {
+        // Reductions.
+        loop {
+            if cost >= self.best_cost {
+                return;
+            }
+            let mut changed = false;
+            for v in active.iter().collect::<Vec<_>>() {
+                if !active.contains(v) {
+                    continue;
+                }
+                let mut nb = self.adj[v].clone();
+                nb.intersect_with(&active);
+                match nb.len() {
+                    0 => {
+                        active.remove(v);
+                        changed = true;
+                    }
+                    1 => {
+                        let u = nb.first().expect("len 1");
+                        // Edge {v, u}: if w(u) ≤ w(v), taking u dominates.
+                        if self.w[u] <= self.w[v] {
+                            cover.insert(u);
+                            cost += self.w[u];
+                            active.remove(u);
+                            active.remove(v);
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Pick pivot: maximize active degree (ties toward higher weight,
+        // which makes the exclude-branch expensive and prunable).
+        let mut pivot = None;
+        let mut best_key = (0usize, 0u64);
+        for v in active.iter() {
+            let d = self.adj[v].intersection_len(&active);
+            if d > 0 && (d, self.w[v]) > best_key {
+                best_key = (d, self.w[v]);
+                pivot = Some(v);
+            }
+        }
+
+        let Some(v) = pivot else {
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best = Some(cover);
+            }
+            return;
+        };
+
+        if cost + self.packing_lower_bound(&active) >= self.best_cost {
+            return;
+        }
+
+        let mut nb = self.adj[v].clone();
+        nb.intersect_with(&active);
+        let nb_list: Vec<usize> = nb.iter().collect();
+
+        // Branch A: v in the cover.
+        {
+            let mut a = active.clone();
+            let mut c = cover.clone();
+            a.remove(v);
+            c.insert(v);
+            self.branch(a, c, cost + self.w[v]);
+        }
+
+        // Branch B: v excluded ⇒ all active neighbors in the cover.
+        {
+            let mut a = active;
+            let mut c = cover;
+            a.remove(v);
+            let mut add = 0u64;
+            for &u in &nb_list {
+                a.remove(u);
+                c.insert(u);
+                add += self.w[u];
+            }
+            self.branch(a, c, cost + add);
+        }
+    }
+}
+
+/// Brute-force oracle for tiny weighted instances (`n ≤ 20`).
+pub fn solve_mwvc_bruteforce(g: &Graph, w: &VertexWeights) -> Vec<bool> {
+    let n = g.num_nodes();
+    assert!(n <= 20, "brute force limited to 20 vertices");
+    let edges: Vec<_> = g.edges().collect();
+    let mut best_mask = (1u32 << n).wrapping_sub(1);
+    let mut best_cost: u64 = w.total();
+    for mask in 0..(1u32 << n) {
+        let cost: u64 = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| w.as_slice()[i])
+            .sum();
+        if cost > best_cost {
+            continue;
+        }
+        let feasible = edges
+            .iter()
+            .all(|&(u, v)| mask >> u.index() & 1 == 1 || mask >> v.index() & 1 == 1);
+        if feasible && (cost < best_cost || mask.count_ones() < best_mask.count_ones()) {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    (0..n).map(|i| best_mask >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_graph::cover::{is_vertex_cover, set_weight};
+    use pga_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unweighted_agrees_with_vc() {
+        let g = generators::cycle(7);
+        let w = VertexWeights::uniform(7);
+        assert_eq!(mwvc_weight(&g, &w), 4);
+    }
+
+    #[test]
+    fn expensive_middle_vertex() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = VertexWeights::from_vec(vec![1, 100, 1]);
+        assert_eq!(mwvc_weight(&g, &w), 2);
+    }
+
+    #[test]
+    fn zero_weight_vertices_free() {
+        // Star with a free center.
+        let g = generators::star(6);
+        let mut weights = vec![7; 6];
+        weights[0] = 0;
+        let w = VertexWeights::from_vec(weights);
+        assert_eq!(mwvc_weight(&g, &w), 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_random() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..25 {
+            let n = 6 + (i % 7);
+            let g = generators::gnp(n, 0.35, &mut rng);
+            let w = VertexWeights::random(n, 0..8, &mut rng);
+            let bb = set_weight(&solve_mwvc(&g, &w), w.as_slice());
+            let bf = set_weight(&solve_mwvc_bruteforce(&g, &w), w.as_slice());
+            assert_eq!(bb, bf, "n={n} i={i}");
+            assert!(is_vertex_cover(&g, &solve_mwvc(&g, &w)));
+        }
+    }
+
+    #[test]
+    fn budget_mode() {
+        let g = generators::cycle(5);
+        let w = VertexWeights::uniform(5); // OPT weight = 3
+        assert!(solve_mwvc_with_budget(&g, &w, 2).is_none());
+        let c = solve_mwvc_with_budget(&g, &w, 3).expect("fits");
+        assert!(set_weight(&c, w.as_slice()) <= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        let w = VertexWeights::from_vec(vec![5, 5, 5]);
+        assert_eq!(mwvc_weight(&g, &w), 0);
+    }
+}

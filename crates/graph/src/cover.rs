@@ -1,0 +1,189 @@
+//! Feasibility checks for vertex covers, dominating sets, and independent
+//! sets — on `G` itself and on powers `G^r`.
+//!
+//! All checks take the graph on which feasibility is *defined*. To check a
+//! `G²`-cover, pass the precomputed square (see [`crate::power::square`]),
+//! or use the `*_on_square` helpers that work directly from `G` without
+//! materializing `G²`.
+
+use crate::power::two_hop_neighborhood;
+use crate::{Graph, NodeId};
+
+/// Converts a vertex subset given as a boolean membership vector into a
+/// sorted list of node ids.
+pub fn members(set: &[bool]) -> Vec<NodeId> {
+    set.iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// Converts a list of node ids into a boolean membership vector of length
+/// `n`.
+pub fn membership(n: usize, set: &[NodeId]) -> Vec<bool> {
+    let mut out = vec![false; n];
+    for &v in set {
+        out[v.index()] = true;
+    }
+    out
+}
+
+/// Whether `set` (membership vector) is a vertex cover of `g`: every edge
+/// has at least one endpoint in the set.
+pub fn is_vertex_cover(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    g.edges().all(|(u, v)| set[u.index()] || set[v.index()])
+}
+
+/// Whether `set` is a dominating set of `g`: every vertex is in the set or
+/// has a neighbor in it.
+pub fn is_dominating_set(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    g.nodes().all(|v| {
+        set[v.index()] || g.neighbors(v).iter().any(|&u| set[u.index()])
+    })
+}
+
+/// Whether `set` is an independent set of `g`: no edge has both endpoints
+/// in the set.
+pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    g.edges().all(|(u, v)| !(set[u.index()] && set[v.index()]))
+}
+
+/// Whether `set` is a vertex cover of `G²`, checked directly on `g`
+/// without materializing the square.
+///
+/// An edge of `G²` is uncovered iff some vertex pair at distance ≤ 2 has
+/// both endpoints outside the set, which happens iff either (a) a `G`-edge
+/// is uncovered, or (b) some vertex has two uncovered `G`-neighbors.
+pub fn is_vertex_cover_on_square(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    // (a) G-edges.
+    if !is_vertex_cover(g, set) {
+        return false;
+    }
+    // (b) two-paths u - w - v with u, v both uncovered.
+    for w in g.nodes() {
+        let uncovered = g
+            .neighbors(w)
+            .iter()
+            .filter(|&&u| !set[u.index()])
+            .count();
+        if uncovered >= 2 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `set` is a dominating set of `G²`, checked directly on `g`.
+pub fn is_dominating_set_on_square(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    g.nodes().all(|v| {
+        set[v.index()]
+            || two_hop_neighborhood(g, v)
+                .iter()
+                .any(|&u| set[u.index()])
+    })
+}
+
+/// Total weight of a vertex subset.
+pub fn set_weight(set: &[bool], weights: &[u64]) -> u64 {
+    assert_eq!(set.len(), weights.len());
+    set.iter()
+        .zip(weights)
+        .filter(|&(&m, _)| m)
+        .map(|(_, &w)| w)
+        .sum()
+}
+
+/// Size (cardinality) of a vertex subset.
+pub fn set_size(set: &[bool]) -> usize {
+    set.iter().filter(|&&m| m).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::power::square;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn vertex_cover_on_path() {
+        let g = generators::path(5);
+        assert!(is_vertex_cover(&g, &membership(5, &[NodeId(1), NodeId(3)])));
+        assert!(!is_vertex_cover(&g, &membership(5, &[NodeId(1)])));
+        assert!(is_vertex_cover(&g, &[true; 5]));
+    }
+
+    #[test]
+    fn dominating_set_on_star() {
+        let g = generators::star(6);
+        assert!(is_dominating_set(&g, &membership(6, &[NodeId(0)])));
+        assert!(!is_dominating_set(&g, &membership(6, &[NodeId(1)])));
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let g = generators::cycle(4);
+        assert!(is_independent_set(&g, &membership(4, &[NodeId(0), NodeId(2)])));
+        assert!(!is_independent_set(&g, &membership(4, &[NodeId(0), NodeId(1)])));
+        assert!(is_independent_set(&g, &membership(4, &[])));
+    }
+
+    #[test]
+    fn empty_set_covers_empty_graph() {
+        let g = Graph::empty(4);
+        assert!(is_vertex_cover(&g, &[false; 4]));
+        // but it does not dominate (isolated vertices must be in the set)
+        assert!(!is_dominating_set(&g, &[false; 4]));
+        assert!(is_dominating_set(&g, &[true; 4]));
+    }
+
+    #[test]
+    fn square_cover_check_matches_explicit_square() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let g = generators::gnp(18, 0.15, &mut rng);
+            let g2 = square(&g);
+            let set: Vec<bool> = (0..18).map(|_| rng.random::<f64>() < 0.6).collect();
+            assert_eq!(
+                is_vertex_cover_on_square(&g, &set),
+                is_vertex_cover(&g2, &set)
+            );
+            assert_eq!(
+                is_dominating_set_on_square(&g, &set),
+                is_dominating_set(&g2, &set)
+            );
+        }
+    }
+
+    #[test]
+    fn membership_roundtrip() {
+        let ids = vec![NodeId(1), NodeId(4)];
+        let mv = membership(6, &ids);
+        assert_eq!(members(&mv), ids);
+        assert_eq!(set_size(&mv), 2);
+    }
+
+    #[test]
+    fn set_weight_sums() {
+        let mv = membership(4, &[NodeId(0), NodeId(3)]);
+        assert_eq!(set_weight(&mv, &[5, 7, 9, 11]), 16);
+    }
+
+    #[test]
+    fn complement_of_vc_is_independent() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::gnp(15, 0.3, &mut rng);
+        // all vertices = trivially a VC; complement empty = independent
+        let all = vec![true; 15];
+        assert!(is_vertex_cover(&g, &all));
+        let none = vec![false; 15];
+        assert!(is_independent_set(&g, &none));
+    }
+}

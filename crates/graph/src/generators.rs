@@ -1,0 +1,352 @@
+//! Graph generators: deterministic families and seeded random models.
+//!
+//! These are the workloads used throughout the test suite and the benchmark
+//! harness. All random generators take an explicit `&mut impl Rng`, so every
+//! experiment in the workspace is reproducible from a seed.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// A path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i));
+    }
+    b.build()
+}
+
+/// A cycle on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n));
+    }
+    b.build()
+}
+
+/// A star: center `0` connected to leaves `1..n`.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId::from_index(i));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    b.add_clique(&nodes);
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` with sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            b.add_edge(NodeId::from_index(i), NodeId::from_index(a + j));
+        }
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of length `spine` with `legs` pendant
+/// vertices attached to each spine vertex.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let mut b = GraphBuilder::new(spine + spine * legs);
+    for i in 1..spine {
+        b.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i));
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(
+                NodeId::from_index(i),
+                NodeId::from_index(spine + i * legs + l),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n choose 2` edges appears
+/// independently with probability `p`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A connected `G(n, p)`-like graph: a uniform random spanning tree plus
+/// each remaining edge independently with probability `p`.
+///
+/// Guarantees connectivity, which many CONGEST algorithms (leader election,
+/// BFS-tree pipelining) assume.
+pub fn connected_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    // Random tree via random attachment to an earlier vertex, after a
+    // random relabeling so the tree is not biased toward low ids.
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_edge(NodeId::from_index(perm[i]), NodeId::from_index(perm[j]));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A uniform random recursive tree on `n` vertices.
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_edge(NodeId::from_index(perm[i]), NodeId::from_index(perm[j]));
+    }
+    b.build()
+}
+
+/// Barabási–Albert-style preferential attachment: each new vertex attaches
+/// to `m` existing vertices chosen proportionally to degree.
+///
+/// Produces the heavy-tailed degree distributions under which the clique
+/// structure of `G²` is most pronounced.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    // Repeated-endpoint list: sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<usize> = vec![0];
+    for v in 1..n {
+        let mut targets = Vec::new();
+        let k = m.min(v);
+        let mut guard = 0;
+        while targets.len() < k && guard < 100 * k {
+            guard += 1;
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        // Fallback: deterministic fill for pathological small cases.
+        let mut u = 0;
+        while targets.len() < k {
+            if u != v && !targets.contains(&u) {
+                targets.push(u);
+            }
+            u += 1;
+        }
+        for &t in &targets {
+            b.add_edge(NodeId::from_index(v), NodeId::from_index(t));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    b.build()
+}
+
+/// Disjoint union of `g` and `h`: vertices of `h` are shifted by
+/// `g.num_nodes()`.
+pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
+    let off = g.num_nodes();
+    let mut b = GraphBuilder::new(off + h.num_nodes());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for (u, v) in h.edges() {
+        b.add_edge(
+            NodeId::from_index(u.index() + off),
+            NodeId::from_index(v.index() + off),
+        );
+    }
+    b.build()
+}
+
+/// A cluster graph: `k` disjoint cliques of size `s` with one path edge
+/// linking consecutive cliques (vertex 0 of each clique).
+///
+/// A stress test for Algorithm 1's clique-harvesting phase: G² contains
+/// even larger cliques around the connector vertices.
+pub fn clique_chain(k: usize, s: usize) -> Graph {
+    assert!(s >= 1);
+    let mut b = GraphBuilder::new(k * s);
+    for c in 0..k {
+        let nodes: Vec<NodeId> = (0..s).map(|i| NodeId::from_index(c * s + i)).collect();
+        b.add_clique(&nodes);
+        if c + 1 < k {
+            b.add_edge(NodeId::from_index(c * s), NodeId::from_index((c + 1) * s));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_counts() {
+        let g = path(10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(0).num_nodes(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(8);
+        assert_eq!(g.num_edges(), 8);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn complete_counts() {
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.degree(NodeId(3)), 3);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 + 8);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_expected_density_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(100, 0.5, &mut rng);
+        let m = g.num_edges() as f64;
+        let expected = 4950.0 * 0.5;
+        assert!((m - expected).abs() < 400.0, "m={m} far from {expected}");
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 40] {
+            let g = connected_gnp(n, 0.02, &mut rng);
+            assert_eq!(connected_components(&g).num_components, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_tree(25, &mut rng);
+        assert_eq!(g.num_edges(), 24);
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn preferential_attachment_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = preferential_attachment(50, 2, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert!(g.num_edges() >= 49, "must at least connect every vertex");
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn disjoint_union_counts() {
+        let g = disjoint_union(&path(3), &cycle(4));
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 2 + 4);
+        assert_eq!(connected_components(&g).num_components, 2);
+    }
+
+    #[test]
+    fn clique_chain_structure() {
+        let g = clique_chain(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 6 + 2);
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+}

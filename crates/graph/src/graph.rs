@@ -1,0 +1,458 @@
+//! The core [`Graph`] type: a compact, immutable, undirected simple graph.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`].
+///
+/// Node identifiers are dense indices `0..n`. The newtype prevents
+/// accidentally mixing node indices with other integers (edge counts,
+/// weights, round numbers, ...).
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit into `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An immutable, undirected simple graph with dense vertex indices.
+///
+/// Neighbor lists are stored sorted, so adjacency queries
+/// ([`Graph::has_edge`]) are `O(log deg)` and neighbor iteration is ordered.
+/// Build one with [`Graph::from_edges`], [`GraphBuilder`], or a generator
+/// from [`crate::generators`].
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(NodeId(2)), 3);
+/// assert!(g.has_edge(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph on `n` vertices from an edge list.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree `Δ`, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Whether `{u, v}` is an edge. Self-queries return `false`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of all vertex degrees (twice the edge count).
+    pub fn degree_sum(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// The closed neighborhood `N[v] = N(v) ∪ {v}` of `v`, sorted.
+    pub fn closed_neighborhood(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree(v) + 1);
+        let mut inserted = false;
+        for &u in self.neighbors(v) {
+            if !inserted && v < u {
+                out.push(v);
+                inserted = true;
+            }
+            out.push(u);
+        }
+        if !inserted {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Returns the complement graph (no self-loops).
+    ///
+    /// Quadratic in `n`; intended for small graphs in tests and exact
+    /// solvers.
+    pub fn complement(&self) -> Graph {
+        let n = self.num_nodes();
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+                if !self.has_edge(u, v) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Checks whether the sorted vertex set `clique` induces a clique.
+    pub fn is_clique(&self, clique: &[NodeId]) -> bool {
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Counts triangles containing the edge `{u, v}` (common neighbors).
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.num_nodes(), self.num_edges())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and drops self-loops at [`GraphBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // duplicate, ignored
+/// b.add_edge(NodeId(1), NodeId(1)); // self-loop, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Appends `count` fresh vertices and returns the id of the first one.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.adj.len();
+        self.adj.resize(self.adj.len() + count, Vec::new());
+        NodeId::from_index(first)
+    }
+
+    /// Appends one fresh vertex and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_nodes(1)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are dropped silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            u.index() < self.adj.len() && v.index() < self.adj.len(),
+            "edge ({u:?}, {v:?}) out of range for n={}",
+            self.adj.len()
+        );
+        if u == v {
+            return;
+        }
+        self.adj[u.index()].push(v);
+        self.adj[v.index()].push(u);
+    }
+
+    /// Adds a path along the given vertex sequence.
+    pub fn add_path(&mut self, nodes: &[NodeId]) {
+        for w in nodes.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+    }
+
+    /// Adds all `|S| choose 2` edges among `nodes` (a clique).
+    pub fn add_clique(&mut self, nodes: &[NodeId]) {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+    }
+
+    /// Finalizes into an immutable [`Graph`], sorting and deduplicating
+    /// neighbor lists.
+    pub fn build(mut self) -> Graph {
+        let mut m = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        debug_assert!(m % 2 == 0);
+        Graph {
+            adj: self.adj,
+            num_edges: m / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn from_edges_dedupes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert_eq!(g.degree(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(
+            g.neighbors(NodeId(2)),
+            &[NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn closed_neighborhood_contains_self_sorted() {
+        let g = Graph::from_edges(5, &[(2, 0), (2, 4)]);
+        assert_eq!(
+            g.closed_neighborhood(NodeId(2)),
+            vec![NodeId(0), NodeId(2), NodeId(4)]
+        );
+        // isolated vertex
+        assert_eq!(g.closed_neighborhood(NodeId(3)), vec![NodeId(3)]);
+        // self smaller than all neighbors
+        assert_eq!(
+            g.closed_neighborhood(NodeId(0)),
+            vec![NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (1, 4)]);
+        let cc = g.complement().complement();
+        assert_eq!(g, cc);
+    }
+
+    #[test]
+    fn complement_edge_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(g.complement().num_edges(), 5 * 4 / 2 - 2);
+    }
+
+    #[test]
+    fn is_clique() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert!(g.is_clique(&[NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(!g.is_clique(&[NodeId(0), NodeId(1), NodeId(3)]));
+        assert!(g.is_clique(&[NodeId(3)]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn common_neighbors() {
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(
+            g.common_neighbors(NodeId(0), NodeId(1)),
+            vec![NodeId(2), NodeId(3)]
+        );
+        assert!(g.common_neighbors(NodeId(2), NodeId(3)).len() == 2);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let mut b = GraphBuilder::new(0);
+        let p0 = b.add_nodes(3);
+        assert_eq!(p0, NodeId(0));
+        let c0 = b.add_nodes(3);
+        b.add_path(&[NodeId(0), NodeId(1), NodeId(2)]);
+        b.add_clique(&[c0, NodeId(4), NodeId(5)]);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 2 + 3);
+        assert!(g.is_clique(&[NodeId(3), NodeId(4), NodeId(5)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_edge_out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let v = NodeId::from_index(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n m`, then one `u v` pair per line (0-based ids).
+//! Lines starting with `#` are comments. This is the interchange format
+//! the experiment harness uses to persist workloads.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader(String),
+    /// An edge line is malformed or out of range.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The edge count in the header does not match the body.
+    CountMismatch {
+        /// Edges declared in the header.
+        declared: usize,
+        /// Edges actually parsed.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(h) => write!(f, "bad header line: {h:?}"),
+            ParseError::BadEdge { line, content } => {
+                write!(f, "bad edge on line {line}: {content:?}")
+            }
+            ParseError::CountMismatch { declared, found } => {
+                write!(f, "header declares {declared} edges, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes `g` to the edge-list format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", g.num_nodes(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{} {}\n", u.0, v.0));
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+
+    let mut b = GraphBuilder::new(n);
+    let mut found = 0;
+    for (idx, line) in lines {
+        let mut parts = line.split_whitespace();
+        let bad = || ParseError::BadEdge {
+            line: idx + 1,
+            content: line.to_string(),
+        };
+        let u: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if u >= n || v >= n {
+            return Err(bad());
+        }
+        b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+        found += 1;
+    }
+    if found != m {
+        return Err(ParseError::CountMismatch {
+            declared: m,
+            found,
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::clique_chain(3, 4);
+        let text = to_edge_list(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# a comment\n3 2\n\n0 1\n# another\n1 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn bad_header() {
+        assert!(matches!(
+            parse_edge_list("oops\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(parse_edge_list(""), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_edge_and_range() {
+        assert!(matches!(
+            parse_edge_list("2 1\n0 x\n"),
+            Err(ParseError::BadEdge { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("2 1\n0 5\n"),
+            Err(ParseError::BadEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn count_mismatch() {
+        assert!(matches!(
+            parse_edge_list("3 5\n0 1\n"),
+            Err(ParseError::CountMismatch {
+                declared: 5,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::empty(4);
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+}

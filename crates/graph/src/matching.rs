@@ -1,0 +1,141 @@
+//! Maximal matchings.
+//!
+//! Taking both endpoints of a maximal matching is the classic
+//! 2-approximation for minimum vertex cover (Gavril, see [GJ79] in the
+//! paper); the matching size is also a lower bound on the optimum VC, which
+//! the benchmark harness uses to bound approximation ratios on graphs too
+//! large for the exact solver.
+
+use crate::{Graph, NodeId};
+
+/// A matching: a set of vertex-disjoint edges.
+#[derive(Clone, Debug, Default)]
+pub struct Matching {
+    /// The matched edges `(u, v)` with `u < v`.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Matching {
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Membership vector of all matched endpoints (a vertex cover if the
+    /// matching is maximal).
+    pub fn endpoints(&self, n: usize) -> Vec<bool> {
+        let mut out = vec![false; n];
+        for &(u, v) in &self.edges {
+            out[u.index()] = true;
+            out[v.index()] = true;
+        }
+        out
+    }
+
+    /// Checks that the edges are pairwise vertex-disjoint and exist in `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        let mut used = vec![false; g.num_nodes()];
+        for &(u, v) in &self.edges {
+            if !g.has_edge(u, v) || used[u.index()] || used[v.index()] {
+                return false;
+            }
+            used[u.index()] = true;
+            used[v.index()] = true;
+        }
+        true
+    }
+
+    /// Checks maximality: no `g`-edge has both endpoints unmatched.
+    pub fn is_maximal(&self, g: &Graph) -> bool {
+        let used = self.endpoints(g.num_nodes());
+        g.edges()
+            .all(|(u, v)| used[u.index()] || used[v.index()])
+    }
+}
+
+/// Greedily computes a maximal matching, scanning edges in sorted order.
+///
+/// Deterministic: the result depends only on the graph.
+pub fn maximal_matching(g: &Graph) -> Matching {
+    let mut used = vec![false; g.num_nodes()];
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        if !used[u.index()] && !used[v.index()] {
+            used[u.index()] = true;
+            used[v.index()] = true;
+            edges.push((u, v));
+        }
+    }
+    Matching { edges }
+}
+
+/// The 2-approximate vertex cover induced by a greedy maximal matching:
+/// both endpoints of every matched edge.
+pub fn two_approx_vertex_cover(g: &Graph) -> Vec<bool> {
+    maximal_matching(g).endpoints(g.num_nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{is_vertex_cover, set_size};
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matching_on_path() {
+        let g = generators::path(6);
+        let m = maximal_matching(&g);
+        assert!(m.is_valid(&g));
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.len(), 3); // greedy on a path takes alternate edges
+    }
+
+    #[test]
+    fn matching_on_empty() {
+        let g = Graph::empty(4);
+        let m = maximal_matching(&g);
+        assert!(m.is_empty());
+        assert!(m.is_valid(&g));
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn endpoints_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let g = generators::gnp(30, 0.1, &mut rng);
+            let vc = two_approx_vertex_cover(&g);
+            assert!(is_vertex_cover(&g, &vc));
+        }
+    }
+
+    #[test]
+    fn matching_is_lower_bound() {
+        // On K4, max matching = 2, opt VC = 3; greedy matching ≤ opt.
+        let g = generators::complete(4);
+        let m = maximal_matching(&g);
+        assert!(m.len() <= 3);
+        let vc = two_approx_vertex_cover(&g);
+        assert!(set_size(&vc) <= 2 * m.len());
+    }
+
+    #[test]
+    fn invalid_matching_detected() {
+        let g = generators::path(4);
+        let bad = Matching {
+            edges: vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))],
+        };
+        assert!(!bad.is_valid(&g));
+        let nonedge = Matching {
+            edges: vec![(NodeId(0), NodeId(2))],
+        };
+        assert!(!nonedge.is_valid(&g));
+    }
+}

@@ -1,0 +1,246 @@
+//! Graph powers: `G²`, `G^r`, and distance-bounded neighborhoods.
+//!
+//! The paper studies problems whose *feasibility* is defined on the square
+//! `G² = (V, F)` where `F = {{u,v} : 0 < dist_G(u,v) ≤ 2}`, while
+//! *communication* happens on `G`. This module computes powers centrally so
+//! that solutions produced by distributed algorithms can be validated.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::collections::VecDeque;
+
+/// Computes the square `G²` of `g`.
+///
+/// `{u, v}` is an edge of `G²` iff `u ≠ v` and `dist_G(u, v) ≤ 2`.
+///
+/// Runs in `O(Σ_v deg(v)²)` time, which is the size of the output in the
+/// worst case.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{Graph, NodeId};
+/// use pga_graph::power::square;
+///
+/// let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+/// let s2 = square(&star);
+/// // Leaves of a star are pairwise at distance 2: G² is a clique.
+/// assert_eq!(s2.num_edges(), 6);
+/// ```
+pub fn square(g: &Graph) -> Graph {
+    let n = g.num_nodes();
+    let mut b = GraphBuilder::new(n);
+    // mark[] based two-hop expansion: for each u, every neighbor and
+    // neighbor-of-neighbor with larger id gets an edge.
+    let mut mark = vec![false; n];
+    for u in g.nodes() {
+        let mut touched = Vec::new();
+        for &v in g.neighbors(u) {
+            if v > u && !mark[v.index()] {
+                mark[v.index()] = true;
+                touched.push(v);
+                b.add_edge(u, v);
+            }
+            for &w in g.neighbors(v) {
+                if w > u && !mark[w.index()] {
+                    mark[w.index()] = true;
+                    touched.push(w);
+                    b.add_edge(u, w);
+                }
+            }
+        }
+        for t in touched {
+            mark[t.index()] = false;
+        }
+    }
+    b.build()
+}
+
+/// Computes the `r`-th power `G^r` of `g`.
+///
+/// `{u, v}` is an edge of `G^r` iff `u ≠ v` and `dist_G(u, v) ≤ r`.
+/// `power(g, 1)` is `g` itself; `power(g, 0)` is edgeless.
+///
+/// Implemented as a depth-bounded BFS from every vertex.
+pub fn power(g: &Graph, r: usize) -> Graph {
+    if r == 2 {
+        return square(g);
+    }
+    let n = g.num_nodes();
+    let mut b = GraphBuilder::new(n);
+    if r == 0 {
+        return b.build();
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for u in g.nodes() {
+        // BFS from u up to depth r.
+        let mut touched = vec![u];
+        dist[u.index()] = 0;
+        queue.push_back(u);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v.index()];
+            if dv == r {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dv + 1;
+                    touched.push(w);
+                    queue.push_back(w);
+                    if w > u {
+                        b.add_edge(u, w);
+                    }
+                }
+            }
+        }
+        for t in touched {
+            dist[t.index()] = usize::MAX;
+        }
+    }
+    b.build()
+}
+
+/// Returns the sorted set of vertices at `G`-distance exactly 1 or 2
+/// from `v` (the `G²`-neighborhood of `v`, excluding `v`).
+pub fn two_hop_neighborhood(g: &Graph, v: NodeId) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for &u in g.neighbors(v) {
+        out.push(u);
+        out.extend(g.neighbors(u).iter().copied().filter(|&w| w != v));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Number of vertices within `G`-distance 2 of `v`, excluding `v`
+/// (the degree of `v` in `G²`).
+pub fn two_hop_degree(g: &Graph, v: NodeId) -> usize {
+    two_hop_neighborhood(g, v).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::bfs_distances;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Oracle: G^r via all-pairs BFS distances.
+    fn power_oracle(g: &Graph, r: usize) -> Graph {
+        let n = g.num_nodes();
+        let mut b = GraphBuilder::new(n);
+        for u in g.nodes() {
+            let dist = bfs_distances(g, u);
+            for v in g.nodes() {
+                if v > u {
+                    if let Some(d) = dist[v.index()] {
+                        if d >= 1 && d <= r {
+                            b.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn square_of_path() {
+        let g = generators::path(6);
+        let g2 = square(&g);
+        // Path edges: 5, plus distance-2 pairs: 4.
+        assert_eq!(g2.num_edges(), 9);
+        assert!(g2.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn square_of_cycle() {
+        let g = generators::cycle(6);
+        let g2 = square(&g);
+        assert_eq!(g2.num_edges(), 12);
+        assert!(g2.has_edge(NodeId(0), NodeId(2)));
+        assert!(g2.has_edge(NodeId(0), NodeId(4)));
+        assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn square_of_small_cycles_complete() {
+        // C4 and C5 squared are complete.
+        for n in [4usize, 5] {
+            let g2 = square(&generators::cycle(n));
+            assert_eq!(g2.num_edges(), n * (n - 1) / 2, "C{n}² must be complete");
+        }
+    }
+
+    #[test]
+    fn square_neighborhood_is_clique() {
+        // Paper §1: every G-neighborhood induces a clique in G².
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnp(30, 0.12, &mut rng);
+        let g2 = square(&g);
+        for v in g.nodes() {
+            let nb: Vec<NodeId> = g.neighbors(v).to_vec();
+            assert!(g2.is_clique(&nb), "N({v:?}) not a clique in G²");
+        }
+    }
+
+    #[test]
+    fn power_zero_and_one() {
+        let g = generators::cycle(7);
+        assert_eq!(power(&g, 0).num_edges(), 0);
+        assert_eq!(power(&g, 1), g);
+    }
+
+    #[test]
+    fn power_matches_oracle_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &n in &[1usize, 2, 8, 20] {
+            for &p in &[0.0, 0.1, 0.3] {
+                let g = generators::gnp(n, p, &mut rng);
+                for r in 0..5 {
+                    assert_eq!(
+                        power(&g, r),
+                        power_oracle(&g, r),
+                        "n={n} p={p} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_matches_power_two() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(25, 0.15, &mut rng);
+        assert_eq!(square(&g), power_oracle(&g, 2));
+    }
+
+    #[test]
+    fn high_power_of_connected_graph_is_complete() {
+        let g = generators::path(9);
+        let gp = power(&g, 8);
+        assert_eq!(gp.num_edges(), 9 * 8 / 2);
+    }
+
+    #[test]
+    fn two_hop_neighborhood_matches_square() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnp(20, 0.2, &mut rng);
+        let g2 = square(&g);
+        for v in g.nodes() {
+            assert_eq!(two_hop_neighborhood(&g, v), g2.neighbors(v).to_vec());
+            assert_eq!(two_hop_degree(&g, v), g2.degree(v));
+        }
+    }
+
+    #[test]
+    fn disconnected_components_stay_disconnected() {
+        // Two disjoint edges: square adds nothing across components.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let g2 = square(&g);
+        assert_eq!(g2.num_edges(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural graph properties used in the paper's analyses: triangle
+//! counts (the 5/3 algorithm's part 1 feeds on them), degeneracy, and the
+//! density blow-up from `G` to `G²` that quantifies the congestion
+//! obstacle.
+
+use crate::power::square;
+use crate::{Graph, NodeId};
+
+/// Counts the triangles of `g`.
+///
+/// `O(Σ deg²)` via neighbor-list intersections; each triangle counted
+/// once.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0;
+    for (u, v) in g.edges() {
+        // Common neighbors w with w > v > u count each triangle once.
+        count += g
+            .common_neighbors(u, v)
+            .into_iter()
+            .filter(|&w| w > v)
+            .count();
+    }
+    count
+}
+
+/// The degeneracy of `g`: the smallest `d` such that every subgraph has a
+/// vertex of degree ≤ `d` (computed by repeatedly removing minimum-degree
+/// vertices).
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(NodeId::from_index(v))).collect();
+    let mut removed = vec![false; n];
+    let mut degen = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| deg[v])
+            .expect("vertices remain");
+        degen = degen.max(deg[v]);
+        removed[v] = true;
+        for &u in g.neighbors(NodeId::from_index(v)) {
+            if !removed[u.index()] {
+                deg[u.index()] -= 1;
+            }
+        }
+    }
+    degen
+}
+
+/// The average clustering coefficient of `g` (0 for degree < 2 vertices).
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d < 2 {
+            continue;
+        }
+        let nb = g.neighbors(v);
+        let mut links = 0;
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if g.has_edge(a, b) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (d * (d - 1)) as f64;
+    }
+    total / n as f64
+}
+
+/// Density statistics of the `G → G²` transition: how much bigger the
+/// problem the paper solves is than the network it runs on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SquareBlowup {
+    /// Edges of `G`.
+    pub edges_g: usize,
+    /// Edges of `G²`.
+    pub edges_g2: usize,
+    /// Maximum degree of `G`.
+    pub max_degree_g: usize,
+    /// Maximum degree of `G²` (bounded by `Δ²`).
+    pub max_degree_g2: usize,
+}
+
+impl SquareBlowup {
+    /// The edge blow-up factor `|E(G²)| / |E(G)|`.
+    pub fn edge_factor(&self) -> f64 {
+        if self.edges_g == 0 {
+            return 1.0;
+        }
+        self.edges_g2 as f64 / self.edges_g as f64
+    }
+}
+
+/// Measures the `G → G²` blow-up.
+pub fn square_blowup(g: &Graph) -> SquareBlowup {
+    let g2 = square(g);
+    SquareBlowup {
+        edges_g: g.num_edges(),
+        edges_g2: g2.num_edges(),
+        max_degree_g: g.max_degree(),
+        max_degree_g2: g2.max_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangles_in_families() {
+        assert_eq!(triangle_count(&generators::complete(4)), 4);
+        assert_eq!(triangle_count(&generators::complete(5)), 10);
+        assert_eq!(triangle_count(&generators::cycle(5)), 0);
+        assert_eq!(triangle_count(&generators::cycle(3)), 1);
+        assert_eq!(triangle_count(&generators::star(10)), 0);
+    }
+
+    #[test]
+    fn squares_are_triangle_rich() {
+        // Every path of length 2 in G becomes a triangle in G².
+        let g = generators::path(5);
+        let g2 = square(&g);
+        assert_eq!(triangle_count(&g), 0);
+        assert!(triangle_count(&g2) >= 3);
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        assert_eq!(degeneracy(&generators::complete(6)), 5);
+        assert_eq!(degeneracy(&generators::star(10)), 1);
+        assert_eq!(degeneracy(&generators::cycle(8)), 2);
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+        // Trees are 1-degenerate.
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(5)
+        };
+        assert_eq!(degeneracy(&generators::random_tree(20, &mut rng)), 1);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((clustering_coefficient(&generators::complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&generators::star(8)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::empty(0)), 0.0);
+    }
+
+    #[test]
+    fn blowup_on_star_is_quadratic() {
+        let g = generators::star(11); // Δ = 10
+        let b = square_blowup(&g);
+        assert_eq!(b.edges_g, 10);
+        assert_eq!(b.edges_g2, 55); // K11
+        assert!(b.edge_factor() > 5.0);
+        assert_eq!(b.max_degree_g2, 10);
+    }
+
+    #[test]
+    fn blowup_bounded_by_delta_squared() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let g = generators::gnp(30, 0.1, &mut rng);
+        let b = square_blowup(&g);
+        assert!(b.max_degree_g2 <= b.max_degree_g * b.max_degree_g + b.max_degree_g);
+    }
+}

@@ -1,0 +1,103 @@
+//! Induced subgraphs with node-index mappings.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// An induced subgraph together with the mapping back to the host graph.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph with vertices relabeled `0..k`.
+    pub graph: Graph,
+    /// `to_host[i]` is the host-graph id of subgraph vertex `i`.
+    pub to_host: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a subgraph vertex back to the host graph.
+    pub fn host_id(&self, sub: NodeId) -> NodeId {
+        self.to_host[sub.index()]
+    }
+
+    /// Lifts a membership vector over the subgraph into one over the host
+    /// graph (vertices outside the subgraph are `false`).
+    pub fn lift(&self, sub_set: &[bool], host_n: usize) -> Vec<bool> {
+        assert_eq!(sub_set.len(), self.graph.num_nodes());
+        let mut out = vec![false; host_n];
+        for (i, &m) in sub_set.iter().enumerate() {
+            if m {
+                out[self.to_host[i].index()] = true;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the subgraph of `g` induced by the vertex set `keep`
+/// (membership vector).
+pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> InducedSubgraph {
+    assert_eq!(keep.len(), g.num_nodes(), "membership vector length mismatch");
+    let mut to_host = Vec::new();
+    let mut to_sub = vec![usize::MAX; g.num_nodes()];
+    for v in g.nodes() {
+        if keep[v.index()] {
+            to_sub[v.index()] = to_host.len();
+            to_host.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(to_host.len());
+    for (u, v) in g.edges() {
+        let (su, sv) = (to_sub[u.index()], to_sub[v.index()]);
+        if su != usize::MAX && sv != usize::MAX {
+            b.add_edge(NodeId::from_index(su), NodeId::from_index(sv));
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        to_host,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::membership;
+    use crate::generators;
+
+    #[test]
+    fn induced_subgraph_of_cycle() {
+        let g = generators::cycle(6);
+        let keep = membership(6, &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
+        let s = induced_subgraph(&g, &keep);
+        assert_eq!(s.graph.num_nodes(), 4);
+        // Edges kept: (0,1), (1,2). Vertex 4 isolated.
+        assert_eq!(s.graph.num_edges(), 2);
+        assert_eq!(s.host_id(NodeId(3)), NodeId(4));
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = generators::complete(4);
+        let s = induced_subgraph(&g, &[false; 4]);
+        assert_eq!(s.graph.num_nodes(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn full_selection_is_identity() {
+        let g = generators::grid(3, 3);
+        let s = induced_subgraph(&g, &[true; 9]);
+        assert_eq!(s.graph, g);
+        for v in g.nodes() {
+            assert_eq!(s.host_id(v), v);
+        }
+    }
+
+    #[test]
+    fn lift_roundtrip() {
+        let g = generators::path(5);
+        let keep = membership(5, &[NodeId(1), NodeId(2), NodeId(4)]);
+        let s = induced_subgraph(&g, &keep);
+        let sub_set = vec![true, false, true]; // host 1 and 4
+        let lifted = s.lift(&sub_set, 5);
+        assert_eq!(lifted, membership(5, &[NodeId(1), NodeId(4)]));
+    }
+}

@@ -1,0 +1,232 @@
+//! BFS, connected components, distances and related traversal utilities.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; `None` for unreachable vertices.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect("queued vertex has a distance");
+        for &w in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree rooted at `root`.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The root vertex.
+    pub root: NodeId,
+    /// `parent[v]` is the BFS parent of `v`; `None` for the root and for
+    /// vertices unreachable from the root.
+    pub parent: Vec<Option<NodeId>>,
+    /// `depth[v]` is the BFS distance from the root; `None` if unreachable.
+    pub depth: Vec<Option<usize>>,
+}
+
+impl BfsTree {
+    /// Height of the tree: maximum depth over reachable vertices.
+    pub fn height(&self) -> usize {
+        self.depth.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Children lists derived from the parent array.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[p.index()].push(NodeId::from_index(i));
+            }
+        }
+        ch
+    }
+}
+
+/// Builds a BFS tree from `root`, breaking ties toward smaller neighbor ids
+/// (neighbor lists are sorted).
+pub fn bfs_tree(g: &Graph, root: NodeId) -> BfsTree {
+    let n = g.num_nodes();
+    let mut parent = vec![None; n];
+    let mut depth = vec![None; n];
+    let mut queue = VecDeque::new();
+    depth[root.index()] = Some(0);
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let dv = depth[v.index()].expect("queued vertex has a depth");
+        for &w in g.neighbors(v) {
+            if depth[w.index()].is_none() {
+                depth[w.index()] = Some(dv + 1);
+                parent[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree {
+        root,
+        parent,
+        depth,
+    }
+}
+
+/// Result of a connected-components computation.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `component[v]` is the 0-based component index of `v`.
+    pub component: Vec<usize>,
+    /// Number of connected components.
+    pub num_components: usize,
+}
+
+impl Components {
+    /// The vertex sets of each component.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.num_components];
+        for (i, &c) in self.component.iter().enumerate() {
+            out[c].push(NodeId::from_index(i));
+        }
+        out
+    }
+}
+
+/// Computes connected components via repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut component = vec![usize::MAX; n];
+    let mut num = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if component[s] != usize::MAX {
+            continue;
+        }
+        component[s] = num;
+        queue.push_back(NodeId::from_index(s));
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if component[w.index()] == usize::MAX {
+                    component[w.index()] = num;
+                    queue.push_back(w);
+                }
+            }
+        }
+        num += 1;
+    }
+    Components {
+        component,
+        num_components: num,
+    }
+}
+
+/// Whether `g` is connected. The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).num_components == 1
+}
+
+/// Eccentricity of `v`: maximum distance to a reachable vertex.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    bfs_distances(g, v)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Diameter of `g`: maximum eccentricity over all vertices.
+///
+/// Returns `None` for a disconnected graph. Runs all-pairs BFS, so intended
+/// for benchmark-scale graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.num_nodes() == 0 {
+        return Some(0);
+    }
+    if !is_connected(g) {
+        return None;
+    }
+    Some(
+        g.nodes()
+            .map(|v| eccentricity(g, v))
+            .max()
+            .expect("nonempty graph"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn bfs_tree_structure() {
+        let g = generators::star(5);
+        let t = bfs_tree(&g, NodeId(0));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.parent[3], Some(NodeId(0)));
+        assert_eq!(t.parent[0], None);
+        assert_eq!(t.children()[0].len(), 4);
+    }
+
+    #[test]
+    fn bfs_tree_depths_match_distances() {
+        let g = generators::grid(4, 5);
+        let t = bfs_tree(&g, NodeId(7));
+        let d = bfs_distances(&g, NodeId(7));
+        assert_eq!(t.depth, d);
+    }
+
+    #[test]
+    fn components_of_union() {
+        let g = generators::disjoint_union(&generators::path(3), &generators::cycle(3));
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 2);
+        let groups = c.groups();
+        assert_eq!(groups[0].len() + groups[1].len(), 6);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&generators::complete(5)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn diameter_of_families() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(6)), Some(1));
+        assert_eq!(diameter(&generators::star(6)), Some(2));
+        assert_eq!(diameter(&Graph::empty(2)), None);
+        assert_eq!(diameter(&Graph::empty(0)), Some(0));
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, NodeId(3)), 3);
+        assert_eq!(eccentricity(&g, NodeId(0)), 6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Vertex weights for the weighted problem variants (MWVC, MWDS).
+
+use crate::{Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// A vector of non-negative integer vertex weights.
+///
+/// The paper assumes every weight fits in `O(log n)` bits; `u64` is ample
+/// for benchmark-scale graphs while keeping arithmetic exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexWeights(Vec<u64>);
+
+impl VertexWeights {
+    /// Uniform weight 1 on `n` vertices (the unweighted case embedded in
+    /// the weighted one).
+    pub fn uniform(n: usize) -> Self {
+        VertexWeights(vec![1; n])
+    }
+
+    /// Wraps an explicit weight vector.
+    pub fn from_vec(w: Vec<u64>) -> Self {
+        VertexWeights(w)
+    }
+
+    /// Uniformly random weights in `range` (inclusive lower, exclusive
+    /// upper).
+    pub fn random(n: usize, range: std::ops::Range<u64>, rng: &mut impl Rng) -> Self {
+        VertexWeights((0..n).map(|_| rng.random_range(range.clone())).collect())
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> u64 {
+        self.0[v.index()]
+    }
+
+    /// The raw weight slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Total weight of a membership-vector subset.
+    pub fn subset_weight(&self, set: &[bool]) -> u64 {
+        assert_eq!(set.len(), self.0.len());
+        self.0
+            .iter()
+            .zip(set)
+            .filter(|&(_, &m)| m)
+            .map(|(&w, _)| w)
+            .sum()
+    }
+
+    /// Total weight of all vertices.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Checks that the weight vector matches the graph size.
+    pub fn matches(&self, g: &Graph) -> bool {
+        self.0.len() == g.num_nodes()
+    }
+}
+
+impl std::ops::Index<NodeId> for VertexWeights {
+    type Output = u64;
+    fn index(&self, v: NodeId) -> &u64 {
+        &self.0[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights() {
+        let w = VertexWeights::uniform(5);
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.get(NodeId(3)), 1);
+        assert_eq!(w[NodeId(0)], 1);
+    }
+
+    #[test]
+    fn subset_weight() {
+        let w = VertexWeights::from_vec(vec![2, 3, 5, 7]);
+        assert_eq!(w.subset_weight(&[true, false, true, false]), 7);
+        assert_eq!(w.subset_weight(&[false; 4]), 0);
+        assert_eq!(w.total(), 17);
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = VertexWeights::random(100, 1..10, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| (1..10).contains(&x)));
+        assert_eq!(w.len(), 100);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the graph substrate.
+
+use pga_graph::cover::{is_independent_set, is_vertex_cover, membership, members};
+use pga_graph::power::{power, square, two_hop_neighborhood};
+use pga_graph::traversal::{bfs_distances, connected_components, is_connected};
+use pga_graph::{generators, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A random edge set over `n ≤ 16` vertices.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..16).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..40);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Building from any edge list yields a simple graph: sorted unique
+    /// neighbor lists, symmetric adjacency, consistent edge count.
+    #[test]
+    fn builder_produces_simple_graph((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let mut count = 0;
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            for &u in nb {
+                prop_assert!(u != v, "no self-loops");
+                prop_assert!(g.has_edge(v, u) && g.has_edge(u, v));
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, 2 * g.num_edges());
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distance_lipschitz((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let d = bfs_distances(&g, NodeId(0));
+        for (u, v) in g.edges() {
+            match (d[u.index()], d[v.index()]) {
+                (Some(a), Some(b)) => {
+                    prop_assert!(a.abs_diff(b) <= 1, "adjacent distances differ ≤ 1)");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "an edge cannot cross reachability"),
+            }
+        }
+    }
+
+    /// The square equals distance-filtering: {u,v} ∈ G² iff dist ≤ 2.
+    #[test]
+    fn square_is_distance_two((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let g2 = square(&g);
+        for u in g.nodes() {
+            let d = bfs_distances(&g, u);
+            for v in g.nodes() {
+                if v <= u { continue; }
+                let within2 = matches!(d[v.index()], Some(1) | Some(2));
+                prop_assert_eq!(g2.has_edge(u, v), within2, "{:?}-{:?}", u, v);
+            }
+        }
+    }
+
+    /// Power composition: (G²)² = G⁴.
+    #[test]
+    fn square_of_square_is_fourth_power((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        prop_assert_eq!(square(&square(&g)), power(&g, 4));
+    }
+
+    /// Two-hop neighborhoods agree with the square's adjacency.
+    #[test]
+    fn two_hop_consistency((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let g2 = square(&g);
+        for v in g.nodes() {
+            prop_assert_eq!(two_hop_neighborhood(&g, v), g2.neighbors(v).to_vec());
+        }
+    }
+
+    /// Complement of any vertex cover is an independent set and vice versa.
+    #[test]
+    fn cover_independence_duality((n, edges) in arb_edges(), mask in any::<u32>()) {
+        let g = Graph::from_edges(n, &edges);
+        let set: Vec<bool> = (0..n).map(|i| mask >> (i % 32) & 1 == 1).collect();
+        let comp: Vec<bool> = set.iter().map(|&b| !b).collect();
+        prop_assert_eq!(is_vertex_cover(&g, &set), is_independent_set(&g, &comp));
+    }
+
+    /// Components partition the vertex set and are closed under edges.
+    #[test]
+    fn components_partition((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let c = connected_components(&g);
+        prop_assert!(c.component.iter().all(|&x| x < c.num_components));
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.component[u.index()], c.component[v.index()]);
+        }
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// connected_gnp always yields connected graphs; square preserves
+    /// connectivity.
+    #[test]
+    fn connectivity_preserved_by_square(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(12, 0.05, &mut rng);
+        prop_assert!(is_connected(&g));
+        prop_assert!(is_connected(&square(&g)));
+    }
+
+    /// membership/members round-trip.
+    #[test]
+    fn membership_roundtrip(ids in proptest::collection::btree_set(0u32..20, 0..10)) {
+        let ids: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+        let mv = membership(20, &ids);
+        prop_assert_eq!(members(&mv), ids);
+    }
+
+    /// Edge-list serialization round-trips.
+    #[test]
+    fn io_roundtrip((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges);
+        let text = pga_graph::io::to_edge_list(&g);
+        prop_assert_eq!(pga_graph::io::parse_edge_list(&text).unwrap(), g);
+    }
+
+    /// GraphBuilder add_clique really makes a clique in the final graph.
+    #[test]
+    fn builder_clique(k in 1usize..7) {
+        let mut b = GraphBuilder::new(k + 2);
+        let nodes: Vec<NodeId> = (0..k).map(NodeId::from_index).collect();
+        b.add_clique(&nodes);
+        let g = b.build();
+        prop_assert!(g.is_clique(&nodes));
+        prop_assert_eq!(g.num_edges(), k * (k - 1) / 2);
+    }
+}

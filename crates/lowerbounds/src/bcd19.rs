@@ -1,0 +1,263 @@
+//! The [BCD+19] dominating-set lower-bound family `G_{x,y}` (Figure 4).
+//!
+//! Reconstructed from the paper's description:
+//!
+//! * four **row sets** `A₁, A₂, B₁, B₂` of `k` independent vertices;
+//! * `2 log₂ k` **bit gadgets**, 6-cycles `t_A — f_A — u_A — t_B — f_B —
+//!   u_B — t_A` (group 1 for `(A₁, B₁)`, group 2 for `(A₂, B₂)`); the
+//!   `u` vertices have no outside edges, so every 6-cycle forces at least
+//!   two dominators, and the antipodal pairs `{t_A, t_B}`, `{f_A, f_B}`,
+//!   `{u_A, u_B}` each dominate the whole cycle;
+//! * row vertex `a₁ⁱ` is wired to the **complement** of the binary
+//!   representation of `i−1`: to `t^j` when bit `j` is 0 and `f^j` when
+//!   it is 1 (`a₁¹` is adjacent to all `t` vertices, as in the paper);
+//! * input edges `{a₁ⁱ, a₂ʲ}` iff `x_{ij} = 1` and `{b₁ⁱ, b₂ʲ}` iff
+//!   `y_{ij} = 1` (note: **1**, the opposite convention from the MVC
+//!   family).
+//!
+//! **Predicate** (verified exhaustively at `k = 2`, randomly at `k = 4`):
+//! `G_{x,y}` has a dominating set of size `4 log₂ k + 2` **iff**
+//! `DISJ(x, y) = false`. Choosing antipodal pairs by the bits of a
+//! witness `(i, j)` dominates every row vertex except `a₁ⁱ, b₁ⁱ, a₂ʲ,
+//! b₂ʲ`; the two extra vertices `a₁ⁱ` and `b₁ⁱ` dominate themselves and —
+//! through the input edges that exist exactly when `x_{ij} = y_{ij} = 1`
+//! — the remaining `a₂ʲ` and `b₂ʲ`.
+
+use crate::disjointness::{DisjInstance, PartitionedGraph};
+use pga_graph::{Graph, GraphBuilder, NodeId};
+
+/// Vertex layout of a constructed BCD19 `G_{x,y}`.
+#[derive(Clone, Debug)]
+pub struct Bcd19Graph {
+    /// The graph with its Alice/Bob partition.
+    pub partitioned: PartitionedGraph,
+    /// `k`.
+    pub k: usize,
+    /// Row-vertex ids per row set (`A₁, A₂, B₁, B₂`).
+    pub rows: [Vec<NodeId>; 4],
+    /// Group-1 bit gadgets `(t_A, f_A, u_A, t_B, f_B, u_B)`.
+    pub bits1: Vec<(NodeId, NodeId, NodeId, NodeId, NodeId, NodeId)>,
+    /// Group-2 bit gadgets.
+    pub bits2: Vec<(NodeId, NodeId, NodeId, NodeId, NodeId, NodeId)>,
+}
+
+/// Row indices (same convention as [`crate::ckp17::row`]).
+pub mod row {
+    /// Row set `A₁`.
+    pub const A1: usize = 0;
+    /// Row set `A₂`.
+    pub const A2: usize = 1;
+    /// Row set `B₁`.
+    pub const B1: usize = 2;
+    /// Row set `B₂`.
+    pub const B2: usize = 3;
+}
+
+impl Bcd19Graph {
+    /// The predicate threshold `4 log₂ k + 2`.
+    pub fn ds_budget(&self) -> usize {
+        4 * self.k.ilog2() as usize + 2
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+
+    /// Membership vector of bit-gadget vertices.
+    pub fn bit_vertex_set(&self) -> Vec<bool> {
+        let mut is_bit = vec![false; self.graph().num_nodes()];
+        for &(a, b, c, d, e, f) in self.bits1.iter().chain(&self.bits2) {
+            for v in [a, b, c, d, e, f] {
+                is_bit[v.index()] = true;
+            }
+        }
+        is_bit
+    }
+
+    /// Edges incident on bit-gadget vertices.
+    pub fn bit_incident_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let is_bit = self.bit_vertex_set();
+        self.graph()
+            .edges()
+            .filter(|&(u, v)| is_bit[u.index()] || is_bit[v.index()])
+            .collect()
+    }
+
+    /// Whether `{u, v}` is an input (x/y-dependent) edge.
+    pub fn is_input_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let side = |r1: usize, r2: usize| {
+            (self.rows[r1].contains(&u) && self.rows[r2].contains(&v))
+                || (self.rows[r1].contains(&v) && self.rows[r2].contains(&u))
+        };
+        side(row::A1, row::A2) || side(row::B1, row::B2)
+    }
+}
+
+/// Builds the Figure-4 family for a disjointness instance.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two with `k ≥ 2`.
+pub fn build(inst: &DisjInstance) -> Bcd19Graph {
+    let k = inst.k;
+    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    let logk = k.ilog2() as usize;
+
+    let mut b = GraphBuilder::new(0);
+    let rows: [Vec<NodeId>; 4] = std::array::from_fn(|_| (0..k).map(|_| b.add_node()).collect());
+
+    // 6-cycles t_A — f_A — u_A — t_B — f_B — u_B — t_A.
+    let make_bits = |b: &mut GraphBuilder| {
+        (0..logk)
+            .map(|_| {
+                let t_a = b.add_node();
+                let f_a = b.add_node();
+                let u_a = b.add_node();
+                let t_b = b.add_node();
+                let f_b = b.add_node();
+                let u_b = b.add_node();
+                b.add_path(&[t_a, f_a, u_a, t_b, f_b, u_b]);
+                b.add_edge(u_b, t_a);
+                (t_a, f_a, u_a, t_b, f_b, u_b)
+            })
+            .collect::<Vec<_>>()
+    };
+    let bits1 = make_bits(&mut b);
+    let bits2 = make_bits(&mut b);
+
+    // Complement wiring: a^i — t^j iff bit j of i−1 is 0.
+    let wire = |b: &mut GraphBuilder,
+                vertices: &[NodeId],
+                bits: &[(NodeId, NodeId, NodeId, NodeId, NodeId, NodeId)],
+                a_side: bool| {
+        for (i, &v) in vertices.iter().enumerate() {
+            for (j, &(t_a, f_a, _ua, t_b, f_b, _ub)) in bits.iter().enumerate() {
+                let (t, f) = if a_side { (t_a, f_a) } else { (t_b, f_b) };
+                if i >> j & 1 == 0 {
+                    b.add_edge(v, t);
+                } else {
+                    b.add_edge(v, f);
+                }
+            }
+        }
+    };
+    wire(&mut b, &rows[row::A1], &bits1, true);
+    wire(&mut b, &rows[row::B1], &bits1, false);
+    wire(&mut b, &rows[row::A2], &bits2, true);
+    wire(&mut b, &rows[row::B2], &bits2, false);
+
+    // Input edges iff the bit is 1.
+    for i in 0..k {
+        for j in 0..k {
+            if inst.x_bit(i, j) {
+                b.add_edge(rows[row::A1][i], rows[row::A2][j]);
+            }
+            if inst.y_bit(i, j) {
+                b.add_edge(rows[row::B1][i], rows[row::B2][j]);
+            }
+        }
+    }
+
+    let graph = b.build();
+    let mut alice = vec![false; graph.num_nodes()];
+    for &v in rows[row::A1].iter().chain(&rows[row::A2]) {
+        alice[v.index()] = true;
+    }
+    for &(t_a, f_a, u_a, _tb, _fb, _ub) in bits1.iter().chain(&bits2) {
+        for v in [t_a, f_a, u_a] {
+            alice[v.index()] = true;
+        }
+    }
+
+    Bcd19Graph {
+        partitioned: PartitionedGraph { graph, alice },
+        k,
+        rows,
+        bits1,
+        bits2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::mds::solve_mds_with_budget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn predicate_holds(inst: &DisjInstance) -> bool {
+        let g = build(inst);
+        solve_mds_with_budget(g.graph(), g.ds_budget()).is_some()
+    }
+
+    #[test]
+    fn vertex_and_cut_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let g = build(&inst);
+            let logk = k.ilog2() as usize;
+            assert_eq!(g.graph().num_nodes(), 4 * k + 12 * logk);
+            // Two crossing edges per 6-cycle.
+            assert_eq!(g.partitioned.cut_size(), 4 * logk, "k={k}");
+        }
+    }
+
+    #[test]
+    fn predicate_matches_disjointness_exhaustive_k2() {
+        for inst in DisjInstance::enumerate_all(2) {
+            assert_eq!(
+                predicate_holds(&inst),
+                !inst.disjoint(),
+                "x={:?} y={:?}",
+                inst.x,
+                inst.y
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_matches_disjointness_random_k4() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            let yes = DisjInstance::random_intersecting(4, 0.4, &mut rng);
+            assert!(predicate_holds(&yes));
+            let no = DisjInstance::random_disjoint(4, 0.4, &mut rng);
+            assert!(!predicate_holds(&no));
+        }
+    }
+
+    #[test]
+    fn a11_connected_to_all_t() {
+        // The paper's example: a₁¹ (index 0) is adjacent to every t_{A1}.
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = DisjInstance::random(4, 0.5, &mut rng);
+        let g = build(&inst);
+        for &(t_a, _f, _u, _tb, _fb, _ub) in &g.bits1 {
+            assert!(g.graph().has_edge(g.rows[row::A1][0], t_a));
+        }
+    }
+
+    #[test]
+    fn u_vertices_have_no_row_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = DisjInstance::random(4, 0.5, &mut rng);
+        let g = build(&inst);
+        for &(_t, _f, u_a, _tb, _fb, u_b) in g.bits1.iter().chain(&g.bits2) {
+            assert_eq!(g.graph().degree(u_a), 2, "u vertices are cycle-only");
+            assert_eq!(g.graph().degree(u_b), 2);
+        }
+    }
+
+    #[test]
+    fn input_locality() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = DisjInstance::random(4, 0.5, &mut rng);
+        let mut x2 = base.clone();
+        x2.x = DisjInstance::random(4, 0.5, &mut rng).x;
+        assert!(build(&base)
+            .partitioned
+            .input_locality_ok(&build(&x2).partitioned, true));
+    }
+}

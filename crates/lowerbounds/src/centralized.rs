@@ -1,0 +1,138 @@
+//! Section 8 and Theorem 26: centralized hardness reductions.
+//!
+//! * **Theorem 44**: replacing every edge of `G` with a 3-vertex dangling
+//!   path gives `H` with `MVC(H²) = MVC(G) + 2|E(G)|` — so `G²`-MVC is
+//!   NP-complete, and a sufficiently fine FPTAS on `H²` would recover the
+//!   exact MVC of `G` (the `ε = 1/(3|E|)` argument).
+//! * **Theorem 45**: doing the same with *merged* dangling gadgets gives
+//!   `MDS(H²) = MDS(G) + 1` — transferring Feige's `(1−ε)·ln n`
+//!   inapproximability to `G²`-MDS.
+//! * **Theorem 26** uses the Theorem-44 reduction quantitatively:
+//!   `OPT(H²) = OPT(G) + 2m` makes a distributed `(1+ε)`-approximation on
+//!   squares simulate a constant-factor approximation on `G` itself.
+//!
+//! Both equalities are verified on random graphs in the tests and in
+//! experiment E11.
+
+use crate::gadgets::attach_dangling_path;
+use pga_graph::{Graph, GraphBuilder, NodeId};
+
+/// The Theorem 44 reduction: every edge `{u, v}` of `g` is replaced by a
+/// dangling path `p¹ — p² — p³` with `p¹` adjacent to `u` and `v`.
+///
+/// Returns the gadget graph `H`; `H` has `n + 3m` vertices and satisfies
+/// `MVC(H²) = MVC(G) + 2m` (and `OPT(H²) = OPT(G) + 2m` for Theorem 26).
+pub fn dangling_path_reduction(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        attach_dangling_path(&mut b, u, v);
+    }
+    b.build()
+}
+
+/// The Theorem 45 reduction: one *merged* gadget for all edges — each
+/// edge contributes a 2-vertex stub `p¹ — p²` (with `p¹` adjacent to both
+/// endpoints) and all stubs share a common 3-vertex tail.
+///
+/// Returns `(H, tail_third_vertex)`; `H` satisfies `MDS(H²) = MDS(G) + 1`
+/// (the single extra vertex being the shared tail's `DP_E[3]`).
+pub fn merged_dangling_reduction(g: &Graph) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new(g.num_nodes());
+    let tail = crate::gadgets::MergedGadget::new(&mut b);
+    for (u, v) in g.edges() {
+        // A stub whose head is adjacent to both endpoints.
+        let p1 = b.add_node();
+        let p2 = b.add_node();
+        b.add_edge(p1, u);
+        b.add_edge(p1, v);
+        b.add_edge(p1, p2);
+        b.add_edge(p2, tail.p3);
+    }
+    (b.build(), tail.p3)
+}
+
+/// The FPTAS-refutation arithmetic of Theorem 44: with
+/// `ε = 1/(3m)`, a `(1+ε)`-approximation on `H²` returns a cover of size
+/// at most `OPT(H²) + α` with `α < 1`, i.e. it *is* optimal. Returns the
+/// ε to use for a graph with `m` edges.
+pub fn fptas_refutation_eps(m: usize) -> f64 {
+    1.0 / (3.0 * m.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::mds::mds_size;
+    use pga_exact::vc::mvc_size;
+    use pga_graph::generators;
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem44_offset_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..8 {
+            let g = generators::gnp(9, 0.3, &mut rng);
+            let h = dangling_path_reduction(&g);
+            assert_eq!(h.num_nodes(), g.num_nodes() + 3 * g.num_edges());
+            let h2 = square(&h);
+            assert_eq!(
+                mvc_size(&h2),
+                mvc_size(&g) + 2 * g.num_edges(),
+                "G: {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem44_offset_on_structured_graphs() {
+        for g in [
+            generators::cycle(7),
+            generators::star(6),
+            generators::complete(5),
+            generators::path(8),
+        ] {
+            let h = dangling_path_reduction(&g);
+            let h2 = square(&h);
+            assert_eq!(mvc_size(&h2), mvc_size(&g) + 2 * g.num_edges());
+        }
+    }
+
+    #[test]
+    fn theorem45_offset_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..6 {
+            let g = generators::connected_gnp(8, 0.25, &mut rng);
+            let (h, _tail) = merged_dangling_reduction(&g);
+            let h2 = square(&h);
+            assert_eq!(mds_size(&h2), mds_size(&g) + 1, "G: {g:?}");
+        }
+    }
+
+    #[test]
+    fn theorem45_offset_on_structured_graphs() {
+        for g in [generators::cycle(9), generators::star(7), generators::grid(2, 4)] {
+            let (h, _tail) = merged_dangling_reduction(&g);
+            let h2 = square(&h);
+            assert_eq!(mds_size(&h2), mds_size(&g) + 1);
+        }
+    }
+
+    #[test]
+    fn fptas_eps_small_enough() {
+        // (1 + ε)(OPT + 2m) < OPT + 2m + 1 for ε = 1/(3m) and OPT ≤ n ≤ m+1.
+        let m = 20;
+        let eps = fptas_refutation_eps(m);
+        let opt = 10.0;
+        assert!((1.0 + eps) * (opt + 2.0 * m as f64) < opt + 2.0 * m as f64 + 1.0);
+    }
+
+    #[test]
+    fn empty_graph_reductions() {
+        let g = Graph::empty(3);
+        assert_eq!(dangling_path_reduction(&g).num_nodes(), 3);
+        let (h, _p) = merged_dangling_reduction(&g);
+        assert_eq!(h.num_nodes(), 6); // 3 originals + bare tail
+    }
+}

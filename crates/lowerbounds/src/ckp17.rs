@@ -1,0 +1,295 @@
+//! The [CKP17] vertex-cover lower-bound family `G_{x,y}` (Figure 1).
+//!
+//! The family underlies the paper's Theorems 20 and 22. Reconstructed
+//! from the paper's description:
+//!
+//! * four **row cliques** `A₁, A₂, B₁, B₂` of size `k` each;
+//! * `2 log₂ k` **bit gadgets**, 4-cycles `t_{A}ⁱ — f_{A}ⁱ — t_{B}ⁱ —
+//!   f_{B}ⁱ — t_{A}ⁱ` (one group for `(A₁, B₁)`, one for `(A₂, B₂)`); the
+//!   only 2-vertex covers of a 4-cycle are its antipodal pairs, here
+//!   `{t_A, t_B}` and `{f_A, f_B}` — covering a bit consistently on both
+//!   sides;
+//! * row vertex `a₁ⁱ` is wired to `t^j` when bit `j` of `i−1` is 1 and to
+//!   `f^j` otherwise (same for the other rows with their gadget group);
+//! * input edges `{a₁ⁱ, a₂ʲ}` iff `x_{ij} = 0` and `{b₁ⁱ, b₂ʲ}` iff
+//!   `y_{ij} = 0`.
+//!
+//! **Predicate** (verified exhaustively for `k = 2` and randomly for
+//! `k = 4` in the tests): `G_{x,y}` has a vertex cover of size
+//! `W = 4(k−1) + 4 log₂ k` **iff** `DISJ(x, y) = false`. A budget-`W`
+//! cover must leave one vertex per clique uncovered and pick one antipodal
+//! pair per 4-cycle; the wiring forces the uncovered `A₁`/`B₁` indices to
+//! coincide (likewise `A₂`/`B₂`), and the uncovered pair's input edges
+//! must be absent — which says `x_{ij} = y_{ij} = 1` for some `(i, j)`.
+
+use crate::disjointness::{DisjInstance, PartitionedGraph};
+use pga_graph::{Graph, GraphBuilder, NodeId};
+
+/// Vertex layout of a constructed `G_{x,y}`.
+#[derive(Clone, Debug)]
+pub struct Ckp17Graph {
+    /// The graph with its Alice/Bob partition.
+    pub partitioned: PartitionedGraph,
+    /// `k` (number of row vertices per clique; power of two, ≥ 2).
+    pub k: usize,
+    /// Row-vertex ids: `rows[c][i]` for clique `c ∈ {A1, A2, B1, B2}`.
+    pub rows: [Vec<NodeId>; 4],
+    /// Bit-gadget ids `(t_A, f_A, t_B, f_B)` per bit, for group 1
+    /// (`A₁/B₁`).
+    pub bits1: Vec<(NodeId, NodeId, NodeId, NodeId)>,
+    /// Bit-gadget ids for group 2 (`A₂/B₂`).
+    pub bits2: Vec<(NodeId, NodeId, NodeId, NodeId)>,
+}
+
+/// Index constants into [`Ckp17Graph::rows`].
+pub mod row {
+    /// Clique `A₁`.
+    pub const A1: usize = 0;
+    /// Clique `A₂`.
+    pub const A2: usize = 1;
+    /// Clique `B₁`.
+    pub const B1: usize = 2;
+    /// Clique `B₂`.
+    pub const B2: usize = 3;
+}
+
+impl Ckp17Graph {
+    /// The predicate threshold `W = 4(k−1) + 4 log₂ k`.
+    pub fn cover_budget(&self) -> usize {
+        4 * (self.k - 1) + 4 * self.k.ilog2() as usize
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+
+    /// Edges incident on bit-gadget vertices (the ones the `H_{x,y}`
+    /// constructions replace by path gadgets), as vertex pairs.
+    pub fn bit_incident_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let is_bit = self.bit_vertex_set();
+        self.graph()
+            .edges()
+            .filter(|&(u, v)| is_bit[u.index()] || is_bit[v.index()])
+            .collect()
+    }
+
+    /// Membership vector of bit-gadget vertices.
+    pub fn bit_vertex_set(&self) -> Vec<bool> {
+        let mut is_bit = vec![false; self.graph().num_nodes()];
+        for &(t_a, f_a, t_b, f_b) in self.bits1.iter().chain(&self.bits2) {
+            for v in [t_a, f_a, t_b, f_b] {
+                is_bit[v.index()] = true;
+            }
+        }
+        is_bit
+    }
+
+    /// Input edges (the `x`/`y`-dependent row-to-row edges).
+    pub fn input_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (r1, r2) in [(row::A1, row::A2), (row::B1, row::B2)] {
+            for &u in &self.rows[r1] {
+                for &v in &self.rows[r2] {
+                    if self.graph().has_edge(u, v) {
+                        out.push((u, v));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds `G_{x,y}` for the given disjointness instance.
+///
+/// # Panics
+///
+/// Panics unless `k` is a power of two with `k ≥ 2`.
+pub fn build(inst: &DisjInstance) -> Ckp17Graph {
+    let k = inst.k;
+    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    let logk = k.ilog2() as usize;
+
+    let mut b = GraphBuilder::new(0);
+    let rows: [Vec<NodeId>; 4] = std::array::from_fn(|_| (0..k).map(|_| b.add_node()).collect());
+    for r in &rows {
+        b.add_clique(r);
+    }
+
+    // Bit gadgets: 4-cycles t_A — f_A — t_B — f_B — t_A.
+    let make_bits = |b: &mut GraphBuilder| -> Vec<(NodeId, NodeId, NodeId, NodeId)> {
+        (0..logk)
+            .map(|_| {
+                let t_a = b.add_node();
+                let f_a = b.add_node();
+                let t_b = b.add_node();
+                let f_b = b.add_node();
+                b.add_edge(t_a, f_a);
+                b.add_edge(f_a, t_b);
+                b.add_edge(t_b, f_b);
+                b.add_edge(f_b, t_a);
+                (t_a, f_a, t_b, f_b)
+            })
+            .collect()
+    };
+    let bits1 = make_bits(&mut b);
+    let bits2 = make_bits(&mut b);
+
+    // Row-to-bit wiring: a^i is connected to t^j iff bit j of i−1 is 1.
+    let wire = |b: &mut GraphBuilder,
+                vertices: &[NodeId],
+                bits: &[(NodeId, NodeId, NodeId, NodeId)],
+                a_side: bool| {
+        for (i, &v) in vertices.iter().enumerate() {
+            for (j, &(t_a, f_a, t_b, f_b)) in bits.iter().enumerate() {
+                let (t, f) = if a_side { (t_a, f_a) } else { (t_b, f_b) };
+                if i >> j & 1 == 1 {
+                    b.add_edge(v, t);
+                } else {
+                    b.add_edge(v, f);
+                }
+            }
+        }
+    };
+    wire(&mut b, &rows[row::A1], &bits1, true);
+    wire(&mut b, &rows[row::B1], &bits1, false);
+    wire(&mut b, &rows[row::A2], &bits2, true);
+    wire(&mut b, &rows[row::B2], &bits2, false);
+
+    // Input edges: {a₁ⁱ, a₂ʲ} iff x_{ij} = 0; {b₁ⁱ, b₂ʲ} iff y_{ij} = 0.
+    for i in 0..k {
+        for j in 0..k {
+            if !inst.x_bit(i, j) {
+                b.add_edge(rows[row::A1][i], rows[row::A2][j]);
+            }
+            if !inst.y_bit(i, j) {
+                b.add_edge(rows[row::B1][i], rows[row::B2][j]);
+            }
+        }
+    }
+
+    let graph = b.build();
+    // Alice owns the A rows and the A-side bit vertices.
+    let mut alice = vec![false; graph.num_nodes()];
+    for &v in rows[row::A1].iter().chain(&rows[row::A2]) {
+        alice[v.index()] = true;
+    }
+    for &(t_a, f_a, _tb, _fb) in bits1.iter().chain(&bits2) {
+        alice[t_a.index()] = true;
+        alice[f_a.index()] = true;
+    }
+
+    Ckp17Graph {
+        partitioned: PartitionedGraph { graph, alice },
+        k,
+        rows,
+        bits1,
+        bits2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::vc::solve_mvc_with_budget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn predicate_holds(inst: &DisjInstance) -> bool {
+        let g = build(inst);
+        solve_mvc_with_budget(g.graph(), g.cover_budget()).is_some()
+    }
+
+    #[test]
+    fn vertex_and_cut_counts() {
+        for k in [2usize, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let g = build(&inst);
+            let logk = k.ilog2() as usize;
+            assert_eq!(g.graph().num_nodes(), 4 * k + 8 * logk);
+            // Cut: exactly the two crossing edges per 4-cycle.
+            assert_eq!(g.partitioned.cut_size(), 4 * logk, "k={k}");
+        }
+    }
+
+    #[test]
+    fn predicate_matches_disjointness_exhaustive_k2() {
+        // All 256 instances at k = 2: the paper's Figure-1 predicate.
+        for inst in DisjInstance::enumerate_all(2) {
+            assert_eq!(
+                predicate_holds(&inst),
+                !inst.disjoint(),
+                "x={:?} y={:?}",
+                inst.x,
+                inst.y
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_matches_disjointness_random_k4() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..6 {
+            let yes = DisjInstance::random_intersecting(4, 0.4, &mut rng);
+            assert!(predicate_holds(&yes), "intersecting instance must fit W");
+            let no = DisjInstance::random_disjoint(4, 0.4, &mut rng);
+            assert!(!predicate_holds(&no), "disjoint instance must exceed W");
+        }
+    }
+
+    #[test]
+    fn input_locality() {
+        // Definition 18: changing x only changes Alice-side edges.
+        let mut rng = StdRng::seed_from_u64(23);
+        let base = DisjInstance::random(4, 0.5, &mut rng);
+        let mut x2 = base.clone();
+        x2.x = DisjInstance::random(4, 0.5, &mut rng).x;
+        let g1 = build(&base);
+        let g2 = build(&x2);
+        assert!(g1
+            .partitioned
+            .input_locality_ok(&g2.partitioned, true));
+
+        let mut y2 = base.clone();
+        y2.y = DisjInstance::random(4, 0.5, &mut rng).y;
+        let g3 = build(&y2);
+        assert!(g1
+            .partitioned
+            .input_locality_ok(&g3.partitioned, false));
+    }
+
+    #[test]
+    fn bit_incident_edge_count() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for k in [2usize, 4] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let g = build(&inst);
+            let logk = k.ilog2() as usize;
+            // 4k·log k row-to-bit edges plus 8·log k cycle edges.
+            assert_eq!(g.bit_incident_edges().len(), 4 * k * logk + 8 * logk);
+        }
+    }
+
+    #[test]
+    fn input_edges_match_bits() {
+        let inst = DisjInstance::new(
+            2,
+            vec![true, false, true, true],
+            vec![false, false, false, false],
+        );
+        let g = build(&inst);
+        // x has one 0 at (0,1) → one A-side input edge; y all 0 → 4 B-side.
+        assert_eq!(g.input_edges().len(), 1 + 4);
+    }
+
+    #[test]
+    fn all_ones_both_sides_has_small_cover() {
+        // x = y = all-ones: every (i,j) is a witness; no input edges at
+        // all, so the budget cover exists trivially.
+        let k = 2;
+        let inst = DisjInstance::new(k, vec![true; 4], vec![true; 4]);
+        assert!(predicate_holds(&inst));
+    }
+}

@@ -1,0 +1,222 @@
+//! Two-party set disjointness instances and Alice/Bob cut accounting
+//! (Section 5.1, Definition 18, Theorem 19).
+
+use pga_graph::{Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// A two-party set-disjointness instance over `k × k` index pairs
+/// (`K = k²` bits per player, indexed as `x[i][j]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisjInstance {
+    /// Side length `k` (so each input has `k²` bits).
+    pub k: usize,
+    /// Alice's bits.
+    pub x: Vec<bool>,
+    /// Bob's bits.
+    pub y: Vec<bool>,
+}
+
+impl DisjInstance {
+    /// Builds an instance from bit matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are not `k²` long.
+    pub fn new(k: usize, x: Vec<bool>, y: Vec<bool>) -> Self {
+        assert_eq!(x.len(), k * k);
+        assert_eq!(y.len(), k * k);
+        DisjInstance { k, x, y }
+    }
+
+    /// Alice's bit at `(i, j)` (0-based).
+    pub fn x_bit(&self, i: usize, j: usize) -> bool {
+        self.x[i * self.k + j]
+    }
+
+    /// Bob's bit at `(i, j)` (0-based).
+    pub fn y_bit(&self, i: usize, j: usize) -> bool {
+        self.y[i * self.k + j]
+    }
+
+    /// `DISJ(x, y)`: `true` iff no index holds a 1 in both inputs.
+    pub fn disjoint(&self) -> bool {
+        self.x.iter().zip(&self.y).all(|(&a, &b)| !(a && b))
+    }
+
+    /// A witness `(i, j)` with `x[i][j] = y[i][j] = 1`, if any.
+    pub fn witness(&self) -> Option<(usize, usize)> {
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if self.x_bit(i, j) && self.y_bit(i, j) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// A uniformly random instance (each bit independent with probability
+    /// `p`); may or may not be disjoint.
+    pub fn random(k: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let bits = |rng: &mut dyn FnMut() -> bool| (0..k * k).map(|_| rng()).collect();
+        let x = bits(&mut || rng.random::<f64>() < p);
+        let y = bits(&mut || rng.random::<f64>() < p);
+        DisjInstance { k, x, y }
+    }
+
+    /// A random *intersecting* instance: plants a common 1 at a random
+    /// index, so `DISJ = false`.
+    pub fn random_intersecting(k: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let mut inst = Self::random(k, p, rng);
+        let (i, j) = (rng.random_range(0..k), rng.random_range(0..k));
+        inst.x[i * k + j] = true;
+        inst.y[i * k + j] = true;
+        inst
+    }
+
+    /// A random *disjoint* instance: clears Bob's bit wherever Alice holds
+    /// a 1, so `DISJ = true`.
+    pub fn random_disjoint(k: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let mut inst = Self::random(k, p, rng);
+        for idx in 0..k * k {
+            if inst.x[idx] {
+                inst.y[idx] = false;
+            }
+        }
+        inst
+    }
+
+    /// Enumerates all `2^(2k²)` instances — only sensible for `k ≤ 2`.
+    pub fn enumerate_all(k: usize) -> impl Iterator<Item = DisjInstance> {
+        let bits = k * k;
+        assert!(bits <= 8, "enumeration limited to k² ≤ 8 bits per player");
+        (0..(1u32 << bits)).flat_map(move |xm| {
+            (0..(1u32 << bits)).map(move |ym| DisjInstance {
+                k,
+                x: (0..bits).map(|b| xm >> b & 1 == 1).collect(),
+                y: (0..bits).map(|b| ym >> b & 1 == 1).collect(),
+            })
+        })
+    }
+}
+
+/// A lower-bound graph instance together with its Alice/Bob vertex
+/// partition (Definition 18).
+#[derive(Clone, Debug)]
+pub struct PartitionedGraph {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// `true` = the vertex belongs to Alice's side `V_A`.
+    pub alice: Vec<bool>,
+}
+
+impl PartitionedGraph {
+    /// The cut `E(V_A, V_B)` — Theorem 19 divides the DISJ communication
+    /// bound by this quantity, so the families keep it at `O(log k)`.
+    pub fn cut_size(&self) -> usize {
+        self.graph
+            .edges()
+            .filter(|&(u, v)| self.alice[u.index()] != self.alice[v.index()])
+            .count()
+    }
+
+    /// The cut edges themselves.
+    pub fn cut_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.graph
+            .edges()
+            .filter(|&(u, v)| self.alice[u.index()] != self.alice[v.index()])
+            .collect()
+    }
+
+    /// Checks Definition 18's locality conditions against a reference
+    /// graph built from a *different* input for the same player: edges
+    /// that differ must lie strictly inside that player's side.
+    pub fn input_locality_ok(&self, other: &PartitionedGraph, alice_changed: bool) -> bool {
+        if self.graph.num_nodes() != other.graph.num_nodes() {
+            return false;
+        }
+        let mine: std::collections::HashSet<(NodeId, NodeId)> = self.graph.edges().collect();
+        let theirs: std::collections::HashSet<(NodeId, NodeId)> = other.graph.edges().collect();
+        mine.symmetric_difference(&theirs).all(|&(u, v)| {
+            let side = self.alice[u.index()] && self.alice[v.index()];
+            let other_side = !self.alice[u.index()] && !self.alice[v.index()];
+            if alice_changed {
+                side
+            } else {
+                other_side
+            }
+        })
+    }
+
+    /// The round lower bound implied by Theorem 19 (up to constants),
+    /// `CC(DISJ_{k²}) / (|C| log n) = Ω(k² / (|C| log n))`.
+    pub fn theorem19_round_bound(&self, k: usize) -> f64 {
+        let n = self.graph.num_nodes() as f64;
+        let cut = self.cut_size().max(1) as f64;
+        (k * k) as f64 / (cut * n.log2().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disjointness_evaluation() {
+        let inst = DisjInstance::new(
+            2,
+            vec![true, false, false, true],
+            vec![false, true, false, true],
+        );
+        assert!(!inst.disjoint());
+        assert_eq!(inst.witness(), Some((1, 1)));
+
+        let disj = DisjInstance::new(
+            2,
+            vec![true, false, false, false],
+            vec![false, true, true, true],
+        );
+        assert!(disj.disjoint());
+        assert_eq!(disj.witness(), None);
+    }
+
+    #[test]
+    fn random_generators_respect_promise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(!DisjInstance::random_intersecting(4, 0.3, &mut rng).disjoint());
+            assert!(DisjInstance::random_disjoint(4, 0.3, &mut rng).disjoint());
+        }
+    }
+
+    #[test]
+    fn enumeration_count() {
+        assert_eq!(DisjInstance::enumerate_all(1).count(), 4);
+        assert_eq!(DisjInstance::enumerate_all(2).count(), 256);
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let inst = DisjInstance::new(
+            2,
+            vec![true, false, false, false],
+            vec![false, false, true, false],
+        );
+        assert!(inst.x_bit(0, 0));
+        assert!(!inst.x_bit(0, 1));
+        assert!(inst.y_bit(1, 0));
+    }
+
+    #[test]
+    fn cut_size_of_partitioned_graph() {
+        let g = pga_graph::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pg = PartitionedGraph {
+            graph: g,
+            alice: vec![true, true, false, false],
+        };
+        assert_eq!(pg.cut_size(), 2);
+        assert_eq!(pg.cut_edges().len(), 2);
+    }
+}

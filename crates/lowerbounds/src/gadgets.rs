@@ -1,0 +1,198 @@
+//! The gadget vocabulary of the paper's lower-bound constructions.
+//!
+//! All constructions start from a base graph and replace selected edges
+//! with small gadgets so that the replaced edge reappears in the *square*
+//! while the vertex count stays near-linear:
+//!
+//! * [`insert_path_vertex`] — the weight-0 single-vertex path gadget `P_e`
+//!   of Theorem 20 (Figure 2);
+//! * [`attach_dangling_path`] — the 3-vertex dangling path `DP_e` of
+//!   Theorem 22 (Figure 3) and Section 8;
+//! * 5-vertex dangling paths for the MDS constructions of Theorem 31
+//!   (Figure 5);
+//! * merged gadgets (Lemma 36): many dangling paths sharing one tail.
+
+use pga_graph::{GraphBuilder, NodeId};
+
+/// Inserts the single-vertex path gadget of Figure 2: a new vertex `p_e`
+/// adjacent to both endpoints (the edge itself is *not* added — `u` and
+/// `v` become adjacent in the square instead). Returns `p_e`.
+pub fn insert_path_vertex(b: &mut GraphBuilder, u: NodeId, v: NodeId) -> NodeId {
+    let p = b.add_node();
+    b.add_edge(p, u);
+    b.add_edge(p, v);
+    p
+}
+
+/// Attaches the dangling path gadget `DP_e` of Figure 3: vertices
+/// `DP[1] — DP[2] — DP[3]` with `DP[1]` adjacent to both endpoints.
+/// Returns `[DP[1], DP[2], DP[3]]`.
+pub fn attach_dangling_path(b: &mut GraphBuilder, u: NodeId, v: NodeId) -> [NodeId; 3] {
+    let p1 = b.add_node();
+    let p2 = b.add_node();
+    let p3 = b.add_node();
+    b.add_edge(p1, u);
+    b.add_edge(p1, v);
+    b.add_edge(p1, p2);
+    b.add_edge(p2, p3);
+    [p1, p2, p3]
+}
+
+/// Attaches the 5-vertex dangling path gadget of Figure 5 (Theorem 31).
+/// Returns `[DP[1], ..., DP[5]]`.
+pub fn attach_dangling_path5(b: &mut GraphBuilder, u: NodeId, v: NodeId) -> [NodeId; 5] {
+    let p: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
+    b.add_edge(p[0], u);
+    b.add_edge(p[0], v);
+    for w in p.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    [p[0], p[1], p[2], p[3], p[4]]
+}
+
+/// Attaches a *shared* path gadget (3-vertex) hanging off a single vertex;
+/// the gadget's head later receives the shared input edges. Returns
+/// `[A[1], A[2], A[3]]`.
+pub fn attach_shared_path(b: &mut GraphBuilder, host: NodeId) -> [NodeId; 3] {
+    let p1 = b.add_node();
+    let p2 = b.add_node();
+    let p3 = b.add_node();
+    b.add_edge(p1, host);
+    b.add_edge(p1, p2);
+    b.add_edge(p2, p3);
+    [p1, p2, p3]
+}
+
+/// Attaches a shared 5-vertex path gadget hanging off a single vertex.
+pub fn attach_shared_path5(b: &mut GraphBuilder, host: NodeId) -> [NodeId; 5] {
+    let p: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
+    b.add_edge(p[0], host);
+    for w in p.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    [p[0], p[1], p[2], p[3], p[4]]
+}
+
+/// A merged path gadget (Lemma 36): the common tail `[3] — [4] — [5]`.
+/// Individual 2-vertex stubs attach to `[3]` via [`MergedGadget::attach`].
+#[derive(Clone, Debug)]
+pub struct MergedGadget {
+    /// The shared third vertex (weight 0 in the Theorem 35 construction).
+    pub p3: NodeId,
+    /// The shared fourth vertex.
+    pub p4: NodeId,
+    /// The shared fifth vertex.
+    pub p5: NodeId,
+}
+
+impl MergedGadget {
+    /// Creates the common tail.
+    pub fn new(b: &mut GraphBuilder) -> Self {
+        let p3 = b.add_node();
+        let p4 = b.add_node();
+        let p5 = b.add_node();
+        b.add_edge(p3, p4);
+        b.add_edge(p4, p5);
+        MergedGadget { p3, p4, p5 }
+    }
+
+    /// Attaches one constituent gadget: `host — [1] — [2] — common [3]`.
+    /// Returns `[P[1], P[2]]`.
+    pub fn attach(&self, b: &mut GraphBuilder, host: NodeId) -> [NodeId; 2] {
+        let p1 = b.add_node();
+        let p2 = b.add_node();
+        b.add_edge(host, p1);
+        b.add_edge(p1, p2);
+        b.add_edge(p2, self.p3);
+        [p1, p2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_graph::power::square;
+
+    fn base_two() -> (GraphBuilder, NodeId, NodeId) {
+        (GraphBuilder::new(2), NodeId(0), NodeId(1))
+    }
+
+    #[test]
+    fn path_vertex_restores_edge_in_square() {
+        let (mut b, u, v) = base_two();
+        let p = insert_path_vertex(&mut b, u, v);
+        let g = b.build();
+        assert!(!g.has_edge(u, v), "the direct edge is not added");
+        let g2 = square(&g);
+        assert!(g2.has_edge(u, v), "but it exists in the square");
+        assert!(g2.has_edge(p, u) && g2.has_edge(p, v));
+    }
+
+    #[test]
+    fn dangling_path_square_structure() {
+        let (mut b, u, v) = base_two();
+        let [p1, p2, p3] = attach_dangling_path(&mut b, u, v);
+        let g = b.build();
+        let g2 = square(&g);
+        // The replaced edge reappears.
+        assert!(g2.has_edge(u, v));
+        // Gadget forms a triangle in the square with p3 pendant-ish:
+        assert!(g2.has_edge(p1, p3) && g2.has_edge(p1, p2) && g2.has_edge(p2, p3));
+        // p3 is more than 2 hops from the endpoints.
+        assert!(!g2.has_edge(p3, u) && !g2.has_edge(p3, v));
+        // p2 reaches the endpoints in the square (distance 2 via p1).
+        assert!(g2.has_edge(p2, u) && g2.has_edge(p2, v));
+    }
+
+    #[test]
+    fn dangling_path5_leaf_isolation() {
+        let (mut b, u, v) = base_two();
+        let p = attach_dangling_path5(&mut b, u, v);
+        let g2 = square(&b.build());
+        assert!(g2.has_edge(u, v));
+        // p[4] only sees p[2], p[3] in the square.
+        assert_eq!(g2.degree(p[4]), 2);
+        assert!(g2.has_edge(p[4], p[3]) && g2.has_edge(p[4], p[2]));
+    }
+
+    #[test]
+    fn shared_path_reaches_host_neighbors_in_square() {
+        let mut b = GraphBuilder::new(3);
+        // host 0 adjacent to 1; the shared head also gets an input edge to 2.
+        b.add_edge(NodeId(0), NodeId(1));
+        let [a1, _a2, _a3] = attach_shared_path(&mut b, NodeId(0));
+        b.add_edge(a1, NodeId(2));
+        let g2 = square(&b.build());
+        // The shared head connects host 0 and input 2 in the square.
+        assert!(g2.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn merged_gadget_tail_covers_all_stubs_in_square() {
+        let mut b = GraphBuilder::new(3);
+        let m = MergedGadget::new(&mut b);
+        let stubs: Vec<[NodeId; 2]> = (0..3)
+            .map(|i| m.attach(&mut b, NodeId(i as u32)))
+            .collect();
+        let g2 = square(&b.build());
+        // Lemma 36: [3] dominates every stub's [1] and [2] in the square.
+        for s in &stubs {
+            assert!(g2.has_edge(m.p3, s[0]), "p3 within 2 hops of every P[1]");
+            assert!(g2.has_edge(m.p3, s[1]));
+        }
+        assert!(g2.has_edge(m.p3, m.p5));
+    }
+
+    #[test]
+    fn merged_gadget_keeps_hosts_apart() {
+        // Two hosts sharing a merged gadget must NOT become adjacent in
+        // the square (their stubs are distinct).
+        let mut b = GraphBuilder::new(2);
+        let m = MergedGadget::new(&mut b);
+        m.attach(&mut b, NodeId(0));
+        m.attach(&mut b, NodeId(1));
+        let g = b.build();
+        let g2 = square(&g);
+        assert!(!g2.has_edge(NodeId(0), NodeId(1)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Theorem 31 (Figure 5): the exact `G²`-MDS lower-bound family
+//! `H_{x,y}`.
+//!
+//! Built from the [BCD+19] base (see [`crate::bcd19`]) by
+//!
+//! * replacing every edge incident on a bit-gadget vertex with a
+//!   **5-vertex dangling path** `DP_e[1..5]` (`DP_e[1]` adjacent to both
+//!   endpoints),
+//! * attaching a **shared 5-vertex path gadget** to every row vertex in
+//!   all four row sets, and
+//! * rewiring each input edge `{a₁ⁱ, a₂ʲ}` as `{A₁ⁱ[1], A₂ʲ[1]}` between
+//!   gadget heads, so `a₁ⁱ` and `a₂ʲ` end up at distance ≤ 2 exactly as
+//!   before.
+//!
+//! The 5-vertex tail forces structure in the square: `DP[5]` is only
+//! reachable from `{DP[3], DP[4], DP[5]}`, so (Lemma 32) every optimum
+//! can be normalized to contain `DP[3]` — one fixed vertex per gadget —
+//! and nothing else from the gadget (Lemma 33). **Lemma 34** (verified in
+//! the tests at `k = 2`): `MDS(H²_{x,y}) = MDS(G_{x,y}) + #gadgets`.
+//!
+//! On gadget counting: the paper's Lemma 34 states the offset
+//! `2k + 4k log₂ k + 12 log₂ k`, while its construction text attaches
+//! shared gadgets to *all four* row sets (as does Figure 5), which gives
+//! `4k + 4k log₂ k + 12 log₂ k` gadgets. We follow the construction text
+//! (4k shared gadgets) and verify the offset with the count actually
+//! built — see `DESIGN.md` for the discrepancy note.
+
+use crate::bcd19::{self, row, Bcd19Graph};
+use crate::disjointness::{DisjInstance, PartitionedGraph};
+use crate::gadgets::{attach_dangling_path5, attach_shared_path5};
+use pga_graph::{Graph, GraphBuilder, NodeId};
+
+/// The Figure-5 instance.
+#[derive(Clone, Debug)]
+pub struct MdsExactLowerBound {
+    /// The gadget graph with its Alice/Bob partition.
+    pub partitioned: PartitionedGraph,
+    /// `k`.
+    pub k: usize,
+    /// Number of 5-vertex gadgets (dangling + shared).
+    pub num_gadgets: usize,
+    /// Predicate threshold on `H²`: `(4 log₂ k + 2) + #gadgets`.
+    pub budget: usize,
+}
+
+impl MdsExactLowerBound {
+    /// The underlying communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+}
+
+/// Builds the Figure-5 family from a disjointness instance.
+pub fn build(inst: &DisjInstance) -> MdsExactLowerBound {
+    let base: Bcd19Graph = bcd19::build(inst);
+    let g = base.graph();
+    let is_bit = base.bit_vertex_set();
+
+    let mut b = GraphBuilder::new(g.num_nodes());
+    let mut alice = base.partitioned.alice.clone();
+    let mut num_gadgets = 0;
+    let register5 = |alice: &mut Vec<bool>, on_alice: bool| {
+        for _ in 0..5 {
+            alice.push(on_alice);
+        }
+    };
+
+    // Bit-incident edges → dangling 5-paths; row/input edges handled below.
+    for (u, v) in g.edges() {
+        if is_bit[u.index()] || is_bit[v.index()] {
+            attach_dangling_path5(&mut b, u, v);
+            let side = alice[u.index()] && alice[v.index()];
+            register5(&mut alice, side);
+            num_gadgets += 1;
+        } else if !base.is_input_edge(u, v) {
+            b.add_edge(u, v);
+        }
+    }
+
+    // Shared 5-path gadgets on every row vertex; heads carry input edges.
+    let mut heads: [Vec<NodeId>; 4] = Default::default();
+    for (r, on_alice) in [
+        (row::A1, true),
+        (row::A2, true),
+        (row::B1, false),
+        (row::B2, false),
+    ] {
+        for i in 0..base.k {
+            let host = base.rows[r][i];
+            let p = attach_shared_path5(&mut b, host);
+            register5(&mut alice, on_alice);
+            num_gadgets += 1;
+            heads[r].push(p[0]);
+        }
+    }
+    for i in 0..base.k {
+        for j in 0..base.k {
+            if inst.x_bit(i, j) {
+                b.add_edge(heads[row::A1][i], heads[row::A2][j]);
+            }
+            if inst.y_bit(i, j) {
+                b.add_edge(heads[row::B1][i], heads[row::B2][j]);
+            }
+        }
+    }
+
+    let graph = b.build();
+    debug_assert_eq!(graph.num_nodes(), alice.len());
+    let base_budget = base.ds_budget();
+    MdsExactLowerBound {
+        partitioned: PartitionedGraph { graph, alice },
+        k: base.k,
+        num_gadgets,
+        budget: base_budget + num_gadgets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcd19;
+    use pga_exact::mds::{mds_size, solve_mds_with_budget};
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gadget_count_and_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            let logk = k.ilog2() as usize;
+            // 4k·log k row-to-bit + 12·log k cycle edges + 4k shared.
+            assert_eq!(h.num_gadgets, 4 * k * logk + 12 * logk + 4 * k);
+            assert_eq!(
+                h.graph().num_nodes(),
+                4 * k + 12 * logk + 5 * h.num_gadgets
+            );
+        }
+    }
+
+    #[test]
+    fn cut_stays_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            assert!(
+                h.partitioned.cut_size() <= 8 * k.ilog2() as usize,
+                "k={k}: {}",
+                h.partitioned.cut_size()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma34_offset_equality_k2() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2 {
+            let inst = DisjInstance::random(2, 0.5, &mut rng);
+            let g = bcd19::build(&inst);
+            let h = build(&inst);
+            let h2 = square(h.graph());
+            assert_eq!(
+                mds_size(&h2),
+                mds_size(g.graph()) + h.num_gadgets,
+                "x={:?} y={:?}",
+                inst.x,
+                inst.y
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_transfers_to_square_k2() {
+        let yes = DisjInstance::new(2, vec![true; 4], vec![true; 4]);
+        let h = build(&yes);
+        assert!(solve_mds_with_budget(&square(h.graph()), h.budget).is_some());
+
+        let no = DisjInstance::new(
+            2,
+            vec![true, false, false, false],
+            vec![false, true, true, true],
+        );
+        let h = build(&no);
+        assert!(solve_mds_with_budget(&square(h.graph()), h.budget).is_none());
+    }
+
+    #[test]
+    fn dangling_leaf_isolated_in_square() {
+        // Lemma 32's structural hook: DP[5] sees only DP[3], DP[4].
+        let inst = DisjInstance::new(2, vec![false; 4], vec![false; 4]);
+        let h = build(&inst);
+        let h2 = square(h.graph());
+        let n0 = 4 * 2 + 12;
+        // First gadget occupies ids n0..n0+5.
+        let p5 = NodeId(n0 as u32 + 4);
+        assert_eq!(h2.degree(p5), 2);
+    }
+
+    #[test]
+    fn input_edges_between_heads_give_distance_two() {
+        // x₀₀ = 1 must put a₁⁰ and a₂⁰ at distance ≤ 2 via the heads...
+        // distance exactly: a₁⁰ — A₁⁰[1] — A₂⁰[1] — a₂⁰ is 3 hops; the
+        // SQUARE brings head-to-row pairs to distance 1 and the two rows
+        // to distance... the paper's Fig. 5 text: "if xij = 1 then the
+        // vertices Aa′j[1], Aai[1] have edges to ai and a′j in H²".
+        let inst = DisjInstance::new(
+            2,
+            vec![true, false, false, false],
+            vec![false, false, false, false],
+        );
+        let h = build(&inst);
+        let hb = bcd19::build(&inst);
+        let h2 = square(h.graph());
+        // Find the heads: shared gadgets are appended after dangling ones.
+        // Instead of index math, verify via the bcd19 row ids and graph
+        // adjacency: the head adjacent to a row vertex with an edge to
+        // another head.
+        let a10 = hb.rows[row::A1][0];
+        let a20 = hb.rows[row::A2][0];
+        let head_a10 = h
+            .graph()
+            .neighbors(a10)
+            .iter()
+            .copied()
+            .max()
+            .expect("a₁⁰ has its gadget head (the last-attached neighbor)");
+        assert!(h2.has_edge(head_a10, a20), "head covers a₂⁰ in the square");
+    }
+}

@@ -1,0 +1,192 @@
+//! Theorem 22 (Figure 3): the *unweighted* `G²`-MVC lower-bound family
+//! `H_{x,y}` with dangling path gadgets.
+//!
+//! The weighted construction of Theorem 20 needs weight-0 gadget
+//! vertices; to remove weights, every gadget grows a tail: the 3-vertex
+//! **dangling path** `DP_e[1] — DP_e[2] — DP_e[3]` with `DP_e[1]`
+//! adjacent to both endpoints of the replaced edge. In `H²` the three
+//! gadget vertices form a triangle in which the leaf `DP_e[3]` is
+//! dominated, so (Lemma 23) every optimal cover can be normalized to take
+//! exactly `{DP_e[1], DP_e[2]}` from each gadget — a fixed cost of 2 per
+//! gadget. Input edges again use *shared* gadgets hanging off `a₁ⁱ`/`b₁ⁱ`.
+//!
+//! **Lemma 24** (verified in the tests): `MVC(H²_{x,y}) = MVC(G_{x,y}) +
+//! 2·(#gadgets)` with `#gadgets = 2k + 4k log₂ k + 8 log₂ k`.
+
+use crate::ckp17::{self, row, Ckp17Graph};
+use crate::disjointness::{DisjInstance, PartitionedGraph};
+use crate::gadgets::{attach_dangling_path, attach_shared_path};
+use pga_graph::{Graph, GraphBuilder, NodeId};
+
+/// The unweighted `H_{x,y}` instance.
+#[derive(Clone, Debug)]
+pub struct MvcLowerBound {
+    /// The gadget graph with its Alice/Bob partition.
+    pub partitioned: PartitionedGraph,
+    /// `k`.
+    pub k: usize,
+    /// Number of (dangling + shared) path gadgets.
+    pub num_gadgets: usize,
+    /// The predicate threshold on `H²`:
+    /// `W + 2·#gadgets` with `W = 4(k−1) + 4 log₂ k`.
+    pub budget: usize,
+}
+
+impl MvcLowerBound {
+    /// The underlying communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+}
+
+/// Builds the Figure-3 family from a disjointness instance.
+pub fn build(inst: &DisjInstance) -> MvcLowerBound {
+    let base: Ckp17Graph = ckp17::build(inst);
+    let g = base.graph();
+    let is_bit = base.bit_vertex_set();
+
+    let mut b = GraphBuilder::new(g.num_nodes());
+    let mut alice = base.partitioned.alice.clone();
+    let mut num_gadgets = 0;
+    let register = |alice: &mut Vec<bool>, on_alice: bool| {
+        for _ in 0..3 {
+            alice.push(on_alice);
+        }
+    };
+
+    for (u, v) in g.edges() {
+        if is_bit[u.index()] || is_bit[v.index()] {
+            attach_dangling_path(&mut b, u, v);
+            let side = alice[u.index()] && alice[v.index()];
+            register(&mut alice, side);
+            num_gadgets += 1;
+        } else if !is_input_edge(&base, u, v) {
+            b.add_edge(u, v);
+        }
+    }
+
+    for (r1, r2, on_alice) in [(row::A1, row::A2, true), (row::B1, row::B2, false)] {
+        for i in 0..base.k {
+            let host = base.rows[r1][i];
+            let [head, _p2, _p3] = attach_shared_path(&mut b, host);
+            register(&mut alice, on_alice);
+            num_gadgets += 1;
+            for j in 0..base.k {
+                let other = base.rows[r2][j];
+                if g.has_edge(host, other) {
+                    b.add_edge(head, other);
+                }
+            }
+        }
+    }
+
+    let graph = b.build();
+    debug_assert_eq!(graph.num_nodes(), alice.len());
+    MvcLowerBound {
+        partitioned: PartitionedGraph { graph, alice },
+        k: base.k,
+        num_gadgets,
+        budget: base.cover_budget() + 2 * num_gadgets,
+    }
+}
+
+fn is_input_edge(base: &Ckp17Graph, u: NodeId, v: NodeId) -> bool {
+    let side = |r1: usize, r2: usize| {
+        (base.rows[r1].contains(&u) && base.rows[r2].contains(&v))
+            || (base.rows[r1].contains(&v) && base.rows[r2].contains(&u))
+    };
+    side(row::A1, row::A2) || side(row::B1, row::B2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckp17;
+    use pga_exact::vc::{mvc_size, solve_mvc_with_budget};
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gadget_count_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            let logk = k.ilog2() as usize;
+            assert_eq!(
+                h.num_gadgets,
+                2 * k + 4 * k * logk + 8 * logk,
+                "k={k}"
+            );
+            // n = O(k log k): originals + 3 per gadget.
+            assert_eq!(
+                h.graph().num_nodes(),
+                4 * k + 8 * logk + 3 * h.num_gadgets
+            );
+        }
+    }
+
+    #[test]
+    fn cut_stays_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            assert!(
+                h.partitioned.cut_size() <= 8 * k.ilog2() as usize,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma24_offset_equality_k2() {
+        // MVC(H²) = MVC(G) + 2·#gadgets.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let inst = DisjInstance::random(2, 0.5, &mut rng);
+            let g = ckp17::build(&inst);
+            let h = build(&inst);
+            let h2 = square(h.graph());
+            assert_eq!(
+                mvc_size(&h2),
+                mvc_size(g.graph()) + 2 * h.num_gadgets,
+                "x={:?} y={:?}",
+                inst.x,
+                inst.y
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_transfers_to_square_k2() {
+        let yes = DisjInstance::new(2, vec![true; 4], vec![true; 4]);
+        let h = build(&yes);
+        assert!(solve_mvc_with_budget(&square(h.graph()), h.budget).is_some());
+
+        let no = DisjInstance::new(
+            2,
+            vec![true, false, false, false],
+            vec![false, true, true, true],
+        );
+        let h = build(&no);
+        assert!(solve_mvc_with_budget(&square(h.graph()), h.budget).is_none());
+    }
+
+    #[test]
+    fn gadget_triangles_in_square() {
+        // Lemma 23's precondition: each dangling gadget forms a triangle
+        // in H² whose leaf has no edges outside the gadget.
+        let inst = DisjInstance::new(2, vec![false; 4], vec![false; 4]);
+        let h = build(&inst);
+        let h2 = square(h.graph());
+        // Gadget vertices start right after the originals, in blocks of 3.
+        let n0 = 4 * 2 + 8;
+        let p1 = NodeId(n0 as u32);
+        let p2 = NodeId(n0 as u32 + 1);
+        let p3 = NodeId(n0 as u32 + 2);
+        assert!(h2.has_edge(p1, p2) && h2.has_edge(p2, p3) && h2.has_edge(p1, p3));
+        assert_eq!(h2.degree(p3), 2, "the leaf sees only its own gadget");
+    }
+}

@@ -1,0 +1,205 @@
+//! Theorem 20 (Figure 2): the weighted `G²`-MVC lower-bound family
+//! `H_{x,y}`.
+//!
+//! Starting from the [CKP17] family (see [`crate::ckp17`]):
+//!
+//! * every edge incident on a bit-gadget vertex is replaced by a
+//!   **weight-0 path-gadget vertex** `p_e` adjacent to both endpoints;
+//! * the `Θ(k²)` input edges are replaced by **shared** gadgets: one
+//!   weight-0 vertex `pᵢᵃ` hangs off each `a₁ⁱ`, and each input edge
+//!   `{a₁ⁱ, a₂ʲ}` becomes `{pᵢᵃ, a₂ʲ}` (same on Bob's side) — keeping the
+//!   vertex count at `O(k log k)`;
+//! * row-clique edges remain direct; original vertices keep weight 1.
+//!
+//! **Lemma 21** (verified in the tests): `H²_{x,y}` has a vertex cover of
+//! weight `W` iff `G_{x,y}` has one of size `W` — so the minimum weighted
+//! cover of the square equals the minimum cover of the base graph, and
+//! Figure 1's predicate transfers at the same threshold.
+
+use crate::ckp17::{self, row, Ckp17Graph};
+use crate::disjointness::{DisjInstance, PartitionedGraph};
+use crate::gadgets::insert_path_vertex;
+use pga_graph::{Graph, GraphBuilder, NodeId, VertexWeights};
+
+/// The weighted `H_{x,y}` instance.
+#[derive(Clone, Debug)]
+pub struct MwvcLowerBound {
+    /// The gadget graph with its Alice/Bob partition.
+    pub partitioned: PartitionedGraph,
+    /// Vertex weights: 1 on original `G_{x,y}` vertices, 0 on gadgets.
+    pub weights: VertexWeights,
+    /// `k`.
+    pub k: usize,
+    /// The cover-weight threshold `W = 4(k−1) + 4 log₂ k` of the
+    /// predicate.
+    pub budget: u64,
+}
+
+impl MwvcLowerBound {
+    /// The underlying communication graph `H_{x,y}`.
+    pub fn graph(&self) -> &Graph {
+        &self.partitioned.graph
+    }
+}
+
+/// Builds `H_{x,y}` from a disjointness instance (via the Figure-1 base).
+pub fn build(inst: &DisjInstance) -> MwvcLowerBound {
+    let base: Ckp17Graph = ckp17::build(inst);
+    let g = base.graph();
+    let n0 = g.num_nodes();
+    let is_bit = base.bit_vertex_set();
+
+    let mut b = GraphBuilder::new(n0);
+    let mut alice = base.partitioned.alice.clone();
+    let mut weights = vec![1u64; n0];
+    let register_gadget = |alice: &mut Vec<bool>, weights: &mut Vec<u64>, on_alice: bool| {
+        alice.push(on_alice);
+        weights.push(0);
+    };
+
+    // Copy edges, replacing bit-incident ones with path gadgets.
+    for (u, v) in g.edges() {
+        if is_bit[u.index()] || is_bit[v.index()] {
+            let _p = insert_path_vertex(&mut b, u, v);
+            // A gadget vertex sits on Alice's side iff both endpoints do;
+            // the O(log k) gadgets on cut edges go to Alice.
+            let side = alice[u.index()] && alice[v.index()];
+            register_gadget(&mut alice, &mut weights, side);
+        } else if !is_input_edge(&base, u, v) {
+            b.add_edge(u, v);
+        }
+    }
+
+    // Shared gadgets replacing the input edges.
+    for (r1, r2, alice_side) in [(row::A1, row::A2, true), (row::B1, row::B2, false)] {
+        for i in 0..base.k {
+            let host = base.rows[r1][i];
+            let p = b.add_node();
+            b.add_edge(p, host);
+            register_gadget(&mut alice, &mut weights, alice_side);
+            for j in 0..base.k {
+                let other = base.rows[r2][j];
+                if g.has_edge(host, other) {
+                    b.add_edge(p, other);
+                }
+            }
+        }
+    }
+
+    let graph = b.build();
+    debug_assert_eq!(graph.num_nodes(), alice.len());
+    MwvcLowerBound {
+        partitioned: PartitionedGraph { graph, alice },
+        weights: VertexWeights::from_vec(weights),
+        k: base.k,
+        budget: base.cover_budget() as u64,
+    }
+}
+
+fn is_input_edge(base: &Ckp17Graph, u: NodeId, v: NodeId) -> bool {
+    let side = |r1: usize, r2: usize| {
+        (base.rows[r1].contains(&u) && base.rows[r2].contains(&v))
+            || (base.rows[r1].contains(&v) && base.rows[r2].contains(&u))
+    };
+    side(row::A1, row::A2) || side(row::B1, row::B2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckp17;
+    use pga_exact::vc::mvc_size;
+    use pga_exact::wvc::{mwvc_weight, solve_mwvc_with_budget};
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vertex_count_near_linear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            let logk = k.ilog2() as usize;
+            // 4k + 8 log k originals, 4k log k + 8 log k edge gadgets,
+            // 2k shared gadgets — O(k log k), never Θ(k²).
+            let expect = (4 * k + 8 * logk) + (4 * k * logk + 8 * logk) + 2 * k;
+            assert_eq!(h.graph().num_nodes(), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cut_stays_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in [2usize, 4, 8] {
+            let inst = DisjInstance::random(k, 0.5, &mut rng);
+            let h = build(&inst);
+            let logk = k.ilog2() as usize;
+            assert!(
+                h.partitioned.cut_size() <= 8 * logk,
+                "k={k}: cut {}",
+                h.partitioned.cut_size()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma21_weight_equality_k2() {
+        // min-weight VC of H² == min VC of G, across several instances.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..6 {
+            let inst = DisjInstance::random(2, 0.5, &mut rng);
+            let g = ckp17::build(&inst);
+            let h = build(&inst);
+            let h2 = square(h.graph());
+            assert_eq!(
+                mwvc_weight(&h2, &h.weights),
+                mvc_size(g.graph()) as u64,
+                "x={:?} y={:?}",
+                inst.x,
+                inst.y
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_transfers_to_square_k2() {
+        for inst in [
+            DisjInstance::new(2, vec![true; 4], vec![true; 4]), // intersecting
+            DisjInstance::new(
+                2,
+                vec![true, false, false, false],
+                vec![false, true, true, true],
+            ), // disjoint
+        ] {
+            let h = build(&inst);
+            let h2 = square(h.graph());
+            let fits = solve_mwvc_with_budget(&h2, &h.weights, h.budget).is_some();
+            assert_eq!(fits, !inst.disjoint());
+        }
+    }
+
+    #[test]
+    fn predicate_transfers_random_k4() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let yes = DisjInstance::random_intersecting(4, 0.4, &mut rng);
+        let h = build(&yes);
+        let h2 = square(h.graph());
+        assert!(solve_mwvc_with_budget(&h2, &h.weights, h.budget).is_some());
+
+        let no = DisjInstance::random_disjoint(4, 0.4, &mut rng);
+        let h = build(&no);
+        let h2 = square(h.graph());
+        assert!(solve_mwvc_with_budget(&h2, &h.weights, h.budget).is_none());
+    }
+
+    #[test]
+    fn zero_weight_vertices_are_exactly_gadgets() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = DisjInstance::random(4, 0.5, &mut rng);
+        let h = build(&inst);
+        let zeros = h.weights.as_slice().iter().filter(|&&w| w == 0).count();
+        let logk = 2;
+        assert_eq!(zeros, 4 * 4 * logk + 8 * logk + 2 * 4);
+    }
+}

@@ -1,0 +1,284 @@
+//! Figure 6: the set gadget `G_MDS` built from an `r`-covering set system
+//! (Definition 37, Lemmas 38 and 39).
+//!
+//! A collection `S₁, …, S_T ⊆ U = {1..ℓ}` has the **`r`-covering
+//! property** if every choice of at most `r` sets from `{Sᵢ, S̄ᵢ}` that
+//! avoids complementary pairs leaves some element of `U` uncovered.
+//! Nisan's probabilistic construction gives such systems with
+//! `T = e^{ℓ/(r·2^r)}`; for the small verification instances this module
+//! *searches* for a system and certifies the property exhaustively — the
+//! certificate is what the lower-bound argument consumes, not the
+//! asymptotics.
+//!
+//! The gadget graph: set vertices `Sⱼ` adjacent to `αᵢ` for `i ∈ Sⱼ`,
+//! complement vertices `S̄ⱼ` adjacent to `βᵢ` for `i ∉ Sⱼ`, edges
+//! `{αᵢ, βᵢ}`, and two hubs `α` (adjacent to all `Sⱼ`) and `β` (to all
+//! `S̄ⱼ`). Element and hub vertices carry weight `r`; set vertices weight
+//! 1. **Lemma 39** (verified): the square has a dominating set of weight
+//! 2 — any complementary pair — while any dominating set avoiding
+//! complementary pairs and heavy vertices costs at least `r`.
+
+use pga_graph::{Graph, GraphBuilder, NodeId, VertexWeights};
+use rand::{Rng, RngExt};
+
+/// An `r`-covering set system over universe `{0, …, ℓ−1}`.
+#[derive(Clone, Debug)]
+pub struct SetSystem {
+    /// Universe size `ℓ`.
+    pub universe: usize,
+    /// The sets, as membership vectors of length `ℓ`.
+    pub sets: Vec<Vec<bool>>,
+    /// The certified covering parameter `r`.
+    pub r: usize,
+}
+
+impl SetSystem {
+    /// Number of sets `T`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Checks the `r`-covering property exhaustively (Definition 37):
+    /// every collection of at most `r` signed sets without a
+    /// complementary pair leaves some element uncovered.
+    pub fn check_r_covering(&self, r: usize) -> bool {
+        fn rec(sys: &SetSystem, idx: usize, chosen: &mut Vec<(usize, bool)>, budget: usize) -> bool {
+            if chosen.len() == budget || idx == sys.sets.len() {
+                if chosen.is_empty() {
+                    return true;
+                }
+                // Some element must be uncovered.
+                return (0..sys.universe).any(|e| {
+                    chosen.iter().all(|&(s, comp)| {
+                        let member = sys.sets[s][e];
+                        if comp {
+                            member // the complement does not contain e
+                        } else {
+                            !member
+                        }
+                    })
+                });
+            }
+            // Skip idx; or take Sᵢ; or take S̄ᵢ (never both).
+            if !rec(sys, idx + 1, chosen, budget) {
+                return false;
+            }
+            for comp in [false, true] {
+                chosen.push((idx, comp));
+                let ok = rec(sys, idx + 1, chosen, budget);
+                chosen.pop();
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+        for budget in 1..=r {
+            if !rec(self, 0, &mut Vec::new(), budget) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Searches for an `r`-covering system with `t` sets over a universe
+    /// of size `universe` by repeated random sampling plus exhaustive
+    /// certification. Returns `None` if no certified system is found
+    /// within `attempts` tries.
+    pub fn search(
+        universe: usize,
+        t: usize,
+        r: usize,
+        attempts: usize,
+        rng: &mut impl Rng,
+    ) -> Option<SetSystem> {
+        for _ in 0..attempts {
+            let sets: Vec<Vec<bool>> = (0..t)
+                .map(|_| (0..universe).map(|_| rng.random::<bool>()).collect())
+                .collect();
+            let sys = SetSystem { universe, sets, r };
+            if sys.check_r_covering(r) {
+                return Some(sys);
+            }
+        }
+        None
+    }
+}
+
+/// The constructed set gadget with vertex bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SetGadget {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// Set vertices `S₁, …, S_T`.
+    pub sets: Vec<NodeId>,
+    /// Complement vertices `S̄₁, …, S̄_T`.
+    pub complements: Vec<NodeId>,
+    /// Element vertices `αᵢ`.
+    pub alphas: Vec<NodeId>,
+    /// Element vertices `βᵢ`.
+    pub betas: Vec<NodeId>,
+    /// Hub `α` (adjacent to all `Sⱼ`).
+    pub alpha_hub: NodeId,
+    /// Hub `β` (adjacent to all `S̄ⱼ`).
+    pub beta_hub: NodeId,
+    /// Vertex weights (`heavy` on elements and hubs, 1 on sets).
+    pub weights: VertexWeights,
+    /// The heavy weight.
+    pub heavy: u64,
+}
+
+/// Builds the standalone Figure-6 gadget from a certified set system,
+/// with `heavy` as the weight of element and hub vertices.
+pub fn build_gadget(sys: &SetSystem, heavy: u64) -> SetGadget {
+    let mut b = GraphBuilder::new(0);
+    let mut weights = Vec::new();
+    let t = sys.len();
+    let ell = sys.universe;
+
+    let add = |b: &mut GraphBuilder, weights: &mut Vec<u64>, w: u64| {
+        weights.push(w);
+        b.add_node()
+    };
+    let sets: Vec<NodeId> = (0..t).map(|_| add(&mut b, &mut weights, 1)).collect();
+    let complements: Vec<NodeId> = (0..t).map(|_| add(&mut b, &mut weights, 1)).collect();
+    let alphas: Vec<NodeId> = (0..ell).map(|_| add(&mut b, &mut weights, heavy)).collect();
+    let betas: Vec<NodeId> = (0..ell).map(|_| add(&mut b, &mut weights, heavy)).collect();
+    let alpha_hub = add(&mut b, &mut weights, heavy);
+    let beta_hub = add(&mut b, &mut weights, heavy);
+
+    for i in 0..ell {
+        b.add_edge(alphas[i], betas[i]);
+    }
+    for j in 0..t {
+        for i in 0..ell {
+            if sys.sets[j][i] {
+                b.add_edge(sets[j], alphas[i]);
+            } else {
+                b.add_edge(complements[j], betas[i]);
+            }
+        }
+        b.add_edge(alpha_hub, sets[j]);
+        b.add_edge(beta_hub, complements[j]);
+    }
+
+    SetGadget {
+        graph: b.build(),
+        sets,
+        complements,
+        alphas,
+        betas,
+        alpha_hub,
+        beta_hub,
+        weights: VertexWeights::from_vec(weights),
+        heavy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_exact::mds::{mwds_weight, solve_mwds_with_budget};
+    use pga_graph::cover::{is_dominating_set, membership};
+    use pga_graph::power::square;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_system(r: usize) -> SetSystem {
+        let mut rng = StdRng::seed_from_u64(100 + r as u64);
+        let ell = (8 * (1 << r)).min(48);
+        SetSystem::search(ell, 4, r, 200, &mut rng)
+            .expect("a small r-covering system should be found")
+    }
+
+    #[test]
+    fn covering_property_certified() {
+        for r in [2usize, 3] {
+            let sys = sample_system(r);
+            assert!(sys.check_r_covering(r));
+            assert_eq!(sys.len(), 4);
+        }
+    }
+
+    #[test]
+    fn covering_property_detects_violation() {
+        // S₁ ∪ S₂ = U: not even 2-covering.
+        let sys = SetSystem {
+            universe: 4,
+            sets: vec![
+                vec![true, true, true, false],
+                vec![false, false, false, true],
+            ],
+            r: 2,
+        };
+        assert!(sys.check_r_covering(1));
+        assert!(!sys.check_r_covering(2));
+    }
+
+    #[test]
+    fn single_set_system_trivially_1_covering() {
+        let sys = SetSystem {
+            universe: 4,
+            sets: vec![vec![true, true, false, false]],
+            r: 1,
+        };
+        assert!(sys.check_r_covering(1));
+    }
+
+    #[test]
+    fn lemma39_pair_dominates_square_with_weight_2() {
+        let sys = sample_system(2);
+        let gadget = build_gadget(&sys, 4);
+        let g2 = square(&gadget.graph);
+        for j in 0..sys.len() {
+            let ds = membership(
+                gadget.graph.num_nodes(),
+                &[gadget.sets[j], gadget.complements[j]],
+            );
+            assert!(
+                is_dominating_set(&g2, &ds),
+                "pair (S_{j}, comp_{j}) must dominate the square"
+            );
+        }
+        assert_eq!(mwds_weight(&g2, &gadget.weights), 2);
+    }
+
+    #[test]
+    fn lemma39_weight_2_optimum_is_a_pair() {
+        let sys = sample_system(2);
+        let gadget = build_gadget(&sys, 4);
+        let g2 = square(&gadget.graph);
+        let ds = solve_mwds_with_budget(&g2, &gadget.weights, 2)
+            .expect("weight-2 solution exists");
+        let chosen: Vec<usize> = ds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        let has_pair = (0..sys.len()).any(|j| {
+            chosen.contains(&gadget.sets[j].index())
+                && chosen.contains(&gadget.complements[j].index())
+        });
+        assert!(has_pair, "weight-2 optimum must be a complementary pair");
+    }
+
+    #[test]
+    fn set_vertices_two_hops_apart_via_hubs() {
+        // "All the Sᵢ's are two hops away from each other": the hub α.
+        let sys = sample_system(2);
+        let gadget = build_gadget(&sys, 4);
+        let g2 = square(&gadget.graph);
+        for a in 0..sys.len() {
+            for b in (a + 1)..sys.len() {
+                assert!(g2.has_edge(gadget.sets[a], gadget.sets[b]));
+                assert!(g2.has_edge(gadget.complements[a], gadget.complements[b]));
+            }
+        }
+    }
+}

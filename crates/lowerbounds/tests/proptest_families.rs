@@ -1,0 +1,107 @@
+//! Property-based tests over the lower-bound families: the predicate ⇔
+//! disjointness equivalences and gadget lemmas on randomized instances.
+
+use pga_exact::mds::solve_mds_with_budget;
+use pga_exact::vc::{mvc_size, solve_mvc_with_budget};
+use pga_exact::wvc::mwvc_weight;
+use pga_graph::power::square;
+use pga_lowerbounds::disjointness::DisjInstance;
+use pga_lowerbounds::{bcd19, centralized, ckp17, mvc, mwvc};
+use proptest::prelude::*;
+
+fn arb_instance_k2() -> impl Strategy<Value = DisjInstance> {
+    (any::<u8>(), any::<u8>()).prop_map(|(xm, ym)| DisjInstance {
+        k: 2,
+        x: (0..4).map(|b| xm >> b & 1 == 1).collect(),
+        y: (0..4).map(|b| ym >> b & 1 == 1).collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Figure 1 predicate ⇔ DISJ on arbitrary k = 2 instances.
+    #[test]
+    fn ckp17_predicate(inst in arb_instance_k2()) {
+        let g = ckp17::build(&inst);
+        let fits = solve_mvc_with_budget(g.graph(), g.cover_budget()).is_some();
+        prop_assert_eq!(fits, !inst.disjoint());
+    }
+
+    /// Figure 4 predicate ⇔ DISJ on arbitrary k = 2 instances.
+    #[test]
+    fn bcd19_predicate(inst in arb_instance_k2()) {
+        let g = bcd19::build(&inst);
+        let fits = solve_mds_with_budget(g.graph(), g.ds_budget()).is_some();
+        prop_assert_eq!(fits, !inst.disjoint());
+    }
+
+    /// Lemma 21: the weighted square optimum equals the base optimum.
+    #[test]
+    fn lemma21(inst in arb_instance_k2()) {
+        let g = ckp17::build(&inst);
+        let h = mwvc::build(&inst);
+        let h2 = square(h.graph());
+        prop_assert_eq!(
+            mwvc_weight(&h2, &h.weights),
+            mvc_size(g.graph()) as u64
+        );
+    }
+
+    /// Lemma 24: the unweighted square optimum is offset by 2·#gadgets.
+    #[test]
+    fn lemma24(inst in arb_instance_k2()) {
+        let g = ckp17::build(&inst);
+        let h = mvc::build(&inst);
+        let h2 = square(h.graph());
+        prop_assert_eq!(
+            mvc_size(&h2),
+            mvc_size(g.graph()) + 2 * h.num_gadgets
+        );
+    }
+
+    /// Theorem 44's reduction on arbitrary small graphs.
+    #[test]
+    fn theorem44(n in 3usize..8, edges in proptest::collection::vec((0u32..8, 0u32..8), 0..14)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = pga_graph::Graph::from_edges(n, &edges);
+        let h = centralized::dangling_path_reduction(&g);
+        prop_assert_eq!(
+            mvc_size(&square(&h)),
+            mvc_size(&g) + 2 * g.num_edges()
+        );
+    }
+
+    /// Cut sizes are input-independent: the cut is fixed wiring, so it
+    /// must not change with x, y.
+    #[test]
+    fn cut_is_input_independent(a in arb_instance_k2(), b in arb_instance_k2()) {
+        prop_assert_eq!(
+            ckp17::build(&a).partitioned.cut_size(),
+            ckp17::build(&b).partitioned.cut_size()
+        );
+        prop_assert_eq!(
+            bcd19::build(&a).partitioned.cut_size(),
+            bcd19::build(&b).partitioned.cut_size()
+        );
+    }
+
+    /// Definition 18 locality on random pairs: x-changes stay on Alice's
+    /// side, y-changes on Bob's.
+    #[test]
+    fn definition18_locality(a in arb_instance_k2(), b in arb_instance_k2()) {
+        let mut x_changed = a.clone();
+        x_changed.x = b.x.clone();
+        let ga = ckp17::build(&a);
+        let gx = ckp17::build(&x_changed);
+        prop_assert!(ga.partitioned.input_locality_ok(&gx.partitioned, true));
+
+        let mut y_changed = a.clone();
+        y_changed.y = b.y.clone();
+        let gy = ckp17::build(&y_changed);
+        prop_assert!(ga.partitioned.input_locality_ok(&gy.partitioned, false));
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: solve `G²`-MVC on a small network with every algorithm the
+//! paper provides, and compare against the exact optimum.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use power_graphs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::connected_gnp(24, 0.12, &mut rng);
+    println!("network: {g:?} (Δ = {})", g.max_degree());
+
+    let g2 = square(&g);
+    println!("square:  {g2:?}");
+    let opt = mvc_size(&g2);
+    println!("exact OPT(G²-MVC) = {opt}\n");
+
+    // Theorem 1: CONGEST, O(n/ε) rounds.
+    for eps in [0.25, 0.5, 1.0] {
+        let r = g2_mvc_congest(&g, eps, LocalSolver::Exact).unwrap();
+        assert!(is_vertex_cover_on_square(&g, &r.cover));
+        println!(
+            "Thm 1  (CONGEST, ε = {eps:4}): |cover| = {:2} (≤ {:.1} = (1+ε)·OPT), {} rounds \
+             [phase I {} + phase II {}]",
+            r.size(),
+            (1.0 + eps) * opt as f64,
+            r.total_rounds(),
+            r.phase1_metrics.rounds,
+            r.phase2_metrics.rounds,
+        );
+    }
+
+    // Corollary 10 / Theorem 11: CONGESTED CLIQUE.
+    let det = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+    println!(
+        "Cor 10 (CLIQUE, det)      : |cover| = {:2}, {} rounds",
+        det.size(),
+        det.total_rounds()
+    );
+    let rnd = g2_mvc_clique_rand(&g, 0.5, LocalSolver::Exact, 7).unwrap();
+    println!(
+        "Thm 11 (CLIQUE, rand)     : |cover| = {:2}, {} rounds",
+        rnd.size(),
+        rnd.total_rounds()
+    );
+
+    // Theorem 12: centralized 5/3.
+    let ft = five_thirds_vertex_cover(&g2);
+    println!(
+        "Thm 12 (centralized 5/3)  : |cover| = {:2} (ratio {:.3} ≤ 5/3)",
+        ft.size(),
+        ft.size() as f64 / opt as f64
+    );
+
+    // Lemma 6: the zero-round trivial cover.
+    println!(
+        "Lem 6  (zero rounds)      : |cover| = {:2} (ratio {:.3} ≤ 2)",
+        g.num_nodes(),
+        g.num_nodes() as f64 / opt as f64
+    );
+
+    // Theorem 28: G²-MDS.
+    let mds = g2_mds_congest(&g, 8, 3).unwrap();
+    assert!(is_dominating_set_on_square(&g, &mds.dominating_set));
+    let mds_opt = mds_size(&g2);
+    println!(
+        "\nThm 28 (G²-MDS, CONGEST)  : |DS| = {} vs OPT {} ({} rounds, r = {} samples/phase)",
+        mds.size(),
+        mds_opt,
+        mds.metrics.rounds,
+        mds.samples_per_phase
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full pipeline from graph generation
+//! through distributed simulation to exact verification.
+
+use power_graphs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 1 end to end: across generators and ε values, the distributed
+/// cover is valid and within `(1+ε)` of the exact optimum of the square.
+#[test]
+fn theorem1_pipeline_on_many_graphs() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let graphs: Vec<Graph> = vec![
+        generators::path(18),
+        generators::cycle(14),
+        generators::star(15),
+        generators::caterpillar(4, 3),
+        generators::clique_chain(3, 5),
+        generators::grid(3, 5),
+        generators::connected_gnp(16, 0.15, &mut rng),
+        generators::preferential_attachment(16, 2, &mut rng),
+    ];
+    for g in &graphs {
+        let g2 = square(g);
+        let opt = mvc_size(&g2);
+        for eps in [0.34, 0.5, 1.0] {
+            let r = g2_mvc_congest(g, eps, LocalSolver::Exact).unwrap();
+            assert!(is_vertex_cover_on_square(g, &r.cover), "{g:?} eps={eps}");
+            assert!(
+                r.size() as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
+                "{g:?} eps={eps}: {} > (1+{eps})·{opt}",
+                r.size()
+            );
+        }
+    }
+}
+
+/// All four MVC algorithm variants agree on validity and stay within
+/// their guarantees on one shared instance.
+#[test]
+fn all_variants_one_instance() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::connected_gnp(20, 0.18, &mut rng);
+    let g2 = square(&g);
+    let opt = mvc_size(&g2) as f64;
+
+    let congest = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+    let clique_d = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+    let clique_r = g2_mvc_clique_rand(&g, 0.5, LocalSolver::Exact, 11).unwrap();
+    let ft = five_thirds_vertex_cover(&g2);
+
+    for (name, cover, bound) in [
+        ("congest", &congest.cover, 1.5),
+        ("clique-det", &clique_d.cover, 1.5),
+        ("clique-rand", &clique_r.cover, 1.5),
+        ("five-thirds", &ft.cover, 5.0 / 3.0),
+    ] {
+        assert!(is_vertex_cover_on_square(&g, cover), "{name}");
+        assert!(
+            set_size(cover) as f64 <= bound * opt + 1e-9,
+            "{name}: {} > {bound}·{opt}",
+            set_size(cover)
+        );
+    }
+}
+
+/// Weighted pipeline: Theorem 7 against the exact weighted optimum.
+#[test]
+fn weighted_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::connected_gnp(14, 0.2, &mut rng);
+    let w = VertexWeights::random(14, 1..64, &mut rng);
+    let g2 = square(&g);
+    let opt = mwvc_weight(&g2, &w) as f64;
+    let r = g2_mwvc_congest(&g, &w, 0.5).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &r.cover));
+    assert!(r.weight(&w) as f64 <= 1.5 * opt + 1e-9);
+}
+
+/// MDS pipeline: Theorem 28, CD18 baseline, greedy, exact — all valid,
+/// ordered sensibly.
+#[test]
+fn mds_pipeline() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = generators::connected_gnp(22, 0.12, &mut rng);
+    let g2 = square(&g);
+
+    let dist = g2_mds_congest(&g, 8, 17).unwrap();
+    assert!(is_dominating_set_on_square(&g, &dist.dominating_set));
+
+    let cd18 = cd18_mds(&g2, 17);
+    assert!(is_dominating_set(&g2, &cd18.dominating_set));
+
+    let opt = mds_size(&g2);
+    assert!(set_size(&dist.dominating_set) >= opt);
+    assert!(set_size(&cd18.dominating_set) >= opt);
+}
+
+/// The simulator's round accounting separates the models: the clique
+/// variant's Phase II beats CONGEST pipelining on a long path.
+#[test]
+fn model_separation_visible_in_rounds() {
+    let g = generators::path(50);
+    let congest = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+    let clique = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+    assert!(clique.total_rounds() < congest.total_rounds());
+}
+
+/// Round scaling: Theorem 1's O(n/ε) — halving ε must not blow up rounds
+/// more than ~2× (plus constants), and doubling n roughly doubles rounds
+/// on a fixed family.
+#[test]
+fn round_scaling_shape() {
+    let r_half = g2_mvc_congest(&generators::cycle(40), 0.5, LocalSolver::Exact)
+        .unwrap()
+        .total_rounds() as f64;
+    let r_quarter = g2_mvc_congest(&generators::cycle(40), 0.25, LocalSolver::Exact)
+        .unwrap()
+        .total_rounds() as f64;
+    assert!(r_quarter <= 4.0 * r_half + 60.0);
+
+    let r80 = g2_mvc_congest(&generators::cycle(80), 0.5, LocalSolver::Exact)
+        .unwrap()
+        .total_rounds() as f64;
+    assert!(r80 <= 4.0 * r_half + 60.0, "rounds must scale ~linearly in n");
+}
+
+/// Lemma 6 on powers: the trivial cover's measured ratio respects
+/// 1 + 1/⌊r/2⌋ for r = 2, 3, 4.
+#[test]
+fn trivial_cover_ratio_on_powers() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::connected_gnp(14, 0.15, &mut rng);
+    for r in [2usize, 3, 4] {
+        let gr = power(&g, r);
+        let opt = mvc_size(&gr);
+        if opt == 0 {
+            continue;
+        }
+        let ratio = 14.0 / opt as f64;
+        let bound = 1.0 + 1.0 / ((r / 2) as f64);
+        assert!(ratio <= bound + 1e-9, "r={r}: {ratio} > {bound}");
+    }
+}
+
+/// Sequential and distributed Algorithm 1 produce identically sized
+/// covers (same greedy rule, same exact finisher).
+#[test]
+fn sequential_distributed_agreement() {
+    use power_graphs::algorithms::sequential::g2_mvc_sequential;
+    for g in [
+        generators::star(18),
+        generators::clique_chain(4, 4),
+        generators::complete_bipartite(6, 6),
+    ] {
+        let seq = g2_mvc_sequential(&g, 0.5, LocalSolver::Exact);
+        let dist = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        assert_eq!(set_size(&seq.cover), dist.size(), "{g:?}");
+    }
+}

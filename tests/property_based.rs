@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use power_graphs::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random graph from an edge-probability matrix seed.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnp(n, 0.25, &mut rng)
+    })
+}
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::connected_gnp(n, 0.1, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The square contains the graph, and squaring is monotone in edges.
+    #[test]
+    fn square_contains_graph(g in arb_graph(18)) {
+        let g2 = square(&g);
+        for (u, v) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+        prop_assert!(g2.num_edges() >= g.num_edges());
+    }
+
+    /// Powers are monotone: E(G^r) ⊆ E(G^{r+1}).
+    #[test]
+    fn powers_monotone(g in arb_graph(14)) {
+        let g2 = power(&g, 2);
+        let g3 = power(&g, 3);
+        for (u, v) in g2.edges() {
+            prop_assert!(g3.has_edge(u, v));
+        }
+    }
+
+    /// Exact MVC of the square is sandwiched: matching lower bound,
+    /// trivial upper bound, and is a valid cover.
+    #[test]
+    fn exact_mvc_square_sandwich(g in arb_graph(13)) {
+        let g2 = square(&g);
+        let cover = solve_mvc(&g2);
+        prop_assert!(is_vertex_cover(&g2, &cover));
+        let m = pga_graph::matching::maximal_matching(&g2);
+        prop_assert!(set_size(&cover) >= m.len());
+        prop_assert!(set_size(&cover) <= g.num_nodes());
+    }
+
+    /// Theorem 1 invariants on arbitrary connected graphs: validity and
+    /// the (1+ε) factor against the exact square optimum.
+    #[test]
+    fn theorem1_validity_and_ratio(g in arb_connected_graph(14)) {
+        let eps = 0.5;
+        let r = g2_mvc_congest(&g, eps, LocalSolver::Exact).unwrap();
+        prop_assert!(is_vertex_cover_on_square(&g, &r.cover));
+        let opt = mvc_size(&square(&g));
+        prop_assert!(r.size() as f64 <= (1.0 + eps) * opt as f64 + 1e-9);
+    }
+
+    /// The 5/3 algorithm: always a valid cover; ratio ≤ 5/3 on squares.
+    #[test]
+    fn five_thirds_ratio_on_squares(g in arb_graph(12)) {
+        let g2 = square(&g);
+        let r = five_thirds_vertex_cover(&g2);
+        prop_assert!(is_vertex_cover(&g2, &r.cover));
+        let opt = mvc_size(&g2);
+        if opt > 0 {
+            prop_assert!(r.size() as f64 / opt as f64 <= 5.0/3.0 + 1e-9);
+        }
+        // Lemma 15's implied optimum lower bound.
+        prop_assert!(opt as f64 >= r.optimum_lower_bound() - 1e-9);
+    }
+
+    /// Exact weighted VC is never larger than any greedy cover's weight,
+    /// and local-ratio stays within factor 2.
+    #[test]
+    fn weighted_vc_orderings(g in arb_graph(11), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = VertexWeights::random(g.num_nodes(), 1..16, &mut rng);
+        let opt = mwvc_weight(&g, &w);
+        let lr = pga_exact::greedy::local_ratio_mwvc(&g, &w);
+        prop_assert!(is_vertex_cover(&g, &lr));
+        prop_assert!(set_weight(&lr, w.as_slice()) <= 2 * opt);
+    }
+
+    /// Dominating-set duality on the square: an MDS of G² is no larger
+    /// than an MDS of G (more edges only help domination).
+    #[test]
+    fn mds_square_no_larger(g in arb_graph(13)) {
+        let g2 = square(&g);
+        prop_assert!(mds_size(&g2) <= mds_size(&g));
+    }
+
+    /// The Theorem 44 reduction invariant on arbitrary graphs:
+    /// MVC(H²) = MVC(G) + 2m.
+    #[test]
+    fn theorem44_reduction_invariant(g in arb_graph(9)) {
+        let h = power_graphs::lowerbounds::centralized::dangling_path_reduction(&g);
+        let h2 = square(&h);
+        prop_assert_eq!(mvc_size(&h2), mvc_size(&g) + 2 * g.num_edges());
+    }
+
+    /// The Theorem 45 reduction invariant: MDS(H²) = MDS(G) + 1 on graphs
+    /// with at least one edge.
+    #[test]
+    fn theorem45_reduction_invariant(g in arb_connected_graph(9)) {
+        let (h, _tail) = power_graphs::lowerbounds::centralized::merged_dangling_reduction(&g);
+        let h2 = square(&h);
+        prop_assert_eq!(mds_size(&h2), mds_size(&g) + 1);
+    }
+
+    /// Estimator calibration (Lemma 29): with enough samples the estimate
+    /// lands within 40% of the truth on every vertex.
+    #[test]
+    fn estimator_concentration(seed in any::<u64>()) {
+        use power_graphs::algorithms::mds::estimator::{estimate_two_hop_sizes, exact_two_hop_sizes};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(15, 0.15, &mut rng);
+        let in_u: Vec<bool> = (0..15).map(|i| i % 2 == 0).collect();
+        let exact = exact_two_hop_sizes(&g, &in_u);
+        let est = estimate_two_hop_sizes(&g, &in_u, 600, seed);
+        for v in 0..15 {
+            let x = exact[v] as f64;
+            if x == 0.0 {
+                prop_assert_eq!(est[v], 0.0);
+            } else {
+                prop_assert!((est[v] - x).abs() / x < 0.4,
+                    "node {}: {} vs {}", v, est[v], x);
+            }
+        }
+    }
+}
