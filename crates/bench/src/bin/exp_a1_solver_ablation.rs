@@ -10,8 +10,8 @@ use pga_bench::{banner, f3, Table};
 use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::is_vertex_cover_on_square;
-use pga_graph::power::square;
 use pga_graph::generators;
+use pga_graph::power::square;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,7 +37,11 @@ fn main() {
         let opt = mvc_size(&square(g));
         let mut sizes = Vec::new();
         let mut rounds = Vec::new();
-        for solver in [LocalSolver::Exact, LocalSolver::FiveThirds, LocalSolver::TwoApprox] {
+        for solver in [
+            LocalSolver::Exact,
+            LocalSolver::FiveThirds,
+            LocalSolver::TwoApprox,
+        ] {
             let r = g2_mvc_congest(g, 0.5, solver).expect("simulation");
             assert!(is_vertex_cover_on_square(g, &r.cover));
             sizes.push(r.size());

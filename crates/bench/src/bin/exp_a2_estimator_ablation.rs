@@ -10,15 +10,20 @@ use pga_bench::{banner, f3, Table};
 use pga_core::mds::congest_g2::g2_mds_congest;
 use pga_exact::mds::mds_size;
 use pga_graph::cover::is_dominating_set_on_square;
-use pga_graph::power::square;
 use pga_graph::generators;
+use pga_graph::power::square;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     banner("A2: Theorem 28 sample-factor ablation (gnp n = 30, 3 seeds each)");
     let t = Table::new(&[
-        "factor", "samples", "mean |DS|", "opt", "mean rounds", "rounds/phase",
+        "factor",
+        "samples",
+        "mean |DS|",
+        "opt",
+        "mean rounds",
+        "rounds/phase",
     ]);
 
     let mut rng = StdRng::seed_from_u64(3);

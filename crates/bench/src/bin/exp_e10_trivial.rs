@@ -7,16 +7,14 @@
 use pga_bench::{banner, f3, Table};
 use pga_core::mvc::trivial::{trivial_ratio, vertex_cover_lower_bound};
 use pga_exact::vc::mvc_size;
-use pga_graph::power::power;
 use pga_graph::generators;
+use pga_graph::power::power;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     banner("E10: Lemma 6 — all-vertices cover on G^r (0 CONGEST rounds)");
-    let t = Table::new(&[
-        "family", "r", "opt(G^r)", "Lem6 LB", "n/opt", "bound",
-    ]);
+    let t = Table::new(&["family", "r", "opt(G^r)", "Lem6 LB", "n/opt", "bound"]);
 
     let mut rng = StdRng::seed_from_u64(6);
     let cases = vec![

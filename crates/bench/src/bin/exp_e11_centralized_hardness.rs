@@ -63,7 +63,13 @@ fn main() {
     }
 
     banner("E11c: the FPTAS-refutation arithmetic (Theorem 44, second part)");
-    let t = Table::new(&["m", "eps=1/(3m)", "(1+eps)(opt+2m)", "opt+2m+1", "rounds down"]);
+    let t = Table::new(&[
+        "m",
+        "eps=1/(3m)",
+        "(1+eps)(opt+2m)",
+        "opt+2m+1",
+        "rounds down",
+    ]);
     for &(opt, m) in &[(5usize, 12usize), (10, 30), (20, 80)] {
         let eps = fptas_refutation_eps(m);
         let apx = (1.0 + eps) * (opt as f64 + 2.0 * m as f64);

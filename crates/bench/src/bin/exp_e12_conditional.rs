@@ -11,8 +11,8 @@ use pga_bench::{banner, f3, Table};
 use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::{is_vertex_cover, set_size};
-use pga_graph::power::square;
 use pga_graph::generators;
+use pga_graph::power::square;
 use pga_lowerbounds::centralized::dangling_path_reduction;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +20,14 @@ use rand::SeedableRng;
 fn main() {
     banner("E12: Theorem 26 — the OPT(H²) = OPT(G) + 2m identity and the recovery");
     let t = Table::new(&[
-        "n", "m", "OPT(G)", "OPT(H2)", "ALG(H2)", "recovered", "ratio on G", "1+delta",
+        "n",
+        "m",
+        "OPT(G)",
+        "OPT(H2)",
+        "ALG(H2)",
+        "recovered",
+        "ratio on G",
+        "1+delta",
     ]);
 
     let delta = 0.5;

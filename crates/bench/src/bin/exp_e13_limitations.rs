@@ -36,7 +36,14 @@ fn barbell(s: usize, links: usize) -> PartitionedGraph {
 fn main() {
     banner("E13: Lemma 25 — the two-party protocol on small-cut families");
     let t = Table::new(&[
-        "family", "n", "cut", "bits", "proto", "opt", "ratio", "Lem25 bound",
+        "family",
+        "n",
+        "cut",
+        "bits",
+        "proto",
+        "opt",
+        "ratio",
+        "Lem25 bound",
     ]);
 
     for &s in &[8usize, 12, 16] {

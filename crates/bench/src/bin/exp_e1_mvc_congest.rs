@@ -11,15 +11,24 @@ use pga_bench::{banner, f3, square_mvc_lower_bound, Table};
 use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::is_vertex_cover_on_square;
-use pga_graph::power::square;
 use pga_graph::generators;
+use pga_graph::power::square;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     banner("E1: Theorem 1 — rounds and ratio vs n, ε (connected G(n,p), avg deg ≈ 6)");
     let t = Table::new(&[
-        "n", "eps", "rounds", "r/(n/eps)", "|S|", "|R*|", "cover", "opt/LB", "ratio<=", "1+eps",
+        "n",
+        "eps",
+        "rounds",
+        "r/(n/eps)",
+        "|S|",
+        "|R*|",
+        "cover",
+        "opt/LB",
+        "ratio<=",
+        "1+eps",
     ]);
 
     for &n in &[50usize, 100, 200, 400] {
@@ -57,7 +66,15 @@ fn main() {
     }
 
     banner("E1b: same sweep on cycles (worst case for Phase I: nothing to harvest)");
-    let t = Table::new(&["n", "eps", "rounds", "r/(n/eps)", "cover", "opt/LB", "ratio<="]);
+    let t = Table::new(&[
+        "n",
+        "eps",
+        "rounds",
+        "r/(n/eps)",
+        "cover",
+        "opt/LB",
+        "ratio<=",
+    ]);
     for &n in &[50usize, 100, 200] {
         let g = generators::cycle(n);
         let reference = square_mvc_lower_bound(&g);
@@ -76,8 +93,6 @@ fn main() {
         }
     }
 
-    println!(
-        "\nshape check: rounds/(n/ε) stays O(1) across the sweep — the paper's O(n/ε);"
-    );
+    println!("\nshape check: rounds/(n/ε) stays O(1) across the sweep — the paper's O(n/ε);");
     println!("ratio<= is measured against exact OPT for n ≤ 100, else against a lower bound.");
 }

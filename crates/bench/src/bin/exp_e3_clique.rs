@@ -22,7 +22,13 @@ fn main() {
     banner("E3: CONGESTED CLIQUE — caterpillar(m spine hubs, 20 legs each), ε = 1/2");
     let eps = 0.5;
     let t = Table::new(&[
-        "spine", "n", "det iters", "rand iters", "det rounds", "rand rounds", "log2 n",
+        "spine",
+        "n",
+        "det iters",
+        "rand iters",
+        "det rounds",
+        "rand rounds",
+        "log2 n",
     ]);
 
     for &m in &[5usize, 10, 20, 40] {

@@ -18,7 +18,16 @@ use rand::SeedableRng;
 fn main() {
     banner("E4: Theorem 12 — 5/3-approximation on squares vs exact and 2-approx");
     let t = Table::new(&[
-        "family", "n", "opt", "5/3 size", "ratio", "s1", "s2", "s3", "2apx size", "2apx ratio",
+        "family",
+        "n",
+        "opt",
+        "5/3 size",
+        "ratio",
+        "s1",
+        "s2",
+        "s3",
+        "2apx size",
+        "2apx ratio",
     ]);
 
     let mut rng = StdRng::seed_from_u64(12);
@@ -29,9 +38,18 @@ fn main() {
         ("caterpillar".into(), generators::caterpillar(10, 3)),
         ("clique-chain".into(), generators::clique_chain(5, 5)),
         ("grid".into(), generators::grid(5, 6)),
-        ("gnp(35,.1)".into(), generators::connected_gnp(35, 0.1, &mut rng)),
-        ("gnp(35,.2)".into(), generators::connected_gnp(35, 0.2, &mut rng)),
-        ("pref-att".into(), generators::preferential_attachment(35, 2, &mut rng)),
+        (
+            "gnp(35,.1)".into(),
+            generators::connected_gnp(35, 0.1, &mut rng),
+        ),
+        (
+            "gnp(35,.2)".into(),
+            generators::connected_gnp(35, 0.2, &mut rng),
+        ),
+        (
+            "pref-att".into(),
+            generators::preferential_attachment(35, 2, &mut rng),
+        ),
     ];
 
     let mut worst: f64 = 1.0;
@@ -72,6 +90,10 @@ fn main() {
         sweep_worst = sweep_worst.max(r.size() as f64 / opt as f64);
     }
     println!("worst ratio over families: {}", f3(worst));
-    println!("worst ratio over sweep:    {} (bound: {} = 5/3)", f3(sweep_worst), f3(5.0 / 3.0));
+    println!(
+        "worst ratio over sweep:    {} (bound: {} = 5/3)",
+        f3(sweep_worst),
+        f3(5.0 / 3.0)
+    );
     assert!(worst <= 5.0 / 3.0 + 1e-9 && sweep_worst <= 5.0 / 3.0 + 1e-9);
 }

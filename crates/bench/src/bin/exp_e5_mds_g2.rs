@@ -12,15 +12,22 @@ use pga_core::mds::congest_g2::g2_mds_congest;
 use pga_exact::greedy::greedy_mds;
 use pga_exact::mds::mds_size;
 use pga_graph::cover::{is_dominating_set, is_dominating_set_on_square, set_size};
-use pga_graph::power::square;
 use pga_graph::generators;
+use pga_graph::power::square;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     banner("E5: Theorem 28 — G²-MDS, distributed vs baselines");
     let t = Table::new(&[
-        "family", "n", "opt", "thm28", "cd18-ideal", "greedy", "rounds", "r/log^3 n",
+        "family",
+        "n",
+        "opt",
+        "thm28",
+        "cd18-ideal",
+        "greedy",
+        "rounds",
+        "r/log^3 n",
     ]);
 
     let mut rng = StdRng::seed_from_u64(28);

@@ -19,7 +19,14 @@ use rand::SeedableRng;
 fn main() {
     banner("E7: structure of the MVC lower-bound families");
     let t = Table::new(&[
-        "k", "n(G)", "cut(G)", "n(H_w)", "cut(H_w)", "n(H_u)", "cut(H_u)", "Thm19 bound",
+        "k",
+        "n(G)",
+        "cut(G)",
+        "n(H_w)",
+        "cut(H_w)",
+        "n(H_u)",
+        "cut(H_u)",
+        "Thm19 bound",
     ]);
     for &k in &[2usize, 4, 8, 16, 32] {
         let mut rng = StdRng::seed_from_u64(k as u64);
@@ -40,11 +47,21 @@ fn main() {
     }
 
     banner("E7b: predicate ⇔ DISJ verification (exact solvers)");
-    let t = Table::new(&["k", "instance", "DISJ", "G fits W", "H_w² fits", "H_u² fits"]);
+    let t = Table::new(&[
+        "k",
+        "instance",
+        "DISJ",
+        "G fits W",
+        "H_w² fits",
+        "H_u² fits",
+    ]);
     for &k in &[2usize, 4] {
         let mut rng = StdRng::seed_from_u64(70 + k as u64);
         for (name, inst) in [
-            ("intersecting", DisjInstance::random_intersecting(k, 0.4, &mut rng)),
+            (
+                "intersecting",
+                DisjInstance::random_intersecting(k, 0.4, &mut rng),
+            ),
             ("disjoint", DisjInstance::random_disjoint(k, 0.4, &mut rng)),
         ] {
             let g = ckp17::build(&inst);

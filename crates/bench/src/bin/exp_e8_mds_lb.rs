@@ -13,7 +13,15 @@ use rand::SeedableRng;
 
 fn main() {
     banner("E8: structure of the MDS lower-bound families (Figures 4-5)");
-    let t = Table::new(&["k", "n(G)", "cut(G)", "n(H)", "cut(H)", "#gadgets", "Thm19 bound"]);
+    let t = Table::new(&[
+        "k",
+        "n(G)",
+        "cut(G)",
+        "n(H)",
+        "cut(H)",
+        "#gadgets",
+        "Thm19 bound",
+    ]);
     for &k in &[2usize, 4, 8, 16] {
         let mut rng = StdRng::seed_from_u64(k as u64);
         let inst = DisjInstance::random(k, 0.5, &mut rng);
@@ -35,7 +43,10 @@ fn main() {
     for &k in &[2usize, 4] {
         let mut rng = StdRng::seed_from_u64(80 + k as u64);
         for (name, inst) in [
-            ("intersecting", DisjInstance::random_intersecting(k, 0.4, &mut rng)),
+            (
+                "intersecting",
+                DisjInstance::random_intersecting(k, 0.4, &mut rng),
+            ),
             ("disjoint", DisjInstance::random_disjoint(k, 0.4, &mut rng)),
         ] {
             let g = bcd19::build(&inst);

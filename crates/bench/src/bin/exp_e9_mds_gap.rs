@@ -55,7 +55,10 @@ fn main() {
     for seed in 0..2u64 {
         let mut rng = StdRng::seed_from_u64(90 + seed);
         for (name, inst) in [
-            ("intersecting", DisjInstance::random_intersecting(3, 0.4, &mut rng)),
+            (
+                "intersecting",
+                DisjInstance::random_intersecting(3, 0.4, &mut rng),
+            ),
             ("disjoint", DisjInstance::random_disjoint(3, 0.4, &mut rng)),
         ] {
             for (variant, lb) in [

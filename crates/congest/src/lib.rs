@@ -65,6 +65,5 @@ pub mod primitives;
 
 pub use metrics::Metrics;
 pub use sim::{
-    default_bandwidth_bits, id_bits, Algorithm, Ctx, MsgSize, Report, SimError, Simulator,
-    Topology,
+    default_bandwidth_bits, id_bits, Algorithm, Ctx, MsgSize, Report, SimError, Simulator, Topology,
 };

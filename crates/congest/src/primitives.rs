@@ -130,7 +130,6 @@ impl<I, D> GatherScatter<I, D> {
     fn upcast_complete(&self) -> bool {
         self.children_done == self.children.len()
     }
-
 }
 
 impl<I, D: Clone> GatherScatter<I, D> {
@@ -400,16 +399,18 @@ mod tests {
     #[test]
     fn empty_items_everywhere() {
         let g = generators::path(4);
-        let compute: LeaderCompute<SizedU64, SizedU64> =
-            Arc::new(|items: Vec<SizedU64>| {
-                assert!(items.is_empty());
-                vec![SizedU64 { value: 7, bits: 8 }]
-            });
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items: Vec<SizedU64>| {
+            assert!(items.is_empty());
+            vec![SizedU64 { value: 7, bits: 8 }]
+        });
         let nodes = (0..4)
             .map(|_| GatherScatter::new(Vec::new(), Arc::clone(&compute)))
             .collect();
         let report = Simulator::congest(&g).run(nodes).unwrap();
-        assert!(report.outputs.iter().all(|o| o == &vec![SizedU64 { value: 7, bits: 8 }]));
+        assert!(report
+            .outputs
+            .iter()
+            .all(|o| o == &vec![SizedU64 { value: 7, bits: 8 }]));
     }
 }
 
@@ -496,7 +497,11 @@ mod flood_tests {
         ] {
             let n = g.num_nodes();
             let report = Simulator::congest(&g)
-                .run((0..n).map(|i| FloodMax::new(NodeId::from_index(i))).collect())
+                .run(
+                    (0..n)
+                        .map(|i| FloodMax::new(NodeId::from_index(i)))
+                        .collect(),
+                )
                 .unwrap();
             assert!(report
                 .outputs

@@ -278,8 +278,7 @@ impl<'g> Simulator<'g> {
                 });
             }
 
-            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> =
-                (0..n).map(|_| Vec::new()).collect();
+            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
             let mut sent_any = false;
 
             for i in 0..n {
@@ -522,7 +521,9 @@ mod tests {
             }
             fn output(&self, _ctx: &Ctx) {}
         }
-        let err = Simulator::congest(&g).run(vec![Sender, Sender]).unwrap_err();
+        let err = Simulator::congest(&g)
+            .run(vec![Sender, Sender])
+            .unwrap_err();
         assert!(matches!(err, SimError::BandwidthExceeded { .. }));
     }
 

@@ -70,8 +70,8 @@ proptest! {
             .run((0..n).map(|_| Layer { dist: None, announce: false }).collect())
             .unwrap();
         let bfs = bfs_distances(&g, NodeId(0));
-        for v in 0..n {
-            prop_assert_eq!(report.outputs[v], bfs[v], "node {}", v);
+        for (v, &dist) in bfs.iter().enumerate() {
+            prop_assert_eq!(report.outputs[v], dist, "node {}", v);
         }
         let d = diameter(&g).unwrap();
         prop_assert!(report.metrics.rounds <= d + 3);

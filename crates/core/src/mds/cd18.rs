@@ -84,8 +84,8 @@ pub fn cd18_mds(g: &Graph, seed: u64) -> Cd18Result {
         // candidate with the smallest (rank, id).
         let rank: Vec<u64> = (0..n).map(|_| rng.random()).collect();
         let mut votes = vec![0usize; n];
-        for u in 0..n {
-            if covered[u] {
+        for (u, &u_covered) in covered.iter().enumerate() {
+            if u_covered {
                 continue;
             }
             let best = closed(NodeId::from_index(u))

@@ -193,10 +193,7 @@ mod tests {
         let in_u = vec![true; 40];
         let est = estimate_two_hop_sizes(&g, &in_u, 600, 7);
         for (v, e) in est.iter().enumerate() {
-            assert!(
-                (e - 40.0).abs() < 8.0,
-                "node {v}: estimate {e} far from 40"
-            );
+            assert!((e - 40.0).abs() < 8.0, "node {v}: estimate {e} far from 40");
         }
     }
 
@@ -212,10 +209,7 @@ mod tests {
             if x == 0.0 {
                 assert_eq!(e, 0.0, "node {v}");
             } else {
-                assert!(
-                    (e - x).abs() / x < 0.30,
-                    "node {v}: {e} vs exact {x}"
-                );
+                assert!((e - x).abs() / x < 0.30, "node {v}: {e} vs exact {x}");
             }
         }
     }
@@ -249,11 +243,11 @@ mod tests {
         let mut in_u = vec![false; 5];
         in_u[0] = true;
         let est = estimate_two_hop_sizes(&g, &in_u, 400, 21);
-        for v in 0..3 {
-            assert!((est[v] - 1.0).abs() < 0.4, "node {v}: {}", est[v]);
+        for (v, &e) in est.iter().enumerate().take(3) {
+            assert!((e - 1.0).abs() < 0.4, "node {v}: {e}");
         }
-        for v in 3..5 {
-            assert_eq!(est[v], 0.0, "node {v} is 3+ hops away");
+        for (v, &e) in est.iter().enumerate().skip(3) {
+            assert_eq!(e, 0.0, "node {v} is 3+ hops away");
         }
     }
 }

@@ -147,11 +147,7 @@ pub fn five_thirds_vertex_cover(g2: &Graph) -> FiveThirdsResult {
     // of smaller positive degree exists.
     loop {
         // Drop isolated vertices (degree 0 leaves V' without joining S).
-        let zero: Vec<usize> = st
-            .active
-            .iter()
-            .filter(|&v| st.degree(v) == 0)
-            .collect();
+        let zero: Vec<usize> = st.active.iter().filter(|&v| st.degree(v) == 0).collect();
         for v in zero {
             st.active.remove(v);
         }

@@ -92,8 +92,8 @@ impl Algorithm for CliquePhase2 {
                     in_cover[c.0.index()] = true;
                 }
                 self.verdict = Some(in_cover[LEADER.index()]);
-                for j in 1..ctx.n {
-                    out.push((NodeId::from_index(j), CliqueMsg::Verdict(in_cover[j])));
+                for (j, &in_c) in in_cover.iter().enumerate().skip(1) {
+                    out.push((NodeId::from_index(j), CliqueMsg::Verdict(in_c)));
                 }
                 self.answered = true;
             }

@@ -113,12 +113,7 @@ pub fn g2_mvc_congest(g: &Graph, eps: f64, solver: LocalSolver) -> Result<G2MvcR
     let nodes = (0..n)
         .map(|i| {
             let o = &p1_out[i];
-            let items = f_edges_for_node(
-                NodeId::from_index(i),
-                !o.in_s,
-                &o.r_neighbors,
-                |_| 1,
-            );
+            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1);
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
@@ -271,10 +266,7 @@ mod tests {
 
     #[test]
     fn disconnected_graph_rejected() {
-        let g = pga_graph::generators::disjoint_union(
-            &generators::path(4),
-            &generators::path(4),
-        );
+        let g = pga_graph::generators::disjoint_union(&generators::path(4), &generators::path(4));
         let err = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap_err();
         assert!(matches!(err, SimError::PreconditionViolated { .. }));
     }

@@ -219,8 +219,8 @@ mod tests {
         let g = generators::star(9);
         let (out, _m) = run_phase1(&g, 2);
         assert!(!out[0].in_s, "center itself stays out");
-        for leaf in 1..9 {
-            assert!(out[leaf].in_s, "leaf {leaf} must join S");
+        for (leaf, state) in out.iter().enumerate().skip(1) {
+            assert!(state.in_s, "leaf {leaf} must join S");
         }
         assert!(out[0].r_neighbors.is_empty());
     }
@@ -283,8 +283,8 @@ mod tests {
         // of side B is still in R) and node 4 wins next, covering side B.
         let g = generators::complete_bipartite(5, 5);
         let (out, _m) = run_phase1(&g, 2);
-        for v in 0..10 {
-            assert!(out[v].in_s, "vertex {v} ends up in S");
+        for (v, state) in out.iter().enumerate() {
+            assert!(state.in_s, "vertex {v} ends up in S");
         }
         // Two blocks of 5: |S| = 10 versus OPT(G²) = OPT(K10) = 9, inside
         // the (1 + ε') bound for ε' = 1/2.

@@ -185,9 +185,9 @@ pub(crate) fn f_edges_for_node(
 mod tests {
     use super::*;
     use pga_graph::cover::{is_vertex_cover, membership};
+    use pga_graph::generators;
     use pga_graph::power::square;
     use pga_graph::subgraph::induced_subgraph;
-    use pga_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -301,7 +301,11 @@ mod tests {
             edges.extend(f_edges_for_node(v, !in_s[v.index()], &r_nb, |_| 1));
         }
         let rem = build_remainder(&edges);
-        for solver in [LocalSolver::Exact, LocalSolver::FiveThirds, LocalSolver::TwoApprox] {
+        for solver in [
+            LocalSolver::Exact,
+            LocalSolver::FiveThirds,
+            LocalSolver::TwoApprox,
+        ] {
             let chosen = solve_remainder(&edges, solver);
             // Lift to a membership vector over the remainder and verify.
             let mut mv = vec![false; rem.h.num_nodes()];

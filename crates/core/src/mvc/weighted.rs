@@ -280,11 +280,7 @@ impl Algorithm for WPhase1 {
 /// let result = g2_mwvc_congest(&g, &w, 0.5).unwrap();
 /// assert!(is_vertex_cover_on_square(&g, &result.cover));
 /// ```
-pub fn g2_mwvc_congest(
-    g: &Graph,
-    w: &VertexWeights,
-    eps: f64,
-) -> Result<G2MwvcResult, SimError> {
+pub fn g2_mwvc_congest(g: &Graph, w: &VertexWeights, eps: f64) -> Result<G2MwvcResult, SimError> {
     assert!(w.matches(g), "weights must match the graph");
     assert!(eps > 0.0, "ε must be positive");
     if !pga_graph::traversal::is_connected(g) {
@@ -447,7 +443,9 @@ mod tests {
                     .map(|&u| w.get(u))
                     .filter(|&x| x > 0)
                     .collect();
-                let Some(&ws) = remaining.iter().min() else { continue };
+                let Some(&ws) = remaining.iter().min() else {
+                    continue;
+                };
                 let w_star = g
                     .neighbors(c)
                     .iter()

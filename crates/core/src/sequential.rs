@@ -167,9 +167,8 @@ pub fn g2_mwvc_sequential(g: &Graph, w: &VertexWeights, eps: f64) -> SequentialR
     let g2 = square(g);
     let keep: Vec<bool> = in_s.iter().map(|&b| !b).collect();
     let sub = induced_subgraph(&g2, &keep);
-    let sub_w = VertexWeights::from_vec(
-        sub.to_host.iter().map(|&v| w.get(v)).collect::<Vec<u64>>(),
-    );
+    let sub_w =
+        VertexWeights::from_vec(sub.to_host.iter().map(|&v| w.get(v)).collect::<Vec<u64>>());
     let sub_cover = solve_mwvc(&sub.graph, &sub_w);
     let mut cover = in_s.clone();
     for (i, &m) in sub_cover.iter().enumerate() {
@@ -263,9 +262,6 @@ mod tests {
 
     #[test]
     fn formula_is_monotone_in_n() {
-        assert!(
-            theorem1_round_formula(100, 0.5, 10, 5)
-                < theorem1_round_formula(200, 0.5, 10, 5)
-        );
+        assert!(theorem1_round_formula(100, 0.5, 10, 5) < theorem1_round_formula(200, 0.5, 10, 5));
     }
 }

@@ -135,7 +135,10 @@ mod tests {
         let bound = square_mds_packing_bound(&g);
         let opt = mds_size(&square(&g));
         assert_eq!(opt, 5);
-        assert!(bound >= 3, "packing should capture most of OPT, got {bound}");
+        assert!(
+            bound >= 3,
+            "packing should capture most of OPT, got {bound}"
+        );
         assert!(bound <= opt);
     }
 

@@ -269,9 +269,9 @@ pub fn solve_mds_bruteforce(g: &Graph) -> Vec<bool> {
             continue;
         }
         let mut cov = 0u32;
-        for v in 0..n {
+        for (v, &d) in dom.iter().enumerate() {
             if mask >> v & 1 == 1 {
-                cov |= dom[v];
+                cov |= d;
             }
         }
         if cov & all == all {

@@ -100,8 +100,7 @@ impl VcSolver {
     fn matching_lower_bound(&self, active: &BitSet) -> usize {
         let mut avail = active.clone();
         let mut size = 0;
-        loop {
-            let Some(u) = avail.first() else { break };
+        while let Some(u) = avail.first() {
             avail.remove(u);
             let mut nb = self.adj[u].clone();
             nb.intersect_with(&avail);

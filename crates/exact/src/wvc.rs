@@ -99,8 +99,7 @@ impl WvcSolver {
     fn packing_lower_bound(&self, active: &BitSet) -> u64 {
         let mut avail = active.clone();
         let mut lb = 0u64;
-        loop {
-            let Some(u) = avail.first() else { break };
+        while let Some(u) = avail.first() {
             avail.remove(u);
             let mut nb = self.adj[u].clone();
             nb.intersect_with(&avail);

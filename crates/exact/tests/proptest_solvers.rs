@@ -3,7 +3,9 @@
 
 use pga_exact::bounds::{square_mds_packing_bound, square_vc_bound};
 use pga_exact::greedy::{greedy_mds, greedy_mwds, local_ratio_mwvc};
-use pga_exact::mds::{mds_size, solve_mds, solve_mds_bruteforce, solve_mwds, solve_mwds_with_budget};
+use pga_exact::mds::{
+    mds_size, solve_mds, solve_mds_bruteforce, solve_mwds, solve_mwds_with_budget,
+};
 use pga_exact::vc::{mvc_size, solve_mvc, solve_mvc_bruteforce, solve_mvc_with_budget};
 use pga_exact::wvc::{mwvc_weight, solve_mwvc, solve_mwvc_bruteforce};
 use pga_graph::cover::{is_dominating_set, is_vertex_cover, set_size, set_weight};
@@ -12,13 +14,17 @@ use pga_graph::{Graph, VertexWeights};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (3usize..12, proptest::collection::vec((0u32..12, 0u32..12), 0..30)).prop_map(|(n, edges)| {
-        let edges: Vec<(u32, u32)> = edges
-            .into_iter()
-            .map(|(a, b)| (a % n as u32, b % n as u32))
-            .collect();
-        Graph::from_edges(n, &edges)
-    })
+    (
+        3usize..12,
+        proptest::collection::vec((0u32..12, 0u32..12), 0..30),
+    )
+        .prop_map(|(n, edges)| {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            Graph::from_edges(n, &edges)
+        })
 }
 
 fn arb_weights(n: usize) -> impl Strategy<Value = VertexWeights> {

@@ -32,23 +32,34 @@ pub fn membership(n: usize, set: &[NodeId]) -> Vec<bool> {
 /// Whether `set` (membership vector) is a vertex cover of `g`: every edge
 /// has at least one endpoint in the set.
 pub fn is_vertex_cover(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    assert_eq!(
+        set.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
     g.edges().all(|(u, v)| set[u.index()] || set[v.index()])
 }
 
 /// Whether `set` is a dominating set of `g`: every vertex is in the set or
 /// has a neighbor in it.
 pub fn is_dominating_set(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
-    g.nodes().all(|v| {
-        set[v.index()] || g.neighbors(v).iter().any(|&u| set[u.index()])
-    })
+    assert_eq!(
+        set.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
+    g.nodes()
+        .all(|v| set[v.index()] || g.neighbors(v).iter().any(|&u| set[u.index()]))
 }
 
 /// Whether `set` is an independent set of `g`: no edge has both endpoints
 /// in the set.
 pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    assert_eq!(
+        set.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
     g.edges().all(|(u, v)| !(set[u.index()] && set[v.index()]))
 }
 
@@ -59,18 +70,18 @@ pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
 /// both endpoints outside the set, which happens iff either (a) a `G`-edge
 /// is uncovered, or (b) some vertex has two uncovered `G`-neighbors.
 pub fn is_vertex_cover_on_square(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
+    assert_eq!(
+        set.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
     // (a) G-edges.
     if !is_vertex_cover(g, set) {
         return false;
     }
     // (b) two-paths u - w - v with u, v both uncovered.
     for w in g.nodes() {
-        let uncovered = g
-            .neighbors(w)
-            .iter()
-            .filter(|&&u| !set[u.index()])
-            .count();
+        let uncovered = g.neighbors(w).iter().filter(|&&u| !set[u.index()]).count();
         if uncovered >= 2 {
             return false;
         }
@@ -80,13 +91,13 @@ pub fn is_vertex_cover_on_square(g: &Graph, set: &[bool]) -> bool {
 
 /// Whether `set` is a dominating set of `G²`, checked directly on `g`.
 pub fn is_dominating_set_on_square(g: &Graph, set: &[bool]) -> bool {
-    assert_eq!(set.len(), g.num_nodes(), "membership vector length mismatch");
-    g.nodes().all(|v| {
-        set[v.index()]
-            || two_hop_neighborhood(g, v)
-                .iter()
-                .any(|&u| set[u.index()])
-    })
+    assert_eq!(
+        set.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
+    g.nodes()
+        .all(|v| set[v.index()] || two_hop_neighborhood(g, v).iter().any(|&u| set[u.index()]))
 }
 
 /// Total weight of a vertex subset.
@@ -130,8 +141,14 @@ mod tests {
     #[test]
     fn independent_set_checks() {
         let g = generators::cycle(4);
-        assert!(is_independent_set(&g, &membership(4, &[NodeId(0), NodeId(2)])));
-        assert!(!is_independent_set(&g, &membership(4, &[NodeId(0), NodeId(1)])));
+        assert!(is_independent_set(
+            &g,
+            &membership(4, &[NodeId(0), NodeId(2)])
+        ));
+        assert!(!is_independent_set(
+            &g,
+            &membership(4, &[NodeId(0), NodeId(1)])
+        ));
         assert!(is_independent_set(&g, &membership(4, &[])));
     }
 

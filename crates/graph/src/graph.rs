@@ -389,10 +389,7 @@ mod tests {
         // isolated vertex
         assert_eq!(g.closed_neighborhood(NodeId(3)), vec![NodeId(3)]);
         // self smaller than all neighbors
-        assert_eq!(
-            g.closed_neighborhood(NodeId(0)),
-            vec![NodeId(0), NodeId(2)]
-        );
+        assert_eq!(g.closed_neighborhood(NodeId(0)), vec![NodeId(0), NodeId(2)]);
     }
 
     #[test]

@@ -94,10 +94,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         found += 1;
     }
     if found != m {
-        return Err(ParseError::CountMismatch {
-            declared: m,
-            found,
-        });
+        return Err(ParseError::CountMismatch { declared: m, found });
     }
     Ok(b.build())
 }

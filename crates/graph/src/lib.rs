@@ -42,8 +42,8 @@ pub mod generators;
 mod graph;
 pub mod io;
 pub mod matching;
-pub mod properties;
 pub mod power;
+pub mod properties;
 pub mod subgraph;
 pub mod traversal;
 pub mod weights;

@@ -53,8 +53,7 @@ impl Matching {
     /// Checks maximality: no `g`-edge has both endpoints unmatched.
     pub fn is_maximal(&self, g: &Graph) -> bool {
         let used = self.endpoints(g.num_nodes());
-        g.edges()
-            .all(|(u, v)| used[u.index()] || used[v.index()])
+        g.edges().all(|(u, v)| used[u.index()] || used[v.index()])
     }
 }
 

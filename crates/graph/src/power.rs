@@ -201,11 +201,7 @@ mod tests {
             for &p in &[0.0, 0.1, 0.3] {
                 let g = generators::gnp(n, p, &mut rng);
                 for r in 0..5 {
-                    assert_eq!(
-                        power(&g, r),
-                        power_oracle(&g, r),
-                        "n={n} p={p} r={r}"
-                    );
+                    assert_eq!(power(&g, r), power_oracle(&g, r), "n={n} p={p} r={r}");
                 }
             }
         }

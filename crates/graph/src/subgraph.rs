@@ -34,7 +34,11 @@ impl InducedSubgraph {
 /// Computes the subgraph of `g` induced by the vertex set `keep`
 /// (membership vector).
 pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> InducedSubgraph {
-    assert_eq!(keep.len(), g.num_nodes(), "membership vector length mismatch");
+    assert_eq!(
+        keep.len(),
+        g.num_nodes(),
+        "membership vector length mismatch"
+    );
     let mut to_host = Vec::new();
     let mut to_sub = vec![usize::MAX; g.num_nodes()];
     for v in g.nodes() {

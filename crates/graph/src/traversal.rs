@@ -132,11 +132,7 @@ pub fn is_connected(g: &Graph) -> bool {
 
 /// Eccentricity of `v`: maximum distance to a reachable vertex.
 pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
-    bfs_distances(g, v)
-        .into_iter()
-        .flatten()
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
 }
 
 /// Diameter of `g`: maximum eccentricity over all vertices.

@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use pga_graph::cover::{is_independent_set, is_vertex_cover, membership, members};
+use pga_graph::cover::{is_independent_set, is_vertex_cover, members, membership};
 use pga_graph::power::{power, square, two_hop_neighborhood};
 use pga_graph::traversal::{bfs_distances, connected_components, is_connected};
 use pga_graph::{generators, Graph, GraphBuilder, NodeId};

@@ -101,7 +101,10 @@ impl Bcd19Graph {
 /// Panics unless `k` is a power of two with `k ≥ 2`.
 pub fn build(inst: &DisjInstance) -> Bcd19Graph {
     let k = inst.k;
-    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    assert!(
+        k >= 2 && k.is_power_of_two(),
+        "k must be a power of two ≥ 2"
+    );
     let logk = k.ilog2() as usize;
 
     let mut b = GraphBuilder::new(0);

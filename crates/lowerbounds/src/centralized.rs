@@ -77,11 +77,7 @@ mod tests {
             let h = dangling_path_reduction(&g);
             assert_eq!(h.num_nodes(), g.num_nodes() + 3 * g.num_edges());
             let h2 = square(&h);
-            assert_eq!(
-                mvc_size(&h2),
-                mvc_size(&g) + 2 * g.num_edges(),
-                "G: {g:?}"
-            );
+            assert_eq!(mvc_size(&h2), mvc_size(&g) + 2 * g.num_edges(), "G: {g:?}");
         }
     }
 
@@ -112,7 +108,11 @@ mod tests {
 
     #[test]
     fn theorem45_offset_on_structured_graphs() {
-        for g in [generators::cycle(9), generators::star(7), generators::grid(2, 4)] {
+        for g in [
+            generators::cycle(9),
+            generators::star(7),
+            generators::grid(2, 4),
+        ] {
             let (h, _tail) = merged_dangling_reduction(&g);
             let h2 = square(&h);
             assert_eq!(mds_size(&h2), mds_size(&g) + 1);

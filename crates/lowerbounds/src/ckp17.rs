@@ -108,7 +108,10 @@ impl Ckp17Graph {
 /// Panics unless `k` is a power of two with `k ≥ 2`.
 pub fn build(inst: &DisjInstance) -> Ckp17Graph {
     let k = inst.k;
-    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    assert!(
+        k >= 2 && k.is_power_of_two(),
+        "k must be a power of two ≥ 2"
+    );
     let logk = k.ilog2() as usize;
 
     let mut b = GraphBuilder::new(0);
@@ -248,16 +251,12 @@ mod tests {
         x2.x = DisjInstance::random(4, 0.5, &mut rng).x;
         let g1 = build(&base);
         let g2 = build(&x2);
-        assert!(g1
-            .partitioned
-            .input_locality_ok(&g2.partitioned, true));
+        assert!(g1.partitioned.input_locality_ok(&g2.partitioned, true));
 
         let mut y2 = base.clone();
         y2.y = DisjInstance::random(4, 0.5, &mut rng).y;
         let g3 = build(&y2);
-        assert!(g1
-            .partitioned
-            .input_locality_ok(&g3.partitioned, false));
+        assert!(g1.partitioned.input_locality_ok(&g3.partitioned, false));
     }
 
     #[test]

@@ -171,9 +171,7 @@ mod tests {
     fn merged_gadget_tail_covers_all_stubs_in_square() {
         let mut b = GraphBuilder::new(3);
         let m = MergedGadget::new(&mut b);
-        let stubs: Vec<[NodeId; 2]> = (0..3)
-            .map(|i| m.attach(&mut b, NodeId(i as u32)))
-            .collect();
+        let stubs: Vec<[NodeId; 2]> = (0..3).map(|i| m.attach(&mut b, NodeId(i as u32))).collect();
         let g2 = square(&b.build());
         // Lemma 36: [3] dominates every stub's [1] and [2] in the square.
         for s in &stubs {

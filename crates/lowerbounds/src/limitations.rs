@@ -63,9 +63,7 @@ pub fn two_party_protocol(pg: &PartitionedGraph) -> Lemma25Outcome {
     // Interior solve per side on G²[side \ cut].
     let g2 = square(g);
     for side in [true, false] {
-        let keep: Vec<bool> = (0..n)
-            .map(|i| pg.alice[i] == side && !cover[i])
-            .collect();
+        let keep: Vec<bool> = (0..n).map(|i| pg.alice[i] == side && !cover[i]).collect();
         let sub = induced_subgraph(&g2, &keep);
         let local = solve_mvc(&sub.graph);
         for (i, &m) in local.iter().enumerate() {

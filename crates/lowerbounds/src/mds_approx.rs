@@ -92,10 +92,10 @@ fn build_inner(inst: &DisjInstance, cfg: &ApproxConfig, weighted: bool) -> MdsAp
     let mut weights: Vec<u64> = Vec::new();
     let mut alice: Vec<bool> = Vec::new();
     let add = |b: &mut GraphBuilder,
-                   weights: &mut Vec<u64>,
-                   alice: &mut Vec<bool>,
-                   w: u64,
-                   on_alice: bool| {
+               weights: &mut Vec<u64>,
+               alice: &mut Vec<bool>,
+               w: u64,
+               on_alice: bool| {
         weights.push(w);
         alice.push(on_alice);
         b.add_node()
@@ -117,71 +117,67 @@ fn build_inner(inst: &DisjInstance, cfg: &ApproxConfig, weighted: bool) -> MdsAp
 
     // Two set-gadget copies. Alice hosts the S sides and the αs; Bob the
     // complements and βs.
-    let make_copy = |b: &mut GraphBuilder,
-                         weights: &mut Vec<u64>,
-                         alice: &mut Vec<bool>|
-     -> GadgetCopy {
-        let sets: Vec<NodeId> = (0..t).map(|_| add(b, weights, alice, 1, true)).collect();
-        let complements: Vec<NodeId> =
-            (0..t).map(|_| add(b, weights, alice, 1, false)).collect();
-        let alphas: Vec<NodeId> = (0..ell)
-            .map(|_| add(b, weights, alice, cfg.heavy, true))
-            .collect();
-        let betas: Vec<NodeId> = (0..ell)
-            .map(|_| add(b, weights, alice, cfg.heavy, false))
-            .collect();
-        for i in 0..ell {
-            b.add_edge(alphas[i], betas[i]);
-        }
-        for j in 0..t {
+    let make_copy =
+        |b: &mut GraphBuilder, weights: &mut Vec<u64>, alice: &mut Vec<bool>| -> GadgetCopy {
+            let sets: Vec<NodeId> = (0..t).map(|_| add(b, weights, alice, 1, true)).collect();
+            let complements: Vec<NodeId> =
+                (0..t).map(|_| add(b, weights, alice, 1, false)).collect();
+            let alphas: Vec<NodeId> = (0..ell)
+                .map(|_| add(b, weights, alice, cfg.heavy, true))
+                .collect();
+            let betas: Vec<NodeId> = (0..ell)
+                .map(|_| add(b, weights, alice, cfg.heavy, false))
+                .collect();
             for i in 0..ell {
-                if sys.sets[j][i] {
-                    b.add_edge(sets[j], alphas[i]);
-                } else {
-                    b.add_edge(complements[j], betas[i]);
+                b.add_edge(alphas[i], betas[i]);
+            }
+            for j in 0..t {
+                for i in 0..ell {
+                    if sys.sets[j][i] {
+                        b.add_edge(sets[j], alphas[i]);
+                    } else {
+                        b.add_edge(complements[j], betas[i]);
+                    }
                 }
             }
-        }
-        if weighted {
-            // Hubs α and β (weighted variant only).
-            let ah = add(b, weights, alice, cfg.heavy, true);
-            let bh = add(b, weights, alice, cfg.heavy, false);
-            for j in 0..t {
-                b.add_edge(ah, sets[j]);
-                b.add_edge(bh, complements[j]);
+            if weighted {
+                // Hubs α and β (weighted variant only).
+                let ah = add(b, weights, alice, cfg.heavy, true);
+                let bh = add(b, weights, alice, cfg.heavy, false);
+                for j in 0..t {
+                    b.add_edge(ah, sets[j]);
+                    b.add_edge(bh, complements[j]);
+                }
             }
-        }
-        GadgetCopy { sets, complements }
-    };
+            GadgetCopy { sets, complements }
+        };
     let g1 = make_copy(&mut b, &mut weights, &mut alice);
     let g2 = make_copy(&mut b, &mut weights, &mut alice);
 
     // Merged gadgets: A* on Alice's side, B* on Bob's. In the weighted
     // variant only the shared [3] vertex is free.
-    let make_star = |b: &mut GraphBuilder,
-                         weights: &mut Vec<u64>,
-                         alice: &mut Vec<bool>,
-                         on_alice: bool| {
-        let star = MergedGadget::new(b);
-        weights.push(if weighted { 0 } else { 1 }); // [3]
-        weights.push(1); // [4]
-        weights.push(1); // [5]
-        for _ in 0..3 {
-            alice.push(on_alice);
-        }
-        star
-    };
+    let make_star =
+        |b: &mut GraphBuilder, weights: &mut Vec<u64>, alice: &mut Vec<bool>, on_alice: bool| {
+            let star = MergedGadget::new(b);
+            weights.push(if weighted { 0 } else { 1 }); // [3]
+            weights.push(1); // [4]
+            weights.push(1); // [5]
+            for _ in 0..3 {
+                alice.push(on_alice);
+            }
+            star
+        };
     let a_star = make_star(&mut b, &mut weights, &mut alice, true);
     let b_star = make_star(&mut b, &mut weights, &mut alice, false);
 
     // Stubs: every row vertex gets an input-stub and a set-stub on its
     // side's merged gadget.
     let stub = |b: &mut GraphBuilder,
-                    weights: &mut Vec<u64>,
-                    alice: &mut Vec<bool>,
-                    merged: &MergedGadget,
-                    host: NodeId,
-                    on_alice: bool|
+                weights: &mut Vec<u64>,
+                alice: &mut Vec<bool>,
+                merged: &MergedGadget,
+                host: NodeId,
+                on_alice: bool|
      -> NodeId {
         let [p1, _p2] = merged.attach(b, host);
         for _ in 0..2 {

@@ -133,10 +133,7 @@ mod tests {
             let logk = k.ilog2() as usize;
             // 4k·log k row-to-bit + 12·log k cycle edges + 4k shared.
             assert_eq!(h.num_gadgets, 4 * k * logk + 12 * logk + 4 * k);
-            assert_eq!(
-                h.graph().num_nodes(),
-                4 * k + 12 * logk + 5 * h.num_gadgets
-            );
+            assert_eq!(h.graph().num_nodes(), 4 * k + 12 * logk + 5 * h.num_gadgets);
         }
     }
 

@@ -114,16 +114,9 @@ mod tests {
             let inst = DisjInstance::random(k, 0.5, &mut rng);
             let h = build(&inst);
             let logk = k.ilog2() as usize;
-            assert_eq!(
-                h.num_gadgets,
-                2 * k + 4 * k * logk + 8 * logk,
-                "k={k}"
-            );
+            assert_eq!(h.num_gadgets, 2 * k + 4 * k * logk + 8 * logk, "k={k}");
             // n = O(k log k): originals + 3 per gadget.
-            assert_eq!(
-                h.graph().num_nodes(),
-                4 * k + 8 * logk + 3 * h.num_gadgets
-            );
+            assert_eq!(h.graph().num_nodes(), 4 * k + 8 * logk + 3 * h.num_gadgets);
         }
     }
 
@@ -133,10 +126,7 @@ mod tests {
         for k in [2usize, 4, 8] {
             let inst = DisjInstance::random(k, 0.5, &mut rng);
             let h = build(&inst);
-            assert!(
-                h.partitioned.cut_size() <= 8 * k.ilog2() as usize,
-                "k={k}"
-            );
+            assert!(h.partitioned.cut_size() <= 8 * k.ilog2() as usize, "k={k}");
         }
     }
 

@@ -13,9 +13,9 @@
 //! The gadget graph: set vertices `Sⱼ` adjacent to `αᵢ` for `i ∈ Sⱼ`,
 //! complement vertices `S̄ⱼ` adjacent to `βᵢ` for `i ∉ Sⱼ`, edges
 //! `{αᵢ, βᵢ}`, and two hubs `α` (adjacent to all `Sⱼ`) and `β` (to all
-//! `S̄ⱼ`). Element and hub vertices carry weight `r`; set vertices weight
-//! 1. **Lemma 39** (verified): the square has a dominating set of weight
-//! 2 — any complementary pair — while any dominating set avoiding
+//! `S̄ⱼ`). Element and hub vertices carry weight `r`; set vertices carry
+//! weight 1. **Lemma 39** (verified): the square has a dominating set of
+//! weight 2 — any complementary pair — while any dominating set avoiding
 //! complementary pairs and heavy vertices costs at least `r`.
 
 use pga_graph::{Graph, GraphBuilder, NodeId, VertexWeights};
@@ -47,7 +47,12 @@ impl SetSystem {
     /// every collection of at most `r` signed sets without a
     /// complementary pair leaves some element uncovered.
     pub fn check_r_covering(&self, r: usize) -> bool {
-        fn rec(sys: &SetSystem, idx: usize, chosen: &mut Vec<(usize, bool)>, budget: usize) -> bool {
+        fn rec(
+            sys: &SetSystem,
+            idx: usize,
+            chosen: &mut Vec<(usize, bool)>,
+            budget: usize,
+        ) -> bool {
             if chosen.len() == budget || idx == sys.sets.len() {
                 if chosen.is_empty() {
                     return true;
@@ -253,8 +258,7 @@ mod tests {
         let sys = sample_system(2);
         let gadget = build_gadget(&sys, 4);
         let g2 = square(&gadget.graph);
-        let ds = solve_mwds_with_budget(&g2, &gadget.weights, 2)
-            .expect("weight-2 solution exists");
+        let ds = solve_mwds_with_budget(&g2, &gadget.weights, 2).expect("weight-2 solution exists");
         let chosen: Vec<usize> = ds
             .iter()
             .enumerate()

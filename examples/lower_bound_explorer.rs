@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --release --example lower_bound_explorer`.
 
-use power_graphs::lowerbounds::{bcd19, ckp17, disjointness::DisjInstance, mds_approx, mvc, mwvc, set_gadget};
+use power_graphs::lowerbounds::{
+    bcd19, ckp17, disjointness::DisjInstance, mds_approx, mvc, mwvc, set_gadget,
+};
 use power_graphs::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,8 +94,7 @@ fn main() {
     for (name, inst) in [("intersecting", &yes3), ("disjoint", &no3)] {
         let lb = mds_approx::build_weighted(inst, &cfg);
         let sq = square(lb.graph());
-        let cheap =
-            pga_exact::mds::solve_mwds_with_budget(&sq, &lb.weights, lb.low).is_some();
+        let cheap = pga_exact::mds::solve_mwds_with_budget(&sq, &lb.weights, lb.low).is_some();
         println!(
             "  weighted  {name:12}: n = {}, MDS ≤ {}? {} (gap ratio {:.4})",
             lb.graph().num_nodes(),
@@ -105,8 +106,7 @@ fn main() {
     for (name, inst) in [("intersecting", &yes3), ("disjoint", &no3)] {
         let lb = mds_approx::build_unweighted(inst, &cfg);
         let sq = square(lb.graph());
-        let cheap =
-            pga_exact::mds::solve_mwds_with_budget(&sq, &lb.weights, lb.low).is_some();
+        let cheap = pga_exact::mds::solve_mwds_with_budget(&sq, &lb.weights, lb.low).is_some();
         println!(
             "  unweighted {name:12}: n = {}, MDS ≤ {}? {} (gap ratio {:.4})",
             lb.graph().num_nodes(),

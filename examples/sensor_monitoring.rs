@@ -40,10 +40,7 @@ fn main() {
 
     // Centralized baselines.
     let greedy = pga_exact::greedy::greedy_mds(&g2);
-    println!(
-        "greedy ln Δ baseline: {} monitors",
-        set_size(&greedy)
-    );
+    println!("greedy ln Δ baseline: {} monitors", set_size(&greedy));
     let opt = mds_size(&g2);
     println!("exact optimum:        {opt} monitors");
 

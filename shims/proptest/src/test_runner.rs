@@ -1,0 +1,58 @@
+//! Test-case execution support: configuration, errors, and the
+//! deterministic per-test RNG.
+
+use std::fmt;
+
+use rand::SeedableRng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for one [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion (carries the rendered message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps an assertion-failure message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Builds the deterministic RNG for a test, seeded from an FNV-1a hash
+/// of its fully qualified name so every test explores a distinct but
+/// reproducible stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use pga_exact::vc::{mvc_size, solve_mvc};
     pub use pga_exact::wvc::{mwvc_weight, solve_mwvc};
     pub use pga_graph::cover::{
-        is_dominating_set, is_dominating_set_on_square, is_vertex_cover,
-        is_vertex_cover_on_square, set_size, set_weight,
+        is_dominating_set, is_dominating_set_on_square, is_vertex_cover, is_vertex_cover_on_square,
+        set_size, set_weight,
     };
     pub use pga_graph::power::{power, square};
     pub use pga_graph::{generators, Graph, GraphBuilder, NodeId, VertexWeights};

@@ -122,7 +122,10 @@ fn round_scaling_shape() {
     let r80 = g2_mvc_congest(&generators::cycle(80), 0.5, LocalSolver::Exact)
         .unwrap()
         .total_rounds() as f64;
-    assert!(r80 <= 4.0 * r_half + 60.0, "rounds must scale ~linearly in n");
+    assert!(
+        r80 <= 4.0 * r_half + 60.0,
+        "rounds must scale ~linearly in n"
+    );
 }
 
 /// Lemma 6 on powers: the trivial cover's measured ratio respects

@@ -1,0 +1,80 @@
+//! Smoke test pinning the `power_graphs::prelude` surface.
+//!
+//! The prelude's re-export list is documented in the facade crate's
+//! rustdoc; this test exercises every item through the prelude alone so
+//! a drifted or dropped re-export fails the build (or this test) rather
+//! than silently breaking downstream examples and experiments.
+
+use power_graphs::prelude::*;
+
+/// Every documented prelude item resolves and behaves on a small graph.
+#[test]
+fn prelude_exposes_documented_api() {
+    // Graph substrate: generators, Graph, GraphBuilder, NodeId,
+    // VertexWeights, power/square.
+    let g: Graph = generators::clique_chain(4, 5);
+    let mut builder = GraphBuilder::new(3);
+    builder.add_clique(&[NodeId(0), NodeId(1), NodeId(2)]);
+    let triangle: Graph = builder.build();
+    assert_eq!(triangle.num_edges(), 3);
+
+    let g2: Graph = square(&g);
+    assert_eq!(g2, power(&g, 2));
+
+    // Cover predicates and set helpers.
+    let all = vec![true; g.num_nodes()];
+    assert!(is_vertex_cover(&g, &all));
+    assert!(is_vertex_cover_on_square(&g, &all));
+    assert!(is_dominating_set(&g, &all));
+    assert!(is_dominating_set_on_square(&g, &all));
+    assert_eq!(set_size(&all), g.num_nodes());
+    let w = VertexWeights::uniform(g.num_nodes());
+    assert_eq!(set_weight(&all, w.as_slice()), g.num_nodes() as u64);
+
+    // Exact solvers.
+    let opt_vc = solve_mvc(&g2);
+    assert!(is_vertex_cover(&g2, &opt_vc));
+    assert_eq!(set_size(&opt_vc), mvc_size(&g2));
+    let opt_ds = solve_mds(&g2);
+    assert!(is_dominating_set(&g2, &opt_ds));
+    assert_eq!(set_size(&opt_ds), mds_size(&g2));
+    let opt_wvc = solve_mwvc(&g2, &w);
+    assert!(is_vertex_cover(&g2, &opt_wvc));
+    assert_eq!(set_weight(&opt_wvc, w.as_slice()), mwvc_weight(&g2, &w));
+
+    // Theorem 1: (1+eps)-approximate G²-MVC in CONGEST.
+    let result: G2MvcResult = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &result.cover));
+    let _rounds: usize = result.total_rounds();
+
+    // Theorem 7: the weighted variant.
+    let weighted = g2_mwvc_congest(&g, &w, 0.5).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &weighted.cover));
+
+    // Corollary 10 and Theorem 11: CONGESTED CLIQUE variants.
+    let det = g2_mvc_clique_det(&g, 0.5, LocalSolver::FiveThirds).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &det.cover));
+    let rand = g2_mvc_clique_rand(&g, 0.5, LocalSolver::FiveThirds, 7).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &rand.cover));
+
+    // Theorem 12: the centralized 5/3-approximation.
+    let ft = five_thirds_vertex_cover(&g2);
+    assert!(is_vertex_cover(&g2, &ft.cover));
+
+    // Theorem 28 and CD18: G²-MDS algorithms.
+    let mds = g2_mds_congest(&g, 16, 3).unwrap();
+    assert!(is_dominating_set_on_square(&g, &mds.dominating_set));
+    let cd18 = cd18_mds(&g2, 5);
+    assert!(is_dominating_set(&g2, &cd18.dominating_set));
+}
+
+/// The simulator types re-exported by the prelude are usable directly.
+#[test]
+fn prelude_exposes_simulator_types() {
+    let g = generators::path(6);
+    let _congest: Simulator<'_> = Simulator::congest(&g);
+    let _clique: Simulator<'_> = Simulator::congested_clique(&g);
+    assert_ne!(Topology::Congest, Topology::CongestedClique);
+    let metrics = Metrics::default();
+    assert_eq!(metrics.rounds, 0);
+}
