@@ -1,0 +1,251 @@
+//! Bench-smoke for the simulation round engines.
+//!
+//! Runs two message-heavy workloads on one pinned seeded instance
+//! (default: 60k vertices, 240k edges), once on the sequential reference
+//! engine and once on the sharded parallel engine, then:
+//!
+//! * verifies the two engines produced **bit-identical** outputs and
+//!   metrics (exit code 1 on divergence — this is CI's correctness gate),
+//! * writes the machine-readable `BENCH_sim.json` artifact
+//!   (schema: `pga_bench::harness::SimBench`),
+//! * with `--assert-speedup`, additionally requires the parallel engine
+//!   to be measurably faster than the sequential one (exit code 2
+//!   otherwise; skipped with a notice when fewer than two CPUs are
+//!   available, as speedup is physically impossible there).
+//!
+//! Environment overrides: `BENCH_SIM_N` (vertices), `BENCH_SIM_AVG_DEG`
+//! (average degree), `BENCH_SIM_SEED`, `BENCH_SIM_THREADS`,
+//! `BENCH_SIM_REPS` (best-of repetitions), `BENCH_SIM_OUT` (artifact
+//! path).
+
+use pga_bench::harness::{time_ms, EngineTiming, SimBench, WorkloadRecord};
+use pga_congest::primitives::FloodMax;
+use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, Simulator};
+use pga_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// A 64-bit payload, charged 64 bits.
+#[derive(Clone)]
+struct Word(u64);
+
+impl MsgSize for Word {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        64
+    }
+}
+
+/// Fixed-horizon neighborhood aggregation: for `rounds_left` rounds every
+/// node mixes its inbox into an accumulator and re-broadcasts it. Uniform
+/// per-round load on every edge — the worst case for the exchange phase —
+/// and the mixing makes any delivery-order deviation show up in the
+/// outputs immediately.
+struct Aggregate {
+    acc: u64,
+    rounds_left: usize,
+}
+
+impl Algorithm for Aggregate {
+    type Msg = Word;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Word)]) -> Vec<(NodeId, Word)> {
+        for (from, m) in inbox {
+            self.acc = self
+                .acc
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(m.0 ^ from.0 as u64);
+        }
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        self.rounds_left -= 1;
+        ctx.graph_neighbors
+            .iter()
+            .map(|&v| (v, Word(self.acc)))
+            .collect()
+    }
+
+    fn is_done(&self, _ctx: &Ctx) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self, _ctx: &Ctx) -> u64 {
+        self.acc
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall time for a run, plus the (rep-invariant) report.
+fn best_of<A, F>(
+    reps: usize,
+    mk: F,
+    run: impl Fn(Vec<A>) -> Report<A::Output>,
+) -> (Report<A::Output>, f64)
+where
+    A: Algorithm,
+    F: Fn() -> Vec<A>,
+{
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let (r, ms) = time_ms(|| run(mk()));
+        best_ms = best_ms.min(ms);
+        report = Some(r);
+    }
+    (report.unwrap(), best_ms)
+}
+
+/// Runs one workload on both engines and assembles the record.
+fn bench_workload<A, F>(name: &str, g: &Graph, threads: usize, reps: usize, mk: F) -> WorkloadRecord
+where
+    A: Algorithm + Send,
+    A::Msg: Send,
+    A::Output: PartialEq + std::fmt::Debug,
+    F: Fn() -> Vec<A>,
+{
+    let (seq, seq_ms) = best_of(reps, &mk, |nodes| {
+        Simulator::congest(g).run(nodes).expect("sequential run")
+    });
+    let (par, par_ms) = best_of(reps, &mk, |nodes| {
+        Simulator::congest(g)
+            .run_parallel(nodes, threads)
+            .expect("parallel run")
+    });
+
+    let identical = seq.outputs == par.outputs && seq.metrics == par.metrics;
+    if !identical {
+        eprintln!("DIVERGENCE in workload '{name}':");
+        eprintln!("  sequential metrics: {}", seq.metrics);
+        eprintln!("  parallel   metrics: {}", par.metrics);
+        if seq.outputs != par.outputs {
+            eprintln!("  outputs differ");
+        }
+    }
+    let Metrics {
+        rounds,
+        messages,
+        bits,
+        ..
+    } = seq.metrics;
+    WorkloadRecord {
+        name: name.to_string(),
+        rounds,
+        messages,
+        bits,
+        peak_edge_bits: seq.metrics.peak_edge_bits(),
+        engines: vec![
+            EngineTiming {
+                engine: "sequential".into(),
+                threads: 1,
+                wall_ms: seq_ms,
+            },
+            EngineTiming {
+                engine: "parallel".into(),
+                threads,
+                wall_ms: par_ms,
+            },
+        ],
+        speedup: seq_ms / par_ms,
+        identical,
+    }
+}
+
+fn main() {
+    let assert_speedup = std::env::args().any(|a| a == "--assert-speedup");
+    let n = env_usize("BENCH_SIM_N", 60_000);
+    let avg_deg = env_usize("BENCH_SIM_AVG_DEG", 8);
+    let seed = env_u64("BENCH_SIM_SEED", 45_803);
+    let threads = env_usize("BENCH_SIM_THREADS", 4);
+    let reps = env_usize("BENCH_SIM_REPS", 2);
+    let out = PathBuf::from(
+        std::env::var("BENCH_SIM_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string()),
+    );
+    let m = (n * avg_deg / 2).max(n.saturating_sub(1));
+
+    println!("bench_sim: pinned instance n={n} m={m} seed={seed}, parallel threads={threads}, best of {reps}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, gen_ms) = time_ms(|| generators::connected_gnm(n, m, &mut rng));
+    let (offsets, targets) = g.csr();
+    println!(
+        "  graph generated in {gen_ms:.0} ms (CSR: {} offsets, {} directed entries)",
+        offsets.len(),
+        targets.len()
+    );
+
+    let workloads = vec![
+        bench_workload("floodmax", &g, threads, reps, || {
+            (0..n)
+                .map(|i| FloodMax::new(NodeId::from_index(i)))
+                .collect()
+        }),
+        bench_workload("aggregate8", &g, threads, reps, || {
+            (0..n)
+                .map(|i| Aggregate {
+                    acc: i as u64,
+                    rounds_left: 8,
+                })
+                .collect()
+        }),
+    ];
+
+    for w in &workloads {
+        println!(
+            "  {:>10}: {} rounds, {} msgs | seq {:.0} ms, par({threads}) {:.0} ms, speedup {:.2}x, identical: {}",
+            w.name, w.rounds, w.messages, w.engines[0].wall_ms, w.engines[1].wall_ms, w.speedup, w.identical
+        );
+    }
+
+    let doc = SimBench {
+        bench: "sim_round_engine".into(),
+        seed,
+        n,
+        m: g.num_edges(),
+        workloads,
+    };
+    doc.write_json(&out).expect("write BENCH_sim.json");
+    println!("  wrote {}", out.display());
+
+    if doc.workloads.iter().any(|w| !w.identical) {
+        eprintln!("FAIL: parallel and sequential outputs diverged");
+        std::process::exit(1);
+    }
+    println!("  engines bit-identical on every workload");
+
+    if assert_speedup {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if cpus < threads.max(2) {
+            // Fewer CPUs than shard threads: the workers oversubscribe the
+            // cores and speedup is down to scheduler luck, so the gate
+            // would be noise, not signal.
+            println!(
+                "  speedup assertion SKIPPED: {cpus} CPU(s) available for {threads} shard threads"
+            );
+        } else {
+            let worst = doc
+                .workloads
+                .iter()
+                .map(|w| w.speedup)
+                .fold(f64::INFINITY, f64::min);
+            if worst < 1.05 {
+                eprintln!("FAIL: parallel engine not measurably faster (worst speedup {worst:.2}x < 1.05x)");
+                std::process::exit(2);
+            }
+            println!("  speedup assertion passed (worst {worst:.2}x >= 1.05x)");
+        }
+    }
+}

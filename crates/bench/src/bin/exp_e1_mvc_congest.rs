@@ -8,7 +8,8 @@
 //! lower bound of the square.
 
 use pga_bench::{banner, f3, square_mvc_lower_bound, Table};
-use pga_core::mvc::congest::{g2_mvc_congest, LocalSolver};
+use pga_congest::Engine;
+use pga_core::mvc::congest::{g2_mvc_congest_with, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::is_vertex_cover_on_square;
 use pga_graph::generators;
@@ -47,7 +48,8 @@ fn main() {
             } else {
                 LocalSolver::FiveThirds
             };
-            let r = g2_mvc_congest(&g, eps, solver).expect("simulation");
+            let r =
+                g2_mvc_congest_with(&g, eps, solver, Engine::parallel_auto()).expect("simulation");
             assert!(is_vertex_cover_on_square(&g, &r.cover));
             let rounds = r.total_rounds();
             t.row(&[
@@ -79,7 +81,8 @@ fn main() {
         let g = generators::cycle(n);
         let reference = square_mvc_lower_bound(&g);
         for &eps in &[0.5f64, 0.25] {
-            let r = g2_mvc_congest(&g, eps, LocalSolver::FiveThirds).expect("simulation");
+            let r = g2_mvc_congest_with(&g, eps, LocalSolver::FiveThirds, Engine::parallel_auto())
+                .expect("simulation");
             assert!(is_vertex_cover_on_square(&g, &r.cover));
             t.row(&[
                 n.to_string(),

@@ -1,0 +1,247 @@
+//! Wall-clock timing and machine-readable benchmark artifacts.
+//!
+//! The `bench_sim` binary (and CI's `bench-smoke` job) use this module to
+//! time the simulation engines and emit `BENCH_sim.json`, a small
+//! hand-rolled JSON document (the workspace is offline, so no serde). The
+//! schema is documented on [`SimBench`] and in the README's "Simulation
+//! engines" section.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Runs `f` once and returns its result together with the elapsed wall
+/// time in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One engine's wall time on one workload.
+#[derive(Clone, Debug)]
+pub struct EngineTiming {
+    /// Engine name: `"sequential"` or `"parallel"`.
+    pub engine: String,
+    /// Worker threads used (1 for the sequential engine).
+    pub threads: usize,
+    /// Best-of-reps wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One workload's results across engines.
+#[derive(Clone, Debug)]
+pub struct WorkloadRecord {
+    /// Workload name (e.g. `"floodmax"`).
+    pub name: String,
+    /// Simulated rounds (identical across engines by construction).
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total message bits delivered.
+    pub bits: u64,
+    /// Peak per-edge bits in any single round (congestion profile max).
+    pub peak_edge_bits: usize,
+    /// Per-engine wall times.
+    pub engines: Vec<EngineTiming>,
+    /// Sequential wall time divided by the best parallel wall time.
+    pub speedup: f64,
+    /// Whether every engine produced bit-identical outputs and metrics.
+    pub identical: bool,
+}
+
+/// The `BENCH_sim.json` document: one pinned instance, several workloads,
+/// sequential-vs-parallel wall times and the bit-identity verdict.
+///
+/// Serialized shape:
+///
+/// ```json
+/// {
+///   "bench": "sim_round_engine",
+///   "seed": 45803,
+///   "n": 60000,
+///   "m": 240000,
+///   "workloads": [
+///     {
+///       "name": "floodmax",
+///       "rounds": 11,
+///       "messages": 2905060,
+///       "bits": 46481000,
+///       "peak_edge_bits": 16,
+///       "engines": [
+///         {"engine": "sequential", "threads": 1, "wall_ms": 812.4},
+///         {"engine": "parallel", "threads": 4, "wall_ms": 287.1}
+///       ],
+///       "speedup": 2.83,
+///       "identical": true
+///     }
+///   ]
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimBench {
+    /// Benchmark family identifier (`"sim_round_engine"`).
+    pub bench: String,
+    /// RNG seed that pins the instance.
+    pub seed: u64,
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadRecord>,
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SimBench {
+    /// Serializes the document to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"n\": {},\n", self.n));
+        s.push_str(&format!("  \"m\": {},\n", self.m));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
+            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+            s.push_str(&format!("      \"messages\": {},\n", w.messages));
+            s.push_str(&format!("      \"bits\": {},\n", w.bits));
+            s.push_str(&format!(
+                "      \"peak_edge_bits\": {},\n",
+                w.peak_edge_bits
+            ));
+            s.push_str("      \"engines\": [\n");
+            for (ei, e) in w.engines.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+                    json_escape(&e.engine),
+                    e.threads,
+                    e.wall_ms,
+                    if ei + 1 < w.engines.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ],\n");
+            s.push_str(&format!("      \"speedup\": {:.3},\n", w.speedup));
+            s.push_str(&format!("      \"identical\": {}\n", w.identical));
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimBench {
+        SimBench {
+            bench: "sim_round_engine".into(),
+            seed: 7,
+            n: 100,
+            m: 250,
+            workloads: vec![WorkloadRecord {
+                name: "floodmax".into(),
+                rounds: 9,
+                messages: 1234,
+                bits: 9999,
+                peak_edge_bits: 16,
+                engines: vec![
+                    EngineTiming {
+                        engine: "sequential".into(),
+                        threads: 1,
+                        wall_ms: 10.5,
+                    },
+                    EngineTiming {
+                        engine: "parallel".into(),
+                        threads: 4,
+                        wall_ms: 4.2,
+                    },
+                ],
+                speedup: 2.5,
+                identical: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_contains_schema_fields() {
+        let j = sample().to_json();
+        for needle in [
+            "\"bench\": \"sim_round_engine\"",
+            "\"n\": 100",
+            "\"m\": 250",
+            "\"rounds\": 9",
+            "\"peak_edge_bits\": 16",
+            "\"engine\": \"parallel\", \"threads\": 4",
+            "\"speedup\": 2.500",
+            "\"identical\": true",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        let j = sample().to_json();
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        // No trailing comma before a closer (the classic hand-rolled-JSON
+        // bug).
+        assert!(!j.contains(",\n  ]"), "trailing comma:\n{j}");
+        assert!(!j.contains(",\n    ]"), "trailing comma:\n{j}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn time_ms_measures() {
+        let (v, ms) = time_ms(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(ms >= 0.0);
+    }
+}

@@ -10,6 +10,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use pga_graph::matching::maximal_matching;
 use pga_graph::power::square;
 use pga_graph::Graph;

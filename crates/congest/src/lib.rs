@@ -15,7 +15,15 @@
 //!
 //! Algorithms implement the [`Algorithm`] trait as explicit per-node state
 //! machines; the [`Simulator`] drives them round by round, deterministic in
-//! node ids, and reports [`Metrics`] (rounds, messages, bits).
+//! node ids, and reports [`Metrics`] (rounds, messages, bits, and the
+//! per-round congestion profile).
+//!
+//! Two round executors are provided and are **bit-identical** for every
+//! thread count: the single-threaded reference engine ([`Simulator::run`])
+//! and the sharded multi-threaded engine ([`Simulator::run_parallel`]),
+//! which exploits the fact that rounds are barriers while nodes within a
+//! round are embarrassingly parallel. Select one per run with
+//! [`Simulator::run_with`] and [`Engine`].
 //!
 //! # Example: flooding the maximum id (leader election)
 //!
@@ -65,5 +73,6 @@ pub mod primitives;
 
 pub use metrics::Metrics;
 pub use sim::{
-    default_bandwidth_bits, id_bits, Algorithm, Ctx, MsgSize, Report, SimError, Simulator, Topology,
+    default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report, SimError, Simulator,
+    Topology, PARALLEL_MIN_NODES,
 };

@@ -1,9 +1,12 @@
-//! Run metrics: rounds, messages, and bits.
+//! Run metrics: rounds, messages, bits, and the per-round congestion
+//! profile.
 
 /// Aggregate communication metrics of a simulated run.
 ///
 /// `rounds` is the quantity the paper's theorems bound; messages and bits
-/// are reported for congestion analysis.
+/// are reported for congestion analysis. The `congestion_profile` records
+/// how loaded the busiest link was in every round, so bursty algorithms
+/// cannot hide a congested round behind benign totals.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Number of synchronous rounds executed (rounds in which at least one
@@ -15,6 +18,15 @@ pub struct Metrics {
     pub bits: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: usize,
+    /// Per-round congestion profile: element `r` is the largest number of
+    /// bits that crossed any single directed edge in round `r` (0 for a
+    /// round in which nothing was sent). Always has length `rounds`.
+    ///
+    /// Because the model admits at most one message per directed edge per
+    /// round, this equals the largest message of round `r`; the profile
+    /// preserves the per-round peaks that the run-wide
+    /// [`max_message_bits`](Self::max_message_bits) maximum collapses.
+    pub congestion_profile: Vec<usize>,
 }
 
 impl Metrics {
@@ -26,14 +38,25 @@ impl Metrics {
             self.bits as f64 / self.messages as f64
         }
     }
+
+    /// Peak per-edge load over the whole run: the maximum entry of the
+    /// [`congestion_profile`](Self::congestion_profile), or 0 when no
+    /// round sent anything.
+    pub fn peak_edge_bits(&self) -> usize {
+        self.congestion_profile.iter().copied().max().unwrap_or(0)
+    }
 }
 
 impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} rounds, {} messages, {} bits (max msg {} bits)",
-            self.rounds, self.messages, self.bits, self.max_message_bits
+            "{} rounds, {} messages, {} bits (max msg {} bits, peak edge {} bits/round)",
+            self.rounds,
+            self.messages,
+            self.bits,
+            self.max_message_bits,
+            self.peak_edge_bits()
         )
     }
 }
@@ -49,9 +72,23 @@ mod tests {
             messages: 4,
             bits: 100,
             max_message_bits: 40,
+            congestion_profile: vec![40, 30, 30],
         };
         assert!((m.avg_message_bits() - 25.0).abs() < 1e-9);
         assert_eq!(Metrics::default().avg_message_bits(), 0.0);
+    }
+
+    #[test]
+    fn peak_edge_bits_is_profile_max() {
+        let m = Metrics {
+            rounds: 3,
+            messages: 3,
+            bits: 60,
+            max_message_bits: 30,
+            congestion_profile: vec![10, 30, 20],
+        };
+        assert_eq!(m.peak_edge_bits(), 30);
+        assert_eq!(Metrics::default().peak_edge_bits(), 0);
     }
 
     #[test]
@@ -61,9 +98,11 @@ mod tests {
             messages: 5,
             bits: 50,
             max_message_bits: 10,
+            congestion_profile: vec![10, 8],
         };
         let s = format!("{m}");
         assert!(s.contains("2 rounds"));
         assert!(s.contains("5 messages"));
+        assert!(s.contains("peak edge 10 bits/round"));
     }
 }

@@ -55,7 +55,11 @@ impl<I: MsgSize, D: MsgSize> MsgSize for GsMsg<I, D> {
 /// The local computation performed by the leader once it has gathered all
 /// items: it receives every item in the network (including its own) and
 /// returns the response to broadcast.
-pub type LeaderCompute<I, D> = Arc<dyn Fn(Vec<I>) -> Vec<D>>;
+///
+/// `Send + Sync` so [`GatherScatter`] states can be driven by the sharded
+/// multi-threaded engine ([`crate::Simulator::run_parallel`]) as well as
+/// the sequential one.
+pub type LeaderCompute<I, D> = Arc<dyn Fn(Vec<I>) -> Vec<D> + Send + Sync>;
 
 enum Phase {
     /// Waiting to join the BFS tree (root starts immediately).

@@ -171,6 +171,33 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Selects which round executor drives a run (see [`Simulator::run_with`]).
+///
+/// Both engines are **bit-identical**: for the same algorithm states they
+/// produce the same outputs, the same [`Metrics`] (including the
+/// per-round congestion profile), and the same [`SimError`] on model
+/// violations, regardless of thread count. The sequential engine is the
+/// reference oracle; the parallel engine exists to make large instances
+/// run as fast as the hardware allows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-threaded reference engine ([`Simulator::run`]).
+    #[default]
+    Sequential,
+    /// The sharded multi-threaded engine ([`Simulator::run_parallel`]).
+    Parallel {
+        /// Number of worker shards; `0` means one per available CPU.
+        threads: usize,
+    },
+}
+
+impl Engine {
+    /// The parallel engine with one shard per available CPU.
+    pub fn parallel_auto() -> Self {
+        Engine::Parallel { threads: 0 }
+    }
+}
+
 /// The simulation driver.
 ///
 /// Construct with [`Simulator::congest`] or [`Simulator::congested_clique`]
@@ -180,6 +207,59 @@ pub struct Simulator<'g> {
     topology: Topology,
     bandwidth_bits: usize,
     max_rounds: usize,
+}
+
+/// Validates one outgoing message against the communication model and
+/// returns its size in bits.
+///
+/// Shared by both engines so their model enforcement (and the errors they
+/// raise) cannot drift apart.
+fn check_message<M: MsgSize>(
+    ctx: &Ctx,
+    seen: &mut Vec<NodeId>,
+    to: NodeId,
+    msg: &M,
+) -> Result<usize, SimError> {
+    if !ctx.can_send(to) {
+        return Err(SimError::IllegalDestination {
+            from: ctx.id,
+            to,
+            round: ctx.round,
+        });
+    }
+    if seen.contains(&to) {
+        return Err(SimError::DuplicateMessage {
+            from: ctx.id,
+            to,
+            round: ctx.round,
+        });
+    }
+    seen.push(to);
+    let size = msg.size_bits(ctx.id_bits);
+    if size > ctx.bandwidth_bits {
+        return Err(SimError::BandwidthExceeded {
+            from: ctx.id,
+            to,
+            size_bits: size,
+            limit_bits: ctx.bandwidth_bits,
+            round: ctx.round,
+        });
+    }
+    Ok(size)
+}
+
+/// One shard's bucket of routed messages: `(to, from, msg)` triples.
+type Bucket<M> = Vec<(NodeId, NodeId, M)>;
+
+/// What one shard produces for one round: outgoing messages bucketed by
+/// destination shard, plus its share of the round's metrics.
+struct ShardOutput<M> {
+    /// `buckets[j]` holds `(to, from, msg)` for destinations in shard `j`,
+    /// in ascending sender order (nodes are processed in id order).
+    buckets: Vec<Bucket<M>>,
+    messages: u64,
+    bits: u64,
+    max_bits: usize,
 }
 
 /// Default bandwidth: `16·⌈log₂ n⌉ + 64` bits.
@@ -243,8 +323,28 @@ impl<'g> Simulator<'g> {
         }
     }
 
+    /// Whether every node reports [`Algorithm::is_done`] at `round`.
+    fn all_done<A: Algorithm>(&self, nodes: &[A], round: usize) -> bool {
+        nodes.iter().enumerate().all(|(i, node)| {
+            let ctx = self.ctx(NodeId::from_index(i), round);
+            node.is_done(&ctx)
+        })
+    }
+
+    /// Collects every node's final output.
+    fn outputs<A: Algorithm>(&self, nodes: &[A], round: usize) -> Vec<A::Output> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let ctx = self.ctx(NodeId::from_index(i), round);
+                node.output(&ctx)
+            })
+            .collect()
+    }
+
     /// Runs `nodes` (one algorithm state per vertex, indexed by id) to
-    /// completion.
+    /// completion on the single-threaded reference engine.
     ///
     /// # Errors
     ///
@@ -257,7 +357,6 @@ impl<'g> Simulator<'g> {
     pub fn run<A: Algorithm>(&self, mut nodes: Vec<A>) -> Result<Report<A::Output>, SimError> {
         let n = self.g.num_nodes();
         assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
-        let idb = id_bits(n);
         let mut metrics = Metrics::default();
         let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut round = 0;
@@ -265,11 +364,7 @@ impl<'g> Simulator<'g> {
         loop {
             // Termination: all done and no messages in flight.
             let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
-            let all_done = (0..n).all(|i| {
-                let ctx = self.ctx(NodeId::from_index(i), round);
-                nodes[i].is_done(&ctx)
-            });
-            if all_done && !in_flight {
+            if self.all_done(&nodes, round) && !in_flight {
                 break;
             }
             if round >= self.max_rounds {
@@ -280,6 +375,7 @@ impl<'g> Simulator<'g> {
 
             let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
             let mut sent_any = false;
+            let mut round_peak = 0usize;
 
             for i in 0..n {
                 let id = NodeId::from_index(i);
@@ -288,34 +384,11 @@ impl<'g> Simulator<'g> {
                 let outbox = nodes[i].round(&ctx, &inbox);
                 let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
                 for (to, msg) in outbox {
-                    if !ctx.can_send(to) {
-                        return Err(SimError::IllegalDestination {
-                            from: id,
-                            to,
-                            round,
-                        });
-                    }
-                    if seen.contains(&to) {
-                        return Err(SimError::DuplicateMessage {
-                            from: id,
-                            to,
-                            round,
-                        });
-                    }
-                    seen.push(to);
-                    let size = msg.size_bits(idb);
-                    if size > self.bandwidth_bits {
-                        return Err(SimError::BandwidthExceeded {
-                            from: id,
-                            to,
-                            size_bits: size,
-                            limit_bits: self.bandwidth_bits,
-                            round,
-                        });
-                    }
+                    let size = check_message(&ctx, &mut seen, to, &msg)?;
                     metrics.messages += 1;
                     metrics.bits += size as u64;
                     metrics.max_message_bits = metrics.max_message_bits.max(size);
+                    round_peak = round_peak.max(size);
                     next_inboxes[to.index()].push((id, msg));
                     sent_any = true;
                 }
@@ -328,29 +401,249 @@ impl<'g> Simulator<'g> {
             inboxes = next_inboxes;
             round += 1;
             metrics.rounds = round;
+            metrics.congestion_profile.push(round_peak);
 
             // Fast-path termination check to avoid an extra empty round:
             // if nothing was sent and everyone is done, stop.
-            if !sent_any {
-                let all_done_now = (0..n).all(|i| {
-                    let ctx = self.ctx(NodeId::from_index(i), round);
-                    nodes[i].is_done(&ctx)
-                });
-                if all_done_now {
-                    break;
-                }
+            if !sent_any && self.all_done(&nodes, round) {
+                break;
             }
         }
 
-        let outputs = (0..n)
-            .map(|i| {
-                let ctx = self.ctx(NodeId::from_index(i), round);
-                nodes[i].output(&ctx)
-            })
-            .collect();
-        Ok(Report { outputs, metrics })
+        Ok(Report {
+            outputs: self.outputs(&nodes, round),
+            metrics,
+        })
+    }
+
+    /// Runs `nodes` to completion on the sharded multi-threaded engine.
+    ///
+    /// Vertices are partitioned into `threads` contiguous shards; every
+    /// round, each shard executes its nodes' [`Algorithm::round`] calls on
+    /// its own worker thread into per-shard outboxes (bucketed by
+    /// destination shard), then the buckets are exchanged and appended in
+    /// shard order. Because shards cover ascending id ranges and each
+    /// shard visits its nodes in id order, the concatenation is already
+    /// sorted by sender — next round's inboxes are **bit-identical** to
+    /// the sequential engine's without any sorting, for every thread
+    /// count. Outputs, [`Metrics`] (profile included) and errors all
+    /// match [`Simulator::run`] exactly; a model violation aborts with the
+    /// first offending node's error, though `round` callbacks of
+    /// higher-id nodes in other shards may already have executed by then.
+    ///
+    /// `threads == 0` selects one shard per available CPU. With one
+    /// thread (or fewer than two nodes per shard) the call falls through
+    /// to the sequential engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_parallel<A>(
+        &self,
+        mut nodes: Vec<A>,
+        threads: usize,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        let n = self.g.num_nodes();
+        assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        if threads <= 1 || n < 2 * threads {
+            // Trivial shards: the sequential engine is the same function.
+            return self.run(nodes);
+        }
+        let shard_size = n.div_ceil(threads);
+        let num_shards = n.div_ceil(shard_size);
+
+        let mut metrics = Metrics::default();
+        let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut round = 0;
+
+        loop {
+            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
+            if self.all_done(&nodes, round) && !in_flight {
+                break;
+            }
+            if round >= self.max_rounds {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                });
+            }
+
+            // Phase A: every shard runs its nodes for this round.
+            let shard_results: Vec<Result<ShardOutput<A::Msg>, SimError>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = nodes
+                        .chunks_mut(shard_size)
+                        .zip(inboxes.chunks_mut(shard_size))
+                        .enumerate()
+                        .map(|(si, (shard_nodes, shard_inboxes))| {
+                            s.spawn(move || {
+                                self.run_shard_round(
+                                    si * shard_size,
+                                    shard_nodes,
+                                    shard_inboxes,
+                                    round,
+                                    shard_size,
+                                    num_shards,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                        .collect()
+                });
+
+            // Shard 0 holds the lowest ids and each shard stops at its
+            // first violation, so taking the first error in shard order
+            // reproduces the sequential engine's error exactly.
+            let mut yields = Vec::with_capacity(num_shards);
+            for r in shard_results {
+                yields.push(r?);
+            }
+
+            let mut sent_any = false;
+            let mut round_peak = 0usize;
+            for y in &yields {
+                metrics.messages += y.messages;
+                metrics.bits += y.bits;
+                round_peak = round_peak.max(y.max_bits);
+                sent_any |= y.messages > 0;
+            }
+            metrics.max_message_bits = metrics.max_message_bits.max(round_peak);
+
+            // Phase B: deterministic exchange. Transpose the per-shard
+            // buckets into per-destination-shard columns, then let each
+            // destination shard append its column in shard order.
+            let mut columns: Vec<Vec<Bucket<A::Msg>>> = (0..num_shards)
+                .map(|_| Vec::with_capacity(num_shards))
+                .collect();
+            for y in yields {
+                for (j, bucket) in y.buckets.into_iter().enumerate() {
+                    columns[j].push(bucket);
+                }
+            }
+            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+            std::thread::scope(|s| {
+                for (j, (column, dst)) in columns
+                    .into_iter()
+                    .zip(next_inboxes.chunks_mut(shard_size))
+                    .enumerate()
+                {
+                    s.spawn(move || {
+                        let base = j * shard_size;
+                        for bucket in column {
+                            for (to, from, msg) in bucket {
+                                dst[to.index() - base].push((from, msg));
+                            }
+                        }
+                    });
+                }
+            });
+            inboxes = next_inboxes;
+            round += 1;
+            metrics.rounds = round;
+            metrics.congestion_profile.push(round_peak);
+
+            if !sent_any && self.all_done(&nodes, round) {
+                break;
+            }
+        }
+
+        Ok(Report {
+            outputs: self.outputs(&nodes, round),
+            metrics,
+        })
+    }
+
+    /// Executes one round for the shard whose first vertex is `base`.
+    fn run_shard_round<A: Algorithm>(
+        &self,
+        base: usize,
+        shard_nodes: &mut [A],
+        shard_inboxes: &mut [Vec<(NodeId, A::Msg)>],
+        round: usize,
+        shard_size: usize,
+        num_shards: usize,
+    ) -> Result<ShardOutput<A::Msg>, SimError> {
+        let mut out = ShardOutput {
+            buckets: (0..num_shards).map(|_| Vec::new()).collect(),
+            messages: 0,
+            bits: 0,
+            max_bits: 0,
+        };
+        for (k, node) in shard_nodes.iter_mut().enumerate() {
+            let id = NodeId::from_index(base + k);
+            let ctx = self.ctx(id, round);
+            let inbox = std::mem::take(&mut shard_inboxes[k]);
+            let outbox = node.round(&ctx, &inbox);
+            let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
+            for (to, msg) in outbox {
+                let size = check_message(&ctx, &mut seen, to, &msg)?;
+                out.messages += 1;
+                out.bits += size as u64;
+                out.max_bits = out.max_bits.max(size);
+                out.buckets[to.index() / shard_size].push((to, id, msg));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs `nodes` on the engine selected by `engine`.
+    ///
+    /// Both engines produce bit-identical [`Report`]s, so callers can be
+    /// ported to this entry point and choose the engine per run (the
+    /// experiment binaries default to [`Engine::parallel_auto`]).
+    ///
+    /// With the auto-threaded parallel engine (`threads == 0`), instances
+    /// below [`PARALLEL_MIN_NODES`] vertices run on the sequential engine
+    /// instead: the workers are spawned per round, and below that size
+    /// the per-round shard work is smaller than the spawn cost, so
+    /// parallelism would only add overhead. An explicit thread count
+    /// always gets the parallel executor (the determinism tests rely on
+    /// that).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_with<A>(&self, nodes: Vec<A>, engine: Engine) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        match engine {
+            Engine::Sequential => self.run(nodes),
+            Engine::Parallel { threads: 0 } if self.g.num_nodes() < PARALLEL_MIN_NODES => {
+                self.run(nodes)
+            }
+            Engine::Parallel { threads } => self.run_parallel(nodes, threads),
+        }
     }
 }
+
+/// Below this vertex count, [`Engine::parallel_auto`] (threads = 0) falls
+/// back to the sequential engine: worker threads are spawned per round,
+/// and on small instances that fixed cost exceeds the per-round compute.
+/// Explicit thread counts are always honored.
+pub const PARALLEL_MIN_NODES: usize = 1024;
 
 #[cfg(test)]
 mod tests {
@@ -573,6 +866,170 @@ mod tests {
             .run(vec![Chatter, Chatter])
             .unwrap_err();
         assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_identically() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let graphs = [
+            generators::path(10),
+            generators::grid(5, 5),
+            generators::star(17),
+            generators::connected_gnm(64, 200, &mut rng),
+        ];
+        for g in &graphs {
+            let n = g.num_nodes();
+            let seq = Simulator::congest(g)
+                .run((0..n).map(FloodMax::new).collect())
+                .unwrap();
+            for threads in [1, 2, 3, 4, 8] {
+                let par = Simulator::congest(g)
+                    .run_parallel((0..n).map(FloodMax::new).collect(), threads)
+                    .unwrap();
+                assert_eq!(par.outputs, seq.outputs, "outputs, t={threads}");
+                assert_eq!(par.metrics, seq.metrics, "metrics, t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_congested_clique_matches() {
+        // Clique topology: every destination shard receives from every
+        // sender shard, exercising the full exchange matrix.
+        let g = generators::path(12);
+        struct Shout(u32, bool);
+        impl Algorithm for Shout {
+            type Msg = U32Msg;
+            type Output = u32;
+            fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                for (_, m) in inbox {
+                    self.0 = self.0.max(m.0);
+                }
+                if ctx.round == 0 {
+                    (0..ctx.n)
+                        .filter(|&j| j != ctx.id.index())
+                        .map(|j| (NodeId::from_index(j), U32Msg(self.0)))
+                        .collect()
+                } else {
+                    self.1 = true;
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                self.1
+            }
+            fn output(&self, _ctx: &Ctx) -> u32 {
+                self.0
+            }
+        }
+        let mk = || (0..12).map(|i| Shout(i as u32, false)).collect();
+        let seq = Simulator::congested_clique(&g).run(mk()).unwrap();
+        for threads in [2, 4, 6] {
+            let par = Simulator::congested_clique(&g)
+                .run_parallel(mk(), threads)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs);
+            assert_eq!(par.metrics, seq.metrics);
+        }
+    }
+
+    #[test]
+    fn parallel_errors_match_sequential() {
+        // An illegal send from a high id: both engines must report the
+        // same error even though the sender sits in the last shard.
+        let g = generators::path(8);
+        struct Bad;
+        impl Algorithm for Bad {
+            type Msg = U32Msg;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                if ctx.id == NodeId(6) && ctx.round == 0 {
+                    vec![(NodeId(0), U32Msg(0))] // not a path-neighbor
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let seq = Simulator::congest(&g)
+            .run((0..8).map(|_| Bad).collect::<Vec<_>>())
+            .unwrap_err();
+        for threads in [2, 4] {
+            let par = Simulator::congest(&g)
+                .run_parallel((0..8).map(|_| Bad).collect::<Vec<_>>(), threads)
+                .unwrap_err();
+            assert_eq!(par, seq, "t={threads}");
+        }
+        assert_eq!(
+            seq,
+            SimError::IllegalDestination {
+                from: NodeId(6),
+                to: NodeId(0),
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_round_limit_matches() {
+        let g = generators::path(8);
+        struct Chatter;
+        impl Algorithm for Chatter {
+            type Msg = U32Msg;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
+                ctx.graph_neighbors
+                    .iter()
+                    .map(|&v| (v, U32Msg(0)))
+                    .collect()
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let err = Simulator::congest(&g)
+            .with_max_rounds(7)
+            .run_parallel((0..8).map(|_| Chatter).collect::<Vec<_>>(), 4)
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 7 });
+    }
+
+    #[test]
+    fn run_with_dispatches_both_engines() {
+        let g = generators::path(10);
+        for engine in [
+            Engine::Sequential,
+            Engine::Parallel { threads: 3 },
+            Engine::parallel_auto(),
+        ] {
+            let report = Simulator::congest(&g)
+                .run_with((0..10).map(FloodMax::new).collect(), engine)
+                .unwrap();
+            assert!(report.outputs.iter().all(|&b| b == 9), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn congestion_profile_invariants() {
+        let g = generators::grid(4, 5);
+        let report = Simulator::congest(&g)
+            .run((0..20).map(FloodMax::new).collect())
+            .unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.congestion_profile.len(), m.rounds);
+        // One message per directed edge per round, so the run-wide peak
+        // equals the largest message ever sent.
+        assert_eq!(m.peak_edge_bits(), m.max_message_bits);
+        assert!(m
+            .congestion_profile
+            .iter()
+            .all(|&b| b <= m.max_message_bits));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulator and the gather–scatter
 //! primitive.
 
-use pga_congest::primitives::{GatherScatter, LeaderCompute, SizedU64};
+use pga_congest::primitives::{FloodMax, GatherScatter, LeaderCompute, SizedU64};
 use pga_congest::{Algorithm, Ctx, MsgSize, Simulator};
 use pga_graph::traversal::{bfs_distances, diameter};
 use pga_graph::{generators, Graph, NodeId};
@@ -130,6 +130,56 @@ proptest! {
         for o in &report.outputs {
             prop_assert_eq!(o.len(), k);
         }
+    }
+
+    /// Determinism of the sharded engine: for random graphs and every
+    /// thread count, `run_parallel(t)` produces outputs AND metrics
+    /// bit-identical to the sequential reference engine.
+    #[test]
+    fn parallel_engine_is_bit_identical(g in arb_connected(), t_idx in 0usize..4) {
+        let threads = [1usize, 2, 4, 8][t_idx];
+        let n = g.num_nodes();
+
+        // Workload 1: BFS layers (sparse, data-dependent quiescence).
+        let seq = Simulator::congest(&g)
+            .run((0..n).map(|_| Layer { dist: None, announce: false }).collect())
+            .unwrap();
+        let par = Simulator::congest(&g)
+            .run_parallel((0..n).map(|_| Layer { dist: None, announce: false }).collect(), threads)
+            .unwrap();
+        prop_assert_eq!(&par.outputs, &seq.outputs, "Layer outputs, t={}", threads);
+        prop_assert_eq!(&par.metrics, &seq.metrics, "Layer metrics, t={}", threads);
+
+        // Workload 2: flood-max leader election (dense message flow).
+        let mk = || (0..n).map(|i| FloodMax::new(NodeId::from_index(i))).collect();
+        let seq = Simulator::congest(&g).run(mk()).unwrap();
+        let par = Simulator::congest(&g).run_parallel(mk(), threads).unwrap();
+        prop_assert_eq!(&par.outputs, &seq.outputs, "FloodMax outputs, t={}", threads);
+        prop_assert_eq!(&par.metrics, &seq.metrics, "FloodMax metrics, t={}", threads);
+    }
+
+    /// The gather–scatter primitive (BFS tree + pipelining, the paper's
+    /// Lemma 2 workhorse) is engine-independent too.
+    #[test]
+    fn gather_scatter_parallel_bit_identical(g in arb_connected(), t_idx in 0usize..3) {
+        let threads = [2usize, 4, 8][t_idx];
+        let n = g.num_nodes();
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|mut items| {
+            items.sort_by_key(|i: &SizedU64| i.value);
+            items
+        });
+        let mk = || (0..n)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 { value: (i * 7 + 1) as u64, bits: 32 }],
+                    Arc::clone(&compute),
+                )
+            })
+            .collect();
+        let seq = Simulator::congest(&g).run(mk()).unwrap();
+        let par = Simulator::congest(&g).run_parallel(mk(), threads).unwrap();
+        prop_assert_eq!(&par.outputs, &seq.outputs, "outputs, t={}", threads);
+        prop_assert_eq!(&par.metrics, &seq.metrics, "metrics, t={}", threads);
     }
 
     /// Messages never exceed the bandwidth, and metrics are consistent.

@@ -1,10 +1,10 @@
-//! The [CD18] (Censor-Hillel–Dory) `O(log Δ)`-approximation for minimum
+//! The \[CD18\] (Censor-Hillel–Dory) `O(log Δ)`-approximation for minimum
 //! dominating set — the substrate algorithm that Theorem 28 simulates on
 //! `G²`.
 //!
 //! This module implements the algorithm's *logic* centrally (exact
 //! densities, exact vote counts), parameterized by the graph on which
-//! domination is defined. Running it on `G` gives the [CD18] baseline;
+//! domination is defined. Running it on `G` gives the \[CD18\] baseline;
 //! running it on a precomputed square gives the idealized (no-estimation)
 //! version of Theorem 28, which the distributed implementation in
 //! [`crate::mds::congest_g2`] approximates with Lemma 29 estimates.

@@ -1,7 +1,7 @@
 //! Theorem 28: a randomized `O(log Δ)`-approximation for `G²`-MDS in
 //! `poly log n` CONGEST rounds.
 //!
-//! The algorithm simulates [CD18] on `G²` while communicating on `G`. The
+//! The algorithm simulates \[CD18\] on `G²` while communicating on `G`. The
 //! congestion obstacle is that a vertex cannot exactly count uncovered
 //! vertices in its 2-hop neighborhood, nor exactly count votes arriving
 //! from 2 hops away; both counts are replaced by the Lemma-29 exponential
@@ -28,10 +28,10 @@
 //! The vote threshold is `d̃/10` rather than the exact-count `|C_v|/8`,
 //! absorbing the `(1 ± ε)` estimation slack; the candidate with the
 //! globally smallest rank still always passes it w.h.p., so every phase
-//! makes progress exactly as in [CD18].
+//! makes progress exactly as in \[CD18\].
 
 use crate::mds::estimator::{estimate_from_minima, exp_sample};
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -368,6 +368,24 @@ impl G2MdsResult {
 /// assert!(is_dominating_set_on_square(&g, &r.dominating_set));
 /// ```
 pub fn g2_mds_congest(g: &Graph, sample_factor: usize, seed: u64) -> Result<G2MdsResult, SimError> {
+    g2_mds_congest_with(g, sample_factor, seed, Engine::Sequential)
+}
+
+/// [`g2_mds_congest`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical — the same `seed` yields the same
+/// dominating set on either engine; the parallel one simply runs large
+/// instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mds_congest`].
+pub fn g2_mds_congest_with(
+    g: &Graph,
+    sample_factor: usize,
+    seed: u64,
+    engine: Engine,
+) -> Result<G2MdsResult, SimError> {
     let n = g.num_nodes();
     if n == 0 {
         return Ok(G2MdsResult {
@@ -378,7 +396,7 @@ pub fn g2_mds_congest(g: &Graph, sample_factor: usize, seed: u64) -> Result<G2Md
     }
     let r = (sample_factor * pga_congest::id_bits(n)).max(4);
     let nodes = (0..n).map(|i| Theorem28Node::new(r, seed, i)).collect();
-    let report = Simulator::congest(g).run(nodes)?;
+    let report = Simulator::congest(g).run_with(nodes, engine)?;
     Ok(G2MdsResult {
         dominating_set: report.outputs,
         metrics: report.metrics,

@@ -1,6 +1,6 @@
 //! Lemma 29: randomized estimation of 2-hop set sizes in CONGEST.
 //!
-//! To simulate the [CD18] dominating-set algorithm on `G²`, every vertex
+//! To simulate the \[CD18\] dominating-set algorithm on `G²`, every vertex
 //! needs `|N²[v] ∩ U|` for a dynamic vertex set `U` — exactly the kind of
 //! quantity congestion makes expensive to compute exactly. The paper's
 //! estimator (following Mosk-Aoyama–Shah) has every vertex of `U` draw
@@ -11,7 +11,7 @@
 //! This module provides both the bare math ([`estimate_from_minima`]) and
 //! the distributed algorithm ([`TwoHopEstimator`]).
 
-use pga_congest::{Algorithm, Ctx, MsgSize, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, MsgSize, Simulator};
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -142,11 +142,31 @@ impl Algorithm for TwoHopEstimator {
 /// Panics if the simulation violates the model (it cannot, by
 /// construction) — surfaced as an `expect` for API simplicity.
 pub fn estimate_two_hop_sizes(g: &Graph, in_u: &[bool], r: usize, seed: u64) -> Vec<f64> {
+    estimate_two_hop_sizes_with(g, in_u, r, seed, Engine::Sequential)
+}
+
+/// [`estimate_two_hop_sizes`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical — the same `seed` yields the same
+/// estimates on either engine; the parallel one simply runs large
+/// instances faster.
+///
+/// # Panics
+///
+/// Panics if the simulation violates the model (it cannot, by
+/// construction) — surfaced as an `expect` for API simplicity.
+pub fn estimate_two_hop_sizes_with(
+    g: &Graph,
+    in_u: &[bool],
+    r: usize,
+    seed: u64,
+    engine: Engine,
+) -> Vec<f64> {
     let nodes = (0..g.num_nodes())
         .map(|i| TwoHopEstimator::new(in_u[i], r, seed, i))
         .collect();
     Simulator::congest(g)
-        .run(nodes)
+        .run_with(nodes, engine)
         .expect("estimator respects the CONGEST model")
         .outputs
 }

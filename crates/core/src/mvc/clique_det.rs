@@ -10,7 +10,7 @@
 use crate::mvc::congest::G2MvcResult;
 use crate::mvc::phase1::{P1Output, Phase1};
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder, FEdge, LocalSolver};
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
 use pga_graph::{Graph, NodeId};
 use std::collections::VecDeque;
 
@@ -125,6 +125,7 @@ pub(crate) fn run_clique_phase2(
     p1_out: &[P1Output],
     p1_metrics: Metrics,
     solver: LocalSolver,
+    engine: Engine,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     let nodes = (0..n)
@@ -134,7 +135,7 @@ pub(crate) fn run_clique_phase2(
             CliquePhase2::new(items, o.in_s, solver)
         })
         .collect();
-    let p2 = Simulator::congested_clique(g).run(nodes)?;
+    let p2 = Simulator::congested_clique(g).run_with(nodes, engine)?;
 
     // Special case n == 1: the leader never answers itself over the wire.
     let mut cover: Vec<bool> = p2.outputs.clone();
@@ -176,6 +177,23 @@ pub fn g2_mvc_clique_det(
     eps: f64,
     solver: LocalSolver,
 ) -> Result<G2MvcResult, SimError> {
+    g2_mvc_clique_det_with(g, eps, solver, Engine::Sequential)
+}
+
+/// [`g2_mvc_clique_det`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical; the parallel engine simply runs large
+/// instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_clique_det`].
+pub fn g2_mvc_clique_det_with(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    engine: Engine,
+) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 {
         return Ok(G2MvcResult {
@@ -187,8 +205,9 @@ pub fn g2_mvc_clique_det(
         });
     }
     let l = crate::mvc::congest::threshold_for_eps(eps);
-    let p1 = Simulator::congested_clique(g).run((0..n).map(|_| Phase1::new(l)).collect())?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver)
+    let p1 = Simulator::congested_clique(g)
+        .run_with((0..n).map(|_| Phase1::new(l)).collect(), engine)?;
+    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, engine)
 }
 
 #[cfg(test)]

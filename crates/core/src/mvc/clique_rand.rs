@@ -2,7 +2,7 @@
 //! CONGESTED CLIQUE, in `O(log n + 1/ε)` rounds.
 //!
 //! Phase I replaces the sequential 2-hop symmetry breaking with the
-//! randomized *voting scheme* (following [JRS02]/[CD18]): every candidate
+//! randomized *voting scheme* (following \[JRS02\]/\[CD18\]): every candidate
 //! draws a random rank in `[n⁴]`; every remaining vertex votes for its
 //! highest-ranked candidate neighbor; a candidate that collects at least
 //! `d_R(c)/8` votes is **successful** and its remaining neighborhood joins
@@ -20,7 +20,7 @@ use crate::mvc::clique_det::run_clique_phase2;
 use crate::mvc::congest::G2MvcResult;
 use crate::mvc::phase1::P1Output;
 use crate::mvc::remainder::LocalSolver;
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -199,6 +199,24 @@ pub fn g2_mvc_clique_rand(
     solver: LocalSolver,
     seed: u64,
 ) -> Result<G2MvcResult, SimError> {
+    g2_mvc_clique_rand_with(g, eps, solver, seed, Engine::Sequential)
+}
+
+/// [`g2_mvc_clique_rand`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical — the same `seed` yields the same cover
+/// on either engine; the parallel one simply runs large instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_clique_rand`].
+pub fn g2_mvc_clique_rand_with(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    seed: u64,
+    engine: Engine,
+) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 {
         return Ok(G2MvcResult {
@@ -209,9 +227,11 @@ pub fn g2_mvc_clique_rand(
             phase2_metrics: Metrics::default(),
         });
     }
-    let p1 = Simulator::congested_clique(g)
-        .run((0..n).map(|i| VotePhase1::new(eps, seed, i)).collect())?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver)
+    let p1 = Simulator::congested_clique(g).run_with(
+        (0..n).map(|i| VotePhase1::new(eps, seed, i)).collect(),
+        engine,
+    )?;
+    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, engine)
 }
 
 #[cfg(test)]

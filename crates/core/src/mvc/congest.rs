@@ -4,10 +4,10 @@
 //! The algorithm composes two simulated executions on the communication
 //! graph `G` (round counts add):
 //!
-//! * **Phase I** ([`crate::mvc::phase1`]): clique harvesting removes large
+//! * **Phase I** (`crate::mvc::phase1`): clique harvesting removes large
 //!   `G²`-cliques into the cover `S` until every vertex has at most
 //!   `⌊1/ε'⌋` neighbors outside `S`.
-//! * **Phase II** ([`crate::mvc::remainder`] over
+//! * **Phase II** (`crate::mvc::remainder` over
 //!   [`pga_congest::primitives::GatherScatter`]): a leader gathers the
 //!   `O(n/ε)` remaining edges `F` by pipelined convergecast (Lemma 2),
 //!   reconstructs `H = G²[U]` (Lemma 3), covers it locally, and broadcasts
@@ -19,7 +19,7 @@
 use crate::mvc::phase1::Phase1;
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder, CoverId, FEdge};
 use pga_congest::primitives::{GatherScatter, LeaderCompute};
-use pga_congest::{Metrics, SimError, Simulator};
+use pga_congest::{Engine, Metrics, SimError, Simulator};
 use pga_graph::{Graph, NodeId};
 use std::sync::Arc;
 
@@ -83,6 +83,24 @@ pub(crate) fn threshold_for_eps(eps: f64) -> usize {
 /// assert!(is_vertex_cover_on_square(&g, &result.cover));
 /// ```
 pub fn g2_mvc_congest(g: &Graph, eps: f64, solver: LocalSolver) -> Result<G2MvcResult, SimError> {
+    g2_mvc_congest_with(g, eps, solver, Engine::Sequential)
+}
+
+/// [`g2_mvc_congest`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical, so the result does not depend on the
+/// choice; the parallel engine simply runs large instances faster (the
+/// experiment binaries use [`Engine::parallel_auto`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_congest`].
+pub fn g2_mvc_congest_with(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    engine: Engine,
+) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 {
         // Trivial 2-approximation (Lemma 6 with r = 2), zero rounds.
@@ -104,7 +122,7 @@ pub fn g2_mvc_congest(g: &Graph, eps: f64, solver: LocalSolver) -> Result<G2MvcR
 
     // Phase I.
     let sim = Simulator::congest(g);
-    let p1 = sim.run((0..n).map(|_| Phase1::new(l)).collect())?;
+    let p1 = sim.run_with((0..n).map(|_| Phase1::new(l)).collect(), engine)?;
     let p1_out = p1.outputs;
 
     // Phase II: gather F at the leader, solve, scatter R*.
@@ -117,7 +135,7 @@ pub fn g2_mvc_congest(g: &Graph, eps: f64, solver: LocalSolver) -> Result<G2MvcR
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
-    let p2 = Simulator::congest(g).run(nodes)?;
+    let p2 = Simulator::congest(g).run_with(nodes, engine)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_size = cover.iter().filter(|&&b| b).count();
@@ -199,6 +217,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_result() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let g = generators::connected_gnp(24, 0.12, &mut rng);
+        let seq = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+        let par = g2_mvc_congest_with(&g, 0.5, LocalSolver::Exact, Engine::Parallel { threads: 4 })
+            .unwrap();
+        assert_eq!(par.cover, seq.cover);
+        assert_eq!(par.phase1_metrics, seq.phase1_metrics);
+        assert_eq!(par.phase2_metrics, seq.phase2_metrics);
     }
 
     #[test]

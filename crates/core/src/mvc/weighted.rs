@@ -19,7 +19,7 @@
 
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder_weighted, CoverId, FEdge};
 use pga_congest::primitives::{GatherScatter, LeaderCompute};
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
 use pga_graph::{Graph, NodeId, VertexWeights};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -281,6 +281,23 @@ impl Algorithm for WPhase1 {
 /// assert!(is_vertex_cover_on_square(&g, &result.cover));
 /// ```
 pub fn g2_mwvc_congest(g: &Graph, w: &VertexWeights, eps: f64) -> Result<G2MwvcResult, SimError> {
+    g2_mwvc_congest_with(g, w, eps, Engine::Sequential)
+}
+
+/// [`g2_mwvc_congest`] on an explicit simulation [`Engine`].
+///
+/// The engines are bit-identical; the parallel engine simply runs large
+/// instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mwvc_congest`].
+pub fn g2_mwvc_congest_with(
+    g: &Graph,
+    w: &VertexWeights,
+    eps: f64,
+    engine: Engine,
+) -> Result<G2MwvcResult, SimError> {
     assert!(w.matches(g), "weights must match the graph");
     assert!(eps > 0.0, "ε must be positive");
     if !pga_graph::traversal::is_connected(g) {
@@ -290,10 +307,11 @@ pub fn g2_mwvc_congest(g: &Graph, w: &VertexWeights, eps: f64) -> Result<G2MwvcR
     }
     let n = g.num_nodes();
 
-    let p1 = Simulator::congest(g).run(
+    let p1 = Simulator::congest(g).run_with(
         (0..n)
             .map(|i| WPhase1::new(eps, w.get(NodeId::from_index(i))))
             .collect(),
+        engine,
     )?;
     let p1_out = p1.outputs;
 
@@ -310,7 +328,7 @@ pub fn g2_mwvc_congest(g: &Graph, w: &VertexWeights, eps: f64) -> Result<G2MwvcR
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
-    let p2 = Simulator::congest(g).run(nodes)?;
+    let p2 = Simulator::congest(g).run_with(nodes, engine)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_weight = w.subset_weight(&cover);

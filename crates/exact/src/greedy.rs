@@ -4,7 +4,7 @@
 //! These are the centralized comparators referenced throughout the paper's
 //! related-work discussion: the greedy `(ln Δ + 1)`-approximation for MDS
 //! and the Bar-Yehuda–Even local-ratio 2-approximation for weighted vertex
-//! cover [BE83].
+//! cover \[BE83\].
 
 use pga_graph::{Graph, VertexWeights};
 
@@ -86,7 +86,7 @@ pub fn greedy_mwds(g: &Graph, w: &VertexWeights) -> Vec<bool> {
     chosen
 }
 
-/// Local-ratio 2-approximation for minimum weighted vertex cover [BE83].
+/// Local-ratio 2-approximation for minimum weighted vertex cover \[BE83\].
 ///
 /// Scans the edges; for each edge subtracts `min` of the residual weights
 /// from both endpoints; vertices driven to residual 0 form the cover.

@@ -135,6 +135,77 @@ pub fn connected_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
     b.build()
 }
 
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+///
+/// Runs in expected `O(m)` time (rejection sampling), unlike [`gnp`] and
+/// [`connected_gnp`] which enumerate all `n choose 2` pairs — use this
+/// family for the large instances the benchmark harness pins (≥ 50k
+/// vertices). Intended for sparse graphs; rejection sampling degrades as
+/// `m` approaches `n(n-1)/2`.
+///
+/// # Panics
+///
+/// Panics if `m > n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "m = {m} exceeds {possible} possible edges");
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    fill_random_edges(&mut b, &mut seen, n, m, rng);
+    b.build()
+}
+
+/// Rejection-samples distinct random edges into `b` until `seen` holds
+/// `m` of them. `seen` may be pre-seeded (e.g. with spanning-tree edges).
+fn fill_random_edges(
+    b: &mut GraphBuilder,
+    seen: &mut std::collections::HashSet<(usize, usize)>,
+    n: usize,
+    m: usize,
+    rng: &mut impl Rng,
+) {
+    while seen.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(NodeId::from_index(key.0), NodeId::from_index(key.1));
+        }
+    }
+}
+
+/// A connected `G(n, m)`-like graph: a uniform random recursive tree plus
+/// `m - (n - 1)` further distinct edges sampled uniformly.
+///
+/// The `O(m)` counterpart of [`connected_gnp`]; guarantees connectivity
+/// for the CONGEST algorithms that need it while scaling to the ≥ 50k-node
+/// instances of the benchmark harness.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m < n - 1`, or `m > n(n-1)/2`.
+pub fn connected_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 1);
+    assert!(m + 1 >= n, "m = {m} cannot connect {n} vertices");
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "m = {m} exceeds {possible} possible edges");
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        let (u, v) = (perm[i], perm[j]);
+        seen.insert((u.min(v), u.max(v)));
+        b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+    }
+    fill_random_edges(&mut b, &mut seen, n, m, rng);
+    b.build()
+}
+
 /// A uniform random recursive tree on `n` vertices.
 pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     let mut b = GraphBuilder::new(n);
@@ -315,6 +386,41 @@ mod tests {
             let g = connected_gnp(n, 0.02, &mut rng);
             assert_eq!(connected_components(&g).num_components, 1, "n={n}");
         }
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, m) in [(10, 0), (10, 45), (50, 120), (2, 1)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "possible edges")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn connected_gnm_connected_exact_m() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (n, m) in [(1, 0), (2, 1), (40, 39), (40, 100), (200, 700)] {
+            let g = connected_gnm(n, m, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+            assert_eq!(connected_components(&g).num_components, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot connect")]
+    fn connected_gnm_too_few_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        connected_gnm(5, 3, &mut rng);
     }
 
     #[test]

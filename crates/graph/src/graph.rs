@@ -56,6 +56,13 @@ impl From<u32> for NodeId {
 
 /// An immutable, undirected simple graph with dense vertex indices.
 ///
+/// Adjacency is stored in **compressed sparse row (CSR)** layout: one flat
+/// `targets` array holding every neighbor list back to back, plus an
+/// `offsets` array of length `n + 1` delimiting the per-vertex slices.
+/// This keeps the whole structure in two contiguous allocations, so
+/// neighbor scans are cache-friendly and the graph can be shared across
+/// simulation threads without pointer chasing.
+///
 /// Neighbor lists are stored sorted, so adjacency queries
 /// ([`Graph::has_edge`]) are `O(log deg)` and neighbor iteration is ordered.
 /// Build one with [`Graph::from_edges`], [`GraphBuilder`], or a generator
@@ -74,7 +81,11 @@ impl From<u32> for NodeId {
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[v]..offsets[v + 1]` is the slice of `targets` holding the
+    /// sorted neighbors of vertex `v`. Always has length `n + 1`.
+    offsets: Vec<usize>,
+    /// All neighbor lists, concatenated in vertex order (length `2m`).
+    targets: Vec<NodeId>,
     num_edges: usize,
 }
 
@@ -82,7 +93,8 @@ impl Graph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
             num_edges: 0,
         }
     }
@@ -105,7 +117,7 @@ impl Graph {
     /// Number of vertices.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of (undirected) edges.
@@ -117,18 +129,35 @@ impl Graph {
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
     }
 
     /// Maximum degree `Δ`, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// The sorted neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.index()]
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The raw CSR arrays `(offsets, targets)`.
+    ///
+    /// `offsets` has length `n + 1`; the sorted neighbors of vertex `v`
+    /// occupy `targets[offsets[v]..offsets[v + 1]]`. [`Graph::neighbors`]
+    /// is a slice into exactly these arrays, so per-vertex access is
+    /// already zero-copy; this accessor additionally exposes the two
+    /// allocations whole, for tooling that wants to scan or export all
+    /// adjacency in one pass (the bench harness reports their size).
+    #[inline]
+    pub fn csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.targets)
     }
 
     /// Whether `{u, v}` is an edge. Self-queries return `false`.
@@ -136,12 +165,12 @@ impl Graph {
         if u == v {
             return false;
         }
-        self.adj[u.index()].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterates over all vertices.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId::from_index)
+        (0..self.num_nodes()).map(NodeId::from_index)
     }
 
     /// Iterates over all edges as `(u, v)` with `u < v`.
@@ -314,7 +343,7 @@ impl GraphBuilder {
     }
 
     /// Finalizes into an immutable [`Graph`], sorting and deduplicating
-    /// neighbor lists.
+    /// neighbor lists and flattening them into the CSR layout.
     pub fn build(mut self) -> Graph {
         let mut m = 0;
         for list in &mut self.adj {
@@ -323,8 +352,16 @@ impl GraphBuilder {
             m += list.len();
         }
         debug_assert!(m % 2 == 0);
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut targets = Vec::with_capacity(m);
+        offsets.push(0);
+        for list in &self.adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
         Graph {
-            adj: self.adj,
+            offsets,
+            targets,
             num_edges: m / 2,
         }
     }
@@ -443,6 +480,27 @@ mod tests {
     fn builder_edge_out_of_range_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn csr_layout_consistent() {
+        let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1), (0, 4)]);
+        let (offsets, targets) = g.csr();
+        assert_eq!(offsets.len(), g.num_nodes() + 1);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap(), targets.len());
+        assert_eq!(targets.len(), 2 * g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(
+                &targets[offsets[v.index()]..offsets[v.index() + 1]],
+                g.neighbors(v)
+            );
+        }
+        // Empty graph: offsets is the single-element [0] array.
+        let empty = Graph::empty(0);
+        let (offsets, targets) = empty.csr();
+        assert_eq!(offsets, &[0]);
+        assert!(targets.is_empty());
     }
 
     #[test]

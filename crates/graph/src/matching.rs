@@ -1,7 +1,7 @@
 //! Maximal matchings.
 //!
 //! Taking both endpoints of a maximal matching is the classic
-//! 2-approximation for minimum vertex cover (Gavril, see [GJ79] in the
+//! 2-approximation for minimum vertex cover (Gavril, see \[GJ79\] in the
 //! paper); the matching size is also a lower bound on the optimum VC, which
 //! the benchmark harness uses to bound approximation ratios on graphs too
 //! large for the exact solver.

@@ -1,4 +1,4 @@
-//! The [BCD+19] dominating-set lower-bound family `G_{x,y}` (Figure 4).
+//! The \[BCD+19\] dominating-set lower-bound family `G_{x,y}` (Figure 4).
 //!
 //! Reconstructed from the paper's description:
 //!

@@ -1,4 +1,4 @@
-//! The [CKP17] vertex-cover lower-bound family `G_{x,y}` (Figure 1).
+//! The \[CKP17\] vertex-cover lower-bound family `G_{x,y}` (Figure 1).
 //!
 //! The family underlies the paper's Theorems 20 and 22. Reconstructed
 //! from the paper's description:

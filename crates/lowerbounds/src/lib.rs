@@ -24,7 +24,7 @@
 //!   and 45).
 //!
 //! Where the paper leaves wiring details to the cited constructions
-//! ([CKP17], [BCD+19]), this crate reconstructs them from the paper's
+//! (\[CKP17\], \[BCD+19\]), this crate reconstructs them from the paper's
 //! descriptions and *proves the reconstruction right by exhaustive /
 //! randomized verification* at small `k` — see the module docs.
 

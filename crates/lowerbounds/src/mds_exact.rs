@@ -1,7 +1,7 @@
 //! Theorem 31 (Figure 5): the exact `G²`-MDS lower-bound family
 //! `H_{x,y}`.
 //!
-//! Built from the [BCD+19] base (see [`crate::bcd19`]) by
+//! Built from the \[BCD+19\] base (see [`crate::bcd19`]) by
 //!
 //! * replacing every edge incident on a bit-gadget vertex with a
 //!   **5-vertex dangling path** `DP_e[1..5]` (`DP_e[1]` adjacent to both

@@ -1,7 +1,7 @@
 //! Theorem 20 (Figure 2): the weighted `G²`-MVC lower-bound family
 //! `H_{x,y}`.
 //!
-//! Starting from the [CKP17] family (see [`crate::ckp17`]):
+//! Starting from the \[CKP17\] family (see [`crate::ckp17`]):
 //!
 //! * every edge incident on a bit-gadget vertex is replaced by a
 //!   **weight-0 path-gadget vertex** `p_e` adjacent to both endpoints;

@@ -2,9 +2,10 @@
 //! [`proptest`] crate this workspace uses.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors a small API-compatible subset: the [`Strategy`]
-//! trait with `prop_map` / `prop_flat_map`, range / tuple / [`Just`] /
-//! [`any`] strategies, [`collection::vec`] and
+//! workspace vendors a small API-compatible subset: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, range / tuple / [`Just`](strategy::Just) /
+//! [`any`](strategy::any) strategies, [`collection::vec`] and
 //! [`collection::btree_set`], and the [`proptest!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
