@@ -1,0 +1,161 @@
+//! Bench-smoke for the low-space MPC subsystem.
+//!
+//! Runs the CONGEST-to-MPC adapter and the native ruling set on two
+//! pinned seeded instances (a uniform `connected_gnm` and a heavy-tailed
+//! `barabasi_albert`), then:
+//!
+//! * verifies the adapter reproduced the sequential CONGEST engine
+//!   **bit-identically** (outputs and metrics) and the native ruling set
+//!   matched its sequential oracle — exit code 1 on any divergence (this
+//!   is CI's correctness gate),
+//! * verifies the enforced budgets were respected (`peak_memory_words`
+//!   and `peak_round_io_words` at most `S` — the engine would have
+//!   errored otherwise),
+//! * writes the machine-readable `BENCH_mpc.json` artifact
+//!   (schema: `pga_bench::harness::MpcBench`).
+//!
+//! Environment overrides: `BENCH_MPC_N` (vertices), `BENCH_MPC_AVG_DEG`
+//! (average degree), `BENCH_MPC_SEED`, `BENCH_MPC_BA_N` / `BENCH_MPC_BA_K`
+//! (the Barabási–Albert instance), `BENCH_MPC_OUT` (artifact path).
+
+use pga_bench::harness::{env_u64, env_usize, time_ms, MpcBench, MpcWorkloadRecord};
+use pga_congest::primitives::FloodMax;
+use pga_congest::Simulator;
+use pga_graph::{generators, Graph, NodeId};
+use pga_mpc::{
+    g2_ruling_set_mpc, lex_first_g2_mis, recommended_memory_words,
+    recommended_ruling_set_memory_words, CongestOnMpc, Engine,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn floodmax_states(n: usize) -> Vec<FloodMax> {
+    (0..n)
+        .map(|i| FloodMax::new(NodeId::from_index(i)))
+        .collect()
+}
+
+/// FloodMax through the adapter vs the sequential CONGEST engine.
+fn adapter_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloadRecord {
+    let n = g.num_nodes();
+    let memory_words = recommended_memory_words(g, pga_congest::default_bandwidth_bits(n));
+    let (reference, ref_ms) = time_ms(|| {
+        Simulator::congest(g)
+            .run(floodmax_states(n))
+            .expect("congest reference run")
+    });
+    let (adapter, mpc_ms) = time_ms(|| {
+        CongestOnMpc::congest(g)
+            .with_memory_words(memory_words)
+            .run(floodmax_states(n))
+            .expect("adapter run")
+    });
+    let identical = adapter.outputs == reference.outputs && adapter.congest == reference.metrics;
+    if !identical {
+        eprintln!("DIVERGENCE in workload '{name}':");
+        eprintln!("  congest metrics: {}", reference.metrics);
+        eprintln!("  adapter metrics: {}", adapter.congest);
+    }
+    MpcWorkloadRecord {
+        name: name.to_string(),
+        graph: graph.to_string(),
+        n,
+        m: g.num_edges(),
+        seed,
+        memory_words,
+        machines: adapter.machines,
+        congest_rounds: reference.metrics.rounds,
+        mpc_rounds: adapter.mpc.rounds,
+        mpc_messages: adapter.mpc.messages,
+        mpc_words: adapter.mpc.words,
+        peak_memory_words: adapter.mpc.peak_memory_words,
+        peak_round_io_words: adapter.mpc.peak_round_io_words,
+        wall_ms_reference: ref_ms,
+        wall_ms_mpc: mpc_ms,
+        identical,
+    }
+}
+
+/// The native greedy 2-ruling set vs its sequential oracle.
+fn ruling_set_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloadRecord {
+    let memory_words = recommended_ruling_set_memory_words(g);
+    let (oracle, ref_ms) = time_ms(|| lex_first_g2_mis(g));
+    let (result, mpc_ms) =
+        time_ms(|| g2_ruling_set_mpc(g, memory_words, Engine::Sequential).expect("ruling set run"));
+    let identical = result.in_r == oracle;
+    if !identical {
+        eprintln!("DIVERGENCE in workload '{name}': ruling set != sequential oracle");
+    }
+    MpcWorkloadRecord {
+        name: name.to_string(),
+        graph: graph.to_string(),
+        n: g.num_nodes(),
+        m: g.num_edges(),
+        seed,
+        memory_words,
+        machines: result.machines,
+        congest_rounds: 0,
+        mpc_rounds: result.mpc.rounds,
+        mpc_messages: result.mpc.messages,
+        mpc_words: result.mpc.words,
+        peak_memory_words: result.mpc.peak_memory_words,
+        peak_round_io_words: result.mpc.peak_round_io_words,
+        wall_ms_reference: ref_ms,
+        wall_ms_mpc: mpc_ms,
+        identical,
+    }
+}
+
+fn main() {
+    let n = env_usize("BENCH_MPC_N", 10_000);
+    let avg_deg = env_usize("BENCH_MPC_AVG_DEG", 6);
+    let seed = env_u64("BENCH_MPC_SEED", 45_803);
+    let ba_n = env_usize("BENCH_MPC_BA_N", n / 2);
+    let ba_k = env_usize("BENCH_MPC_BA_K", 4);
+    let out = PathBuf::from(
+        std::env::var("BENCH_MPC_OUT").unwrap_or_else(|_| "BENCH_mpc.json".to_string()),
+    );
+    let m = (n * avg_deg / 2).max(n.saturating_sub(1));
+
+    println!(
+        "bench_mpc: pinned instances gnm(n={n}, m={m}) and ba(n={ba_n}, k={ba_k}), seed={seed}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (gnm, gnm_ms) = time_ms(|| generators::connected_gnm(n, m, &mut rng));
+    let (ba, ba_ms) = time_ms(|| generators::barabasi_albert(ba_n, ba_k, seed));
+    println!("  graphs generated in {gnm_ms:.0} + {ba_ms:.0} ms");
+
+    let workloads = vec![
+        adapter_workload("floodmax_adapter", "connected_gnm", &gnm, seed),
+        adapter_workload("floodmax_adapter_ba", "barabasi_albert", &ba, seed),
+        ruling_set_workload("ruling_set", "connected_gnm", &gnm, seed),
+        ruling_set_workload("ruling_set_ba", "barabasi_albert", &ba, seed),
+    ];
+
+    for w in &workloads {
+        println!(
+            "  {:>19}: {} machines (S = {} words), {} mpc rounds, {} words | ref {:.0} ms, mpc {:.0} ms, identical: {}",
+            w.name, w.machines, w.memory_words, w.mpc_rounds, w.mpc_words,
+            w.wall_ms_reference, w.wall_ms_mpc, w.identical
+        );
+        assert!(
+            w.peak_memory_words <= w.memory_words && w.peak_round_io_words <= w.memory_words,
+            "budget violation escaped the engine in '{}'",
+            w.name
+        );
+    }
+
+    let doc = MpcBench {
+        bench: "mpc_model".into(),
+        workloads,
+    };
+    doc.write_json(&out).expect("write BENCH_mpc.json");
+    println!("  wrote {}", out.display());
+
+    if doc.workloads.iter().any(|w| !w.identical) {
+        eprintln!("FAIL: MPC execution diverged from its reference");
+        std::process::exit(1);
+    }
+    println!("  every MPC execution bit-identical to its reference");
+}

@@ -1,10 +1,10 @@
 //! Wall-clock timing and machine-readable benchmark artifacts.
 //!
-//! The `bench_sim` binary (and CI's `bench-smoke` job) use this module to
-//! time the simulation engines and emit `BENCH_sim.json`, a small
-//! hand-rolled JSON document (the workspace is offline, so no serde). The
-//! schema is documented on [`SimBench`] and in the README's "Simulation
-//! engines" section.
+//! The `bench_sim` and `bench_mpc` binaries (and CI's `bench-smoke` job)
+//! use this module to time the simulation engines and emit
+//! `BENCH_sim.json` / `BENCH_mpc.json`, small hand-rolled JSON documents
+//! (the workspace is offline, so no serde). The schemas are documented
+//! on [`SimBench`] and [`MpcBench`] and in the README.
 
 use std::io;
 use std::path::Path;
@@ -16,6 +16,24 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Reads a `usize` from the environment, falling back to `default` when
+/// the variable is unset or unparsable. The bench binaries' override
+/// knobs (`BENCH_SIM_*`, `BENCH_MPC_*`) all go through this.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// [`env_usize`] for `u64` values (seeds).
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// One engine's wall time on one workload.
@@ -34,6 +52,13 @@ pub struct EngineTiming {
 pub struct WorkloadRecord {
     /// Workload name (e.g. `"floodmax"`).
     pub name: String,
+    /// Generator family of the instance this workload ran on
+    /// (e.g. `"connected_gnm"`, `"barabasi_albert"`).
+    pub graph: String,
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Undirected edges of the instance.
+    pub m: usize,
     /// Simulated rounds (identical across engines by construction).
     pub rounds: usize,
     /// Total messages delivered.
@@ -42,6 +67,10 @@ pub struct WorkloadRecord {
     pub bits: u64,
     /// Peak per-edge bits in any single round (congestion profile max).
     pub peak_edge_bits: usize,
+    /// 95th percentile of the per-round congestion profile
+    /// (`Metrics::congestion_percentile(0.95)`) — the typical busy-round
+    /// load, robust to a single bursty round.
+    pub congestion_p95: usize,
     /// Per-engine wall times.
     pub engines: Vec<EngineTiming>,
     /// Sequential wall time divided by the best parallel wall time.
@@ -64,10 +93,14 @@ pub struct WorkloadRecord {
 ///   "workloads": [
 ///     {
 ///       "name": "floodmax",
+///       "graph": "connected_gnm",
+///       "n": 60000,
+///       "m": 240000,
 ///       "rounds": 11,
 ///       "messages": 2905060,
 ///       "bits": 46481000,
 ///       "peak_edge_bits": 16,
+///       "congestion_p95": 16,
 ///       "engines": [
 ///         {"engine": "sequential", "threads": 1, "wall_ms": 812.4},
 ///         {"engine": "parallel", "threads": 4, "wall_ms": 287.1}
@@ -78,6 +111,10 @@ pub struct WorkloadRecord {
 ///   ]
 /// }
 /// ```
+///
+/// The top-level `n`/`m`/`seed` describe the primary pinned instance;
+/// each workload additionally records the instance it actually ran on
+/// (`bench_sim` pins a second Barabási–Albert instance).
 #[derive(Clone, Debug)]
 pub struct SimBench {
     /// Benchmark family identifier (`"sim_round_engine"`).
@@ -122,12 +159,22 @@ impl SimBench {
         for (wi, w) in self.workloads.iter().enumerate() {
             s.push_str("    {\n");
             s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
+            s.push_str(&format!(
+                "      \"graph\": \"{}\",\n",
+                json_escape(&w.graph)
+            ));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
             s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
             s.push_str(&format!("      \"messages\": {},\n", w.messages));
             s.push_str(&format!("      \"bits\": {},\n", w.bits));
             s.push_str(&format!(
                 "      \"peak_edge_bits\": {},\n",
                 w.peak_edge_bits
+            ));
+            s.push_str(&format!(
+                "      \"congestion_p95\": {},\n",
+                w.congestion_p95
             ));
             s.push_str("      \"engines\": [\n");
             for (ei, e) in w.engines.iter().enumerate() {
@@ -166,6 +213,145 @@ impl SimBench {
     }
 }
 
+/// One MPC workload's record in `BENCH_mpc.json`.
+///
+/// For adapter workloads the reference is the sequential CONGEST engine
+/// and `congest_rounds` is the simulated round count; for native MPC
+/// workloads (the ruling set) the reference is the sequential oracle
+/// and `congest_rounds` is 0.
+#[derive(Clone, Debug)]
+pub struct MpcWorkloadRecord {
+    /// Workload name (e.g. `"floodmax_adapter"`, `"ruling_set"`).
+    pub name: String,
+    /// Generator family of the instance.
+    pub graph: String,
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Undirected edges of the instance.
+    pub m: usize,
+    /// Seed pinning the instance.
+    pub seed: u64,
+    /// Per-machine memory budget `S` in words.
+    pub memory_words: usize,
+    /// Machines the vertex set was partitioned onto.
+    pub machines: usize,
+    /// CONGEST rounds of the simulated algorithm (0 for native MPC
+    /// workloads).
+    pub congest_rounds: usize,
+    /// MPC rounds executed.
+    pub mpc_rounds: usize,
+    /// MPC messages exchanged between machines.
+    pub mpc_messages: u64,
+    /// MPC communication volume in words.
+    pub mpc_words: u64,
+    /// Peak per-machine memory observed, in words (≤ `memory_words`).
+    pub peak_memory_words: usize,
+    /// Peak per-machine, per-round I/O in words (≤ `memory_words`).
+    pub peak_round_io_words: usize,
+    /// Wall time of the reference execution in milliseconds.
+    pub wall_ms_reference: f64,
+    /// Wall time of the MPC execution in milliseconds.
+    pub wall_ms_mpc: f64,
+    /// Whether the MPC execution reproduced the reference bit for bit.
+    pub identical: bool,
+}
+
+/// The `BENCH_mpc.json` document: pinned instances run through the MPC
+/// engine (CONGEST adapter + native workloads) with resource accounting
+/// and the bit-identity verdict.
+///
+/// Serialized shape:
+///
+/// ```json
+/// {
+///   "bench": "mpc_model",
+///   "workloads": [
+///     {
+///       "name": "floodmax_adapter",
+///       "graph": "connected_gnm",
+///       "n": 20000, "m": 60000, "seed": 45803,
+///       "memory_words": 4096, "machines": 163,
+///       "congest_rounds": 12, "mpc_rounds": 12,
+///       "mpc_messages": 24310, "mpc_words": 882120,
+///       "peak_memory_words": 2048, "peak_round_io_words": 1930,
+///       "wall_ms_reference": 101.2, "wall_ms_mpc": 220.9,
+///       "identical": true
+///     }
+///   ]
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MpcBench {
+    /// Benchmark family identifier (`"mpc_model"`).
+    pub bench: String,
+    /// Per-workload results.
+    pub workloads: Vec<MpcWorkloadRecord>,
+}
+
+impl MpcBench {
+    /// Serializes the document to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
+            s.push_str(&format!(
+                "      \"graph\": \"{}\",\n",
+                json_escape(&w.graph)
+            ));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str(&format!("      \"seed\": {},\n", w.seed));
+            s.push_str(&format!("      \"memory_words\": {},\n", w.memory_words));
+            s.push_str(&format!("      \"machines\": {},\n", w.machines));
+            s.push_str(&format!(
+                "      \"congest_rounds\": {},\n",
+                w.congest_rounds
+            ));
+            s.push_str(&format!("      \"mpc_rounds\": {},\n", w.mpc_rounds));
+            s.push_str(&format!("      \"mpc_messages\": {},\n", w.mpc_messages));
+            s.push_str(&format!("      \"mpc_words\": {},\n", w.mpc_words));
+            s.push_str(&format!(
+                "      \"peak_memory_words\": {},\n",
+                w.peak_memory_words
+            ));
+            s.push_str(&format!(
+                "      \"peak_round_io_words\": {},\n",
+                w.peak_round_io_words
+            ));
+            s.push_str(&format!(
+                "      \"wall_ms_reference\": {:.3},\n",
+                w.wall_ms_reference
+            ));
+            s.push_str(&format!("      \"wall_ms_mpc\": {:.3},\n", w.wall_ms_mpc));
+            s.push_str(&format!("      \"identical\": {}\n", w.identical));
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,10 +364,14 @@ mod tests {
             m: 250,
             workloads: vec![WorkloadRecord {
                 name: "floodmax".into(),
+                graph: "connected_gnm".into(),
+                n: 100,
+                m: 250,
                 rounds: 9,
                 messages: 1234,
                 bits: 9999,
                 peak_edge_bits: 16,
+                congestion_p95: 12,
                 engines: vec![
                     EngineTiming {
                         engine: "sequential".into(),
@@ -200,6 +390,30 @@ mod tests {
         }
     }
 
+    fn sample_mpc() -> MpcBench {
+        MpcBench {
+            bench: "mpc_model".into(),
+            workloads: vec![MpcWorkloadRecord {
+                name: "floodmax_adapter".into(),
+                graph: "barabasi_albert".into(),
+                n: 500,
+                m: 1491,
+                seed: 11,
+                memory_words: 2048,
+                machines: 9,
+                congest_rounds: 7,
+                mpc_rounds: 7,
+                mpc_messages: 120,
+                mpc_words: 4400,
+                peak_memory_words: 1100,
+                peak_round_io_words: 800,
+                wall_ms_reference: 3.5,
+                wall_ms_mpc: 6.25,
+                identical: true,
+            }],
+        }
+    }
+
     #[test]
     fn json_contains_schema_fields() {
         let j = sample().to_json();
@@ -207,8 +421,10 @@ mod tests {
             "\"bench\": \"sim_round_engine\"",
             "\"n\": 100",
             "\"m\": 250",
+            "\"graph\": \"connected_gnm\"",
             "\"rounds\": 9",
             "\"peak_edge_bits\": 16",
+            "\"congestion_p95\": 12",
             "\"engine\": \"parallel\", \"threads\": 4",
             "\"speedup\": 2.500",
             "\"identical\": true",
@@ -218,19 +434,42 @@ mod tests {
     }
 
     #[test]
-    fn json_is_balanced() {
-        let j = sample().to_json();
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            assert_eq!(
-                j.matches(open).count(),
-                j.matches(close).count(),
-                "unbalanced {open}{close}"
-            );
+    fn mpc_json_contains_schema_fields() {
+        let j = sample_mpc().to_json();
+        for needle in [
+            "\"bench\": \"mpc_model\"",
+            "\"name\": \"floodmax_adapter\"",
+            "\"graph\": \"barabasi_albert\"",
+            "\"memory_words\": 2048",
+            "\"machines\": 9",
+            "\"congest_rounds\": 7",
+            "\"mpc_rounds\": 7",
+            "\"mpc_words\": 4400",
+            "\"peak_memory_words\": 1100",
+            "\"peak_round_io_words\": 800",
+            "\"wall_ms_reference\": 3.500",
+            "\"wall_ms_mpc\": 6.250",
+            "\"identical\": true",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
         }
-        // No trailing comma before a closer (the classic hand-rolled-JSON
-        // bug).
-        assert!(!j.contains(",\n  ]"), "trailing comma:\n{j}");
-        assert!(!j.contains(",\n    ]"), "trailing comma:\n{j}");
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        for j in [sample().to_json(), sample_mpc().to_json()] {
+            for (open, close) in [('{', '}'), ('[', ']')] {
+                assert_eq!(
+                    j.matches(open).count(),
+                    j.matches(close).count(),
+                    "unbalanced {open}{close}"
+                );
+            }
+            // No trailing comma before a closer (the classic
+            // hand-rolled-JSON bug).
+            assert!(!j.contains(",\n  ]"), "trailing comma:\n{j}");
+            assert!(!j.contains(",\n    ]"), "trailing comma:\n{j}");
+        }
     }
 
     #[test]

@@ -73,6 +73,6 @@ pub mod primitives;
 
 pub use metrics::Metrics;
 pub use sim::{
-    default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report, SimError, Simulator,
-    Topology, PARALLEL_MIN_NODES,
+    check_message, default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report,
+    SimError, Simulator, Topology, PARALLEL_MIN_NODES,
 };

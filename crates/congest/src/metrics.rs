@@ -45,6 +45,30 @@ impl Metrics {
     pub fn peak_edge_bits(&self) -> usize {
         self.congestion_profile.iter().copied().max().unwrap_or(0)
     }
+
+    /// The `q`-th percentile (`0 < q ≤ 1`) of the per-round
+    /// [`congestion_profile`](Self::congestion_profile), or 0 for an empty
+    /// profile.
+    ///
+    /// Uses the nearest-rank definition: the smallest profile entry `x`
+    /// such that at least `q · rounds` rounds peaked at `≤ x` bits. The
+    /// bench harness reports `congestion_percentile(0.95)` next to the
+    /// maximum so a single bursty round cannot masquerade as the typical
+    /// load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn congestion_percentile(&self, q: f64) -> usize {
+        assert!(q > 0.0 && q <= 1.0, "percentile must be in (0, 1]");
+        if self.congestion_profile.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.congestion_profile.clone();
+        sorted.sort_unstable();
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
 }
 
 impl std::fmt::Display for Metrics {
@@ -89,6 +113,27 @@ mod tests {
         };
         assert_eq!(m.peak_edge_bits(), 30);
         assert_eq!(Metrics::default().peak_edge_bits(), 0);
+    }
+
+    #[test]
+    fn congestion_percentile_nearest_rank() {
+        let m = Metrics {
+            rounds: 20,
+            messages: 20,
+            bits: 0,
+            max_message_bits: 20,
+            congestion_profile: (1..=20).collect(),
+        };
+        assert_eq!(m.congestion_percentile(0.95), 19);
+        assert_eq!(m.congestion_percentile(1.0), 20);
+        assert_eq!(m.congestion_percentile(0.05), 1);
+        assert_eq!(Metrics::default().congestion_percentile(0.95), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn congestion_percentile_rejects_zero() {
+        Metrics::default().congestion_percentile(0.0);
     }
 
     #[test]

@@ -213,8 +213,20 @@ pub struct Simulator<'g> {
 /// returns its size in bits.
 ///
 /// Shared by both engines so their model enforcement (and the errors they
-/// raise) cannot drift apart.
-fn check_message<M: MsgSize>(
+/// raise) cannot drift apart. Public so external executors that simulate
+/// the CONGEST model on another substrate (the `pga-mpc` adapter) apply
+/// the exact same checks and raise the exact same errors.
+///
+/// `seen` accumulates the destinations this node has already sent to in
+/// the current round (for the one-message-per-destination rule); pass the
+/// same vector across all of a node's messages in one round.
+///
+/// # Errors
+///
+/// Returns the same [`SimError`] the engines raise: an illegal
+/// destination for the topology, a duplicate destination, or a message
+/// larger than the bandwidth `B`.
+pub fn check_message<M: MsgSize>(
     ctx: &Ctx,
     seen: &mut Vec<NodeId>,
     to: NodeId,

@@ -32,5 +32,6 @@
 #![forbid(unsafe_code)]
 
 pub mod mds;
+pub mod mpc;
 pub mod mvc;
 pub mod sequential;

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 
 /// Messages of the Theorem 28 simulation.
 #[derive(Clone, Debug)]
-enum MdsMsg {
+pub(crate) enum MdsMsg {
     /// Phase A: an `Exp(1)` sample from an uncovered vertex.
     EstSample(f64),
     /// Phase A: the 1-hop minimum, relayed.
@@ -70,7 +70,7 @@ impl MsgSize for MdsMsg {
     }
 }
 
-struct Theorem28Node {
+pub(crate) struct Theorem28Node {
     r: usize,
     rng: StdRng,
     covered: bool,
@@ -394,14 +394,26 @@ pub fn g2_mds_congest_with(
             samples_per_phase: 0,
         });
     }
-    let r = (sample_factor * pga_congest::id_bits(n)).max(4);
-    let nodes = (0..n).map(|i| Theorem28Node::new(r, seed, i)).collect();
+    let (nodes, r) = theorem28_nodes(g, sample_factor, seed);
     let report = Simulator::congest(g).run_with(nodes, engine)?;
     Ok(G2MdsResult {
         dominating_set: report.outputs,
         metrics: report.metrics,
         samples_per_phase: r,
     })
+}
+
+/// Builds the per-node Theorem 28 states and the per-phase sample count
+/// `r`, shared between the CONGEST entry points and the MPC variants
+/// (`crate::mpc`) so both execute the exact same seeded algorithm.
+pub(crate) fn theorem28_nodes(
+    g: &Graph,
+    sample_factor: usize,
+    seed: u64,
+) -> (Vec<Theorem28Node>, usize) {
+    let n = g.num_nodes();
+    let r = (sample_factor * pga_congest::id_bits(n)).max(4);
+    ((0..n).map(|i| Theorem28Node::new(r, seed, i)).collect(), r)
 }
 
 #[cfg(test)]

@@ -102,8 +102,10 @@ pub fn g2_mvc_congest_with(
     engine: Engine,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
-    if eps >= 1.0 {
-        // Trivial 2-approximation (Lemma 6 with r = 2), zero rounds.
+    if eps >= 1.0 || n == 0 {
+        // Trivial 2-approximation (Lemma 6 with r = 2), zero rounds —
+        // also the empty graph's answer (Phase II's `outputs[0]` needs a
+        // leader to exist).
         return Ok(G2MvcResult {
             cover: vec![true; n],
             s_size: n,

@@ -260,6 +260,65 @@ pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> Graph 
     b.build()
 }
 
+/// Barabási–Albert preferential attachment: vertex `v` attaches to
+/// `min(k, v)` distinct earlier vertices chosen proportionally to degree.
+///
+/// The scalable heavy-tail counterpart of [`preferential_attachment`]:
+/// sampling walks a repeated-endpoint array (picking a uniform entry is
+/// degree-proportional sampling) and runs in expected `O(m)` time for
+/// constant `k`, so it joins [`gnm`] / [`connected_gnm`] as a pinned
+/// instance family of the benchmark harness (`bench_sim`, `bench_mpc`).
+/// Every vertex attaches to at least one predecessor, so the graph is
+/// always connected, and the edge count is exactly
+/// `Σ_{v=1}^{n-1} min(k, v)`.
+///
+/// Takes the seed directly (the instance is pinned by `(n, k, seed)`
+/// alone, with no dependence on prior draws from a shared generator).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(k >= 1, "attachment count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    // Every edge endpoint is appended once; a uniform draw from this
+    // array is exactly degree-proportional. A fresh vertex's own id is
+    // absent until its edges are added, so `t == v` never occurs, and at
+    // most half of all entries belong to any one vertex (each accepted
+    // edge also appends the new vertex), so the duplicate-rejection loop
+    // terminates in O(1) expected draws per edge.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * k * n);
+    endpoints.push(0);
+    for v in 1..n {
+        let want = k.min(v);
+        let mut targets: Vec<u32> = Vec::with_capacity(want);
+        while targets.len() < want {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId::from_index(v), NodeId(t));
+            endpoints.push(t);
+            endpoints.push(v as u32);
+        }
+    }
+    b.build()
+}
+
+/// The exact edge count of [`barabasi_albert`]`(n, k, _)`:
+/// `Σ_{v=1}^{n-1} min(k, v)`.
+pub fn barabasi_albert_edge_count(n: usize, k: usize) -> usize {
+    (1..n).map(|v| k.min(v)).sum()
+}
+
 /// Disjoint union of `g` and `h`: vertices of `h` are shifted by
 /// `g.num_nodes()`.
 pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
@@ -438,6 +497,50 @@ mod tests {
         assert_eq!(g.num_nodes(), 50);
         assert!(g.num_edges() >= 49, "must at least connect every vertex");
         assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn barabasi_albert_exact_m_connected() {
+        for (n, k, seed) in [(1usize, 2usize, 0u64), (2, 1, 1), (50, 3, 7), (200, 8, 9)] {
+            let g = barabasi_albert(n, k, seed);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(
+                g.num_edges(),
+                barabasi_albert_edge_count(n, k),
+                "n={n} k={k}"
+            );
+            if n >= 1 {
+                assert_eq!(connected_components(&g).num_components, 1.min(n), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic_in_seed() {
+        let a = barabasi_albert(120, 3, 42);
+        let b = barabasi_albert(120, 3, 42);
+        let c = barabasi_albert(120, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn barabasi_albert_heavy_tail() {
+        // Preferential attachment concentrates degree: the busiest vertex
+        // should beat the average by a wide margin.
+        let g = barabasi_albert(2000, 2, 5);
+        let avg = g.degree_sum() as f64 / g.num_nodes() as f64;
+        assert!(
+            g.max_degree() as f64 >= 4.0 * avg,
+            "max degree {} vs avg {avg:.1}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn barabasi_albert_zero_k_panics() {
+        barabasi_albert(5, 0, 1);
     }
 
     #[test]

@@ -143,4 +143,55 @@ proptest! {
         prop_assert!(g.is_clique(&nodes));
         prop_assert_eq!(g.num_edges(), k * (k - 1) / 2);
     }
+
+    /// CSR invariants hold for every generator family: offsets monotone
+    /// with the sentinel shape, neighbor lists sorted and deduplicated,
+    /// and the degree sum equal to `2m`.
+    #[test]
+    fn csr_invariants_across_generators(n in 2usize..24, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m_max = n * (n - 1) / 2;
+        let graphs = vec![
+            generators::path(n),
+            generators::cycle(n.max(3)),
+            generators::star(n),
+            generators::complete(n.min(9)),
+            generators::complete_bipartite(n / 2 + 1, n / 2 + 1),
+            generators::grid(n / 2 + 1, 3),
+            generators::caterpillar(n / 2 + 1, 2),
+            generators::gnp(n, 0.2, &mut rng),
+            generators::connected_gnp(n, 0.1, &mut rng),
+            generators::gnm(n, m_max.min(2 * n) / 2, &mut rng),
+            generators::connected_gnm(n, (n - 1).max(m_max.min(2 * n) / 2), &mut rng),
+            generators::random_tree(n, &mut rng),
+            generators::preferential_attachment(n, 2, &mut rng),
+            generators::barabasi_albert(n, 3, seed),
+            generators::clique_chain(n / 4 + 1, 4),
+            generators::disjoint_union(&generators::path(n / 2), &generators::star(n / 2 + 1)),
+        ];
+        for g in &graphs {
+            let (offsets, targets) = g.csr();
+            // Offsets: n + 1 entries, starting at 0, ending at |targets|,
+            // monotone nondecreasing.
+            prop_assert_eq!(offsets.len(), g.num_nodes() + 1, "{:?}", g);
+            prop_assert_eq!(offsets[0], 0, "{:?}", g);
+            prop_assert_eq!(*offsets.last().unwrap(), targets.len(), "{:?}", g);
+            prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "{:?}", g);
+            // Degree sum = |targets| = 2m.
+            prop_assert_eq!(targets.len(), 2 * g.num_edges(), "{:?}", g);
+            prop_assert_eq!(g.degree_sum(), 2 * g.num_edges(), "{:?}", g);
+            // Neighbor lists: sorted, deduplicated, in range, loop-free,
+            // and symmetric.
+            for v in g.nodes() {
+                let nb = &targets[offsets[v.index()]..offsets[v.index() + 1]];
+                prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "{:?} {:?}", g, v);
+                for &u in nb {
+                    prop_assert!(u.index() < g.num_nodes(), "{:?}", g);
+                    prop_assert!(u != v, "self-loop in {:?}", g);
+                    prop_assert!(g.neighbors(u).binary_search(&v).is_ok(), "asymmetry in {:?}", g);
+                }
+            }
+        }
+    }
 }

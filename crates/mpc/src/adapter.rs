@@ -1,0 +1,731 @@
+//! The CONGEST-to-MPC adapter: runs any [`pga_congest::Algorithm`] on
+//! the MPC engine by vertex-partitioning its nodes across machines.
+//!
+//! Each machine hosts a contiguous range of vertices together with their
+//! adjacency lists (the standard vertex-partitioned input distribution of
+//! the low-space MPC literature). One MPC round simulates exactly one
+//! CONGEST round: a machine drives every hosted node's
+//! [`Algorithm::round`] callback, validates each outgoing message with
+//! the *same* [`pga_congest::check_message`] the CONGEST engines use
+//! (so model violations raise the identical `SimError`, wrapped in
+//! [`MpcError::Congest`]), and routes messages whose destination lives
+//! on another machine through the MPC exchange, batched per destination
+//! machine. Messages between co-hosted vertices stay machine-local and
+//! cost no MPC communication.
+//!
+//! The adapter is **bit-identical** to `Simulator::run`: same per-node
+//! outputs, same CONGEST [`Metrics`] (messages, bits, per-round
+//! congestion profile), same round count, same error on a model
+//! violation — property-tested for FloodMax and the paper's `G²` entry
+//! points. On top of that fidelity it *accounts* the run in MPC terms:
+//! machine memory against the budget `S`, and per-round send/receive
+//! volume against the same `S`.
+
+use crate::engine::{Engine, Machine, MachineId, MpcCtx, MpcError, MpcSimulator, WordSize};
+use crate::metrics::MpcMetrics;
+use pga_congest::{check_message, id_bits, Algorithm, Ctx, Metrics, Topology};
+use pga_graph::{Graph, NodeId};
+use std::sync::Arc;
+
+/// Words charged per hosted vertex for bookkeeping state beyond the
+/// algorithm state itself (inbox cursors, done flags, ...).
+const NODE_OVERHEAD_WORDS: usize = 4;
+
+/// A batch of routed CONGEST messages traveling between two machines in
+/// one MPC round: `(from, to, payload)` triples in ascending sender
+/// order, with the total word size precomputed at send time (word
+/// accounting needs `id_bits`, which only the sender knows).
+pub struct RoutedBatch<M> {
+    entries: Vec<(NodeId, NodeId, M)>,
+    words: usize,
+}
+
+impl<M: Clone> Clone for RoutedBatch<M> {
+    fn clone(&self) -> Self {
+        RoutedBatch {
+            entries: self.entries.clone(),
+            words: self.words,
+        }
+    }
+}
+
+impl<M> WordSize for RoutedBatch<M> {
+    fn size_words(&self) -> usize {
+        self.words
+    }
+}
+
+/// Words one routed CONGEST message occupies: a one-word envelope
+/// (sender and destination ids pack into 64 bits) plus the payload
+/// rounded up to whole words.
+fn entry_words(bits: usize) -> usize {
+    1 + bits.div_ceil(64)
+}
+
+/// One MPC machine hosting the CONGEST nodes `starts[id]..starts[id+1]`.
+pub struct CongestShard<'g, A: Algorithm> {
+    g: &'g Graph,
+    /// First hosted vertex index.
+    lo: usize,
+    nodes: Vec<A>,
+    /// Machine `k` hosts vertices `starts[k]..starts[k + 1]`; shared so
+    /// every machine routes by destination with one binary search.
+    starts: Arc<Vec<usize>>,
+    topology: Topology,
+    bandwidth_bits: usize,
+    /// CONGEST messages between co-hosted vertices, carried to the next
+    /// round without touching the MPC exchange.
+    local_next: Vec<(NodeId, NodeId, A::Msg)>,
+    /// Word size of `local_next` (counted toward machine memory).
+    local_words: usize,
+    /// This machine's share of the CONGEST-level metrics.
+    metrics: Metrics,
+    /// Cached `Σ deg(v)` over hosted vertices.
+    adjacency_words: usize,
+}
+
+impl<'g, A: Algorithm> CongestShard<'g, A> {
+    fn hosted(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn congest_ctx(&self, k: usize, round: usize) -> Ctx<'g> {
+        let id = NodeId::from_index(self.lo + k);
+        Ctx {
+            id,
+            n: self.g.num_nodes(),
+            id_bits: id_bits(self.g.num_nodes()),
+            graph_neighbors: self.g.neighbors(id),
+            round,
+            topology: self.topology,
+            bandwidth_bits: self.bandwidth_bits,
+        }
+    }
+
+    /// The machine hosting vertex `v`.
+    fn machine_of(&self, v: NodeId) -> usize {
+        // starts is sorted; the owner is the last range starting at or
+        // before v.
+        self.starts.partition_point(|&s| s <= v.index()) - 1
+    }
+}
+
+impl<A: Algorithm> Machine for CongestShard<'_, A> {
+    type Msg = RoutedBatch<A::Msg>;
+    type Output = (Vec<A::Output>, Metrics);
+
+    fn round(
+        &mut self,
+        ctx: &MpcCtx,
+        inbox: &[(MachineId, Self::Msg)],
+    ) -> Result<Vec<(MachineId, Self::Msg)>, MpcError> {
+        // 1. Deliver: remote batches plus carried-over local messages
+        //    into per-node inboxes, sorted by sender (the CONGEST
+        //    contract).
+        let mut node_inboxes: Vec<Vec<(NodeId, A::Msg)>> =
+            (0..self.hosted()).map(|_| Vec::new()).collect();
+        for (_, batch) in inbox {
+            for (from, to, msg) in &batch.entries {
+                node_inboxes[to.index() - self.lo].push((*from, msg.clone()));
+            }
+        }
+        for (from, to, msg) in self.local_next.drain(..) {
+            node_inboxes[to.index() - self.lo].push((from, msg));
+        }
+        self.local_words = 0;
+        for ib in &mut node_inboxes {
+            ib.sort_by_key(|&(from, _)| from);
+        }
+
+        // 2. Execute one CONGEST round for every hosted node, in id
+        //    order, enforcing the CONGEST model with the engines' own
+        //    check and bucketing cross-machine messages by destination.
+        let mut buckets: crate::engine::SparseBuckets<(NodeId, NodeId, A::Msg)> =
+            crate::engine::SparseBuckets::new();
+        let mut round_peak = 0usize;
+        for (k, node_inbox) in node_inboxes.iter_mut().enumerate() {
+            let cctx = self.congest_ctx(k, ctx.round);
+            let inbox = std::mem::take(node_inbox);
+            let outbox = self.nodes[k].round(&cctx, &inbox);
+            let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
+            for (to, msg) in outbox {
+                let bits = check_message(&cctx, &mut seen, to, &msg).map_err(MpcError::Congest)?;
+                self.metrics.messages += 1;
+                self.metrics.bits += bits as u64;
+                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                round_peak = round_peak.max(bits);
+                let dest = self.machine_of(to);
+                if dest == ctx.id.index() {
+                    self.local_words += entry_words(bits);
+                    self.local_next.push((cctx.id, to, msg));
+                } else {
+                    buckets.add(dest, (cctx.id, to, msg), entry_words(bits));
+                }
+            }
+        }
+        self.metrics.rounds += 1;
+        self.metrics.congestion_profile.push(round_peak);
+
+        Ok(buckets
+            .into_sorted()
+            .into_iter()
+            .map(|(j, entries, words)| (MachineId::from_index(j), RoutedBatch { entries, words }))
+            .collect())
+    }
+
+    fn memory_words(&self) -> usize {
+        self.adjacency_words
+            + self.hosted() * (NODE_OVERHEAD_WORDS + std::mem::size_of::<A>().div_ceil(8))
+            + self.local_words
+    }
+
+    fn is_done(&self, ctx: &MpcCtx) -> bool {
+        self.local_next.is_empty()
+            && self
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(k, node)| node.is_done(&self.congest_ctx(k, ctx.round)))
+    }
+
+    fn output(&self, ctx: &MpcCtx) -> (Vec<A::Output>, Metrics) {
+        (
+            self.nodes
+                .iter()
+                .enumerate()
+                .map(|(k, node)| node.output(&self.congest_ctx(k, ctx.round)))
+                .collect(),
+            self.metrics.clone(),
+        )
+    }
+}
+
+/// Result of a CONGEST algorithm executed through the MPC adapter.
+#[derive(Debug)]
+pub struct AdapterReport<O> {
+    /// Output of every CONGEST node, indexed by node id — identical to
+    /// `Simulator::run(..).outputs`.
+    pub outputs: Vec<O>,
+    /// CONGEST-level metrics, merged across machines — identical to
+    /// `Simulator::run(..).metrics`.
+    pub congest: Metrics,
+    /// MPC-level resource metrics of the same execution.
+    pub mpc: MpcMetrics,
+    /// Number of machines the vertex set was partitioned onto.
+    pub machines: usize,
+}
+
+/// Driver for running CONGEST algorithms through the MPC adapter.
+///
+/// Mirrors the `Simulator` builder: construct with
+/// [`CongestOnMpc::congest`] (or [`CongestOnMpc::congested_clique`]),
+/// tune budgets with the setters, then [`CongestOnMpc::run`] /
+/// [`CongestOnMpc::run_with`].
+pub struct CongestOnMpc<'g> {
+    g: &'g Graph,
+    topology: Topology,
+    bandwidth_bits: usize,
+    memory_words: usize,
+    max_rounds: usize,
+}
+
+/// A memory budget `S` (in words) sufficient for the adapter to host
+/// `g`'s fattest vertex and its worst-case per-round message traffic:
+/// `max(256, n^0.7, 2 · worst vertex cost)`.
+///
+/// The worst vertex cost includes a 64-word (512-byte) allowance for
+/// per-node algorithm state; run an algorithm with a larger `Self` via
+/// an explicit [`CongestOnMpc::with_memory_words`] budget (the core
+/// crate's `_mpc` entry points compute the exact bound).
+///
+/// The direct simulation sends CONGEST messages in the round they are
+/// issued, so the machine hosting a degree-`Δ` vertex genuinely needs
+/// `Ω(Δ)` words — graphs with `Δ ≫ n^δ` would need the round-stretching
+/// (graph exponentiation) techniques of the MPC literature to run in
+/// truly sublinear space.
+pub fn recommended_memory_words(g: &Graph, bandwidth_bits: usize) -> usize {
+    const STATE_ALLOWANCE_WORDS: usize = 64;
+    let worst = (0..g.num_nodes())
+        .map(|v| {
+            adapter_vertex_cost(
+                g.degree(NodeId::from_index(v)),
+                bandwidth_bits,
+                STATE_ALLOWANCE_WORDS,
+            )
+        })
+        .max()
+        .unwrap_or(0);
+    crate::engine::low_space_words(g.num_nodes().max(1), 0.7)
+        .max(2 * worst)
+        .max(256)
+}
+
+/// Words the adapter reserves per hosted vertex when packing the
+/// partition: bookkeeping overhead, the algorithm state, and room for
+/// one full-bandwidth message per incident edge.
+///
+/// Public so callers that know their algorithm's exact state size (the
+/// core crate's `_mpc` entry points use `size_of::<A>()` words) can
+/// compute a tight budget: a partition always exists iff
+/// `S ≥ 2 · max_v adapter_vertex_cost(deg(v), B, state)`.
+pub fn adapter_vertex_cost(degree: usize, bandwidth_bits: usize, state_words: usize) -> usize {
+    NODE_OVERHEAD_WORDS + state_words + degree * entry_words(bandwidth_bits)
+}
+
+impl<'g> CongestOnMpc<'g> {
+    /// An adapter for the CONGEST topology over the communication graph
+    /// `g`, with the CONGEST default bandwidth and a memory budget from
+    /// [`recommended_memory_words`].
+    pub fn congest(g: &'g Graph) -> Self {
+        let bandwidth_bits = pga_congest::default_bandwidth_bits(g.num_nodes());
+        CongestOnMpc {
+            g,
+            topology: Topology::Congest,
+            bandwidth_bits,
+            memory_words: recommended_memory_words(g, bandwidth_bits),
+            max_rounds: 1_000_000,
+        }
+    }
+
+    /// An adapter for the CONGESTED CLIQUE topology with input graph `g`.
+    ///
+    /// Every vertex may message all `n - 1` others per round, so hosting
+    /// a vertex costs `Ω(n)` words of I/O headroom — the default budget
+    /// here is correspondingly large (direct clique simulation is not a
+    /// low-space workload).
+    pub fn congested_clique(g: &'g Graph) -> Self {
+        let bandwidth_bits = pga_congest::default_bandwidth_bits(g.num_nodes());
+        let n = g.num_nodes();
+        let worst = adapter_vertex_cost(n.saturating_sub(1), bandwidth_bits, 64);
+        CongestOnMpc {
+            g,
+            topology: Topology::CongestedClique,
+            bandwidth_bits,
+            memory_words: (2 * worst).max(256),
+            max_rounds: 1_000_000,
+        }
+    }
+
+    /// Overrides the per-machine memory budget `S` (words).
+    pub fn with_memory_words(mut self, words: usize) -> Self {
+        self.memory_words = words;
+        self
+    }
+
+    /// Overrides the CONGEST per-edge bandwidth `B` (bits per message).
+    pub fn with_bandwidth_bits(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// Overrides the safety round budget (default one million).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The per-machine memory budget `S` in words.
+    pub fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+
+    /// Vertex partition for state size `state_words`: returns `starts`
+    /// with machine `k` hosting `starts[k]..starts[k + 1]`. Contiguous
+    /// greedy packing, each machine's reserved cost at most `S / 2`
+    /// (the other half is runtime headroom for message buffers).
+    fn partition(&self, state_words: usize) -> Result<Vec<usize>, MpcError> {
+        let n = self.g.num_nodes();
+        let costs = (0..n).map(|v| {
+            let degree = match self.topology {
+                Topology::Congest => self.g.degree(NodeId::from_index(v)),
+                Topology::CongestedClique => n - 1,
+            };
+            adapter_vertex_cost(degree, self.bandwidth_bits, state_words)
+        });
+        crate::engine::greedy_partition(
+            costs,
+            self.memory_words / 2,
+            "memory budget S cannot host the busiest vertex; raise S with with_memory_words \
+             (the adapter needs S ≥ 2·(Δ·(1 + ⌈B/64⌉) + state))",
+        )
+    }
+
+    /// Runs `nodes` (one CONGEST state per vertex, indexed by id)
+    /// through the adapter on the sequential MPC engine.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::Congest`] wraps the exact `SimError` the CONGEST
+    /// engines would raise on a model violation; the other variants
+    /// report MPC budget violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run<A>(&self, nodes: Vec<A>) -> Result<AdapterReport<A::Output>, MpcError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        self.run_with(nodes, Engine::Sequential)
+    }
+
+    /// [`CongestOnMpc::run`] on an explicit MPC [`Engine`] (both engines
+    /// are bit-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`CongestOnMpc::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_with<A>(
+        &self,
+        nodes: Vec<A>,
+        engine: Engine,
+    ) -> Result<AdapterReport<A::Output>, MpcError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        let n = self.g.num_nodes();
+        assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
+        let starts = Arc::new(self.partition(std::mem::size_of::<A>().div_ceil(8))?);
+        let num_machines = starts.len() - 1;
+
+        let mut nodes = nodes;
+        let mut machines: Vec<CongestShard<'_, A>> = Vec::with_capacity(num_machines);
+        for k in (0..num_machines).rev() {
+            let (lo, hi) = (starts[k], starts[k + 1]);
+            let hosted: Vec<A> = nodes.split_off(lo);
+            machines.push(CongestShard {
+                g: self.g,
+                lo,
+                nodes: hosted,
+                starts: Arc::clone(&starts),
+                topology: self.topology,
+                bandwidth_bits: self.bandwidth_bits,
+                local_next: Vec::new(),
+                local_words: 0,
+                metrics: Metrics::default(),
+                adjacency_words: (lo..hi).map(|v| self.g.degree(NodeId::from_index(v))).sum(),
+            });
+        }
+        machines.reverse();
+
+        let sim = MpcSimulator::new(self.memory_words).with_max_rounds(self.max_rounds);
+        let report = sim.run_with(machines, engine)?;
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut congest = Metrics::default();
+        for (shard_outputs, shard_metrics) in report.outputs {
+            outputs.extend(shard_outputs);
+            congest.messages += shard_metrics.messages;
+            congest.bits += shard_metrics.bits;
+            congest.max_message_bits = congest.max_message_bits.max(shard_metrics.max_message_bits);
+            congest.rounds = congest.rounds.max(shard_metrics.rounds);
+            if congest.congestion_profile.len() < shard_metrics.congestion_profile.len() {
+                congest
+                    .congestion_profile
+                    .resize(shard_metrics.congestion_profile.len(), 0);
+            }
+            for (slot, &peak) in congest
+                .congestion_profile
+                .iter_mut()
+                .zip(&shard_metrics.congestion_profile)
+            {
+                *slot = (*slot).max(peak);
+            }
+        }
+        Ok(AdapterReport {
+            outputs,
+            congest,
+            mpc: report.metrics,
+            machines: num_machines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_congest::primitives::FloodMax;
+    use pga_congest::Simulator;
+    use pga_graph::generators;
+
+    fn floodmax_states(n: usize) -> Vec<FloodMax> {
+        (0..n)
+            .map(|i| FloodMax::new(NodeId::from_index(i)))
+            .collect()
+    }
+
+    #[test]
+    fn floodmax_bit_identical_to_congest_sim() {
+        for g in [
+            generators::path(30),
+            generators::grid(6, 7),
+            generators::star(25),
+            generators::clique_chain(4, 6),
+        ] {
+            let n = g.num_nodes();
+            let reference = Simulator::congest(&g).run(floodmax_states(n)).unwrap();
+            let adapter = CongestOnMpc::congest(&g)
+                .with_memory_words(512)
+                .run(floodmax_states(n))
+                .unwrap();
+            assert_eq!(adapter.outputs, reference.outputs, "{g:?}");
+            assert_eq!(adapter.congest, reference.metrics, "{g:?}");
+            assert!(adapter.machines >= 1);
+            assert!(adapter.mpc.peak_memory_words <= 512);
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_vertices_contiguously() {
+        let g = generators::grid(8, 8);
+        let adapter = CongestOnMpc::congest(&g).with_memory_words(300);
+        let starts = adapter.partition(4).unwrap();
+        assert_eq!(starts[0], 0);
+        assert_eq!(*starts.last().unwrap(), 64);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            starts.len() - 1 > 1,
+            "small budget must yield several machines"
+        );
+    }
+
+    #[test]
+    fn budget_too_small_for_hub_is_rejected() {
+        let g = generators::star(40);
+        let err = CongestOnMpc::congest(&g)
+            .with_memory_words(64)
+            .run(floodmax_states(40))
+            .unwrap_err();
+        assert!(matches!(err, MpcError::PreconditionViolated { .. }));
+    }
+
+    #[test]
+    fn congest_violation_surfaces_identically() {
+        use pga_congest::{MsgSize, SimError};
+        #[derive(Clone)]
+        struct Ping;
+        impl MsgSize for Ping {
+            fn size_bits(&self, _id_bits: usize) -> usize {
+                1
+            }
+        }
+        struct Bad;
+        impl Algorithm for Bad {
+            type Msg = Ping;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, Ping)]) -> Vec<(NodeId, Ping)> {
+                if ctx.id == NodeId(5) && ctx.round == 0 {
+                    vec![(NodeId(0), Ping)] // not a path-neighbor
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                false
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let g = generators::path(8);
+        let reference = Simulator::congest(&g)
+            .run((0..8).map(|_| Bad).collect::<Vec<_>>())
+            .unwrap_err();
+        let adapter = CongestOnMpc::congest(&g)
+            .run((0..8).map(|_| Bad).collect::<Vec<_>>())
+            .unwrap_err();
+        assert_eq!(adapter, MpcError::Congest(reference.clone()));
+        assert!(matches!(
+            reference,
+            SimError::IllegalDestination {
+                from: NodeId(5),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn clique_topology_supported() {
+        use pga_congest::MsgSize;
+        #[derive(Clone)]
+        struct Val(u32);
+        impl MsgSize for Val {
+            fn size_bits(&self, id_bits: usize) -> usize {
+                id_bits
+            }
+        }
+        struct Shout {
+            best: u32,
+            done: bool,
+        }
+        impl Algorithm for Shout {
+            type Msg = Val;
+            type Output = u32;
+            fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Val)]) -> Vec<(NodeId, Val)> {
+                for (_, m) in inbox {
+                    self.best = self.best.max(m.0);
+                }
+                if ctx.round == 0 {
+                    (0..ctx.n)
+                        .filter(|&j| j != ctx.id.index())
+                        .map(|j| (NodeId::from_index(j), Val(self.best)))
+                        .collect()
+                } else {
+                    self.done = true;
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                self.done
+            }
+            fn output(&self, _ctx: &Ctx) -> u32 {
+                self.best
+            }
+        }
+        let g = generators::path(10);
+        let mk = || {
+            (0..10)
+                .map(|i| Shout {
+                    best: i as u32,
+                    done: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = Simulator::congested_clique(&g).run(mk()).unwrap();
+        let adapter = CongestOnMpc::congested_clique(&g).run(mk()).unwrap();
+        assert_eq!(adapter.outputs, reference.outputs);
+        assert_eq!(adapter.congest, reference.metrics);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_adapter() {
+        let g = generators::grid(7, 9);
+        let n = g.num_nodes();
+        let driver = CongestOnMpc::congest(&g).with_memory_words(400);
+        let seq = driver.run(floodmax_states(n)).unwrap();
+        for threads in [2, 4] {
+            let par = driver
+                .run_with(floodmax_states(n), Engine::Parallel { threads })
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "t={threads}");
+            assert_eq!(par.congest, seq.congest, "t={threads}");
+            assert_eq!(par.mpc, seq.mpc, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_trivial() {
+        let g = Graph::empty(0);
+        let report = CongestOnMpc::congest(&g)
+            .run(Vec::<FloodMax>::new())
+            .unwrap();
+        assert!(report.outputs.is_empty());
+        assert_eq!(report.congest, Metrics::default());
+        assert_eq!(report.machines, 0);
+    }
+
+    /// Builds a shard by hand (bypassing the partitioner, whose headroom
+    /// reservation exists precisely to keep honest runs within budget).
+    fn raw_shard<'a, A: Algorithm>(
+        g: &'a Graph,
+        lo: usize,
+        nodes: Vec<A>,
+        starts: &Arc<Vec<usize>>,
+        bandwidth_bits: usize,
+    ) -> CongestShard<'a, A> {
+        let hi = lo + nodes.len();
+        CongestShard {
+            g,
+            lo,
+            nodes,
+            starts: Arc::clone(starts),
+            topology: Topology::Congest,
+            bandwidth_bits,
+            local_next: Vec::new(),
+            local_words: 0,
+            metrics: Metrics::default(),
+            adjacency_words: (lo..hi).map(|v| g.degree(NodeId::from_index(v))).sum(),
+        }
+    }
+
+    #[test]
+    fn memory_budget_enforced_on_overpacked_shard() {
+        // Everything on one machine: the initial memory check rejects the
+        // partition with a typed violation before any round runs.
+        let g = generators::path(40);
+        let starts = Arc::new(vec![0, 40]);
+        let shard = raw_shard(&g, 0, floodmax_states(40), &starts, 64);
+        let err = MpcSimulator::new(64).run(vec![shard]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MpcError::MemoryExceeded {
+                    machine: MachineId(0),
+                    round: 0,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn io_budget_enforced_on_fat_messages() {
+        // A star hub shipping full-bandwidth messages to every leaf in
+        // one round: each CONGEST message is legal, but the hub machine's
+        // aggregate send volume blows the MPC cap.
+        use pga_congest::MsgSize;
+        #[derive(Clone)]
+        struct Fat;
+        impl MsgSize for Fat {
+            fn size_bits(&self, _id_bits: usize) -> usize {
+                4096
+            }
+        }
+        struct Hub {
+            sent: bool,
+        }
+        impl Algorithm for Hub {
+            type Msg = Fat;
+            type Output = ();
+            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, Fat)]) -> Vec<(NodeId, Fat)> {
+                if ctx.round == 0 && ctx.id == NodeId(0) {
+                    self.sent = true;
+                    ctx.graph_neighbors.iter().map(|&v| (v, Fat)).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            fn is_done(&self, _ctx: &Ctx) -> bool {
+                self.sent
+            }
+            fn output(&self, _ctx: &Ctx) {}
+        }
+        let g = generators::star(20);
+        let starts = Arc::new(vec![0, 1, 20]);
+        let hub = raw_shard(&g, 0, vec![Hub { sent: false }], &starts, 4096);
+        let leaves = raw_shard(
+            &g,
+            1,
+            (1..20).map(|_| Hub { sent: false }).collect(),
+            &starts,
+            4096,
+        );
+        // Hub memory: 19 + 5 words; leaves: 19 + 19·5 words — both fit
+        // S = 300, but the hub's round-0 batch is 19·(1 + 64) = 1235 words.
+        let err = MpcSimulator::new(300).run(vec![hub, leaves]).unwrap_err();
+        assert_eq!(
+            err,
+            MpcError::SendVolumeExceeded {
+                machine: MachineId(0),
+                words: 1235,
+                limit_words: 300,
+                round: 0
+            }
+        );
+    }
+}

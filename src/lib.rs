@@ -10,6 +10,8 @@
 //!
 //! * [`graph`] — the graph substrate (generators, powers `G^r`, checks);
 //! * [`congest`] — a model-enforcing CONGEST / CONGESTED CLIQUE simulator;
+//! * [`mpc`] — a resource-accounted low-space MPC simulator with a
+//!   CONGEST-to-MPC adapter and a native `G²` 2-ruling-set algorithm;
 //! * [`exact`] — exact branch-and-bound solvers and greedy baselines;
 //! * [`algorithms`] — the paper's upper bounds: the `(1+ε)`-approximation
 //!   for `G²`-MVC in `O(n/ε)` rounds (Thm 1), its weighted (Thm 7) and
@@ -43,12 +45,14 @@ pub use pga_core as algorithms;
 pub use pga_exact as exact;
 pub use pga_graph as graph;
 pub use pga_lowerbounds as lowerbounds;
+pub use pga_mpc as mpc;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
     pub use pga_congest::{Metrics, Simulator, Topology};
     pub use pga_core::mds::cd18::cd18_mds;
     pub use pga_core::mds::congest_g2::g2_mds_congest;
+    pub use pga_core::mpc::{g2_mds_congest_mpc, g2_mvc_congest_mpc, MpcExecution};
     pub use pga_core::mvc::centralized::five_thirds_vertex_cover;
     pub use pga_core::mvc::clique_det::g2_mvc_clique_det;
     pub use pga_core::mvc::clique_rand::g2_mvc_clique_rand;
@@ -63,4 +67,7 @@ pub mod prelude {
     };
     pub use pga_graph::power::{power, square};
     pub use pga_graph::{generators, Graph, GraphBuilder, NodeId, VertexWeights};
+    pub use pga_mpc::{
+        g2_ruling_set_mpc_auto, CongestOnMpc, MpcMetrics, MpcSimulator, RulingSetResult,
+    };
 }

@@ -66,6 +66,16 @@ fn prelude_exposes_documented_api() {
     assert!(is_dominating_set_on_square(&g, &mds.dominating_set));
     let cd18 = cd18_mds(&g2, 5);
     assert!(is_dominating_set(&g2, &cd18.dominating_set));
+
+    // MPC execution model: the same entry points through the adapter
+    // are bit-identical, and the native ruling set dominates G².
+    let mvc_mpc: MpcExecution<G2MvcResult> =
+        g2_mvc_congest_mpc(&g, 0.5, LocalSolver::Exact).unwrap();
+    assert_eq!(mvc_mpc.result.cover, result.cover);
+    let mds_mpc = g2_mds_congest_mpc(&g, 16, 3).unwrap();
+    assert_eq!(mds_mpc.result.dominating_set, mds.dominating_set);
+    let rs: RulingSetResult = g2_ruling_set_mpc_auto(&g).unwrap();
+    assert!(is_dominating_set_on_square(&g, &rs.in_r));
 }
 
 /// The simulator types re-exported by the prelude are usable directly.
@@ -77,4 +87,8 @@ fn prelude_exposes_simulator_types() {
     assert_ne!(Topology::Congest, Topology::CongestedClique);
     let metrics = Metrics::default();
     assert_eq!(metrics.rounds, 0);
+    let _mpc: MpcSimulator = MpcSimulator::new(1024);
+    let _adapter: CongestOnMpc<'_> = CongestOnMpc::congest(&g);
+    let mpc_metrics = MpcMetrics::default();
+    assert_eq!(mpc_metrics.peak_memory_words, 0);
 }
