@@ -13,16 +13,24 @@
 //!   otherwise; skipped with a notice when fewer than two CPUs are
 //!   available, as speedup is physically impossible there).
 //!
+//! A third, "quiescent-tail" workload (`floodmax_tail`) runs FloodMax to
+//! full termination on a lollipop instance (gnm blob + long path) under
+//! both scheduling policies and both engines, asserts the four runs are
+//! bit-identical, and — with `--assert-speedup` on a multi-CPU host —
+//! requires active-set scheduling to be at least 1.3× faster than the
+//! full sweep (exit code 2 otherwise).
+//!
 //! Environment overrides: `BENCH_SIM_N` (vertices), `BENCH_SIM_AVG_DEG`
 //! (average degree), `BENCH_SIM_SEED`, `BENCH_SIM_THREADS`,
 //! `BENCH_SIM_REPS` (best-of repetitions), `BENCH_SIM_OUT` (artifact
 //! path), `BENCH_SIM_BA_N` / `BENCH_SIM_BA_K` (the second pinned
-//! Barabási–Albert instance).
+//! Barabási–Albert instance), `BENCH_SIM_TAIL_BLOB_N` /
+//! `BENCH_SIM_TAIL_BLOB_M` / `BENCH_SIM_TAIL_LEN` (the lollipop).
 
 use pga_bench::harness::{env_u64, env_usize, time_ms, EngineTiming, SimBench, WorkloadRecord};
 use pga_congest::primitives::FloodMax;
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, Simulator};
-use pga_graph::{generators, Graph, NodeId};
+use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, Scheduling, Simulator};
+use pga_graph::{generators, Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -163,6 +171,101 @@ where
     }
 }
 
+/// A "lollipop": a `connected_gnm` blob (vertices `0..blob_n`) with a
+/// path of `tail` vertices attached. The path's *largest* id is the
+/// attachment point, so FloodMax's global maximum (`n - 1`) floods the
+/// blob within a few rounds and then crawls down the path one hop per
+/// round — after ~2·diam(blob) rounds the blob is fully quiescent while
+/// the run continues for ~`tail` rounds. This is the quiescent-tail
+/// shape that active-set scheduling collapses.
+fn gnm_lollipop(blob_n: usize, blob_m: usize, tail: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blob = generators::connected_gnm(blob_n, blob_m, &mut rng);
+    let n = blob_n + tail;
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in blob.edges() {
+        b.add_edge(u, v);
+    }
+    // Chain blob_n — blob_n+1 — ... — n-1, attached to blob vertex 0 at
+    // its largest id.
+    for i in blob_n..n - 1 {
+        b.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+    }
+    b.add_edge(NodeId::from_index(n - 1), NodeId(0));
+    b.build()
+}
+
+/// Times FloodMax-to-full-termination on the lollipop under both
+/// scheduling policies (sequential and parallel), asserting the four
+/// runs are bit-identical, and reports full-sweep / active-set as the
+/// record's `speedup`.
+fn bench_tail_workload(g: &Graph, threads: usize, reps: usize) -> WorkloadRecord {
+    let n = g.num_nodes();
+    let mk = || {
+        (0..n)
+            .map(|i| FloodMax::new(NodeId::from_index(i)))
+            .collect::<Vec<_>>()
+    };
+    let run = |scheduling: Scheduling, par: bool| {
+        best_of(reps, &mk, |nodes| {
+            let sim = Simulator::congest(g).with_scheduling(scheduling);
+            if par {
+                sim.run_parallel(nodes, threads).expect("tail run")
+            } else {
+                sim.run(nodes).expect("tail run")
+            }
+        })
+    };
+    let (full, full_ms) = run(Scheduling::FullSweep, false);
+    let (active, active_ms) = run(Scheduling::ActiveSet, false);
+    let (par_full, par_full_ms) = run(Scheduling::FullSweep, true);
+    let (par_active, par_active_ms) = run(Scheduling::ActiveSet, true);
+
+    let identical = [&active, &par_full, &par_active]
+        .iter()
+        .all(|r| r.outputs == full.outputs && r.metrics == full.metrics);
+    if !identical {
+        eprintln!("DIVERGENCE in workload 'floodmax_tail' (scheduling policies or engines)");
+    }
+    WorkloadRecord {
+        name: "floodmax_tail".into(),
+        graph: "gnm_lollipop".into(),
+        n,
+        m: g.num_edges(),
+        rounds: full.metrics.rounds,
+        messages: full.metrics.messages,
+        bits: full.metrics.bits,
+        peak_edge_bits: full.metrics.peak_edge_bits(),
+        congestion_p95: full.metrics.congestion_percentile(0.95),
+        engines: vec![
+            EngineTiming {
+                engine: "sequential_full_sweep".into(),
+                threads: 1,
+                wall_ms: full_ms,
+            },
+            EngineTiming {
+                engine: "sequential_active_set".into(),
+                threads: 1,
+                wall_ms: active_ms,
+            },
+            EngineTiming {
+                engine: "parallel_full_sweep".into(),
+                threads,
+                wall_ms: par_full_ms,
+            },
+            EngineTiming {
+                engine: "parallel_active_set".into(),
+                threads,
+                wall_ms: par_active_ms,
+            },
+        ],
+        // For the tail record, speedup compares scheduling policies on
+        // the sequential engine (full sweep / active set).
+        speedup: full_ms / active_ms,
+        identical,
+    }
+}
+
 fn main() {
     let assert_speedup = std::env::args().any(|a| a == "--assert-speedup");
     let n = env_usize("BENCH_SIM_N", 60_000);
@@ -196,6 +299,17 @@ fn main() {
         ba.num_edges()
     );
 
+    // Quiescent-tail instance: a gnm blob with a long path attached (the
+    // blob goes quiet early while the flood crawls down the path).
+    let tail_blob_n = env_usize("BENCH_SIM_TAIL_BLOB_N", 30_000);
+    let tail_blob_m = env_usize("BENCH_SIM_TAIL_BLOB_M", 60_000);
+    let tail_len = env_usize("BENCH_SIM_TAIL_LEN", 3_000);
+    let (lolli, lolli_ms) = time_ms(|| gnm_lollipop(tail_blob_n, tail_blob_m, tail_len, seed));
+    println!(
+        "  gnm_lollipop(blob {tail_blob_n}/{tail_blob_m}, tail {tail_len}, {seed}) generated in {lolli_ms:.0} ms ({} edges)",
+        lolli.num_edges()
+    );
+
     let workloads = vec![
         bench_workload("floodmax", "connected_gnm", &g, threads, reps, || {
             (0..n)
@@ -215,12 +329,24 @@ fn main() {
                 .map(|i| FloodMax::new(NodeId::from_index(i)))
                 .collect()
         }),
+        bench_tail_workload(&lolli, threads, reps),
     ];
 
     for w in &workloads {
+        let timings: Vec<String> = w
+            .engines
+            .iter()
+            .map(|e| format!("{}({}) {:.0} ms", e.engine, e.threads, e.wall_ms))
+            .collect();
         println!(
-            "  {:>11}: {} rounds, {} msgs, p95 edge {} bits | seq {:.0} ms, par({threads}) {:.0} ms, speedup {:.2}x, identical: {}",
-            w.name, w.rounds, w.messages, w.congestion_p95, w.engines[0].wall_ms, w.engines[1].wall_ms, w.speedup, w.identical
+            "  {:>13}: {} rounds, {} msgs, p95 edge {} bits | {} | speedup {:.2}x, identical: {}",
+            w.name,
+            w.rounds,
+            w.messages,
+            w.congestion_p95,
+            timings.join(", "),
+            w.speedup,
+            w.identical
         );
     }
 
@@ -266,6 +392,24 @@ fn main() {
                 std::process::exit(2);
             }
             println!("  speedup assertion passed (worst {worst:.2}x >= 1.05x)");
+        }
+
+        // Quiescent-tail gate: active-set scheduling must beat the full
+        // sweep on the lollipop's long quiet tail.
+        if cpus < 2 {
+            println!("  tail scheduling assertion SKIPPED: single-CPU host");
+        } else if let Some(tail) = doc.workloads.iter().find(|w| w.name == "floodmax_tail") {
+            if tail.speedup < 1.3 {
+                eprintln!(
+                    "FAIL: active-set scheduling not >= 1.3x faster than full sweep on the quiescent tail ({:.2}x)",
+                    tail.speedup
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "  tail scheduling assertion passed (active-set {:.2}x >= 1.3x over full sweep)",
+                tail.speedup
+            );
         }
     }
 }

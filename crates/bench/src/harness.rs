@@ -39,7 +39,9 @@ pub fn env_u64(key: &str, default: u64) -> u64 {
 /// One engine's wall time on one workload.
 #[derive(Clone, Debug)]
 pub struct EngineTiming {
-    /// Engine name: `"sequential"` or `"parallel"`.
+    /// Engine name: `"sequential"` or `"parallel"`, optionally suffixed
+    /// with the scheduling policy for scheduling-comparison workloads
+    /// (e.g. `"sequential_active_set"`).
     pub engine: String,
     /// Worker threads used (1 for the sequential engine).
     pub threads: usize,
@@ -73,7 +75,9 @@ pub struct WorkloadRecord {
     pub congestion_p95: usize,
     /// Per-engine wall times.
     pub engines: Vec<EngineTiming>,
-    /// Sequential wall time divided by the best parallel wall time.
+    /// Sequential wall time divided by the best parallel wall time (for
+    /// the scheduling-comparison tail workload: full-sweep wall time
+    /// divided by active-set wall time).
     pub speedup: f64,
     /// Whether every engine produced bit-identical outputs and metrics.
     pub identical: bool,
@@ -114,7 +118,13 @@ pub struct WorkloadRecord {
 ///
 /// The top-level `n`/`m`/`seed` describe the primary pinned instance;
 /// each workload additionally records the instance it actually ran on
-/// (`bench_sim` pins a second Barabási–Albert instance).
+/// (`bench_sim` pins a second Barabási–Albert instance and a
+/// quiescent-tail "lollipop" instance). For the tail workload the
+/// `engines` entries compare scheduling policies as well as executors
+/// (`sequential_full_sweep`, `sequential_active_set`,
+/// `parallel_full_sweep`, `parallel_active_set`) and `speedup` is the
+/// sequential full-sweep wall time divided by the sequential active-set
+/// wall time.
 #[derive(Clone, Debug)]
 pub struct SimBench {
     /// Benchmark family identifier (`"sim_round_engine"`).

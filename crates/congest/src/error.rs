@@ -1,0 +1,86 @@
+//! The typed error of the CONGEST simulation engines.
+//!
+//! Raised identically by both executors (and by external substrates
+//! simulating the CONGEST model, such as the `pga-mpc` adapter, which
+//! wraps it in `MpcError::Congest`).
+
+use pga_graph::NodeId;
+
+/// Errors that abort a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node sent a message to a non-neighbor (CONGEST) or out-of-range
+    /// destination.
+    IllegalDestination {
+        /// Sending node.
+        from: NodeId,
+        /// Intended destination.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// A node sent two messages to the same destination in one round.
+    DuplicateMessage {
+        /// Sending node.
+        from: NodeId,
+        /// Destination that received two messages.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// A message exceeded the bandwidth `B`.
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Size of the offending message in bits.
+        size_bits: usize,
+        /// The bandwidth limit in bits.
+        limit_bits: usize,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// The round budget was exhausted before all nodes terminated.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The algorithm's precondition on the input graph was violated
+    /// (e.g. a spanning-tree-based phase requires a connected graph).
+    PreconditionViolated {
+        /// Human-readable description of the violated precondition.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::IllegalDestination { from, to, round } => {
+                write!(f, "round {round}: {from:?} sent to non-reachable {to:?}")
+            }
+            SimError::DuplicateMessage { from, to, round } => {
+                write!(f, "round {round}: {from:?} sent two messages to {to:?}")
+            }
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                size_bits,
+                limit_bits,
+                round,
+            } => write!(
+                f,
+                "round {round}: message {from:?} → {to:?} has {size_bits} bits > B = {limit_bits}"
+            ),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit {limit} exceeded without termination")
+            }
+            SimError::PreconditionViolated { what } => {
+                write!(f, "algorithm precondition violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

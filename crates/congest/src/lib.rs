@@ -66,6 +66,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
 mod metrics;
 mod sim;
 
@@ -74,5 +75,5 @@ pub mod primitives;
 pub use metrics::Metrics;
 pub use sim::{
     check_message, default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report,
-    SimError, Simulator, Topology, PARALLEL_MIN_NODES,
+    Scheduling, SimError, Simulator, Topology, PARALLEL_MIN_NODES,
 };

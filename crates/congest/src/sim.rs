@@ -1,7 +1,18 @@
 //! The synchronous round-based simulation engine.
+//!
+//! The round loop itself — termination, scheduling, message staging,
+//! sharding, and the deterministic exchange — lives in the shared
+//! [`pga_runtime`] kernel; this module supplies the CONGEST /
+//! CONGESTED CLIQUE *model*: topology and addressing, per-message
+//! validation and bit charging ([`check_message`]), and the mapping of
+//! the kernel's per-round accounting onto [`Metrics`].
 
+pub use crate::error::SimError;
 use crate::Metrics;
 use pga_graph::{Graph, NodeId};
+use pga_runtime::{ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
+
+pub use pga_runtime::Scheduling;
 
 /// Communication topology of a simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,6 +90,25 @@ pub trait Algorithm {
     /// Whether this node has terminated (quiescent and output-ready).
     fn is_done(&self, ctx: &Ctx) -> bool;
 
+    /// Whether the engine may *skip* this node's [`Algorithm::round`]
+    /// call in rounds where its inbox is empty (the
+    /// [`Scheduling::ActiveSet`] policy).
+    ///
+    /// **Contract:** if `can_skip` returns `true` and the node's inbox
+    /// is empty, `round` must be a pure no-op — no state mutation and an
+    /// empty outbox — and both `is_done` and `can_skip` must remain
+    /// `true` for the unchanged state until a message arrives (the
+    /// engine may stop re-polling a skippable quiet node). Skipping a
+    /// call that would have done nothing is unobservable, so both
+    /// scheduling policies stay bit-identical. The default (`is_done`)
+    /// satisfies this for plain state machines that go quiet once
+    /// finished; algorithms whose `round` has residual side effects
+    /// after `is_done` (stale-flag clearing, per-cycle resets) override
+    /// this to exclude those states and are then simply never skipped.
+    fn can_skip(&self, ctx: &Ctx) -> bool {
+        self.is_done(ctx)
+    }
+
     /// The node's final output.
     fn output(&self, ctx: &Ctx) -> Self::Output;
 }
@@ -92,84 +122,14 @@ pub struct Report<O> {
     pub metrics: Metrics,
 }
 
-/// Errors that abort a simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// A node sent a message to a non-neighbor (CONGEST) or out-of-range
-    /// destination.
-    IllegalDestination {
-        /// Sending node.
-        from: NodeId,
-        /// Intended destination.
-        to: NodeId,
-        /// Round in which the violation occurred.
-        round: usize,
-    },
-    /// A node sent two messages to the same destination in one round.
-    DuplicateMessage {
-        /// Sending node.
-        from: NodeId,
-        /// Destination that received two messages.
-        to: NodeId,
-        /// Round in which the violation occurred.
-        round: usize,
-    },
-    /// A message exceeded the bandwidth `B`.
-    BandwidthExceeded {
-        /// Sending node.
-        from: NodeId,
-        /// Destination node.
-        to: NodeId,
-        /// Size of the offending message in bits.
-        size_bits: usize,
-        /// The bandwidth limit in bits.
-        limit_bits: usize,
-        /// Round in which the violation occurred.
-        round: usize,
-    },
-    /// The round budget was exhausted before all nodes terminated.
-    RoundLimitExceeded {
-        /// The limit that was hit.
-        limit: usize,
-    },
-    /// The algorithm's precondition on the input graph was violated
-    /// (e.g. a spanning-tree-based phase requires a connected graph).
-    PreconditionViolated {
-        /// Human-readable description of the violated precondition.
-        what: &'static str,
-    },
-}
-
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::IllegalDestination { from, to, round } => {
-                write!(f, "round {round}: {from:?} sent to non-reachable {to:?}")
-            }
-            SimError::DuplicateMessage { from, to, round } => {
-                write!(f, "round {round}: {from:?} sent two messages to {to:?}")
-            }
-            SimError::BandwidthExceeded {
-                from,
-                to,
-                size_bits,
-                limit_bits,
-                round,
-            } => write!(
-                f,
-                "round {round}: message {from:?} → {to:?} has {size_bits} bits > B = {limit_bits}"
-            ),
-            SimError::RoundLimitExceeded { limit } => {
-                write!(f, "round limit {limit} exceeded without termination")
-            }
-            SimError::PreconditionViolated { what } => {
-                write!(f, "algorithm precondition violated: {what}")
-            }
+impl<O> From<pga_runtime::Run<O, Metrics>> for Report<O> {
+    fn from(run: pga_runtime::Run<O, Metrics>) -> Self {
+        Report {
+            outputs: run.outputs,
+            metrics: run.metrics,
         }
     }
 }
-
-impl std::error::Error for SimError {}
 
 /// Selects which round executor drives a run (see [`Simulator::run_with`]).
 ///
@@ -207,6 +167,7 @@ pub struct Simulator<'g> {
     topology: Topology,
     bandwidth_bits: usize,
     max_rounds: usize,
+    scheduling: Scheduling,
 }
 
 /// Validates one outgoing message against the communication model and
@@ -260,20 +221,6 @@ pub fn check_message<M: MsgSize>(
     Ok(size)
 }
 
-/// One shard's bucket of routed messages: `(to, from, msg)` triples.
-type Bucket<M> = Vec<(NodeId, NodeId, M)>;
-
-/// What one shard produces for one round: outgoing messages bucketed by
-/// destination shard, plus its share of the round's metrics.
-struct ShardOutput<M> {
-    /// `buckets[j]` holds `(to, from, msg)` for destinations in shard `j`,
-    /// in ascending sender order (nodes are processed in id order).
-    buckets: Vec<Bucket<M>>,
-    messages: u64,
-    bits: u64,
-    max_bits: usize,
-}
-
 /// Default bandwidth: `16·⌈log₂ n⌉ + 64` bits.
 ///
 /// The CONGEST model allows `B = O(log n)`; the constant is chosen so a
@@ -292,6 +239,72 @@ pub fn id_bits(n: usize) -> usize {
     }
 }
 
+/// The [`ExecModel`] instantiation that turns the shared round kernel
+/// into the CONGEST / CONGESTED CLIQUE engine: per-message validation
+/// via [`check_message`], bit charging, and [`Metrics`] accumulation
+/// (including the per-round congestion profile).
+struct CongestModel<'s, 'g, A> {
+    sim: &'s Simulator<'g>,
+    _algorithm: std::marker::PhantomData<fn(A)>,
+}
+
+impl<A: Algorithm> ExecModel for CongestModel<'_, '_, A> {
+    type Id = NodeId;
+    type Node = A;
+    type Msg = A::Msg;
+    type Output = A::Output;
+    type Error = SimError;
+    type Metrics = Metrics;
+    type SendScratch = Vec<NodeId>;
+
+    fn poll(&self, node: &A, idx: usize, round: usize) -> Poll {
+        let ctx = self.sim.ctx(NodeId::from_index(idx), round);
+        Poll {
+            done: node.is_done(&ctx),
+            skippable: node.can_skip(&ctx),
+        }
+    }
+
+    fn output(&self, node: &A, idx: usize, round: usize) -> A::Output {
+        node.output(&self.sim.ctx(NodeId::from_index(idx), round))
+    }
+
+    fn round_limit_error(&self, limit: usize) -> SimError {
+        SimError::RoundLimitExceeded { limit }
+    }
+
+    fn step<S: MsgSink<Self>>(
+        &self,
+        node: &mut A,
+        idx: usize,
+        round: usize,
+        inbox: &[(NodeId, A::Msg)],
+        seen: &mut Vec<NodeId>,
+        acc: &mut RoundProfile,
+        sink: &mut S,
+    ) -> Result<(), SimError> {
+        let ctx = self.sim.ctx(NodeId::from_index(idx), round);
+        let outbox = node.round(&ctx, inbox);
+        seen.clear();
+        for (to, msg) in outbox {
+            let size = check_message(&ctx, seen, to, &msg)?;
+            acc.messages += 1;
+            acc.volume += size as u64;
+            acc.peak_link = acc.peak_link.max(size);
+            sink.deliver(self, to, ctx.id, msg);
+        }
+        Ok(())
+    }
+
+    fn end_round(&self, acc: &RoundProfile, _recv: &[usize], round: usize, metrics: &mut Metrics) {
+        metrics.messages += acc.messages;
+        metrics.bits += acc.volume;
+        metrics.max_message_bits = metrics.max_message_bits.max(acc.peak_link);
+        metrics.rounds = round + 1;
+        metrics.congestion_profile.push(acc.peak_link);
+    }
+}
+
 impl<'g> Simulator<'g> {
     /// A CONGEST simulator over the communication graph `g`.
     pub fn congest(g: &'g Graph) -> Self {
@@ -300,6 +313,7 @@ impl<'g> Simulator<'g> {
             topology: Topology::Congest,
             bandwidth_bits: default_bandwidth_bits(g.num_nodes()),
             max_rounds: 1_000_000,
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -323,6 +337,14 @@ impl<'g> Simulator<'g> {
         self
     }
 
+    /// Overrides the round-scheduling policy (default
+    /// [`Scheduling::ActiveSet`]); both policies are bit-identical, see
+    /// [`Algorithm::can_skip`].
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
     fn ctx(&self, id: NodeId, round: usize) -> Ctx<'_> {
         Ctx {
             id,
@@ -335,24 +357,26 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Whether every node reports [`Algorithm::is_done`] at `round`.
-    fn all_done<A: Algorithm>(&self, nodes: &[A], round: usize) -> bool {
-        nodes.iter().enumerate().all(|(i, node)| {
-            let ctx = self.ctx(NodeId::from_index(i), round);
-            node.is_done(&ctx)
-        })
+    fn kernel_config(&self) -> KernelConfig {
+        KernelConfig {
+            max_rounds: self.max_rounds,
+            scheduling: self.scheduling,
+        }
     }
 
-    /// Collects every node's final output.
-    fn outputs<A: Algorithm>(&self, nodes: &[A], round: usize) -> Vec<A::Output> {
-        nodes
-            .iter()
-            .enumerate()
-            .map(|(i, node)| {
-                let ctx = self.ctx(NodeId::from_index(i), round);
-                node.output(&ctx)
-            })
-            .collect()
+    fn model<A: Algorithm>(&self) -> CongestModel<'_, 'g, A> {
+        CongestModel {
+            sim: self,
+            _algorithm: std::marker::PhantomData,
+        }
+    }
+
+    fn assert_node_count<T>(&self, nodes: &[T]) {
+        assert_eq!(
+            nodes.len(),
+            self.g.num_nodes(),
+            "one algorithm state per vertex required"
+        );
     }
 
     /// Runs `nodes` (one algorithm state per vertex, indexed by id) to
@@ -366,82 +390,21 @@ impl<'g> Simulator<'g> {
     /// # Panics
     ///
     /// Panics if `nodes.len()` differs from the graph size.
-    pub fn run<A: Algorithm>(&self, mut nodes: Vec<A>) -> Result<Report<A::Output>, SimError> {
-        let n = self.g.num_nodes();
-        assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
-        let mut metrics = Metrics::default();
-        let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut round = 0;
-
-        loop {
-            // Termination: all done and no messages in flight.
-            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
-            if self.all_done(&nodes, round) && !in_flight {
-                break;
-            }
-            if round >= self.max_rounds {
-                return Err(SimError::RoundLimitExceeded {
-                    limit: self.max_rounds,
-                });
-            }
-
-            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-            let mut sent_any = false;
-            let mut round_peak = 0usize;
-
-            for i in 0..n {
-                let id = NodeId::from_index(i);
-                let ctx = self.ctx(id, round);
-                let inbox = std::mem::take(&mut inboxes[i]);
-                let outbox = nodes[i].round(&ctx, &inbox);
-                let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
-                for (to, msg) in outbox {
-                    let size = check_message(&ctx, &mut seen, to, &msg)?;
-                    metrics.messages += 1;
-                    metrics.bits += size as u64;
-                    metrics.max_message_bits = metrics.max_message_bits.max(size);
-                    round_peak = round_peak.max(size);
-                    next_inboxes[to.index()].push((id, msg));
-                    sent_any = true;
-                }
-            }
-
-            // Deterministic delivery order.
-            for ib in &mut next_inboxes {
-                ib.sort_by_key(|&(from, _)| from);
-            }
-            inboxes = next_inboxes;
-            round += 1;
-            metrics.rounds = round;
-            metrics.congestion_profile.push(round_peak);
-
-            // Fast-path termination check to avoid an extra empty round:
-            // if nothing was sent and everyone is done, stop.
-            if !sent_any && self.all_done(&nodes, round) {
-                break;
-            }
-        }
-
-        Ok(Report {
-            outputs: self.outputs(&nodes, round),
-            metrics,
-        })
+    pub fn run<A: Algorithm>(&self, nodes: Vec<A>) -> Result<Report<A::Output>, SimError> {
+        self.assert_node_count(&nodes);
+        Ok(pga_runtime::run_sequential(&self.model::<A>(), nodes, self.kernel_config())?.into())
     }
 
     /// Runs `nodes` to completion on the sharded multi-threaded engine.
     ///
-    /// Vertices are partitioned into `threads` contiguous shards; every
-    /// round, each shard executes its nodes' [`Algorithm::round`] calls on
-    /// its own worker thread into per-shard outboxes (bucketed by
-    /// destination shard), then the buckets are exchanged and appended in
-    /// shard order. Because shards cover ascending id ranges and each
-    /// shard visits its nodes in id order, the concatenation is already
-    /// sorted by sender — next round's inboxes are **bit-identical** to
-    /// the sequential engine's without any sorting, for every thread
-    /// count. Outputs, [`Metrics`] (profile included) and errors all
-    /// match [`Simulator::run`] exactly; a model violation aborts with the
-    /// first offending node's error, though `round` callbacks of
-    /// higher-id nodes in other shards may already have executed by then.
+    /// Vertices are partitioned into `threads` contiguous shards driven
+    /// by the shared [`pga_runtime`] kernel; outputs, [`Metrics`]
+    /// (profile included) and errors all match [`Simulator::run`]
+    /// exactly, for every thread count (see [`pga_runtime::run_sharded`]
+    /// for why the shard-order exchange needs no sorting). A model
+    /// violation aborts with the first offending node's error, though
+    /// `round` callbacks of higher-id nodes in other shards may already
+    /// have executed by then.
     ///
     /// `threads == 0` selects one shard per available CPU. With one
     /// thread (or fewer than two nodes per shard) the call falls through
@@ -457,161 +420,23 @@ impl<'g> Simulator<'g> {
     /// Panics if `nodes.len()` differs from the graph size.
     pub fn run_parallel<A>(
         &self,
-        mut nodes: Vec<A>,
+        nodes: Vec<A>,
         threads: usize,
     ) -> Result<Report<A::Output>, SimError>
     where
         A: Algorithm + Send,
         A::Msg: Send,
     {
-        let n = self.g.num_nodes();
-        assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
+        self.assert_node_count(&nodes);
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             threads
         };
-        if threads <= 1 || n < 2 * threads {
-            // Trivial shards: the sequential engine is the same function.
-            return self.run(nodes);
-        }
-        let shard_size = n.div_ceil(threads);
-        let num_shards = n.div_ceil(shard_size);
-
-        let mut metrics = Metrics::default();
-        let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut round = 0;
-
-        loop {
-            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
-            if self.all_done(&nodes, round) && !in_flight {
-                break;
-            }
-            if round >= self.max_rounds {
-                return Err(SimError::RoundLimitExceeded {
-                    limit: self.max_rounds,
-                });
-            }
-
-            // Phase A: every shard runs its nodes for this round.
-            let shard_results: Vec<Result<ShardOutput<A::Msg>, SimError>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = nodes
-                        .chunks_mut(shard_size)
-                        .zip(inboxes.chunks_mut(shard_size))
-                        .enumerate()
-                        .map(|(si, (shard_nodes, shard_inboxes))| {
-                            s.spawn(move || {
-                                self.run_shard_round(
-                                    si * shard_size,
-                                    shard_nodes,
-                                    shard_inboxes,
-                                    round,
-                                    shard_size,
-                                    num_shards,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                        .collect()
-                });
-
-            // Shard 0 holds the lowest ids and each shard stops at its
-            // first violation, so taking the first error in shard order
-            // reproduces the sequential engine's error exactly.
-            let mut yields = Vec::with_capacity(num_shards);
-            for r in shard_results {
-                yields.push(r?);
-            }
-
-            let mut sent_any = false;
-            let mut round_peak = 0usize;
-            for y in &yields {
-                metrics.messages += y.messages;
-                metrics.bits += y.bits;
-                round_peak = round_peak.max(y.max_bits);
-                sent_any |= y.messages > 0;
-            }
-            metrics.max_message_bits = metrics.max_message_bits.max(round_peak);
-
-            // Phase B: deterministic exchange. Transpose the per-shard
-            // buckets into per-destination-shard columns, then let each
-            // destination shard append its column in shard order.
-            let mut columns: Vec<Vec<Bucket<A::Msg>>> = (0..num_shards)
-                .map(|_| Vec::with_capacity(num_shards))
-                .collect();
-            for y in yields {
-                for (j, bucket) in y.buckets.into_iter().enumerate() {
-                    columns[j].push(bucket);
-                }
-            }
-            let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-            std::thread::scope(|s| {
-                for (j, (column, dst)) in columns
-                    .into_iter()
-                    .zip(next_inboxes.chunks_mut(shard_size))
-                    .enumerate()
-                {
-                    s.spawn(move || {
-                        let base = j * shard_size;
-                        for bucket in column {
-                            for (to, from, msg) in bucket {
-                                dst[to.index() - base].push((from, msg));
-                            }
-                        }
-                    });
-                }
-            });
-            inboxes = next_inboxes;
-            round += 1;
-            metrics.rounds = round;
-            metrics.congestion_profile.push(round_peak);
-
-            if !sent_any && self.all_done(&nodes, round) {
-                break;
-            }
-        }
-
-        Ok(Report {
-            outputs: self.outputs(&nodes, round),
-            metrics,
-        })
-    }
-
-    /// Executes one round for the shard whose first vertex is `base`.
-    fn run_shard_round<A: Algorithm>(
-        &self,
-        base: usize,
-        shard_nodes: &mut [A],
-        shard_inboxes: &mut [Vec<(NodeId, A::Msg)>],
-        round: usize,
-        shard_size: usize,
-        num_shards: usize,
-    ) -> Result<ShardOutput<A::Msg>, SimError> {
-        let mut out = ShardOutput {
-            buckets: (0..num_shards).map(|_| Vec::new()).collect(),
-            messages: 0,
-            bits: 0,
-            max_bits: 0,
-        };
-        for (k, node) in shard_nodes.iter_mut().enumerate() {
-            let id = NodeId::from_index(base + k);
-            let ctx = self.ctx(id, round);
-            let inbox = std::mem::take(&mut shard_inboxes[k]);
-            let outbox = node.round(&ctx, &inbox);
-            let mut seen: Vec<NodeId> = Vec::with_capacity(outbox.len());
-            for (to, msg) in outbox {
-                let size = check_message(&ctx, &mut seen, to, &msg)?;
-                out.messages += 1;
-                out.bits += size as u64;
-                out.max_bits = out.max_bits.max(size);
-                out.buckets[to.index() / shard_size].push((to, id, msg));
-            }
-        }
-        Ok(out)
+        Ok(
+            pga_runtime::run_sharded(&self.model::<A>(), nodes, threads, self.kernel_config())?
+                .into(),
+        )
     }
 
     /// Runs `nodes` on the engine selected by `engine`.
@@ -656,425 +481,3 @@ impl<'g> Simulator<'g> {
 /// and on small instances that fixed cost exceeds the per-round compute.
 /// Explicit thread counts are always honored.
 pub const PARALLEL_MIN_NODES: usize = 1024;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pga_graph::generators;
-
-    #[derive(Clone)]
-    struct U32Msg(u32);
-    impl MsgSize for U32Msg {
-        fn size_bits(&self, id_bits: usize) -> usize {
-            id_bits
-        }
-    }
-
-    /// Every node floods the max id it has seen; outputs it.
-    struct FloodMax {
-        best: u32,
-        changed: bool,
-        quiet: bool,
-    }
-
-    impl FloodMax {
-        fn new(i: usize) -> Self {
-            FloodMax {
-                best: i as u32,
-                changed: false,
-                quiet: false,
-            }
-        }
-    }
-
-    impl Algorithm for FloodMax {
-        type Msg = U32Msg;
-        type Output = u32;
-        fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-            for (_, m) in inbox {
-                if m.0 > self.best {
-                    self.best = m.0;
-                    self.changed = true;
-                }
-            }
-            let send = ctx.round == 0 || self.changed;
-            self.changed = false;
-            self.quiet = !send;
-            if send {
-                ctx.graph_neighbors
-                    .iter()
-                    .map(|&v| (v, U32Msg(self.best)))
-                    .collect()
-            } else {
-                Vec::new()
-            }
-        }
-        fn is_done(&self, _ctx: &Ctx) -> bool {
-            self.quiet
-        }
-        fn output(&self, _ctx: &Ctx) -> u32 {
-            self.best
-        }
-    }
-
-    #[test]
-    fn flood_max_on_path() {
-        let g = generators::path(10);
-        let report = Simulator::congest(&g)
-            .run((0..10).map(FloodMax::new).collect())
-            .unwrap();
-        assert!(report.outputs.iter().all(|&b| b == 9));
-        // Max id must travel 9 hops: at least 9 rounds.
-        assert!(report.metrics.rounds >= 9, "{}", report.metrics.rounds);
-        assert!(report.metrics.messages > 0);
-    }
-
-    #[test]
-    fn flood_max_on_clique_topology_one_hop() {
-        let g = generators::path(10); // input graph is a path...
-        struct Shout {
-            best: u32,
-            done: bool,
-        }
-        impl Algorithm for Shout {
-            type Msg = U32Msg;
-            type Output = u32;
-            fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                for (_, m) in inbox {
-                    self.best = self.best.max(m.0);
-                }
-                if ctx.round == 0 {
-                    // ...but the clique topology lets everyone shout once.
-                    (0..ctx.n)
-                        .filter(|&j| j != ctx.id.index())
-                        .map(|j| (NodeId::from_index(j), U32Msg(self.best)))
-                        .collect()
-                } else {
-                    self.done = true;
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                self.done
-            }
-            fn output(&self, _ctx: &Ctx) -> u32 {
-                self.best
-            }
-        }
-        let report = Simulator::congested_clique(&g)
-            .run(
-                (0..10)
-                    .map(|i| Shout {
-                        best: i as u32,
-                        done: false,
-                    })
-                    .collect(),
-            )
-            .unwrap();
-        assert!(report.outputs.iter().all(|&b| b == 9));
-        assert!(report.metrics.rounds <= 3);
-    }
-
-    #[test]
-    fn illegal_destination_congest() {
-        let g = generators::path(4);
-        struct Bad;
-        impl Algorithm for Bad {
-            type Msg = U32Msg;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                if ctx.id == NodeId(0) && ctx.round == 0 {
-                    vec![(NodeId(3), U32Msg(0))] // not a path-neighbor
-                } else {
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let err = Simulator::congest(&g)
-            .run(vec![Bad, Bad, Bad, Bad])
-            .unwrap_err();
-        assert!(matches!(err, SimError::IllegalDestination { .. }));
-    }
-
-    #[test]
-    fn bandwidth_violation() {
-        let g = generators::path(2);
-        #[derive(Clone)]
-        struct Huge;
-        impl MsgSize for Huge {
-            fn size_bits(&self, _id_bits: usize) -> usize {
-                1 << 20
-            }
-        }
-        struct Sender;
-        impl Algorithm for Sender {
-            type Msg = Huge;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, Huge)]) -> Vec<(NodeId, Huge)> {
-                if ctx.round == 0 && ctx.id == NodeId(0) {
-                    vec![(NodeId(1), Huge)]
-                } else {
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let err = Simulator::congest(&g)
-            .run(vec![Sender, Sender])
-            .unwrap_err();
-        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
-    }
-
-    #[test]
-    fn duplicate_message_rejected() {
-        let g = generators::path(2);
-        struct Dup;
-        impl Algorithm for Dup {
-            type Msg = U32Msg;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                if ctx.round == 0 && ctx.id == NodeId(0) {
-                    vec![(NodeId(1), U32Msg(1)), (NodeId(1), U32Msg(2))]
-                } else {
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let err = Simulator::congest(&g).run(vec![Dup, Dup]).unwrap_err();
-        assert!(matches!(err, SimError::DuplicateMessage { .. }));
-    }
-
-    #[test]
-    fn round_limit() {
-        let g = generators::path(2);
-        struct Chatter;
-        impl Algorithm for Chatter {
-            type Msg = U32Msg;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                ctx.graph_neighbors
-                    .iter()
-                    .map(|&v| (v, U32Msg(0)))
-                    .collect()
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let err = Simulator::congest(&g)
-            .with_max_rounds(10)
-            .run(vec![Chatter, Chatter])
-            .unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
-    }
-
-    #[test]
-    fn parallel_matches_sequential_bit_identically() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(12);
-        let graphs = [
-            generators::path(10),
-            generators::grid(5, 5),
-            generators::star(17),
-            generators::connected_gnm(64, 200, &mut rng),
-        ];
-        for g in &graphs {
-            let n = g.num_nodes();
-            let seq = Simulator::congest(g)
-                .run((0..n).map(FloodMax::new).collect())
-                .unwrap();
-            for threads in [1, 2, 3, 4, 8] {
-                let par = Simulator::congest(g)
-                    .run_parallel((0..n).map(FloodMax::new).collect(), threads)
-                    .unwrap();
-                assert_eq!(par.outputs, seq.outputs, "outputs, t={threads}");
-                assert_eq!(par.metrics, seq.metrics, "metrics, t={threads}");
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_congested_clique_matches() {
-        // Clique topology: every destination shard receives from every
-        // sender shard, exercising the full exchange matrix.
-        let g = generators::path(12);
-        struct Shout(u32, bool);
-        impl Algorithm for Shout {
-            type Msg = U32Msg;
-            type Output = u32;
-            fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                for (_, m) in inbox {
-                    self.0 = self.0.max(m.0);
-                }
-                if ctx.round == 0 {
-                    (0..ctx.n)
-                        .filter(|&j| j != ctx.id.index())
-                        .map(|j| (NodeId::from_index(j), U32Msg(self.0)))
-                        .collect()
-                } else {
-                    self.1 = true;
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                self.1
-            }
-            fn output(&self, _ctx: &Ctx) -> u32 {
-                self.0
-            }
-        }
-        let mk = || (0..12).map(|i| Shout(i as u32, false)).collect();
-        let seq = Simulator::congested_clique(&g).run(mk()).unwrap();
-        for threads in [2, 4, 6] {
-            let par = Simulator::congested_clique(&g)
-                .run_parallel(mk(), threads)
-                .unwrap();
-            assert_eq!(par.outputs, seq.outputs);
-            assert_eq!(par.metrics, seq.metrics);
-        }
-    }
-
-    #[test]
-    fn parallel_errors_match_sequential() {
-        // An illegal send from a high id: both engines must report the
-        // same error even though the sender sits in the last shard.
-        let g = generators::path(8);
-        struct Bad;
-        impl Algorithm for Bad {
-            type Msg = U32Msg;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                if ctx.id == NodeId(6) && ctx.round == 0 {
-                    vec![(NodeId(0), U32Msg(0))] // not a path-neighbor
-                } else {
-                    Vec::new()
-                }
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let seq = Simulator::congest(&g)
-            .run((0..8).map(|_| Bad).collect::<Vec<_>>())
-            .unwrap_err();
-        for threads in [2, 4] {
-            let par = Simulator::congest(&g)
-                .run_parallel((0..8).map(|_| Bad).collect::<Vec<_>>(), threads)
-                .unwrap_err();
-            assert_eq!(par, seq, "t={threads}");
-        }
-        assert_eq!(
-            seq,
-            SimError::IllegalDestination {
-                from: NodeId(6),
-                to: NodeId(0),
-                round: 0
-            }
-        );
-    }
-
-    #[test]
-    fn parallel_round_limit_matches() {
-        let g = generators::path(8);
-        struct Chatter;
-        impl Algorithm for Chatter {
-            type Msg = U32Msg;
-            type Output = ();
-            fn round(&mut self, ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                ctx.graph_neighbors
-                    .iter()
-                    .map(|&v| (v, U32Msg(0)))
-                    .collect()
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &Ctx) {}
-        }
-        let err = Simulator::congest(&g)
-            .with_max_rounds(7)
-            .run_parallel((0..8).map(|_| Chatter).collect::<Vec<_>>(), 4)
-            .unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 7 });
-    }
-
-    #[test]
-    fn run_with_dispatches_both_engines() {
-        let g = generators::path(10);
-        for engine in [
-            Engine::Sequential,
-            Engine::Parallel { threads: 3 },
-            Engine::parallel_auto(),
-        ] {
-            let report = Simulator::congest(&g)
-                .run_with((0..10).map(FloodMax::new).collect(), engine)
-                .unwrap();
-            assert!(report.outputs.iter().all(|&b| b == 9), "{engine:?}");
-        }
-    }
-
-    #[test]
-    fn congestion_profile_invariants() {
-        let g = generators::grid(4, 5);
-        let report = Simulator::congest(&g)
-            .run((0..20).map(FloodMax::new).collect())
-            .unwrap();
-        let m = &report.metrics;
-        assert_eq!(m.congestion_profile.len(), m.rounds);
-        // One message per directed edge per round, so the run-wide peak
-        // equals the largest message ever sent.
-        assert_eq!(m.peak_edge_bits(), m.max_message_bits);
-        assert!(m
-            .congestion_profile
-            .iter()
-            .all(|&b| b <= m.max_message_bits));
-    }
-
-    #[test]
-    fn id_bits_values() {
-        assert_eq!(id_bits(2), 1);
-        assert_eq!(id_bits(3), 2);
-        assert_eq!(id_bits(4), 2);
-        assert_eq!(id_bits(5), 3);
-        assert_eq!(id_bits(1024), 10);
-        assert_eq!(id_bits(1025), 11);
-    }
-
-    #[test]
-    fn zero_round_algorithm() {
-        // A node set that is immediately done runs 0 rounds and sends
-        // nothing (Lemma 6's trivial approximation is such an algorithm).
-        let g = generators::path(3);
-        struct Lazy;
-        impl Algorithm for Lazy {
-            type Msg = U32Msg;
-            type Output = bool;
-            fn round(&mut self, _ctx: &Ctx, _inbox: &[(NodeId, U32Msg)]) -> Vec<(NodeId, U32Msg)> {
-                Vec::new()
-            }
-            fn is_done(&self, _ctx: &Ctx) -> bool {
-                true
-            }
-            fn output(&self, _ctx: &Ctx) -> bool {
-                true
-            }
-        }
-        let report = Simulator::congest(&g).run(vec![Lazy, Lazy, Lazy]).unwrap();
-        assert_eq!(report.metrics.messages, 0);
-        assert!(report.outputs.iter().all(|&b| b));
-    }
-}

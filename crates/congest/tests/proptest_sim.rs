@@ -182,6 +182,48 @@ proptest! {
         prop_assert_eq!(&par.metrics, &seq.metrics, "metrics, t={}", threads);
     }
 
+    /// Both scheduling policies are bit-identical on the primitives with
+    /// data-dependent quiescence (Layer goes quiet per-node as the BFS
+    /// wave passes; GatherScatter's phases re-activate on messages).
+    #[test]
+    fn scheduling_policies_bit_identical(g in arb_connected(), t_idx in 0usize..3) {
+        use pga_congest::Scheduling;
+        let threads = [1usize, 3, 8][t_idx];
+        let n = g.num_nodes();
+        let mk_layer = || (0..n).map(|_| Layer { dist: None, announce: false }).collect::<Vec<_>>();
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items| items);
+        let mk_gs = || (0..n)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 { value: i as u64, bits: 32 }],
+                    Arc::clone(&compute),
+                )
+            })
+            .collect::<Vec<_>>();
+
+        let full = Simulator::congest(&g)
+            .with_scheduling(Scheduling::FullSweep)
+            .run(mk_layer())
+            .unwrap();
+        let active = Simulator::congest(&g)
+            .with_scheduling(Scheduling::ActiveSet)
+            .run_parallel(mk_layer(), threads)
+            .unwrap();
+        prop_assert_eq!(&active.outputs, &full.outputs, "Layer outputs, t={}", threads);
+        prop_assert_eq!(&active.metrics, &full.metrics, "Layer metrics, t={}", threads);
+
+        let full = Simulator::congest(&g)
+            .with_scheduling(Scheduling::FullSweep)
+            .run(mk_gs())
+            .unwrap();
+        let active = Simulator::congest(&g)
+            .with_scheduling(Scheduling::ActiveSet)
+            .run_parallel(mk_gs(), threads)
+            .unwrap();
+        prop_assert_eq!(&active.outputs, &full.outputs, "GS outputs, t={}", threads);
+        prop_assert_eq!(&active.metrics, &full.metrics, "GS metrics, t={}", threads);
+    }
+
     /// Messages never exceed the bandwidth, and metrics are consistent.
     #[test]
     fn metrics_consistency(g in arb_connected()) {

@@ -323,6 +323,13 @@ impl Algorithm for Theorem28Node {
         self.covered
     }
 
+    fn can_skip(&self, _ctx: &Ctx) -> bool {
+        // Covered vertices still participate: they relay votes, push
+        // estimator samples, and reset per-iteration state at t = 0 —
+        // none of which is a no-op. Never skippable.
+        false
+    }
+
     fn output(&self, _ctx: &Ctx) -> bool {
         self.in_ds
     }

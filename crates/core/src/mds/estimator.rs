@@ -129,6 +129,13 @@ impl Algorithm for TwoHopEstimator {
         self.minima.len() >= self.r
     }
 
+    fn can_skip(&self, _ctx: &Ctx) -> bool {
+        // The phase-0 arm pushes the pending 2-hop minimum before the
+        // done check, so even a finished node's `round` mutates state.
+        // (All nodes finish in lockstep, so this never costs anything.)
+        false
+    }
+
     fn output(&self, _ctx: &Ctx) -> f64 {
         estimate_from_minima(&self.minima)
     }

@@ -165,6 +165,13 @@ impl Algorithm for VotePhase1 {
         self.initialized && !self.eligible()
     }
 
+    fn can_skip(&self, ctx: &Ctx) -> bool {
+        // A stale `candidate_now` would mark this vertex a candidate in
+        // the vote-counting step on re-activation; it is cleared by the
+        // next invoked Step 1, so the node stays active until then.
+        self.is_done(ctx) && !self.candidate_now
+    }
+
     fn output(&self, _ctx: &Ctx) -> P1Output {
         P1Output {
             in_s: self.in_s,

@@ -144,7 +144,14 @@ impl Algorithm for Phase1 {
                 if self.candidate_now {
                     m = Some(m.map_or(ctx.id.0, |x| x.max(ctx.id.0)));
                 }
-                self.one_hop_max = m;
+                // Store only a real maximum: a `None` here is never read
+                // (Step 3 reads under `candidate_now`, whose Step 2 always
+                // wrote `Some`), and skipping the write keeps the
+                // skippable quiet state genuinely mutation-free for the
+                // engine's `can_skip` contract.
+                if m.is_some() {
+                    self.one_hop_max = m;
+                }
                 if let Some(m) = m {
                     for &v in ctx.graph_neighbors {
                         out.push((v, P1Msg::MaxCand(m)));
@@ -188,6 +195,13 @@ impl Algorithm for Phase1 {
         // nothing will ever be sent again; the simulator combines this
         // per-node condition with global quiescence.
         self.initialized && !self.eligible()
+    }
+
+    fn can_skip(&self, ctx: &Ctx) -> bool {
+        // A stale `candidate_now` from a pre-ineligibility Step 1 would
+        // leak into the Step 2 maximum on re-activation; it is cleared by
+        // the next invoked Step 1, so the node stays active until then.
+        self.is_done(ctx) && !self.candidate_now
     }
 
     fn output(&self, _ctx: &Ctx) -> P1Output {

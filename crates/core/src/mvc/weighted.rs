@@ -204,7 +204,14 @@ impl Algorithm for WPhase1 {
                 if self.candidate_now {
                     m = Some(m.map_or(ctx.id.0, |x| x.max(ctx.id.0)));
                 }
-                self.one_hop_max = m;
+                // Store only a real maximum: a `None` here is never read
+                // (Step 3 reads under `candidate_now`, whose Step 2 always
+                // wrote `Some`), and skipping the write keeps the
+                // skippable quiet state genuinely mutation-free for the
+                // engine's `can_skip` contract.
+                if m.is_some() {
+                    self.one_hop_max = m;
+                }
                 if let Some(m) = m {
                     for &v in ctx.graph_neighbors {
                         out.push((v, WMsg::MaxCand(m)));
@@ -251,6 +258,13 @@ impl Algorithm for WPhase1 {
 
     fn is_done(&self, ctx: &Ctx) -> bool {
         ctx.round > 0 && self.eligible_bucket().is_none()
+    }
+
+    fn can_skip(&self, ctx: &Ctx) -> bool {
+        // As in the unweighted Phase 1: a stale `candidate_now` would
+        // leak into the next Step 2 maximum on re-activation, so the
+        // node stays active until an invoked Step 1 clears it.
+        self.is_done(ctx) && !self.candidate_now
     }
 
     fn output(&self, _ctx: &Ctx) -> crate::mvc::phase1::P1Output {

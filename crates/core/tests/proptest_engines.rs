@@ -1,0 +1,203 @@
+//! Cross-engine bit-identity proptests for every engine-parameterized
+//! `pga-core` entry point.
+//!
+//! The shared `pga-runtime` kernel promises that the sequential and
+//! sharded executors are bit-identical — outputs, metrics (including
+//! the per-round congestion and I/O profiles), and errors — at every
+//! thread count. These tests pin that promise at the public API level:
+//! each `*_with` entry point is run sequentially (the reference) and at
+//! thread counts {1, 2, 3, 5, 8}, on uniform `connected_gnm` and
+//! heavy-tailed Barabási–Albert instances plus a disconnected instance
+//! (the error path: Phase II's BFS tree requires connectivity).
+
+use pga_congest::Engine;
+use pga_core::mds::congest_g2::g2_mds_congest_with;
+use pga_core::mds::estimator::estimate_two_hop_sizes_with;
+use pga_core::mpc::{g2_mds_congest_mpc_with, g2_mvc_congest_mpc_with};
+use pga_core::mvc::clique_det::g2_mvc_clique_det_with;
+use pga_core::mvc::clique_rand::g2_mvc_clique_rand_with;
+use pga_core::mvc::congest::{g2_mvc_congest_with, G2MvcResult, LocalSolver};
+use pga_core::mvc::weighted::g2_mwvc_congest_with;
+use pga_graph::{generators, Graph, GraphBuilder, NodeId, VertexWeights};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The thread counts every entry point is checked at.
+const THREADS: [usize; 5] = [1, 2, 3, 5, 8];
+
+/// Instance families: uniform gnm, heavy-tailed BA, and a disconnected
+/// union of two paths (drives the `PreconditionViolated` error path of
+/// the BFS-tree-based phases).
+fn arb_instance() -> impl Strategy<Value = Graph> {
+    (6usize..24, any::<u64>(), 0u8..3).prop_map(|(n, seed, family)| match family {
+        0 => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = (n + seed as usize % (2 * n)).min(n * (n - 1) / 2);
+            generators::connected_gnm(n, m, &mut rng)
+        }
+        1 => generators::barabasi_albert(n, 3.min(n - 1).max(1), seed),
+        _ => {
+            // Disconnected: two path components.
+            let half = n / 2;
+            let mut b = GraphBuilder::new(n);
+            for i in 0..half.saturating_sub(1) {
+                b.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+            }
+            for i in half..n - 1 {
+                b.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+            }
+            b.build()
+        }
+    })
+}
+
+/// Comparable projection of a `G2MvcResult` (all fields, metrics with
+/// their full congestion profiles).
+#[allow(clippy::type_complexity)]
+fn mvc_key(
+    r: Result<G2MvcResult, pga_congest::SimError>,
+) -> Result<
+    (
+        Vec<bool>,
+        usize,
+        usize,
+        pga_congest::Metrics,
+        pga_congest::Metrics,
+    ),
+    pga_congest::SimError,
+> {
+    r.map(|r| {
+        (
+            r.cover,
+            r.s_size,
+            r.r_star_size,
+            r.phase1_metrics,
+            r.phase2_metrics,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1 (G²-MVC in CONGEST), success and error cases alike.
+    #[test]
+    fn g2_mvc_engines_bit_identical(g in arb_instance()) {
+        let reference = mvc_key(g2_mvc_congest_with(&g, 0.4, LocalSolver::Exact, Engine::Sequential));
+        for t in THREADS {
+            let par = mvc_key(g2_mvc_congest_with(
+                &g, 0.4, LocalSolver::Exact, Engine::Parallel { threads: t },
+            ));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// Theorem 7 (weighted G²-MVC).
+    #[test]
+    fn g2_mwvc_engines_bit_identical(g in arb_instance(), wseed in any::<u64>()) {
+        let n = g.num_nodes();
+        let weights: Vec<u64> = (0..n).map(|i| 1 + (wseed.wrapping_mul(i as u64 + 7) % 9)).collect();
+        let w = VertexWeights::from_vec(weights);
+        let reference = g2_mwvc_congest_with(&g, &w, 0.4, Engine::Sequential)
+            .map(|r| (r.cover, r.s_weight, r.r_star_weight, r.phase1_metrics, r.phase2_metrics));
+        for t in THREADS {
+            let par = g2_mwvc_congest_with(&g, &w, 0.4, Engine::Parallel { threads: t })
+                .map(|r| (r.cover, r.s_weight, r.r_star_weight, r.phase1_metrics, r.phase2_metrics));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// Corollary 10 (deterministic CONGESTED CLIQUE).
+    #[test]
+    fn g2_mvc_clique_det_engines_bit_identical(g in arb_instance()) {
+        let reference = mvc_key(g2_mvc_clique_det_with(
+            &g, 0.4, LocalSolver::FiveThirds, Engine::Sequential,
+        ));
+        for t in THREADS {
+            let par = mvc_key(g2_mvc_clique_det_with(
+                &g, 0.4, LocalSolver::FiveThirds, Engine::Parallel { threads: t },
+            ));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// Theorem 11 (randomized CONGESTED CLIQUE; same seed, same result).
+    #[test]
+    fn g2_mvc_clique_rand_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
+        let reference = mvc_key(g2_mvc_clique_rand_with(
+            &g, 0.4, LocalSolver::FiveThirds, seed, Engine::Sequential,
+        ));
+        for t in THREADS {
+            let par = mvc_key(g2_mvc_clique_rand_with(
+                &g, 0.4, LocalSolver::FiveThirds, seed, Engine::Parallel { threads: t },
+            ));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// Theorem 28 (G²-MDS; randomized, seed-pinned).
+    #[test]
+    fn g2_mds_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
+        let reference = g2_mds_congest_with(&g, 2, seed, Engine::Sequential)
+            .map(|r| (r.dominating_set, r.metrics, r.samples_per_phase));
+        for t in THREADS {
+            let par = g2_mds_congest_with(&g, 2, seed, Engine::Parallel { threads: t })
+                .map(|r| (r.dominating_set, r.metrics, r.samples_per_phase));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// Lemma 29 (2-hop estimator; exact f64 equality is the point —
+    /// the engines must deliver identical samples in identical order).
+    #[test]
+    fn estimator_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let in_u: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let reference = estimate_two_hop_sizes_with(&g, &in_u, 3, seed, Engine::Sequential);
+        for t in THREADS {
+            let par = estimate_two_hop_sizes_with(
+                &g, &in_u, 3, seed, Engine::Parallel { threads: t },
+            );
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// The MPC-executed Theorem 1: engine-parameterized at the MPC
+    /// layer, compared on result, machine count, and full MPC metrics
+    /// (I/O profile included).
+    #[test]
+    fn g2_mvc_mpc_engines_bit_identical(g in arb_instance()) {
+        let budget = pga_mpc::recommended_memory_words(
+            &g,
+            pga_congest::default_bandwidth_bits(g.num_nodes()),
+        ) * 2
+            + 4096;
+        let reference = g2_mvc_congest_mpc_with(&g, 0.4, LocalSolver::Exact, budget, Engine::Sequential)
+            .map(|e| (mvc_key(Ok(e.result)).unwrap(), e.machines, e.mpc_metrics));
+        for t in THREADS {
+            let par = g2_mvc_congest_mpc_with(
+                &g, 0.4, LocalSolver::Exact, budget, Engine::Parallel { threads: t },
+            )
+            .map(|e| (mvc_key(Ok(e.result)).unwrap(), e.machines, e.mpc_metrics));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+
+    /// The MPC-executed Theorem 28.
+    #[test]
+    fn g2_mds_mpc_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
+        let budget = pga_mpc::recommended_memory_words(
+            &g,
+            pga_congest::default_bandwidth_bits(g.num_nodes()),
+        ) * 2
+            + 4096;
+        let reference = g2_mds_congest_mpc_with(&g, 2, seed, budget, Engine::Sequential)
+            .map(|e| ((e.result.dominating_set, e.result.metrics), e.machines, e.mpc_metrics));
+        for t in THREADS {
+            let par = g2_mds_congest_mpc_with(&g, 2, seed, budget, Engine::Parallel { threads: t })
+                .map(|e| ((e.result.dominating_set, e.result.metrics), e.machines, e.mpc_metrics));
+            prop_assert_eq!(&par, &reference, "threads {}", t);
+        }
+    }
+}

@@ -3,13 +3,20 @@
 //! Format: first line `n m`, then one `u v` pair per line (0-based ids).
 //! Lines starting with `#` are comments. This is the interchange format
 //! the experiment harness uses to persist workloads.
+//!
+//! Every failure mode is a typed error: malformed text is a
+//! [`ParseError`], and the file-level helpers ([`read_edge_list`],
+//! [`write_edge_list`]) wrap filesystem failures and parse failures in
+//! [`EdgeListError`] instead of panicking.
 
 use crate::{Graph, GraphBuilder, NodeId};
+use std::path::Path;
 
 /// Errors from [`parse_edge_list`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The header line `n m` is missing or malformed.
+    /// The header line `n m` is missing or malformed (this includes a
+    /// vertex count too large for the 32-bit node-id space).
     BadHeader(String),
     /// An edge line is malformed or out of range.
     BadEdge {
@@ -42,6 +49,67 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Errors from the file-level helpers [`read_edge_list`] and
+/// [`write_edge_list`]: either the filesystem failed or the file's
+/// content did not parse.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file's content is not a valid edge list.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge-list I/O failed: {e}"),
+            EdgeListError::Parse(e) => write!(f, "edge-list parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+impl From<ParseError> for EdgeListError {
+    fn from(e: ParseError) -> Self {
+        EdgeListError::Parse(e)
+    }
+}
+
+/// Reads and parses an edge-list file.
+///
+/// # Errors
+///
+/// [`EdgeListError::Io`] if the file cannot be read, [`EdgeListError::Parse`]
+/// if its content is malformed.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, EdgeListError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_edge_list(&text)?)
+}
+
+/// Serializes `g` and writes it to `path` in the edge-list format.
+///
+/// # Errors
+///
+/// [`EdgeListError::Io`] if the file cannot be written.
+pub fn write_edge_list(path: impl AsRef<Path>, g: &Graph) -> Result<(), EdgeListError> {
+    Ok(std::fs::write(path, to_edge_list(g))?)
+}
 
 /// Serializes `g` to the edge-list format.
 pub fn to_edge_list(g: &Graph) -> String {
@@ -76,6 +144,11 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    // Node ids are u32 newtypes; a larger declared n would panic in
+    // `NodeId::from_index` below, so reject it as a header error.
+    if n > u32::MAX as usize {
+        return Err(ParseError::BadHeader(header.to_string()));
+    }
 
     let mut b = GraphBuilder::new(n);
     let mut found = 0;
@@ -156,5 +229,43 @@ mod tests {
     fn empty_graph_roundtrip() {
         let g = Graph::empty(4);
         assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn oversized_vertex_count_is_a_header_error_not_a_panic() {
+        let text = format!("{} 0\n", (u32::MAX as u64) + 1);
+        assert!(matches!(
+            parse_edge_list(&text),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_typed_errors() {
+        // Per-process filenames: parallel test runs on a shared host
+        // must not race on the same temp paths.
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("pga_io_roundtrip_{pid}.edges"));
+        let g = generators::grid(3, 4);
+        write_edge_list(&path, &g).unwrap();
+        assert_eq!(read_edge_list(&path).unwrap(), g);
+        std::fs::remove_file(&path).unwrap();
+
+        // Missing file: a typed I/O error with a source, not a panic.
+        let err = read_edge_list(dir.join(format!("pga_io_missing_{pid}.edges"))).unwrap_err();
+        assert!(matches!(err, EdgeListError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(format!("{err}").contains("I/O"));
+
+        // Malformed content: the parse error is preserved.
+        let bad = dir.join(format!("pga_io_bad_content_{pid}.edges"));
+        std::fs::write(&bad, "not an edge list\n").unwrap();
+        let err = read_edge_list(&bad).unwrap_err();
+        assert!(matches!(
+            err,
+            EdgeListError::Parse(ParseError::BadHeader(_))
+        ));
+        std::fs::remove_file(&bad).unwrap();
     }
 }

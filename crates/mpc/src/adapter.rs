@@ -140,8 +140,8 @@ impl<A: Algorithm> Machine for CongestShard<'_, A> {
         // 2. Execute one CONGEST round for every hosted node, in id
         //    order, enforcing the CONGEST model with the engines' own
         //    check and bucketing cross-machine messages by destination.
-        let mut buckets: crate::engine::SparseBuckets<(NodeId, NodeId, A::Msg)> =
-            crate::engine::SparseBuckets::new();
+        let mut buckets: crate::util::SparseBuckets<(NodeId, NodeId, A::Msg)> =
+            crate::util::SparseBuckets::new();
         let mut round_peak = 0usize;
         for (k, node_inbox) in node_inboxes.iter_mut().enumerate() {
             let cctx = self.congest_ctx(k, ctx.round);
@@ -186,6 +186,14 @@ impl<A: Algorithm> Machine for CongestShard<'_, A> {
                 .iter()
                 .enumerate()
                 .all(|(k, node)| node.is_done(&self.congest_ctx(k, ctx.round)))
+    }
+
+    fn can_skip(&self, _ctx: &MpcCtx) -> bool {
+        // Every invocation advances the simulated CONGEST round for the
+        // hosted nodes and accounts it in the shard's `Metrics`, so a
+        // skipped call would desynchronize this shard's round count from
+        // machines that kept running. Never skippable.
+        false
     }
 
     fn output(&self, ctx: &MpcCtx) -> (Vec<A::Output>, Metrics) {
@@ -342,7 +350,7 @@ impl<'g> CongestOnMpc<'g> {
             };
             adapter_vertex_cost(degree, self.bandwidth_bits, state_words)
         });
-        crate::engine::greedy_partition(
+        crate::util::greedy_partition(
             costs,
             self.memory_words / 2,
             "memory budget S cannot host the busiest vertex; raise S with with_memory_words \

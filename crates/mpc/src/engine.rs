@@ -6,12 +6,19 @@
 //! volume and its total incoming volume are each capped at `S` words —
 //! a machine cannot emit or absorb more than it can store. Violations
 //! are typed [`MpcError`]s, mirroring `pga_congest::SimError`.
+//!
+//! The round loop itself lives in the shared [`pga_runtime`] kernel
+//! (the same one that drives the CONGEST simulator); this module
+//! supplies the MPC *model*: machine addressing, word charging with the
+//! per-round send/receive caps, the memory-budget check, and the
+//! mapping of the kernel's per-round accounting onto [`MpcMetrics`].
 
 use crate::MpcMetrics;
 use pga_congest::SimError;
+use pga_runtime::{ActorId, ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
 use std::fmt;
 
-pub use pga_congest::Engine;
+pub use pga_congest::{Engine, Scheduling};
 
 /// Identifier of a machine in an MPC execution.
 ///
@@ -35,6 +42,17 @@ impl MachineId {
     #[inline]
     pub fn from_index(i: usize) -> Self {
         MachineId(u32::try_from(i).expect("machine index exceeds u32::MAX"))
+    }
+}
+
+impl ActorId for MachineId {
+    #[inline]
+    fn index(self) -> usize {
+        MachineId::index(self)
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        MachineId::from_index(i)
     }
 }
 
@@ -126,6 +144,26 @@ pub trait Machine {
     /// Whether this machine has terminated (quiescent and output-ready).
     fn is_done(&self, ctx: &MpcCtx) -> bool;
 
+    /// Whether the engine may *skip* this machine's [`Machine::round`]
+    /// call in rounds where its inbox is empty (the
+    /// [`Scheduling::ActiveSet`] policy).
+    ///
+    /// **Contract:** if `can_skip` returns `true` and the machine's
+    /// inbox is empty, `round` must be a pure no-op — no state mutation
+    /// (including the declared [`Machine::memory_words`] footprint), an
+    /// empty outbox, and `Ok` — and both `is_done` and `can_skip` must
+    /// remain `true` for the unchanged state until a message arrives
+    /// (the engine may stop re-polling a skippable quiet machine).
+    /// Skipping a call that would have done nothing is unobservable, so
+    /// both scheduling policies stay bit-identical. The default
+    /// (`is_done`) satisfies this for plain state machines that go quiet
+    /// once finished; programs whose `round` has residual per-cycle side
+    /// effects (ghost-table resets, internal clocks) override this to
+    /// return `false` and are then simply never skipped.
+    fn can_skip(&self, ctx: &MpcCtx) -> bool {
+        self.is_done(ctx)
+    }
+
     /// The machine's final output.
     fn output(&self, ctx: &MpcCtx) -> Self::Output;
 }
@@ -137,6 +175,15 @@ pub struct MpcReport<O> {
     pub outputs: Vec<O>,
     /// Resource metrics of the run.
     pub metrics: MpcMetrics,
+}
+
+impl<O> From<pga_runtime::Run<O, MpcMetrics>> for MpcReport<O> {
+    fn from(run: pga_runtime::Run<O, MpcMetrics>) -> Self {
+        MpcReport {
+            outputs: run.outputs,
+            metrics: run.metrics,
+        }
+    }
 }
 
 /// Errors that abort an MPC execution.
@@ -274,90 +321,6 @@ pub fn low_space_words(n: usize, delta: f64) -> usize {
     ((n as f64).powf(delta).ceil() as usize).max(64)
 }
 
-/// Greedy contiguous packing of per-vertex costs into machines: returns
-/// `starts` with machine `k` hosting vertices `starts[k]..starts[k + 1]`,
-/// every machine's total cost at most `cap`.
-///
-/// Shared by the CONGEST adapter and the native algorithms so their
-/// partitioning (and its failure mode) cannot drift apart.
-///
-/// # Errors
-///
-/// [`MpcError::PreconditionViolated`] if a single vertex's cost exceeds
-/// `cap` — no partition can host it within the memory budget.
-pub(crate) fn greedy_partition(
-    costs: impl Iterator<Item = usize>,
-    cap: usize,
-    too_fat: &'static str,
-) -> Result<Vec<usize>, MpcError> {
-    let mut starts = vec![0usize];
-    let mut current = 0usize;
-    let mut n = 0usize;
-    for (v, cost) in costs.enumerate() {
-        n = v + 1;
-        if cost > cap {
-            return Err(MpcError::PreconditionViolated { what: too_fat });
-        }
-        if current + cost > cap && current > 0 {
-            starts.push(v);
-            current = 0;
-        }
-        current += cost;
-    }
-    if n > 0 {
-        starts.push(n);
-    }
-    Ok(starts)
-}
-
-/// Sparse per-destination-machine buckets: a machine's outbox usually
-/// spans only its few boundary-neighbor machines, so collecting into a
-/// dense `Vec` of length `M` would make every round `O(M)` per machine
-/// (`O(M²)` total) regardless of traffic. Linear scan on insert is fine
-/// — the distinct-destination count per machine is small — and
-/// [`SparseBuckets::into_sorted`] restores the deterministic
-/// ascending-destination order the engines rely on.
-pub(crate) struct SparseBuckets<T> {
-    /// `(destination machine, entries, total words)` in first-touch order.
-    buckets: Vec<(usize, Vec<T>, usize)>,
-}
-
-impl<T> SparseBuckets<T> {
-    pub(crate) fn new() -> Self {
-        SparseBuckets {
-            buckets: Vec::new(),
-        }
-    }
-
-    /// Appends `item` (of `words` words) to `dest`'s bucket.
-    pub(crate) fn add(&mut self, dest: usize, item: T, words: usize) {
-        if let Some((_, entries, w)) = self.buckets.iter_mut().find(|(d, _, _)| *d == dest) {
-            entries.push(item);
-            *w += words;
-        } else {
-            self.buckets.push((dest, vec![item], words));
-        }
-    }
-
-    /// The buckets in ascending destination order.
-    pub(crate) fn into_sorted(mut self) -> Vec<(usize, Vec<T>, usize)> {
-        self.buckets.sort_by_key(|&(d, _, _)| d);
-        self.buckets
-    }
-}
-
-/// One shard's per-round yield: outgoing messages bucketed by destination
-/// shard, plus its share of the round's accounting.
-struct ShardOutput<M> {
-    /// `buckets[j]` holds `(to, from, msg)` for destinations in shard
-    /// `j`, in ascending sender order.
-    buckets: Vec<Vec<(MachineId, MachineId, M)>>,
-    messages: u64,
-    words: u64,
-    max_send_words: usize,
-    max_memory_words: usize,
-}
-
 /// The MPC execution driver.
 ///
 /// Construct with [`MpcSimulator::new`] and tune with the builder-style
@@ -368,69 +331,38 @@ struct ShardOutput<M> {
 pub struct MpcSimulator {
     memory_words: usize,
     max_rounds: usize,
+    scheduling: Scheduling,
 }
 
-impl MpcSimulator {
-    /// An MPC simulator with per-machine budget `S = memory_words`.
-    pub fn new(memory_words: usize) -> Self {
-        MpcSimulator {
-            memory_words,
-            max_rounds: 1_000_000,
-        }
-    }
+/// The [`ExecModel`] instantiation that turns the shared round kernel
+/// into the MPC engine: word charging with the send cap, the
+/// receive-volume tally, the per-machine memory-budget check, and
+/// [`MpcMetrics`] accumulation (including the per-round I/O profile).
+struct MpcModel<'s, A> {
+    sim: &'s MpcSimulator,
+    /// Total machine count `M` (the `nodes` vector length, fixed per run).
+    machines: usize,
+    _machine: std::marker::PhantomData<fn(A)>,
+}
 
-    /// Overrides the safety round budget (default one million).
-    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
-        self.max_rounds = max_rounds;
-        self
-    }
-
-    /// The per-machine memory budget `S` in words.
-    pub fn memory_words(&self) -> usize {
-        self.memory_words
-    }
-
-    fn ctx(&self, id: MachineId, machines: usize, round: usize) -> MpcCtx {
+impl<A: Machine> MpcModel<'_, A> {
+    fn ctx(&self, id: MachineId, round: usize) -> MpcCtx {
         MpcCtx {
             id,
-            machines,
+            machines: self.machines,
             round,
-            memory_words: self.memory_words,
+            memory_words: self.sim.memory_words,
         }
-    }
-
-    /// Whether every machine reports [`Machine::is_done`] at `round`.
-    fn all_done<A: Machine>(&self, machines: &[A], round: usize) -> bool {
-        machines.iter().enumerate().all(|(i, m)| {
-            let ctx = self.ctx(MachineId::from_index(i), machines.len(), round);
-            m.is_done(&ctx)
-        })
-    }
-
-    fn outputs<A: Machine>(&self, machines: &[A], round: usize) -> Vec<A::Output> {
-        machines
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let ctx = self.ctx(MachineId::from_index(i), machines.len(), round);
-                m.output(&ctx)
-            })
-            .collect()
     }
 
     /// Checks one machine's declared memory against the budget.
-    fn check_memory<A: Machine>(
-        &self,
-        machine: &A,
-        id: MachineId,
-        round: usize,
-    ) -> Result<usize, MpcError> {
+    fn check_memory(&self, machine: &A, id: MachineId, round: usize) -> Result<usize, MpcError> {
         let used = machine.memory_words();
-        if used > self.memory_words {
+        if used > self.sim.memory_words {
             return Err(MpcError::MemoryExceeded {
                 machine: id,
                 used_words: used,
-                limit_words: self.memory_words,
+                limit_words: self.sim.memory_words,
                 round,
             });
         }
@@ -439,15 +371,13 @@ impl MpcSimulator {
 
     /// Validates one outgoing message against the model — destination in
     /// range, running send volume within `S` — and returns its charged
-    /// word size (at least 1: the envelope).
-    ///
-    /// Shared by both engines so their enforcement (and the errors they
-    /// raise) cannot drift apart, mirroring `pga_congest::check_message`.
-    fn charge_message<M: WordSize>(
+    /// word size (at least 1: the envelope). Mirrors
+    /// `pga_congest::check_message`.
+    fn charge_message(
         &self,
         ctx: &MpcCtx,
         to: MachineId,
-        msg: &M,
+        msg: &A::Msg,
         sent: &mut usize,
     ) -> Result<usize, MpcError> {
         if !ctx.can_send(to) {
@@ -459,51 +389,160 @@ impl MpcSimulator {
         }
         let w = msg.size_words().max(1);
         *sent += w;
-        if *sent > self.memory_words {
+        if *sent > self.sim.memory_words {
             return Err(MpcError::SendVolumeExceeded {
                 machine: ctx.id,
                 words: *sent,
-                limit_words: self.memory_words,
+                limit_words: self.sim.memory_words,
                 round: ctx.round,
             });
         }
         Ok(w)
     }
+}
 
-    /// Validates one machine's outbox: destinations in range, send volume
-    /// within `S`. Returns `(message_count, total_words)` and adds each
-    /// message's words to the destination's receive tally.
-    fn check_outbox<M: WordSize>(
-        &self,
-        id: MachineId,
-        round: usize,
-        machines: usize,
-        outbox: &[(MachineId, M)],
-        recv_words: &mut [usize],
-    ) -> Result<(u64, usize), MpcError> {
-        let ctx = self.ctx(id, machines, round);
-        let mut sent = 0usize;
-        for (to, msg) in outbox {
-            let w = self.charge_message(&ctx, *to, msg, &mut sent)?;
-            recv_words[to.index()] += w;
+impl<A: Machine> ExecModel for MpcModel<'_, A> {
+    type Id = MachineId;
+    type Node = A;
+    type Msg = A::Msg;
+    type Output = A::Output;
+    type Error = MpcError;
+    type Metrics = MpcMetrics;
+    type SendScratch = usize;
+
+    const TRACK_RECV: bool = true;
+
+    fn pre_run(&self, nodes: &[A], metrics: &mut MpcMetrics) -> Result<(), MpcError> {
+        // The initial partition must already fit the budget.
+        for (i, machine) in nodes.iter().enumerate() {
+            let used = self.check_memory(machine, MachineId::from_index(i), 0)?;
+            metrics.peak_memory_words = metrics.peak_memory_words.max(used);
         }
-        Ok((outbox.len() as u64, sent))
+        Ok(())
     }
 
-    /// After all sends of a round: the receive caps, checked in machine
-    /// order so both engines report the same first violation.
-    fn check_recv_caps(&self, recv_words: &[usize], round: usize) -> Result<(), MpcError> {
-        for (j, &w) in recv_words.iter().enumerate() {
-            if w > self.memory_words {
+    fn poll(&self, node: &A, idx: usize, round: usize) -> Poll {
+        let ctx = self.ctx(MachineId::from_index(idx), round);
+        Poll {
+            done: node.is_done(&ctx),
+            skippable: node.can_skip(&ctx),
+        }
+    }
+
+    fn output(&self, node: &A, idx: usize, round: usize) -> A::Output {
+        node.output(&self.ctx(MachineId::from_index(idx), round))
+    }
+
+    fn round_limit_error(&self, limit: usize) -> MpcError {
+        MpcError::RoundLimitExceeded { limit }
+    }
+
+    fn step<S: MsgSink<Self>>(
+        &self,
+        node: &mut A,
+        idx: usize,
+        round: usize,
+        inbox: &[(MachineId, A::Msg)],
+        sent: &mut usize,
+        acc: &mut RoundProfile,
+        sink: &mut S,
+    ) -> Result<(), MpcError> {
+        let ctx = self.ctx(MachineId::from_index(idx), round);
+        let outbox = node.round(&ctx, inbox)?;
+        *sent = 0;
+        for (to, msg) in outbox {
+            let w = self.charge_message(&ctx, to, &msg, sent)?;
+            acc.messages += 1;
+            acc.volume += w as u64;
+            sink.deliver(self, to, ctx.id, msg);
+        }
+        acc.peak_actor_out = acc.peak_actor_out.max(*sent);
+        let used = self.check_memory(node, ctx.id, round)?;
+        acc.peak_state = acc.peak_state.max(used);
+        Ok(())
+    }
+
+    fn recv_charge(&self, msg: &A::Msg) -> usize {
+        msg.size_words().max(1)
+    }
+
+    fn check_recv(&self, recv: &[usize], round: usize) -> Result<(), MpcError> {
+        // Checked in machine order so both engines report the same
+        // first violation.
+        for (j, &w) in recv.iter().enumerate() {
+            if w > self.sim.memory_words {
                 return Err(MpcError::RecvVolumeExceeded {
                     machine: MachineId::from_index(j),
                     words: w,
-                    limit_words: self.memory_words,
+                    limit_words: self.sim.memory_words,
                     round,
                 });
             }
         }
         Ok(())
+    }
+
+    fn end_round(
+        &self,
+        acc: &RoundProfile,
+        recv: &[usize],
+        round: usize,
+        metrics: &mut MpcMetrics,
+    ) {
+        metrics.messages += acc.messages;
+        metrics.words += acc.volume;
+        metrics.peak_memory_words = metrics.peak_memory_words.max(acc.peak_state);
+        let round_io = acc
+            .peak_actor_out
+            .max(recv.iter().copied().max().unwrap_or(0));
+        metrics.rounds = round + 1;
+        metrics.peak_round_io_words = metrics.peak_round_io_words.max(round_io);
+        metrics.io_profile.push(round_io);
+    }
+}
+
+impl MpcSimulator {
+    /// An MPC simulator with per-machine budget `S = memory_words`.
+    pub fn new(memory_words: usize) -> Self {
+        MpcSimulator {
+            memory_words,
+            max_rounds: 1_000_000,
+            scheduling: Scheduling::default(),
+        }
+    }
+
+    /// Overrides the safety round budget (default one million).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the round-scheduling policy (default
+    /// [`Scheduling::ActiveSet`]); both policies are bit-identical, see
+    /// [`Machine::can_skip`].
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// The per-machine memory budget `S` in words.
+    pub fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+
+    fn kernel_config(&self) -> KernelConfig {
+        KernelConfig {
+            max_rounds: self.max_rounds,
+            scheduling: self.scheduling,
+        }
+    }
+
+    fn model<A: Machine>(&self, machines: usize) -> MpcModel<'_, A> {
+        MpcModel {
+            sim: self,
+            machines,
+            _machine: std::marker::PhantomData,
+        }
     }
 
     /// Runs `machines` (one program state per machine, indexed by id) to
@@ -513,87 +552,23 @@ impl MpcSimulator {
     ///
     /// Returns an [`MpcError`] if a machine violates the memory or I/O
     /// budget, a program aborts, or the round budget is exhausted.
-    pub fn run<A: Machine>(&self, mut machines: Vec<A>) -> Result<MpcReport<A::Output>, MpcError> {
+    pub fn run<A: Machine>(&self, machines: Vec<A>) -> Result<MpcReport<A::Output>, MpcError> {
         let m = machines.len();
-        let mut metrics = MpcMetrics::default();
-
-        // The initial partition must already fit the budget.
-        for (i, machine) in machines.iter().enumerate() {
-            let used = self.check_memory(machine, MachineId::from_index(i), 0)?;
-            metrics.peak_memory_words = metrics.peak_memory_words.max(used);
-        }
-
-        let mut inboxes: Vec<Vec<(MachineId, A::Msg)>> = (0..m).map(|_| Vec::new()).collect();
-        let mut round = 0;
-
-        loop {
-            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
-            if self.all_done(&machines, round) && !in_flight {
-                break;
-            }
-            if round >= self.max_rounds {
-                return Err(MpcError::RoundLimitExceeded {
-                    limit: self.max_rounds,
-                });
-            }
-
-            let mut next_inboxes: Vec<Vec<(MachineId, A::Msg)>> =
-                (0..m).map(|_| Vec::new()).collect();
-            let mut recv_words = vec![0usize; m];
-            let mut round_io = 0usize;
-            let mut sent_any = false;
-
-            for i in 0..m {
-                let id = MachineId::from_index(i);
-                let ctx = self.ctx(id, m, round);
-                let inbox = std::mem::take(&mut inboxes[i]);
-                let outbox = machines[i].round(&ctx, &inbox)?;
-                let (msgs, sent) = self.check_outbox(id, round, m, &outbox, &mut recv_words)?;
-                for (to, msg) in outbox {
-                    next_inboxes[to.index()].push((id, msg));
-                }
-                metrics.messages += msgs;
-                metrics.words += sent as u64;
-                round_io = round_io.max(sent);
-                sent_any |= msgs > 0;
-                let used = self.check_memory(&machines[i], id, round)?;
-                metrics.peak_memory_words = metrics.peak_memory_words.max(used);
-            }
-
-            self.check_recv_caps(&recv_words, round)?;
-            round_io = round_io.max(recv_words.iter().copied().max().unwrap_or(0));
-
-            // Deterministic delivery order: machines were processed in id
-            // order, so each inbox is already sorted by sender.
-            inboxes = next_inboxes;
-            round += 1;
-            metrics.rounds = round;
-            metrics.peak_round_io_words = metrics.peak_round_io_words.max(round_io);
-            metrics.io_profile.push(round_io);
-
-            if !sent_any && self.all_done(&machines, round) {
-                break;
-            }
-        }
-
-        Ok(MpcReport {
-            outputs: self.outputs(&machines, round),
-            metrics,
-        })
+        Ok(
+            pga_runtime::run_sequential(&self.model::<A>(m), machines, self.kernel_config())?
+                .into(),
+        )
     }
 
     /// Runs `machines` to completion on the sharded multi-threaded
-    /// engine — the `std::thread::scope` pattern of
+    /// engine — the same [`pga_runtime`] kernel that drives
     /// `pga_congest::Simulator::run_parallel`, sharded over machines.
     ///
-    /// **Bit-identical** to [`MpcSimulator::run`]: shards cover
-    /// ascending machine-id ranges and each shard visits its machines in
-    /// id order, so the shard-order exchange reproduces the sequential
-    /// delivery order exactly — same outputs, same [`MpcMetrics`], same
-    /// [`MpcError`] on violations, for every thread count. A violation
-    /// aborts with the first offending machine's error, though `round`
-    /// callbacks of higher-id machines in other shards may already have
-    /// executed by then.
+    /// **Bit-identical** to [`MpcSimulator::run`]: same outputs, same
+    /// [`MpcMetrics`], same [`MpcError`] on violations, for every
+    /// thread count. A violation aborts with the first offending
+    /// machine's error, though `round` callbacks of higher-id machines
+    /// in other shards may already have executed by then.
     ///
     /// `threads == 0` selects one shard per available CPU. With one
     /// thread (or fewer than two machines per shard) the call falls
@@ -604,7 +579,7 @@ impl MpcSimulator {
     /// Returns an [`MpcError`] like [`MpcSimulator::run`].
     pub fn run_parallel<A>(
         &self,
-        mut machines: Vec<A>,
+        machines: Vec<A>,
         threads: usize,
     ) -> Result<MpcReport<A::Output>, MpcError>
     where
@@ -617,142 +592,10 @@ impl MpcSimulator {
         } else {
             threads
         };
-        if threads <= 1 || m < 2 * threads {
-            return self.run(machines);
-        }
-        let shard_size = m.div_ceil(threads);
-        let num_shards = m.div_ceil(shard_size);
-
-        let mut metrics = MpcMetrics::default();
-        for (i, machine) in machines.iter().enumerate() {
-            let used = self.check_memory(machine, MachineId::from_index(i), 0)?;
-            metrics.peak_memory_words = metrics.peak_memory_words.max(used);
-        }
-
-        let mut inboxes: Vec<Vec<(MachineId, A::Msg)>> = (0..m).map(|_| Vec::new()).collect();
-        let mut round = 0;
-
-        loop {
-            let in_flight = inboxes.iter().any(|ib| !ib.is_empty());
-            if self.all_done(&machines, round) && !in_flight {
-                break;
-            }
-            if round >= self.max_rounds {
-                return Err(MpcError::RoundLimitExceeded {
-                    limit: self.max_rounds,
-                });
-            }
-
-            // Phase A: every shard runs its machines for this round.
-            let shard_results: Vec<Result<ShardOutput<A::Msg>, MpcError>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = machines
-                        .chunks_mut(shard_size)
-                        .zip(inboxes.chunks_mut(shard_size))
-                        .enumerate()
-                        .map(|(si, (shard_machines, shard_inboxes))| {
-                            s.spawn(move || {
-                                self.run_shard_round(
-                                    si * shard_size,
-                                    m,
-                                    shard_machines,
-                                    shard_inboxes,
-                                    round,
-                                    shard_size,
-                                    num_shards,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                        .collect()
-                });
-
-            // First error in shard order == first error in machine order.
-            let mut yields = Vec::with_capacity(num_shards);
-            for r in shard_results {
-                yields.push(r?);
-            }
-
-            let mut recv_words = vec![0usize; m];
-            let mut round_io = 0usize;
-            let mut sent_any = false;
-            let mut next_inboxes: Vec<Vec<(MachineId, A::Msg)>> =
-                (0..m).map(|_| Vec::new()).collect();
-            for y in &mut yields {
-                metrics.messages += y.messages;
-                metrics.words += y.words;
-                metrics.peak_memory_words = metrics.peak_memory_words.max(y.max_memory_words);
-                round_io = round_io.max(y.max_send_words);
-                sent_any |= y.messages > 0;
-                // Appending whole shards in shard order keeps each inbox
-                // sorted by sender, exactly like the sequential engine.
-                for bucket in &mut y.buckets {
-                    for (to, from, msg) in bucket.drain(..) {
-                        recv_words[to.index()] += msg.size_words().max(1);
-                        next_inboxes[to.index()].push((from, msg));
-                    }
-                }
-            }
-
-            self.check_recv_caps(&recv_words, round)?;
-            round_io = round_io.max(recv_words.iter().copied().max().unwrap_or(0));
-
-            inboxes = next_inboxes;
-            round += 1;
-            metrics.rounds = round;
-            metrics.peak_round_io_words = metrics.peak_round_io_words.max(round_io);
-            metrics.io_profile.push(round_io);
-
-            if !sent_any && self.all_done(&machines, round) {
-                break;
-            }
-        }
-
-        Ok(MpcReport {
-            outputs: self.outputs(&machines, round),
-            metrics,
-        })
-    }
-
-    /// Executes one round for the shard whose first machine is `base`.
-    #[allow(clippy::too_many_arguments)]
-    fn run_shard_round<A: Machine>(
-        &self,
-        base: usize,
-        total_machines: usize,
-        shard_machines: &mut [A],
-        shard_inboxes: &mut [Vec<(MachineId, A::Msg)>],
-        round: usize,
-        shard_size: usize,
-        num_shards: usize,
-    ) -> Result<ShardOutput<A::Msg>, MpcError> {
-        let mut out = ShardOutput {
-            buckets: (0..num_shards).map(|_| Vec::new()).collect(),
-            messages: 0,
-            words: 0,
-            max_send_words: 0,
-            max_memory_words: 0,
-        };
-        for (k, machine) in shard_machines.iter_mut().enumerate() {
-            let id = MachineId::from_index(base + k);
-            let ctx = self.ctx(id, total_machines, round);
-            let inbox = std::mem::take(&mut shard_inboxes[k]);
-            let outbox = machine.round(&ctx, &inbox)?;
-            let mut sent = 0usize;
-            for (to, msg) in outbox {
-                let w = self.charge_message(&ctx, to, &msg, &mut sent)?;
-                out.messages += 1;
-                out.words += w as u64;
-                out.buckets[to.index() / shard_size].push((to, id, msg));
-            }
-            out.max_send_words = out.max_send_words.max(sent);
-            let used = self.check_memory(machine, id, round)?;
-            out.max_memory_words = out.max_memory_words.max(used);
-        }
-        Ok(out)
+        Ok(
+            pga_runtime::run_sharded(&self.model::<A>(m), machines, threads, self.kernel_config())?
+                .into(),
+        )
     }
 
     /// Runs `machines` on the engine selected by `engine` (the same
@@ -774,316 +617,6 @@ impl MpcSimulator {
         match engine {
             Engine::Sequential => self.run(machines),
             Engine::Parallel { threads } => self.run_parallel(machines, threads),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// A plain word-counted payload.
-    #[derive(Clone, Debug, PartialEq, Eq)]
-    struct Words(u64, usize);
-    impl WordSize for Words {
-        fn size_words(&self) -> usize {
-            self.1
-        }
-    }
-
-    /// Token ring: machine 0 emits a counter that each machine increments
-    /// and forwards; after a full lap machine 0 stops.
-    struct Ring {
-        laps: usize,
-        seen: u64,
-        done: bool,
-        mem: usize,
-    }
-
-    impl Machine for Ring {
-        type Msg = Words;
-        type Output = u64;
-        fn round(
-            &mut self,
-            ctx: &MpcCtx,
-            inbox: &[(MachineId, Words)],
-        ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-            let next = MachineId::from_index((ctx.id.index() + 1) % ctx.machines);
-            if ctx.id == MachineId(0) && ctx.round == 0 {
-                return Ok(vec![(next, Words(1, 1))]);
-            }
-            let mut out = Vec::new();
-            for (_, msg) in inbox {
-                self.seen = msg.0;
-                if ctx.id == MachineId(0) {
-                    self.laps -= 1;
-                    if self.laps == 0 {
-                        self.done = true;
-                        continue;
-                    }
-                }
-                out.push((next, Words(msg.0 + 1, 1)));
-            }
-            if ctx.id != MachineId(0) {
-                self.done = true; // done-until-messaged; inbox re-activates
-            }
-            Ok(out)
-        }
-        fn memory_words(&self) -> usize {
-            self.mem
-        }
-        fn is_done(&self, _ctx: &MpcCtx) -> bool {
-            self.done
-        }
-        fn output(&self, _ctx: &MpcCtx) -> u64 {
-            self.seen
-        }
-    }
-
-    fn ring(m: usize, laps: usize) -> Vec<Ring> {
-        (0..m)
-            .map(|_| Ring {
-                laps,
-                seen: 0,
-                done: false,
-                mem: 4,
-            })
-            .collect()
-    }
-
-    #[test]
-    fn ring_completes_and_counts() {
-        let report = MpcSimulator::new(64).run(ring(5, 1)).unwrap();
-        assert_eq!(report.metrics.rounds, 6);
-        assert_eq!(report.metrics.messages, 5);
-        assert_eq!(report.outputs[0], 5);
-        assert_eq!(report.metrics.peak_memory_words, 4);
-        assert_eq!(report.metrics.io_profile.len(), report.metrics.rounds);
-    }
-
-    #[test]
-    fn parallel_matches_sequential_bit_identically() {
-        let seq = MpcSimulator::new(64).run(ring(16, 3)).unwrap();
-        for threads in [2, 3, 4, 8] {
-            let par = MpcSimulator::new(64)
-                .run_parallel(ring(16, 3), threads)
-                .unwrap();
-            assert_eq!(par.outputs, seq.outputs, "t={threads}");
-            assert_eq!(par.metrics, seq.metrics, "t={threads}");
-        }
-    }
-
-    #[test]
-    fn memory_violation_detected() {
-        struct Hog;
-        impl Machine for Hog {
-            type Msg = Words;
-            type Output = ();
-            fn round(
-                &mut self,
-                _ctx: &MpcCtx,
-                _inbox: &[(MachineId, Words)],
-            ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-                Ok(Vec::new())
-            }
-            fn memory_words(&self) -> usize {
-                1000
-            }
-            fn is_done(&self, _ctx: &MpcCtx) -> bool {
-                true
-            }
-            fn output(&self, _ctx: &MpcCtx) {}
-        }
-        let err = MpcSimulator::new(64).run(vec![Hog, Hog]).unwrap_err();
-        assert_eq!(
-            err,
-            MpcError::MemoryExceeded {
-                machine: MachineId(0),
-                used_words: 1000,
-                limit_words: 64,
-                round: 0
-            }
-        );
-    }
-
-    #[test]
-    fn send_volume_violation_detected() {
-        struct Blaster {
-            fired: bool,
-        }
-        impl Machine for Blaster {
-            type Msg = Words;
-            type Output = ();
-            fn round(
-                &mut self,
-                ctx: &MpcCtx,
-                _inbox: &[(MachineId, Words)],
-            ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-                if ctx.id == MachineId(0) && !self.fired {
-                    self.fired = true;
-                    return Ok(vec![(MachineId(1), Words(0, 100))]);
-                }
-                Ok(Vec::new())
-            }
-            fn memory_words(&self) -> usize {
-                1
-            }
-            fn is_done(&self, _ctx: &MpcCtx) -> bool {
-                self.fired
-            }
-            fn output(&self, _ctx: &MpcCtx) {}
-        }
-        let err = MpcSimulator::new(64)
-            .run(vec![Blaster { fired: false }, Blaster { fired: true }])
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            MpcError::SendVolumeExceeded { words: 100, .. }
-        ));
-    }
-
-    #[test]
-    fn recv_volume_violation_detected() {
-        // Many machines each send S/2 words to machine 0: each send is
-        // legal, the aggregate at the receiver is not.
-        struct Shouter;
-        impl Machine for Shouter {
-            type Msg = Words;
-            type Output = ();
-            fn round(
-                &mut self,
-                ctx: &MpcCtx,
-                _inbox: &[(MachineId, Words)],
-            ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-                if ctx.round == 0 && ctx.id != MachineId(0) {
-                    return Ok(vec![(MachineId(0), Words(0, 32))]);
-                }
-                Ok(Vec::new())
-            }
-            fn memory_words(&self) -> usize {
-                1
-            }
-            fn is_done(&self, ctx: &MpcCtx) -> bool {
-                ctx.round > 0
-            }
-            fn output(&self, _ctx: &MpcCtx) {}
-        }
-        let err = MpcSimulator::new(64)
-            .run((0..4).map(|_| Shouter).collect::<Vec<_>>())
-            .unwrap_err();
-        assert_eq!(
-            err,
-            MpcError::RecvVolumeExceeded {
-                machine: MachineId(0),
-                words: 96,
-                limit_words: 64,
-                round: 0
-            }
-        );
-    }
-
-    #[test]
-    fn illegal_machine_detected() {
-        struct Stray;
-        impl Machine for Stray {
-            type Msg = Words;
-            type Output = ();
-            fn round(
-                &mut self,
-                ctx: &MpcCtx,
-                _inbox: &[(MachineId, Words)],
-            ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-                if ctx.id == MachineId(0) {
-                    return Ok(vec![(MachineId(9), Words(0, 1))]);
-                }
-                Ok(Vec::new())
-            }
-            fn memory_words(&self) -> usize {
-                1
-            }
-            fn is_done(&self, _ctx: &MpcCtx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &MpcCtx) {}
-        }
-        let err = MpcSimulator::new(64).run(vec![Stray, Stray]).unwrap_err();
-        assert!(matches!(
-            err,
-            MpcError::IllegalMachine {
-                to: MachineId(9),
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn round_limit_detected() {
-        let err = MpcSimulator::new(64)
-            .with_max_rounds(3)
-            .run(ring(4, 1000))
-            .unwrap_err();
-        assert_eq!(err, MpcError::RoundLimitExceeded { limit: 3 });
-    }
-
-    #[test]
-    fn parallel_errors_match_sequential() {
-        struct Stray {
-            id_to_err: usize,
-        }
-        impl Machine for Stray {
-            type Msg = Words;
-            type Output = ();
-            fn round(
-                &mut self,
-                ctx: &MpcCtx,
-                _inbox: &[(MachineId, Words)],
-            ) -> Result<Vec<(MachineId, Words)>, MpcError> {
-                if ctx.id.index() == self.id_to_err {
-                    return Ok(vec![(MachineId(99), Words(0, 1))]);
-                }
-                Ok(Vec::new())
-            }
-            fn memory_words(&self) -> usize {
-                1
-            }
-            fn is_done(&self, _ctx: &MpcCtx) -> bool {
-                false
-            }
-            fn output(&self, _ctx: &MpcCtx) {}
-        }
-        let mk = || (0..8).map(|_| Stray { id_to_err: 6 }).collect::<Vec<_>>();
-        let seq = MpcSimulator::new(64).run(mk()).unwrap_err();
-        for threads in [2, 4] {
-            let par = MpcSimulator::new(64)
-                .run_parallel(mk(), threads)
-                .unwrap_err();
-            assert_eq!(par, seq, "t={threads}");
-        }
-    }
-
-    #[test]
-    fn zero_machines_trivial() {
-        let report = MpcSimulator::new(64).run(Vec::<Ring>::new()).unwrap();
-        assert_eq!(report.metrics.rounds, 0);
-        assert!(report.outputs.is_empty());
-    }
-
-    #[test]
-    fn low_space_words_scaling() {
-        assert_eq!(low_space_words(0, 0.5), 64);
-        assert_eq!(low_space_words(10_000, 0.5), 100);
-        assert!(low_space_words(1_000_000, 0.6) > low_space_words(10_000, 0.6));
-    }
-
-    #[test]
-    fn run_with_dispatches_both_engines() {
-        for engine in [
-            Engine::Sequential,
-            Engine::Parallel { threads: 3 },
-            Engine::parallel_auto(),
-        ] {
-            let report = MpcSimulator::new(64).run_with(ring(8, 2), engine).unwrap();
-            assert_eq!(report.outputs[0], 16, "{engine:?}");
         }
     }
 }

@@ -53,6 +53,7 @@
 mod adapter;
 mod engine;
 mod metrics;
+mod util;
 
 pub mod ruling_set;
 
@@ -62,7 +63,7 @@ pub use adapter::{
 };
 pub use engine::{
     low_space_words, Engine, Machine, MachineId, MpcCtx, MpcError, MpcReport, MpcSimulator,
-    WordSize,
+    Scheduling, WordSize,
 };
 pub use metrics::MpcMetrics;
 pub use ruling_set::{

@@ -32,11 +32,9 @@
 //! slice, and per-round I/O is bounded by the boundary size — both
 //! enforced by the engine against the budget `S`.
 
-use crate::engine::{
-    greedy_partition, Engine, Machine, MachineId, MpcCtx, MpcError, MpcSimulator, SparseBuckets,
-    WordSize,
-};
+use crate::engine::{Engine, Machine, MachineId, MpcCtx, MpcError, MpcSimulator, WordSize};
 use crate::metrics::MpcMetrics;
+use crate::util::{greedy_partition, SparseBuckets};
 use pga_graph::{Graph, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -292,6 +290,13 @@ impl Machine for RsMachine<'_> {
 
     fn is_done(&self, _ctx: &MpcCtx) -> bool {
         !self.active()
+    }
+
+    fn can_skip(&self, _ctx: &MpcCtx) -> bool {
+        // Phase D clears the per-iteration ghost tables unconditionally,
+        // which changes the declared memory footprint — not a no-op even
+        // for a decided machine. Never skippable.
+        false
     }
 
     fn output(&self, _ctx: &MpcCtx) -> Vec<bool> {

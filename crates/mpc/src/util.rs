@@ -1,0 +1,76 @@
+//! Partitioning and bucketing helpers shared by the CONGEST adapter and
+//! the native MPC algorithms.
+
+use crate::engine::MpcError;
+
+/// Greedy contiguous packing of per-vertex costs into machines: returns
+/// `starts` with machine `k` hosting vertices `starts[k]..starts[k + 1]`,
+/// every machine's total cost at most `cap`.
+///
+/// Shared by the CONGEST adapter and the native algorithms so their
+/// partitioning (and its failure mode) cannot drift apart.
+///
+/// # Errors
+///
+/// [`MpcError::PreconditionViolated`] if a single vertex's cost exceeds
+/// `cap` — no partition can host it within the memory budget.
+pub(crate) fn greedy_partition(
+    costs: impl Iterator<Item = usize>,
+    cap: usize,
+    too_fat: &'static str,
+) -> Result<Vec<usize>, MpcError> {
+    let mut starts = vec![0usize];
+    let mut current = 0usize;
+    let mut n = 0usize;
+    for (v, cost) in costs.enumerate() {
+        n = v + 1;
+        if cost > cap {
+            return Err(MpcError::PreconditionViolated { what: too_fat });
+        }
+        if current + cost > cap && current > 0 {
+            starts.push(v);
+            current = 0;
+        }
+        current += cost;
+    }
+    if n > 0 {
+        starts.push(n);
+    }
+    Ok(starts)
+}
+
+/// Sparse per-destination-machine buckets: a machine's outbox usually
+/// spans only its few boundary-neighbor machines, so collecting into a
+/// dense `Vec` of length `M` would make every round `O(M)` per machine
+/// (`O(M²)` total) regardless of traffic. Linear scan on insert is fine
+/// — the distinct-destination count per machine is small — and
+/// [`SparseBuckets::into_sorted`] restores the deterministic
+/// ascending-destination order the engines rely on.
+pub(crate) struct SparseBuckets<T> {
+    /// `(destination machine, entries, total words)` in first-touch order.
+    buckets: Vec<(usize, Vec<T>, usize)>,
+}
+
+impl<T> SparseBuckets<T> {
+    pub(crate) fn new() -> Self {
+        SparseBuckets {
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Appends `item` (of `words` words) to `dest`'s bucket.
+    pub(crate) fn add(&mut self, dest: usize, item: T, words: usize) {
+        if let Some((_, entries, w)) = self.buckets.iter_mut().find(|(d, _, _)| *d == dest) {
+            entries.push(item);
+            *w += words;
+        } else {
+            self.buckets.push((dest, vec![item], words));
+        }
+    }
+
+    /// The buckets in ascending destination order.
+    pub(crate) fn into_sorted(mut self) -> Vec<(usize, Vec<T>, usize)> {
+        self.buckets.sort_by_key(|&(d, _, _)| d);
+        self.buckets
+    }
+}

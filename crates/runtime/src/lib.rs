@@ -1,0 +1,959 @@
+//! The synchronous round-execution kernel shared by the CONGEST and MPC
+//! simulators.
+//!
+//! Both execution models of this workspace — the CONGEST / CONGESTED
+//! CLIQUE simulator of `pga-congest` and the low-space MPC simulator of
+//! `pga-mpc` — drive per-actor state machines through synchronous
+//! message-passing rounds: deliver each actor's inbox, collect its
+//! outbox, validate every message against the model, account metrics,
+//! exchange, repeat until global quiescence. This crate holds that loop
+//! **once**, in two bit-identical flavors (the single-threaded
+//! [`run_sequential`] and the sharded multi-threaded [`run_sharded`]),
+//! parameterized by an [`ExecModel`] that supplies only the pieces that
+//! actually differ between models: per-message validation and charging,
+//! metrics accumulation, the error type, and addressing.
+//!
+//! # Performance: arenas and quiescence
+//!
+//! The kernel is also where the engines' shared hot loop is tuned:
+//!
+//! * **Arena-backed message staging** — inbox buffers are owned by the
+//!   kernel and reused across rounds (swap-and-clear), so steady-state
+//!   rounds perform no per-actor buffer allocation. The sharded
+//!   executor likewise reuses its per-shard exchange buckets.
+//! * **Quiescence-aware scheduling** — under the default
+//!   [`Scheduling::ActiveSet`] policy a round only invokes the `round`
+//!   callback of actors that received a message or are not yet
+//!   skippable (see below), collapsing the long quiescent tails of
+//!   flooding-style runs where most actors finished early.
+//!
+//! # The scheduling rule
+//!
+//! The kernel may skip an actor's `round` callback in a given round
+//! **only if** the model reports the actor as *skippable*
+//! ([`Poll::skippable`]) **and** the actor's inbox for that round is
+//! empty. The contract that makes this invisible: *whenever an actor
+//! reports itself skippable and its inbox is empty, its `round` callback
+//! must be a pure no-op — no state mutation, no outgoing messages, no
+//! error.* Skipping a call that would have done nothing cannot change
+//! outputs, metrics, or errors, so both scheduling policies (and both
+//! executors, at every thread count) remain bit-identical.
+//!
+//! The user-facing traits (`pga_congest::Algorithm::can_skip`,
+//! `pga_mpc::Machine::can_skip`) default `skippable` to the actor's own
+//! `is_done`, which satisfies the contract for plain state machines that
+//! go quiet when finished. Algorithms whose `round` has residual side
+//! effects after `is_done` (round-counter resets, stale-flag clearing)
+//! override `can_skip` to say so and are simply never skipped;
+//! [`Scheduling::FullSweep`] disables skipping globally and is the
+//! reference behavior.
+//!
+//! Termination is *not* affected by scheduling: the kernel stops when
+//! all actors are done and no message is in flight — exactly the
+//! classic loop. Under the active-set policy an actor observed done and
+//! skippable with an empty inbox becomes *dormant*: its state is frozen
+//! (nothing may mutate it until a message arrives), so the kernel
+//! counts it as done without re-polling and wakes it on delivery. The
+//! contract above therefore also requires that a skippable actor's
+//! `is_done`/`can_skip` verdicts stay `true` while its state is frozen.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pga_graph::NodeId;
+
+/// Dense actor addressing: both vertex ids (`pga_graph::NodeId`) and MPC
+/// machine ids are `0..n` indices behind a newtype.
+pub trait ActorId: Copy + Eq + Send {
+    /// The identifier as a dense `usize` index.
+    fn index(self) -> usize;
+    /// The identifier for a dense `usize` index.
+    fn from_index(i: usize) -> Self;
+}
+
+impl ActorId for NodeId {
+    #[inline]
+    fn index(self) -> usize {
+        NodeId::index(self)
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        NodeId::from_index(i)
+    }
+}
+
+/// Round-scheduling policy of the kernel (see the crate docs for the
+/// exact rule and the no-op contract that keeps the policies
+/// bit-identical).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Skip the `round` callback of skippable actors with empty inboxes
+    /// (the default; fastest on runs with quiescent tails).
+    #[default]
+    ActiveSet,
+    /// Invoke every actor's `round` callback every round — the classic
+    /// reference behavior.
+    FullSweep,
+}
+
+/// Kernel tuning knobs, supplied by the model wrappers.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Abort with [`ExecModel::round_limit_error`] after this many rounds.
+    pub max_rounds: usize,
+    /// The round-scheduling policy.
+    pub scheduling: Scheduling,
+}
+
+/// One round's merged accounting, shared by both models.
+///
+/// The kernel accumulates one `RoundProfile` per round (per shard, then
+/// merged in shard order) and hands it to [`ExecModel::end_round`]; the
+/// model maps the fields onto its own metrics type. Field semantics are
+/// model-defined: CONGEST charges bits and tracks the largest single
+/// message per round, MPC charges words and tracks per-machine send
+/// volume and declared memory.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundProfile {
+    /// Messages sent this round.
+    pub messages: u64,
+    /// Total charged volume this round (bits or words).
+    pub volume: u64,
+    /// Largest single-message charge this round (CONGEST's per-edge
+    /// congestion peak).
+    pub peak_link: usize,
+    /// Largest per-actor total outgoing charge this round (MPC's send
+    /// volume peak).
+    pub peak_actor_out: usize,
+    /// Largest per-actor declared state size this round (MPC's memory
+    /// peak).
+    pub peak_state: usize,
+}
+
+impl RoundProfile {
+    /// Folds another shard's partial profile into this one (sums and
+    /// maxima; shard order does not matter for the result).
+    pub fn merge(&mut self, other: &RoundProfile) {
+        self.messages += other.messages;
+        self.volume += other.volume;
+        self.peak_link = self.peak_link.max(other.peak_link);
+        self.peak_actor_out = self.peak_actor_out.max(other.peak_actor_out);
+        self.peak_state = self.peak_state.max(other.peak_state);
+    }
+}
+
+/// One actor's per-round verdict, reported by [`ExecModel::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Poll {
+    /// Whether the actor has terminated (the run ends when all actors
+    /// are done and no message is in flight).
+    pub done: bool,
+    /// Whether the actor's `round` callback is a guaranteed no-op while
+    /// its inbox is empty (the [`Scheduling::ActiveSet`] skip rule).
+    pub skippable: bool,
+}
+
+/// Where [`ExecModel::step`] stages validated outgoing messages.
+///
+/// The kernel provides the implementations: a direct-delivery sink for
+/// the sequential executor and a bucketing sink for the sharded one.
+/// `step` must call [`MsgSink::deliver`] once per validated message, in
+/// outbox order, *after* the message passed the model's checks.
+pub trait MsgSink<M: ExecModel + ?Sized> {
+    /// Stages `msg` from `from` for delivery to `to` next round.
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg);
+}
+
+/// The pieces of a synchronous round-based execution model that differ
+/// between CONGEST and MPC.
+///
+/// Implementations are thin: they own the model's context construction,
+/// per-message validation/charging, and the mapping from the kernel's
+/// [`RoundProfile`] onto the model's public metrics type. The kernel
+/// owns the loop — termination, scheduling, staging, sharding, and the
+/// exchange — so engine behavior cannot drift between models.
+pub trait ExecModel: Sync {
+    /// Actor addressing (vertex ids or machine ids).
+    type Id: ActorId;
+    /// Per-actor program state (`Algorithm` / `Machine` implementors).
+    type Node;
+    /// Message type exchanged by the actors.
+    type Msg: Clone;
+    /// Per-actor output collected at the end of the run.
+    type Output;
+    /// Error type aborting the run (`SimError` / `MpcError`).
+    type Error;
+    /// Whole-run metrics type (`Metrics` / `MpcMetrics`).
+    type Metrics: Default;
+    /// Per-actor validation scratch, reused across actors within a
+    /// shard (CONGEST's duplicate-destination list, MPC's running send
+    /// volume). `step` must reset it before use.
+    type SendScratch: Default + Send;
+
+    /// Whether the kernel must tally each destination's delivered
+    /// charge every round (MPC's receive-volume cap needs it; CONGEST
+    /// does not, and the tally is compiled out).
+    const TRACK_RECV: bool = false;
+
+    /// Hook before round 0 (MPC checks the initial memory footprints).
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the run before any round executes.
+    fn pre_run(
+        &self,
+        _nodes: &[Self::Node],
+        _metrics: &mut Self::Metrics,
+    ) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Reports the actor's termination and skippability at `round`.
+    fn poll(&self, node: &Self::Node, idx: usize, round: usize) -> Poll;
+
+    /// The actor's final output (called once per actor after the run).
+    fn output(&self, node: &Self::Node, idx: usize, round: usize) -> Self::Output;
+
+    /// The model's round-budget-exhausted error.
+    fn round_limit_error(&self, limit: usize) -> Self::Error;
+
+    /// Executes one actor's round: invoke the program on `inbox`,
+    /// validate and charge every outgoing message (accumulating into
+    /// `acc`), and stage each accepted message via `sink.deliver` in
+    /// outbox order. Model-side per-actor checks (MPC's memory budget)
+    /// also happen here, after the sends, to preserve the sequential
+    /// engines' error precedence.
+    ///
+    /// # Errors
+    ///
+    /// The first model violation (or program-raised error) aborts the
+    /// run; the kernel surfaces the lowest-indexed actor's error.
+    #[allow(clippy::too_many_arguments)]
+    fn step<S: MsgSink<Self>>(
+        &self,
+        node: &mut Self::Node,
+        idx: usize,
+        round: usize,
+        inbox: &[(Self::Id, Self::Msg)],
+        scratch: &mut Self::SendScratch,
+        acc: &mut RoundProfile,
+        sink: &mut S,
+    ) -> Result<(), Self::Error>;
+
+    /// The per-message charge added to the destination's receive tally
+    /// (only consulted when [`ExecModel::TRACK_RECV`] is set).
+    fn recv_charge(&self, _msg: &Self::Msg) -> usize {
+        0
+    }
+
+    /// Validates the per-destination receive tally after all actors
+    /// stepped (MPC's receive-volume cap, checked in actor order).
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the run exactly like a `step` error.
+    fn check_recv(&self, _recv: &[usize], _round: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Folds the merged round accounting into the run metrics; `round`
+    /// is the 0-based index of the round that just executed, and `recv`
+    /// is the receive tally (empty unless [`ExecModel::TRACK_RECV`]).
+    fn end_round(
+        &self,
+        acc: &RoundProfile,
+        recv: &[usize],
+        round: usize,
+        metrics: &mut Self::Metrics,
+    );
+}
+
+/// Result of a completed kernel run; the model wrappers repackage it
+/// into their public report types.
+#[derive(Debug)]
+pub struct Run<O, M> {
+    /// Per-actor outputs, indexed by actor id.
+    pub outputs: Vec<O>,
+    /// The model's whole-run metrics.
+    pub metrics: M,
+}
+
+/// Inbox buffers: one `Vec<(from, msg)>` per actor, reused across
+/// rounds.
+type Inboxes<M> = Vec<Vec<(<M as ExecModel>::Id, <M as ExecModel>::Msg)>>;
+
+/// One exchange bucket of the sharded executor: `(to, from, msg)`
+/// triples destined for one shard.
+type Bucket<M> = Vec<(
+    <M as ExecModel>::Id,
+    <M as ExecModel>::Id,
+    <M as ExecModel>::Msg,
+)>;
+
+/// The direct-delivery sink of the sequential executor: messages go
+/// straight into the staging inboxes (and the receive tally).
+struct DirectSink<'a, M: ExecModel> {
+    staging: &'a mut [Vec<(M::Id, M::Msg)>],
+    recv: &'a mut [usize],
+}
+
+impl<M: ExecModel> MsgSink<M> for DirectSink<'_, M> {
+    #[inline]
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+        if M::TRACK_RECV {
+            self.recv[to.index()] += model.recv_charge(&msg);
+        }
+        self.staging[to.index()].push((from, msg));
+    }
+}
+
+/// The bucketing sink of the sharded executor: messages are routed to
+/// per-destination-shard buckets as `(to, from, msg)` and merged into
+/// the staging inboxes in shard order afterwards.
+struct BucketSink<'a, M: ExecModel> {
+    buckets: &'a mut [Bucket<M>],
+    shard_size: usize,
+}
+
+impl<M: ExecModel> MsgSink<M> for BucketSink<'_, M> {
+    #[inline]
+    fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+        self.buckets[to.index() / self.shard_size].push((to, from, msg));
+    }
+}
+
+/// The per-round sweep: polls every actor, refreshes the activity mask,
+/// and reports global termination. Runs on the driving thread in both
+/// executors — it is allocation-free and branch-cheap, so even with the
+/// active-set policy the termination semantics stay exactly those of
+/// the classic loop.
+///
+/// Under [`Scheduling::ActiveSet`] the sweep additionally maintains a
+/// *dormancy* cache: an actor observed done **and** skippable with an
+/// empty inbox is not re-polled in later rounds until a message arrives.
+/// This is sound because a skipped actor's state is frozen (the no-op
+/// contract), so by the skip contract its `done`/`skippable` verdicts
+/// cannot change until mail wakes it; the quiescent tail of a run then
+/// costs two flag reads per actor per round instead of a model poll.
+fn sweep<M: ExecModel>(
+    model: &M,
+    nodes: &[M::Node],
+    inboxes: &Inboxes<M>,
+    round: usize,
+    scheduling: Scheduling,
+    active: &mut [bool],
+    dormant: &mut [bool],
+) -> bool {
+    let mut all_done = true;
+    let mut in_flight = false;
+    for (i, node) in nodes.iter().enumerate() {
+        let has_mail = !inboxes[i].is_empty();
+        if dormant[i] && !has_mail {
+            // Frozen, done, and still unmailed: counts as done without
+            // a fresh poll.
+            active[i] = false;
+            continue;
+        }
+        let poll = model.poll(node, i, round);
+        all_done &= poll.done;
+        in_flight |= has_mail;
+        match scheduling {
+            Scheduling::ActiveSet => {
+                active[i] = has_mail || !poll.skippable;
+                dormant[i] = poll.done && poll.skippable && !has_mail;
+            }
+            Scheduling::FullSweep => active[i] = true,
+        }
+    }
+    all_done && !in_flight
+}
+
+/// Collects every actor's output at the final `round`.
+fn outputs<M: ExecModel>(model: &M, nodes: &[M::Node], round: usize) -> Vec<M::Output> {
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| model.output(node, i, round))
+        .collect()
+}
+
+/// Runs `nodes` to completion on the single-threaded reference
+/// executor.
+///
+/// # Errors
+///
+/// Returns the model's error if an actor violates the model, a program
+/// aborts, or the round budget is exhausted.
+pub fn run_sequential<M: ExecModel>(
+    model: &M,
+    mut nodes: Vec<M::Node>,
+    cfg: KernelConfig,
+) -> Result<Run<M::Output, M::Metrics>, M::Error> {
+    let n = nodes.len();
+    let mut metrics = M::Metrics::default();
+    model.pre_run(&nodes, &mut metrics)?;
+
+    let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+    let mut staging: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+    let mut recv: Vec<usize> = if M::TRACK_RECV {
+        vec![0; n]
+    } else {
+        Vec::new()
+    };
+    let mut active = vec![true; n];
+    let mut dormant = vec![false; n];
+    let mut scratch = M::SendScratch::default();
+    let mut round = 0;
+
+    loop {
+        if sweep(
+            model,
+            &nodes,
+            &inboxes,
+            round,
+            cfg.scheduling,
+            &mut active,
+            &mut dormant,
+        ) {
+            break;
+        }
+        if round >= cfg.max_rounds {
+            return Err(model.round_limit_error(cfg.max_rounds));
+        }
+
+        let mut acc = RoundProfile::default();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            let mut sink = DirectSink::<M> {
+                staging: &mut staging,
+                recv: &mut recv,
+            };
+            model.step(
+                node,
+                i,
+                round,
+                &inboxes[i],
+                &mut scratch,
+                &mut acc,
+                &mut sink,
+            )?;
+            // Consumed in place; the cleared buffer keeps its capacity
+            // and becomes next round's staging arena after the swap.
+            inboxes[i].clear();
+        }
+
+        if M::TRACK_RECV {
+            model.check_recv(&recv, round)?;
+        }
+        model.end_round(&acc, &recv, round, &mut metrics);
+        if M::TRACK_RECV {
+            recv.fill(0);
+        }
+        std::mem::swap(&mut inboxes, &mut staging);
+        round += 1;
+    }
+
+    Ok(Run {
+        outputs: outputs(model, &nodes, round),
+        metrics,
+    })
+}
+
+/// Executes one round for the shard whose first actor is `base`,
+/// bucketing outgoing messages by destination shard.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_round<M: ExecModel>(
+    model: &M,
+    base: usize,
+    shard_nodes: &mut [M::Node],
+    shard_inboxes: &mut [Vec<(M::Id, M::Msg)>],
+    shard_active: &[bool],
+    buckets: &mut [Bucket<M>],
+    scratch: &mut M::SendScratch,
+    round: usize,
+    shard_size: usize,
+) -> Result<RoundProfile, M::Error> {
+    let mut acc = RoundProfile::default();
+    let mut sink = BucketSink::<M> {
+        buckets,
+        shard_size,
+    };
+    for (k, node) in shard_nodes.iter_mut().enumerate() {
+        if !shard_active[k] {
+            continue;
+        }
+        model.step(
+            node,
+            base + k,
+            round,
+            &shard_inboxes[k],
+            scratch,
+            &mut acc,
+            &mut sink,
+        )?;
+        shard_inboxes[k].clear();
+    }
+    Ok(acc)
+}
+
+/// Runs `nodes` to completion on the sharded multi-threaded executor.
+///
+/// Actors are partitioned into `threads` contiguous shards; every round
+/// each shard executes its actors' `round` callbacks on its own worker
+/// thread into per-shard outboxes bucketed by destination shard, then
+/// the buckets are drained into the (reused) staging inboxes in shard
+/// order. Because shards cover ascending id ranges and each shard
+/// visits its actors in id order, the concatenation is already sorted
+/// by sender — next round's inboxes are **bit-identical** to the
+/// sequential executor's without any sorting, for every thread count.
+/// A model violation aborts with the lowest-indexed shard's error,
+/// which is the lowest-indexed actor's error, matching the sequential
+/// executor (though `round` callbacks of higher-id actors in other
+/// shards may already have executed by then). Shards whose actors are
+/// all inactive this round are not spawned at all.
+///
+/// Callers are expected to route `threads <= 1` (or shard sizes below
+/// two actors) to [`run_sequential`]; this function falls back by
+/// itself if they do not.
+///
+/// # Errors
+///
+/// Returns the model's error like [`run_sequential`].
+pub fn run_sharded<M>(
+    model: &M,
+    mut nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+{
+    let n = nodes.len();
+    if threads <= 1 || n < 2 * threads {
+        return run_sequential(model, nodes, cfg);
+    }
+    let shard_size = n.div_ceil(threads);
+    let num_shards = n.div_ceil(shard_size);
+
+    let mut metrics = M::Metrics::default();
+    model.pre_run(&nodes, &mut metrics)?;
+
+    let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+    let mut staging: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+    let mut recv: Vec<usize> = if M::TRACK_RECV {
+        vec![0; n]
+    } else {
+        Vec::new()
+    };
+    let mut active = vec![true; n];
+    let mut dormant = vec![false; n];
+    // Per-shard arenas, reused across rounds: exchange buckets (one row
+    // of `num_shards` buckets per sending shard) and validation scratch.
+    let mut bucket_rows: Vec<Vec<Bucket<M>>> = (0..num_shards)
+        .map(|_| (0..num_shards).map(|_| Vec::new()).collect())
+        .collect();
+    let mut scratches: Vec<M::SendScratch> =
+        (0..num_shards).map(|_| M::SendScratch::default()).collect();
+    let mut round = 0;
+
+    loop {
+        if sweep(
+            model,
+            &nodes,
+            &inboxes,
+            round,
+            cfg.scheduling,
+            &mut active,
+            &mut dormant,
+        ) {
+            break;
+        }
+        if round >= cfg.max_rounds {
+            return Err(model.round_limit_error(cfg.max_rounds));
+        }
+
+        // Phase A: every shard with at least one active actor runs its
+        // actors for this round on a worker thread.
+        let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = nodes
+                .chunks_mut(shard_size)
+                .zip(inboxes.chunks_mut(shard_size))
+                .zip(bucket_rows.iter_mut())
+                .zip(scratches.iter_mut())
+                .zip(active.chunks(shard_size))
+                .enumerate()
+                .map(
+                    |(si, ((((shard_nodes, shard_inboxes), buckets), scratch), act))| {
+                        if act.iter().any(|&a| a) {
+                            Some(s.spawn(move || {
+                                run_shard_round(
+                                    model,
+                                    si * shard_size,
+                                    shard_nodes,
+                                    shard_inboxes,
+                                    act,
+                                    buckets,
+                                    scratch,
+                                    round,
+                                    shard_size,
+                                )
+                            }))
+                        } else {
+                            None
+                        }
+                    },
+                )
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))))
+                .collect()
+        });
+
+        // The lowest-indexed shard's error is the lowest-indexed
+        // actor's error, exactly like the sequential executor.
+        let mut acc = RoundProfile::default();
+        for r in shard_results.into_iter().flatten() {
+            acc.merge(&r?);
+        }
+
+        // Phase B: drain the buckets into the staging arenas, one
+        // worker per destination shard, visiting sender shards in
+        // ascending order so every inbox stays sorted by sender. The
+        // gate is executor-owned (bucket emptiness), so it cannot drift
+        // from whatever the model chooses to count in `acc.messages`.
+        let staged_any = bucket_rows
+            .iter()
+            .any(|row| row.iter().any(|b| !b.is_empty()));
+        if staged_any {
+            let mut columns: Vec<Vec<&mut Bucket<M>>> = (0..num_shards)
+                .map(|_| Vec::with_capacity(num_shards))
+                .collect();
+            for row in bucket_rows.iter_mut() {
+                for (j, bucket) in row.iter_mut().enumerate() {
+                    columns[j].push(bucket);
+                }
+            }
+            let recv_chunks: Vec<&mut [usize]> = if M::TRACK_RECV {
+                recv.chunks_mut(shard_size).collect()
+            } else {
+                Vec::new()
+            };
+            std::thread::scope(|s| {
+                let mut recv_chunks = recv_chunks;
+                for (j, (column, dst)) in columns
+                    .into_iter()
+                    .zip(staging.chunks_mut(shard_size))
+                    .enumerate()
+                {
+                    let mut recv_dst = if M::TRACK_RECV {
+                        Some(recv_chunks.remove(0))
+                    } else {
+                        None
+                    };
+                    s.spawn(move || {
+                        let base = j * shard_size;
+                        for bucket in column {
+                            for (to, from, msg) in bucket.drain(..) {
+                                if let Some(recv_dst) = recv_dst.as_deref_mut() {
+                                    recv_dst[to.index() - base] += model.recv_charge(&msg);
+                                }
+                                dst[to.index() - base].push((from, msg));
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        if M::TRACK_RECV {
+            model.check_recv(&recv, round)?;
+        }
+        model.end_round(&acc, &recv, round, &mut metrics);
+        if M::TRACK_RECV {
+            recv.fill(0);
+        }
+        std::mem::swap(&mut inboxes, &mut staging);
+        round += 1;
+    }
+
+    Ok(Run {
+        outputs: outputs(model, &nodes, round),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model used to exercise the kernel directly: actors pass a
+    /// token around a ring for a fixed number of hops; message charge is
+    /// the payload value, capped by the model.
+    struct RingModel {
+        n: usize,
+        charge_cap: usize,
+        recv_cap: usize,
+    }
+
+    #[derive(Clone)]
+    struct Token {
+        hops_left: usize,
+        charge: usize,
+    }
+
+    struct RingNode {
+        started: bool,
+        seen: usize,
+        outbound: Option<Token>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum RingError {
+        TooBig { at: usize, round: usize },
+        RecvOverflow { at: usize, round: usize },
+        RoundLimit { limit: usize },
+    }
+
+    #[derive(Debug, Default)]
+    struct RingMetrics {
+        rounds: usize,
+        messages: u64,
+        volume: u64,
+        profile: Vec<usize>,
+    }
+
+    impl ExecModel for RingModel {
+        type Id = NodeId;
+        type Node = RingNode;
+        type Msg = Token;
+        type Output = usize;
+        type Error = RingError;
+        type Metrics = RingMetrics;
+        type SendScratch = ();
+
+        const TRACK_RECV: bool = true;
+
+        fn poll(&self, node: &Self::Node, _idx: usize, _round: usize) -> Poll {
+            let done = node.started && node.outbound.is_none();
+            Poll {
+                done,
+                skippable: done,
+            }
+        }
+
+        fn output(&self, node: &Self::Node, _idx: usize, _round: usize) -> usize {
+            node.seen
+        }
+
+        fn round_limit_error(&self, limit: usize) -> RingError {
+            RingError::RoundLimit { limit }
+        }
+
+        fn step<S: MsgSink<Self>>(
+            &self,
+            node: &mut Self::Node,
+            idx: usize,
+            round: usize,
+            inbox: &[(NodeId, Token)],
+            _scratch: &mut (),
+            acc: &mut RoundProfile,
+            sink: &mut S,
+        ) -> Result<(), RingError> {
+            node.started = true;
+            for (_, t) in inbox {
+                node.seen += 1;
+                if t.hops_left > 0 {
+                    node.outbound = Some(Token {
+                        hops_left: t.hops_left - 1,
+                        charge: t.charge,
+                    });
+                }
+            }
+            if let Some(t) = node.outbound.take() {
+                if t.charge > self.charge_cap {
+                    return Err(RingError::TooBig { at: idx, round });
+                }
+                acc.messages += 1;
+                acc.volume += t.charge as u64;
+                acc.peak_link = acc.peak_link.max(t.charge);
+                let to = NodeId::from_index((idx + 1) % self.n);
+                sink.deliver(self, to, NodeId::from_index(idx), t);
+            }
+            Ok(())
+        }
+
+        fn recv_charge(&self, msg: &Token) -> usize {
+            msg.charge
+        }
+
+        fn check_recv(&self, recv: &[usize], round: usize) -> Result<(), RingError> {
+            for (i, &w) in recv.iter().enumerate() {
+                if w > self.recv_cap {
+                    return Err(RingError::RecvOverflow { at: i, round });
+                }
+            }
+            Ok(())
+        }
+
+        fn end_round(
+            &self,
+            acc: &RoundProfile,
+            _recv: &[usize],
+            round: usize,
+            metrics: &mut RingMetrics,
+        ) {
+            metrics.rounds = round + 1;
+            metrics.messages += acc.messages;
+            metrics.volume += acc.volume;
+            metrics.profile.push(acc.peak_link);
+        }
+    }
+
+    fn ring_nodes(n: usize, hops: usize, charge: usize) -> Vec<RingNode> {
+        (0..n)
+            .map(|i| RingNode {
+                started: false,
+                seen: 0,
+                outbound: (i == 0).then_some(Token {
+                    hops_left: hops,
+                    charge,
+                }),
+            })
+            .collect()
+    }
+
+    fn model(n: usize) -> RingModel {
+        RingModel {
+            n,
+            charge_cap: 8,
+            recv_cap: 8,
+        }
+    }
+
+    fn cfg(s: Scheduling) -> KernelConfig {
+        KernelConfig {
+            max_rounds: 1_000,
+            scheduling: s,
+        }
+    }
+
+    #[test]
+    fn sequential_completes_and_counts() {
+        let run =
+            run_sequential(&model(5), ring_nodes(5, 7, 2), cfg(Scheduling::ActiveSet)).unwrap();
+        // 8 sends total (the origin's plus 7 forwards), one per round,
+        // plus a final send-free round consuming the last token.
+        assert_eq!(run.metrics.messages, 8);
+        assert_eq!(run.metrics.rounds, 9);
+        assert_eq!(run.metrics.volume, 16);
+        let mut expected = vec![2; 8];
+        expected.push(0);
+        assert_eq!(run.metrics.profile, expected);
+        assert_eq!(run.outputs.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn schedulings_and_executors_are_bit_identical() {
+        let baseline = run_sequential(
+            &model(16),
+            ring_nodes(16, 40, 3),
+            cfg(Scheduling::FullSweep),
+        )
+        .unwrap();
+        for scheduling in [Scheduling::FullSweep, Scheduling::ActiveSet] {
+            let seq = run_sequential(&model(16), ring_nodes(16, 40, 3), cfg(scheduling)).unwrap();
+            assert_eq!(seq.outputs, baseline.outputs, "{scheduling:?}");
+            assert_eq!(seq.metrics.rounds, baseline.metrics.rounds);
+            assert_eq!(seq.metrics.profile, baseline.metrics.profile);
+            for threads in [2, 3, 5, 8] {
+                let par = run_sharded(&model(16), ring_nodes(16, 40, 3), threads, cfg(scheduling))
+                    .unwrap();
+                assert_eq!(par.outputs, baseline.outputs, "{scheduling:?} t={threads}");
+                assert_eq!(par.metrics.rounds, baseline.metrics.rounds);
+                assert_eq!(par.metrics.messages, baseline.metrics.messages);
+                assert_eq!(par.metrics.volume, baseline.metrics.volume);
+                assert_eq!(par.metrics.profile, baseline.metrics.profile);
+            }
+        }
+    }
+
+    #[test]
+    fn step_errors_match_across_executors() {
+        // Charge 99 exceeds the cap at the origin in round 0.
+        let seq = run_sequential(&model(8), ring_nodes(8, 3, 99), cfg(Scheduling::ActiveSet))
+            .unwrap_err();
+        assert_eq!(seq, RingError::TooBig { at: 0, round: 0 });
+        for threads in [2, 4] {
+            let par = run_sharded(
+                &model(8),
+                ring_nodes(8, 3, 99),
+                threads,
+                cfg(Scheduling::ActiveSet),
+            )
+            .unwrap_err();
+            assert_eq!(par, seq, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn recv_errors_match_across_executors() {
+        // The send passes the charge cap but overflows the destination's
+        // receive cap, so the error surfaces in the post-round check.
+        let tight = RingModel {
+            n: 8,
+            charge_cap: 8,
+            recv_cap: 4,
+        };
+        let seq =
+            run_sequential(&tight, ring_nodes(8, 2, 5), cfg(Scheduling::ActiveSet)).unwrap_err();
+        assert_eq!(seq, RingError::RecvOverflow { at: 1, round: 0 });
+        for threads in [2, 4] {
+            let par = run_sharded(
+                &tight,
+                ring_nodes(8, 2, 5),
+                threads,
+                cfg(Scheduling::ActiveSet),
+            )
+            .unwrap_err();
+            assert_eq!(par, seq, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn round_limit_errors_match() {
+        let tight = KernelConfig {
+            max_rounds: 3,
+            scheduling: Scheduling::ActiveSet,
+        };
+        let seq = run_sequential(&model(8), ring_nodes(8, 100, 1), tight).unwrap_err();
+        assert_eq!(seq, RingError::RoundLimit { limit: 3 });
+        let par = run_sharded(&model(8), ring_nodes(8, 100, 1), 4, tight).unwrap_err();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zero_actors_trivial() {
+        let run = run_sequential(&model(1), Vec::new(), cfg(Scheduling::ActiveSet)).unwrap();
+        assert_eq!(run.metrics.rounds, 0);
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn sharded_falls_back_to_sequential_on_tiny_inputs() {
+        // 4 actors on 8 threads: shards would hold under two actors.
+        let run = run_sharded(
+            &model(4),
+            ring_nodes(4, 5, 1),
+            8,
+            cfg(Scheduling::ActiveSet),
+        )
+        .unwrap();
+        assert_eq!(run.metrics.messages, 6);
+    }
+}

@@ -9,6 +9,9 @@
 //! contributes:
 //!
 //! * [`graph`] — the graph substrate (generators, powers `G^r`, checks);
+//! * [`runtime`] — the shared synchronous round-execution kernel (arena
+//!   staging, quiescence-aware scheduling, sequential + sharded
+//!   executors) that both simulators instantiate;
 //! * [`congest`] — a model-enforcing CONGEST / CONGESTED CLIQUE simulator;
 //! * [`mpc`] — a resource-accounted low-space MPC simulator with a
 //!   CONGEST-to-MPC adapter and a native `G²` 2-ruling-set algorithm;
@@ -46,10 +49,11 @@ pub use pga_exact as exact;
 pub use pga_graph as graph;
 pub use pga_lowerbounds as lowerbounds;
 pub use pga_mpc as mpc;
+pub use pga_runtime as runtime;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use pga_congest::{Metrics, Simulator, Topology};
+    pub use pga_congest::{Engine, Metrics, Scheduling, Simulator, Topology};
     pub use pga_core::mds::cd18::cd18_mds;
     pub use pga_core::mds::congest_g2::g2_mds_congest;
     pub use pga_core::mpc::{g2_mds_congest_mpc, g2_mvc_congest_mpc, MpcExecution};

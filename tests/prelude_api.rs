@@ -91,4 +91,43 @@ fn prelude_exposes_simulator_types() {
     let _adapter: CongestOnMpc<'_> = CongestOnMpc::congest(&g);
     let mpc_metrics = MpcMetrics::default();
     assert_eq!(mpc_metrics.peak_memory_words, 0);
+
+    // Engine selection and the kernel's scheduling policy are part of
+    // the prelude surface (both simulators accept both).
+    assert_eq!(Engine::default(), Engine::Sequential);
+    assert_ne!(Engine::parallel_auto(), Engine::Sequential);
+    assert_eq!(Scheduling::default(), Scheduling::ActiveSet);
+    let _tuned: Simulator<'_> = Simulator::congest(&g).with_scheduling(Scheduling::FullSweep);
+    let _tuned_mpc: MpcSimulator = MpcSimulator::new(1024).with_scheduling(Scheduling::FullSweep);
+}
+
+/// The shared round kernel is re-exported as `power_graphs::runtime`
+/// and both simulators are instantiations of it (same `Scheduling`
+/// type, bit-identical policies).
+#[test]
+fn runtime_kernel_is_exposed() {
+    use power_graphs::runtime;
+    let profile = runtime::RoundProfile::default();
+    assert_eq!(profile.messages, 0);
+    assert_eq!(
+        runtime::Scheduling::ActiveSet,
+        power_graphs::prelude::Scheduling::ActiveSet
+    );
+
+    let g = generators::path(16);
+    let mk = || {
+        (0..16)
+            .map(|i| power_graphs::congest::primitives::FloodMax::new(NodeId::from_index(i)))
+            .collect::<Vec<_>>()
+    };
+    let full = Simulator::congest(&g)
+        .with_scheduling(Scheduling::FullSweep)
+        .run(mk())
+        .unwrap();
+    let active = Simulator::congest(&g)
+        .with_scheduling(Scheduling::ActiveSet)
+        .run_parallel(mk(), 3)
+        .unwrap();
+    assert_eq!(full.outputs, active.outputs);
+    assert_eq!(full.metrics, active.metrics);
 }
