@@ -2,23 +2,25 @@
 //!
 //! Runs the CONGEST-to-MPC adapter and the native ruling set on two
 //! pinned seeded instances (a uniform `connected_gnm` and a heavy-tailed
-//! `barabasi_albert`), then:
+//! `barabasi_albert`), sweeping the MPC engine over thread counts
+//! {1, 2, 4, 8}, then:
 //!
-//! * verifies the adapter reproduced the sequential CONGEST engine
-//!   **bit-identically** (outputs and metrics) and the native ruling set
-//!   matched its sequential oracle — exit code 1 on any divergence (this
-//!   is CI's correctness gate),
+//! * verifies every engine run of the adapter reproduced the sequential
+//!   CONGEST engine **bit-identically** (outputs and metrics) and every
+//!   engine run of the native ruling set matched its sequential oracle —
+//!   exit code 1 on any divergence (this is CI's correctness gate),
 //! * verifies the enforced budgets were respected (`peak_memory_words`
 //!   and `peak_round_io_words` at most `S` — the engine would have
 //!   errored otherwise),
 //! * writes the machine-readable `BENCH_mpc.json` artifact
-//!   (schema: `pga_bench::harness::MpcBench`).
+//!   (schema: `pga_bench::harness::MpcBench`), whose `engines` arrays
+//!   record the scaling trajectory across thread counts.
 //!
 //! Environment overrides: `BENCH_MPC_N` (vertices), `BENCH_MPC_AVG_DEG`
 //! (average degree), `BENCH_MPC_SEED`, `BENCH_MPC_BA_N` / `BENCH_MPC_BA_K`
 //! (the Barabási–Albert instance), `BENCH_MPC_OUT` (artifact path).
 
-use pga_bench::harness::{env_u64, env_usize, time_ms, MpcBench, MpcWorkloadRecord};
+use pga_bench::harness::{env_u64, env_usize, time_ms, EngineTiming, MpcBench, MpcWorkloadRecord};
 use pga_congest::primitives::FloodMax;
 use pga_congest::Simulator;
 use pga_graph::{generators, Graph, NodeId};
@@ -30,13 +32,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
+/// The parallel thread counts every MPC workload sweeps (next to the
+/// sequential engine, which is the `threads = 1` point).
+const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
+
 fn floodmax_states(n: usize) -> Vec<FloodMax> {
     (0..n)
         .map(|i| FloodMax::new(NodeId::from_index(i)))
         .collect()
 }
 
-/// FloodMax through the adapter vs the sequential CONGEST engine.
+/// FloodMax through the adapter (at every swept thread count) vs the
+/// sequential CONGEST engine.
 fn adapter_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloadRecord {
     let n = g.num_nodes();
     let memory_words = recommended_memory_words(g, pga_congest::default_bandwidth_bits(n));
@@ -51,7 +58,30 @@ fn adapter_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloa
             .run(floodmax_states(n))
             .expect("adapter run")
     });
-    let identical = adapter.outputs == reference.outputs && adapter.congest == reference.metrics;
+    let mut identical =
+        adapter.outputs == reference.outputs && adapter.congest == reference.metrics;
+    let mut engines = vec![EngineTiming {
+        engine: "mpc_sequential".into(),
+        threads: 1,
+        wall_ms: mpc_ms,
+    }];
+    for threads in THREAD_SWEEP {
+        let (par, par_ms) = time_ms(|| {
+            CongestOnMpc::congest(g)
+                .with_memory_words(memory_words)
+                .run_with(floodmax_states(n), Engine::Parallel { threads })
+                .expect("parallel adapter run")
+        });
+        identical &= par.outputs == reference.outputs
+            && par.congest == reference.metrics
+            && par.mpc == adapter.mpc
+            && par.machines == adapter.machines;
+        engines.push(EngineTiming {
+            engine: "mpc_parallel".into(),
+            threads,
+            wall_ms: par_ms,
+        });
+    }
     if !identical {
         eprintln!("DIVERGENCE in workload '{name}':");
         eprintln!("  congest metrics: {}", reference.metrics);
@@ -73,17 +103,36 @@ fn adapter_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloa
         peak_round_io_words: adapter.mpc.peak_round_io_words,
         wall_ms_reference: ref_ms,
         wall_ms_mpc: mpc_ms,
+        engines,
         identical,
     }
 }
 
-/// The native greedy 2-ruling set vs its sequential oracle.
+/// The native greedy 2-ruling set (at every swept thread count) vs its
+/// sequential oracle.
 fn ruling_set_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWorkloadRecord {
     let memory_words = recommended_ruling_set_memory_words(g);
     let (oracle, ref_ms) = time_ms(|| lex_first_g2_mis(g));
     let (result, mpc_ms) =
         time_ms(|| g2_ruling_set_mpc(g, memory_words, Engine::Sequential).expect("ruling set run"));
-    let identical = result.in_r == oracle;
+    let mut identical = result.in_r == oracle;
+    let mut engines = vec![EngineTiming {
+        engine: "mpc_sequential".into(),
+        threads: 1,
+        wall_ms: mpc_ms,
+    }];
+    for threads in THREAD_SWEEP {
+        let (par, par_ms) = time_ms(|| {
+            g2_ruling_set_mpc(g, memory_words, Engine::Parallel { threads })
+                .expect("parallel ruling set run")
+        });
+        identical &= par.in_r == oracle && par.mpc == result.mpc && par.machines == result.machines;
+        engines.push(EngineTiming {
+            engine: "mpc_parallel".into(),
+            threads,
+            wall_ms: par_ms,
+        });
+    }
     if !identical {
         eprintln!("DIVERGENCE in workload '{name}': ruling set != sequential oracle");
     }
@@ -103,6 +152,7 @@ fn ruling_set_workload(name: &str, graph: &str, g: &Graph, seed: u64) -> MpcWork
         peak_round_io_words: result.mpc.peak_round_io_words,
         wall_ms_reference: ref_ms,
         wall_ms_mpc: mpc_ms,
+        engines,
         identical,
     }
 }
@@ -119,7 +169,8 @@ fn main() {
     let m = (n * avg_deg / 2).max(n.saturating_sub(1));
 
     println!(
-        "bench_mpc: pinned instances gnm(n={n}, m={m}) and ba(n={ba_n}, k={ba_k}), seed={seed}"
+        "bench_mpc: pinned instances gnm(n={n}, m={m}) and ba(n={ba_n}, k={ba_k}), seed={seed}, \
+         engine sweep {THREAD_SWEEP:?}"
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let (gnm, gnm_ms) = time_ms(|| generators::connected_gnm(n, m, &mut rng));
@@ -134,10 +185,15 @@ fn main() {
     ];
 
     for w in &workloads {
+        let timings: Vec<String> = w
+            .engines
+            .iter()
+            .map(|e| format!("{}({}) {:.0} ms", e.engine, e.threads, e.wall_ms))
+            .collect();
         println!(
-            "  {:>19}: {} machines (S = {} words), {} mpc rounds, {} words | ref {:.0} ms, mpc {:.0} ms, identical: {}",
+            "  {:>19}: {} machines (S = {} words), {} mpc rounds, {} words | ref {:.0} ms, {} | identical: {}",
             w.name, w.machines, w.memory_words, w.mpc_rounds, w.mpc_words,
-            w.wall_ms_reference, w.wall_ms_mpc, w.identical
+            w.wall_ms_reference, timings.join(", "), w.identical
         );
         assert!(
             w.peak_memory_words <= w.memory_words && w.peak_round_io_words <= w.memory_words,
@@ -157,5 +213,5 @@ fn main() {
         eprintln!("FAIL: MPC execution diverged from its reference");
         std::process::exit(1);
     }
-    println!("  every MPC execution bit-identical to its reference");
+    println!("  every MPC execution bit-identical to its reference on every engine");
 }

@@ -1,0 +1,109 @@
+//! Sequential-wall-time regression gate over the committed bench
+//! snapshots.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_regress <baseline.json> <fresh.json> [--max-regress 0.25] [--min-ms 50]
+//! ```
+//!
+//! Compares every *sequential* engine timing of `fresh.json` against
+//! the same `(workload, engine)` entry of `baseline.json` (both in the
+//! `BENCH_sim.json` / `BENCH_mpc.json` schema) and exits with code 3 if
+//! any of them regressed by more than `--max-regress` (a fraction;
+//! default 0.25, i.e. +25%). Parallel timings are deliberately not
+//! gated — they depend on the host's core count — and baselines below
+//! `--min-ms` (default 50 ms) are skipped because percentage noise on
+//! millisecond-scale runs is not signal.
+//!
+//! CI copies the committed snapshots aside before re-running the bench
+//! binaries and then diffs the fresh artifacts against them, so a
+//! refactor that slows the sequential reference path (which every
+//! speedup figure is measured against) fails loudly instead of
+//! landing as a quietly inflated "speedup". Caveat: the committed
+//! baselines are measured on whatever machine last regenerated the
+//! snapshots, which need not match CI's runner class — this gate is a
+//! coarse tripwire against order-of-magnitude regressions, not a
+//! precision benchmark. If a runner-class change (not a code change)
+//! trips it, regenerate the snapshots on the new class in the same PR,
+//! or widen `--max-regress` in `ci.yml` deliberately.
+
+use pga_bench::harness::parse_engine_walls;
+
+fn arg_after(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) if !b.starts_with("--") && !f.starts_with("--") => (b, f),
+        _ => {
+            eprintln!(
+                "usage: bench_regress <baseline.json> <fresh.json> [--max-regress 0.25] [--min-ms 50]"
+            );
+            std::process::exit(64);
+        }
+    };
+    let max_regress = arg_after(&args, "--max-regress", 0.25);
+    let min_ms = arg_after(&args, "--min-ms", 50.0);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_regress: cannot read {path}: {e}");
+            std::process::exit(66);
+        })
+    };
+    let baseline = parse_engine_walls(&read(baseline_path));
+    let fresh = parse_engine_walls(&read(fresh_path));
+
+    println!(
+        "bench_regress: {} vs {} (sequential entries only, max +{:.0}%, floor {min_ms} ms)",
+        baseline_path,
+        fresh_path,
+        max_regress * 100.0
+    );
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (workload, engine, threads, base_ms) in &baseline {
+        if !engine.contains("sequential") {
+            continue;
+        }
+        if *base_ms < min_ms {
+            println!("  {workload}/{engine}: baseline {base_ms:.1} ms below floor, skipped");
+            continue;
+        }
+        let Some((_, _, _, fresh_ms)) = fresh
+            .iter()
+            .find(|(w, e, t, _)| w == workload && e == engine && t == threads)
+        else {
+            eprintln!("  {workload}/{engine}: MISSING from fresh document");
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_ms / base_ms;
+        let verdict = if ratio > 1.0 + max_regress {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {workload}/{engine}: {base_ms:.1} ms -> {fresh_ms:.1} ms ({:+.1}%) {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "FAIL: {failures} sequential timing(s) regressed more than {:.0}%",
+            max_regress * 100.0
+        );
+        std::process::exit(3);
+    }
+    println!("  all {compared} gated sequential timings within budget");
+}

@@ -1,36 +1,44 @@
 //! Bench-smoke for the simulation round engines.
 //!
-//! Runs two message-heavy workloads on one pinned seeded instance
-//! (default: 60k vertices, 240k edges), once on the sequential reference
-//! engine and once on the sharded parallel engine, then:
+//! Runs three message-heavy workloads on pinned seeded instances
+//! (default: a 60k/240k uniform gnm, a heavy-tailed Barabási–Albert,
+//! and a quiescent-tail "lollipop"), sweeping the sharded parallel
+//! engine over thread counts {2, 4, 8} next to the sequential
+//! reference, then:
 //!
-//! * verifies the two engines produced **bit-identical** outputs and
-//!   metrics (exit code 1 on divergence — this is CI's correctness gate),
+//! * verifies every engine run produced **bit-identical** outputs and
+//!   metrics (exit code 1 on divergence — this is CI's correctness
+//!   gate),
 //! * writes the machine-readable `BENCH_sim.json` artifact
-//!   (schema: `pga_bench::harness::SimBench`),
-//! * with `--assert-speedup`, additionally requires the parallel engine
-//!   to be measurably faster than the sequential one (exit code 2
-//!   otherwise; skipped with a notice when fewer than two CPUs are
-//!   available, as speedup is physically impossible there).
+//!   (schema: `pga_bench::harness::SimBench`), including the
+//!   cost-balanced per-shard load statistics of the gate thread count,
+//! * with `--assert-speedup`, additionally enforces per-workload
+//!   speedup floors at the gate thread count (4 by default): ≥ 1.05×
+//!   on `floodmax`, ≥ 1.5× on `aggregate8`, and ≥ 1.2× on the
+//!   heavy-tailed `floodmax_ba` (exit code 2 otherwise; skipped with a
+//!   notice when the host has fewer CPUs than gate threads, as speedup
+//!   is physically impossible there).
 //!
-//! A third, "quiescent-tail" workload (`floodmax_tail`) runs FloodMax to
-//! full termination on a lollipop instance (gnm blob + long path) under
+//! The quiescent-tail workload (`floodmax_tail`) runs FloodMax to full
+//! termination on the lollipop instance (gnm blob + long path) under
 //! both scheduling policies and both engines, asserts the four runs are
 //! bit-identical, and — with `--assert-speedup` on a multi-CPU host —
 //! requires active-set scheduling to be at least 1.3× faster than the
 //! full sweep (exit code 2 otherwise).
 //!
 //! Environment overrides: `BENCH_SIM_N` (vertices), `BENCH_SIM_AVG_DEG`
-//! (average degree), `BENCH_SIM_SEED`, `BENCH_SIM_THREADS`,
-//! `BENCH_SIM_REPS` (best-of repetitions), `BENCH_SIM_OUT` (artifact
-//! path), `BENCH_SIM_BA_N` / `BENCH_SIM_BA_K` (the second pinned
-//! Barabási–Albert instance), `BENCH_SIM_TAIL_BLOB_N` /
-//! `BENCH_SIM_TAIL_BLOB_M` / `BENCH_SIM_TAIL_LEN` (the lollipop).
+//! (average degree), `BENCH_SIM_SEED`, `BENCH_SIM_THREADS` (gate
+//! thread count), `BENCH_SIM_REPS` (best-of repetitions),
+//! `BENCH_SIM_OUT` (artifact path), `BENCH_SIM_BA_N` / `BENCH_SIM_BA_K`
+//! (the second pinned Barabási–Albert instance), `BENCH_SIM_TAIL_BLOB_N`
+//! / `BENCH_SIM_TAIL_BLOB_M` / `BENCH_SIM_TAIL_LEN` (the lollipop).
 
-use pga_bench::harness::{env_u64, env_usize, time_ms, EngineTiming, SimBench, WorkloadRecord};
+use pga_bench::harness::{
+    env_u64, env_usize, time_ms, EngineTiming, ShardLoad, SimBench, WorkloadRecord,
+};
 use pga_congest::primitives::FloodMax;
 use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, Scheduling, Simulator};
-use pga_graph::{generators, Graph, GraphBuilder, NodeId};
+use pga_graph::{generators, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -85,6 +93,10 @@ impl Algorithm for Aggregate {
     }
 }
 
+/// The parallel thread counts every engine workload sweeps (next to the
+/// sequential reference, which is the `threads = 1` point).
+const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
+
 /// Best-of-`reps` wall time for a run, plus the (rep-invariant) report.
 fn best_of<A, F>(
     reps: usize,
@@ -105,12 +117,21 @@ where
     (report.unwrap(), best_ms)
 }
 
-/// Runs one workload on both engines and assembles the record.
+/// The per-shard load statistics of the cost-balanced partition the
+/// parallel engine uses on `g` at `threads`.
+fn shard_load(g: &Graph, threads: usize) -> Vec<ShardLoad> {
+    let sim = Simulator::congest(g);
+    let costs: Vec<u64> = (0..g.num_nodes()).map(|i| sim.vertex_cost(i)).collect();
+    ShardLoad::from_partition(&costs, &sim.shard_boundaries(threads))
+}
+
+/// Runs one workload on the sequential engine and on the parallel
+/// engine at every swept thread count, and assembles the record.
 fn bench_workload<A, F>(
     name: &str,
     graph_name: &str,
     g: &Graph,
-    threads: usize,
+    gate_threads: usize,
     reps: usize,
     mk: F,
 ) -> WorkloadRecord
@@ -123,21 +144,45 @@ where
     let (seq, seq_ms) = best_of(reps, &mk, |nodes| {
         Simulator::congest(g).run(nodes).expect("sequential run")
     });
-    let (par, par_ms) = best_of(reps, &mk, |nodes| {
-        Simulator::congest(g)
-            .run_parallel(nodes, threads)
-            .expect("parallel run")
-    });
 
-    let identical = seq.outputs == par.outputs && seq.metrics == par.metrics;
-    if !identical {
-        eprintln!("DIVERGENCE in workload '{name}':");
-        eprintln!("  sequential metrics: {}", seq.metrics);
-        eprintln!("  parallel   metrics: {}", par.metrics);
-        if seq.outputs != par.outputs {
-            eprintln!("  outputs differ");
-        }
+    let mut engines = vec![EngineTiming {
+        engine: "sequential".into(),
+        threads: 1,
+        wall_ms: seq_ms,
+    }];
+    let mut identical = true;
+    let mut gate_ms = f64::NAN;
+    let mut sweep: Vec<usize> = THREAD_SWEEP.to_vec();
+    if !sweep.contains(&gate_threads) {
+        sweep.push(gate_threads);
+        sweep.sort_unstable();
     }
+    for threads in sweep {
+        let (par, par_ms) = best_of(reps, &mk, |nodes| {
+            Simulator::congest(g)
+                .run_parallel(nodes, threads)
+                .expect("parallel run")
+        });
+        let same = par.outputs == seq.outputs && par.metrics == seq.metrics;
+        if !same {
+            eprintln!("DIVERGENCE in workload '{name}' at {threads} threads:");
+            eprintln!("  sequential metrics: {}", seq.metrics);
+            eprintln!("  parallel   metrics: {}", par.metrics);
+            if par.outputs != seq.outputs {
+                eprintln!("  outputs differ");
+            }
+        }
+        identical &= same;
+        if threads == gate_threads {
+            gate_ms = par_ms;
+        }
+        engines.push(EngineTiming {
+            engine: "parallel".into(),
+            threads,
+            wall_ms: par_ms,
+        });
+    }
+
     let Metrics {
         rounds,
         messages,
@@ -154,45 +199,11 @@ where
         bits,
         peak_edge_bits: seq.metrics.peak_edge_bits(),
         congestion_p95: seq.metrics.congestion_percentile(0.95),
-        engines: vec![
-            EngineTiming {
-                engine: "sequential".into(),
-                threads: 1,
-                wall_ms: seq_ms,
-            },
-            EngineTiming {
-                engine: "parallel".into(),
-                threads,
-                wall_ms: par_ms,
-            },
-        ],
-        speedup: seq_ms / par_ms,
+        engines,
+        shard_load: shard_load(g, gate_threads),
+        speedup: seq_ms / gate_ms,
         identical,
     }
-}
-
-/// A "lollipop": a `connected_gnm` blob (vertices `0..blob_n`) with a
-/// path of `tail` vertices attached. The path's *largest* id is the
-/// attachment point, so FloodMax's global maximum (`n - 1`) floods the
-/// blob within a few rounds and then crawls down the path one hop per
-/// round — after ~2·diam(blob) rounds the blob is fully quiescent while
-/// the run continues for ~`tail` rounds. This is the quiescent-tail
-/// shape that active-set scheduling collapses.
-fn gnm_lollipop(blob_n: usize, blob_m: usize, tail: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let blob = generators::connected_gnm(blob_n, blob_m, &mut rng);
-    let n = blob_n + tail;
-    let mut b = GraphBuilder::new(n);
-    for (u, v) in blob.edges() {
-        b.add_edge(u, v);
-    }
-    // Chain blob_n — blob_n+1 — ... — n-1, attached to blob vertex 0 at
-    // its largest id.
-    for i in blob_n..n - 1 {
-        b.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
-    }
-    b.add_edge(NodeId::from_index(n - 1), NodeId(0));
-    b.build()
 }
 
 /// Times FloodMax-to-full-termination on the lollipop under both
@@ -259,6 +270,7 @@ fn bench_tail_workload(g: &Graph, threads: usize, reps: usize) -> WorkloadRecord
                 wall_ms: par_active_ms,
             },
         ],
+        shard_load: shard_load(g, threads),
         // For the tail record, speedup compares scheduling policies on
         // the sequential engine (full sweep / active set).
         speedup: full_ms / active_ms,
@@ -278,7 +290,7 @@ fn main() {
     );
     let m = (n * avg_deg / 2).max(n.saturating_sub(1));
 
-    println!("bench_sim: pinned instance n={n} m={m} seed={seed}, parallel threads={threads}, best of {reps}");
+    println!("bench_sim: pinned instance n={n} m={m} seed={seed}, parallel sweep {THREAD_SWEEP:?} (gate at {threads}), best of {reps}");
     let mut rng = StdRng::seed_from_u64(seed);
     let (g, gen_ms) = time_ms(|| generators::connected_gnm(n, m, &mut rng));
     let (offsets, targets) = g.csr();
@@ -290,7 +302,9 @@ fn main() {
 
     // Second pinned instance: Barabási–Albert preferential attachment —
     // the heavy-tailed counterpart of the uniform gnm instance, so the
-    // exchange phase is exercised under skewed per-shard load.
+    // exchange phase is exercised under skewed per-shard load (the
+    // cost-balanced partition is what keeps its hubs from piling into
+    // one shard).
     let ba_n = env_usize("BENCH_SIM_BA_N", n / 2);
     let ba_k = env_usize("BENCH_SIM_BA_K", 8);
     let (ba, ba_ms) = time_ms(|| generators::barabasi_albert(ba_n, ba_k, seed));
@@ -304,7 +318,8 @@ fn main() {
     let tail_blob_n = env_usize("BENCH_SIM_TAIL_BLOB_N", 30_000);
     let tail_blob_m = env_usize("BENCH_SIM_TAIL_BLOB_M", 60_000);
     let tail_len = env_usize("BENCH_SIM_TAIL_LEN", 3_000);
-    let (lolli, lolli_ms) = time_ms(|| gnm_lollipop(tail_blob_n, tail_blob_m, tail_len, seed));
+    let (lolli, lolli_ms) =
+        time_ms(|| generators::gnm_lollipop(tail_blob_n, tail_blob_m, tail_len, seed));
     println!(
         "  gnm_lollipop(blob {tail_blob_n}/{tail_blob_m}, tail {tail_len}, {seed}) generated in {lolli_ms:.0} ms ({} edges)",
         lolli.num_edges()
@@ -338,13 +353,19 @@ fn main() {
             .iter()
             .map(|e| format!("{}({}) {:.0} ms", e.engine, e.threads, e.wall_ms))
             .collect();
+        let loads: Vec<String> = w
+            .shard_load
+            .iter()
+            .map(|l| format!("{}", l.total_cost))
+            .collect();
         println!(
-            "  {:>13}: {} rounds, {} msgs, p95 edge {} bits | {} | speedup {:.2}x, identical: {}",
+            "  {:>13}: {} rounds, {} msgs, p95 edge {} bits | {} | shard costs [{}] | speedup {:.2}x, identical: {}",
             w.name,
             w.rounds,
             w.messages,
             w.congestion_p95,
             timings.join(", "),
+            loads.join(", "),
             w.speedup,
             w.identical
         );
@@ -376,22 +397,39 @@ fn main() {
                 "  speedup assertion SKIPPED: {cpus} CPU(s) available for {threads} shard threads"
             );
         } else {
-            // The gate covers the uniform gnm workloads; the pinned
-            // Barabási–Albert instance is recorded for its skewed
-            // per-shard load (hubs concentrate in one contiguous shard),
-            // where near-sequential behavior is expected, not a
-            // regression.
-            let worst = doc
-                .workloads
-                .iter()
-                .filter(|w| w.graph == "connected_gnm")
-                .map(|w| w.speedup)
-                .fold(f64::INFINITY, f64::min);
-            if worst < 1.05 {
-                eprintln!("FAIL: parallel engine not measurably faster (worst speedup {worst:.2}x < 1.05x)");
+            // Per-workload floors at the gate thread count. The
+            // heavy-tailed Barabási–Albert instance is gated too: with
+            // cost-balanced shard boundaries its hubs no longer pile
+            // into one shard, so near-sequential behavior there is a
+            // regression, not an expectation.
+            let floors = [
+                ("floodmax", 1.05),
+                ("aggregate8", 1.5),
+                ("floodmax_ba", 1.2),
+            ];
+            let mut failed = false;
+            for (name, floor) in floors {
+                let w = doc
+                    .workloads
+                    .iter()
+                    .find(|w| w.name == name)
+                    .expect("gated workload present");
+                if w.speedup < floor {
+                    eprintln!(
+                        "FAIL: '{name}' speedup {:.2}x below its {floor:.2}x floor at {threads} threads",
+                        w.speedup
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "  speedup floor passed: '{name}' {:.2}x >= {floor:.2}x",
+                        w.speedup
+                    );
+                }
+            }
+            if failed {
                 std::process::exit(2);
             }
-            println!("  speedup assertion passed (worst {worst:.2}x >= 1.05x)");
         }
 
         // Quiescent-tail gate: active-set scheduling must beat the full

@@ -39,14 +39,61 @@ pub fn env_u64(key: &str, default: u64) -> u64 {
 /// One engine's wall time on one workload.
 #[derive(Clone, Debug)]
 pub struct EngineTiming {
-    /// Engine name: `"sequential"` or `"parallel"`, optionally suffixed
-    /// with the scheduling policy for scheduling-comparison workloads
+    /// Engine name: `"sequential"` or `"parallel"` (prefixed `mpc_` in
+    /// the MPC document), optionally suffixed with the scheduling
+    /// policy for scheduling-comparison workloads
     /// (e.g. `"sequential_active_set"`).
     pub engine: String,
     /// Worker threads used (1 for the sequential engine).
     pub threads: usize,
     /// Best-of-reps wall time in milliseconds.
     pub wall_ms: f64,
+}
+
+/// Load statistics of one contiguous shard under the engine's
+/// cost-balanced partition (actor cost: CSR degree + 1 for CONGEST
+/// vertices, resident words for MPC machines).
+#[derive(Clone, Debug)]
+pub struct ShardLoad {
+    /// First actor id of the shard.
+    pub start: usize,
+    /// One past the last actor id of the shard.
+    pub end: usize,
+    /// Total actor cost of the shard.
+    pub total_cost: u64,
+    /// Smallest single actor cost in the shard.
+    pub min_cost: u64,
+    /// Largest single actor cost in the shard.
+    pub max_cost: u64,
+    /// Mean actor cost of the shard.
+    pub mean_cost: f64,
+}
+
+impl ShardLoad {
+    /// Computes the per-shard load statistics of `costs` under the
+    /// boundary offsets `bounds` (as returned by
+    /// `pga_runtime::balanced_partition`).
+    pub fn from_partition(costs: &[u64], bounds: &[usize]) -> Vec<ShardLoad> {
+        bounds
+            .windows(2)
+            .map(|w| {
+                let shard = &costs[w[0]..w[1]];
+                let total: u64 = shard.iter().sum();
+                ShardLoad {
+                    start: w[0],
+                    end: w[1],
+                    total_cost: total,
+                    min_cost: shard.iter().copied().min().unwrap_or(0),
+                    max_cost: shard.iter().copied().max().unwrap_or(0),
+                    mean_cost: if shard.is_empty() {
+                        0.0
+                    } else {
+                        total as f64 / shard.len() as f64
+                    },
+                }
+            })
+            .collect()
+    }
 }
 
 /// One workload's results across engines.
@@ -73,11 +120,17 @@ pub struct WorkloadRecord {
     /// (`Metrics::congestion_percentile(0.95)`) — the typical busy-round
     /// load, robust to a single bursty round.
     pub congestion_p95: usize,
-    /// Per-engine wall times.
+    /// Per-engine wall times: the sequential reference plus one entry
+    /// per swept parallel thread count (scheduling-policy pairs for the
+    /// quiescent-tail workload).
     pub engines: Vec<EngineTiming>,
-    /// Sequential wall time divided by the best parallel wall time (for
-    /// the scheduling-comparison tail workload: full-sweep wall time
-    /// divided by active-set wall time).
+    /// Per-shard load statistics under the gate thread count's
+    /// cost-balanced partition (empty for workloads that bypass the
+    /// parallel engine).
+    pub shard_load: Vec<ShardLoad>,
+    /// Sequential wall time divided by the gate thread count's parallel
+    /// wall time (for the scheduling-comparison tail workload:
+    /// full-sweep wall time divided by active-set wall time).
     pub speedup: f64,
     /// Whether every engine produced bit-identical outputs and metrics.
     pub identical: bool,
@@ -107,7 +160,13 @@ pub struct WorkloadRecord {
 ///       "congestion_p95": 16,
 ///       "engines": [
 ///         {"engine": "sequential", "threads": 1, "wall_ms": 812.4},
-///         {"engine": "parallel", "threads": 4, "wall_ms": 287.1}
+///         {"engine": "parallel", "threads": 2, "wall_ms": 437.0},
+///         {"engine": "parallel", "threads": 4, "wall_ms": 287.1},
+///         {"engine": "parallel", "threads": 8, "wall_ms": 229.8}
+///       ],
+///       "shard_load": [
+///         {"start": 0, "end": 14923, "total_cost": 135071,
+///          "min_cost": 2, "max_cost": 31, "mean_cost": 9.051}
 ///       ],
 ///       "speedup": 2.83,
 ///       "identical": true
@@ -119,9 +178,15 @@ pub struct WorkloadRecord {
 /// The top-level `n`/`m`/`seed` describe the primary pinned instance;
 /// each workload additionally records the instance it actually ran on
 /// (`bench_sim` pins a second Barabási–Albert instance and a
-/// quiescent-tail "lollipop" instance). For the tail workload the
-/// `engines` entries compare scheduling policies as well as executors
-/// (`sequential_full_sweep`, `sequential_active_set`,
+/// quiescent-tail "lollipop" instance). The `engines` array sweeps the
+/// parallel engine over thread counts {2, 4, 8} next to the sequential
+/// reference, so the document captures a scaling trajectory rather
+/// than a single parallel point; `speedup` compares the sequential
+/// entry against the gate thread count (4 by default). `shard_load`
+/// records the cost-balanced partition the gate thread count uses
+/// (per shard: actor range, total/min/max/mean actor cost). For the
+/// tail workload the `engines` entries compare scheduling policies as
+/// well as executors (`sequential_full_sweep`, `sequential_active_set`,
 /// `parallel_full_sweep`, `parallel_active_set`) and `speedup` is the
 /// sequential full-sweep wall time divided by the sequential active-set
 /// wall time.
@@ -197,6 +262,21 @@ impl SimBench {
                 ));
             }
             s.push_str("      ],\n");
+            s.push_str("      \"shard_load\": [\n");
+            for (li, l) in w.shard_load.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"start\": {}, \"end\": {}, \"total_cost\": {}, \
+                     \"min_cost\": {}, \"max_cost\": {}, \"mean_cost\": {:.3}}}{}\n",
+                    l.start,
+                    l.end,
+                    l.total_cost,
+                    l.min_cost,
+                    l.max_cost,
+                    l.mean_cost,
+                    if li + 1 < w.shard_load.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ],\n");
             s.push_str(&format!("      \"speedup\": {:.3},\n", w.speedup));
             s.push_str(&format!("      \"identical\": {}\n", w.identical));
             s.push_str(&format!(
@@ -260,9 +340,15 @@ pub struct MpcWorkloadRecord {
     pub peak_round_io_words: usize,
     /// Wall time of the reference execution in milliseconds.
     pub wall_ms_reference: f64,
-    /// Wall time of the MPC execution in milliseconds.
+    /// Wall time of the MPC execution on the sequential engine in
+    /// milliseconds (same value as the `mpc_sequential` entry of
+    /// [`MpcWorkloadRecord::engines`], kept for schema continuity).
     pub wall_ms_mpc: f64,
-    /// Whether the MPC execution reproduced the reference bit for bit.
+    /// Per-engine wall times of the MPC execution: `mpc_sequential`
+    /// plus one `mpc_parallel` entry per swept thread count.
+    pub engines: Vec<EngineTiming>,
+    /// Whether the MPC execution reproduced the reference bit for bit
+    /// on every engine.
     pub identical: bool,
 }
 
@@ -337,6 +423,17 @@ impl MpcBench {
                 w.wall_ms_reference
             ));
             s.push_str(&format!("      \"wall_ms_mpc\": {:.3},\n", w.wall_ms_mpc));
+            s.push_str("      \"engines\": [\n");
+            for (ei, e) in w.engines.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+                    json_escape(&e.engine),
+                    e.threads,
+                    e.wall_ms,
+                    if ei + 1 < w.engines.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ],\n");
             s.push_str(&format!("      \"identical\": {}\n", w.identical));
             s.push_str(&format!(
                 "    }}{}\n",
@@ -360,6 +457,46 @@ impl MpcBench {
     pub fn write_json(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+}
+
+/// One engine timing extracted from a serialized bench document:
+/// `(workload, engine, threads, wall_ms)`.
+pub type EngineWall = (String, String, usize, f64);
+
+/// Extracts every `engines[]` timing entry from a `BENCH_sim.json` /
+/// `BENCH_mpc.json` document, tagged with its workload name.
+///
+/// This is a purposely narrow line-oriented reader of the documents
+/// this module itself serializes (the workspace is offline, so no
+/// serde): it keys on the `"name":` line of each workload object and
+/// the one-line `{"engine": …, "threads": …, "wall_ms": …}` entries.
+/// The `bench_regress` binary uses it to diff fresh runs against the
+/// committed snapshots.
+pub fn parse_engine_walls(json: &str) -> Vec<EngineWall> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+    let mut out = Vec::new();
+    let mut workload = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            if let Some(end) = rest.find('"') {
+                workload = rest[..end].to_string();
+            }
+        } else if let Some(rest) = t.strip_prefix("{\"engine\": \"") {
+            let engine = rest.split('"').next().unwrap_or("").to_string();
+            let threads = field(t, "\"threads\": ").and_then(|v| v.parse().ok());
+            let wall_ms = field(t, "\"wall_ms\": ").and_then(|v| v.parse().ok());
+            if let (Some(threads), Some(wall_ms)) = (threads, wall_ms) {
+                out.push((workload.clone(), engine, threads, wall_ms));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -394,6 +531,24 @@ mod tests {
                         wall_ms: 4.2,
                     },
                 ],
+                shard_load: vec![
+                    ShardLoad {
+                        start: 0,
+                        end: 40,
+                        total_cost: 260,
+                        min_cost: 2,
+                        max_cost: 31,
+                        mean_cost: 6.5,
+                    },
+                    ShardLoad {
+                        start: 40,
+                        end: 100,
+                        total_cost: 255,
+                        min_cost: 1,
+                        max_cost: 9,
+                        mean_cost: 4.25,
+                    },
+                ],
                 speedup: 2.5,
                 identical: true,
             }],
@@ -419,6 +574,18 @@ mod tests {
                 peak_round_io_words: 800,
                 wall_ms_reference: 3.5,
                 wall_ms_mpc: 6.25,
+                engines: vec![
+                    EngineTiming {
+                        engine: "mpc_sequential".into(),
+                        threads: 1,
+                        wall_ms: 6.25,
+                    },
+                    EngineTiming {
+                        engine: "mpc_parallel".into(),
+                        threads: 4,
+                        wall_ms: 3.75,
+                    },
+                ],
                 identical: true,
             }],
         }
@@ -436,11 +603,33 @@ mod tests {
             "\"peak_edge_bits\": 16",
             "\"congestion_p95\": 12",
             "\"engine\": \"parallel\", \"threads\": 4",
+            "\"start\": 40, \"end\": 100, \"total_cost\": 255",
+            "\"min_cost\": 2, \"max_cost\": 31, \"mean_cost\": 6.500",
             "\"speedup\": 2.500",
             "\"identical\": true",
         ] {
             assert!(j.contains(needle), "missing {needle} in:\n{j}");
         }
+    }
+
+    #[test]
+    fn parse_engine_walls_roundtrips() {
+        let walls = parse_engine_walls(&sample().to_json());
+        assert_eq!(
+            walls,
+            vec![
+                ("floodmax".into(), "sequential".into(), 1, 10.5),
+                ("floodmax".into(), "parallel".into(), 4, 4.2),
+            ]
+        );
+        let walls = parse_engine_walls(&sample_mpc().to_json());
+        assert_eq!(
+            walls,
+            vec![
+                ("floodmax_adapter".into(), "mpc_sequential".into(), 1, 6.25),
+                ("floodmax_adapter".into(), "mpc_parallel".into(), 4, 3.75),
+            ]
+        );
     }
 
     #[test]
@@ -459,6 +648,7 @@ mod tests {
             "\"peak_round_io_words\": 800",
             "\"wall_ms_reference\": 3.500",
             "\"wall_ms_mpc\": 6.250",
+            "\"engine\": \"mpc_parallel\", \"threads\": 4",
             "\"identical\": true",
         ] {
             assert!(j.contains(needle), "missing {needle} in:\n{j}");
@@ -480,6 +670,22 @@ mod tests {
             assert!(!j.contains(",\n  ]"), "trailing comma:\n{j}");
             assert!(!j.contains(",\n    ]"), "trailing comma:\n{j}");
         }
+    }
+
+    #[test]
+    fn shard_load_from_partition() {
+        let costs = [10u64, 1, 1, 4, 4];
+        let loads = ShardLoad::from_partition(&costs, &[0, 1, 5]);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(
+            (loads[0].start, loads[0].end, loads[0].total_cost),
+            (0, 1, 10)
+        );
+        assert_eq!(
+            (loads[1].min_cost, loads[1].max_cost, loads[1].total_cost),
+            (1, 4, 10)
+        );
+        assert!((loads[1].mean_cost - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -73,6 +73,9 @@ mod sim;
 pub mod primitives;
 
 pub use metrics::Metrics;
+/// Re-exported so engine consumers (benches, tests) can inspect the
+/// cost-balanced shard boundaries the parallel engine draws.
+pub use pga_runtime::balanced_partition;
 pub use sim::{
     check_message, default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report,
     Scheduling, SimError, Simulator, Topology, PARALLEL_MIN_NODES,

@@ -46,21 +46,23 @@ impl Metrics {
         self.congestion_profile.iter().copied().max().unwrap_or(0)
     }
 
-    /// The `q`-th percentile (`0 < q ≤ 1`) of the per-round
+    /// The `q`-th percentile (`0 ≤ q ≤ 1`) of the per-round
     /// [`congestion_profile`](Self::congestion_profile), or 0 for an empty
-    /// profile.
+    /// profile (a zero-round run has no congestion to report).
     ///
     /// Uses the nearest-rank definition: the smallest profile entry `x`
     /// such that at least `q · rounds` rounds peaked at `≤ x` bits. The
-    /// bench harness reports `congestion_percentile(0.95)` next to the
-    /// maximum so a single bursty round cannot masquerade as the typical
-    /// load.
+    /// rank is floored at 1, so `q = 0.0` degenerates to the quietest
+    /// round's peak (the profile minimum) rather than an out-of-range
+    /// rank, and `q = 1.0` is the profile maximum. The bench harness
+    /// reports `congestion_percentile(0.95)` next to the maximum so a
+    /// single bursty round cannot masquerade as the typical load.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is not in `(0, 1]`.
+    /// Panics if `q` is not in `[0, 1]` (NaN included).
     pub fn congestion_percentile(&self, q: f64) -> usize {
-        assert!(q > 0.0 && q <= 1.0, "percentile must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
         if self.congestion_profile.is_empty() {
             return 0;
         }
@@ -131,9 +133,36 @@ mod tests {
     }
 
     #[test]
+    fn congestion_percentile_zero_is_profile_minimum() {
+        let m = Metrics {
+            rounds: 3,
+            messages: 3,
+            bits: 0,
+            max_message_bits: 9,
+            congestion_profile: vec![9, 4, 7],
+        };
+        assert_eq!(m.congestion_percentile(0.0), 4);
+    }
+
+    #[test]
+    fn congestion_percentile_empty_profile_is_zero() {
+        // A zero-round run reports 0 at every percentile, including the
+        // boundary arguments.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(Metrics::default().congestion_percentile(q), 0);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "percentile")]
-    fn congestion_percentile_rejects_zero() {
-        Metrics::default().congestion_percentile(0.0);
+    fn congestion_percentile_rejects_out_of_range() {
+        Metrics::default().congestion_percentile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn congestion_percentile_rejects_nan() {
+        Metrics::default().congestion_percentile(f64::NAN);
     }
 
     #[test]

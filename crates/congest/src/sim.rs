@@ -257,6 +257,10 @@ impl<A: Algorithm> ExecModel for CongestModel<'_, '_, A> {
     type Metrics = Metrics;
     type SendScratch = Vec<NodeId>;
 
+    fn actor_cost(&self, _node: &A, idx: usize) -> u64 {
+        self.sim.vertex_cost(idx)
+    }
+
     fn poll(&self, node: &A, idx: usize, round: usize) -> Poll {
         let ctx = self.sim.ctx(NodeId::from_index(idx), round);
         Poll {
@@ -286,13 +290,21 @@ impl<A: Algorithm> ExecModel for CongestModel<'_, '_, A> {
         let ctx = self.sim.ctx(NodeId::from_index(idx), round);
         let outbox = node.round(&ctx, inbox);
         seen.clear();
+        // Accumulate in locals and fold into the shard profile once per
+        // actor, so the hot loop keeps its counters in registers.
+        let mut messages = 0u64;
+        let mut volume = 0u64;
+        let mut peak = 0usize;
         for (to, msg) in outbox {
             let size = check_message(&ctx, seen, to, &msg)?;
-            acc.messages += 1;
-            acc.volume += size as u64;
-            acc.peak_link = acc.peak_link.max(size);
+            messages += 1;
+            volume += size as u64;
+            peak = peak.max(size);
             sink.deliver(self, to, ctx.id, msg);
         }
+        acc.messages += messages;
+        acc.volume += volume;
+        acc.peak_link = acc.peak_link.max(peak);
         Ok(())
     }
 
@@ -343,6 +355,26 @@ impl<'g> Simulator<'g> {
     pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
         self.scheduling = scheduling;
         self
+    }
+
+    /// The per-vertex cost estimate the sharded engine balances on:
+    /// `degree + 1` (a vertex's per-round message work is proportional
+    /// to its adjacency; the constant covers poll/step overhead).
+    pub fn vertex_cost(&self, idx: usize) -> u64 {
+        self.g.degree(NodeId::from_index(idx)) as u64 + 1
+    }
+
+    /// The contiguous shard boundaries [`Simulator::run_parallel`] will
+    /// use for an explicit `threads` count: the cost-balanced partition
+    /// of [`pga_runtime::balanced_partition`] over
+    /// [`Simulator::vertex_cost`]. Exposed so benches and tests can
+    /// inspect per-shard load; boundaries never affect outputs, only
+    /// wall-clock balance.
+    pub fn shard_boundaries(&self, threads: usize) -> Vec<usize> {
+        let costs: Vec<u64> = (0..self.g.num_nodes())
+            .map(|i| self.vertex_cost(i))
+            .collect();
+        pga_runtime::balanced_partition(&costs, threads)
     }
 
     fn ctx(&self, id: NodeId, round: usize) -> Ctx<'_> {
@@ -397,11 +429,14 @@ impl<'g> Simulator<'g> {
 
     /// Runs `nodes` to completion on the sharded multi-threaded engine.
     ///
-    /// Vertices are partitioned into `threads` contiguous shards driven
-    /// by the shared [`pga_runtime`] kernel; outputs, [`Metrics`]
-    /// (profile included) and errors all match [`Simulator::run`]
-    /// exactly, for every thread count (see [`pga_runtime::run_sharded`]
-    /// for why the shard-order exchange needs no sorting). A model
+    /// Vertices are partitioned into at most `threads` contiguous
+    /// shards with degree-balanced boundaries
+    /// ([`Simulator::shard_boundaries`]) driven by the shared
+    /// [`pga_runtime`] kernel and its counting-sort exchange; outputs,
+    /// [`Metrics`] (profile included) and errors all match
+    /// [`Simulator::run`] exactly, for every thread count (see
+    /// [`pga_runtime::run_sharded`] for why the shard-order scatter
+    /// needs no sorting). A model
     /// violation aborts with the first offending node's error, though
     /// `round` callbacks of higher-id nodes in other shards may already
     /// have executed by then.

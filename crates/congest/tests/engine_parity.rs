@@ -6,7 +6,9 @@
 //! `Simulator` API; the kernel's own unit tests cover it through a toy
 //! model.
 
-use pga_congest::{id_bits, Algorithm, Ctx, Engine, MsgSize, Scheduling, SimError, Simulator};
+use pga_congest::{
+    balanced_partition, id_bits, Algorithm, Ctx, Engine, MsgSize, Scheduling, SimError, Simulator,
+};
 use pga_graph::{generators, NodeId};
 
 #[derive(Clone)]
@@ -251,6 +253,57 @@ fn parallel_matches_sequential_bit_identically() {
             assert_eq!(par.metrics, seq.metrics, "metrics, t={threads}");
         }
     }
+}
+
+#[test]
+fn parallel_matches_sequential_on_heavy_tail_and_lollipop() {
+    // The cost-balanced exchange must stay bit-identical on exactly the
+    // instance families whose skew it exists to balance: heavy-tailed
+    // Barabási–Albert (hubs at the low-id prefix) and the lollipop
+    // (dense blob + degree-2 tail).
+    let graphs = [
+        generators::barabasi_albert(60, 4, 9),
+        generators::gnm_lollipop(24, 60, 16, 5),
+    ];
+    for g in &graphs {
+        let n = g.num_nodes();
+        let seq = Simulator::congest(g)
+            .run((0..n).map(FloodMax::new).collect())
+            .unwrap();
+        for threads in [1, 2, 3, 5, 8] {
+            let par = Simulator::congest(g)
+                .run_parallel((0..n).map(FloodMax::new).collect(), threads)
+                .unwrap();
+            assert_eq!(par.outputs, seq.outputs, "outputs, t={threads}");
+            assert_eq!(par.metrics, seq.metrics, "metrics, t={threads}");
+        }
+    }
+}
+
+#[test]
+fn shard_boundaries_are_a_valid_balanced_partition() {
+    // A star: the hub carries n-1 cost units, every leaf 2. The hub
+    // must sit alone-ish in the first shard and the boundaries must be
+    // a valid contiguous partition.
+    let g = generators::star(33);
+    let sim = Simulator::congest(&g);
+    for threads in [1, 2, 4, 7] {
+        let bounds = sim.shard_boundaries(threads);
+        assert_eq!(*bounds.first().unwrap(), 0, "t={threads}");
+        assert_eq!(*bounds.last().unwrap(), 33, "t={threads}");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "t={threads}");
+        assert!(bounds.len() - 1 <= threads.max(1), "t={threads}");
+    }
+    // At 4 threads the hub's shard must not also hold a proportional
+    // share of the leaves (degree-balanced, not count-balanced).
+    let bounds = sim.shard_boundaries(4);
+    assert!(
+        bounds[1] < 33 / 4,
+        "hub shard too wide: {bounds:?} (expected a short first range)"
+    );
+    // And the re-exported partition function agrees with the simulator.
+    let costs: Vec<u64> = (0..33).map(|i| sim.vertex_cost(i)).collect();
+    assert_eq!(bounds, balanced_partition(&costs, 4));
 }
 
 #[test]

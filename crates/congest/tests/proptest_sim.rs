@@ -16,6 +16,25 @@ fn arb_connected() -> impl Strategy<Value = Graph> {
     })
 }
 
+/// The instance families whose load shapes the cost-balanced exchange
+/// must handle: uniform gnm, heavy-tailed Barabási–Albert, and the
+/// quiescent-tail lollipop.
+fn arb_exchange_instance() -> impl Strategy<Value = Graph> {
+    (4usize..28, any::<u64>(), 0u8..3).prop_map(|(n, seed, family)| match family {
+        0 => {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = (n + seed as usize % (2 * n)).min(n * (n - 1) / 2);
+            generators::connected_gnm(n, m, &mut rng)
+        }
+        1 => generators::barabasi_albert(n, 3.min(n - 1).max(1), seed),
+        _ => {
+            let blob_m = (n + n / 2).min(n * (n - 1) / 2);
+            generators::gnm_lollipop(n, blob_m, 1 + (seed as usize % 12), seed)
+        }
+    })
+}
+
 /// A BFS-layer algorithm: node 0 floods; every node outputs its first
 /// round of contact, which must equal its BFS distance.
 struct Layer {
@@ -222,6 +241,43 @@ proptest! {
             .unwrap();
         prop_assert_eq!(&active.outputs, &full.outputs, "GS outputs, t={}", threads);
         prop_assert_eq!(&active.metrics, &full.metrics, "GS metrics, t={}", threads);
+    }
+
+    /// The cost-balanced shard boundaries are always a valid partition:
+    /// they start at 0, end at n, are strictly increasing (every shard
+    /// non-empty), and never exceed the requested shard count — on every
+    /// instance family and thread count.
+    #[test]
+    fn shard_boundaries_form_valid_partition(
+        g in arb_exchange_instance(),
+        threads in 1usize..12,
+    ) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        let bounds = sim.shard_boundaries(threads);
+        prop_assert_eq!(*bounds.first().unwrap(), 0);
+        prop_assert_eq!(*bounds.last().unwrap(), n);
+        prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{:?}", bounds);
+        prop_assert!(bounds.len() - 1 <= threads.max(1), "{:?}", bounds);
+        // Covering: the per-shard lengths sum to n.
+        let covered: usize = bounds.windows(2).map(|w| w[1] - w[0]).sum();
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Under the counting-sort exchange, `run_parallel` stays
+    /// bit-identical to `run` across thread counts {1, 2, 3, 5, 8} on
+    /// uniform gnm, heavy-tailed Barabási–Albert, and quiescent-tail
+    /// lollipop instances.
+    #[test]
+    fn counting_sort_exchange_bit_identical(g in arb_exchange_instance()) {
+        let n = g.num_nodes();
+        let mk = || (0..n).map(|i| FloodMax::new(NodeId::from_index(i))).collect::<Vec<_>>();
+        let seq = Simulator::congest(&g).run(mk()).unwrap();
+        for threads in [1usize, 2, 3, 5, 8] {
+            let par = Simulator::congest(&g).run_parallel(mk(), threads).unwrap();
+            prop_assert_eq!(&par.outputs, &seq.outputs, "outputs, t={}", threads);
+            prop_assert_eq!(&par.metrics, &seq.metrics, "metrics, t={}", threads);
+        }
     }
 
     /// Messages never exceed the bandwidth, and metrics are consistent.

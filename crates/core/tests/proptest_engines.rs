@@ -26,17 +26,25 @@ use rand::SeedableRng;
 /// The thread counts every entry point is checked at.
 const THREADS: [usize; 5] = [1, 2, 3, 5, 8];
 
-/// Instance families: uniform gnm, heavy-tailed BA, and a disconnected
-/// union of two paths (drives the `PreconditionViolated` error path of
-/// the BFS-tree-based phases).
+/// Instance families: uniform gnm, heavy-tailed BA, a quiescent-tail
+/// lollipop (gnm blob + path tail, the shard-skew shape the
+/// cost-balanced exchange must handle), and a disconnected union of two
+/// paths (drives the `PreconditionViolated` error path of the
+/// BFS-tree-based phases).
 fn arb_instance() -> impl Strategy<Value = Graph> {
-    (6usize..24, any::<u64>(), 0u8..3).prop_map(|(n, seed, family)| match family {
+    (6usize..24, any::<u64>(), 0u8..4).prop_map(|(n, seed, family)| match family {
         0 => {
             let mut rng = StdRng::seed_from_u64(seed);
             let m = (n + seed as usize % (2 * n)).min(n * (n - 1) / 2);
             generators::connected_gnm(n, m, &mut rng)
         }
         1 => generators::barabasi_albert(n, 3.min(n - 1).max(1), seed),
+        2 => {
+            // Lollipop: connected gnm blob with a path tail attached at
+            // the largest id.
+            let blob_m = (n + n / 2).min(n * (n - 1) / 2);
+            generators::gnm_lollipop(n, blob_m, 1 + (seed as usize % 8), seed)
+        }
         _ => {
             // Disconnected: two path components.
             let half = n / 2;

@@ -313,6 +313,42 @@ pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// A "lollipop": a [`connected_gnm`] blob on vertices `0..blob_n` with
+/// a path of `tail` extra vertices attached to blob vertex 0 at the
+/// path's **largest** id (`blob_n + tail - 1`).
+///
+/// Because the global maximum id sits at the attachment point, a
+/// FloodMax-style computation floods the blob within a few rounds and
+/// then crawls down the path one hop per round — the blob is quiescent
+/// for ~`tail` trailing rounds. This is the canonical quiescent-tail /
+/// shard-skew instance family of the engine benches and parity tests.
+///
+/// Takes the seed directly (the instance is pinned by
+/// `(blob_n, blob_m, tail, seed)` alone).
+///
+/// # Panics
+///
+/// Panics like [`connected_gnm`] if `blob_m` cannot connect (or exceed
+/// the simple-graph capacity of) `blob_n` vertices.
+pub fn gnm_lollipop(blob_n: usize, blob_m: usize, tail: usize, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blob = connected_gnm(blob_n, blob_m, &mut rng);
+    let n = blob_n + tail;
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in blob.edges() {
+        b.add_edge(u, v);
+    }
+    for i in blob_n..n.saturating_sub(1) {
+        b.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+    }
+    if tail > 0 {
+        b.add_edge(NodeId::from_index(n - 1), NodeId(0));
+    }
+    b.build()
+}
+
 /// The exact edge count of [`barabasi_albert`]`(n, k, _)`:
 /// `Σ_{v=1}^{n-1} min(k, v)`.
 pub fn barabasi_albert_edge_count(n: usize, k: usize) -> usize {
@@ -541,6 +577,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn barabasi_albert_zero_k_panics() {
         barabasi_albert(5, 0, 1);
+    }
+
+    #[test]
+    fn gnm_lollipop_structure() {
+        let g = gnm_lollipop(20, 40, 7, 11);
+        assert_eq!(g.num_nodes(), 27);
+        // Blob edges + 6 path edges + the attachment edge.
+        assert_eq!(g.num_edges(), 40 + 6 + 1);
+        assert_eq!(connected_components(&g).num_components, 1);
+        // The path's largest id attaches to blob vertex 0.
+        assert!(g.neighbors(NodeId(0)).contains(&NodeId::from_index(26)));
+        // Interior tail vertices are degree 2.
+        assert_eq!(g.degree(NodeId::from_index(22)), 2);
+        // Pinned by the seed alone.
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            gnm_lollipop(20, 40, 7, 11).edges().collect::<Vec<_>>()
+        );
+        // A zero tail degenerates to the blob.
+        assert_eq!(gnm_lollipop(20, 40, 0, 11).num_edges(), 40);
     }
 
     #[test]

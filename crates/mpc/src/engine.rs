@@ -311,6 +311,14 @@ impl From<SimError> for MpcError {
     }
 }
 
+/// The per-machine cost estimate the sharded engine balances on: the
+/// machine's declared resident words (its adjacency, per-vertex state,
+/// and ghost tables dominate its per-round message work), floored at 1
+/// so empty machines still count as actors.
+fn machine_cost<A: Machine>(machine: &A) -> u64 {
+    machine.memory_words().max(1) as u64
+}
+
 /// The per-machine memory budget `S = max(floor, c · n^δ)` in words.
 ///
 /// `δ ∈ (0, 1)` is the low-space exponent (the literature's sublinear
@@ -421,6 +429,10 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
         Ok(())
     }
 
+    fn actor_cost(&self, node: &A, _idx: usize) -> u64 {
+        machine_cost(node)
+    }
+
     fn poll(&self, node: &A, idx: usize, round: usize) -> Poll {
         let ctx = self.ctx(MachineId::from_index(idx), round);
         Poll {
@@ -450,12 +462,18 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
         let ctx = self.ctx(MachineId::from_index(idx), round);
         let outbox = node.round(&ctx, inbox)?;
         *sent = 0;
+        // Accumulate in locals and fold into the shard profile once per
+        // machine, so the hot loop keeps its counters in registers.
+        let mut messages = 0u64;
+        let mut volume = 0u64;
         for (to, msg) in outbox {
             let w = self.charge_message(&ctx, to, &msg, sent)?;
-            acc.messages += 1;
-            acc.volume += w as u64;
+            messages += 1;
+            volume += w as u64;
             sink.deliver(self, to, ctx.id, msg);
         }
+        acc.messages += messages;
+        acc.volume += volume;
         acc.peak_actor_out = acc.peak_actor_out.max(*sent);
         let used = self.check_memory(node, ctx.id, round)?;
         acc.peak_state = acc.peak_state.max(used);
@@ -528,6 +546,17 @@ impl MpcSimulator {
     /// The per-machine memory budget `S` in words.
     pub fn memory_words(&self) -> usize {
         self.memory_words
+    }
+
+    /// The contiguous shard boundaries [`MpcSimulator::run_parallel`]
+    /// will use for an explicit `threads` count: the cost-balanced
+    /// partition of [`pga_runtime::balanced_partition`] over each
+    /// machine's declared resident words. Exposed so benches and tests
+    /// can inspect per-shard load; boundaries never affect outputs,
+    /// only wall-clock balance.
+    pub fn shard_boundaries<A: Machine>(&self, machines: &[A], threads: usize) -> Vec<usize> {
+        let costs: Vec<u64> = machines.iter().map(machine_cost).collect();
+        pga_runtime::balanced_partition(&costs, threads)
     }
 
     fn kernel_config(&self) -> KernelConfig {

@@ -89,13 +89,59 @@ fn ring_completes_and_counts() {
 #[test]
 fn parallel_matches_sequential_bit_identically() {
     let seq = MpcSimulator::new(64).run(ring(16, 3)).unwrap();
-    for threads in [2, 3, 4, 8] {
+    for threads in [1, 2, 3, 5, 8] {
         let par = MpcSimulator::new(64)
             .run_parallel(ring(16, 3), threads)
             .unwrap();
         assert_eq!(par.outputs, seq.outputs, "t={threads}");
         assert_eq!(par.metrics, seq.metrics, "t={threads}");
     }
+}
+
+/// A ring whose machines declare wildly skewed memory footprints: the
+/// balanced partition then draws uneven shard boundaries (heavy
+/// machines get short ranges), which must not be observable in outputs,
+/// metrics, or errors.
+fn skewed_ring(m: usize, laps: usize) -> Vec<Ring> {
+    (0..m)
+        .map(|i| Ring {
+            laps,
+            seen: 0,
+            done: false,
+            // One dominant machine plus a geometric-ish tail, all within
+            // the budget of 64 words.
+            mem: if i == 0 { 60 } else { 1 + (i % 7) },
+        })
+        .collect()
+}
+
+#[test]
+fn cost_balanced_sharding_stays_bit_identical() {
+    let seq = MpcSimulator::new(64).run(skewed_ring(16, 3)).unwrap();
+    for threads in [1, 2, 3, 5, 8] {
+        let par = MpcSimulator::new(64)
+            .run_parallel(skewed_ring(16, 3), threads)
+            .unwrap();
+        assert_eq!(par.outputs, seq.outputs, "t={threads}");
+        assert_eq!(par.metrics, seq.metrics, "t={threads}");
+    }
+}
+
+#[test]
+fn shard_boundaries_balance_resident_words() {
+    let sim = MpcSimulator::new(64);
+    let machines = skewed_ring(16, 1);
+    for threads in [1, 2, 4, 7] {
+        let bounds = sim.shard_boundaries(&machines, threads);
+        assert_eq!(*bounds.first().unwrap(), 0, "t={threads}");
+        assert_eq!(*bounds.last().unwrap(), 16, "t={threads}");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "t={threads}");
+        assert!(bounds.len() - 1 <= threads.max(1), "t={threads}");
+    }
+    // Machine 0 declares 60 of the ~120 total words, so at 4 threads it
+    // must not share its shard with a proportional slice of the ring.
+    let bounds = sim.shard_boundaries(&machines, 4);
+    assert!(bounds[1] <= 2, "heavy machine's shard too wide: {bounds:?}");
 }
 
 #[test]

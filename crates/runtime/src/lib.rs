@@ -11,16 +11,63 @@
 //! [`run_sequential`] and the sharded multi-threaded [`run_sharded`]),
 //! parameterized by an [`ExecModel`] that supplies only the pieces that
 //! actually differ between models: per-message validation and charging,
-//! metrics accumulation, the error type, and addressing.
+//! metrics accumulation, the error type, addressing, and the per-actor
+//! cost estimate that drives load-balanced sharding.
+//!
+//! # The message plane: counting-sort exchange and flat inbox arenas
+//!
+//! The sharded executor's exchange is a two-pass counting sort, in the
+//! flat-array/prefix-sum style of bulk-synchronous graph engines:
+//!
+//! 1. **Stage (columnar lanes)** — while a worker steps its shard's
+//!    actors, every validated outgoing message is appended to the *lane*
+//!    for its destination shard: destination indices in one array,
+//!    `(sender, payload)` pairs in a parallel array. Appends are strictly
+//!    sequential, so staging never touches per-actor buffers.
+//! 2. **Group (per-lane counting sort)** — still on the sending worker,
+//!    each lane is stable-sorted by destination actor: count messages
+//!    per destination, prefix-sum the counts into CSR offsets, and apply
+//!    the resulting permutation in place (cycle-walking swaps — moves
+//!    only, no clones, no unsafe).
+//! 3. **Scatter (flat inbox arena)** — one worker per *destination*
+//!    shard concatenates its incoming lanes into the shard's reusable
+//!    flat inbox arena: for every destination actor, in ascending
+//!    sender-shard order, the lane's pre-grouped range is drained into
+//!    the arena, and the actor's inbox becomes a CSR slice
+//!    `arena[offs[v]..offs[v + 1]]`. No per-actor `Vec` is ever pushed;
+//!    each round reuses the same arena allocation.
+//!
+//! **Determinism.** Within one destination's inbox the delivery order is
+//! (sender shard ascending, then outbox order within the shard). Shards
+//! cover ascending contiguous id ranges and each worker visits its
+//! actors in id order, so that order is exactly ascending sender id then
+//! outbox order — the same order the sequential executor produces —
+//! which keeps every engine bit-identical without any comparison sort.
+//!
+//! # Load-balanced sharding
+//!
+//! Actors are partitioned into contiguous shards by
+//! [`balanced_partition`], which draws boundaries on the prefix sums of
+//! the model's per-actor cost estimate ([`ExecModel::actor_cost`]:
+//! adjacency degree for CONGEST vertices, resident words for MPC
+//! machines). Uniform `n / threads` ranges skew badly on heavy-tailed
+//! (Barabási–Albert-style) instances where the hubs concentrate in one
+//! shard; cost-balanced boundaries equalize expected per-shard message
+//! work instead of actor counts. Any contiguous partition preserves
+//! bit-identity (see above), so balancing is purely a performance
+//! choice.
 //!
 //! # Performance: arenas and quiescence
 //!
-//! The kernel is also where the engines' shared hot loop is tuned:
-//!
-//! * **Arena-backed message staging** — inbox buffers are owned by the
-//!   kernel and reused across rounds (swap-and-clear), so steady-state
-//!   rounds perform no per-actor buffer allocation. The sharded
-//!   executor likewise reuses its per-shard exchange buckets.
+//! * **Arena-backed message staging** — inbox storage is owned by the
+//!   kernel and reused across rounds (the sequential executor swaps
+//!   per-actor buffers; the sharded executor reuses its lanes and flat
+//!   inbox arenas), so steady-state rounds perform no per-actor buffer
+//!   allocation.
+//! * **Batched round accounting** — each worker accumulates one
+//!   [`RoundProfile`] for its whole shard and the kernel folds the
+//!   shard profiles once per round (in shard order), instead of
+//!   touching shared metrics per message.
 //! * **Quiescence-aware scheduling** — under the default
 //!   [`Scheduling::ActiveSet`] policy a round only invokes the `round`
 //!   callback of actors that received a message or are not yet
@@ -107,12 +154,13 @@ pub struct KernelConfig {
 
 /// One round's merged accounting, shared by both models.
 ///
-/// The kernel accumulates one `RoundProfile` per round (per shard, then
-/// merged in shard order) and hands it to [`ExecModel::end_round`]; the
-/// model maps the fields onto its own metrics type. Field semantics are
-/// model-defined: CONGEST charges bits and tracks the largest single
-/// message per round, MPC charges words and tracks per-machine send
-/// volume and declared memory.
+/// Each executor accumulates one `RoundProfile` per shard (the
+/// sequential executor is a single shard), folds the shard profiles in
+/// shard order once per round, and hands the merge to
+/// [`ExecModel::end_round`]; the model maps the fields onto its own
+/// metrics type. Field semantics are model-defined: CONGEST charges bits
+/// and tracks the largest single message per round, MPC charges words
+/// and tracks per-machine send volume and declared memory.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundProfile {
     /// Messages sent this round.
@@ -156,9 +204,10 @@ pub struct Poll {
 /// Where [`ExecModel::step`] stages validated outgoing messages.
 ///
 /// The kernel provides the implementations: a direct-delivery sink for
-/// the sequential executor and a bucketing sink for the sharded one.
-/// `step` must call [`MsgSink::deliver`] once per validated message, in
-/// outbox order, *after* the message passed the model's checks.
+/// the sequential executor and a columnar lane-staging sink for the
+/// sharded one. `step` must call [`MsgSink::deliver`] once per validated
+/// message, in outbox order, *after* the message passed the model's
+/// checks.
 pub trait MsgSink<M: ExecModel + ?Sized> {
     /// Stages `msg` from `from` for delivery to `to` next round.
     fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg);
@@ -206,6 +255,18 @@ pub trait ExecModel: Sync {
         _metrics: &mut Self::Metrics,
     ) -> Result<(), Self::Error> {
         Ok(())
+    }
+
+    /// The actor's relative per-round cost estimate, consulted once per
+    /// run by [`run_sharded`] to draw cost-balanced contiguous shard
+    /// boundaries (see [`balanced_partition`]).
+    ///
+    /// CONGEST charges a vertex its adjacency degree (message work is
+    /// degree-proportional); MPC charges a machine its resident words.
+    /// The estimate only steers load balancing — any value keeps the
+    /// executors bit-identical. The default is uniform cost.
+    fn actor_cost(&self, _node: &Self::Node, _idx: usize) -> u64 {
+        1
     }
 
     /// Reports the actor's termination and skippability at `round`.
@@ -278,17 +339,55 @@ pub struct Run<O, M> {
     pub metrics: M,
 }
 
-/// Inbox buffers: one `Vec<(from, msg)>` per actor, reused across
-/// rounds.
-type Inboxes<M> = Vec<Vec<(<M as ExecModel>::Id, <M as ExecModel>::Msg)>>;
+/// Splits `costs.len()` actors into at most `shards` contiguous,
+/// non-empty ranges whose total costs are as even as a prefix walk
+/// allows, and returns the boundary offsets
+/// `0 = b_0 < b_1 < … < b_k = n` (so shard `j` covers `b_j..b_{j+1}`).
+///
+/// Boundary `j` is the smallest index whose cost prefix reaches the
+/// ideal share `j / k` of the total, clamped so every shard keeps at
+/// least one actor. With uniform costs this reproduces even
+/// `n / shards` ranges; with skewed costs (heavy-tail degree
+/// distributions) the hub-carrying prefix is cut short so no shard
+/// inherits a disproportionate share of the message work.
+///
+/// The function is deterministic and pure, and [`run_sharded`] preserves
+/// bit-identity for *any* contiguous partition — boundaries only affect
+/// wall-clock balance. Public so benches and tests can inspect the
+/// boundaries the engines will use.
+pub fn balanced_partition(costs: &[u64], shards: usize) -> Vec<usize> {
+    let n = costs.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let k = shards.clamp(1, n);
+    let mut prefix: Vec<u128> = Vec::with_capacity(n + 1);
+    let mut acc: u128 = 0;
+    prefix.push(0);
+    for &c in costs {
+        acc += u128::from(c);
+        prefix.push(acc);
+    }
+    let total = acc;
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    for j in 1..k {
+        // Smallest b with prefix[b] ≥ total · j / k (rounded up), kept
+        // strictly increasing and leaving ≥ 1 actor per remaining shard.
+        let target = (total * j as u128).div_ceil(k as u128);
+        let b = prefix
+            .partition_point(|&p| p < target)
+            .clamp(j, n - (k - j))
+            .max(bounds[j - 1] + 1);
+        bounds.push(b);
+    }
+    bounds.push(n);
+    bounds
+}
 
-/// One exchange bucket of the sharded executor: `(to, from, msg)`
-/// triples destined for one shard.
-type Bucket<M> = Vec<(
-    <M as ExecModel>::Id,
-    <M as ExecModel>::Id,
-    <M as ExecModel>::Msg,
-)>;
+/// Inbox buffers of the sequential executor: one `Vec<(from, msg)>` per
+/// actor, reused across rounds.
+type Inboxes<M> = Vec<Vec<(<M as ExecModel>::Id, <M as ExecModel>::Msg)>>;
 
 /// The direct-delivery sink of the sequential executor: messages go
 /// straight into the staging inboxes (and the receive tally).
@@ -307,26 +406,192 @@ impl<M: ExecModel> MsgSink<M> for DirectSink<'_, M> {
     }
 }
 
-/// The bucketing sink of the sharded executor: messages are routed to
-/// per-destination-shard buckets as `(to, from, msg)` and merged into
-/// the staging inboxes in shard order afterwards.
-struct BucketSink<'a, M: ExecModel> {
-    buckets: &'a mut [Bucket<M>],
-    shard_size: usize,
+/// The fixed shard layout of one sharded run: boundary offsets plus the
+/// actor → shard map the staging sink uses for O(1) lane routing.
+struct ShardMeta {
+    /// Boundary offsets from [`balanced_partition`] (`starts.len() - 1`
+    /// shards; shard `j` covers `starts[j]..starts[j + 1]`).
+    starts: Vec<usize>,
+    /// Destination shard of every actor index.
+    shard_of: Vec<u32>,
 }
 
-impl<M: ExecModel> MsgSink<M> for BucketSink<'_, M> {
+impl ShardMeta {
+    fn new(starts: Vec<usize>) -> Self {
+        let n = *starts.last().unwrap();
+        let mut shard_of = vec![0u32; n];
+        for (j, w) in starts.windows(2).enumerate() {
+            shard_of[w[0]..w[1]].fill(j as u32);
+        }
+        ShardMeta { starts, shard_of }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn len_of(&self, j: usize) -> usize {
+        self.starts[j + 1] - self.starts[j]
+    }
+}
+
+/// One sender shard's columnar staging for one destination shard:
+/// destination indices and `(sender, payload)` pairs in parallel
+/// arrays, appended in outbox order and counting-sorted by destination
+/// before the scatter. All three buffers are reused across rounds.
+struct Lane<M: ExecModel> {
+    /// Shard-local destination index of each staged message.
+    to: Vec<u32>,
+    /// `(sender, payload)` of each staged message, parallel to `to`.
+    pay: Vec<(M::Id, M::Msg)>,
+    /// After grouping: CSR offsets into `pay` per local destination
+    /// (`dest_len + 1` entries). Only meaningful while `pay` is
+    /// non-empty.
+    offs: Vec<u32>,
+}
+
+impl<M: ExecModel> Lane<M> {
+    fn new() -> Self {
+        Lane {
+            to: Vec::new(),
+            pay: Vec::new(),
+            offs: Vec::new(),
+        }
+    }
+}
+
+/// One destination shard's flat inbox arena: every message delivered to
+/// the shard, grouped by destination actor, plus CSR offsets — actor
+/// `local` reads `data[offs[local]..offs[local + 1]]`. Reused across
+/// rounds; `dirty` tracks whether a previous round left content that a
+/// quiet round must clear.
+struct Arena<M: ExecModel> {
+    data: Vec<(M::Id, M::Msg)>,
+    offs: Vec<usize>,
+    dirty: bool,
+}
+
+impl<M: ExecModel> Arena<M> {
+    fn new(len: usize) -> Self {
+        Arena {
+            data: Vec::new(),
+            offs: vec![0; len + 1],
+            dirty: false,
+        }
+    }
+
+    #[inline]
+    fn slice(&self, local: usize) -> &[(M::Id, M::Msg)] {
+        &self.data[self.offs[local]..self.offs[local + 1]]
+    }
+
+    #[inline]
+    fn has_mail(&self, local: usize) -> bool {
+        self.offs[local + 1] > self.offs[local]
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.offs.fill(0);
+        self.dirty = false;
+    }
+}
+
+/// The lane-staging sink of the sharded executor: messages are appended
+/// to the columnar lane of their destination shard.
+struct LaneSink<'a, M: ExecModel> {
+    lanes: &'a mut [Lane<M>],
+    starts: &'a [usize],
+    shard_of: &'a [u32],
+}
+
+impl<M: ExecModel> MsgSink<M> for LaneSink<'_, M> {
     #[inline]
     fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
-        self.buckets[to.index() / self.shard_size].push((to, from, msg));
+        let j = self.shard_of[to.index()] as usize;
+        let lane = &mut self.lanes[j];
+        lane.to.push((to.index() - self.starts[j]) as u32);
+        lane.pay.push((from, msg));
     }
+}
+
+/// Reusable per-worker scratch: the model's validation scratch plus the
+/// counting-sort arrays of the lane-grouping pass.
+struct WorkerScratch<M: ExecModel> {
+    send: M::SendScratch,
+    /// Per-destination counters, then running cursors (counting sort
+    /// pass 1); sized to the largest destination shard.
+    counts: Vec<u32>,
+    /// Final position of each staged message (counting sort pass 2).
+    pos: Vec<u32>,
+}
+
+impl<M: ExecModel> WorkerScratch<M> {
+    fn new() -> Self {
+        WorkerScratch {
+            send: M::SendScratch::default(),
+            counts: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+}
+
+/// Stable counting sort of one lane by destination: fills `lane.offs`
+/// with the per-destination CSR offsets and permutes `lane.pay` into
+/// destination-grouped order in place (cycle-walking swaps; stability
+/// follows from assigning positions in scan order).
+fn group_lane_by_destination<M: ExecModel>(
+    lane: &mut Lane<M>,
+    dest_len: usize,
+    counts: &mut Vec<u32>,
+    pos: &mut Vec<u32>,
+) {
+    if counts.len() < dest_len {
+        counts.resize(dest_len, 0);
+    }
+    let counts = &mut counts[..dest_len];
+    counts.fill(0);
+    for &t in &lane.to {
+        counts[t as usize] += 1;
+    }
+    // Prefix-sum the counts into CSR offsets, leaving `counts` holding
+    // each destination's running write cursor.
+    lane.offs.clear();
+    lane.offs.reserve(dest_len + 1);
+    lane.offs.push(0);
+    let mut run = 0u32;
+    for c in counts.iter_mut() {
+        let start = run;
+        run += *c;
+        *c = start;
+        lane.offs.push(run);
+    }
+    // Final slot of each message, assigned in scan order (stable).
+    pos.clear();
+    pos.extend(lane.to.iter().map(|&t| {
+        let p = counts[t as usize];
+        counts[t as usize] += 1;
+        p
+    }));
+    // Apply the permutation in place: ≤ len swaps, moves only.
+    let pay = &mut lane.pay[..];
+    for i in 0..pay.len() {
+        while pos[i] as usize != i {
+            let j = pos[i] as usize;
+            pay.swap(i, j);
+            pos.swap(i, j);
+        }
+    }
+    lane.to.clear();
 }
 
 /// The per-round sweep: polls every actor, refreshes the activity mask,
 /// and reports global termination. Runs on the driving thread in both
 /// executors — it is allocation-free and branch-cheap, so even with the
 /// active-set policy the termination semantics stay exactly those of
-/// the classic loop.
+/// the classic loop. `has_mail` reports whether the actor's inbox for
+/// this round is non-empty (per-actor buffers in the sequential
+/// executor, arena CSR offsets in the sharded one).
 ///
 /// Under [`Scheduling::ActiveSet`] the sweep additionally maintains a
 /// *dormancy* cache: an actor observed done **and** skippable with an
@@ -338,7 +603,7 @@ impl<M: ExecModel> MsgSink<M> for BucketSink<'_, M> {
 fn sweep<M: ExecModel>(
     model: &M,
     nodes: &[M::Node],
-    inboxes: &Inboxes<M>,
+    has_mail: impl Fn(usize) -> bool,
     round: usize,
     scheduling: Scheduling,
     active: &mut [bool],
@@ -347,7 +612,7 @@ fn sweep<M: ExecModel>(
     let mut all_done = true;
     let mut in_flight = false;
     for (i, node) in nodes.iter().enumerate() {
-        let has_mail = !inboxes[i].is_empty();
+        let has_mail = has_mail(i);
         if dormant[i] && !has_mail {
             // Frozen, done, and still unmailed: counts as done without
             // a fresh poll.
@@ -409,7 +674,7 @@ pub fn run_sequential<M: ExecModel>(
         if sweep(
             model,
             &nodes,
-            &inboxes,
+            |i| !inboxes[i].is_empty(),
             round,
             cfg.scheduling,
             &mut active,
@@ -461,53 +726,126 @@ pub fn run_sequential<M: ExecModel>(
     })
 }
 
-/// Executes one round for the shard whose first actor is `base`,
-/// bucketing outgoing messages by destination shard.
+/// Splits `slice` into the contiguous chunks delimited by `bounds`
+/// (boundary offsets as produced by [`balanced_partition`]).
+fn split_by_bounds<'a, T>(mut slice: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+    for w in bounds.windows(2) {
+        let (head, tail) = slice.split_at_mut(w[1] - w[0]);
+        out.push(head);
+        slice = tail;
+    }
+    out
+}
+
+/// Executes one round for the shard whose first actor is `base`:
+/// steps every active actor against its arena inbox slice, stages
+/// outgoing messages into the shard's columnar lanes, and
+/// counting-sorts each lane by destination so the scatter phase can
+/// drain it sequentially.
 #[allow(clippy::too_many_arguments)]
 fn run_shard_round<M: ExecModel>(
     model: &M,
     base: usize,
     shard_nodes: &mut [M::Node],
-    shard_inboxes: &mut [Vec<(M::Id, M::Msg)>],
+    arena: &Arena<M>,
     shard_active: &[bool],
-    buckets: &mut [Bucket<M>],
-    scratch: &mut M::SendScratch,
+    lanes: &mut [Lane<M>],
+    meta: &ShardMeta,
+    scratch: &mut WorkerScratch<M>,
     round: usize,
-    shard_size: usize,
 ) -> Result<RoundProfile, M::Error> {
     let mut acc = RoundProfile::default();
-    let mut sink = BucketSink::<M> {
-        buckets,
-        shard_size,
-    };
-    for (k, node) in shard_nodes.iter_mut().enumerate() {
-        if !shard_active[k] {
-            continue;
+    {
+        let mut sink = LaneSink::<M> {
+            lanes,
+            starts: &meta.starts,
+            shard_of: &meta.shard_of,
+        };
+        for (k, node) in shard_nodes.iter_mut().enumerate() {
+            if !shard_active[k] {
+                continue;
+            }
+            model.step(
+                node,
+                base + k,
+                round,
+                arena.slice(k),
+                &mut scratch.send,
+                &mut acc,
+                &mut sink,
+            )?;
         }
-        model.step(
-            node,
-            base + k,
-            round,
-            &shard_inboxes[k],
-            scratch,
-            &mut acc,
-            &mut sink,
-        )?;
-        shard_inboxes[k].clear();
+    }
+    for (j, lane) in lanes.iter_mut().enumerate() {
+        if !lane.pay.is_empty() {
+            group_lane_by_destination(lane, meta.len_of(j), &mut scratch.counts, &mut scratch.pos);
+        }
     }
     Ok(acc)
 }
 
+/// Scatter phase for one destination shard: rebuilds the shard's flat
+/// inbox arena from its incoming (pre-grouped) lanes. For every
+/// destination actor, lanes are drained in ascending sender-shard
+/// order, so each inbox ends up sorted exactly as the sequential
+/// executor delivers. Also accumulates the receive tally when the model
+/// tracks it.
+/// One incoming lane viewed by the scatter: its CSR offsets and a
+/// draining cursor over its pre-grouped payloads.
+type LanePart<'a, M> = (
+    &'a [u32],
+    std::vec::Drain<'a, (<M as ExecModel>::Id, <M as ExecModel>::Msg)>,
+);
+
+fn merge_shard<M: ExecModel>(
+    model: &M,
+    arena: &mut Arena<M>,
+    column: Vec<&mut Lane<M>>,
+    shard_len: usize,
+    mut recv_dst: Option<&mut [usize]>,
+) {
+    arena.data.clear();
+    // Split each incoming lane into its CSR offsets and a draining
+    // cursor over the pre-grouped payloads (disjoint fields of the same
+    // lane, so the borrows coexist).
+    let mut parts: Vec<LanePart<'_, M>> = column
+        .into_iter()
+        .filter(|lane| !lane.pay.is_empty())
+        .map(|lane| (&lane.offs[..], lane.pay.drain(..)))
+        .collect();
+    for local in 0..shard_len {
+        arena.offs[local] = arena.data.len();
+        for (offs, drain) in parts.iter_mut() {
+            let cnt = (offs[local + 1] - offs[local]) as usize;
+            for _ in 0..cnt {
+                let (from, msg) = drain.next().expect("lane CSR covers its payloads");
+                if let Some(recv) = recv_dst.as_deref_mut() {
+                    recv[local] += model.recv_charge(&msg);
+                }
+                arena.data.push((from, msg));
+            }
+        }
+    }
+    arena.offs[shard_len] = arena.data.len();
+    arena.dirty = true;
+}
+
 /// Runs `nodes` to completion on the sharded multi-threaded executor.
 ///
-/// Actors are partitioned into `threads` contiguous shards; every round
-/// each shard executes its actors' `round` callbacks on its own worker
-/// thread into per-shard outboxes bucketed by destination shard, then
-/// the buckets are drained into the (reused) staging inboxes in shard
-/// order. Because shards cover ascending id ranges and each shard
-/// visits its actors in id order, the concatenation is already sorted
-/// by sender — next round's inboxes are **bit-identical** to the
-/// sequential executor's without any sorting, for every thread count.
+/// Actors are partitioned into at most `threads` contiguous shards with
+/// cost-balanced boundaries ([`balanced_partition`] over
+/// [`ExecModel::actor_cost`]); every round each shard executes its
+/// actors' `round` callbacks on its own worker thread, staging outgoing
+/// messages into columnar per-destination-shard lanes, and the exchange
+/// counting-sorts and scatters the lanes into per-shard flat inbox
+/// arenas (see the crate docs for the two-pass layout). Because shards
+/// cover ascending id ranges, each shard visits its actors in id order,
+/// and the scatter drains sender shards in ascending order per
+/// destination, every inbox is delivered in exactly the sequential
+/// executor's order — **bit-identical** outputs, metrics, and errors at
+/// every thread count, without any sorting.
+///
 /// A model violation aborts with the lowest-indexed shard's error,
 /// which is the lowest-indexed actor's error, matching the sequential
 /// executor (though `round` callbacks of higher-id actors in other
@@ -537,14 +875,20 @@ where
     if threads <= 1 || n < 2 * threads {
         return run_sequential(model, nodes, cfg);
     }
-    let shard_size = n.div_ceil(threads);
-    let num_shards = n.div_ceil(shard_size);
+    let costs: Vec<u64> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| model.actor_cost(node, i))
+        .collect();
+    let meta = ShardMeta::new(balanced_partition(&costs, threads));
+    let num_shards = meta.num_shards();
+    if num_shards <= 1 {
+        return run_sequential(model, nodes, cfg);
+    }
 
     let mut metrics = M::Metrics::default();
     model.pre_run(&nodes, &mut metrics)?;
 
-    let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-    let mut staging: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
     let mut recv: Vec<usize> = if M::TRACK_RECV {
         vec![0; n]
     } else {
@@ -552,20 +896,26 @@ where
     };
     let mut active = vec![true; n];
     let mut dormant = vec![false; n];
-    // Per-shard arenas, reused across rounds: exchange buckets (one row
-    // of `num_shards` buckets per sending shard) and validation scratch.
-    let mut bucket_rows: Vec<Vec<Bucket<M>>> = (0..num_shards)
-        .map(|_| (0..num_shards).map(|_| Vec::new()).collect())
+    // Per-shard state, all reused across rounds: flat inbox arenas, one
+    // row of outgoing lanes per sending shard, and worker scratch.
+    let mut arenas: Vec<Arena<M>> = (0..num_shards)
+        .map(|j| Arena::new(meta.len_of(j)))
         .collect();
-    let mut scratches: Vec<M::SendScratch> =
-        (0..num_shards).map(|_| M::SendScratch::default()).collect();
+    let mut lane_rows: Vec<Vec<Lane<M>>> = (0..num_shards)
+        .map(|_| (0..num_shards).map(|_| Lane::new()).collect())
+        .collect();
+    let mut scratches: Vec<WorkerScratch<M>> =
+        (0..num_shards).map(|_| WorkerScratch::new()).collect();
     let mut round = 0;
 
     loop {
         if sweep(
             model,
             &nodes,
-            &inboxes,
+            |i| {
+                let j = meta.shard_of[i] as usize;
+                arenas[j].has_mail(i - meta.starts[j])
+            },
             round,
             cfg.scheduling,
             &mut active,
@@ -577,43 +927,45 @@ where
             return Err(model.round_limit_error(cfg.max_rounds));
         }
 
-        // Phase A: every shard with at least one active actor runs its
-        // actors for this round on a worker thread.
-        let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = nodes
-                .chunks_mut(shard_size)
-                .zip(inboxes.chunks_mut(shard_size))
-                .zip(bucket_rows.iter_mut())
-                .zip(scratches.iter_mut())
-                .zip(active.chunks(shard_size))
-                .enumerate()
-                .map(
-                    |(si, ((((shard_nodes, shard_inboxes), buckets), scratch), act))| {
+        // Phase A: every shard with at least one active actor steps its
+        // actors on a worker thread and pre-groups its outgoing lanes.
+        let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = {
+            let meta = &meta;
+            let active = &active;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = split_by_bounds(&mut nodes, &meta.starts)
+                    .into_iter()
+                    .zip(arenas.iter_mut())
+                    .zip(lane_rows.iter_mut())
+                    .zip(scratches.iter_mut())
+                    .enumerate()
+                    .map(|(si, (((shard_nodes, arena), lanes), scratch))| {
+                        let act = &active[meta.starts[si]..meta.starts[si + 1]];
                         if act.iter().any(|&a| a) {
                             Some(s.spawn(move || {
                                 run_shard_round(
                                     model,
-                                    si * shard_size,
+                                    meta.starts[si],
                                     shard_nodes,
-                                    shard_inboxes,
+                                    arena,
                                     act,
-                                    buckets,
+                                    lanes,
+                                    meta,
                                     scratch,
                                     round,
-                                    shard_size,
                                 )
                             }))
                         } else {
                             None
                         }
-                    },
-                )
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))))
-                .collect()
-        });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))))
+                    .collect()
+            })
+        };
 
         // The lowest-indexed shard's error is the lowest-indexed
         // actor's error, exactly like the sequential executor.
@@ -622,51 +974,43 @@ where
             acc.merge(&r?);
         }
 
-        // Phase B: drain the buckets into the staging arenas, one
-        // worker per destination shard, visiting sender shards in
-        // ascending order so every inbox stays sorted by sender. The
-        // gate is executor-owned (bucket emptiness), so it cannot drift
-        // from whatever the model chooses to count in `acc.messages`.
-        let staged_any = bucket_rows
-            .iter()
-            .any(|row| row.iter().any(|b| !b.is_empty()));
-        if staged_any {
-            let mut columns: Vec<Vec<&mut Bucket<M>>> = (0..num_shards)
+        // Phase B: scatter the lanes into the destination arenas, one
+        // worker per destination shard with incoming mail; quiet shards
+        // only clear leftover content. The gate is executor-owned (lane
+        // emptiness), so it cannot drift from whatever the model counts
+        // in `acc.messages`.
+        let mut incoming = vec![false; num_shards];
+        for row in &lane_rows {
+            for (j, lane) in row.iter().enumerate() {
+                incoming[j] |= !lane.pay.is_empty();
+            }
+        }
+        if incoming.iter().any(|&b| b) || arenas.iter().any(|a| a.dirty) {
+            let mut columns: Vec<Vec<&mut Lane<M>>> = (0..num_shards)
                 .map(|_| Vec::with_capacity(num_shards))
                 .collect();
-            for row in bucket_rows.iter_mut() {
-                for (j, bucket) in row.iter_mut().enumerate() {
-                    columns[j].push(bucket);
+            for row in lane_rows.iter_mut() {
+                for (j, lane) in row.iter_mut().enumerate() {
+                    columns[j].push(lane);
                 }
             }
             let recv_chunks: Vec<&mut [usize]> = if M::TRACK_RECV {
-                recv.chunks_mut(shard_size).collect()
+                split_by_bounds(&mut recv, &meta.starts)
             } else {
                 Vec::new()
             };
             std::thread::scope(|s| {
-                let mut recv_chunks = recv_chunks;
-                for (j, (column, dst)) in columns
-                    .into_iter()
-                    .zip(staging.chunks_mut(shard_size))
-                    .enumerate()
-                {
-                    let mut recv_dst = if M::TRACK_RECV {
-                        Some(recv_chunks.remove(0))
-                    } else {
-                        None
-                    };
-                    s.spawn(move || {
-                        let base = j * shard_size;
-                        for bucket in column {
-                            for (to, from, msg) in bucket.drain(..) {
-                                if let Some(recv_dst) = recv_dst.as_deref_mut() {
-                                    recv_dst[to.index() - base] += model.recv_charge(&msg);
-                                }
-                                dst[to.index() - base].push((from, msg));
-                            }
+                let mut recv_chunks = recv_chunks.into_iter();
+                for (j, (arena, column)) in arenas.iter_mut().zip(columns).enumerate() {
+                    let recv_dst = recv_chunks.next();
+                    if !incoming[j] {
+                        if arena.dirty {
+                            arena.clear();
                         }
-                    });
+                        continue;
+                    }
+                    let shard_len = meta.len_of(j);
+                    s.spawn(move || merge_shard(model, arena, column, shard_len, recv_dst));
                 }
             });
         }
@@ -678,7 +1022,6 @@ where
         if M::TRACK_RECV {
             recv.fill(0);
         }
-        std::mem::swap(&mut inboxes, &mut staging);
         round += 1;
     }
 
@@ -699,6 +1042,9 @@ mod tests {
         n: usize,
         charge_cap: usize,
         recv_cap: usize,
+        /// Skewed per-actor costs for the balanced-sharding tests
+        /// (uniform when false, matching the default hook).
+        skewed_costs: bool,
     }
 
     #[derive(Clone)]
@@ -738,6 +1084,19 @@ mod tests {
         type SendScratch = ();
 
         const TRACK_RECV: bool = true;
+
+        fn actor_cost(&self, _node: &RingNode, idx: usize) -> u64 {
+            if self.skewed_costs {
+                // Heavy head: actor 0 carries half the total cost.
+                if idx == 0 {
+                    self.n as u64
+                } else {
+                    1
+                }
+            } else {
+                1
+            }
+        }
 
         fn poll(&self, node: &Self::Node, _idx: usize, _round: usize) -> Poll {
             let done = node.started && node.outbound.is_none();
@@ -833,6 +1192,7 @@ mod tests {
             n,
             charge_cap: 8,
             recv_cap: 8,
+            skewed_costs: false,
         }
     }
 
@@ -884,6 +1244,35 @@ mod tests {
     }
 
     #[test]
+    fn skewed_actor_costs_stay_bit_identical() {
+        // A cost-skewed model shifts the shard boundaries; outputs,
+        // metrics, and errors must not notice.
+        let mk_model = |skewed| RingModel {
+            n: 16,
+            charge_cap: 8,
+            recv_cap: 8,
+            skewed_costs: skewed,
+        };
+        let baseline = run_sequential(
+            &mk_model(false),
+            ring_nodes(16, 40, 3),
+            cfg(Scheduling::ActiveSet),
+        )
+        .unwrap();
+        for threads in [2, 3, 5, 8] {
+            let par = run_sharded(
+                &mk_model(true),
+                ring_nodes(16, 40, 3),
+                threads,
+                cfg(Scheduling::ActiveSet),
+            )
+            .unwrap();
+            assert_eq!(par.outputs, baseline.outputs, "t={threads}");
+            assert_eq!(par.metrics.profile, baseline.metrics.profile, "t={threads}");
+        }
+    }
+
+    #[test]
     fn step_errors_match_across_executors() {
         // Charge 99 exceeds the cap at the origin in round 0.
         let seq = run_sequential(&model(8), ring_nodes(8, 3, 99), cfg(Scheduling::ActiveSet))
@@ -909,6 +1298,7 @@ mod tests {
             n: 8,
             charge_cap: 8,
             recv_cap: 4,
+            skewed_costs: false,
         };
         let seq =
             run_sequential(&tight, ring_nodes(8, 2, 5), cfg(Scheduling::ActiveSet)).unwrap_err();
@@ -955,5 +1345,66 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.metrics.messages, 6);
+    }
+
+    /// Checks the partition invariants: boundaries start at 0, end at
+    /// `n`, are strictly increasing (every shard non-empty), and use at
+    /// most `shards` ranges.
+    fn assert_valid_partition(bounds: &[usize], n: usize, shards: usize) {
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), n);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        assert!(bounds.len() - 1 <= shards.max(1), "{bounds:?}");
+    }
+
+    #[test]
+    fn balanced_partition_uniform_costs_even_ranges() {
+        let bounds = balanced_partition(&[1; 12], 4);
+        assert_eq!(bounds, vec![0, 3, 6, 9, 12]);
+        assert_valid_partition(&bounds, 12, 4);
+    }
+
+    #[test]
+    fn balanced_partition_skewed_costs_isolate_the_head() {
+        // One hub worth half the total: the hub's shard must not also
+        // swallow a proportional share of the tail.
+        let mut costs = vec![1u64; 16];
+        costs[0] = 16;
+        let bounds = balanced_partition(&costs, 4);
+        assert_valid_partition(&bounds, 16, 4);
+        // The first shard ends right after the hub.
+        assert_eq!(bounds[1], 1);
+        // The tail is spread across the remaining shards.
+        assert_eq!(bounds[4] - bounds[1], 15);
+        let loads: Vec<u64> = bounds
+            .windows(2)
+            .map(|w| costs[w[0]..w[1]].iter().sum())
+            .collect();
+        assert_eq!(loads[0], 16);
+        assert!(loads[1..].iter().all(|&l| l <= 8), "{loads:?}");
+    }
+
+    #[test]
+    fn balanced_partition_edge_cases() {
+        assert_eq!(balanced_partition(&[], 4), vec![0]);
+        assert_eq!(balanced_partition(&[5], 4), vec![0, 1]);
+        assert_eq!(balanced_partition(&[1, 1], 1), vec![0, 2]);
+        // All-zero costs still produce a valid (uniform-ish) partition.
+        let bounds = balanced_partition(&[0; 10], 3);
+        assert_valid_partition(&bounds, 10, 3);
+        // More shards than actors: one actor per shard.
+        let bounds = balanced_partition(&[7; 3], 9);
+        assert_eq!(bounds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn balanced_partition_monotone_prefix_targets() {
+        // A deterministic pseudo-random cost vector stays valid for
+        // every shard count.
+        let costs: Vec<u64> = (0..97u64).map(|i| (i * 2654435761) % 100).collect();
+        for shards in 1..=16 {
+            let bounds = balanced_partition(&costs, shards);
+            assert_valid_partition(&bounds, costs.len(), shards);
+        }
     }
 }
