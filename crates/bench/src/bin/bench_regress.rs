@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_regress <baseline.json> <fresh.json> [--max-regress 0.25] [--min-ms 50]
+//! bench_regress <baseline.json> <fresh.json> [--max-regress 0.25] [--min-ms 50] [--codec-parity]
 //! ```
 //!
 //! Compares every *sequential* engine timing of `fresh.json` against
@@ -15,6 +15,14 @@
 //! gated — they depend on the host's core count — and baselines below
 //! `--min-ms` (default 50 ms) are skipped because percentage noise on
 //! millisecond-scale runs is not signal.
+//!
+//! With `--codec-parity`, additionally checks — *within* the fresh
+//! document — every workload that carries both a `parallel` and a
+//! `parallel_codec` entry at the same thread count (the `bench_scale`
+//! workloads): the packed-codec plane must not be slower than the enum
+//! plane by more than `--max-regress` (exit code 3). Pairs whose
+//! thread count exceeds the host's CPU count are reported but not
+//! gated, since oversubscribed wall times are scheduler noise.
 //!
 //! CI copies the committed snapshots aside before re-running the bench
 //! binaries and then diffs the fresh artifacts against them, so a
@@ -98,9 +106,44 @@ fn main() {
             (ratio - 1.0) * 100.0
         );
     }
+    if args.iter().any(|a| a == "--codec-parity") {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let mut pairs = 0usize;
+        for (workload, engine, threads, enum_ms) in &fresh {
+            if engine != "parallel" {
+                continue;
+            }
+            let Some((_, _, _, codec_ms)) = fresh
+                .iter()
+                .find(|(w, e, t, _)| w == workload && e == "parallel_codec" && t == threads)
+            else {
+                continue;
+            };
+            pairs += 1;
+            let ratio = codec_ms / enum_ms;
+            let gated = cpus >= *threads;
+            let verdict = if ratio > 1.0 + max_regress && gated {
+                failures += 1;
+                "REGRESSED"
+            } else if !gated {
+                "ungated (oversubscribed host)"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {workload}: codec {codec_ms:.1} ms vs enum {enum_ms:.1} ms at {threads} threads ({:+.1}%) {verdict}",
+                (ratio - 1.0) * 100.0
+            );
+        }
+        if pairs == 0 {
+            eprintln!("  codec parity: MISSING parallel/parallel_codec pairs in fresh document");
+            failures += 1;
+        }
+    }
+
     if failures > 0 {
         eprintln!(
-            "FAIL: {failures} sequential timing(s) regressed more than {:.0}%",
+            "FAIL: {failures} gated timing(s) regressed more than {:.0}%",
             max_regress * 100.0
         );
         std::process::exit(3);

@@ -1,0 +1,340 @@
+//! Scale gate: a million-vertex instance through the full compressed
+//! message plane — streamed edge-list I/O, varint-delta compact CSR,
+//! and the packed-codec exchange next to the enum exchange.
+//!
+//! Runs on one pinned `connected_gnm` instance (default n = 10⁶,
+//! m = 4·10⁶ — override with `BENCH_SCALE_N` / `BENCH_SCALE_AVG_DEG`
+//! for CI-sized smoke runs) and:
+//!
+//! * round-trips the instance through the streaming edge-list writer and
+//!   reader (`pga_graph::io::EdgeListReader`), asserting the reloaded
+//!   CSR is identical and recording file size and wall times,
+//! * builds the varint-delta `CompactGraph`, asserts its exact
+//!   round-trip back to the plain CSR, and records both heap sizes,
+//! * runs two message-heavy workloads (FloodMax and a fixed-horizon
+//!   aggregation) on the sequential engine, the 4-thread enum-plane
+//!   engine, and the 4-thread packed-codec engine, asserting all three
+//!   are **bit-identical** (outputs + full metrics; exit code 1
+//!   otherwise) and recording the wall times as `sequential` /
+//!   `parallel` / `parallel_codec` engine entries,
+//! * splices the records into `BENCH_sim.json` next to `bench_sim`'s
+//!   round-engine workloads (replacing any previous `scale_*` entries),
+//! * with `--assert-codec-parity`, additionally requires the codec
+//!   plane to be no slower than the enum plane at the gate thread count
+//!   (within 10%; exit code 2 otherwise; skipped with a notice when the
+//!   host has fewer CPUs than gate threads, where wall times are
+//!   scheduler noise).
+//!
+//! Environment overrides: `BENCH_SCALE_N`, `BENCH_SCALE_AVG_DEG`,
+//! `BENCH_SCALE_SEED`, `BENCH_SCALE_THREADS`, `BENCH_SCALE_REPS`,
+//! `BENCH_SCALE_OUT` (defaults to `BENCH_sim.json`).
+
+use pga_bench::harness::{
+    env_u64, env_usize, merge_scale_workloads, time_ms, EngineTiming, IoStats, SimBench,
+    WorkloadRecord,
+};
+use pga_congest::primitives::FloodMax;
+use pga_congest::{Algorithm, Ctx, MsgCodec, MsgSize, Report, RunConfig, Simulator};
+use pga_graph::compact::CompactGraph;
+use pga_graph::{generators, io, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// A 64-bit payload, charged 64 bits and packed as itself.
+#[derive(Clone)]
+struct Word(u64);
+
+impl MsgSize for Word {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        64
+    }
+}
+
+impl MsgCodec for Word {
+    type Word = u64;
+
+    fn encode(&self) -> u64 {
+        self.0
+    }
+
+    fn decode(word: u64) -> Self {
+        Word(word)
+    }
+}
+
+/// Fixed-horizon neighborhood aggregation (the `bench_sim` workload,
+/// codec-capable): uniform per-round load on every edge, with mixing
+/// that surfaces any delivery-order deviation in the outputs.
+struct Aggregate {
+    acc: u64,
+    rounds_left: usize,
+}
+
+impl Algorithm for Aggregate {
+    type Msg = Word;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Word)]) -> Vec<(NodeId, Word)> {
+        for (from, m) in inbox {
+            self.acc = self
+                .acc
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(m.0 ^ from.0 as u64);
+        }
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        self.rounds_left -= 1;
+        ctx.graph_neighbors
+            .iter()
+            .map(|&v| (v, Word(self.acc)))
+            .collect()
+    }
+
+    fn is_done(&self, _ctx: &Ctx) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self, _ctx: &Ctx) -> u64 {
+        self.acc
+    }
+}
+
+/// Best-of-`reps` wall time under one `RunConfig`.
+fn best_of<A, F>(g: &Graph, reps: usize, mk: &F, cfg: &RunConfig) -> (Report<A::Output>, f64)
+where
+    A: Algorithm + Send,
+    A::Msg: MsgCodec + Send,
+    F: Fn() -> Vec<A>,
+{
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let (r, ms) = time_ms(|| Simulator::congest(g).run_cfg(mk(), cfg).expect("scale run"));
+        best_ms = best_ms.min(ms);
+        report = Some(r);
+    }
+    (report.unwrap(), best_ms)
+}
+
+/// Runs one workload on the sequential engine, the enum-plane parallel
+/// engine, and the packed-codec parallel engine, asserting bit-identity.
+fn scale_workload<A, F>(
+    name: &str,
+    g: &Graph,
+    threads: usize,
+    reps: usize,
+    io_stats: Option<IoStats>,
+    mk: F,
+) -> WorkloadRecord
+where
+    A: Algorithm + Send,
+    A::Msg: MsgCodec + Send,
+    A::Output: PartialEq,
+    F: Fn() -> Vec<A>,
+{
+    let (seq, seq_ms) = best_of(g, reps, &mk, &RunConfig::new());
+    let (enum_par, enum_ms) = best_of(g, reps, &mk, &RunConfig::new().parallel(threads));
+    let (codec_par, codec_ms) = best_of(
+        g,
+        reps,
+        &mk,
+        &RunConfig::new().parallel(threads).codec(true),
+    );
+
+    let mut identical = true;
+    for (plane, r) in [("enum", &enum_par), ("codec", &codec_par)] {
+        let same = r.outputs == seq.outputs && r.metrics == seq.metrics;
+        if !same {
+            eprintln!("DIVERGENCE in workload '{name}': {plane} plane at {threads} threads");
+            eprintln!("  sequential metrics: {}", seq.metrics);
+            eprintln!("  {plane}      metrics: {}", r.metrics);
+        }
+        identical &= same;
+    }
+
+    WorkloadRecord {
+        name: name.to_string(),
+        graph: "connected_gnm".into(),
+        n: g.num_nodes(),
+        m: g.num_edges(),
+        rounds: seq.metrics.rounds,
+        messages: seq.metrics.messages,
+        bits: seq.metrics.bits,
+        peak_edge_bits: seq.metrics.peak_edge_bits(),
+        congestion_p95: seq.metrics.congestion_percentile(0.95),
+        engines: vec![
+            EngineTiming {
+                engine: "sequential".into(),
+                threads: 1,
+                wall_ms: seq_ms,
+            },
+            EngineTiming {
+                engine: "parallel".into(),
+                threads,
+                wall_ms: enum_ms,
+            },
+            EngineTiming {
+                engine: "parallel_codec".into(),
+                threads,
+                wall_ms: codec_ms,
+            },
+        ],
+        shard_load: Vec::new(),
+        io: io_stats,
+        speedup: seq_ms / codec_ms,
+        identical,
+    }
+}
+
+/// Streams the instance to disk and back, asserting an exact round
+/// trip, and measures the varint-delta compact CSR against the plain
+/// one (also an exact round trip).
+fn io_and_compact_stats(g: &Graph) -> IoStats {
+    let path = std::env::temp_dir().join(format!(
+        "pga_bench_scale_{}_{}.edges",
+        g.num_nodes(),
+        g.num_edges()
+    ));
+    let (wres, write_ms) = time_ms(|| io::write_edge_list(&path, g));
+    wres.expect("streamed edge-list write");
+    let file_bytes = std::fs::metadata(&path).expect("stat edge list").len();
+    let (reloaded, read_ms) = time_ms(|| io::read_edge_list(&path).expect("streamed read"));
+    assert!(reloaded == *g, "streamed round trip must be exact");
+    let _ = std::fs::remove_file(&path);
+
+    let (offsets, targets) = g.csr();
+    let plain_bytes = (std::mem::size_of_val(offsets) + std::mem::size_of_val(targets)) as u64;
+    let compact = CompactGraph::from_graph(g);
+    assert!(
+        compact.to_graph() == *g,
+        "compact CSR round trip must be exact"
+    );
+    IoStats {
+        file_bytes,
+        write_ms,
+        read_ms,
+        plain_bytes,
+        compact_bytes: compact.heap_bytes() as u64,
+    }
+}
+
+fn main() {
+    let assert_parity = std::env::args().any(|a| a == "--assert-codec-parity");
+    let n = env_usize("BENCH_SCALE_N", 1_000_000);
+    let avg_deg = env_usize("BENCH_SCALE_AVG_DEG", 8);
+    let seed = env_u64("BENCH_SCALE_SEED", 45_803);
+    let threads = env_usize("BENCH_SCALE_THREADS", 4);
+    let reps = env_usize("BENCH_SCALE_REPS", 1);
+    let out = PathBuf::from(
+        std::env::var("BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string()),
+    );
+    let m = (n * avg_deg / 2).max(n.saturating_sub(1));
+
+    println!(
+        "bench_scale: pinned instance n={n} m={m} seed={seed}, codec gate at {threads} threads, best of {reps}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, gen_ms) = time_ms(|| generators::connected_gnm(n, m, &mut rng));
+    println!("  graph generated in {gen_ms:.0} ms");
+
+    let io_stats = io_and_compact_stats(&g);
+    println!(
+        "  streamed I/O: {} bytes written in {:.0} ms, read back in {:.0} ms (exact round trip)",
+        io_stats.file_bytes, io_stats.write_ms, io_stats.read_ms
+    );
+    println!(
+        "  compact CSR: {} -> {} heap bytes ({:.1}% of plain, exact round trip)",
+        io_stats.plain_bytes,
+        io_stats.compact_bytes,
+        100.0 * io_stats.compact_bytes as f64 / io_stats.plain_bytes as f64
+    );
+
+    let workloads = vec![
+        scale_workload("scale_floodmax", &g, threads, reps, Some(io_stats), || {
+            (0..n)
+                .map(|i| FloodMax::new(NodeId::from_index(i)))
+                .collect()
+        }),
+        scale_workload("scale_aggregate4", &g, threads, reps, None, || {
+            (0..n)
+                .map(|i| Aggregate {
+                    acc: i as u64,
+                    rounds_left: 4,
+                })
+                .collect()
+        }),
+    ];
+
+    for w in &workloads {
+        let timings: Vec<String> = w
+            .engines
+            .iter()
+            .map(|e| format!("{}({}) {:.0} ms", e.engine, e.threads, e.wall_ms))
+            .collect();
+        println!(
+            "  {:>16}: {} rounds, {} msgs, {} bits | {} | identical: {}",
+            w.name,
+            w.rounds,
+            w.messages,
+            w.bits,
+            timings.join(", "),
+            w.identical
+        );
+    }
+
+    let doc = SimBench {
+        bench: "sim_scale".into(),
+        seed,
+        n,
+        m: g.num_edges(),
+        workloads,
+    };
+    let existing = std::fs::read_to_string(&out).ok();
+    let merged = merge_scale_workloads(existing.as_deref(), &doc);
+    std::fs::write(&out, merged).expect("write BENCH_sim.json");
+    println!("  wrote {}", out.display());
+
+    if doc.workloads.iter().any(|w| !w.identical) {
+        eprintln!("FAIL: codec or enum plane diverged from the sequential reference");
+        std::process::exit(1);
+    }
+    println!("  sequential / enum / codec planes bit-identical on every workload");
+
+    if assert_parity {
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if cpus < threads {
+            println!(
+                "  codec parity assertion SKIPPED: {cpus} CPU(s) available for {threads} shard threads"
+            );
+            return;
+        }
+        let mut failed = false;
+        for w in &doc.workloads {
+            let wall = |name: &str| {
+                w.engines
+                    .iter()
+                    .find(|e| e.engine == name)
+                    .map(|e| e.wall_ms)
+                    .expect("engine entry present")
+            };
+            let (enum_ms, codec_ms) = (wall("parallel"), wall("parallel_codec"));
+            if codec_ms > enum_ms * 1.10 {
+                eprintln!(
+                    "FAIL: '{}' codec plane {codec_ms:.0} ms vs enum plane {enum_ms:.0} ms at {threads} threads",
+                    w.name
+                );
+                failed = true;
+            } else {
+                println!(
+                    "  codec parity passed: '{}' {codec_ms:.0} ms <= 1.10 x {enum_ms:.0} ms",
+                    w.name
+                );
+            }
+        }
+        if failed {
+            std::process::exit(2);
+        }
+    }
+}

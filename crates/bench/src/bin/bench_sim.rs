@@ -201,6 +201,7 @@ where
         congestion_p95: seq.metrics.congestion_percentile(0.95),
         engines,
         shard_load: shard_load(g, gate_threads),
+        io: None,
         speedup: seq_ms / gate_ms,
         identical,
     }
@@ -271,6 +272,7 @@ fn bench_tail_workload(g: &Graph, threads: usize, reps: usize) -> WorkloadRecord
             },
         ],
         shard_load: shard_load(g, threads),
+        io: None,
         // For the tail record, speedup compares scheduling policies on
         // the sequential engine (full sweep / active set).
         speedup: full_ms / active_ms,

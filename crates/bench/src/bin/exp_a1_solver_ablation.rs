@@ -6,9 +6,9 @@
 //! choice costs in cover quality (the gather communication is
 //! solver-independent; only the solution broadcast varies).
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mvc::congest::{g2_mvc_congest_with, LocalSolver};
+use pga_core::mvc::congest::{g2_mvc_congest_cfg, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::is_vertex_cover_on_square;
 use pga_graph::generators;
@@ -43,8 +43,7 @@ fn main() {
             LocalSolver::FiveThirds,
             LocalSolver::TwoApprox,
         ] {
-            let r =
-                g2_mvc_congest_with(g, 0.5, solver, Engine::parallel_auto()).expect("simulation");
+            let r = g2_mvc_congest_cfg(g, 0.5, solver, &exp_cfg()).expect("simulation");
             assert!(is_vertex_cover_on_square(g, &r.cover));
             sizes.push(r.size());
             rounds.push(r.total_rounds());
@@ -75,8 +74,7 @@ fn main() {
         let mut worst: f64 = 1.0;
         for g in &graphs {
             let opt = mvc_size(&square(g)).max(1);
-            let r =
-                g2_mvc_congest_with(g, 0.5, solver, Engine::parallel_auto()).expect("simulation");
+            let r = g2_mvc_congest_cfg(g, 0.5, solver, &exp_cfg()).expect("simulation");
             worst = worst.max(r.size() as f64 / opt as f64);
         }
         assert!(worst <= bound + 1e-9);

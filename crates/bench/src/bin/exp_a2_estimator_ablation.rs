@@ -6,9 +6,9 @@
 //! coverage; the dominating set grows. This sweep quantifies the knob the
 //! paper hides inside `Θ(log n)`.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mds::congest_g2::g2_mds_congest_with;
+use pga_core::mds::congest_g2::g2_mds_congest_cfg;
 use pga_exact::mds::mds_size;
 use pga_graph::cover::is_dominating_set_on_square;
 use pga_graph::generators;
@@ -36,8 +36,7 @@ fn main() {
         let mut rounds = Vec::new();
         let mut samples = 0;
         for seed in 0..3u64 {
-            let r =
-                g2_mds_congest_with(&g, factor, seed, Engine::parallel_auto()).expect("simulation");
+            let r = g2_mds_congest_cfg(&g, factor, seed, &exp_cfg()).expect("simulation");
             assert!(is_dominating_set_on_square(&g, &r.dominating_set));
             sizes.push(r.size() as f64);
             rounds.push(r.metrics.rounds as f64);

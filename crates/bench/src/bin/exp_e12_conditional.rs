@@ -7,9 +7,9 @@
 //! `OPT(H²) = OPT(G) + 2m`; this experiment verifies it and then *runs*
 //! the reduction end to end with the Theorem-1 algorithm playing ALG.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mvc::congest::{g2_mvc_congest_with, LocalSolver};
+use pga_core::mvc::congest::{g2_mvc_congest_cfg, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::{is_vertex_cover, set_size};
 use pga_graph::generators;
@@ -44,8 +44,7 @@ fn main() {
         // Run ALG = Theorem 1 on H with the reduction's ε (clamped into
         // the algorithm's domain).
         let eps = (delta * opt_g as f64 / (3.0 * m as f64)).clamp(0.05, 0.99);
-        let alg = g2_mvc_congest_with(&h, eps, LocalSolver::Exact, Engine::parallel_auto())
-            .expect("simulation");
+        let alg = g2_mvc_congest_cfg(&h, eps, LocalSolver::Exact, &exp_cfg()).expect("simulation");
 
         // Recover: original (non-gadget) vertices of the H²-cover form a
         // cover of G (Theorem 26's claim C).

@@ -7,9 +7,9 @@
 //! exact optimum where feasible, otherwise against the maximal-matching
 //! lower bound of the square.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, square_mvc_lower_bound, Table};
-use pga_congest::Engine;
-use pga_core::mvc::congest::{g2_mvc_congest_with, LocalSolver};
+use pga_core::mvc::congest::{g2_mvc_congest_cfg, LocalSolver};
 use pga_exact::vc::mvc_size;
 use pga_graph::cover::is_vertex_cover_on_square;
 use pga_graph::generators;
@@ -48,8 +48,7 @@ fn main() {
             } else {
                 LocalSolver::FiveThirds
             };
-            let r =
-                g2_mvc_congest_with(&g, eps, solver, Engine::parallel_auto()).expect("simulation");
+            let r = g2_mvc_congest_cfg(&g, eps, solver, &exp_cfg()).expect("simulation");
             assert!(is_vertex_cover_on_square(&g, &r.cover));
             let rounds = r.total_rounds();
             t.row(&[
@@ -81,7 +80,7 @@ fn main() {
         let g = generators::cycle(n);
         let reference = square_mvc_lower_bound(&g);
         for &eps in &[0.5f64, 0.25] {
-            let r = g2_mvc_congest_with(&g, eps, LocalSolver::FiveThirds, Engine::parallel_auto())
+            let r = g2_mvc_congest_cfg(&g, eps, LocalSolver::FiveThirds, &exp_cfg())
                 .expect("simulation");
             assert!(is_vertex_cover_on_square(&g, &r.cover));
             t.row(&[

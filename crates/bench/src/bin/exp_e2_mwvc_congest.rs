@@ -6,9 +6,9 @@
 //! weighted optimum (feasible at these sizes because Phase I thins the
 //! remainder).
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mvc::weighted::g2_mwvc_congest_with;
+use pga_core::mvc::weighted::g2_mwvc_congest_cfg;
 use pga_exact::wvc::mwvc_weight;
 use pga_graph::cover::is_vertex_cover_on_square;
 use pga_graph::power::square;
@@ -29,8 +29,7 @@ fn main() {
             let w = VertexWeights::random(n, 1..wmax, &mut rng);
             let opt = mwvc_weight(&square(&g), &w);
             for &eps in &[0.5f64, 0.25] {
-                let r =
-                    g2_mwvc_congest_with(&g, &w, eps, Engine::parallel_auto()).expect("simulation");
+                let r = g2_mwvc_congest_cfg(&g, &w, eps, &exp_cfg()).expect("simulation");
                 assert!(is_vertex_cover_on_square(&g, &r.cover));
                 let rounds = r.total_rounds();
                 let norm = rounds as f64 / (n as f64 * (n as f64).log2() / eps);
@@ -64,7 +63,7 @@ fn main() {
         let g = generators::star(20);
         let w = VertexWeights::from_vec(weights);
         let opt = mwvc_weight(&square(&g), &w);
-        let r = g2_mwvc_congest_with(&g, &w, 0.5, Engine::parallel_auto()).expect("simulation");
+        let r = g2_mwvc_congest_cfg(&g, &w, 0.5, &exp_cfg()).expect("simulation");
         t.row(&[
             format!("star/{name}"),
             "0.5".into(),

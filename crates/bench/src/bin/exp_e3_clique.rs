@@ -9,10 +9,10 @@
 //! deterministic Phase I serializes while voting harvests all hubs in a
 //! round or two.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mvc::clique_det::g2_mvc_clique_det_with;
-use pga_core::mvc::clique_rand::g2_mvc_clique_rand_with;
+use pga_core::mvc::clique_det::g2_mvc_clique_det_cfg;
+use pga_core::mvc::clique_rand::g2_mvc_clique_rand_cfg;
 use pga_core::mvc::congest::LocalSolver;
 use pga_graph::cover::is_vertex_cover_on_square;
 use pga_graph::generators;
@@ -35,12 +35,10 @@ fn main() {
     for &m in &[5usize, 10, 20, 40] {
         let g = generators::caterpillar(m, 20);
         let n = g.num_nodes();
-        let det = g2_mvc_clique_det_with(&g, eps, LocalSolver::FiveThirds, Engine::parallel_auto())
-            .expect("det");
+        let det = g2_mvc_clique_det_cfg(&g, eps, LocalSolver::FiveThirds, &exp_cfg()).expect("det");
         assert!(is_vertex_cover_on_square(&g, &det.cover));
         let rnd =
-            g2_mvc_clique_rand_with(&g, eps, LocalSolver::FiveThirds, 7, Engine::parallel_auto())
-                .expect("rand");
+            g2_mvc_clique_rand_cfg(&g, eps, LocalSolver::FiveThirds, 7, &exp_cfg()).expect("rand");
         assert!(is_vertex_cover_on_square(&g, &rnd.cover));
         t.row(&[
             m.to_string(),
@@ -59,16 +57,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let g = generators::connected_gnp(n, 0.5, &mut rng);
         let det =
-            g2_mvc_clique_det_with(&g, 0.25, LocalSolver::FiveThirds, Engine::parallel_auto())
-                .expect("det");
-        let rnd = g2_mvc_clique_rand_with(
-            &g,
-            0.25,
-            LocalSolver::FiveThirds,
-            3,
-            Engine::parallel_auto(),
-        )
-        .expect("rand");
+            g2_mvc_clique_det_cfg(&g, 0.25, LocalSolver::FiveThirds, &exp_cfg()).expect("det");
+        let rnd =
+            g2_mvc_clique_rand_cfg(&g, 0.25, LocalSolver::FiveThirds, 3, &exp_cfg()).expect("rand");
         t.row(&[
             n.to_string(),
             det.phase1_metrics.rounds.div_ceil(4).to_string(),

@@ -6,10 +6,10 @@
 //! `ln Δ` baseline, and the exact optimum; reports rounds against the
 //! polylog budget.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
 use pga_core::mds::cd18::cd18_mds;
-use pga_core::mds::congest_g2::g2_mds_congest_with;
+use pga_core::mds::congest_g2::g2_mds_congest_cfg;
 use pga_exact::greedy::greedy_mds;
 use pga_exact::mds::mds_size;
 use pga_graph::cover::{is_dominating_set, is_dominating_set_on_square, set_size};
@@ -51,7 +51,7 @@ fn main() {
         let g2 = square(g);
         let opt = mds_size(&g2);
 
-        let dist = g2_mds_congest_with(g, 8, 5, Engine::parallel_auto()).expect("simulation");
+        let dist = g2_mds_congest_cfg(g, 8, 5, &exp_cfg()).expect("simulation");
         assert!(is_dominating_set_on_square(g, &dist.dominating_set));
 
         let ideal = cd18_mds(&g2, 5);
@@ -78,7 +78,7 @@ fn main() {
         let g = generators::connected_gnp(30, 0.1, &mut rng);
         let g2 = square(&g);
         let opt = mds_size(&g2).max(1);
-        let dist = g2_mds_congest_with(&g, 8, seed, Engine::parallel_auto()).expect("simulation");
+        let dist = g2_mds_congest_cfg(&g, 8, seed, &exp_cfg()).expect("simulation");
         let delta = g2.max_degree().max(2) as f64;
         t.row(&[
             seed.to_string(),

@@ -4,9 +4,9 @@
 //! error of `d̃_v` against the exact `|N²[v] ∩ U|`, plus the round cost
 //! `2r + 1`. Lemma 29 promises `(1 ± ε)` with `r = Θ(log n / ε²)`.
 
+use pga_bench::exp_cfg;
 use pga_bench::{banner, f3, Table};
-use pga_congest::Engine;
-use pga_core::mds::estimator::{estimate_two_hop_sizes_with, exact_two_hop_sizes};
+use pga_core::mds::estimator::{estimate_two_hop_sizes_cfg, exact_two_hop_sizes};
 use pga_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +30,7 @@ fn main() {
         let in_u: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let exact = exact_two_hop_sizes(g, &in_u);
         for &r in &[16usize, 64, 256, 1024] {
-            let est = estimate_two_hop_sizes_with(g, &in_u, r, 7, Engine::parallel_auto());
+            let est = estimate_two_hop_sizes_cfg(g, &in_u, r, 7, &exp_cfg());
             let mut max_err: f64 = 0.0;
             let mut sum_err = 0.0;
             let mut cnt = 0;

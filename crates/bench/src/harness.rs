@@ -96,6 +96,23 @@ impl ShardLoad {
     }
 }
 
+/// Streaming-I/O and compressed-CSR statistics of a `bench_scale`
+/// workload (absent on the round-engine workloads).
+#[derive(Clone, Debug)]
+pub struct IoStats {
+    /// Size of the streamed edge-list file in bytes.
+    pub file_bytes: u64,
+    /// Wall time of the streamed (`BufWriter`) edge-list write, ms.
+    pub write_ms: f64,
+    /// Wall time of the streamed read (file → chunked builder → CSR), ms.
+    pub read_ms: f64,
+    /// Heap bytes of the plain CSR representation.
+    pub plain_bytes: u64,
+    /// Heap bytes of the varint-delta compact CSR blocks
+    /// (`pga_graph::compact::CompactGraph`).
+    pub compact_bytes: u64,
+}
+
 /// One workload's results across engines.
 #[derive(Clone, Debug)]
 pub struct WorkloadRecord {
@@ -128,6 +145,10 @@ pub struct WorkloadRecord {
     /// cost-balanced partition (empty for workloads that bypass the
     /// parallel engine).
     pub shard_load: Vec<ShardLoad>,
+    /// Streaming-I/O and compact-CSR statistics (`bench_scale`
+    /// workloads only; `None` elsewhere and then omitted from the
+    /// JSON).
+    pub io: Option<IoStats>,
     /// Sequential wall time divided by the gate thread count's parallel
     /// wall time (for the scheduling-comparison tail workload:
     /// full-sweep wall time divided by active-set wall time).
@@ -221,6 +242,69 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Serializes one workload record as a four-space-indented JSON object
+/// (no trailing comma or newline) — the exact shape
+/// [`SimBench::to_json`] emits and [`merge_scale_workloads`] splices.
+fn workload_json(w: &WorkloadRecord) -> String {
+    let mut s = String::new();
+    s.push_str("    {\n");
+    s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
+    s.push_str(&format!(
+        "      \"graph\": \"{}\",\n",
+        json_escape(&w.graph)
+    ));
+    s.push_str(&format!("      \"n\": {},\n", w.n));
+    s.push_str(&format!("      \"m\": {},\n", w.m));
+    s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+    s.push_str(&format!("      \"messages\": {},\n", w.messages));
+    s.push_str(&format!("      \"bits\": {},\n", w.bits));
+    s.push_str(&format!(
+        "      \"peak_edge_bits\": {},\n",
+        w.peak_edge_bits
+    ));
+    s.push_str(&format!(
+        "      \"congestion_p95\": {},\n",
+        w.congestion_p95
+    ));
+    s.push_str("      \"engines\": [\n");
+    for (ei, e) in w.engines.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+            json_escape(&e.engine),
+            e.threads,
+            e.wall_ms,
+            if ei + 1 < w.engines.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ],\n");
+    s.push_str("      \"shard_load\": [\n");
+    for (li, l) in w.shard_load.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"start\": {}, \"end\": {}, \"total_cost\": {}, \
+             \"min_cost\": {}, \"max_cost\": {}, \"mean_cost\": {:.3}}}{}\n",
+            l.start,
+            l.end,
+            l.total_cost,
+            l.min_cost,
+            l.max_cost,
+            l.mean_cost,
+            if li + 1 < w.shard_load.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ],\n");
+    if let Some(io) = &w.io {
+        s.push_str(&format!(
+            "      \"io\": {{\"file_bytes\": {}, \"write_ms\": {:.3}, \"read_ms\": {:.3}, \
+             \"plain_bytes\": {}, \"compact_bytes\": {}}},\n",
+            io.file_bytes, io.write_ms, io.read_ms, io.plain_bytes, io.compact_bytes
+        ));
+    }
+    s.push_str(&format!("      \"speedup\": {:.3},\n", w.speedup));
+    s.push_str(&format!("      \"identical\": {}\n", w.identical));
+    s.push_str("    }");
+    s
+}
+
 impl SimBench {
     /// Serializes the document to pretty-printed JSON.
     pub fn to_json(&self) -> String {
@@ -231,63 +315,9 @@ impl SimBench {
         s.push_str(&format!("  \"n\": {},\n", self.n));
         s.push_str(&format!("  \"m\": {},\n", self.m));
         s.push_str("  \"workloads\": [\n");
-        for (wi, w) in self.workloads.iter().enumerate() {
-            s.push_str("    {\n");
-            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&w.name)));
-            s.push_str(&format!(
-                "      \"graph\": \"{}\",\n",
-                json_escape(&w.graph)
-            ));
-            s.push_str(&format!("      \"n\": {},\n", w.n));
-            s.push_str(&format!("      \"m\": {},\n", w.m));
-            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
-            s.push_str(&format!("      \"messages\": {},\n", w.messages));
-            s.push_str(&format!("      \"bits\": {},\n", w.bits));
-            s.push_str(&format!(
-                "      \"peak_edge_bits\": {},\n",
-                w.peak_edge_bits
-            ));
-            s.push_str(&format!(
-                "      \"congestion_p95\": {},\n",
-                w.congestion_p95
-            ));
-            s.push_str("      \"engines\": [\n");
-            for (ei, e) in w.engines.iter().enumerate() {
-                s.push_str(&format!(
-                    "        {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
-                    json_escape(&e.engine),
-                    e.threads,
-                    e.wall_ms,
-                    if ei + 1 < w.engines.len() { "," } else { "" }
-                ));
-            }
-            s.push_str("      ],\n");
-            s.push_str("      \"shard_load\": [\n");
-            for (li, l) in w.shard_load.iter().enumerate() {
-                s.push_str(&format!(
-                    "        {{\"start\": {}, \"end\": {}, \"total_cost\": {}, \
-                     \"min_cost\": {}, \"max_cost\": {}, \"mean_cost\": {:.3}}}{}\n",
-                    l.start,
-                    l.end,
-                    l.total_cost,
-                    l.min_cost,
-                    l.max_cost,
-                    l.mean_cost,
-                    if li + 1 < w.shard_load.len() { "," } else { "" }
-                ));
-            }
-            s.push_str("      ],\n");
-            s.push_str(&format!("      \"speedup\": {:.3},\n", w.speedup));
-            s.push_str(&format!("      \"identical\": {}\n", w.identical));
-            s.push_str(&format!(
-                "    }}{}\n",
-                if wi + 1 < self.workloads.len() {
-                    ","
-                } else {
-                    ""
-                }
-            ));
-        }
+        let objs: Vec<String> = self.workloads.iter().map(workload_json).collect();
+        s.push_str(&objs.join(",\n"));
+        s.push('\n');
         s.push_str("  ]\n");
         s.push_str("}\n");
         s
@@ -300,6 +330,68 @@ impl SimBench {
     /// Propagates the underlying I/O error.
     pub fn write_json(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+}
+
+/// Splits a serialized `BENCH_sim.json` document into the text before
+/// the `workloads` array, the individual workload object strings (as
+/// [`workload_json`] emits them, trailing commas stripped), and the
+/// text after the array. Returns `None` when the document is not in
+/// the shape [`SimBench::to_json`] writes.
+///
+/// Like [`parse_engine_walls`], this is a purposely narrow reader of
+/// the documents this module itself serializes: workload objects are
+/// delimited by the fixed-indent `    {` / `    }` lines (nested
+/// objects sit deeper or on one line), so no general JSON parsing is
+/// needed.
+fn split_sim_doc(doc: &str) -> Option<(String, Vec<String>, String)> {
+    let marker = "  \"workloads\": [\n";
+    let start = doc.find(marker)? + marker.len();
+    let prefix = doc[..start].to_string();
+    let rest = &doc[start..];
+    let end = rest.find("\n  ]")?;
+    let body = &rest[..end];
+    let suffix = rest[end + 1..].to_string();
+    let mut objs = Vec::new();
+    let mut cur: Option<String> = None;
+    for line in body.lines() {
+        match (&mut cur, line) {
+            (None, "    {") => cur = Some(String::from("    {\n")),
+            (Some(c), "    }" | "    },") => {
+                c.push_str("    }");
+                objs.push(cur.take().unwrap());
+            }
+            (Some(c), l) => {
+                c.push_str(l);
+                c.push('\n');
+            }
+            (None, _) => return None,
+        }
+    }
+    if cur.is_some() {
+        return None;
+    }
+    Some((prefix, objs, suffix))
+}
+
+/// Splices `scale`'s workload records into an existing `BENCH_sim.json`
+/// document, replacing any previous workload whose name starts with
+/// `"scale_"` and keeping everything else (the `bench_sim` round-engine
+/// records) byte-for-byte. Falls back to `scale.to_json()` when
+/// `existing` is `None` or not in the expected shape, so `bench_scale`
+/// can run standalone or after `bench_sim` in either order.
+pub fn merge_scale_workloads(existing: Option<&str>, scale: &SimBench) -> String {
+    let fresh: Vec<String> = scale.workloads.iter().map(workload_json).collect();
+    match existing.and_then(split_sim_doc) {
+        Some((prefix, objs, suffix)) => {
+            let mut kept: Vec<String> = objs
+                .into_iter()
+                .filter(|o| !o.contains("\"name\": \"scale_"))
+                .collect();
+            kept.extend(fresh);
+            format!("{}{}\n{}", prefix, kept.join(",\n"), suffix)
+        }
+        None => scale.to_json(),
     }
 }
 
@@ -549,7 +641,55 @@ mod tests {
                         mean_cost: 4.25,
                     },
                 ],
+                io: None,
                 speedup: 2.5,
+                identical: true,
+            }],
+        }
+    }
+
+    fn scale_sample() -> SimBench {
+        SimBench {
+            bench: "sim_scale".into(),
+            seed: 7,
+            n: 1_000_000,
+            m: 4_000_000,
+            workloads: vec![WorkloadRecord {
+                name: "scale_floodmax".into(),
+                graph: "connected_gnm".into(),
+                n: 1_000_000,
+                m: 4_000_000,
+                rounds: 7,
+                messages: 56_000_000,
+                bits: 1_120_000_000,
+                peak_edge_bits: 20,
+                congestion_p95: 20,
+                engines: vec![
+                    EngineTiming {
+                        engine: "sequential".into(),
+                        threads: 1,
+                        wall_ms: 9000.0,
+                    },
+                    EngineTiming {
+                        engine: "parallel".into(),
+                        threads: 4,
+                        wall_ms: 4000.0,
+                    },
+                    EngineTiming {
+                        engine: "parallel_codec".into(),
+                        threads: 4,
+                        wall_ms: 3500.0,
+                    },
+                ],
+                shard_load: Vec::new(),
+                io: Some(IoStats {
+                    file_bytes: 60_000_000,
+                    write_ms: 900.0,
+                    read_ms: 1800.0,
+                    plain_bytes: 40_000_008,
+                    compact_bytes: 11_000_000,
+                }),
+                speedup: 2.57,
                 identical: true,
             }],
         }
@@ -656,8 +796,71 @@ mod tests {
     }
 
     #[test]
+    fn io_stats_serialized_when_present() {
+        let j = scale_sample().to_json();
+        assert!(j.contains(
+            "\"io\": {\"file_bytes\": 60000000, \"write_ms\": 900.000, \
+             \"read_ms\": 1800.000, \"plain_bytes\": 40000008, \"compact_bytes\": 11000000}"
+        ));
+        assert!(j.contains("\"engine\": \"parallel_codec\", \"threads\": 4"));
+        // And omitted when absent.
+        assert!(!sample().to_json().contains("\"io\""));
+    }
+
+    #[test]
+    fn merge_appends_scale_and_keeps_existing() {
+        let base = sample().to_json();
+        let merged = merge_scale_workloads(Some(&base), &scale_sample());
+        assert!(merged.contains("\"name\": \"floodmax\""));
+        assert!(merged.contains("\"name\": \"scale_floodmax\""));
+        // The round-engine prefix (bench id, pinned instance) survives.
+        assert!(merged.starts_with("{\n  \"bench\": \"sim_round_engine\""));
+        // Re-merging replaces the old scale record instead of stacking.
+        let mut second = scale_sample();
+        second.workloads[0].rounds = 9;
+        let remerged = merge_scale_workloads(Some(&merged), &second);
+        assert_eq!(remerged.matches("\"name\": \"scale_floodmax\"").count(), 1);
+        assert!(remerged.contains("\"rounds\": 9"));
+        // Engine walls of both documents are visible to bench_regress.
+        let walls = parse_engine_walls(&remerged);
+        assert!(walls
+            .iter()
+            .any(|(w, e, t, _)| w == "floodmax" && e == "sequential" && *t == 1));
+        assert!(walls
+            .iter()
+            .any(|(w, e, t, _)| w == "scale_floodmax" && e == "parallel_codec" && *t == 4));
+    }
+
+    #[test]
+    fn merge_without_existing_falls_back_to_plain_document() {
+        let doc = merge_scale_workloads(None, &scale_sample());
+        assert_eq!(doc, scale_sample().to_json());
+        // Garbage input also falls back rather than corrupting.
+        let doc = merge_scale_workloads(Some("not json"), &scale_sample());
+        assert_eq!(doc, scale_sample().to_json());
+    }
+
+    #[test]
+    fn merged_json_stays_balanced() {
+        let merged = merge_scale_workloads(Some(&sample().to_json()), &scale_sample());
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                merged.matches(open).count(),
+                merged.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        assert!(!merged.contains(",\n  ]"), "trailing comma:\n{merged}");
+        assert!(!merged.contains("}\n    {"), "missing comma:\n{merged}");
+    }
+
+    #[test]
     fn json_is_balanced() {
-        for j in [sample().to_json(), sample_mpc().to_json()] {
+        for j in [
+            sample().to_json(),
+            sample_mpc().to_json(),
+            scale_sample().to_json(),
+        ] {
             for (open, close) in [('{', '}'), ('[', ']')] {
                 assert_eq!(
                     j.matches(open).count(),

@@ -71,6 +71,13 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// The [`RunConfig`](pga_congest::RunConfig) the experiment binaries
+/// run under: one shard per available CPU and the packed-codec message
+/// plane (bit-identical to the sequential enum plane, just faster).
+pub fn exp_cfg() -> pga_congest::RunConfig {
+    pga_congest::RunConfig::new().parallel_auto().codec(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,10 @@ pub use metrics::Metrics;
 /// Re-exported so engine consumers (benches, tests) can inspect the
 /// cost-balanced shard boundaries the parallel engine draws.
 pub use pga_runtime::balanced_partition;
+/// Runtime-level message-plane vocabulary, re-exported so algorithm
+/// crates can implement packed codecs and build [`RunConfig`]s without
+/// depending on `pga-runtime` directly.
+pub use pga_runtime::{CodecFns, MsgCodec, MsgCost, RunConfig};
 pub use sim::{
     check_message, default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report,
     Scheduling, SimError, Simulator, Topology, PARALLEL_MIN_NODES,

@@ -10,9 +10,9 @@
 pub use crate::error::SimError;
 use crate::Metrics;
 use pga_graph::{Graph, NodeId};
-use pga_runtime::{ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
+use pga_runtime::{CodecFns, ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
 
-pub use pga_runtime::Scheduling;
+pub use pga_runtime::{Engine, MsgCodec, RunConfig, Scheduling, PARALLEL_MIN_NODES};
 
 /// Communication topology of a simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,14 +26,16 @@ pub enum Topology {
     CongestedClique,
 }
 
-/// Size accounting for messages.
+/// Size accounting for messages — the historical CONGEST name for the
+/// runtime-level [`pga_runtime::MsgCost`] trait.
 ///
-/// `id_bits = ⌈log₂ n⌉` is passed in so message types can charge the
-/// model-correct `O(log n)` bits for every node identifier they carry.
-pub trait MsgSize {
-    /// The size of this message in bits.
-    fn size_bits(&self, id_bits: usize) -> usize;
-}
+/// `id_bits = ⌈log₂ n⌉` is passed to
+/// [`size_bits`](pga_runtime::MsgCost::size_bits) so message types can
+/// charge the model-correct `O(log n)` bits for every node identifier
+/// they carry. Existing `impl MsgSize for …` blocks compile unchanged;
+/// the same impl now also powers MPC word charging through the defaulted
+/// [`size_words`](pga_runtime::MsgCost::size_words).
+pub use pga_runtime::MsgCost as MsgSize;
 
 /// Per-node view of the network, passed to every [`Algorithm`] callback.
 #[derive(Debug)]
@@ -131,37 +133,11 @@ impl<O> From<pga_runtime::Run<O, Metrics>> for Report<O> {
     }
 }
 
-/// Selects which round executor drives a run (see [`Simulator::run_with`]).
-///
-/// Both engines are **bit-identical**: for the same algorithm states they
-/// produce the same outputs, the same [`Metrics`] (including the
-/// per-round congestion profile), and the same [`SimError`] on model
-/// violations, regardless of thread count. The sequential engine is the
-/// reference oracle; the parallel engine exists to make large instances
-/// run as fast as the hardware allows.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Engine {
-    /// The single-threaded reference engine ([`Simulator::run`]).
-    #[default]
-    Sequential,
-    /// The sharded multi-threaded engine ([`Simulator::run_parallel`]).
-    Parallel {
-        /// Number of worker shards; `0` means one per available CPU.
-        threads: usize,
-    },
-}
-
-impl Engine {
-    /// The parallel engine with one shard per available CPU.
-    pub fn parallel_auto() -> Self {
-        Engine::Parallel { threads: 0 }
-    }
-}
-
 /// The simulation driver.
 ///
 /// Construct with [`Simulator::congest`] or [`Simulator::congested_clique`]
 /// and tune with the builder-style setters.
+#[derive(Clone, Copy)]
 pub struct Simulator<'g> {
     g: &'g Graph,
     topology: Topology,
@@ -243,12 +219,21 @@ pub fn id_bits(n: usize) -> usize {
 /// into the CONGEST / CONGESTED CLIQUE engine: per-message validation
 /// via [`check_message`], bit charging, and [`Metrics`] accumulation
 /// (including the per-round congestion profile).
-struct CongestModel<'s, 'g, A> {
+///
+/// `W` is the packed word type of the message codec, `()` when the run
+/// uses the plain enum plane. When a codec is installed
+/// ([`Simulator::run_cfg`] with [`RunConfig::codec`] on), the kernel's
+/// counting-sort exchange moves `W` words through its CSR inbox arenas
+/// instead of cloned `A::Msg` enums; validation and charging still
+/// happen here on the decoded messages, so both planes are
+/// bit-identical by construction.
+struct CongestModel<'s, 'g, A: Algorithm, W = ()> {
     sim: &'s Simulator<'g>,
+    codec: Option<CodecFns<A::Msg, W>>,
     _algorithm: std::marker::PhantomData<fn(A)>,
 }
 
-impl<A: Algorithm> ExecModel for CongestModel<'_, '_, A> {
+impl<A: Algorithm, W: Copy + Send> ExecModel for CongestModel<'_, '_, A, W> {
     type Id = NodeId;
     type Node = A;
     type Msg = A::Msg;
@@ -256,6 +241,29 @@ impl<A: Algorithm> ExecModel for CongestModel<'_, '_, A> {
     type Error = SimError;
     type Metrics = Metrics;
     type SendScratch = Vec<NodeId>;
+    type Packed = W;
+
+    fn packs(&self) -> bool {
+        self.codec.is_some()
+    }
+
+    fn pack(&self, msg: &A::Msg) -> W {
+        let c = self.codec.expect("pack called without an installed codec");
+        let word = (c.enc)(msg);
+        debug_assert_eq!(
+            (c.bits)(word, id_bits(self.sim.g.num_nodes())),
+            msg.size_bits(id_bits(self.sim.g.num_nodes())),
+            "MsgCodec::encoded_bits must agree with MsgCost::size_bits"
+        );
+        word
+    }
+
+    fn unpack(&self, word: W) -> A::Msg {
+        (self
+            .codec
+            .expect("unpack called without an installed codec")
+            .dec)(word)
+    }
 
     fn actor_cost(&self, _node: &A, idx: usize) -> u64 {
         self.sim.vertex_cost(idx)
@@ -399,6 +407,19 @@ impl<'g> Simulator<'g> {
     fn model<A: Algorithm>(&self) -> CongestModel<'_, 'g, A> {
         CongestModel {
             sim: self,
+            codec: None,
+            _algorithm: std::marker::PhantomData,
+        }
+    }
+
+    fn model_codec<A>(&self) -> CongestModel<'_, 'g, A, <A::Msg as MsgCodec>::Word>
+    where
+        A: Algorithm,
+        A::Msg: MsgCodec,
+    {
+        CongestModel {
+            sim: self,
+            codec: Some(CodecFns::new()),
             _algorithm: std::marker::PhantomData,
         }
     }
@@ -509,10 +530,111 @@ impl<'g> Simulator<'g> {
             Engine::Parallel { threads } => self.run_parallel(nodes, threads),
         }
     }
-}
 
-/// Below this vertex count, [`Engine::parallel_auto`] (threads = 0) falls
-/// back to the sequential engine: worker threads are spawned per round,
-/// and on small instances that fixed cost exceeds the per-round compute.
-/// Explicit thread counts are always honored.
-pub const PARALLEL_MIN_NODES: usize = 1024;
+    /// Runs `nodes` on the sharded multi-threaded engine with the
+    /// message codec of `A::Msg` installed: the kernel exchange moves
+    /// packed [`MsgCodec::Word`]s through its flat CSR inbox arenas
+    /// instead of cloned message enums.
+    ///
+    /// Validation ([`check_message`]) and bit charging still run on the
+    /// decoded messages, so outputs, [`Metrics`] (congestion profile
+    /// included) and errors are bit-identical to [`Simulator::run`] and
+    /// [`Simulator::run_parallel`] at every thread count. Debug builds
+    /// additionally assert that [`MsgCodec::encoded_bits`] agrees with
+    /// [`MsgSize::size_bits`](pga_runtime::MsgCost::size_bits) for every
+    /// packed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_parallel_codec<A>(
+        &self,
+        nodes: Vec<A>,
+        threads: usize,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: MsgCodec + Send,
+    {
+        self.assert_node_count(&nodes);
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        Ok(pga_runtime::run_sharded(
+            &self.model_codec::<A>(),
+            nodes,
+            threads,
+            self.kernel_config(),
+        )?
+        .into())
+    }
+
+    /// Runs `nodes` under a [`RunConfig`]: engine, scheduling policy and
+    /// codec selection in one value.
+    ///
+    /// The configured [`RunConfig::scheduling`] overrides this
+    /// simulator's policy for the run. Engine dispatch matches
+    /// [`Simulator::run_with`] (including the
+    /// [`PARALLEL_MIN_NODES`] auto-threads fallback); with
+    /// [`RunConfig::codec`] on, parallel runs go through
+    /// [`Simulator::run_parallel_codec`]. The sequential engine always
+    /// uses the enum plane — packing lives in the sharded exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_cfg<A>(&self, nodes: Vec<A>, cfg: &RunConfig) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: MsgCodec + Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        match cfg.engine {
+            Engine::Sequential => sim.run(nodes),
+            Engine::Parallel { threads: 0 } if self.g.num_nodes() < PARALLEL_MIN_NODES => {
+                sim.run(nodes)
+            }
+            Engine::Parallel { threads } if cfg.codec => sim.run_parallel_codec(nodes, threads),
+            Engine::Parallel { threads } => sim.run_parallel(nodes, threads),
+        }
+    }
+
+    /// [`Simulator::run_cfg`] for algorithms whose message type has no
+    /// [`MsgCodec`] impl: [`RunConfig::codec`] is ignored and the run
+    /// always uses the enum plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_cfg_plain<A>(
+        &self,
+        nodes: Vec<A>,
+        cfg: &RunConfig,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        sim.run_with(nodes, cfg.engine)
+    }
+}

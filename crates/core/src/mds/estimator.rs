@@ -11,7 +11,7 @@
 //! This module provides both the bare math ([`estimate_from_minima`]) and
 //! the distributed algorithm ([`TwoHopEstimator`]).
 
-use pga_congest::{Algorithm, Ctx, Engine, MsgSize, Simulator};
+use pga_congest::{Algorithm, Ctx, Engine, MsgCodec, MsgSize, RunConfig, Simulator};
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -45,6 +45,20 @@ pub struct Sample(pub f64);
 impl MsgSize for Sample {
     fn size_bits(&self, _id_bits: usize) -> usize {
         64
+    }
+}
+
+// Packed as the raw f64 bit pattern — exact for every value, NaN
+// payloads included, and no tag (single-arm message type).
+impl MsgCodec for Sample {
+    type Word = u64;
+
+    fn encode(&self) -> u64 {
+        self.0.to_bits()
+    }
+
+    fn decode(word: u64) -> Self {
+        Sample(f64::from_bits(word))
     }
 }
 
@@ -149,19 +163,19 @@ impl Algorithm for TwoHopEstimator {
 /// Panics if the simulation violates the model (it cannot, by
 /// construction) — surfaced as an `expect` for API simplicity.
 pub fn estimate_two_hop_sizes(g: &Graph, in_u: &[bool], r: usize, seed: u64) -> Vec<f64> {
-    estimate_two_hop_sizes_with(g, in_u, r, seed, Engine::Sequential)
+    estimate_two_hop_sizes_cfg(g, in_u, r, seed, &RunConfig::new())
 }
 
 /// [`estimate_two_hop_sizes`] on an explicit simulation [`Engine`].
-///
-/// The engines are bit-identical — the same `seed` yields the same
-/// estimates on either engine; the parallel one simply runs large
-/// instances faster.
 ///
 /// # Panics
 ///
 /// Panics if the simulation violates the model (it cannot, by
 /// construction) — surfaced as an `expect` for API simplicity.
+#[deprecated(
+    since = "0.1.0",
+    note = "use estimate_two_hop_sizes_cfg with a RunConfig"
+)]
 pub fn estimate_two_hop_sizes_with(
     g: &Graph,
     in_u: &[bool],
@@ -169,11 +183,32 @@ pub fn estimate_two_hop_sizes_with(
     seed: u64,
     engine: Engine,
 ) -> Vec<f64> {
+    estimate_two_hop_sizes_cfg(g, in_u, r, seed, &RunConfig::new().engine(engine))
+}
+
+/// [`estimate_two_hop_sizes`] under an explicit [`RunConfig`] (engine,
+/// thread count, scheduling policy, packed message plane).
+///
+/// Every configuration is bit-identical — the same `seed` yields the
+/// same estimates under any configuration; a parallel engine simply
+/// runs large instances faster.
+///
+/// # Panics
+///
+/// Panics if the simulation violates the model (it cannot, by
+/// construction) — surfaced as an `expect` for API simplicity.
+pub fn estimate_two_hop_sizes_cfg(
+    g: &Graph,
+    in_u: &[bool],
+    r: usize,
+    seed: u64,
+    cfg: &RunConfig,
+) -> Vec<f64> {
     let nodes = (0..g.num_nodes())
         .map(|i| TwoHopEstimator::new(in_u[i], r, seed, i))
         .collect();
     Simulator::congest(g)
-        .run_with(nodes, engine)
+        .run_cfg(nodes, cfg)
         .expect("estimator respects the CONGEST model")
         .outputs
 }
@@ -275,6 +310,22 @@ mod tests {
         }
         for (v, &e) in est.iter().enumerate().skip(3) {
             assert_eq!(e, 0.0, "node {v} is 3+ hops away");
+        }
+    }
+}
+
+#[cfg(test)]
+mod codec_roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The single-arm [`Sample`] codec must round-trip every `f64`
+        /// bit pattern — NaN payloads and signed zeros included.
+        #[test]
+        fn sample_codec_roundtrips(bits in any::<u64>()) {
+            let s = Sample(f64::from_bits(bits));
+            prop_assert_eq!(Sample::decode(s.encode()).0.to_bits(), bits);
         }
     }
 }

@@ -19,6 +19,7 @@ use pga_congest::{default_bandwidth_bits, Metrics, SimError};
 use pga_graph::{Graph, NodeId};
 use pga_mpc::{
     adapter_vertex_cost, recommended_memory_words, CongestOnMpc, Engine, MpcError, MpcMetrics,
+    RunConfig,
 };
 use std::sync::Arc;
 
@@ -79,7 +80,7 @@ pub fn g2_mvc_congest_mpc(
     solver: LocalSolver,
 ) -> Result<MpcExecution<G2MvcResult>, MpcError> {
     let budget = budget_for::<Phase1>(g).max(budget_for::<GatherScatter<FEdge, CoverId>>(g));
-    g2_mvc_congest_mpc_with(g, eps, solver, budget, Engine::Sequential)
+    g2_mvc_congest_mpc_cfg(g, eps, solver, budget, &RunConfig::new())
 }
 
 /// [`g2_mvc_congest_mpc`] with an explicit memory budget `S` (words)
@@ -88,12 +89,39 @@ pub fn g2_mvc_congest_mpc(
 /// # Errors
 ///
 /// Returns an [`MpcError`] like [`g2_mvc_congest_mpc`].
+#[deprecated(since = "0.1.0", note = "use g2_mvc_congest_mpc_cfg with a RunConfig")]
 pub fn g2_mvc_congest_mpc_with(
     g: &Graph,
     eps: f64,
     solver: LocalSolver,
     memory_words: usize,
     engine: Engine,
+) -> Result<MpcExecution<G2MvcResult>, MpcError> {
+    g2_mvc_congest_mpc_cfg(
+        g,
+        eps,
+        solver,
+        memory_words,
+        &RunConfig::new().engine(engine),
+    )
+}
+
+/// [`g2_mvc_congest_mpc`] with an explicit memory budget `S` (words)
+/// under an explicit [`RunConfig`] (engine, thread count, scheduling
+/// policy, packed message plane for the cross-machine batches).
+///
+/// Every configuration is bit-identical, including the MPC resource
+/// accounting.
+///
+/// # Errors
+///
+/// Returns an [`MpcError`] like [`g2_mvc_congest_mpc`].
+pub fn g2_mvc_congest_mpc_cfg(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    memory_words: usize,
+    cfg: &RunConfig,
 ) -> Result<MpcExecution<G2MvcResult>, MpcError> {
     let n = g.num_nodes();
     if eps >= 1.0 || n == 0 {
@@ -121,7 +149,7 @@ pub fn g2_mvc_congest_mpc_with(
     let driver = CongestOnMpc::congest(g).with_memory_words(memory_words);
 
     // Phase I: clique harvesting.
-    let p1 = driver.run_with((0..n).map(|_| Phase1::new(l)).collect(), engine)?;
+    let p1 = driver.run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
     let p1_out = p1.outputs;
 
     // Phase II: gather F at the leader, solve, scatter R*.
@@ -134,7 +162,7 @@ pub fn g2_mvc_congest_mpc_with(
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
-    let p2 = driver.run_with(nodes, engine)?;
+    let p2 = driver.run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_size = cover.iter().filter(|&&b| b).count();
@@ -172,7 +200,7 @@ pub fn g2_mds_congest_mpc(
     seed: u64,
 ) -> Result<MpcExecution<G2MdsResult>, MpcError> {
     let budget = budget_for::<crate::mds::congest_g2::Theorem28Node>(g);
-    g2_mds_congest_mpc_with(g, sample_factor, seed, budget, Engine::Sequential)
+    g2_mds_congest_mpc_cfg(g, sample_factor, seed, budget, &RunConfig::new())
 }
 
 /// [`g2_mds_congest_mpc`] with an explicit memory budget `S` (words)
@@ -181,12 +209,39 @@ pub fn g2_mds_congest_mpc(
 /// # Errors
 ///
 /// Returns an [`MpcError`] like [`g2_mvc_congest_mpc`].
+#[deprecated(since = "0.1.0", note = "use g2_mds_congest_mpc_cfg with a RunConfig")]
 pub fn g2_mds_congest_mpc_with(
     g: &Graph,
     sample_factor: usize,
     seed: u64,
     memory_words: usize,
     engine: Engine,
+) -> Result<MpcExecution<G2MdsResult>, MpcError> {
+    g2_mds_congest_mpc_cfg(
+        g,
+        sample_factor,
+        seed,
+        memory_words,
+        &RunConfig::new().engine(engine),
+    )
+}
+
+/// [`g2_mds_congest_mpc`] with an explicit memory budget `S` (words)
+/// under an explicit [`RunConfig`] (engine, thread count, scheduling
+/// policy, packed message plane for the cross-machine batches).
+///
+/// Every configuration is bit-identical, including the MPC resource
+/// accounting.
+///
+/// # Errors
+///
+/// Returns an [`MpcError`] like [`g2_mvc_congest_mpc`].
+pub fn g2_mds_congest_mpc_cfg(
+    g: &Graph,
+    sample_factor: usize,
+    seed: u64,
+    memory_words: usize,
+    cfg: &RunConfig,
 ) -> Result<MpcExecution<G2MdsResult>, MpcError> {
     let n = g.num_nodes();
     if n == 0 {
@@ -203,7 +258,7 @@ pub fn g2_mds_congest_mpc_with(
     let (nodes, r) = theorem28_nodes(g, sample_factor, seed);
     let report = CongestOnMpc::congest(g)
         .with_memory_words(memory_words)
-        .run_with(nodes, engine)?;
+        .run_cfg(nodes, cfg)?;
     Ok(MpcExecution {
         result: G2MdsResult {
             dominating_set: report.outputs,
@@ -293,18 +348,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4244);
         let g = generators::connected_gnp(24, 0.12, &mut rng);
         let budget = budget_for::<Phase1>(&g).max(budget_for::<GatherScatter<FEdge, CoverId>>(&g));
-        let seq = g2_mvc_congest_mpc_with(&g, 0.5, LocalSolver::Exact, budget, Engine::Sequential)
-            .unwrap();
-        let par = g2_mvc_congest_mpc_with(
-            &g,
-            0.5,
-            LocalSolver::Exact,
-            budget,
-            Engine::Parallel { threads: 3 },
-        )
-        .unwrap();
-        assert_eq!(par.result.cover, seq.result.cover);
-        assert_eq!(par.mpc_metrics, seq.mpc_metrics);
+        let seq =
+            g2_mvc_congest_mpc_cfg(&g, 0.5, LocalSolver::Exact, budget, &RunConfig::new()).unwrap();
+        for codec in [false, true] {
+            let cfg = RunConfig::new().parallel(3).codec(codec);
+            let par = g2_mvc_congest_mpc_cfg(&g, 0.5, LocalSolver::Exact, budget, &cfg).unwrap();
+            assert_eq!(par.result.cover, seq.result.cover, "codec={codec}");
+            assert_eq!(par.mpc_metrics, seq.mpc_metrics, "codec={codec}");
+        }
     }
 
     #[test]
@@ -312,9 +363,9 @@ mod tests {
         let g = generators::grid(6, 6);
         let base = budget_for::<Phase1>(&g).max(budget_for::<GatherScatter<FEdge, CoverId>>(&g));
         let fine =
-            g2_mvc_congest_mpc_with(&g, 0.5, LocalSolver::Exact, base, Engine::Sequential).unwrap();
+            g2_mvc_congest_mpc_cfg(&g, 0.5, LocalSolver::Exact, base, &RunConfig::new()).unwrap();
         let coarse =
-            g2_mvc_congest_mpc_with(&g, 0.5, LocalSolver::Exact, 8 * base, Engine::Sequential)
+            g2_mvc_congest_mpc_cfg(&g, 0.5, LocalSolver::Exact, 8 * base, &RunConfig::new())
                 .unwrap();
         assert!(fine.machines >= coarse.machines);
         assert_eq!(fine.result.cover, coarse.result.cover);

@@ -10,12 +10,15 @@
 use crate::mvc::congest::G2MvcResult;
 use crate::mvc::phase1::{P1Output, Phase1};
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder, FEdge, LocalSolver};
-use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::primitives::GsPack;
+use pga_congest::{
+    Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
+};
 use pga_graph::{Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Messages of the clique Phase II.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum CliqueMsg {
     /// One `F`-edge report, sent directly to the leader.
     Edge(FEdge),
@@ -31,6 +34,36 @@ impl MsgSize for CliqueMsg {
             CliqueMsg::Edge(e) => e.size_bits(id_bits),
             CliqueMsg::Done => 0,
             CliqueMsg::Verdict(_) => 1,
+        }
+    }
+}
+
+// Packed layout ([u64; 4]): word 0 holds a 2-bit tag, the edge's
+// direction flag at bit 2 and the verdict at bit 3; words 1..4 hold the
+// edge's GsPack payload.
+impl MsgCodec for CliqueMsg {
+    type Word = [u64; 4];
+
+    fn encode(&self) -> [u64; 4] {
+        match self {
+            CliqueMsg::Edge(e) => {
+                let (w, flag) = e.pack3();
+                [u64::from(flag) << 2, w[0], w[1], w[2]]
+            }
+            CliqueMsg::Done => [1, 0, 0, 0],
+            CliqueMsg::Verdict(v) => [2 | (u64::from(*v) << 3), 0, 0, 0],
+        }
+    }
+
+    fn decode(word: [u64; 4]) -> Self {
+        match word[0] & 0x3 {
+            0 => CliqueMsg::Edge(FEdge::unpack3(
+                [word[1], word[2], word[3]],
+                word[0] & 0x4 != 0,
+            )),
+            1 => CliqueMsg::Done,
+            2 => CliqueMsg::Verdict(word[0] & 0x8 != 0),
+            tag => unreachable!("invalid CliqueMsg tag {tag}"),
         }
     }
 }
@@ -125,7 +158,7 @@ pub(crate) fn run_clique_phase2(
     p1_out: &[P1Output],
     p1_metrics: Metrics,
     solver: LocalSolver,
-    engine: Engine,
+    cfg: &RunConfig,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     let nodes = (0..n)
@@ -135,7 +168,7 @@ pub(crate) fn run_clique_phase2(
             CliquePhase2::new(items, o.in_s, solver)
         })
         .collect();
-    let p2 = Simulator::congested_clique(g).run_with(nodes, engine)?;
+    let p2 = Simulator::congested_clique(g).run_cfg(nodes, cfg)?;
 
     // Special case n == 1: the leader never answers itself over the wire.
     let mut cover: Vec<bool> = p2.outputs.clone();
@@ -177,22 +210,38 @@ pub fn g2_mvc_clique_det(
     eps: f64,
     solver: LocalSolver,
 ) -> Result<G2MvcResult, SimError> {
-    g2_mvc_clique_det_with(g, eps, solver, Engine::Sequential)
+    g2_mvc_clique_det_cfg(g, eps, solver, &RunConfig::new())
 }
 
 /// [`g2_mvc_clique_det`] on an explicit simulation [`Engine`].
 ///
-/// The engines are bit-identical; the parallel engine simply runs large
-/// instances faster.
-///
 /// # Errors
 ///
 /// Propagates [`SimError`] like [`g2_mvc_clique_det`].
+#[deprecated(since = "0.1.0", note = "use g2_mvc_clique_det_cfg with a RunConfig")]
 pub fn g2_mvc_clique_det_with(
     g: &Graph,
     eps: f64,
     solver: LocalSolver,
     engine: Engine,
+) -> Result<G2MvcResult, SimError> {
+    g2_mvc_clique_det_cfg(g, eps, solver, &RunConfig::new().engine(engine))
+}
+
+/// [`g2_mvc_clique_det`] under an explicit [`RunConfig`] (engine, thread
+/// count, scheduling policy, packed message plane).
+///
+/// Every configuration is bit-identical; a parallel engine simply runs
+/// large instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_clique_det`].
+pub fn g2_mvc_clique_det_cfg(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    cfg: &RunConfig,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 {
@@ -205,9 +254,9 @@ pub fn g2_mvc_clique_det_with(
         });
     }
     let l = crate::mvc::congest::threshold_for_eps(eps);
-    let p1 = Simulator::congested_clique(g)
-        .run_with((0..n).map(|_| Phase1::new(l)).collect(), engine)?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, engine)
+    let p1 =
+        Simulator::congested_clique(g).run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
+    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, cfg)
 }
 
 #[cfg(test)]
@@ -277,5 +326,44 @@ mod tests {
     fn single_node() {
         let r = g2_mvc_clique_det(&Graph::empty(1), 0.5, LocalSolver::Exact).unwrap();
         assert_eq!(r.size(), 0);
+    }
+}
+
+#[cfg(test)]
+mod codec_roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_fedge() -> impl Strategy<Value = FEdge> {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(from, to, from_in_u, from_weight, to_weight)| FEdge {
+                from: NodeId(from),
+                to: NodeId(to),
+                from_in_u,
+                from_weight,
+                to_weight,
+            })
+    }
+
+    /// Every arm of [`CliqueMsg`], with full-range edge payloads.
+    fn arb_msg() -> impl Strategy<Value = CliqueMsg> {
+        prop_oneof![
+            arb_fedge().prop_map(CliqueMsg::Edge),
+            Just(CliqueMsg::Done),
+            any::<bool>().prop_map(CliqueMsg::Verdict),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn clique_msg_codec_roundtrips(m in arb_msg()) {
+            prop_assert_eq!(CliqueMsg::decode(m.encode()), m);
+        }
     }
 }

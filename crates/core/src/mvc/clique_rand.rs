@@ -20,13 +20,15 @@ use crate::mvc::clique_det::run_clique_phase2;
 use crate::mvc::congest::G2MvcResult;
 use crate::mvc::phase1::P1Output;
 use crate::mvc::remainder::LocalSolver;
-use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{
+    Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
+};
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// Messages of the randomized voting Phase I.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum VoteMsg {
     /// "I am a candidate with this random rank."
     Cand(u64),
@@ -43,6 +45,29 @@ impl MsgSize for VoteMsg {
         2 + match self {
             VoteMsg::Cand(_) => 4 * id_bits, // a rank in [n⁴]
             _ => 0,
+        }
+    }
+}
+
+// Packed layout (u128): bits 0..2 tag, bits 2..66 the candidate rank.
+impl MsgCodec for VoteMsg {
+    type Word = u128;
+
+    fn encode(&self) -> u128 {
+        match self {
+            VoteMsg::Cand(rank) => u128::from(*rank) << 2,
+            VoteMsg::Vote => 1,
+            VoteMsg::JoinS => 2,
+            VoteMsg::LeftR => 3,
+        }
+    }
+
+    fn decode(word: u128) -> Self {
+        match word & 0x3 {
+            0 => VoteMsg::Cand((word >> 2) as u64),
+            1 => VoteMsg::Vote,
+            2 => VoteMsg::JoinS,
+            _ => VoteMsg::LeftR,
         }
     }
 }
@@ -206,23 +231,41 @@ pub fn g2_mvc_clique_rand(
     solver: LocalSolver,
     seed: u64,
 ) -> Result<G2MvcResult, SimError> {
-    g2_mvc_clique_rand_with(g, eps, solver, seed, Engine::Sequential)
+    g2_mvc_clique_rand_cfg(g, eps, solver, seed, &RunConfig::new())
 }
 
 /// [`g2_mvc_clique_rand`] on an explicit simulation [`Engine`].
 ///
-/// The engines are bit-identical — the same `seed` yields the same cover
-/// on either engine; the parallel one simply runs large instances faster.
-///
 /// # Errors
 ///
 /// Propagates [`SimError`] like [`g2_mvc_clique_rand`].
+#[deprecated(since = "0.1.0", note = "use g2_mvc_clique_rand_cfg with a RunConfig")]
 pub fn g2_mvc_clique_rand_with(
     g: &Graph,
     eps: f64,
     solver: LocalSolver,
     seed: u64,
     engine: Engine,
+) -> Result<G2MvcResult, SimError> {
+    g2_mvc_clique_rand_cfg(g, eps, solver, seed, &RunConfig::new().engine(engine))
+}
+
+/// [`g2_mvc_clique_rand`] under an explicit [`RunConfig`] (engine,
+/// thread count, scheduling policy, packed message plane).
+///
+/// Every configuration is bit-identical — the same `seed` yields the
+/// same cover under any configuration; a parallel engine simply runs
+/// large instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_clique_rand`].
+pub fn g2_mvc_clique_rand_cfg(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    seed: u64,
+    cfg: &RunConfig,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 {
@@ -234,11 +277,9 @@ pub fn g2_mvc_clique_rand_with(
             phase2_metrics: Metrics::default(),
         });
     }
-    let p1 = Simulator::congested_clique(g).run_with(
-        (0..n).map(|i| VotePhase1::new(eps, seed, i)).collect(),
-        engine,
-    )?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, engine)
+    let p1 = Simulator::congested_clique(g)
+        .run_cfg((0..n).map(|i| VotePhase1::new(eps, seed, i)).collect(), cfg)?;
+    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, cfg)
 }
 
 #[cfg(test)]
@@ -307,5 +348,28 @@ mod tests {
         assert!(is_vertex_cover_on_square(&g, &r.cover));
         let opt = mvc_size(&square(&g));
         assert_eq!(r.size(), opt, "exact leader solve on the whole graph");
+    }
+}
+
+#[cfg(test)]
+mod codec_roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every arm of [`VoteMsg`], with full-range ranks.
+    fn arb_msg() -> impl Strategy<Value = VoteMsg> {
+        prop_oneof![
+            any::<u64>().prop_map(VoteMsg::Cand),
+            Just(VoteMsg::Vote),
+            Just(VoteMsg::JoinS),
+            Just(VoteMsg::LeftR),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn vote_msg_codec_roundtrips(m in arb_msg()) {
+            prop_assert_eq!(VoteMsg::decode(m.encode()), m);
+        }
     }
 }

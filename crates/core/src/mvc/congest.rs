@@ -19,7 +19,7 @@
 use crate::mvc::phase1::Phase1;
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder, CoverId, FEdge};
 use pga_congest::primitives::{GatherScatter, LeaderCompute};
-use pga_congest::{Engine, Metrics, SimError, Simulator};
+use pga_congest::{Engine, Metrics, RunConfig, SimError, Simulator};
 use pga_graph::{Graph, NodeId};
 use std::sync::Arc;
 
@@ -83,23 +83,40 @@ pub(crate) fn threshold_for_eps(eps: f64) -> usize {
 /// assert!(is_vertex_cover_on_square(&g, &result.cover));
 /// ```
 pub fn g2_mvc_congest(g: &Graph, eps: f64, solver: LocalSolver) -> Result<G2MvcResult, SimError> {
-    g2_mvc_congest_with(g, eps, solver, Engine::Sequential)
+    g2_mvc_congest_cfg(g, eps, solver, &RunConfig::new())
 }
 
 /// [`g2_mvc_congest`] on an explicit simulation [`Engine`].
 ///
-/// The engines are bit-identical, so the result does not depend on the
-/// choice; the parallel engine simply runs large instances faster (the
-/// experiment binaries use [`Engine::parallel_auto`]).
-///
 /// # Errors
 ///
 /// Propagates [`SimError`] like [`g2_mvc_congest`].
+#[deprecated(since = "0.1.0", note = "use g2_mvc_congest_cfg with a RunConfig")]
 pub fn g2_mvc_congest_with(
     g: &Graph,
     eps: f64,
     solver: LocalSolver,
     engine: Engine,
+) -> Result<G2MvcResult, SimError> {
+    g2_mvc_congest_cfg(g, eps, solver, &RunConfig::new().engine(engine))
+}
+
+/// [`g2_mvc_congest`] under an explicit [`RunConfig`] (engine, thread
+/// count, scheduling policy, packed message plane).
+///
+/// Every configuration is bit-identical: the result does not depend on
+/// the choice; a parallel engine (and, on top of it, the packed codec
+/// plane) simply runs large instances faster. The experiment binaries
+/// use `RunConfig::new().parallel_auto()`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mvc_congest`].
+pub fn g2_mvc_congest_cfg(
+    g: &Graph,
+    eps: f64,
+    solver: LocalSolver,
+    cfg: &RunConfig,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
     if eps >= 1.0 || n == 0 {
@@ -124,7 +141,7 @@ pub fn g2_mvc_congest_with(
 
     // Phase I.
     let sim = Simulator::congest(g);
-    let p1 = sim.run_with((0..n).map(|_| Phase1::new(l)).collect(), engine)?;
+    let p1 = sim.run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
     let p1_out = p1.outputs;
 
     // Phase II: gather F at the leader, solve, scatter R*.
@@ -137,7 +154,7 @@ pub fn g2_mvc_congest_with(
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
-    let p2 = Simulator::congest(g).run_with(nodes, engine)?;
+    let p2 = Simulator::congest(g).run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_size = cover.iter().filter(|&&b| b).count();
@@ -226,11 +243,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(54);
         let g = generators::connected_gnp(24, 0.12, &mut rng);
         let seq = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
-        let par = g2_mvc_congest_with(&g, 0.5, LocalSolver::Exact, Engine::Parallel { threads: 4 })
-            .unwrap();
-        assert_eq!(par.cover, seq.cover);
-        assert_eq!(par.phase1_metrics, seq.phase1_metrics);
-        assert_eq!(par.phase2_metrics, seq.phase2_metrics);
+        for codec in [false, true] {
+            let cfg = RunConfig::new().parallel(4).codec(codec);
+            let par = g2_mvc_congest_cfg(&g, 0.5, LocalSolver::Exact, &cfg).unwrap();
+            assert_eq!(par.cover, seq.cover, "codec={codec}");
+            assert_eq!(par.phase1_metrics, seq.phase1_metrics);
+            assert_eq!(par.phase2_metrics, seq.phase2_metrics);
+        }
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_cfg_form() {
+        let g = generators::clique_chain(3, 4);
+        #[allow(deprecated, clippy::disallowed_methods)]
+        let old = g2_mvc_congest_with(&g, 0.5, LocalSolver::Exact, Engine::Sequential).unwrap();
+        let new = g2_mvc_congest_cfg(&g, 0.5, LocalSolver::Exact, &RunConfig::new()).unwrap();
+        assert_eq!(old.cover, new.cover);
+        assert_eq!(old.phase1_metrics, new.phase1_metrics);
+        assert_eq!(old.phase2_metrics, new.phase2_metrics);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder_weighted, CoverId, FEdge};
 use pga_congest::primitives::{GatherScatter, LeaderCompute};
-use pga_congest::{Algorithm, Ctx, Engine, Metrics, MsgSize, SimError, Simulator};
+use pga_congest::{
+    Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
+};
 use pga_graph::{Graph, NodeId, VertexWeights};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,7 +54,7 @@ impl G2MwvcResult {
 }
 
 /// Messages of weighted Phase I.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum WMsg {
     /// Initial exchange: "my weight is ...". Weight 0 doubles as "I am in
     /// the cover already; not in R".
@@ -73,6 +75,33 @@ impl MsgSize for WMsg {
             WMsg::Weight(w) => (64 - w.leading_zeros() as usize).max(1),
             WMsg::MaxCand(_) => id_bits,
             _ => 0,
+        }
+    }
+}
+
+// Packed layout (u128): bits 0..3 tag, payload (64-bit weight or 32-bit
+// id) starting at bit 3.
+impl MsgCodec for WMsg {
+    type Word = u128;
+
+    fn encode(&self) -> u128 {
+        match self {
+            WMsg::Weight(w) => u128::from(*w) << 3,
+            WMsg::Cand => 1,
+            WMsg::MaxCand(id) => 2 | (u128::from(*id) << 3),
+            WMsg::JoinS => 3,
+            WMsg::LeftR => 4,
+        }
+    }
+
+    fn decode(word: u128) -> Self {
+        match word & 0x7 {
+            0 => WMsg::Weight((word >> 3) as u64),
+            1 => WMsg::Cand,
+            2 => WMsg::MaxCand((word >> 3) as u32),
+            3 => WMsg::JoinS,
+            4 => WMsg::LeftR,
+            tag => unreachable!("invalid WMsg tag {tag}"),
         }
     }
 }
@@ -295,22 +324,38 @@ impl Algorithm for WPhase1 {
 /// assert!(is_vertex_cover_on_square(&g, &result.cover));
 /// ```
 pub fn g2_mwvc_congest(g: &Graph, w: &VertexWeights, eps: f64) -> Result<G2MwvcResult, SimError> {
-    g2_mwvc_congest_with(g, w, eps, Engine::Sequential)
+    g2_mwvc_congest_cfg(g, w, eps, &RunConfig::new())
 }
 
 /// [`g2_mwvc_congest`] on an explicit simulation [`Engine`].
 ///
-/// The engines are bit-identical; the parallel engine simply runs large
-/// instances faster.
-///
 /// # Errors
 ///
 /// Propagates [`SimError`] like [`g2_mwvc_congest`].
+#[deprecated(since = "0.1.0", note = "use g2_mwvc_congest_cfg with a RunConfig")]
 pub fn g2_mwvc_congest_with(
     g: &Graph,
     w: &VertexWeights,
     eps: f64,
     engine: Engine,
+) -> Result<G2MwvcResult, SimError> {
+    g2_mwvc_congest_cfg(g, w, eps, &RunConfig::new().engine(engine))
+}
+
+/// [`g2_mwvc_congest`] under an explicit [`RunConfig`] (engine, thread
+/// count, scheduling policy, packed message plane).
+///
+/// Every configuration is bit-identical; a parallel engine simply runs
+/// large instances faster.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`g2_mwvc_congest`].
+pub fn g2_mwvc_congest_cfg(
+    g: &Graph,
+    w: &VertexWeights,
+    eps: f64,
+    cfg: &RunConfig,
 ) -> Result<G2MwvcResult, SimError> {
     assert!(w.matches(g), "weights must match the graph");
     assert!(eps > 0.0, "ε must be positive");
@@ -321,11 +366,11 @@ pub fn g2_mwvc_congest_with(
     }
     let n = g.num_nodes();
 
-    let p1 = Simulator::congest(g).run_with(
+    let p1 = Simulator::congest(g).run_cfg(
         (0..n)
             .map(|i| WPhase1::new(eps, w.get(NodeId::from_index(i))))
             .collect(),
-        engine,
+        cfg,
     )?;
     let p1_out = p1.outputs;
 
@@ -342,7 +387,7 @@ pub fn g2_mwvc_congest_with(
             GatherScatter::new(items, Arc::clone(&compute))
         })
         .collect();
-    let p2 = Simulator::congest(g).run_with(nodes, engine)?;
+    let p2 = Simulator::congest(g).run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_weight = w.subset_weight(&cover);
@@ -517,5 +562,29 @@ mod tests {
         let r = check(&g, &w, 0.5);
         // O(n log n / ε) with small constants; sanity-check a generous cap.
         assert!(r.total_rounds() < 24 * 64, "{} rounds", r.total_rounds());
+    }
+}
+
+#[cfg(test)]
+mod codec_roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every arm of [`WMsg`], with full-range weights and ids.
+    fn arb_msg() -> impl Strategy<Value = WMsg> {
+        prop_oneof![
+            any::<u64>().prop_map(WMsg::Weight),
+            Just(WMsg::Cand),
+            any::<u32>().prop_map(WMsg::MaxCand),
+            Just(WMsg::JoinS),
+            Just(WMsg::LeftR),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn w_msg_codec_roundtrips(m in arb_msg()) {
+            prop_assert_eq!(WMsg::decode(m.encode()), m);
+        }
     }
 }

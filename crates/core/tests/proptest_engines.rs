@@ -4,27 +4,40 @@
 //! The shared `pga-runtime` kernel promises that the sequential and
 //! sharded executors are bit-identical — outputs, metrics (including
 //! the per-round congestion and I/O profiles), and errors — at every
-//! thread count. These tests pin that promise at the public API level:
-//! each `*_with` entry point is run sequentially (the reference) and at
-//! thread counts {1, 2, 3, 5, 8}, on uniform `connected_gnm` and
-//! heavy-tailed Barabási–Albert instances plus a disconnected instance
-//! (the error path: Phase II's BFS tree requires connectivity).
+//! thread count, and that the packed-codec message plane is
+//! bit-identical to the enum plane. These tests pin both promises at
+//! the public API level: each `*_cfg` entry point is run sequentially
+//! (the reference) and at thread counts {1, 2, 4, 8} with the codec
+//! plane both off and on, on uniform `connected_gnm` and heavy-tailed
+//! Barabási–Albert instances plus a quiescent-tail lollipop and a
+//! disconnected instance (the error path: Phase II's BFS tree requires
+//! connectivity).
 
-use pga_congest::Engine;
-use pga_core::mds::congest_g2::g2_mds_congest_with;
-use pga_core::mds::estimator::estimate_two_hop_sizes_with;
-use pga_core::mpc::{g2_mds_congest_mpc_with, g2_mvc_congest_mpc_with};
-use pga_core::mvc::clique_det::g2_mvc_clique_det_with;
-use pga_core::mvc::clique_rand::g2_mvc_clique_rand_with;
-use pga_core::mvc::congest::{g2_mvc_congest_with, G2MvcResult, LocalSolver};
-use pga_core::mvc::weighted::g2_mwvc_congest_with;
+use pga_congest::RunConfig;
+use pga_core::mds::congest_g2::g2_mds_congest_cfg;
+use pga_core::mds::estimator::estimate_two_hop_sizes_cfg;
+use pga_core::mpc::{g2_mds_congest_mpc_cfg, g2_mvc_congest_mpc_cfg};
+use pga_core::mvc::clique_det::g2_mvc_clique_det_cfg;
+use pga_core::mvc::clique_rand::g2_mvc_clique_rand_cfg;
+use pga_core::mvc::congest::{g2_mvc_congest_cfg, G2MvcResult, LocalSolver};
+use pga_core::mvc::weighted::g2_mwvc_congest_cfg;
 use pga_graph::{generators, Graph, GraphBuilder, NodeId, VertexWeights};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The thread counts every entry point is checked at.
-const THREADS: [usize; 5] = [1, 2, 3, 5, 8];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every non-sequential configuration under test: each thread count
+/// with the enum plane and with the packed-codec plane.
+fn parallel_cfgs() -> impl Iterator<Item = RunConfig> {
+    THREADS.into_iter().flat_map(|t| {
+        [false, true]
+            .into_iter()
+            .map(move |codec| RunConfig::new().parallel(t).codec(codec))
+    })
+}
 
 /// Instance families: uniform gnm, heavy-tailed BA, a quiescent-tail
 /// lollipop (gnm blob + path tail, the shard-skew shape the
@@ -92,12 +105,10 @@ proptest! {
     /// Theorem 1 (G²-MVC in CONGEST), success and error cases alike.
     #[test]
     fn g2_mvc_engines_bit_identical(g in arb_instance()) {
-        let reference = mvc_key(g2_mvc_congest_with(&g, 0.4, LocalSolver::Exact, Engine::Sequential));
-        for t in THREADS {
-            let par = mvc_key(g2_mvc_congest_with(
-                &g, 0.4, LocalSolver::Exact, Engine::Parallel { threads: t },
-            ));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+        let reference = mvc_key(g2_mvc_congest_cfg(&g, 0.4, LocalSolver::Exact, &RunConfig::new()));
+        for cfg in parallel_cfgs() {
+            let par = mvc_key(g2_mvc_congest_cfg(&g, 0.4, LocalSolver::Exact, &cfg));
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
@@ -107,73 +118,71 @@ proptest! {
         let n = g.num_nodes();
         let weights: Vec<u64> = (0..n).map(|i| 1 + (wseed.wrapping_mul(i as u64 + 7) % 9)).collect();
         let w = VertexWeights::from_vec(weights);
-        let reference = g2_mwvc_congest_with(&g, &w, 0.4, Engine::Sequential)
+        let reference = g2_mwvc_congest_cfg(&g, &w, 0.4, &RunConfig::new())
             .map(|r| (r.cover, r.s_weight, r.r_star_weight, r.phase1_metrics, r.phase2_metrics));
-        for t in THREADS {
-            let par = g2_mwvc_congest_with(&g, &w, 0.4, Engine::Parallel { threads: t })
+        for cfg in parallel_cfgs() {
+            let par = g2_mwvc_congest_cfg(&g, &w, 0.4, &cfg)
                 .map(|r| (r.cover, r.s_weight, r.r_star_weight, r.phase1_metrics, r.phase2_metrics));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
     /// Corollary 10 (deterministic CONGESTED CLIQUE).
     #[test]
     fn g2_mvc_clique_det_engines_bit_identical(g in arb_instance()) {
-        let reference = mvc_key(g2_mvc_clique_det_with(
-            &g, 0.4, LocalSolver::FiveThirds, Engine::Sequential,
+        let reference = mvc_key(g2_mvc_clique_det_cfg(
+            &g, 0.4, LocalSolver::FiveThirds, &RunConfig::new(),
         ));
-        for t in THREADS {
-            let par = mvc_key(g2_mvc_clique_det_with(
-                &g, 0.4, LocalSolver::FiveThirds, Engine::Parallel { threads: t },
-            ));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+        for cfg in parallel_cfgs() {
+            let par = mvc_key(g2_mvc_clique_det_cfg(&g, 0.4, LocalSolver::FiveThirds, &cfg));
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
     /// Theorem 11 (randomized CONGESTED CLIQUE; same seed, same result).
     #[test]
     fn g2_mvc_clique_rand_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
-        let reference = mvc_key(g2_mvc_clique_rand_with(
-            &g, 0.4, LocalSolver::FiveThirds, seed, Engine::Sequential,
+        let reference = mvc_key(g2_mvc_clique_rand_cfg(
+            &g, 0.4, LocalSolver::FiveThirds, seed, &RunConfig::new(),
         ));
-        for t in THREADS {
-            let par = mvc_key(g2_mvc_clique_rand_with(
-                &g, 0.4, LocalSolver::FiveThirds, seed, Engine::Parallel { threads: t },
+        for cfg in parallel_cfgs() {
+            let par = mvc_key(g2_mvc_clique_rand_cfg(
+                &g, 0.4, LocalSolver::FiveThirds, seed, &cfg,
             ));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
     /// Theorem 28 (G²-MDS; randomized, seed-pinned).
     #[test]
     fn g2_mds_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
-        let reference = g2_mds_congest_with(&g, 2, seed, Engine::Sequential)
+        let reference = g2_mds_congest_cfg(&g, 2, seed, &RunConfig::new())
             .map(|r| (r.dominating_set, r.metrics, r.samples_per_phase));
-        for t in THREADS {
-            let par = g2_mds_congest_with(&g, 2, seed, Engine::Parallel { threads: t })
+        for cfg in parallel_cfgs() {
+            let par = g2_mds_congest_cfg(&g, 2, seed, &cfg)
                 .map(|r| (r.dominating_set, r.metrics, r.samples_per_phase));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
     /// Lemma 29 (2-hop estimator; exact f64 equality is the point —
-    /// the engines must deliver identical samples in identical order).
+    /// the engines must deliver identical samples in identical order,
+    /// and the codec must round-trip every f64 bit pattern).
     #[test]
     fn estimator_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {
         let n = g.num_nodes();
         let in_u: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
-        let reference = estimate_two_hop_sizes_with(&g, &in_u, 3, seed, Engine::Sequential);
-        for t in THREADS {
-            let par = estimate_two_hop_sizes_with(
-                &g, &in_u, 3, seed, Engine::Parallel { threads: t },
-            );
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+        let reference = estimate_two_hop_sizes_cfg(&g, &in_u, 3, seed, &RunConfig::new());
+        for cfg in parallel_cfgs() {
+            let par = estimate_two_hop_sizes_cfg(&g, &in_u, 3, seed, &cfg);
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
     /// The MPC-executed Theorem 1: engine-parameterized at the MPC
     /// layer, compared on result, machine count, and full MPC metrics
-    /// (I/O profile included).
+    /// (I/O profile included) — with and without packed cross-machine
+    /// batches.
     #[test]
     fn g2_mvc_mpc_engines_bit_identical(g in arb_instance()) {
         let budget = pga_mpc::recommended_memory_words(
@@ -181,14 +190,12 @@ proptest! {
             pga_congest::default_bandwidth_bits(g.num_nodes()),
         ) * 2
             + 4096;
-        let reference = g2_mvc_congest_mpc_with(&g, 0.4, LocalSolver::Exact, budget, Engine::Sequential)
+        let reference = g2_mvc_congest_mpc_cfg(&g, 0.4, LocalSolver::Exact, budget, &RunConfig::new())
             .map(|e| (mvc_key(Ok(e.result)).unwrap(), e.machines, e.mpc_metrics));
-        for t in THREADS {
-            let par = g2_mvc_congest_mpc_with(
-                &g, 0.4, LocalSolver::Exact, budget, Engine::Parallel { threads: t },
-            )
-            .map(|e| (mvc_key(Ok(e.result)).unwrap(), e.machines, e.mpc_metrics));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+        for cfg in parallel_cfgs() {
+            let par = g2_mvc_congest_mpc_cfg(&g, 0.4, LocalSolver::Exact, budget, &cfg)
+                .map(|e| (mvc_key(Ok(e.result)).unwrap(), e.machines, e.mpc_metrics));
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 
@@ -200,12 +207,12 @@ proptest! {
             pga_congest::default_bandwidth_bits(g.num_nodes()),
         ) * 2
             + 4096;
-        let reference = g2_mds_congest_mpc_with(&g, 2, seed, budget, Engine::Sequential)
+        let reference = g2_mds_congest_mpc_cfg(&g, 2, seed, budget, &RunConfig::new())
             .map(|e| ((e.result.dominating_set, e.result.metrics), e.machines, e.mpc_metrics));
-        for t in THREADS {
-            let par = g2_mds_congest_mpc_with(&g, 2, seed, budget, Engine::Parallel { threads: t })
+        for cfg in parallel_cfgs() {
+            let par = g2_mds_congest_mpc_cfg(&g, 2, seed, budget, &cfg)
                 .map(|e| ((e.result.dominating_set, e.result.metrics), e.machines, e.mpc_metrics));
-            prop_assert_eq!(&par, &reference, "threads {}", t);
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
         }
     }
 }

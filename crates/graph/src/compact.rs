@@ -1,0 +1,321 @@
+//! Delta/varint-compressed CSR adjacency (cargo feature `compact`).
+//!
+//! A plain [`Graph`] stores adjacency as `2m` explicit `u32` targets.
+//! [`CompactGraph`] stores each vertex's **sorted** neighbor list as a
+//! LEB128 varint block: the first neighbor raw, then successive gaps
+//! (`cur - prev`, always ≥ 1 after dedup). Sorted adjacency keeps gaps
+//! small, so sparse `10⁷`–`10⁸`-edge instances shrink to roughly one or
+//! two bytes per directed edge instead of four — the difference between
+//! fitting on one box and not.
+//!
+//! The compact form is a *storage* representation: neighbor access is a
+//! decoding iterator ([`CompactGraph::neighbors`]), not a slice, so the
+//! simulators keep running on [`Graph`]. Convert with
+//! [`CompactGraph::from_graph`] / [`CompactGraph::to_graph`]; the round
+//! trip is exact.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Appends `x` to `buf` in LEB128 (7 bits per byte, high bit = more).
+fn push_varint(buf: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        buf.push((x as u8 & 0x7f) | 0x80);
+        x >>= 7;
+    }
+    buf.push(x as u8);
+}
+
+/// Decodes one LEB128 varint starting at `*pos`, advancing `*pos`.
+fn read_varint(buf: &[u8], pos: &mut usize) -> u32 {
+    let mut x: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        x |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// An undirected simple graph in delta/varint-compressed CSR layout.
+///
+/// Structurally identical to [`Graph`] (same vertex set, same sorted
+/// neighbor lists), but the `targets` array is replaced by per-vertex
+/// varint blocks of first-value-then-gaps. See the [module
+/// docs](self) for the trade-off.
+///
+/// # Example
+///
+/// ```
+/// use pga_graph::{Graph, NodeId};
+/// use pga_graph::compact::CompactGraph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let c = CompactGraph::from_graph(&g);
+/// assert_eq!(c.num_edges(), 4);
+/// assert_eq!(c.degree(NodeId(2)), 3);
+/// let n2: Vec<NodeId> = c.neighbors(NodeId(2)).collect();
+/// assert_eq!(n2, g.neighbors(NodeId(2)));
+/// assert_eq!(c.to_graph(), g);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CompactGraph {
+    /// `blocks[offsets[v]..offsets[v + 1]]` is the varint block of
+    /// vertex `v`. Always has length `n + 1`.
+    offsets: Vec<usize>,
+    /// Varint-encoded neighbor blocks, concatenated in vertex order.
+    blocks: Vec<u8>,
+    /// Per-vertex degrees (kept explicit for `O(1)` access and exact
+    /// iterator size hints).
+    degrees: Vec<u32>,
+    num_edges: usize,
+}
+
+impl CompactGraph {
+    /// Compresses a [`Graph`] into the delta/varint layout.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut degrees = Vec::with_capacity(n);
+        let mut blocks = Vec::new();
+        offsets.push(0);
+        for v in g.nodes() {
+            let list = g.neighbors(v);
+            degrees.push(u32::try_from(list.len()).expect("degree exceeds u32::MAX"));
+            let mut prev = 0;
+            for (i, &u) in list.iter().enumerate() {
+                // First neighbor raw, then strictly positive gaps.
+                push_varint(&mut blocks, if i == 0 { u.0 } else { u.0 - prev });
+                prev = u.0;
+            }
+            offsets.push(blocks.len());
+        }
+        CompactGraph {
+            offsets,
+            blocks,
+            degrees,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Expands back into a plain [`Graph`]. Exact inverse of
+    /// [`CompactGraph::from_graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for v in 0..self.num_nodes() {
+            let v = NodeId::from_index(v);
+            // Each undirected edge appears in both endpoint blocks; add
+            // it once from the lower endpoint.
+            b.add_edges(self.neighbors(v).filter(|&u| v < u).map(|u| (v, u)));
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.degrees[v.index()] as usize
+    }
+
+    /// Maximum degree `Δ`, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Iterates over the sorted neighbors of `v`, decoding the varint
+    /// block on the fly.
+    pub fn neighbors(&self, v: NodeId) -> CompactNeighbors<'_> {
+        CompactNeighbors {
+            block: &self.blocks[self.offsets[v.index()]..self.offsets[v.index() + 1]],
+            pos: 0,
+            prev: 0,
+            emitted: 0,
+            len: self.degrees[v.index()],
+        }
+    }
+
+    /// Whether `{u, v}` is an edge (`O(deg u)` decode; self-queries are
+    /// `false`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        // The block is sorted ascending, so stop at the first overshoot.
+        for w in self.neighbors(u) {
+            if w == v {
+                return true;
+            }
+            if w > v {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Iterates over all vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Bytes of heap storage held by the compressed adjacency
+    /// (`offsets` + `blocks` + `degrees`); compare against
+    /// `2m * 4 + (n + 1) * 8` for the plain CSR.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.blocks.len()
+            + self.degrees.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::fmt::Debug for CompactGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompactGraph(n={}, m={}, {} block bytes)",
+            self.num_nodes(),
+            self.num_edges(),
+            self.blocks.len()
+        )
+    }
+}
+
+/// Decoding iterator over one vertex's compressed neighbor block.
+///
+/// Yields neighbors in ascending order; implements
+/// [`ExactSizeIterator`].
+pub struct CompactNeighbors<'a> {
+    block: &'a [u8],
+    pos: usize,
+    prev: u32,
+    emitted: u32,
+    len: u32,
+}
+
+impl Iterator for CompactNeighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.emitted == self.len {
+            return None;
+        }
+        let delta = read_varint(self.block, &mut self.pos);
+        self.prev = if self.emitted == 0 {
+            delta
+        } else {
+            self.prev + delta
+        };
+        self.emitted += 1;
+        Some(NodeId(self.prev))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = (self.len - self.emitted) as usize;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for CompactNeighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let mut buf = Vec::new();
+        let values = [0, 1, 127, 128, 255, 16_383, 16_384, u32::MAX - 1, u32::MAX];
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    /// The compact form must satisfy every invariant the plain CSR
+    /// suite pins: consistent offsets, sorted per-vertex lists equal to
+    /// the plain neighbors, degree/edge counts, and an exact round trip.
+    fn assert_matches_plain(g: &Graph) {
+        let c = CompactGraph::from_graph(g);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.max_degree(), g.max_degree());
+        assert_eq!(c.offsets.len(), c.num_nodes() + 1);
+        assert_eq!(c.offsets[0], 0);
+        assert_eq!(*c.offsets.last().unwrap(), c.blocks.len());
+        assert!(c.offsets.windows(2).all(|w| w[0] <= w[1]));
+        for v in g.nodes() {
+            assert_eq!(c.degree(v), g.degree(v));
+            let decoded: Vec<NodeId> = c.neighbors(v).collect();
+            assert_eq!(decoded, g.neighbors(v), "neighbors of {v:?}");
+            assert_eq!(c.neighbors(v).len(), g.degree(v));
+        }
+        assert_eq!(&c.to_graph(), g);
+    }
+
+    #[test]
+    fn roundtrip_small_families() {
+        assert_matches_plain(&Graph::empty(0));
+        assert_matches_plain(&Graph::empty(7));
+        assert_matches_plain(&generators::path(9));
+        assert_matches_plain(&generators::star(12));
+        assert_matches_plain(&generators::clique_chain(3, 5));
+        assert_matches_plain(&generators::grid(4, 6));
+    }
+
+    #[test]
+    fn roundtrip_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [10, 40, 90] {
+            let g = generators::connected_gnp(n, 0.15, &mut rng);
+            assert_matches_plain(&g);
+        }
+    }
+
+    #[test]
+    fn has_edge_matches_plain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::connected_gnp(25, 0.2, &mut rng);
+        let c = CompactGraph::from_graph(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(c.has_edge(u, v), g.has_edge(u, v), "({u:?}, {v:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_sorted_adjacency() {
+        // A grid has tiny gaps between consecutive neighbors, so blocks
+        // should beat 4 bytes per directed edge comfortably.
+        let g = generators::grid(40, 40);
+        let c = CompactGraph::from_graph(&g);
+        let plain_target_bytes = 2 * g.num_edges() * std::mem::size_of::<NodeId>();
+        assert!(
+            c.blocks.len() < plain_target_bytes / 2,
+            "{} block bytes vs {} plain",
+            c.blocks.len(),
+            plain_target_bytes
+        );
+    }
+}

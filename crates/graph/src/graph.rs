@@ -326,6 +326,22 @@ impl GraphBuilder {
         self.adj[v.index()].push(u);
     }
 
+    /// Adds every edge from the iterator ([`GraphBuilder::add_edge`] for
+    /// each pair).
+    ///
+    /// This is the chunked-feeding entry point the streaming edge-list
+    /// reader uses: callers hand over edges in bounded batches instead of
+    /// materializing the whole list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
     /// Adds a path along the given vertex sequence.
     pub fn add_path(&mut self, nodes: &[NodeId]) {
         for w in nodes.windows(2) {

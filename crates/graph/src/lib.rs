@@ -37,6 +37,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "compact")]
+pub mod compact;
 pub mod cover;
 pub mod generators;
 mod graph;

@@ -23,7 +23,10 @@
 
 use crate::engine::{Engine, Machine, MachineId, MpcCtx, MpcError, MpcSimulator, WordSize};
 use crate::metrics::MpcMetrics;
-use pga_congest::{check_message, id_bits, Algorithm, Ctx, Metrics, Topology};
+use pga_congest::{
+    check_message, id_bits, Algorithm, CodecFns, Ctx, Metrics, MsgCodec, RunConfig, Scheduling,
+    Topology,
+};
 use pga_graph::{Graph, NodeId};
 use std::sync::Arc;
 
@@ -35,21 +38,42 @@ const NODE_OVERHEAD_WORDS: usize = 4;
 /// one MPC round: `(from, to, payload)` triples in ascending sender
 /// order, with the total word size precomputed at send time (word
 /// accounting needs `id_bits`, which only the sender knows).
-pub struct RoutedBatch<M> {
-    entries: Vec<(NodeId, NodeId, M)>,
+///
+/// When the hosting shards carry a message codec
+/// ([`CongestOnMpc::run_cfg`] with [`RunConfig::codec`] on), the
+/// payloads travel as packed [`MsgCodec::Word`]s `W` instead of cloned
+/// message enums. The charged word size is computed from the declared
+/// bit sizes *before* encoding, so both representations account
+/// identically and [`MpcMetrics`] stays bit-identical across planes.
+pub struct RoutedBatch<M, W = ()> {
+    repr: BatchRepr<M, W>,
     words: usize,
 }
 
-impl<M: Clone> Clone for RoutedBatch<M> {
+enum BatchRepr<M, W> {
+    /// Cloned message enums — the default plane.
+    Plain(Vec<(NodeId, NodeId, M)>),
+    /// Codec-packed fixed-width words.
+    Packed(Vec<(NodeId, NodeId, W)>),
+}
+
+impl<M: Clone, W: Clone> Clone for RoutedBatch<M, W> {
     fn clone(&self) -> Self {
         RoutedBatch {
-            entries: self.entries.clone(),
+            repr: match &self.repr {
+                BatchRepr::Plain(v) => BatchRepr::Plain(v.clone()),
+                BatchRepr::Packed(v) => BatchRepr::Packed(v.clone()),
+            },
             words: self.words,
         }
     }
 }
 
-impl<M> WordSize for RoutedBatch<M> {
+impl<M, W> WordSize for RoutedBatch<M, W> {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        64 * self.words
+    }
+
     fn size_words(&self) -> usize {
         self.words
     }
@@ -63,7 +87,10 @@ fn entry_words(bits: usize) -> usize {
 }
 
 /// One MPC machine hosting the CONGEST nodes `starts[id]..starts[id+1]`.
-pub struct CongestShard<'g, A: Algorithm> {
+///
+/// `W` is the packed word type of the message codec, `()` when the run
+/// uses the plain enum plane (see [`RoutedBatch`]).
+pub struct CongestShard<'g, A: Algorithm, W = ()> {
     g: &'g Graph,
     /// First hosted vertex index.
     lo: usize,
@@ -74,7 +101,8 @@ pub struct CongestShard<'g, A: Algorithm> {
     topology: Topology,
     bandwidth_bits: usize,
     /// CONGEST messages between co-hosted vertices, carried to the next
-    /// round without touching the MPC exchange.
+    /// round without touching the MPC exchange (never encoded — packing
+    /// only pays off on cross-machine traffic).
     local_next: Vec<(NodeId, NodeId, A::Msg)>,
     /// Word size of `local_next` (counted toward machine memory).
     local_words: usize,
@@ -82,9 +110,11 @@ pub struct CongestShard<'g, A: Algorithm> {
     metrics: Metrics,
     /// Cached `Σ deg(v)` over hosted vertices.
     adjacency_words: usize,
+    /// Message codec for cross-machine batches, if the run packs.
+    codec: Option<CodecFns<A::Msg, W>>,
 }
 
-impl<'g, A: Algorithm> CongestShard<'g, A> {
+impl<'g, A: Algorithm, W> CongestShard<'g, A, W> {
     fn hosted(&self) -> usize {
         self.nodes.len()
     }
@@ -110,8 +140,8 @@ impl<'g, A: Algorithm> CongestShard<'g, A> {
     }
 }
 
-impl<A: Algorithm> Machine for CongestShard<'_, A> {
-    type Msg = RoutedBatch<A::Msg>;
+impl<A: Algorithm, W: Copy + Send> Machine for CongestShard<'_, A, W> {
+    type Msg = RoutedBatch<A::Msg, W>;
     type Output = (Vec<A::Output>, Metrics);
 
     fn round(
@@ -125,8 +155,20 @@ impl<A: Algorithm> Machine for CongestShard<'_, A> {
         let mut node_inboxes: Vec<Vec<(NodeId, A::Msg)>> =
             (0..self.hosted()).map(|_| Vec::new()).collect();
         for (_, batch) in inbox {
-            for (from, to, msg) in &batch.entries {
-                node_inboxes[to.index() - self.lo].push((*from, msg.clone()));
+            match &batch.repr {
+                BatchRepr::Plain(entries) => {
+                    for (from, to, msg) in entries {
+                        node_inboxes[to.index() - self.lo].push((*from, msg.clone()));
+                    }
+                }
+                BatchRepr::Packed(entries) => {
+                    let c = self
+                        .codec
+                        .expect("packed batch delivered to a shard without a codec");
+                    for &(from, to, w) in entries {
+                        node_inboxes[to.index() - self.lo].push((from, (c.dec)(w)));
+                    }
+                }
             }
         }
         for (from, to, msg) in self.local_next.drain(..) {
@@ -169,7 +211,29 @@ impl<A: Algorithm> Machine for CongestShard<'_, A> {
         Ok(buckets
             .into_sorted()
             .into_iter()
-            .map(|(j, entries, words)| (MachineId::from_index(j), RoutedBatch { entries, words }))
+            .map(|(j, entries, words)| {
+                let repr = match self.codec {
+                    Some(c) => {
+                        let idb = id_bits(self.g.num_nodes());
+                        BatchRepr::Packed(
+                            entries
+                                .into_iter()
+                                .map(|(from, to, msg)| {
+                                    let w = (c.enc)(&msg);
+                                    debug_assert_eq!(
+                                        (c.bits)(w, idb),
+                                        msg.size_bits(idb),
+                                        "MsgCodec::encoded_bits must agree with MsgCost::size_bits"
+                                    );
+                                    (from, to, w)
+                                })
+                                .collect(),
+                        )
+                    }
+                    None => BatchRepr::Plain(entries),
+                };
+                (MachineId::from_index(j), RoutedBatch { repr, words })
+            })
             .collect())
     }
 
@@ -397,13 +461,70 @@ impl<'g> CongestOnMpc<'g> {
         A: Algorithm + Send,
         A::Msg: Send,
     {
+        self.run_impl(
+            nodes,
+            engine,
+            Scheduling::default(),
+            None::<CodecFns<A::Msg, ()>>,
+        )
+    }
+
+    /// Runs `nodes` under a [`RunConfig`]: engine, scheduling policy and
+    /// codec selection in one value.
+    ///
+    /// With [`RunConfig::codec`] on, cross-machine [`RoutedBatch`]es
+    /// carry packed [`MsgCodec::Word`]s instead of cloned message enums.
+    /// Word charging happens on the declared bit sizes before encoding,
+    /// so outputs, CONGEST [`Metrics`], [`MpcMetrics`] (I/O profile
+    /// included) and errors are bit-identical to the enum plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`CongestOnMpc::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_cfg<A>(
+        &self,
+        nodes: Vec<A>,
+        cfg: &RunConfig,
+    ) -> Result<AdapterReport<A::Output>, MpcError>
+    where
+        A: Algorithm + Send,
+        A::Msg: MsgCodec + Send,
+    {
+        if cfg.codec {
+            self.run_impl(nodes, cfg.engine, cfg.scheduling, Some(CodecFns::new()))
+        } else {
+            self.run_impl(
+                nodes,
+                cfg.engine,
+                cfg.scheduling,
+                None::<CodecFns<A::Msg, ()>>,
+            )
+        }
+    }
+
+    fn run_impl<A, W>(
+        &self,
+        nodes: Vec<A>,
+        engine: Engine,
+        scheduling: Scheduling,
+        codec: Option<CodecFns<A::Msg, W>>,
+    ) -> Result<AdapterReport<A::Output>, MpcError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+        W: Copy + Send,
+    {
         let n = self.g.num_nodes();
         assert_eq!(nodes.len(), n, "one algorithm state per vertex required");
         let starts = Arc::new(self.partition(std::mem::size_of::<A>().div_ceil(8))?);
         let num_machines = starts.len() - 1;
 
         let mut nodes = nodes;
-        let mut machines: Vec<CongestShard<'_, A>> = Vec::with_capacity(num_machines);
+        let mut machines: Vec<CongestShard<'_, A, W>> = Vec::with_capacity(num_machines);
         for k in (0..num_machines).rev() {
             let (lo, hi) = (starts[k], starts[k + 1]);
             let hosted: Vec<A> = nodes.split_off(lo);
@@ -418,11 +539,14 @@ impl<'g> CongestOnMpc<'g> {
                 local_words: 0,
                 metrics: Metrics::default(),
                 adjacency_words: (lo..hi).map(|v| self.g.degree(NodeId::from_index(v))).sum(),
+                codec,
             });
         }
         machines.reverse();
 
-        let sim = MpcSimulator::new(self.memory_words).with_max_rounds(self.max_rounds);
+        let sim = MpcSimulator::new(self.memory_words)
+            .with_max_rounds(self.max_rounds)
+            .with_scheduling(scheduling);
         let report = sim.run_with(machines, engine)?;
 
         let mut outputs = Vec::with_capacity(n);
@@ -657,6 +781,7 @@ mod tests {
             local_words: 0,
             metrics: Metrics::default(),
             adjacency_words: (lo..hi).map(|v| g.degree(NodeId::from_index(v))).sum(),
+            codec: None,
         }
     }
 

@@ -68,13 +68,15 @@ impl fmt::Display for MachineId {
     }
 }
 
-/// Size accounting for MPC messages, in 64-bit words.
-pub trait WordSize {
-    /// The size of this message in words (at least 1 is charged by the
-    /// engine even for declared-zero payloads — a message occupies an
-    /// envelope).
-    fn size_words(&self) -> usize;
-}
+/// Size accounting for MPC messages, in 64-bit words — the historical
+/// MPC name for the runtime-level [`pga_runtime::MsgCost`] trait.
+///
+/// The engine charges [`size_words`](pga_runtime::MsgCost::size_words),
+/// flooring at 1 even for declared-zero payloads (a message occupies an
+/// envelope). Implementors also state
+/// [`size_bits`](pga_runtime::MsgCost::size_bits), which keeps the bit
+/// and word accountings of one message type in a single impl.
+pub use pga_runtime::MsgCost as WordSize;
 
 /// Per-machine view of the execution, passed to every [`Machine`]
 /// callback.
@@ -417,6 +419,11 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
     type Error = MpcError;
     type Metrics = MpcMetrics;
     type SendScratch = usize;
+    // The MPC plane keeps the enum exchange at kernel level; the
+    // adapter's cross-machine batches pack internally instead (see
+    // `RoutedBatch`), which compresses the payload without constraining
+    // arbitrary `Machine::Msg` types to a fixed-width word.
+    type Packed = ();
 
     const TRACK_RECV: bool = true;
 

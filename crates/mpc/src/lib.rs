@@ -66,6 +66,10 @@ pub use engine::{
     Scheduling, WordSize,
 };
 pub use metrics::MpcMetrics;
+/// Runtime-level message-plane vocabulary (shared with `pga-congest`),
+/// re-exported so adapter callers can implement packed codecs and build
+/// [`RunConfig`]s without another dependency edge.
+pub use pga_congest::{CodecFns, MsgCodec, MsgCost, RunConfig};
 pub use ruling_set::{
     g2_ruling_set_mpc, g2_ruling_set_mpc_auto, lex_first_g2_mis,
     recommended_ruling_set_memory_words, RulingSetResult,

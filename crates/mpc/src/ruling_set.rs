@@ -62,6 +62,10 @@ pub struct RsMsg {
 }
 
 impl WordSize for RsMsg {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        64 * self.entries.len()
+    }
+
     fn size_words(&self) -> usize {
         self.entries.len()
     }

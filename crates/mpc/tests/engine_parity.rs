@@ -11,6 +11,10 @@ use pga_mpc::{
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct Words(u64, usize);
 impl WordSize for Words {
+    fn size_bits(&self, _id_bits: usize) -> usize {
+        64 * self.1
+    }
+
     fn size_words(&self) -> usize {
         self.1
     }

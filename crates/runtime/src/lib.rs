@@ -44,6 +44,25 @@
 //! outbox order — the same order the sequential executor produces —
 //! which keeps every engine bit-identical without any comparison sort.
 //!
+//! # Packed-word lanes ([`MsgCodec`])
+//!
+//! CONGEST messages are `O(log n)` bits by definition, yet a naive
+//! exchange moves full Rust enums through the lanes and arenas. A model
+//! may instead declare a fixed-width packed representation
+//! ([`ExecModel::Packed`], typically `u64` or `u128`) and enable it per
+//! run ([`ExecModel::packs`]): every validated message is then encoded
+//! once as it enters its lane ([`ExecModel::pack`]) and decoded once as
+//! its destination's inbox slice is materialized for
+//! [`ExecModel::step`], so the counting-sort exchange and the flat CSR
+//! inbox arenas move `Copy` words instead of cloned enums. Validation,
+//! charging, and metrics accounting all run on the *decoded* message
+//! before it is packed, and the packed word round-trips exactly
+//! ([`MsgCodec`]'s contract), so the packed plane is bit-identical to
+//! the enum plane — same outputs, same metrics (congestion and I/O
+//! profiles included), same errors — at every thread count. Models that
+//! do not pack set `Packed = ()` and keep the enum plane; the sequential
+//! executor always uses the enum plane (it has no exchange to compress).
+//!
 //! # Load-balanced sharding
 //!
 //! Actors are partitioned into contiguous shards by
@@ -126,6 +145,205 @@ impl ActorId for NodeId {
     #[inline]
     fn from_index(i: usize) -> Self {
         NodeId::from_index(i)
+    }
+}
+
+/// Unified message-cost accounting shared by the execution models.
+///
+/// One declared size, two currencies: CONGEST charges **bits** against
+/// the per-edge bandwidth `B` ([`MsgCost::size_bits`], with
+/// `id_bits = ⌈log₂ n⌉` passed in so identifiers cost the
+/// model-correct `O(log n)` bits), and low-space MPC charges **64-bit
+/// words** against the per-machine budget `S`
+/// ([`MsgCost::size_words`]). The default word size derives from the
+/// bit size at full-width (64-bit) identifier fields; batch-style MPC
+/// messages override it directly.
+pub trait MsgCost {
+    /// The size of this message in bits, where node identifiers cost
+    /// `id_bits` each.
+    fn size_bits(&self, id_bits: usize) -> usize;
+
+    /// The size of this message in 64-bit words (MPC's charging unit).
+    fn size_words(&self) -> usize {
+        self.size_bits(64).div_ceil(64).max(1)
+    }
+}
+
+/// A fixed-width packed wire representation for a message type.
+///
+/// Implementing `MsgCodec` lets the sharded executor move `Copy` words
+/// through its counting-sort lanes and flat CSR inbox arenas instead of
+/// cloned enums (see the crate docs). The **contract**:
+///
+/// * `decode(encode(&m))` reproduces `m` exactly (observable state,
+///   not just equality — the executors rely on bit-identity), and
+/// * [`MsgCodec::encoded_bits`] agrees with the message's declared
+///   [`MsgCost::size_bits`] for every reachable message (asserted in
+///   debug builds by the model wrappers), so packed-plane accounting
+///   cannot drift from enum-plane accounting.
+pub trait MsgCodec: MsgCost + Sized {
+    /// The packed word (`u64` for CONGEST's `O(log n)`-bit messages;
+    /// wider payloads use `u128` or small fixed arrays).
+    type Word: Copy + Send;
+
+    /// Encodes this message into its packed word.
+    fn encode(&self) -> Self::Word;
+
+    /// Decodes a packed word back into the message.
+    fn decode(word: Self::Word) -> Self;
+
+    /// The exact declared size in bits of the message `word` encodes,
+    /// used for congestion/volume accounting on the packed plane. The
+    /// default decodes and asks [`MsgCost::size_bits`]; implementations
+    /// may override with a direct bit computation.
+    fn encoded_bits(word: Self::Word, id_bits: usize) -> usize {
+        Self::decode(word).size_bits(id_bits)
+    }
+}
+
+/// A function-pointer vtable over a [`MsgCodec`] implementation.
+///
+/// Model wrappers store an `Option<CodecFns<…>>` to make packing a
+/// per-run choice without an extra trait bound on every generic
+/// executor path: `CodecFns::new::<M>()` captures the codec of a
+/// message type once, and the wrapper dispatches through plain function
+/// pointers thereafter.
+pub struct CodecFns<M, W> {
+    /// [`MsgCodec::encode`].
+    pub enc: fn(&M) -> W,
+    /// [`MsgCodec::decode`].
+    pub dec: fn(W) -> M,
+    /// [`MsgCodec::encoded_bits`].
+    pub bits: fn(W, usize) -> usize,
+}
+
+impl<M, W> Clone for CodecFns<M, W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M, W> Copy for CodecFns<M, W> {}
+
+impl<M, W> std::fmt::Debug for CodecFns<M, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CodecFns { .. }")
+    }
+}
+
+impl<M: MsgCodec> CodecFns<M, M::Word> {
+    /// The vtable of `M`'s [`MsgCodec`] implementation.
+    pub fn new() -> Self {
+        CodecFns {
+            enc: M::encode,
+            dec: M::decode,
+            bits: M::encoded_bits,
+        }
+    }
+}
+
+impl<M: MsgCodec> Default for CodecFns<M, M::Word> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Selects which round executor drives a run.
+///
+/// Both executors are **bit-identical**: for the same actor states they
+/// produce the same outputs, the same metrics (per-round profiles
+/// included), and the same error on model violations, regardless of
+/// thread count. The sequential executor is the reference oracle; the
+/// sharded one exists to make large instances run as fast as the
+/// hardware allows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-threaded reference executor ([`run_sequential`]).
+    #[default]
+    Sequential,
+    /// The sharded multi-threaded executor ([`run_sharded`]).
+    Parallel {
+        /// Number of worker shards; `0` means one per available CPU.
+        threads: usize,
+    },
+}
+
+impl Engine {
+    /// The parallel engine with one shard per available CPU.
+    pub fn parallel_auto() -> Self {
+        Engine::Parallel { threads: 0 }
+    }
+}
+
+/// Below this actor count, [`Engine::parallel_auto`] (threads = 0)
+/// falls back to the sequential executor: worker threads are spawned
+/// per round, and on small instances that fixed cost exceeds the
+/// per-round compute. Explicit thread counts are always honored.
+pub const PARALLEL_MIN_NODES: usize = 1024;
+
+/// Builder-style per-run configuration consumed by the simulators' and
+/// entry points' unified `_cfg` forms: the executor, the scheduling
+/// policy, and whether the packed message plane is enabled.
+///
+/// ```
+/// use pga_runtime::{Engine, RunConfig, Scheduling};
+///
+/// let cfg = RunConfig::new().parallel(4).codec(true);
+/// assert_eq!(cfg.engine, Engine::Parallel { threads: 4 });
+/// assert_eq!(cfg.scheduling, Scheduling::ActiveSet);
+/// assert!(cfg.codec);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RunConfig {
+    /// The executor driving the run (default [`Engine::Sequential`]).
+    pub engine: Engine,
+    /// The round-scheduling policy (default [`Scheduling::ActiveSet`];
+    /// both policies are bit-identical).
+    pub scheduling: Scheduling,
+    /// Whether the sharded exchange moves packed words instead of
+    /// cloned enums (default off; requires the message type to
+    /// implement [`MsgCodec`], and is bit-identical to the enum plane).
+    pub codec: bool,
+}
+
+impl RunConfig {
+    /// The default configuration: sequential, active-set scheduling,
+    /// enum message plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the executor.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the single-threaded reference executor.
+    pub fn sequential(self) -> Self {
+        self.engine(Engine::Sequential)
+    }
+
+    /// Selects the sharded executor with an explicit thread count.
+    pub fn parallel(self, threads: usize) -> Self {
+        self.engine(Engine::Parallel { threads })
+    }
+
+    /// Selects the sharded executor with one shard per available CPU.
+    pub fn parallel_auto(self) -> Self {
+        self.engine(Engine::parallel_auto())
+    }
+
+    /// Selects the round-scheduling policy.
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Enables or disables the packed message plane.
+    pub fn codec(mut self, codec: bool) -> Self {
+        self.codec = codec;
+        self
     }
 }
 
@@ -238,11 +456,37 @@ pub trait ExecModel: Sync {
     /// shard (CONGEST's duplicate-destination list, MPC's running send
     /// volume). `step` must reset it before use.
     type SendScratch: Default + Send;
+    /// The fixed-width packed wire word the sharded exchange moves when
+    /// [`ExecModel::packs`] is enabled (see the crate docs on packed
+    /// lanes). Models that do not pack set `()` and keep the enum
+    /// plane — the [`ExecModel::pack`]/[`ExecModel::unpack`] defaults
+    /// are then never called.
+    type Packed: Copy + Send;
 
     /// Whether the kernel must tally each destination's delivered
     /// charge every round (MPC's receive-volume cap needs it; CONGEST
     /// does not, and the tally is compiled out).
     const TRACK_RECV: bool = false;
+
+    /// Whether [`run_sharded`] should move [`ExecModel::Packed`] words
+    /// through its lanes and arenas instead of cloned [`ExecModel::Msg`]
+    /// enums. Consulted once per run; the default keeps the enum plane.
+    fn packs(&self) -> bool {
+        false
+    }
+
+    /// Encodes a validated message into its packed word (only called
+    /// when [`ExecModel::packs`] returns `true`; the message has
+    /// already passed the model's checks and been charged).
+    fn pack(&self, _msg: &Self::Msg) -> Self::Packed {
+        unreachable!("ExecModel::pack called on a model that does not pack")
+    }
+
+    /// Decodes a packed word back into the message it encodes (only
+    /// called when [`ExecModel::packs`] returns `true`).
+    fn unpack(&self, _word: Self::Packed) -> Self::Msg {
+        unreachable!("ExecModel::unpack called on a model that does not pack")
+    }
 
     /// Hook before round 0 (MPC checks the initial memory footprints).
     ///
@@ -831,6 +1075,135 @@ fn merge_shard<M: ExecModel>(
     arena.dirty = true;
 }
 
+/// Per-worker scratch of the packed wrapper: the inner model's own
+/// validation scratch plus the decode buffer the wrapper rebuilds for
+/// each stepped actor's inbox.
+struct PackScratch<M: ExecModel> {
+    send: M::SendScratch,
+    buf: Vec<(M::Id, M::Msg)>,
+}
+
+impl<M: ExecModel> Default for PackScratch<M> {
+    fn default() -> Self {
+        PackScratch {
+            send: M::SendScratch::default(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+/// The enum→packed adapter: an [`ExecModel`] whose message type is the
+/// inner model's [`ExecModel::Packed`] word. [`run_sharded`] wraps a
+/// packing model in this once per run, so the whole exchange — lanes,
+/// counting sort, scatter, arenas — moves `Copy` words; `step` decodes
+/// the inbox slice into a reusable scratch buffer, runs the inner
+/// model's step (validation and charging happen there, on the decoded
+/// messages), and re-encodes each validated outgoing message as it
+/// enters its lane.
+struct PackedModel<'m, M>(&'m M);
+
+/// The packing sink adapter: receives validated enum messages from the
+/// inner model's `step` and forwards their packed words to the outer
+/// (lane or direct) sink.
+struct PackSink<'a, 'm, M: ExecModel, S> {
+    pm: &'a PackedModel<'m, M>,
+    sink: &'a mut S,
+}
+
+impl<'m, M, S> MsgSink<M> for PackSink<'_, 'm, M, S>
+where
+    M: ExecModel,
+    M::Msg: Send,
+    S: MsgSink<PackedModel<'m, M>>,
+{
+    #[inline]
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+        let word = model.pack(&msg);
+        self.sink.deliver(self.pm, to, from, word);
+    }
+}
+
+impl<'m, M> ExecModel for PackedModel<'m, M>
+where
+    M: ExecModel,
+    M::Msg: Send,
+{
+    type Id = M::Id;
+    type Node = M::Node;
+    type Msg = M::Packed;
+    type Output = M::Output;
+    type Error = M::Error;
+    type Metrics = M::Metrics;
+    type SendScratch = PackScratch<M>;
+    type Packed = ();
+
+    const TRACK_RECV: bool = M::TRACK_RECV;
+
+    fn pre_run(&self, nodes: &[M::Node], metrics: &mut M::Metrics) -> Result<(), M::Error> {
+        self.0.pre_run(nodes, metrics)
+    }
+
+    fn actor_cost(&self, node: &M::Node, idx: usize) -> u64 {
+        self.0.actor_cost(node, idx)
+    }
+
+    fn poll(&self, node: &M::Node, idx: usize, round: usize) -> Poll {
+        self.0.poll(node, idx, round)
+    }
+
+    fn output(&self, node: &M::Node, idx: usize, round: usize) -> M::Output {
+        self.0.output(node, idx, round)
+    }
+
+    fn round_limit_error(&self, limit: usize) -> M::Error {
+        self.0.round_limit_error(limit)
+    }
+
+    fn step<S: MsgSink<Self>>(
+        &self,
+        node: &mut M::Node,
+        idx: usize,
+        round: usize,
+        inbox: &[(M::Id, M::Packed)],
+        scratch: &mut PackScratch<M>,
+        acc: &mut RoundProfile,
+        sink: &mut S,
+    ) -> Result<(), M::Error> {
+        scratch.buf.clear();
+        scratch
+            .buf
+            .extend(inbox.iter().map(|&(from, w)| (from, self.0.unpack(w))));
+        let mut sink = PackSink { pm: self, sink };
+        self.0.step(
+            node,
+            idx,
+            round,
+            &scratch.buf,
+            &mut scratch.send,
+            acc,
+            &mut sink,
+        )
+    }
+
+    fn recv_charge(&self, msg: &M::Packed) -> usize {
+        self.0.recv_charge(&self.0.unpack(*msg))
+    }
+
+    fn check_recv(&self, recv: &[usize], round: usize) -> Result<(), M::Error> {
+        self.0.check_recv(recv, round)
+    }
+
+    fn end_round(
+        &self,
+        acc: &RoundProfile,
+        recv: &[usize],
+        round: usize,
+        metrics: &mut M::Metrics,
+    ) {
+        self.0.end_round(acc, recv, round, metrics)
+    }
+}
+
 /// Runs `nodes` to completion on the sharded multi-threaded executor.
 ///
 /// Actors are partitioned into at most `threads` contiguous shards with
@@ -846,6 +1219,11 @@ fn merge_shard<M: ExecModel>(
 /// executor's order — **bit-identical** outputs, metrics, and errors at
 /// every thread count, without any sorting.
 ///
+/// When the model enables its packed codec ([`ExecModel::packs`]), the
+/// exchange moves [`ExecModel::Packed`] words instead of cloned enums
+/// — same outputs, metrics, and errors by the codec contract (see the
+/// crate docs on packed lanes).
+///
 /// A model violation aborts with the lowest-indexed shard's error,
 /// which is the lowest-indexed actor's error, matching the sequential
 /// executor (though `round` callbacks of higher-id actors in other
@@ -860,6 +1238,27 @@ fn merge_shard<M: ExecModel>(
 ///
 /// Returns the model's error like [`run_sequential`].
 pub fn run_sharded<M>(
+    model: &M,
+    nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+{
+    if model.packs() {
+        run_sharded_inner(&PackedModel(model), nodes, threads, cfg)
+    } else {
+        run_sharded_inner(model, nodes, threads, cfg)
+    }
+}
+
+/// The sharded round loop proper, over whichever wire representation
+/// ([`run_sharded`]'s dispatch) the run uses.
+fn run_sharded_inner<M>(
     model: &M,
     mut nodes: Vec<M::Node>,
     threads: usize,
@@ -1045,6 +1444,8 @@ mod tests {
         /// Skewed per-actor costs for the balanced-sharding tests
         /// (uniform when false, matching the default hook).
         skewed_costs: bool,
+        /// Whether the sharded executor moves packed words.
+        packed: bool,
     }
 
     #[derive(Clone)]
@@ -1082,8 +1483,24 @@ mod tests {
         type Error = RingError;
         type Metrics = RingMetrics;
         type SendScratch = ();
+        type Packed = u64;
 
         const TRACK_RECV: bool = true;
+
+        fn packs(&self) -> bool {
+            self.packed
+        }
+
+        fn pack(&self, msg: &Token) -> u64 {
+            ((msg.hops_left as u64) << 32) | msg.charge as u64
+        }
+
+        fn unpack(&self, word: u64) -> Token {
+            Token {
+                hops_left: (word >> 32) as usize,
+                charge: (word & 0xFFFF_FFFF) as usize,
+            }
+        }
 
         fn actor_cost(&self, _node: &RingNode, idx: usize) -> u64 {
             if self.skewed_costs {
@@ -1193,6 +1610,14 @@ mod tests {
             charge_cap: 8,
             recv_cap: 8,
             skewed_costs: false,
+            packed: false,
+        }
+    }
+
+    fn packed_model(n: usize) -> RingModel {
+        RingModel {
+            packed: true,
+            ..model(n)
         }
     }
 
@@ -1248,10 +1673,8 @@ mod tests {
         // A cost-skewed model shifts the shard boundaries; outputs,
         // metrics, and errors must not notice.
         let mk_model = |skewed| RingModel {
-            n: 16,
-            charge_cap: 8,
-            recv_cap: 8,
             skewed_costs: skewed,
+            ..model(16)
         };
         let baseline = run_sequential(
             &mk_model(false),
@@ -1295,10 +1718,8 @@ mod tests {
         // The send passes the charge cap but overflows the destination's
         // receive cap, so the error surfaces in the post-round check.
         let tight = RingModel {
-            n: 8,
-            charge_cap: 8,
             recv_cap: 4,
-            skewed_costs: false,
+            ..model(8)
         };
         let seq =
             run_sequential(&tight, ring_nodes(8, 2, 5), cfg(Scheduling::ActiveSet)).unwrap_err();
@@ -1325,6 +1746,84 @@ mod tests {
         assert_eq!(seq, RingError::RoundLimit { limit: 3 });
         let par = run_sharded(&model(8), ring_nodes(8, 100, 1), 4, tight).unwrap_err();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn packed_plane_is_bit_identical_to_enum_plane() {
+        let baseline = run_sequential(
+            &model(16),
+            ring_nodes(16, 40, 3),
+            cfg(Scheduling::ActiveSet),
+        )
+        .unwrap();
+        for threads in [2, 3, 5, 8] {
+            let packed = run_sharded(
+                &packed_model(16),
+                ring_nodes(16, 40, 3),
+                threads,
+                cfg(Scheduling::ActiveSet),
+            )
+            .unwrap();
+            assert_eq!(packed.outputs, baseline.outputs, "t={threads}");
+            assert_eq!(packed.metrics.rounds, baseline.metrics.rounds);
+            assert_eq!(packed.metrics.messages, baseline.metrics.messages);
+            assert_eq!(packed.metrics.volume, baseline.metrics.volume);
+            assert_eq!(packed.metrics.profile, baseline.metrics.profile);
+        }
+    }
+
+    #[test]
+    fn packed_plane_step_and_recv_errors_match() {
+        // Step error (charge over the cap) and the receive-volume error
+        // must surface identically on the packed plane.
+        let seq = run_sequential(&model(8), ring_nodes(8, 3, 99), cfg(Scheduling::ActiveSet))
+            .unwrap_err();
+        let packed = run_sharded(
+            &packed_model(8),
+            ring_nodes(8, 3, 99),
+            4,
+            cfg(Scheduling::ActiveSet),
+        )
+        .unwrap_err();
+        assert_eq!(packed, seq);
+
+        let tight = RingModel {
+            recv_cap: 4,
+            ..model(8)
+        };
+        let tight_packed = RingModel {
+            recv_cap: 4,
+            ..packed_model(8)
+        };
+        let seq =
+            run_sequential(&tight, ring_nodes(8, 2, 5), cfg(Scheduling::ActiveSet)).unwrap_err();
+        let packed = run_sharded(
+            &tight_packed,
+            ring_nodes(8, 2, 5),
+            4,
+            cfg(Scheduling::ActiveSet),
+        )
+        .unwrap_err();
+        assert_eq!(packed, seq);
+    }
+
+    #[test]
+    fn run_config_builder_defaults_and_overrides() {
+        let cfg = RunConfig::new();
+        assert_eq!(cfg.engine, Engine::Sequential);
+        assert_eq!(cfg.scheduling, Scheduling::ActiveSet);
+        assert!(!cfg.codec);
+        let cfg = RunConfig::new()
+            .parallel_auto()
+            .scheduling(Scheduling::FullSweep)
+            .codec(true);
+        assert_eq!(cfg.engine, Engine::Parallel { threads: 0 });
+        assert_eq!(cfg.scheduling, Scheduling::FullSweep);
+        assert!(cfg.codec);
+        assert_eq!(
+            RunConfig::new().sequential().parallel(3).engine,
+            Engine::Parallel { threads: 3 }
+        );
     }
 
     #[test]

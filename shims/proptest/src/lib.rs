@@ -28,9 +28,21 @@ pub mod test_runner;
 
 /// The glob-import surface mirrored from the real crate.
 pub mod prelude {
-    pub use crate::strategy::{any, Any, Arbitrary, FlatMap, Just, Map, Strategy};
+    pub use crate::strategy::{any, Any, Arbitrary, FlatMap, Just, Map, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// A strategy choosing uniformly among the listed case strategies
+/// (which must share a value type). Weight prefixes (`w => strategy`)
+/// of the real crate are not supported — list each case bare.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
 }
 
 /// Declares a block of property tests.

@@ -90,6 +90,35 @@ where
     }
 }
 
+/// A union of strategies over one value type; sampling picks one case
+/// uniformly at random. Backs the [`prop_oneof!`](crate::prop_oneof)
+/// macro (the real proptest's weighted unions collapse to uniform
+/// choice here — this shim carries no shrinking machinery either way).
+pub struct Union<T> {
+    cases: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union from boxed cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty.
+    pub fn new(cases: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!cases.is_empty(), "prop_oneof! needs at least one case");
+        Union { cases }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.cases.len());
+        self.cases[i].new_value(rng)
+    }
+}
+
 /// Types with a canonical "any value" strategy (see [`any`]).
 pub trait Arbitrary: Sized {
     /// Generates one arbitrary value.

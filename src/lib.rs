@@ -53,15 +53,20 @@ pub use pga_runtime as runtime;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use pga_congest::{Engine, Metrics, Scheduling, Simulator, Topology};
+    pub use pga_congest::{Engine, Metrics, MsgCodec, RunConfig, Scheduling, Simulator, Topology};
     pub use pga_core::mds::cd18::cd18_mds;
-    pub use pga_core::mds::congest_g2::g2_mds_congest;
-    pub use pga_core::mpc::{g2_mds_congest_mpc, g2_mvc_congest_mpc, MpcExecution};
+    pub use pga_core::mds::congest_g2::{g2_mds_congest, g2_mds_congest_cfg};
+    pub use pga_core::mpc::{
+        g2_mds_congest_mpc, g2_mds_congest_mpc_cfg, g2_mvc_congest_mpc, g2_mvc_congest_mpc_cfg,
+        MpcExecution,
+    };
     pub use pga_core::mvc::centralized::five_thirds_vertex_cover;
-    pub use pga_core::mvc::clique_det::g2_mvc_clique_det;
-    pub use pga_core::mvc::clique_rand::g2_mvc_clique_rand;
-    pub use pga_core::mvc::congest::{g2_mvc_congest, G2MvcResult, LocalSolver};
-    pub use pga_core::mvc::weighted::g2_mwvc_congest;
+    pub use pga_core::mvc::clique_det::{g2_mvc_clique_det, g2_mvc_clique_det_cfg};
+    pub use pga_core::mvc::clique_rand::{g2_mvc_clique_rand, g2_mvc_clique_rand_cfg};
+    pub use pga_core::mvc::congest::{
+        g2_mvc_congest, g2_mvc_congest_cfg, G2MvcResult, LocalSolver,
+    };
+    pub use pga_core::mvc::weighted::{g2_mwvc_congest, g2_mwvc_congest_cfg};
     pub use pga_exact::mds::{mds_size, solve_mds};
     pub use pga_exact::vc::{mvc_size, solve_mvc};
     pub use pga_exact::wvc::{mwvc_weight, solve_mwvc};

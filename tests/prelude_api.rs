@@ -78,6 +78,46 @@ fn prelude_exposes_documented_api() {
     assert!(is_dominating_set_on_square(&g, &rs.in_r));
 }
 
+/// The unified `RunConfig` builder and the `*_cfg` entry points are
+/// part of the prelude surface, and the packed-codec plane they enable
+/// is bit-identical to the defaults.
+#[test]
+fn prelude_exposes_run_config_api() {
+    let g = generators::clique_chain(4, 5);
+    let w = VertexWeights::uniform(g.num_nodes());
+    let cfg = RunConfig::new().parallel(2).codec(true);
+
+    let seq = g2_mvc_congest(&g, 0.5, LocalSolver::Exact).unwrap();
+    let par = g2_mvc_congest_cfg(&g, 0.5, LocalSolver::Exact, &cfg).unwrap();
+    assert_eq!(par.cover, seq.cover);
+
+    let wseq = g2_mwvc_congest(&g, &w, 0.5).unwrap();
+    let wpar = g2_mwvc_congest_cfg(&g, &w, 0.5, &cfg).unwrap();
+    assert_eq!(wpar.cover, wseq.cover);
+
+    let det = g2_mvc_clique_det_cfg(&g, 0.5, LocalSolver::FiveThirds, &cfg).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &det.cover));
+    let rand = g2_mvc_clique_rand_cfg(&g, 0.5, LocalSolver::FiveThirds, 7, &cfg).unwrap();
+    assert!(is_vertex_cover_on_square(&g, &rand.cover));
+    let mds = g2_mds_congest_cfg(&g, 16, 3, &cfg).unwrap();
+    assert!(is_dominating_set_on_square(&g, &mds.dominating_set));
+
+    let mpc_cfg = RunConfig::new().parallel(2);
+    let budget = 1 << 20; // generous per-machine word budget for a tiny instance
+    let mvc_mpc = g2_mvc_congest_mpc_cfg(&g, 0.5, LocalSolver::Exact, budget, &mpc_cfg).unwrap();
+    assert_eq!(mvc_mpc.result.cover, seq.cover);
+    let mds_mpc = g2_mds_congest_mpc_cfg(&g, 16, 3, budget, &mpc_cfg).unwrap();
+    assert_eq!(mds_mpc.result.dominating_set, mds.dominating_set);
+
+    // The builder's knobs compose and the codec plane is re-exported at
+    // the trait level too.
+    let _tuned = RunConfig::new()
+        .engine(Engine::Sequential)
+        .scheduling(Scheduling::FullSweep);
+    fn assert_codec<T: MsgCodec>() {}
+    assert_codec::<power_graphs::congest::primitives::MaxId>();
+}
+
 /// The simulator types re-exported by the prelude are usable directly.
 #[test]
 fn prelude_exposes_simulator_types() {
