@@ -1,0 +1,492 @@
+//! Fault-injection trajectory: degradation curves and the
+//! replay-determinism gate.
+//!
+//! Sweeps seeded [`FaultSpec`]s — drop rates {0, 1%, 5%, 10%}, delay
+//! rates {1%, 5%, 10%}, and crash fractions {1%, 5%} — over pinned
+//! instances (a uniform gnm and a
+//! heavy-tailed Barabási–Albert) for the paper's CONGEST entry points
+//! (`g2_mvc_congest_cfg`, `g2_mds_congest_cfg`), the native MPC ruling
+//! set (`g2_ruling_set_mpc_cfg`), and a FloodMax record-and-replay
+//! workload, then:
+//!
+//! * records per cell: convergence within the round budget, output
+//!   validity (vertex cover / dominating set of `G²`), the
+//!   approximation-degradation ratio against the fault-free run, the
+//!   fault-plane accounting, and whether re-executing the same
+//!   `(seed, FaultSpec)` on the multi-threaded engine (or replaying
+//!   the recorded [`FaultTrace`](pga_congest::FaultTrace), for the
+//!   FloodMax workload)
+//!   reproduced the run bit for bit,
+//! * writes the machine-readable `BENCH_fault.json` artifact
+//!   (schema: `pga_bench::harness::FaultBench`),
+//! * with `--assert-replay`, exits with code 4 if any cell failed
+//!   replay identity — this is CI's fault-determinism gate,
+//! * with `--matrix-only --seed S --threads T`, skips the sweep and
+//!   prints a single digest line for a fixed hostile spec executed at
+//!   the given seed and thread count; CI runs this over a seed × thread
+//!   matrix and asserts the digests agree across thread counts.
+//!
+//! Environment overrides: `BENCH_FAULT_N` (vertices),
+//! `BENCH_FAULT_SEED`, `BENCH_FAULT_THREADS` (gate thread count),
+//! `BENCH_FAULT_MAX_ROUNDS` (round budget under faults),
+//! `BENCH_FAULT_OUT` (artifact path).
+
+use pga_bench::harness::{env_u64, env_usize, time_ms, FaultBench, FaultRecord};
+use pga_congest::primitives::FloodMax;
+use pga_congest::{FaultSpec, Metrics, RunConfig, Simulator};
+use pga_core::mds::congest_g2::g2_mds_congest_cfg;
+use pga_core::mvc::congest::{g2_mvc_congest_cfg, LocalSolver};
+use pga_graph::cover::{is_dominating_set_on_square, is_vertex_cover_on_square};
+use pga_graph::{generators, Graph, NodeId};
+use pga_mpc::{g2_ruling_set_mpc_cfg, recommended_ruling_set_memory_words};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// The drop-rate sweep (crash-free cells). The deterministic
+/// gather–scatter phases assume reliable channels, so nonzero drop
+/// rates legitimately stall some workloads — those cells record
+/// `converged: false`, which is the measurement.
+const DROP_SWEEP: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
+/// The delay-rate sweep (messages re-ordered in time but never lost):
+/// every workload converges here, so these cells carry the
+/// size-and-rounds degradation curves.
+const DELAY_SWEEP: [f64; 3] = [0.01, 0.05, 0.1];
+/// Maximum extra rounds a delayed message is parked.
+const MAX_DELAY: u32 = 3;
+/// The crash-fraction sweep (drop-free cells); crashes land within the
+/// first `CRASH_WITHIN` rounds.
+const CRASH_SWEEP: [f64; 2] = [0.01, 0.05];
+/// Crash-activation window in rounds.
+const CRASH_WITHIN: u32 = 10;
+
+/// FNV-1a over a byte stream — the workload digest the seed × thread
+/// matrix compares.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn eat_str(&mut self, s: &str) {
+        self.eat(s.as_bytes());
+    }
+}
+
+/// Everything a single `(workload, spec)` cell produces, before it is
+/// joined with the clean-run baseline into a [`FaultRecord`].
+struct CellOutcome {
+    converged: bool,
+    valid: bool,
+    rounds: usize,
+    convergence_round: usize,
+    output_size: usize,
+    metrics: Metrics,
+    replay_identical: bool,
+    wall_ms: f64,
+    digest: u64,
+}
+
+impl CellOutcome {
+    fn diverged(wall_ms: f64, digest: u64) -> Self {
+        CellOutcome {
+            converged: false,
+            valid: false,
+            rounds: 0,
+            convergence_round: 0,
+            output_size: 0,
+            metrics: Metrics::default(),
+            replay_identical: true,
+            wall_ms,
+            digest,
+        }
+    }
+}
+
+/// Folds two phase metrics into one whole-run view (rounds and counters
+/// add, peaks max, the later phase's convergence round is offset by the
+/// earlier phase's length — mirroring `MpcMetrics::absorb`).
+fn fold_metrics(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut m = a.clone();
+    if b.convergence_round > 0 {
+        m.convergence_round = a.rounds + b.convergence_round;
+    }
+    m.rounds += b.rounds;
+    m.messages += b.messages;
+    m.bits += b.bits;
+    m.max_message_bits = m.max_message_bits.max(b.max_message_bits);
+    m.congestion_profile
+        .extend_from_slice(&b.congestion_profile);
+    m.fault.delivered += b.fault.delivered;
+    m.fault.dropped += b.fault.dropped;
+    m.fault.duplicated += b.fault.duplicated;
+    m.fault.delayed += b.fault.delayed;
+    m.fault.crashed += b.fault.crashed;
+    m
+}
+
+fn cfg(spec: FaultSpec, threads: usize, max_rounds: usize) -> RunConfig {
+    let base = if threads <= 1 {
+        RunConfig::new().sequential()
+    } else {
+        RunConfig::new().parallel(threads)
+    };
+    base.adversary(spec).max_rounds(max_rounds)
+}
+
+/// Runs the MVC entry point under `spec` on the primary engine and the
+/// gate-thread engine, checking bit-identity between the two.
+fn mvc_cell(g: &Graph, spec: FaultSpec, threads: usize, max_rounds: usize) -> CellOutcome {
+    let run = |t| g2_mvc_congest_cfg(g, 0.5, LocalSolver::FiveThirds, &cfg(spec, t, max_rounds));
+    let (primary, wall_ms) = time_ms(|| run(1));
+    let replica = run(threads);
+    let mut d = Digest::new();
+    let replay_identical = match (&primary, &replica) {
+        (Ok(a), Ok(b)) => {
+            a.cover == b.cover
+                && a.phase1_metrics == b.phase1_metrics
+                && a.phase2_metrics == b.phase2_metrics
+        }
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    match primary {
+        Ok(r) => {
+            d.eat_str(&format!(
+                "{:?}{:?}{:?}",
+                r.cover, r.phase1_metrics, r.phase2_metrics
+            ));
+            let m = fold_metrics(&r.phase1_metrics, &r.phase2_metrics);
+            CellOutcome {
+                converged: true,
+                valid: is_vertex_cover_on_square(g, &r.cover),
+                rounds: m.rounds,
+                convergence_round: m.convergence_round,
+                output_size: r.cover.iter().filter(|&&b| b).count(),
+                metrics: m,
+                replay_identical,
+                wall_ms,
+                digest: d.0,
+            }
+        }
+        Err(e) => {
+            d.eat_str(&format!("{e:?}"));
+            CellOutcome {
+                replay_identical,
+                ..CellOutcome::diverged(wall_ms, d.0)
+            }
+        }
+    }
+}
+
+/// The MDS entry point under `spec`, same engine-identity protocol.
+fn mds_cell(g: &Graph, spec: FaultSpec, threads: usize, max_rounds: usize) -> CellOutcome {
+    let seed = spec.seed;
+    let run = |t| g2_mds_congest_cfg(g, 2, seed, &cfg(spec, t, max_rounds));
+    let (primary, wall_ms) = time_ms(|| run(1));
+    let replica = run(threads);
+    let mut d = Digest::new();
+    let replay_identical = match (&primary, &replica) {
+        (Ok(a), Ok(b)) => a.dominating_set == b.dominating_set && a.metrics == b.metrics,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    match primary {
+        Ok(r) => {
+            d.eat_str(&format!("{:?}{:?}", r.dominating_set, r.metrics));
+            CellOutcome {
+                converged: true,
+                valid: is_dominating_set_on_square(g, &r.dominating_set),
+                rounds: r.metrics.rounds,
+                convergence_round: r.metrics.convergence_round,
+                output_size: r.size(),
+                metrics: r.metrics,
+                replay_identical,
+                wall_ms,
+                digest: d.0,
+            }
+        }
+        Err(e) => {
+            d.eat_str(&format!("{e:?}"));
+            CellOutcome {
+                replay_identical,
+                ..CellOutcome::diverged(wall_ms, d.0)
+            }
+        }
+    }
+}
+
+/// The native MPC ruling set under `spec`. MPC metrics are word-based,
+/// so only the fault counters and round structure flow into the record.
+fn ruling_set_cell(g: &Graph, spec: FaultSpec, threads: usize, max_rounds: usize) -> CellOutcome {
+    let words = recommended_ruling_set_memory_words(g);
+    let run = |t| g2_ruling_set_mpc_cfg(g, words, &cfg(spec, t, max_rounds));
+    let (primary, wall_ms) = time_ms(|| run(1));
+    let replica = run(threads);
+    let mut d = Digest::new();
+    let replay_identical = match (&primary, &replica) {
+        (Ok(a), Ok(b)) => a.in_r == b.in_r && a.mpc == b.mpc,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    };
+    match primary {
+        Ok(r) => {
+            d.eat_str(&format!("{:?}{:?}", r.in_r, r.mpc));
+            let metrics = Metrics {
+                rounds: r.mpc.rounds,
+                messages: r.mpc.messages,
+                bits: r.mpc.words * 64,
+                fault: r.mpc.fault,
+                convergence_round: r.mpc.convergence_round,
+                ..Metrics::default()
+            };
+            CellOutcome {
+                converged: true,
+                valid: is_dominating_set_on_square(g, &r.in_r),
+                rounds: r.mpc.rounds,
+                convergence_round: r.mpc.convergence_round,
+                output_size: r.in_r.iter().filter(|&&b| b).count(),
+                metrics,
+                replay_identical,
+                wall_ms,
+                digest: d.0,
+            }
+        }
+        Err(e) => {
+            d.eat_str(&format!("{e:?}"));
+            CellOutcome {
+                replay_identical,
+                ..CellOutcome::diverged(wall_ms, d.0)
+            }
+        }
+    }
+}
+
+/// FloodMax through the record-and-replay pipeline: the primary run
+/// records a [`pga_congest::FaultTrace`], the replica replays it on the
+/// gate-thread engine, and `output_size` counts the nodes that still
+/// learned the true global maximum.
+fn floodmax_trace_cell(
+    g: &Graph,
+    spec: FaultSpec,
+    threads: usize,
+    max_rounds: usize,
+) -> CellOutcome {
+    let n = g.num_nodes();
+    let sim = Simulator::congest(g);
+    let nodes = || -> Vec<FloodMax> {
+        (0..n)
+            .map(|i| FloodMax::new(NodeId::from_index(i)))
+            .collect()
+    };
+    let record_cfg = RunConfig::new().sequential().max_rounds(max_rounds);
+    let ((traced, wall_ms), mut d) = (
+        time_ms(|| sim.run_traced(nodes(), spec, &record_cfg)),
+        Digest::new(),
+    );
+    match traced {
+        Ok((report, trace)) => {
+            d.eat_str(&format!("{:?}{:?}", report.outputs, report.metrics));
+            let replay_cfg = RunConfig::new().parallel(threads).max_rounds(max_rounds);
+            let replay_identical = match sim.run_replay(nodes(), &trace, &replay_cfg) {
+                Ok(r) => r.outputs == report.outputs && r.metrics == report.metrics,
+                Err(_) => false,
+            };
+            let global_max = NodeId::from_index(n - 1);
+            CellOutcome {
+                converged: true,
+                valid: report.outputs.iter().all(|&b| b == global_max),
+                rounds: report.metrics.rounds,
+                convergence_round: report.metrics.convergence_round,
+                output_size: report.outputs.iter().filter(|&&b| b == global_max).count(),
+                metrics: report.metrics,
+                replay_identical,
+                wall_ms,
+                digest: d.0,
+            }
+        }
+        Err(e) => {
+            d.eat_str(&format!("{e:?}"));
+            // A starved recording must at least fail identically again.
+            let replay_identical = matches!(
+                sim.run_traced(nodes(), spec, &record_cfg),
+                Err(ref e2) if *e2 == e
+            );
+            CellOutcome {
+                replay_identical,
+                ..CellOutcome::diverged(wall_ms, d.0)
+            }
+        }
+    }
+}
+
+type CellFn = fn(&Graph, FaultSpec, usize, usize) -> CellOutcome;
+
+/// The fault grid: the drop sweep (crash-free), the delay sweep, then
+/// the crash sweep (drop-free), all deriving from the bench seed.
+fn fault_grid(seed: u64) -> Vec<FaultSpec> {
+    let mut grid: Vec<FaultSpec> = DROP_SWEEP
+        .iter()
+        .map(|&p| FaultSpec::seeded(seed).drop(p))
+        .collect();
+    grid.extend(
+        DELAY_SWEEP
+            .iter()
+            .map(|&p| FaultSpec::seeded(seed).delay(p, MAX_DELAY)),
+    );
+    grid.extend(
+        CRASH_SWEEP
+            .iter()
+            .map(|&p| FaultSpec::seeded(seed).crash(p, CRASH_WITHIN)),
+    );
+    grid
+}
+
+fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = env_usize("BENCH_FAULT_N", 96);
+    let seed = env_u64("BENCH_FAULT_SEED", 45803);
+    let threads = env_usize("BENCH_FAULT_THREADS", 4);
+    let max_rounds = env_usize("BENCH_FAULT_MAX_ROUNDS", 600);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gnm = generators::connected_gnm(n, 3 * n, &mut rng);
+    let ba = generators::barabasi_albert(n, 3.min(n - 1).max(1), seed);
+
+    if args.iter().any(|a| a == "--matrix-only") {
+        let mseed = arg_usize(&args, "--seed", 1) as u64;
+        let mthreads = arg_usize(&args, "--threads", 1);
+        let spec = FaultSpec::seeded(mseed)
+            .drop(0.05)
+            .crash(0.02, CRASH_WITHIN);
+        let mut d = Digest::new();
+        for (name, cell) in [
+            ("mvc_gnm", mvc_cell as CellFn),
+            ("mds_gnm", mds_cell as CellFn),
+            ("ruling_set_gnm", ruling_set_cell as CellFn),
+        ] {
+            let out = cell(&gnm, spec, mthreads, max_rounds);
+            d.eat_str(name);
+            d.eat(&out.digest.to_le_bytes());
+            eprintln!(
+                "matrix {name}: seed={mseed} threads={mthreads} digest={:016x}",
+                out.digest
+            );
+        }
+        // The single stdout token CI's seed × thread matrix compares.
+        println!("{:016x}", d.0);
+        return;
+    }
+
+    let workloads: [(&str, &Graph, &str, CellFn); 5] = [
+        ("mvc_gnm", &gnm, "connected_gnm", mvc_cell),
+        ("mvc_ba", &ba, "barabasi_albert", mvc_cell),
+        ("mds_gnm", &gnm, "connected_gnm", mds_cell),
+        ("ruling_set_gnm", &gnm, "connected_gnm", ruling_set_cell),
+        (
+            "floodmax_trace_gnm",
+            &gnm,
+            "connected_gnm",
+            floodmax_trace_cell,
+        ),
+    ];
+
+    let mut records = Vec::new();
+    let mut replay_failures = 0usize;
+    for (name, g, graph, cell) in workloads {
+        let mut clean_size = 0usize;
+        for spec in fault_grid(seed) {
+            let out = cell(g, spec, threads, max_rounds);
+            if spec.is_none() {
+                clean_size = out.output_size;
+                assert!(
+                    out.valid && out.converged,
+                    "{name}: fault-free run must converge to a valid output"
+                );
+            }
+            if !out.replay_identical {
+                replay_failures += 1;
+            }
+            println!(
+                "{name}: drop {}ppm delay {}ppm crash {}ppm -> size {} (clean {}), rounds {}, \
+                 dropped {}, crashed {}, valid {}, replay_identical {}",
+                spec.drop_ppm,
+                spec.delay_ppm,
+                spec.crash_ppm,
+                out.output_size,
+                clean_size,
+                out.rounds,
+                out.metrics.fault.dropped,
+                out.metrics.fault.crashed,
+                out.valid,
+                out.replay_identical
+            );
+            records.push(FaultRecord {
+                workload: name.to_string(),
+                graph: graph.to_string(),
+                n: g.num_nodes(),
+                m: g.num_edges(),
+                seed: spec.seed,
+                drop_ppm: spec.drop_ppm,
+                dup_ppm: spec.dup_ppm,
+                delay_ppm: spec.delay_ppm,
+                crash_ppm: spec.crash_ppm,
+                converged: out.converged,
+                valid: out.valid,
+                rounds: out.rounds,
+                convergence_round: out.convergence_round,
+                output_size: out.output_size,
+                clean_size,
+                degradation: if clean_size > 0 && out.converged {
+                    out.output_size as f64 / clean_size as f64
+                } else {
+                    0.0
+                },
+                delivered: out.metrics.fault.delivered,
+                dropped: out.metrics.fault.dropped,
+                duplicated: out.metrics.fault.duplicated,
+                delayed: out.metrics.fault.delayed,
+                crashed: out.metrics.fault.crashed,
+                replay_identical: out.replay_identical,
+                wall_ms: out.wall_ms,
+            });
+        }
+    }
+
+    let bench = FaultBench {
+        bench: "fault_plane".into(),
+        seed,
+        workloads: records,
+    };
+    let out_path = std::env::var("BENCH_FAULT_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("BENCH_fault.json"));
+    bench.write_json(&out_path).expect("write artifact");
+    println!("wrote {}", out_path.display());
+
+    if replay_failures > 0 {
+        eprintln!("replay identity FAILED in {replay_failures} cell(s)");
+        if args.iter().any(|a| a == "--assert-replay") {
+            std::process::exit(4);
+        }
+    } else {
+        println!(
+            "replay identity held in all {} cells",
+            bench.workloads.len()
+        );
+    }
+}

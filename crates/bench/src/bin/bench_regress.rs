@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench_regress <baseline.json> <fresh.json> [--max-regress 0.25] [--min-ms 50] [--codec-parity]
+//! bench_regress <BENCH_fault.json baseline> <fresh> --fault
 //! ```
 //!
 //! Compares every *sequential* engine timing of `fresh.json` against
@@ -15,6 +16,13 @@
 //! gated — they depend on the host's core count — and baselines below
 //! `--min-ms` (default 50 ms) are skipped because percentage noise on
 //! millisecond-scale runs is not signal.
+//!
+//! With `--fault`, both documents are treated as `BENCH_fault.json`
+//! snapshots and the gate switches from wall-time budgets to an
+//! **exact** comparison: the fault plane is deterministic by contract,
+//! so after stripping the `wall_ms` timing lines the fresh document
+//! must equal the committed baseline byte for byte (exit code 3
+//! otherwise, with the first differing lines printed).
 //!
 //! With `--codec-parity`, additionally checks — *within* the fresh
 //! document — every workload that carries both a `parallel` and a
@@ -36,7 +44,7 @@
 //! trips it, regenerate the snapshots on the new class in the same PR,
 //! or widen `--max-regress` in `ci.yml` deliberately.
 
-use pga_bench::harness::parse_engine_walls;
+use pga_bench::harness::{fault_fingerprint, parse_engine_walls};
 
 fn arg_after(args: &[String], flag: &str, default: f64) -> f64 {
     args.iter()
@@ -44,6 +52,46 @@ fn arg_after(args: &[String], flag: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--fault` mode: both documents are `BENCH_fault.json` snapshots.
+/// Everything in them except the timing lines is a pure function of
+/// `(instance seed, FaultSpec)`, so the gate is an exact byte diff of
+/// the timing-stripped fingerprints — any drift means fault decisions
+/// stopped being schedule-independent (exit code 3).
+fn diff_fault_docs(baseline_path: &str, baseline: &str, fresh_path: &str, fresh: &str) {
+    println!("bench_regress --fault: {baseline_path} vs {fresh_path} (exact, timing-stripped)");
+    let base = fault_fingerprint(baseline);
+    let new = fault_fingerprint(fresh);
+    if base == new {
+        println!("  fault fingerprints identical");
+        return;
+    }
+    let mut shown = 0usize;
+    for (i, (b, f)) in base.lines().zip(new.lines()).enumerate() {
+        if b != f {
+            eprintln!(
+                "  line {}: baseline `{}` != fresh `{}`",
+                i + 1,
+                b.trim(),
+                f.trim()
+            );
+            shown += 1;
+            if shown >= 10 {
+                eprintln!("  (further diffs suppressed)");
+                break;
+            }
+        }
+    }
+    if base.lines().count() != new.lines().count() {
+        eprintln!(
+            "  line counts differ: baseline {} vs fresh {}",
+            base.lines().count(),
+            new.lines().count()
+        );
+    }
+    eprintln!("FAIL: fault-plane snapshot diverged from the committed baseline");
+    std::process::exit(3);
 }
 
 fn main() {
@@ -66,8 +114,14 @@ fn main() {
             std::process::exit(66);
         })
     };
-    let baseline = parse_engine_walls(&read(baseline_path));
-    let fresh = parse_engine_walls(&read(fresh_path));
+    let baseline_doc = read(baseline_path);
+    let fresh_doc = read(fresh_path);
+    if args.iter().any(|a| a == "--fault") {
+        diff_fault_docs(baseline_path, &baseline_doc, fresh_path, &fresh_doc);
+        return;
+    }
+    let baseline = parse_engine_walls(&baseline_doc);
+    let fresh = parse_engine_walls(&fresh_doc);
 
     println!(
         "bench_regress: {} vs {} (sequential entries only, max +{:.0}%, floor {min_ms} ms)",

@@ -591,6 +591,198 @@ pub fn parse_engine_walls(json: &str) -> Vec<EngineWall> {
     out
 }
 
+/// One cell of the fault-injection degradation sweep in
+/// `BENCH_fault.json`: a single `(workload, FaultSpec)` pair.
+///
+/// All fault rates are recorded in parts-per-million, exactly as the
+/// `FaultSpec` carries them, so the record is `Eq`-comparable without
+/// float noise. `wall_ms` is the only non-deterministic field — the
+/// regression gate strips it (see [`fault_fingerprint`]).
+#[derive(Clone, Debug)]
+pub struct FaultRecord {
+    /// Workload name (e.g. `"mvc_gnm"`, `"ruling_set_gnm"`).
+    pub workload: String,
+    /// Generator family of the instance.
+    pub graph: String,
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Undirected edges of the instance.
+    pub m: usize,
+    /// Fault seed of this cell's `FaultSpec`.
+    pub seed: u64,
+    /// Per-message drop probability in ppm.
+    pub drop_ppm: u32,
+    /// Per-message duplication probability in ppm.
+    pub dup_ppm: u32,
+    /// Per-message delay probability in ppm.
+    pub delay_ppm: u32,
+    /// Per-actor crash probability in ppm.
+    pub crash_ppm: u32,
+    /// Whether the run terminated within the round budget (a `false`
+    /// here is the adversary starving the algorithm, not a harness
+    /// failure).
+    pub converged: bool,
+    /// Whether the converged output still satisfies the workload's
+    /// correctness predicate (vertex cover of `G²`, dominating set of
+    /// `G²`, …). Always `true` at zero fault rates; under faults this
+    /// is the headline degradation signal.
+    pub valid: bool,
+    /// Rounds executed (0 when the run did not converge).
+    pub rounds: usize,
+    /// The kernel's convergence detector: first round from which the
+    /// message plane stayed quiet.
+    pub convergence_round: usize,
+    /// Output size (cover / dominating-set / ruling-set cardinality).
+    pub output_size: usize,
+    /// Output size of the fault-free run on the same instance.
+    pub clean_size: usize,
+    /// `output_size / clean_size` (0 when the run did not converge) —
+    /// the approximation-degradation ratio the sweep plots.
+    pub degradation: f64,
+    /// Messages delivered (fault plane accounting).
+    pub delivered: u64,
+    /// Messages dropped by the adversary.
+    pub dropped: u64,
+    /// Extra copies injected by the adversary.
+    pub duplicated: u64,
+    /// Messages delayed by the adversary.
+    pub delayed: u64,
+    /// Actors crashed during the run.
+    pub crashed: u64,
+    /// Whether re-executing the same `(seed, FaultSpec)` on a different
+    /// engine (or replaying the recorded trace) reproduced the run bit
+    /// for bit — the replay-determinism gate.
+    pub replay_identical: bool,
+    /// Wall time of the primary run in milliseconds (informational;
+    /// excluded from the determinism fingerprint).
+    pub wall_ms: f64,
+}
+
+/// The `BENCH_fault.json` document: pinned instances swept over a grid
+/// of drop rates and crash fractions, recording convergence, validity,
+/// approximation degradation, fault-plane accounting, and the
+/// replay-identity verdict per cell.
+///
+/// Serialized shape:
+///
+/// ```json
+/// {
+///   "bench": "fault_plane",
+///   "seed": 45803,
+///   "workloads": [
+///     {
+///       "workload": "mvc_gnm",
+///       "graph": "connected_gnm",
+///       "n": 96, "m": 288, "seed": 45803,
+///       "drop_ppm": 50000, "dup_ppm": 0, "delay_ppm": 0, "crash_ppm": 0,
+///       "converged": true, "valid": true,
+///       "rounds": 41, "convergence_round": 39,
+///       "output_size": 64, "clean_size": 61, "degradation": 1.049,
+///       "delivered": 5120, "dropped": 270, "duplicated": 0,
+///       "delayed": 0, "crashed": 0,
+///       "replay_identical": true,
+///       "wall_ms": 3.1
+///     }
+///   ]
+/// }
+/// ```
+///
+/// Everything except `wall_ms` is a pure function of
+/// `(instance seed, FaultSpec)`, so CI diffs the committed snapshot
+/// against a fresh run byte-for-byte after stripping the timing lines
+/// ([`fault_fingerprint`]); a mismatch means fault decisions stopped
+/// being schedule-independent.
+#[derive(Clone, Debug)]
+pub struct FaultBench {
+    /// Benchmark family identifier (`"fault_plane"`).
+    pub bench: String,
+    /// RNG seed pinning the instances (fault seeds derive from it).
+    pub seed: u64,
+    /// Per-cell results.
+    pub workloads: Vec<FaultRecord>,
+}
+
+impl FaultBench {
+    /// Serializes the document to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!(
+                "      \"workload\": \"{}\",\n",
+                json_escape(&w.workload)
+            ));
+            s.push_str(&format!(
+                "      \"graph\": \"{}\",\n",
+                json_escape(&w.graph)
+            ));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str(&format!("      \"seed\": {},\n", w.seed));
+            s.push_str(&format!("      \"drop_ppm\": {},\n", w.drop_ppm));
+            s.push_str(&format!("      \"dup_ppm\": {},\n", w.dup_ppm));
+            s.push_str(&format!("      \"delay_ppm\": {},\n", w.delay_ppm));
+            s.push_str(&format!("      \"crash_ppm\": {},\n", w.crash_ppm));
+            s.push_str(&format!("      \"converged\": {},\n", w.converged));
+            s.push_str(&format!("      \"valid\": {},\n", w.valid));
+            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+            s.push_str(&format!(
+                "      \"convergence_round\": {},\n",
+                w.convergence_round
+            ));
+            s.push_str(&format!("      \"output_size\": {},\n", w.output_size));
+            s.push_str(&format!("      \"clean_size\": {},\n", w.clean_size));
+            s.push_str(&format!("      \"degradation\": {:.3},\n", w.degradation));
+            s.push_str(&format!("      \"delivered\": {},\n", w.delivered));
+            s.push_str(&format!("      \"dropped\": {},\n", w.dropped));
+            s.push_str(&format!("      \"duplicated\": {},\n", w.duplicated));
+            s.push_str(&format!("      \"delayed\": {},\n", w.delayed));
+            s.push_str(&format!("      \"crashed\": {},\n", w.crashed));
+            s.push_str(&format!(
+                "      \"replay_identical\": {},\n",
+                w.replay_identical
+            ));
+            s.push_str(&format!("      \"wall_ms\": {:.3}\n", w.wall_ms));
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The determinism fingerprint of a `BENCH_fault.json` document: the
+/// serialized text with every `"wall_ms"` line removed. Everything that
+/// remains is a pure function of `(instance seed, FaultSpec)`, so the
+/// `bench_regress --fault` gate compares fingerprints byte-for-byte
+/// across machines and runs.
+pub fn fault_fingerprint(json: &str) -> String {
+    json.lines()
+        .filter(|l| !l.trim_start().starts_with("\"wall_ms\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -901,5 +1093,51 @@ mod tests {
         let (v, ms) = time_ms(|| (0..10_000u64).sum::<u64>());
         assert_eq!(v, 49_995_000);
         assert!(ms >= 0.0);
+    }
+
+    fn fault_sample(wall_ms: f64) -> FaultBench {
+        FaultBench {
+            bench: "fault_plane".into(),
+            seed: 45803,
+            workloads: vec![FaultRecord {
+                workload: "mvc_gnm".into(),
+                graph: "connected_gnm".into(),
+                n: 96,
+                m: 288,
+                seed: 45803,
+                drop_ppm: 50_000,
+                dup_ppm: 0,
+                delay_ppm: 0,
+                crash_ppm: 0,
+                converged: true,
+                valid: true,
+                rounds: 41,
+                convergence_round: 39,
+                output_size: 64,
+                clean_size: 61,
+                degradation: 64.0 / 61.0,
+                delivered: 5120,
+                dropped: 270,
+                duplicated: 0,
+                delayed: 0,
+                crashed: 0,
+                replay_identical: true,
+                wall_ms,
+            }],
+        }
+    }
+
+    #[test]
+    fn fault_bench_serializes_and_fingerprints() {
+        let doc = fault_sample(3.25).to_json();
+        assert!(doc.contains("\"bench\": \"fault_plane\""));
+        assert!(doc.contains("\"drop_ppm\": 50000"));
+        assert!(doc.contains("\"replay_identical\": true"));
+        assert!(doc.contains("\"wall_ms\": 3.250"));
+        // The fingerprint is timing-invariant and nothing else.
+        let other = fault_sample(99.0).to_json();
+        assert_ne!(doc, other);
+        assert_eq!(fault_fingerprint(&doc), fault_fingerprint(&other));
+        assert!(!fault_fingerprint(&doc).contains("wall_ms"));
     }
 }

@@ -76,6 +76,13 @@ pub use metrics::Metrics;
 /// Re-exported so engine consumers (benches, tests) can inspect the
 /// cost-balanced shard boundaries the parallel engine draws.
 pub use pga_runtime::balanced_partition;
+/// Fault-injection vocabulary of the adversarial execution plane,
+/// re-exported so algorithm crates and benches can build [`FaultSpec`]s
+/// and replay [`FaultTrace`]s without depending on `pga-runtime`
+/// directly.
+pub use pga_runtime::{
+    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary, TraceAdversary,
+};
 /// Runtime-level message-plane vocabulary, re-exported so algorithm
 /// crates can implement packed codecs and build [`RunConfig`]s without
 /// depending on `pga-runtime` directly.

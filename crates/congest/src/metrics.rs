@@ -1,6 +1,8 @@
 //! Run metrics: rounds, messages, bits, and the per-round congestion
 //! profile.
 
+use pga_runtime::FaultStats;
+
 /// Aggregate communication metrics of a simulated run.
 ///
 /// `rounds` is the quantity the paper's theorems bound; messages and bits
@@ -26,7 +28,21 @@ pub struct Metrics {
     /// round, this equals the largest message of round `r`; the profile
     /// preserves the per-round peaks that the run-wide
     /// [`max_message_bits`](Self::max_message_bits) maximum collapses.
+    ///
+    /// Under an adversary the profile charges each link at **actual
+    /// delivery**: a dropped message never loads its edge, a duplicated
+    /// one loads it twice, and a delayed one is charged in its transmit
+    /// round. Clean runs are unaffected.
     pub congestion_profile: Vec<usize>,
+    /// The adversary's whole-run fault tally (all zeros except
+    /// [`FaultStats::delivered`] on a clean run).
+    pub fault: FaultStats,
+    /// The kernel's message-quiescence detector: the first round index
+    /// from which no message was in flight for the rest of the run (0
+    /// when the run never exchanged a message). Under faults this is
+    /// the observable convergence round — how long the adversary kept
+    /// the message plane busy.
+    pub convergence_round: usize,
 }
 
 impl Metrics {
@@ -99,6 +115,7 @@ mod tests {
             bits: 100,
             max_message_bits: 40,
             congestion_profile: vec![40, 30, 30],
+            ..Default::default()
         };
         assert!((m.avg_message_bits() - 25.0).abs() < 1e-9);
         assert_eq!(Metrics::default().avg_message_bits(), 0.0);
@@ -112,6 +129,7 @@ mod tests {
             bits: 60,
             max_message_bits: 30,
             congestion_profile: vec![10, 30, 20],
+            ..Default::default()
         };
         assert_eq!(m.peak_edge_bits(), 30);
         assert_eq!(Metrics::default().peak_edge_bits(), 0);
@@ -125,6 +143,7 @@ mod tests {
             bits: 0,
             max_message_bits: 20,
             congestion_profile: (1..=20).collect(),
+            ..Default::default()
         };
         assert_eq!(m.congestion_percentile(0.95), 19);
         assert_eq!(m.congestion_percentile(1.0), 20);
@@ -140,6 +159,7 @@ mod tests {
             bits: 0,
             max_message_bits: 9,
             congestion_profile: vec![9, 4, 7],
+            ..Default::default()
         };
         assert_eq!(m.congestion_percentile(0.0), 4);
     }
@@ -173,6 +193,7 @@ mod tests {
             bits: 50,
             max_message_bits: 10,
             congestion_profile: vec![10, 8],
+            ..Default::default()
         };
         let s = format!("{m}");
         assert!(s.contains("2 rounds"));

@@ -10,9 +10,12 @@
 pub use crate::error::SimError;
 use crate::Metrics;
 use pga_graph::{Graph, NodeId};
-use pga_runtime::{CodecFns, ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
+use pga_runtime::{CodecFns, ExecModel, FaultStats, KernelConfig, MsgSink, Poll, RoundProfile};
 
-pub use pga_runtime::{Engine, MsgCodec, RunConfig, Scheduling, PARALLEL_MIN_NODES};
+pub use pga_runtime::{
+    Adversary, Engine, FaultSpec, FaultTrace, MsgCodec, RunConfig, Scheduling, SeededAdversary,
+    TraceAdversary, PARALLEL_MIN_NODES,
+};
 
 /// Communication topology of a simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -305,10 +308,14 @@ impl<A: Algorithm, W: Copy + Send> ExecModel for CongestModel<'_, '_, A, W> {
         let mut peak = 0usize;
         for (to, msg) in outbox {
             let size = check_message(&ctx, seen, to, &msg)?;
-            messages += 1;
-            volume += size as u64;
-            peak = peak.max(size);
-            sink.deliver(self, to, ctx.id, msg);
+            // Congestion is charged at actual delivery: the sink
+            // reports how many copies traverse the edge (always 1 on
+            // the clean engines; an adversary's drop charges 0, a
+            // duplicate 2, a delay 1 at the transmit round).
+            let copies = sink.deliver(self, to, ctx.id, msg);
+            messages += u64::from(copies);
+            volume += u64::from(copies) * size as u64;
+            peak = peak.max(size * copies as usize);
         }
         acc.messages += messages;
         acc.volume += volume;
@@ -322,6 +329,11 @@ impl<A: Algorithm, W: Copy + Send> ExecModel for CongestModel<'_, '_, A, W> {
         metrics.max_message_bits = metrics.max_message_bits.max(acc.peak_link);
         metrics.rounds = round + 1;
         metrics.congestion_profile.push(acc.peak_link);
+    }
+
+    fn finish(&self, metrics: &mut Metrics, fault: &FaultStats, convergence_round: usize) {
+        metrics.fault = *fault;
+        metrics.convergence_round = convergence_round;
     }
 }
 
@@ -602,6 +614,17 @@ impl<'g> Simulator<'g> {
     {
         let mut sim = *self;
         sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        if let Some(spec) = cfg.fault {
+            let adversary = SeededAdversary::new(spec);
+            return if cfg.codec {
+                sim.run_adversary_codec(nodes, cfg.engine, &adversary)
+            } else {
+                sim.run_adversary(nodes, cfg.engine, &adversary)
+            };
+        }
         match cfg.engine {
             Engine::Sequential => sim.run(nodes),
             Engine::Parallel { threads: 0 } if self.g.num_nodes() < PARALLEL_MIN_NODES => {
@@ -635,6 +658,176 @@ impl<'g> Simulator<'g> {
     {
         let mut sim = *self;
         sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        if let Some(spec) = cfg.fault {
+            let adversary = SeededAdversary::new(spec);
+            return sim.run_adversary(nodes, cfg.engine, &adversary);
+        }
         sim.run_with(nodes, cfg.engine)
+    }
+
+    /// The thread count a fault run uses for `engine`: the adversarial
+    /// executor has no separate sequential/sharded split, so the engine
+    /// choice reduces to a thread count (with the same
+    /// [`PARALLEL_MIN_NODES`] auto-threads fallback as the clean
+    /// dispatch — and the same bit-identical results either way).
+    fn fault_threads(&self, engine: Engine) -> usize {
+        match engine {
+            Engine::Sequential => 1,
+            Engine::Parallel { threads: 0 } => {
+                if self.g.num_nodes() < PARALLEL_MIN_NODES {
+                    1
+                } else {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                }
+            }
+            Engine::Parallel { threads } => threads,
+        }
+    }
+
+    /// Runs `nodes` on the adversarial executor under an explicit
+    /// [`Adversary`] (enum message plane).
+    ///
+    /// Fault decisions are pure functions of `(round, sender, seq)`, so
+    /// the run is bit-identical for every `engine` choice, and an
+    /// adversary that never interferes reproduces [`Simulator::run`]
+    /// bit for bit. Most callers want [`Simulator::run_cfg`] with
+    /// [`RunConfig::adversary`] instead; this entry point exists for
+    /// custom [`Adversary`] implementations and replay tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication
+    /// model or the round budget is exhausted (which adversarially
+    /// starved runs routinely do — bound the budget via
+    /// [`Simulator::with_max_rounds`] or [`RunConfig::max_rounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_adversary<A>(
+        &self,
+        nodes: Vec<A>,
+        engine: Engine,
+        adversary: &dyn Adversary,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        self.assert_node_count(&nodes);
+        #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+        Ok(pga_runtime::fault::run_faulty(
+            &self.model::<A>(),
+            nodes,
+            self.fault_threads(engine),
+            self.kernel_config(),
+            adversary,
+        )?
+        .into())
+    }
+
+    /// [`Simulator::run_adversary`] with the message codec of `A::Msg`
+    /// installed: the adversarial executor moves packed
+    /// [`MsgCodec::Word`]s, with fates decided on exactly the same
+    /// `(round, sender, seq)` coordinates — both planes stay
+    /// bit-identical under any adversary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] like [`Simulator::run_adversary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_adversary_codec<A>(
+        &self,
+        nodes: Vec<A>,
+        engine: Engine,
+        adversary: &dyn Adversary,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: MsgCodec + Send,
+    {
+        self.assert_node_count(&nodes);
+        #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+        Ok(pga_runtime::fault::run_faulty(
+            &self.model_codec::<A>(),
+            nodes,
+            self.fault_threads(engine),
+            self.kernel_config(),
+            adversary,
+        )?
+        .into())
+    }
+
+    /// Runs `nodes` under `spec` while recording every inflicted fault,
+    /// returning the report together with the [`FaultTrace`] that
+    /// [`Simulator::run_replay`] re-executes bit for bit.
+    ///
+    /// Engine, scheduling, and round budget come from `cfg`;
+    /// [`RunConfig::fault`] and [`RunConfig::codec`] are ignored (`spec`
+    /// is explicit, and the recording run uses the enum plane — the
+    /// planes are bit-identical, so the trace is valid for both).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] like [`Simulator::run_adversary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_traced<A>(
+        &self,
+        nodes: Vec<A>,
+        spec: FaultSpec,
+        cfg: &RunConfig,
+    ) -> Result<(Report<A::Output>, FaultTrace), SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        let n = self.g.num_nodes();
+        let adversary = SeededAdversary::recording(spec);
+        let report = sim.run_adversary(nodes, cfg.engine, &adversary)?;
+        Ok((report, adversary.into_trace(n)))
+    }
+
+    /// Re-executes a recorded fault schedule: every coordinate in
+    /// `trace` gets its recorded fate, everything else is delivered
+    /// clean, so the run reproduces the recorded one bit for bit (same
+    /// outputs, same [`Metrics`], at any engine/thread choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] like [`Simulator::run_adversary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_replay<A>(
+        &self,
+        nodes: Vec<A>,
+        trace: &FaultTrace,
+        cfg: &RunConfig,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        sim.run_adversary(nodes, cfg.engine, &TraceAdversary::new(trace))
     }
 }

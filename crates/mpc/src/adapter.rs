@@ -185,6 +185,7 @@ impl<A: Algorithm, W: Copy + Send> Machine for CongestShard<'_, A, W> {
         let mut buckets: crate::util::SparseBuckets<(NodeId, NodeId, A::Msg)> =
             crate::util::SparseBuckets::new();
         let mut round_peak = 0usize;
+        let msgs_before = self.metrics.messages;
         for (k, node_inbox) in node_inboxes.iter_mut().enumerate() {
             let cctx = self.congest_ctx(k, ctx.round);
             let inbox = std::mem::take(node_inbox);
@@ -207,6 +208,12 @@ impl<A: Algorithm, W: Copy + Send> Machine for CongestShard<'_, A, W> {
         }
         self.metrics.rounds += 1;
         self.metrics.congestion_profile.push(round_peak);
+        if self.metrics.messages > msgs_before {
+            // Mirrors the kernel's quiescence detector: mail staged in
+            // CONGEST round r is consumed in round r + 1, so the plane
+            // can only be quiet from r + 2 on.
+            self.metrics.convergence_round = ctx.round + 2;
+        }
 
         Ok(buckets
             .into_sorted()
@@ -569,7 +576,13 @@ impl<'g> CongestOnMpc<'g> {
             {
                 *slot = (*slot).max(peak);
             }
+            congest.convergence_round = congest
+                .convergence_round
+                .max(shard_metrics.convergence_round);
         }
+        // The adapter simulates the clean CONGEST plane: every charged
+        // message is delivered, matching the native engines' tally.
+        congest.fault.delivered = congest.messages;
         Ok(AdapterReport {
             outputs,
             congest,

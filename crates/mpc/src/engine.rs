@@ -15,10 +15,13 @@
 
 use crate::MpcMetrics;
 use pga_congest::SimError;
-use pga_runtime::{ActorId, ExecModel, KernelConfig, MsgSink, Poll, RoundProfile};
+use pga_runtime::{ActorId, ExecModel, FaultStats, KernelConfig, MsgSink, Poll, RoundProfile};
 use std::fmt;
 
 pub use pga_congest::{Engine, Scheduling};
+pub use pga_runtime::{
+    Adversary, FaultSpec, FaultTrace, RunConfig, SeededAdversary, TraceAdversary,
+};
 
 /// Identifier of a machine in an MPC execution.
 ///
@@ -475,9 +478,13 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
         let mut volume = 0u64;
         for (to, msg) in outbox {
             let w = self.charge_message(&ctx, to, &msg, sent)?;
-            messages += 1;
-            volume += w as u64;
-            sink.deliver(self, to, ctx.id, msg);
+            // The send-side cap (`sent`) charges the attempt; delivered
+            // volume is charged by the copies that actually traverse
+            // the network (always 1 on the clean engines; an
+            // adversary's drop charges 0, a duplicate 2).
+            let copies = sink.deliver(self, to, ctx.id, msg);
+            messages += u64::from(copies);
+            volume += u64::from(copies) * w as u64;
         }
         acc.messages += messages;
         acc.volume += volume;
@@ -523,6 +530,11 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
         metrics.rounds = round + 1;
         metrics.peak_round_io_words = metrics.peak_round_io_words.max(round_io);
         metrics.io_profile.push(round_io);
+    }
+
+    fn finish(&self, metrics: &mut MpcMetrics, fault: &FaultStats, convergence_round: usize) {
+        metrics.fault = *fault;
+        metrics.convergence_round = convergence_round;
     }
 }
 
@@ -654,5 +666,145 @@ impl MpcSimulator {
             Engine::Sequential => self.run(machines),
             Engine::Parallel { threads } => self.run_parallel(machines, threads),
         }
+    }
+
+    /// Runs `machines` under a [`RunConfig`]: engine, scheduling
+    /// policy, round budget, and fault plan in one value.
+    ///
+    /// The configured [`RunConfig::scheduling`] and
+    /// [`RunConfig::max_rounds`] override this simulator's settings for
+    /// the run; with [`RunConfig::fault`] set the run goes through the
+    /// adversarial executor ([`MpcSimulator::run_adversary`]).
+    /// [`RunConfig::codec`] is ignored — the MPC plane keeps the enum
+    /// exchange at kernel level (see the `Packed` note on the model).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`MpcSimulator::run`].
+    pub fn run_cfg<A>(
+        &self,
+        machines: Vec<A>,
+        cfg: &RunConfig,
+    ) -> Result<MpcReport<A::Output>, MpcError>
+    where
+        A: Machine + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        if let Some(spec) = cfg.fault {
+            let adversary = SeededAdversary::new(spec);
+            return sim.run_adversary(machines, cfg.engine, &adversary);
+        }
+        sim.run_with(machines, cfg.engine)
+    }
+
+    /// The thread count a fault run uses for `engine` (the adversarial
+    /// executor has no separate sequential/sharded split — results are
+    /// bit-identical either way).
+    fn fault_threads(engine: Engine) -> usize {
+        match engine {
+            Engine::Sequential => 1,
+            Engine::Parallel { threads: 0 } => {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            }
+            Engine::Parallel { threads } => threads,
+        }
+    }
+
+    /// Runs `machines` on the adversarial executor under an explicit
+    /// [`Adversary`]. Fault decisions are pure functions of
+    /// `(round, sender, seq)`, so the run is bit-identical for every
+    /// `engine` choice, and an adversary that never interferes
+    /// reproduces [`MpcSimulator::run`] bit for bit. Most callers want
+    /// [`MpcSimulator::run_cfg`] with [`RunConfig::adversary`]; this
+    /// entry point exists for custom [`Adversary`] implementations and
+    /// replay tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] if a machine violates the memory or I/O
+    /// budget, a program aborts, or the round budget is exhausted
+    /// (which adversarially starved runs routinely do — bound the
+    /// budget via [`MpcSimulator::with_max_rounds`] or
+    /// [`RunConfig::max_rounds`]).
+    pub fn run_adversary<A>(
+        &self,
+        machines: Vec<A>,
+        engine: Engine,
+        adversary: &dyn Adversary,
+    ) -> Result<MpcReport<A::Output>, MpcError>
+    where
+        A: Machine + Send,
+        A::Msg: Send,
+    {
+        let m = machines.len();
+        #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+        Ok(pga_runtime::fault::run_faulty(
+            &self.model::<A>(m),
+            machines,
+            Self::fault_threads(engine),
+            self.kernel_config(),
+            adversary,
+        )?
+        .into())
+    }
+
+    /// Runs `machines` under `spec` while recording every inflicted
+    /// fault, returning the report together with the [`FaultTrace`]
+    /// that [`MpcSimulator::run_replay`] re-executes bit for bit.
+    ///
+    /// Engine, scheduling, and round budget come from `cfg`;
+    /// [`RunConfig::fault`] is ignored (`spec` is explicit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`MpcSimulator::run_adversary`].
+    pub fn run_traced<A>(
+        &self,
+        machines: Vec<A>,
+        spec: FaultSpec,
+        cfg: &RunConfig,
+    ) -> Result<(MpcReport<A::Output>, FaultTrace), MpcError>
+    where
+        A: Machine + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        let m = machines.len();
+        let adversary = SeededAdversary::recording(spec);
+        let report = sim.run_adversary(machines, cfg.engine, &adversary)?;
+        Ok((report, adversary.into_trace(m)))
+    }
+
+    /// Re-executes a recorded fault schedule bit for bit (same outputs,
+    /// same [`MpcMetrics`], at any engine/thread choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`MpcSimulator::run_adversary`].
+    pub fn run_replay<A>(
+        &self,
+        machines: Vec<A>,
+        trace: &FaultTrace,
+        cfg: &RunConfig,
+    ) -> Result<MpcReport<A::Output>, MpcError>
+    where
+        A: Machine + Send,
+        A::Msg: Send,
+    {
+        let mut sim = *self;
+        sim.scheduling = cfg.scheduling;
+        if let Some(max) = cfg.max_rounds {
+            sim.max_rounds = max;
+        }
+        sim.run_adversary(machines, cfg.engine, &TraceAdversary::new(trace))
     }
 }

@@ -66,11 +66,16 @@ pub use engine::{
     Scheduling, WordSize,
 };
 pub use metrics::MpcMetrics;
+/// Fault-injection vocabulary of the adversarial execution plane
+/// (shared with `pga-congest`), re-exported for the same reason.
+pub use pga_congest::{
+    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary, TraceAdversary,
+};
 /// Runtime-level message-plane vocabulary (shared with `pga-congest`),
 /// re-exported so adapter callers can implement packed codecs and build
 /// [`RunConfig`]s without another dependency edge.
 pub use pga_congest::{CodecFns, MsgCodec, MsgCost, RunConfig};
 pub use ruling_set::{
-    g2_ruling_set_mpc, g2_ruling_set_mpc_auto, lex_first_g2_mis,
+    g2_ruling_set_mpc, g2_ruling_set_mpc_auto, g2_ruling_set_mpc_cfg, lex_first_g2_mis,
     recommended_ruling_set_memory_words, RulingSetResult,
 };

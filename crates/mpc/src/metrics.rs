@@ -1,6 +1,8 @@
 //! Resource accounting for MPC runs: rounds, communication volume, and
 //! peak per-machine memory.
 
+use pga_runtime::FaultStats;
+
 /// Aggregate resource metrics of a simulated MPC run.
 ///
 /// The low-space MPC model is judged on three axes: the number of
@@ -27,6 +29,15 @@ pub struct MpcMetrics {
     /// any single machine sent or received in round `r`. Always has
     /// length [`rounds`](Self::rounds).
     pub io_profile: Vec<usize>,
+    /// The adversary's whole-run fault tally (all zeros except
+    /// [`FaultStats::delivered`] on a clean run).
+    pub fault: FaultStats,
+    /// The kernel's message-quiescence detector: the first round index
+    /// from which no message was in flight for the rest of the run (0
+    /// when the run never exchanged a message). Under faults this is
+    /// the observable convergence round — how long the adversary kept
+    /// the message plane busy.
+    pub convergence_round: usize,
 }
 
 impl MpcMetrics {
@@ -44,12 +55,22 @@ impl MpcMetrics {
     /// concatenate. Used by multi-phase drivers (Theorem 1 runs Phase I
     /// and Phase II as two MPC executions whose round counts add).
     pub fn absorb(&mut self, other: &MpcMetrics) {
+        // A later phase's convergence round is offset by the rounds
+        // already executed; a quiet phase leaves the detector alone.
+        if other.convergence_round > 0 {
+            self.convergence_round = self.rounds + other.convergence_round;
+        }
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.words += other.words;
         self.peak_memory_words = self.peak_memory_words.max(other.peak_memory_words);
         self.peak_round_io_words = self.peak_round_io_words.max(other.peak_round_io_words);
         self.io_profile.extend_from_slice(&other.io_profile);
+        self.fault.delivered += other.fault.delivered;
+        self.fault.dropped += other.fault.dropped;
+        self.fault.duplicated += other.fault.duplicated;
+        self.fault.delayed += other.fault.delayed;
+        self.fault.crashed += other.fault.crashed;
     }
 }
 
@@ -92,6 +113,7 @@ mod tests {
             peak_memory_words: 100,
             peak_round_io_words: 20,
             io_profile: vec![20, 10, 5],
+            ..Default::default()
         };
         let b = MpcMetrics {
             rounds: 2,
@@ -100,6 +122,7 @@ mod tests {
             peak_memory_words: 70,
             peak_round_io_words: 30,
             io_profile: vec![30, 8],
+            ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -119,6 +142,7 @@ mod tests {
             peak_memory_words: 11,
             peak_round_io_words: 3,
             io_profile: vec![3; 7],
+            ..Default::default()
         };
         let s = format!("{m}");
         assert!(s.contains("7 rounds"));

@@ -35,6 +35,7 @@
 use crate::engine::{Engine, Machine, MachineId, MpcCtx, MpcError, MpcSimulator, WordSize};
 use crate::metrics::MpcMetrics;
 use crate::util::{greedy_partition, SparseBuckets};
+use crate::RunConfig;
 use pga_graph::{Graph, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -361,6 +362,25 @@ pub fn g2_ruling_set_mpc(
     memory_words: usize,
     engine: Engine,
 ) -> Result<RulingSetResult, MpcError> {
+    g2_ruling_set_mpc_cfg(g, memory_words, &RunConfig::new().engine(engine))
+}
+
+/// [`g2_ruling_set_mpc`] under a full [`RunConfig`]: engine, scheduling
+/// policy, round budget, and fault plan in one value (see
+/// [`MpcSimulator::run_cfg`]). With [`RunConfig::fault`] set the
+/// distributed rounds execute under the seeded adversary, so the
+/// result may lose the [`lex_first_g2_mis`] equality — and even
+/// `G²`-domination — which is exactly the degradation the fault bench
+/// measures.
+///
+/// # Errors
+///
+/// Returns an [`MpcError`] like [`g2_ruling_set_mpc`].
+pub fn g2_ruling_set_mpc_cfg(
+    g: &Graph,
+    memory_words: usize,
+    cfg: &RunConfig,
+) -> Result<RulingSetResult, MpcError> {
     let n = g.num_nodes();
     let starts = Arc::new(greedy_partition(
         (0..n).map(|v| ruling_set_vertex_cost(g.degree(NodeId::from_index(v)))),
@@ -395,7 +415,7 @@ pub fn g2_ruling_set_mpc(
         });
     }
 
-    let report = MpcSimulator::new(memory_words).run_with(machines, engine)?;
+    let report = MpcSimulator::new(memory_words).run_cfg(machines, cfg)?;
     let mut in_r = Vec::with_capacity(n);
     for shard in report.outputs {
         in_r.extend(shard);

@@ -1,0 +1,840 @@
+//! The adversarial execution plane: seeded fault injection with
+//! deterministic replay.
+//!
+//! This module adds a third executor family next to
+//! [`run_sequential`](crate::run_sequential) and
+//! [`run_sharded`](crate::run_sharded): [`run_faulty`] drives the same
+//! [`ExecModel`] round loop, but routes every validated message through
+//! an [`Adversary`] that may **drop**, **duplicate**, or **delay** it,
+//! and halts actors at adversary-chosen **crash** rounds. The plane
+//! composes with both model wrappers (CONGEST and MPC) and with the
+//! packed-codec exchange, because the interception happens at the
+//! kernel's [`MsgSink`] layer — below the models, above the wire
+//! representation.
+//!
+//! # Determinism and replay
+//!
+//! Every fault decision is a *pure function* of `(seed, round, sender,
+//! seq)`, where `seq` is the sender's 0-based deliver index within the
+//! round (outbox order — identical in every executor). No decision
+//! depends on thread interleaving, so a run is exactly reproducible
+//! from `(seed, FaultSpec)` at any thread count, and a recorded
+//! [`FaultTrace`] replays bit-for-bit through [`TraceAdversary`].
+//!
+//! # Fault semantics
+//!
+//! * **Drop** — the message never traverses its link: it is not
+//!   delivered *and not charged* (congestion/volume accounting happens
+//!   at actual delivery; see [`MsgSink::deliver`]).
+//! * **Duplicate** — two copies traverse the link in the same round and
+//!   both are delivered (and both are charged).
+//! * **Delay(d)** — the message is charged at its transmit round but
+//!   parked in a deterministic delay queue and delivered `d` rounds
+//!   late, after that round's fresh mail (queue order: park round, then
+//!   shard, then sender, then outbox position).
+//! * **Crash at round r** — the actor executes rounds `0..r` and then
+//!   halts: it is never stepped again, counts as terminated, and every
+//!   message that would reach it at round ≥ r is dropped in flight.
+//!   Its output is collected from its last pre-crash state.
+//!
+//! Termination requires the usual quiescence **and** an empty delay
+//! queue. A run the adversary starves into livelock ends with the
+//! model's round-limit error, exactly like a diverging clean run.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{
+    balanced_partition, outputs, split_by_bounds, ActorId, ExecModel, KernelConfig, MsgSink,
+    PackedModel, RoundProfile, Run, Scheduling,
+};
+
+/// Probabilities are stored in parts-per-million so [`FaultSpec`] stays
+/// `Copy + Eq + Hash`-able and every decision is exact integer
+/// arithmetic.
+pub const PPM: u32 = 1_000_000;
+
+/// A seeded, declarative fault-injection plan.
+///
+/// All rates are parts-per-million of [`PPM`] (use the builder methods
+/// to write them as probabilities). The drop/duplicate/delay rates
+/// partition a single per-message roll, so their sum is clamped to
+/// [`PPM`] with drop taking precedence, then duplicate, then delay.
+///
+/// ```
+/// use pga_runtime::FaultSpec;
+///
+/// let spec = FaultSpec::seeded(42).drop(0.05).crash(0.01, 20);
+/// assert_eq!(spec.drop_ppm, 50_000);
+/// assert!(!spec.is_none());
+/// assert!(FaultSpec::none().is_none());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Seed of every fault decision (message fates and crash rounds).
+    pub seed: u64,
+    /// Per-message drop rate, in parts per million.
+    pub drop_ppm: u32,
+    /// Per-message duplication rate, in parts per million.
+    pub dup_ppm: u32,
+    /// Per-message delay rate, in parts per million.
+    pub delay_ppm: u32,
+    /// Largest delay in rounds (a delayed message is held 1..=max_delay
+    /// rounds); 0 behaves like 1.
+    pub max_delay: u32,
+    /// Per-actor crash probability, in parts per million.
+    pub crash_ppm: u32,
+    /// Crash rounds are drawn uniformly from `1..=crash_within` (an
+    /// actor always executes round 0); 0 behaves like 1.
+    pub crash_within: u32,
+}
+
+impl FaultSpec {
+    /// The empty plan: every message is delivered, nothing crashes.
+    /// Running under it is bit-identical to the clean executors.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying `seed` (fates stay clean until a rate is
+    /// set).
+    pub fn seeded(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this plan can never alter a run.
+    pub fn is_none(&self) -> bool {
+        self.drop_ppm == 0 && self.dup_ppm == 0 && self.delay_ppm == 0 && self.crash_ppm == 0
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-message drop probability (`0.0..=1.0`).
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop_ppm = to_ppm(p);
+        self
+    }
+
+    /// Sets the per-message duplication probability (`0.0..=1.0`).
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.dup_ppm = to_ppm(p);
+        self
+    }
+
+    /// Sets the per-message delay probability and the largest delay in
+    /// rounds.
+    pub fn delay(mut self, p: f64, max_delay: u32) -> Self {
+        self.delay_ppm = to_ppm(p);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the per-actor crash probability and the crash-round window
+    /// (crashes are drawn from `1..=within`).
+    pub fn crash(mut self, p: f64, within: u32) -> Self {
+        self.crash_ppm = to_ppm(p);
+        self.crash_within = within;
+        self
+    }
+}
+
+/// Converts a probability to clamped parts-per-million.
+fn to_ppm(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * f64::from(PPM)).round() as u32
+}
+
+/// The adversary's verdict for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fate {
+    /// Deliver normally next round.
+    Deliver,
+    /// Never deliver (and never charge).
+    Drop,
+    /// Deliver two copies next round (both charged).
+    Duplicate,
+    /// Deliver the given number of rounds late (≥ 1; charged at the
+    /// transmit round).
+    Delay(u32),
+}
+
+/// A deterministic fault oracle consulted by [`run_faulty`].
+///
+/// Implementations must be pure: the same arguments must always return
+/// the same verdicts, independent of call order or thread interleaving
+/// — that is what makes fault runs bit-identical across engines and
+/// replayable from a recorded schedule. [`SeededAdversary`] derives its
+/// verdicts from a [`FaultSpec`]; [`TraceAdversary`] replays a recorded
+/// [`FaultTrace`].
+pub trait Adversary: Sync {
+    /// The fate of the `seq`-th message (0-based deliver index, outbox
+    /// order) sent by actor `from` in `round`.
+    fn fate(&self, round: u32, from: u32, seq: u32) -> Fate;
+
+    /// The round at whose start `actor` halts (≥ 1), or `None` if it
+    /// never crashes. Consulted once per actor at run start.
+    fn crash_round(&self, actor: u32) -> Option<u32>;
+}
+
+/// SplitMix64 finalizer — the stateless mixing step behind every fault
+/// decision key.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Collapses a decision coordinate into one well-mixed RNG seed.
+fn decision_seed(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = mix(seed ^ mix(tag));
+    h = mix(h ^ a);
+    h = mix(h ^ b);
+    mix(h ^ c)
+}
+
+const TAG_MESSAGE: u64 = 0x6D73_675F_6661_7465; // "msg_fate"
+const TAG_CRASH: u64 = 0x6372_6173_685F_7264; // "crash_rd"
+
+/// The spec-driven [`Adversary`]: every verdict is drawn from a fresh
+/// [`StdRng`] seeded by the mixed decision coordinate, so verdicts are
+/// pure and thread-order independent. Optionally records every
+/// non-[`Fate::Deliver`] verdict for later replay (see
+/// [`SeededAdversary::recording`] / [`SeededAdversary::into_trace`]).
+pub struct SeededAdversary {
+    spec: FaultSpec,
+    recorder: Option<Mutex<Vec<FaultEvent>>>,
+}
+
+impl SeededAdversary {
+    /// An adversary executing `spec` without recording.
+    pub fn new(spec: FaultSpec) -> Self {
+        SeededAdversary {
+            spec,
+            recorder: None,
+        }
+    }
+
+    /// An adversary executing `spec` that records every fault it
+    /// inflicts; finish with [`SeededAdversary::into_trace`].
+    pub fn recording(spec: FaultSpec) -> Self {
+        SeededAdversary {
+            spec,
+            recorder: Some(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The recorded schedule of a completed run over `actors` actors:
+    /// all inflicted fault events (sorted by decision coordinate — the
+    /// recording order is thread-dependent, the sorted set is not) plus
+    /// the full crash table.
+    pub fn into_trace(self, actors: usize) -> FaultTrace {
+        let crashes = (0..actors)
+            .map(|i| self.spec_crash_round(i as u32))
+            .collect();
+        let mut events = self
+            .recorder
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .unwrap_or_default();
+        events.sort_by_key(|e| (e.round, e.from, e.seq));
+        events.dedup();
+        FaultTrace {
+            spec: self.spec,
+            events,
+            crashes,
+        }
+    }
+
+    fn spec_crash_round(&self, actor: u32) -> Option<u32> {
+        if self.spec.crash_ppm == 0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(decision_seed(
+            self.spec.seed,
+            TAG_CRASH,
+            u64::from(actor),
+            0,
+            0,
+        ));
+        if rng.random_range(0..PPM) < self.spec.crash_ppm {
+            Some(1 + rng.random_range(0..self.spec.crash_within.max(1)))
+        } else {
+            None
+        }
+    }
+}
+
+impl Adversary for SeededAdversary {
+    fn fate(&self, round: u32, from: u32, seq: u32) -> Fate {
+        let s = &self.spec;
+        if s.drop_ppm == 0 && s.dup_ppm == 0 && s.delay_ppm == 0 {
+            return Fate::Deliver;
+        }
+        let mut rng = StdRng::seed_from_u64(decision_seed(
+            s.seed,
+            TAG_MESSAGE,
+            u64::from(round),
+            u64::from(from),
+            u64::from(seq),
+        ));
+        // One roll partitioned into [drop | duplicate | delay | deliver].
+        let roll = rng.random_range(0..PPM);
+        let fate = if roll < s.drop_ppm {
+            Fate::Drop
+        } else if roll < s.drop_ppm.saturating_add(s.dup_ppm) {
+            Fate::Duplicate
+        } else if roll
+            < s.drop_ppm
+                .saturating_add(s.dup_ppm)
+                .saturating_add(s.delay_ppm)
+        {
+            Fate::Delay(1 + rng.random_range(0..s.max_delay.max(1)))
+        } else {
+            Fate::Deliver
+        };
+        if fate != Fate::Deliver {
+            if let Some(rec) = &self.recorder {
+                rec.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(FaultEvent {
+                        round,
+                        from,
+                        seq,
+                        fate,
+                    });
+            }
+        }
+        fate
+    }
+
+    fn crash_round(&self, actor: u32) -> Option<u32> {
+        self.spec_crash_round(actor)
+    }
+}
+
+/// One recorded non-[`Fate::Deliver`] verdict, keyed by its decision
+/// coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round the message was sent in.
+    pub round: u32,
+    /// Sending actor.
+    pub from: u32,
+    /// 0-based deliver index within the sender's round (outbox order).
+    pub seq: u32,
+    /// The inflicted fate.
+    pub fate: Fate,
+}
+
+/// A complete recorded fault schedule: replaying it through
+/// [`TraceAdversary`] re-executes the recorded run bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTrace {
+    /// The spec the schedule was drawn from (informational — replay
+    /// never re-rolls it).
+    pub spec: FaultSpec,
+    /// Every inflicted fault, sorted by `(round, from, seq)`.
+    pub events: Vec<FaultEvent>,
+    /// The full crash table, indexed by actor (entry `i` is actor `i`'s
+    /// crash round, if any).
+    pub crashes: Vec<Option<u32>>,
+}
+
+impl FaultTrace {
+    /// Total number of recorded fault events.
+    pub fn fault_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Replays a recorded [`FaultTrace`]: recorded coordinates get their
+/// recorded fate, everything else is delivered clean.
+pub struct TraceAdversary<'t> {
+    events: HashMap<(u32, u32, u32), Fate>,
+    crashes: &'t [Option<u32>],
+}
+
+impl<'t> TraceAdversary<'t> {
+    /// An adversary replaying `trace`.
+    pub fn new(trace: &'t FaultTrace) -> Self {
+        TraceAdversary {
+            events: trace
+                .events
+                .iter()
+                .map(|e| ((e.round, e.from, e.seq), e.fate))
+                .collect(),
+            crashes: &trace.crashes,
+        }
+    }
+}
+
+impl Adversary for TraceAdversary<'_> {
+    fn fate(&self, round: u32, from: u32, seq: u32) -> Fate {
+        self.events
+            .get(&(round, from, seq))
+            .copied()
+            .unwrap_or(Fate::Deliver)
+    }
+
+    fn crash_round(&self, actor: u32) -> Option<u32> {
+        self.crashes.get(actor as usize).copied().flatten()
+    }
+}
+
+/// Whole-run fault accounting, folded into the model metrics by
+/// [`ExecModel::finish`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Message copies actually delivered (equals the metrics' message
+    /// count: duplicates count twice, drops not at all, delayed once).
+    pub delivered: u64,
+    /// Messages dropped in flight — adversary drops plus messages
+    /// addressed to an actor that is crashed at their delivery round.
+    pub dropped: u64,
+    /// Messages duplicated (each added one extra delivered copy).
+    pub duplicated: u64,
+    /// Messages delivered late.
+    pub delayed: u64,
+    /// Actors whose crash round fell inside the run.
+    pub crashed: u64,
+}
+
+impl FaultStats {
+    fn absorb(&mut self, other: &FaultStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.crashed += other.crashed;
+    }
+}
+
+/// A message parked in the delay queue: joins `to`'s inbox for round
+/// `consume_round`.
+struct Parked<M: ExecModel> {
+    consume_round: u32,
+    to: u32,
+    from: M::Id,
+    msg: M::Msg,
+}
+
+/// Per-shard fault state, reused across rounds.
+struct ShardFault<M: ExecModel> {
+    /// Fresh deliveries of this round, in outbox order.
+    out: Vec<(u32, M::Id, M::Msg)>,
+    /// Messages parked this round.
+    parked: Vec<Parked<M>>,
+    stats: FaultStats,
+    scratch: M::SendScratch,
+}
+
+impl<M: ExecModel> ShardFault<M> {
+    fn new() -> Self {
+        ShardFault {
+            out: Vec::new(),
+            parked: Vec::new(),
+            stats: FaultStats::default(),
+            scratch: M::SendScratch::default(),
+        }
+    }
+}
+
+/// The adversarial [`MsgSink`]: consults the [`Adversary`] per message
+/// and stages survivors into the shard's delivery buffer (or the delay
+/// queue), reporting the charged copy count back to the model.
+struct FaultSink<'a, M: ExecModel> {
+    adversary: &'a dyn Adversary,
+    crash: &'a [Option<u32>],
+    round: u32,
+    /// The sender's running deliver index; reset per stepped actor.
+    seq: u32,
+    out: &'a mut Vec<(u32, M::Id, M::Msg)>,
+    parked: &'a mut Vec<Parked<M>>,
+    stats: &'a mut FaultStats,
+}
+
+impl<M: ExecModel> FaultSink<'_, M> {
+    /// Whether `to` is crashed at (the start of) `round` — mail
+    /// consumed then is dropped in flight.
+    #[inline]
+    fn dead_at(&self, to: usize, round: u32) -> bool {
+        matches!(self.crash[to], Some(r) if r <= round)
+    }
+}
+
+impl<M: ExecModel> MsgSink<M> for FaultSink<'_, M> {
+    fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32 {
+        let seq = self.seq;
+        self.seq += 1;
+        let to_idx = to.index();
+        match self.adversary.fate(self.round, from.index() as u32, seq) {
+            Fate::Drop => {
+                self.stats.dropped += 1;
+                0
+            }
+            Fate::Deliver => {
+                if self.dead_at(to_idx, self.round + 1) {
+                    self.stats.dropped += 1;
+                    return 0;
+                }
+                self.out.push((to_idx as u32, from, msg));
+                1
+            }
+            Fate::Duplicate => {
+                if self.dead_at(to_idx, self.round + 1) {
+                    self.stats.dropped += 1;
+                    return 0;
+                }
+                self.stats.duplicated += 1;
+                self.out.push((to_idx as u32, from, msg.clone()));
+                self.out.push((to_idx as u32, from, msg));
+                2
+            }
+            Fate::Delay(d) => {
+                let consume = self.round + 1 + d.max(1);
+                if self.dead_at(to_idx, consume) {
+                    self.stats.dropped += 1;
+                    return 0;
+                }
+                self.stats.delayed += 1;
+                self.parked.push(Parked {
+                    consume_round: consume,
+                    to: to_idx as u32,
+                    from,
+                    msg,
+                });
+                1
+            }
+        }
+    }
+}
+
+/// Runs `nodes` to completion under `adversary` on the adversarial
+/// executor.
+///
+/// Mechanically this is the sequential executor's round loop with the
+/// sharded executor's parallel stepping grafted on: each round, up to
+/// `threads` contiguous cost-balanced shards step their active actors
+/// concurrently, staging surviving messages into per-shard buffers that
+/// the driving thread merges **in shard order** — which is ascending
+/// sender order, the sequential delivery order — before releasing any
+/// delay-queue mail due this round. Fault decisions are pure functions
+/// of `(round, sender, seq)`, so outputs, metrics, and errors are
+/// **bit-identical at every thread count**, and a run under
+/// [`FaultSpec::none`] is bit-identical to the clean executors.
+///
+/// Callers resolve `threads` (0 is treated as 1); the clean engines'
+/// small-instance fallbacks apply at the call sites.
+///
+/// # Errors
+///
+/// Returns the model's error exactly like the clean executors: the
+/// lowest-indexed actor's violation, or the round-limit error when the
+/// budget runs out (which adversarially starved runs routinely do).
+pub fn run_faulty<M>(
+    model: &M,
+    nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    adversary: &dyn Adversary,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+{
+    if model.packs() {
+        run_faulty_inner(&PackedModel(model), nodes, threads, cfg, adversary)
+    } else {
+        run_faulty_inner(model, nodes, threads, cfg, adversary)
+    }
+}
+
+/// The crash-aware sweep: crashed actors count as terminated and are
+/// never stepped; everything else matches the clean kernel sweep
+/// (including the active-set dormancy cache).
+#[allow(clippy::too_many_arguments)]
+fn sweep_faulty<M: ExecModel>(
+    model: &M,
+    nodes: &[M::Node],
+    inboxes: &[Vec<(M::Id, M::Msg)>],
+    crashed: &[bool],
+    round: usize,
+    scheduling: Scheduling,
+    active: &mut [bool],
+    dormant: &mut [bool],
+) -> bool {
+    let mut all_done = true;
+    let mut in_flight = false;
+    for (i, node) in nodes.iter().enumerate() {
+        if crashed[i] {
+            // Halted: terminated by definition, with no mail (messages
+            // to crashed actors are dropped in flight).
+            active[i] = false;
+            continue;
+        }
+        let has_mail = !inboxes[i].is_empty();
+        if dormant[i] && !has_mail {
+            active[i] = false;
+            continue;
+        }
+        let poll = model.poll(node, i, round);
+        all_done &= poll.done;
+        in_flight |= has_mail;
+        match scheduling {
+            Scheduling::ActiveSet => {
+                active[i] = has_mail || !poll.skippable;
+                dormant[i] = poll.done && poll.skippable && !has_mail;
+            }
+            Scheduling::FullSweep => active[i] = true,
+        }
+    }
+    all_done && !in_flight
+}
+
+fn run_faulty_inner<M>(
+    model: &M,
+    mut nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    adversary: &dyn Adversary,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+{
+    let n = nodes.len();
+    let mut metrics = M::Metrics::default();
+    model.pre_run(&nodes, &mut metrics)?;
+
+    // The crash table is fixed up front (one pure oracle call per
+    // actor), so in-flight mail to future crash victims can be dropped
+    // at send time without any cross-round bookkeeping.
+    let crash: Vec<Option<u32>> = (0..n).map(|i| adversary.crash_round(i as u32)).collect();
+    let mut crashed = vec![false; n];
+
+    let bounds = if threads > 1 && n >= 2 * threads {
+        let costs: Vec<u64> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| model.actor_cost(node, i))
+            .collect();
+        balanced_partition(&costs, threads)
+    } else {
+        vec![0, n]
+    };
+    let num_shards = bounds.len() - 1;
+
+    let mut inboxes: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut staging: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut recv: Vec<usize> = if M::TRACK_RECV {
+        vec![0; n]
+    } else {
+        Vec::new()
+    };
+    let mut active = vec![true; n];
+    let mut dormant = vec![false; n];
+    let mut shard_state: Vec<ShardFault<M>> = (0..num_shards).map(|_| ShardFault::new()).collect();
+    let mut delay: Vec<Parked<M>> = Vec::new();
+    let mut stats = FaultStats::default();
+    let mut round = 0;
+    let mut delivered: u64 = 0;
+    let mut convergence = 0usize;
+
+    loop {
+        // Activate this round's crash set before the sweep, so freshly
+        // crashed actors already count as terminated.
+        for i in 0..n {
+            if !crashed[i] && matches!(crash[i], Some(r) if (r as usize) <= round) {
+                crashed[i] = true;
+                stats.crashed += 1;
+                debug_assert!(
+                    inboxes[i].is_empty(),
+                    "mail to a crash victim must be dropped in flight"
+                );
+            }
+        }
+
+        if sweep_faulty(
+            model,
+            &nodes,
+            &inboxes,
+            &crashed,
+            round,
+            cfg.scheduling,
+            &mut active,
+            &mut dormant,
+        ) && delay.is_empty()
+        {
+            break;
+        }
+        if round >= cfg.max_rounds {
+            return Err(model.round_limit_error(cfg.max_rounds));
+        }
+
+        // Phase A: shards step their active actors concurrently,
+        // staging surviving messages per shard (single-sharded runs
+        // step inline on the driving thread).
+        let mut acc = RoundProfile::default();
+        if num_shards == 1 {
+            let st = &mut shard_state[0];
+            let mut sink = FaultSink::<M> {
+                adversary,
+                crash: &crash,
+                round: round as u32,
+                seq: 0,
+                out: &mut st.out,
+                parked: &mut st.parked,
+                stats: &mut st.stats,
+            };
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                sink.seq = 0;
+                model.step(
+                    node,
+                    i,
+                    round,
+                    &inboxes[i],
+                    &mut st.scratch,
+                    &mut acc,
+                    &mut sink,
+                )?;
+                // Consumed in place; the cleared buffer keeps its
+                // capacity and becomes next round's staging after the
+                // swap.
+                inboxes[i].clear();
+            }
+        } else {
+            let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = {
+                let bounds = &bounds;
+                let active = &active;
+                let crash = &crash;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = split_by_bounds(&mut nodes, bounds)
+                        .into_iter()
+                        .zip(split_by_bounds(&mut inboxes, bounds))
+                        .zip(shard_state.iter_mut())
+                        .enumerate()
+                        .map(|(si, ((shard_nodes, shard_inboxes), st))| {
+                            let base = bounds[si];
+                            let act = &active[base..bounds[si + 1]];
+                            if !act.iter().any(|&a| a) {
+                                return None;
+                            }
+                            Some(s.spawn(move || {
+                                let mut acc = RoundProfile::default();
+                                let mut sink = FaultSink::<M> {
+                                    adversary,
+                                    crash,
+                                    round: round as u32,
+                                    seq: 0,
+                                    out: &mut st.out,
+                                    parked: &mut st.parked,
+                                    stats: &mut st.stats,
+                                };
+                                for (k, node) in shard_nodes.iter_mut().enumerate() {
+                                    if !act[k] {
+                                        continue;
+                                    }
+                                    sink.seq = 0;
+                                    model.step(
+                                        node,
+                                        base + k,
+                                        round,
+                                        &shard_inboxes[k],
+                                        &mut st.scratch,
+                                        &mut acc,
+                                        &mut sink,
+                                    )?;
+                                    shard_inboxes[k].clear();
+                                }
+                                Ok(acc)
+                            }))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                        })
+                        .collect()
+                })
+            };
+            // Lowest shard's error = lowest actor's error, exactly like
+            // the clean sharded executor.
+            for r in shard_results.into_iter().flatten() {
+                acc.merge(&r?);
+            }
+        }
+
+        // Phase B (driving thread): merge shard buffers in shard order
+        // — ascending sender order, the sequential delivery order —
+        // then append delay-queue releases due next round.
+        let mut delivered_now = 0u64;
+        for st in shard_state.iter_mut() {
+            for (to, from, msg) in st.out.drain(..) {
+                if M::TRACK_RECV {
+                    recv[to as usize] += model.recv_charge(&msg);
+                }
+                staging[to as usize].push((from, msg));
+                delivered_now += 1;
+            }
+            delay.append(&mut st.parked);
+        }
+        let consume = (round + 1) as u32;
+        delay.retain_mut(|p| {
+            if p.consume_round != consume {
+                return true;
+            }
+            let msg = p.msg.clone();
+            if M::TRACK_RECV {
+                recv[p.to as usize] += model.recv_charge(&msg);
+            }
+            staging[p.to as usize].push((p.from, msg));
+            delivered_now += 1;
+            false
+        });
+
+        if M::TRACK_RECV {
+            model.check_recv(&recv, round)?;
+        }
+        if delivered_now > 0 {
+            // Mail staged now is consumed next round, so the plane can
+            // only be quiet from the round after that.
+            convergence = round + 2;
+        }
+        delivered += delivered_now;
+        model.end_round(&acc, &recv, round, &mut metrics);
+        if M::TRACK_RECV {
+            recv.fill(0);
+        }
+        std::mem::swap(&mut inboxes, &mut staging);
+        round += 1;
+    }
+
+    for st in &shard_state {
+        stats.absorb(&st.stats);
+    }
+    // Every staged copy was charged at transmit (drops 0, duplicates 2,
+    // delayed mail 1), and the run cannot end with a non-empty delay
+    // queue, so this equals the models' whole-run message count.
+    stats.delivered = delivered;
+    model.finish(&mut metrics, &stats, convergence);
+    Ok(Run {
+        outputs: outputs(model, &nodes, round),
+        metrics,
+    })
+}

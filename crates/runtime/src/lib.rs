@@ -126,6 +126,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
+
+pub use fault::{
+    run_faulty, Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary,
+    TraceAdversary,
+};
+
 use pga_graph::NodeId;
 
 /// Dense actor addressing: both vertex ids (`pga_graph::NodeId`) and MPC
@@ -304,6 +311,17 @@ pub struct RunConfig {
     /// cloned enums (default off; requires the message type to
     /// implement [`MsgCodec`], and is bit-identical to the enum plane).
     pub codec: bool,
+    /// Seeded fault-injection plan for the run (default `None` = the
+    /// clean executors). `Some(spec)` routes the run through the
+    /// adversarial executor ([`fault::run_faulty`]) — even
+    /// [`FaultSpec::none`], which that executor reproduces bit-for-bit
+    /// against the clean engines.
+    pub fault: Option<FaultSpec>,
+    /// Overrides the simulator's round budget for this run (default
+    /// `None` keeps the simulator's own limit). Fault sweeps set a
+    /// small budget so runs that an adversary starves into livelock
+    /// abort quickly with the model's round-limit error.
+    pub max_rounds: Option<usize>,
 }
 
 impl RunConfig {
@@ -343,6 +361,21 @@ impl RunConfig {
     /// Enables or disables the packed message plane.
     pub fn codec(mut self, codec: bool) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Arms the seeded adversary: the run executes under `spec`'s
+    /// per-message drop/duplicate/delay decisions and per-round crash
+    /// sets, deterministically — any run is exactly replayable from
+    /// `(spec.seed, spec)` at every engine and thread count.
+    pub fn adversary(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
+    }
+
+    /// Caps the run's round budget (see [`RunConfig::max_rounds`]).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = Some(rounds);
         self
     }
 }
@@ -427,8 +460,19 @@ pub struct Poll {
 /// message, in outbox order, *after* the message passed the model's
 /// checks.
 pub trait MsgSink<M: ExecModel + ?Sized> {
-    /// Stages `msg` from `from` for delivery to `to` next round.
-    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg);
+    /// Stages `msg` from `from` for delivery to `to` next round and
+    /// returns the number of copies that will actually traverse the
+    /// network — the factor the model must charge its round accounting
+    /// by.
+    ///
+    /// The kernel's clean sinks always return 1; the fault executor's
+    /// sink returns 0 for a message the adversary drops (so dropped
+    /// messages are charged at actual delivery — i.e. not at all), 2
+    /// for a duplicated message, and 1 for a delayed one (a delayed
+    /// message occupies its link when transmitted; the adversary merely
+    /// holds it in the network before handing it over).
+    #[must_use = "models must scale their round charges by the returned copy count"]
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32;
 }
 
 /// The pieces of a synchronous round-based execution model that differ
@@ -571,6 +615,20 @@ pub trait ExecModel: Sync {
         round: usize,
         metrics: &mut Self::Metrics,
     );
+
+    /// Folds the whole-run fault statistics and the convergence round
+    /// into the metrics after the final round (called once per
+    /// successful run, by every executor).
+    ///
+    /// `fault` carries the adversary's tally — all zeros except
+    /// [`FaultStats::delivered`] on a clean run — and
+    /// `convergence_round` is the kernel's message-quiescence detector:
+    /// the first round index from which no message was in flight for
+    /// the rest of the run (0 when the run never exchanged a message).
+    /// The default ignores both, so models without fault-aware metrics
+    /// need no changes.
+    fn finish(&self, _metrics: &mut Self::Metrics, _fault: &FaultStats, _convergence_round: usize) {
+    }
 }
 
 /// Result of a completed kernel run; the model wrappers repackage it
@@ -642,11 +700,12 @@ struct DirectSink<'a, M: ExecModel> {
 
 impl<M: ExecModel> MsgSink<M> for DirectSink<'_, M> {
     #[inline]
-    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32 {
         if M::TRACK_RECV {
             self.recv[to.index()] += model.recv_charge(&msg);
         }
         self.staging[to.index()].push((from, msg));
+        1
     }
 }
 
@@ -751,11 +810,12 @@ struct LaneSink<'a, M: ExecModel> {
 
 impl<M: ExecModel> MsgSink<M> for LaneSink<'_, M> {
     #[inline]
-    fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+    fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32 {
         let j = self.shard_of[to.index()] as usize;
         let lane = &mut self.lanes[j];
         lane.to.push((to.index() - self.starts[j]) as u32);
         lane.pay.push((from, msg));
+        1
     }
 }
 
@@ -913,6 +973,8 @@ pub fn run_sequential<M: ExecModel>(
     let mut dormant = vec![false; n];
     let mut scratch = M::SendScratch::default();
     let mut round = 0;
+    let mut delivered: u64 = 0;
+    let mut convergence = 0usize;
 
     loop {
         if sweep(
@@ -956,6 +1018,12 @@ pub fn run_sequential<M: ExecModel>(
         if M::TRACK_RECV {
             model.check_recv(&recv, round)?;
         }
+        if acc.messages > 0 {
+            // Messages staged this round are consumed next round, so
+            // the plane can only be quiet from the round after that.
+            convergence = round + 2;
+        }
+        delivered += acc.messages;
         model.end_round(&acc, &recv, round, &mut metrics);
         if M::TRACK_RECV {
             recv.fill(0);
@@ -964,6 +1032,14 @@ pub fn run_sequential<M: ExecModel>(
         round += 1;
     }
 
+    model.finish(
+        &mut metrics,
+        &FaultStats {
+            delivered,
+            ..FaultStats::default()
+        },
+        convergence,
+    );
     Ok(Run {
         outputs: outputs(model, &nodes, round),
         metrics,
@@ -1117,9 +1193,9 @@ where
     S: MsgSink<PackedModel<'m, M>>,
 {
     #[inline]
-    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) {
+    fn deliver(&mut self, model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32 {
         let word = model.pack(&msg);
-        self.sink.deliver(self.pm, to, from, word);
+        self.sink.deliver(self.pm, to, from, word)
     }
 }
 
@@ -1201,6 +1277,10 @@ where
         metrics: &mut M::Metrics,
     ) {
         self.0.end_round(acc, recv, round, metrics)
+    }
+
+    fn finish(&self, metrics: &mut M::Metrics, fault: &FaultStats, convergence_round: usize) {
+        self.0.finish(metrics, fault, convergence_round)
     }
 }
 
@@ -1306,6 +1386,8 @@ where
     let mut scratches: Vec<WorkerScratch<M>> =
         (0..num_shards).map(|_| WorkerScratch::new()).collect();
     let mut round = 0;
+    let mut delivered: u64 = 0;
+    let mut convergence = 0usize;
 
     loop {
         if sweep(
@@ -1417,6 +1499,10 @@ where
         if M::TRACK_RECV {
             model.check_recv(&recv, round)?;
         }
+        if acc.messages > 0 {
+            convergence = round + 2;
+        }
+        delivered += acc.messages;
         model.end_round(&acc, &recv, round, &mut metrics);
         if M::TRACK_RECV {
             recv.fill(0);
@@ -1424,6 +1510,14 @@ where
         round += 1;
     }
 
+    model.finish(
+        &mut metrics,
+        &FaultStats {
+            delivered,
+            ..FaultStats::default()
+        },
+        convergence,
+    );
     Ok(Run {
         outputs: outputs(model, &nodes, round),
         metrics,
@@ -1431,6 +1525,9 @@ where
 }
 
 #[cfg(test)]
+// The tests exercise the fault executor itself, below the sanctioned
+// `run_cfg` wrappers the rest of the workspace is steered to.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 
@@ -1467,12 +1564,14 @@ mod tests {
         RoundLimit { limit: usize },
     }
 
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone, PartialEq, Eq)]
     struct RingMetrics {
         rounds: usize,
         messages: u64,
         volume: u64,
         profile: Vec<usize>,
+        fault: FaultStats,
+        convergence: usize,
     }
 
     impl ExecModel for RingModel {
@@ -1555,11 +1654,12 @@ mod tests {
                 if t.charge > self.charge_cap {
                     return Err(RingError::TooBig { at: idx, round });
                 }
-                acc.messages += 1;
-                acc.volume += t.charge as u64;
-                acc.peak_link = acc.peak_link.max(t.charge);
+                let charge = t.charge;
                 let to = NodeId::from_index((idx + 1) % self.n);
-                sink.deliver(self, to, NodeId::from_index(idx), t);
+                let copies = sink.deliver(self, to, NodeId::from_index(idx), t);
+                acc.messages += u64::from(copies);
+                acc.volume += u64::from(copies) * charge as u64;
+                acc.peak_link = acc.peak_link.max(charge * copies as usize);
             }
             Ok(())
         }
@@ -1588,6 +1688,11 @@ mod tests {
             metrics.messages += acc.messages;
             metrics.volume += acc.volume;
             metrics.profile.push(acc.peak_link);
+        }
+
+        fn finish(&self, metrics: &mut RingMetrics, fault: &FaultStats, convergence_round: usize) {
+            metrics.fault = *fault;
+            metrics.convergence = convergence_round;
         }
     }
 
@@ -1905,5 +2010,311 @@ mod tests {
             let bounds = balanced_partition(&costs, shards);
             assert_valid_partition(&bounds, costs.len(), shards);
         }
+    }
+
+    /// A hand-scripted adversary: one fate override for the message at
+    /// `(round 0, from 0, seq 0)`, plus an explicit crash table.
+    struct ScriptAdversary {
+        fate0: Fate,
+        crash: Vec<Option<u32>>,
+    }
+
+    impl Adversary for ScriptAdversary {
+        fn fate(&self, round: u32, from: u32, seq: u32) -> Fate {
+            if round == 0 && from == 0 && seq == 0 {
+                self.fate0
+            } else {
+                Fate::Deliver
+            }
+        }
+
+        fn crash_round(&self, actor: u32) -> Option<u32> {
+            self.crash.get(actor as usize).copied().flatten()
+        }
+    }
+
+    fn deliver_all(n: usize) -> ScriptAdversary {
+        ScriptAdversary {
+            fate0: Fate::Deliver,
+            crash: vec![None; n],
+        }
+    }
+
+    #[test]
+    fn fault_none_is_bit_identical_to_clean_engines() {
+        for packed in [false, true] {
+            let mk = || RingModel {
+                packed,
+                ..model(16)
+            };
+            for scheduling in [Scheduling::ActiveSet, Scheduling::FullSweep] {
+                let baseline =
+                    run_sequential(&mk(), ring_nodes(16, 40, 3), cfg(scheduling)).unwrap();
+                let adversary = SeededAdversary::new(FaultSpec::none());
+                for threads in [1, 2, 4, 8] {
+                    let faulty = run_faulty(
+                        &mk(),
+                        ring_nodes(16, 40, 3),
+                        threads,
+                        cfg(scheduling),
+                        &adversary,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        faulty.outputs, baseline.outputs,
+                        "packed={packed} {scheduling:?} t={threads}"
+                    );
+                    assert_eq!(
+                        faulty.metrics, baseline.metrics,
+                        "packed={packed} {scheduling:?} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_runs_bit_identical_across_threads_and_planes() {
+        let spec = FaultSpec::seeded(7)
+            .drop(0.15)
+            .duplicate(0.1)
+            .delay(0.1, 3)
+            .crash(0.1, 6);
+        let adversary = SeededAdversary::new(spec);
+        let baseline = run_faulty(
+            &model(16),
+            ring_nodes(16, 40, 3),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &adversary,
+        )
+        .unwrap();
+        // The adversary must have actually interfered for this test to
+        // mean anything.
+        let f = &baseline.metrics.fault;
+        assert!(
+            f.dropped + f.duplicated + f.delayed + f.crashed > 0,
+            "{f:?}"
+        );
+        for packed in [false, true] {
+            for threads in [1, 2, 4, 8] {
+                let run = run_faulty(
+                    &RingModel {
+                        packed,
+                        ..model(16)
+                    },
+                    ring_nodes(16, 40, 3),
+                    threads,
+                    cfg(Scheduling::ActiveSet),
+                    &adversary,
+                )
+                .unwrap();
+                assert_eq!(run.outputs, baseline.outputs, "packed={packed} t={threads}");
+                assert_eq!(run.metrics, baseline.metrics, "packed={packed} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical() {
+        let spec = FaultSpec::seeded(21).drop(0.2).duplicate(0.1).delay(0.1, 2);
+        let recorder = SeededAdversary::recording(spec);
+        let recorded = run_faulty(
+            &model(16),
+            ring_nodes(16, 40, 3),
+            4,
+            cfg(Scheduling::ActiveSet),
+            &recorder,
+        )
+        .unwrap();
+        let trace = recorder.into_trace(16);
+        assert!(trace.fault_count() > 0);
+        let replayer = TraceAdversary::new(&trace);
+        for threads in [1, 4] {
+            let replay = run_faulty(
+                &model(16),
+                ring_nodes(16, 40, 3),
+                threads,
+                cfg(Scheduling::ActiveSet),
+                &replayer,
+            )
+            .unwrap();
+            assert_eq!(replay.outputs, recorded.outputs, "t={threads}");
+            assert_eq!(replay.metrics, recorded.metrics, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn crashing_terminated_or_unreached_actors_changes_nothing() {
+        let clean = run_faulty(
+            &model(8),
+            ring_nodes(8, 3, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &deliver_all(8),
+        )
+        .unwrap();
+        // The token visits actors 1..=3; the run lasts 5 rounds. A
+        // crash scheduled long after termination never activates.
+        let mut late = deliver_all(8);
+        late.crash[5] = Some(90);
+        let unreached = run_faulty(
+            &model(8),
+            ring_nodes(8, 3, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &late,
+        )
+        .unwrap();
+        assert_eq!(unreached.outputs, clean.outputs);
+        assert_eq!(unreached.metrics, clean.metrics);
+        // Crashing an actor that already finished its part mid-run
+        // alters nothing but the crash counter.
+        let mut done = deliver_all(8);
+        done.crash[1] = Some(4);
+        let crashed_done = run_faulty(
+            &model(8),
+            ring_nodes(8, 3, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &done,
+        )
+        .unwrap();
+        assert_eq!(crashed_done.outputs, clean.outputs);
+        assert_eq!(crashed_done.metrics.fault.crashed, 1);
+        assert_eq!(crashed_done.metrics.messages, clean.metrics.messages);
+        assert_eq!(crashed_done.metrics.rounds, clean.metrics.rounds);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_mail_and_terminates() {
+        // Actor 3 halts at round 2; the token in flight toward it is
+        // dropped and the ring goes quiet instead of wrapping forever.
+        let mut adv = deliver_all(8);
+        adv.crash[3] = Some(2);
+        let run = run_faulty(
+            &model(8),
+            ring_nodes(8, 40, 2),
+            2,
+            cfg(Scheduling::ActiveSet),
+            &adv,
+        )
+        .unwrap();
+        assert_eq!(run.metrics.fault.crashed, 1);
+        assert_eq!(run.metrics.fault.dropped, 1);
+        assert_eq!(run.outputs[3], 0, "the victim never saw the token");
+        assert!(run.metrics.rounds <= 4, "{:?}", run.metrics);
+    }
+
+    #[test]
+    fn dropped_mail_is_charged_at_delivery_meaning_not_at_all() {
+        let adv = ScriptAdversary {
+            fate0: Fate::Drop,
+            crash: vec![None; 8],
+        };
+        let run = run_faulty(
+            &model(8),
+            ring_nodes(8, 5, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &adv,
+        )
+        .unwrap();
+        assert_eq!(run.metrics.messages, 0, "dropped mail is never charged");
+        assert_eq!(run.metrics.volume, 0);
+        assert_eq!(run.metrics.fault.dropped, 1);
+        assert_eq!(run.metrics.fault.delivered, 0);
+        assert_eq!(run.outputs.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn duplicated_mail_is_charged_twice_and_delivered_twice() {
+        let clean = run_faulty(
+            &model(8),
+            ring_nodes(8, 1, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &deliver_all(8),
+        )
+        .unwrap();
+        let adv = ScriptAdversary {
+            fate0: Fate::Duplicate,
+            crash: vec![None; 8],
+        };
+        let run = run_faulty(
+            &model(8),
+            ring_nodes(8, 1, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &adv,
+        )
+        .unwrap();
+        assert_eq!(run.metrics.fault.duplicated, 1);
+        // Round 0 charges two copies of the origin's send.
+        assert_eq!(run.metrics.profile[0], 2 * clean.metrics.profile[0]);
+        assert_eq!(run.outputs[1], clean.outputs[1] + 1);
+        assert_eq!(
+            run.metrics.fault.delivered,
+            clean.metrics.fault.delivered + 1
+        );
+    }
+
+    #[test]
+    fn delayed_mail_arrives_late_but_intact() {
+        let clean = run_faulty(
+            &model(8),
+            ring_nodes(8, 3, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &deliver_all(8),
+        )
+        .unwrap();
+        let adv = ScriptAdversary {
+            fate0: Fate::Delay(3),
+            crash: vec![None; 8],
+        };
+        let run = run_faulty(
+            &model(8),
+            ring_nodes(8, 3, 2),
+            1,
+            cfg(Scheduling::ActiveSet),
+            &adv,
+        )
+        .unwrap();
+        assert_eq!(run.outputs, clean.outputs, "a delayed token still lands");
+        assert_eq!(run.metrics.rounds, clean.metrics.rounds + 3);
+        assert_eq!(run.metrics.fault.delayed, 1);
+        assert_eq!(run.metrics.fault.delivered, clean.metrics.fault.delivered);
+        assert_eq!(run.metrics.messages, clean.metrics.messages);
+    }
+
+    #[test]
+    fn seeded_adversary_decisions_are_pure() {
+        let spec = FaultSpec::seeded(99).drop(0.3).duplicate(0.2).delay(0.2, 4);
+        let a = SeededAdversary::new(spec);
+        let b = SeededAdversary::new(spec);
+        for round in 0..20 {
+            for from in 0..10 {
+                for seq in 0..4 {
+                    assert_eq!(a.fate(round, from, seq), b.fate(round, from, seq));
+                    assert_eq!(a.fate(round, from, seq), a.fate(round, from, seq));
+                }
+            }
+        }
+        for actor in 0..64 {
+            assert_eq!(a.crash_round(actor), b.crash_round(actor));
+        }
+    }
+
+    #[test]
+    fn fault_round_limit_error_matches_model() {
+        // A 100% delay loop can still exceed a tight round budget.
+        let adv = SeededAdversary::new(FaultSpec::seeded(3).delay(1.0, 8));
+        let tight = KernelConfig {
+            max_rounds: 2,
+            scheduling: Scheduling::ActiveSet,
+        };
+        let err = run_faulty(&model(8), ring_nodes(8, 40, 2), 1, tight, &adv).unwrap_err();
+        assert_eq!(err, RingError::RoundLimit { limit: 2 });
     }
 }
