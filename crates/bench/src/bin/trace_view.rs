@@ -1,0 +1,268 @@
+//! `trace_view` — analysis CLI for the kernel's JSONL telemetry traces.
+//!
+//! Reads a trace produced by `PGA_TRACE=<path>` (see the Observability
+//! section of the workspace README) and renders, per run: the top-k
+//! hottest rounds by wall time, the per-round shard-imbalance timeline,
+//! and the log-bucket message-size histogram (p50/p90/max). Modes:
+//!
+//! ```text
+//! trace_view <trace.jsonl> [--topk K]    summaries (default K = 10)
+//! trace_view --validate <trace.jsonl>    schema check; exit 1 on the
+//!                                        first invalid line
+//! trace_view --chrome <out.json> <trace.jsonl>
+//!                                        chrome://tracing export
+//! trace_view --assert-overhead [RATIO]   probe-overhead gate: run a
+//!                                        pinned workload under NoopProbe
+//!                                        and RecordingProbe, exit 1 if
+//!                                        telemetry costs more than
+//!                                        RATIO x (default 2.0) or the
+//!                                        outputs diverge
+//! ```
+
+use pga_bench::trace::{chrome_trace, parse_trace, TraceRun};
+use pga_bench::{banner, f3, Table};
+use pga_congest::primitives::FloodMax;
+use pga_congest::{NoopProbe, RecordingProbe, RunConfig, Simulator};
+use pga_graph::{generators, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace_view <trace.jsonl> [--topk K]\n\
+         \x20      trace_view --validate <trace.jsonl>\n\
+         \x20      trace_view --chrome <out.json> <trace.jsonl>\n\
+         \x20      trace_view --assert-overhead [MAX_RATIO]"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Vec<TraceRun>, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("trace_view: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    parse_trace(&text).map_err(|(line, msg)| {
+        eprintln!("trace_view: {path}:{line}: {msg}");
+        ExitCode::FAILURE
+    })
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+fn summarize(runs: &[TraceRun], topk: usize) {
+    for (ri, run) in runs.iter().enumerate() {
+        banner(&format!(
+            "run {} [{}]: {} actors, {} shards, {} rounds, {} ms{}",
+            ri + 1,
+            run.label,
+            run.actors,
+            run.shards,
+            run.rounds.len(),
+            ms(run.total_wall_ns()),
+            if run.end.is_some() {
+                String::new()
+            } else {
+                " (aborted: no run_end)".to_string()
+            }
+        ));
+
+        if run.rounds.is_empty() {
+            println!("(no round events)");
+            continue;
+        }
+
+        println!("\ntop-{} hottest rounds:", topk.min(run.rounds.len()));
+        let t = Table::new(&[
+            "round", "wall_ms", "exch_ms", "messages", "volume", "active",
+        ]);
+        for r in run.hottest(topk) {
+            t.row(&[
+                r.round.to_string(),
+                ms(r.wall_ns),
+                ms(r.exchange_ns),
+                r.messages.to_string(),
+                r.volume.to_string(),
+                r.active.to_string(),
+            ]);
+        }
+
+        let with_shards = run.rounds.iter().filter(|r| r.shards.len() >= 2).count();
+        if with_shards > 0 {
+            println!("\nshard-imbalance timeline (max/mean - 1 over shard walls):");
+            let t = Table::new(&["round", "imbalance", "profile"]);
+            for r in &run.rounds {
+                if r.shards.len() < 2 {
+                    continue;
+                }
+                let imb = r.shard_imbalance();
+                t.row(&[r.round.to_string(), f3(imb), bar(imb, 40)]);
+            }
+        }
+
+        let hist = run.size_hist();
+        if !hist.is_empty() {
+            println!(
+                "\nmessage sizes ({} observations, log buckets): p50 <= {}, p90 <= {}, max <= {}",
+                hist.count(),
+                hist.percentile(50.0),
+                hist.percentile(90.0),
+                hist.max_value()
+            );
+        }
+
+        let faults = run.total_faults();
+        if faults > 0 {
+            println!("\nfault events: {faults} across the run");
+        }
+    }
+}
+
+/// The pinned workload of the overhead gate: FloodMax leader election on
+/// a seeded connected G(n, m). Big enough that a round does real work,
+/// small enough for CI.
+fn overhead_workload() -> (pga_graph::Graph, usize) {
+    let mut rng = StdRng::seed_from_u64(0x9a27);
+    (generators::connected_gnm(1500, 6000, &mut rng), 1500)
+}
+
+fn assert_overhead(max_ratio: f64) -> ExitCode {
+    let (g, n) = overhead_workload();
+    let sim = Simulator::congest(&g);
+    let cfg = RunConfig::new();
+    let nodes = || -> Vec<FloodMax> {
+        (0..n)
+            .map(|i| FloodMax::new(NodeId::from_index(i)))
+            .collect()
+    };
+
+    const REPS: usize = 5;
+    let mut best_noop = u64::MAX;
+    let mut best_rec = u64::MAX;
+    let mut outputs_noop = None;
+    let mut outputs_rec = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let report = sim
+            .run_cfg_probed(nodes(), &cfg, &NoopProbe)
+            .expect("noop run");
+        best_noop = best_noop.min(t.elapsed().as_nanos() as u64);
+        outputs_noop = Some(report.outputs);
+
+        let probe = RecordingProbe::new();
+        let t = Instant::now();
+        let report = sim
+            .run_cfg_probed(nodes(), &cfg, &probe)
+            .expect("probed run");
+        best_rec = best_rec.min(t.elapsed().as_nanos() as u64);
+        outputs_rec = Some(report.outputs);
+        let telemetry = probe.into_telemetry();
+        assert!(telemetry.completed, "probed run must complete");
+        assert_eq!(
+            telemetry.rounds.len() as u64,
+            telemetry.rounds.last().map_or(0, |r| r.round as u64 + 1)
+        );
+    }
+
+    if outputs_noop != outputs_rec {
+        eprintln!("trace_view: OVERHEAD GATE FAILED: probe changed the outputs");
+        return ExitCode::FAILURE;
+    }
+
+    // Noise floor: below this the measurement is dominated by timer and
+    // scheduler jitter, and the ratio gate would flake.
+    const FLOOR_NS: u64 = 200_000;
+    let denom = best_noop.max(FLOOR_NS);
+    let ratio = best_rec as f64 / denom as f64;
+    println!(
+        "probe overhead: noop best-of-{REPS} {} ms, recording best-of-{REPS} {} ms, ratio {}",
+        ms(best_noop),
+        ms(best_rec),
+        f3(ratio)
+    );
+    if ratio > max_ratio {
+        eprintln!(
+            "trace_view: OVERHEAD GATE FAILED: telemetry costs {}x > {}x allowed",
+            f3(ratio),
+            f3(max_ratio)
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("overhead gate passed (limit {}x)", f3(max_ratio));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--validate") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match load(path) {
+                Ok(runs) => {
+                    let rounds: usize = runs.iter().map(|r| r.rounds.len()).sum();
+                    println!("{path}: valid ({} runs, {rounds} round events)", runs.len());
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        Some("--chrome") => {
+            let (Some(out), Some(path)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let runs = match load(path) {
+                Ok(runs) => runs,
+                Err(code) => return code,
+            };
+            let doc = chrome_trace(&runs);
+            if let Err(e) = std::fs::write(out, doc) {
+                eprintln!("trace_view: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote chrome://tracing export for {} runs to {out}",
+                runs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("--assert-overhead") => {
+            let max_ratio = match args.get(1) {
+                None => 2.0,
+                Some(s) => match s.parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                },
+            };
+            assert_overhead(max_ratio)
+        }
+        Some(path) if !path.starts_with("--") => {
+            let topk = match args.get(1).map(String::as_str) {
+                None => 10,
+                Some("--topk") => match args.get(2).and_then(|s| s.parse().ok()) {
+                    Some(k) => k,
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+            };
+            match load(path) {
+                Ok(runs) => {
+                    summarize(&runs, topk);
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -772,13 +772,15 @@ impl FaultBench {
 }
 
 /// The determinism fingerprint of a `BENCH_fault.json` document: the
-/// serialized text with every `"wall_ms"` line removed. Everything that
+/// serialized text with every timing line removed — any line whose
+/// field name starts with `wall_` (`wall_ms` today; `wall_ns` and
+/// friends as the telemetry plane grows the schema). Everything that
 /// remains is a pure function of `(instance seed, FaultSpec)`, so the
 /// `bench_regress --fault` gate compares fingerprints byte-for-byte
 /// across machines and runs.
 pub fn fault_fingerprint(json: &str) -> String {
     json.lines()
-        .filter(|l| !l.trim_start().starts_with("\"wall_ms\""))
+        .filter(|l| !l.trim_start().starts_with("\"wall_"))
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -1139,5 +1141,20 @@ mod tests {
         assert_ne!(doc, other);
         assert_eq!(fault_fingerprint(&doc), fault_fingerprint(&other));
         assert!(!fault_fingerprint(&doc).contains("wall_ms"));
+    }
+
+    #[test]
+    fn fault_fingerprint_strips_any_wall_field() {
+        // The stripper keys on the `wall_` prefix so future telemetry
+        // fields (per-round `wall_ns`, `wall_ms_reference`, …) stay out
+        // of the determinism fingerprint without further edits.
+        let doc = "{\n  \"wall_ms\": 1.0,\n  \"wall_ns\": 12345,\n  \
+                   \"wall_ms_reference\": 2.0,\n  \"rounds\": 7\n}";
+        let fp = fault_fingerprint(doc);
+        assert!(!fp.contains("wall_"));
+        assert!(fp.contains("\"rounds\": 7"));
+        // Non-timing fields that merely contain "wall" elsewhere survive.
+        let keep = "  \"firewall\": 1";
+        assert_eq!(fault_fingerprint(keep), keep);
     }
 }

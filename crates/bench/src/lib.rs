@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod trace;
 
 use pga_graph::matching::maximal_matching;
 use pga_graph::power::square;

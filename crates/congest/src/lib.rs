@@ -87,6 +87,14 @@ pub use pga_runtime::{
 /// crates can implement packed codecs and build [`RunConfig`]s without
 /// depending on `pga-runtime` directly.
 pub use pga_runtime::{CodecFns, MsgCodec, MsgCost, RunConfig};
+/// Telemetry-plane vocabulary ([`Probe`] and its stock
+/// implementations), re-exported so benches and tests can attach probes
+/// to [`Simulator::run_cfg_probed`] without depending on `pga-runtime`
+/// directly.
+pub use pga_runtime::{
+    JsonlProbe, NoopProbe, Probe, ProbeMode, RecordingProbe, RoundObs, RoundTelemetry,
+    RunTelemetry, ShardTelemetry, SizeHist,
+};
 pub use sim::{
     check_message, default_bandwidth_bits, id_bits, Algorithm, Ctx, Engine, MsgSize, Report,
     Scheduling, SimError, Simulator, Topology, PARALLEL_MIN_NODES,

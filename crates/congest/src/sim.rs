@@ -13,8 +13,8 @@ use pga_graph::{Graph, NodeId};
 use pga_runtime::{CodecFns, ExecModel, FaultStats, KernelConfig, MsgSink, Poll, RoundProfile};
 
 pub use pga_runtime::{
-    Adversary, Engine, FaultSpec, FaultTrace, MsgCodec, RunConfig, Scheduling, SeededAdversary,
-    TraceAdversary, PARALLEL_MIN_NODES,
+    Adversary, Engine, FaultSpec, FaultTrace, JsonlProbe, MsgCodec, NoopProbe, Probe, RunConfig,
+    Scheduling, SeededAdversary, TraceAdversary, PARALLEL_MIN_NODES,
 };
 
 /// Communication topology of a simulation.
@@ -316,6 +316,9 @@ impl<A: Algorithm, W: Copy + Send> ExecModel for CongestModel<'_, '_, A, W> {
             messages += u64::from(copies);
             volume += u64::from(copies) * size as u64;
             peak = peak.max(size * copies as usize);
+            // Telemetry only: a no-op unless a probe allocated the
+            // histogram, so the clean path stays branch-plus-nothing.
+            acc.observe_size(size as u64, copies);
         }
         acc.messages += messages;
         acc.volume += volume;
@@ -612,6 +615,41 @@ impl<'g> Simulator<'g> {
         A: Algorithm + Send,
         A::Msg: MsgCodec + Send,
     {
+        match JsonlProbe::from_run_config(cfg, "congest") {
+            Some(probe) => self.run_cfg_probed(nodes, cfg, &probe),
+            None => self.run_cfg_probed(nodes, cfg, &NoopProbe),
+        }
+    }
+
+    /// [`Simulator::run_cfg`] with an explicit [`Probe`] attached.
+    ///
+    /// The probe observes every executor this dispatch can select —
+    /// sequential, sharded (either plane), or adversarial — without
+    /// changing outputs, [`Metrics`], or errors (*observer neutrality*;
+    /// see [`pga_runtime::probe`]). Passing [`NoopProbe`] is exactly the
+    /// un-probed run: the kernel monomorphizes every callback and timer
+    /// away.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_cfg_probed<A, P>(
+        &self,
+        nodes: Vec<A>,
+        cfg: &RunConfig,
+        probe: &P,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: MsgCodec + Send,
+        P: Probe,
+    {
+        self.assert_node_count(&nodes);
         let mut sim = *self;
         sim.scheduling = cfg.scheduling;
         if let Some(max) = cfg.max_rounds {
@@ -619,19 +657,71 @@ impl<'g> Simulator<'g> {
         }
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);
-            return if cfg.codec {
-                sim.run_adversary_codec(nodes, cfg.engine, &adversary)
+            let threads = sim.fault_threads(cfg.engine);
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            let run: Result<Report<A::Output>, SimError> = if cfg.codec {
+                pga_runtime::fault::run_faulty_probed(
+                    &sim.model_codec::<A>(),
+                    nodes,
+                    threads,
+                    sim.kernel_config(),
+                    &adversary,
+                    probe,
+                )
+                .map(Into::into)
             } else {
-                sim.run_adversary(nodes, cfg.engine, &adversary)
+                pga_runtime::fault::run_faulty_probed(
+                    &sim.model::<A>(),
+                    nodes,
+                    threads,
+                    sim.kernel_config(),
+                    &adversary,
+                    probe,
+                )
+                .map(Into::into)
             };
+            return run;
         }
+        let sequential = |nodes: Vec<A>| -> Result<Report<A::Output>, SimError> {
+            Ok(pga_runtime::run_sequential_probed(
+                &sim.model::<A>(),
+                nodes,
+                sim.kernel_config(),
+                probe,
+            )?
+            .into())
+        };
         match cfg.engine {
-            Engine::Sequential => sim.run(nodes),
+            Engine::Sequential => sequential(nodes),
             Engine::Parallel { threads: 0 } if self.g.num_nodes() < PARALLEL_MIN_NODES => {
-                sim.run(nodes)
+                sequential(nodes)
             }
-            Engine::Parallel { threads } if cfg.codec => sim.run_parallel_codec(nodes, threads),
-            Engine::Parallel { threads } => sim.run_parallel(nodes, threads),
+            Engine::Parallel { threads } => {
+                let threads = if threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    threads
+                };
+                if cfg.codec {
+                    Ok(pga_runtime::run_sharded_probed(
+                        &sim.model_codec::<A>(),
+                        nodes,
+                        threads,
+                        sim.kernel_config(),
+                        probe,
+                    )?
+                    .into())
+                } else {
+                    Ok(pga_runtime::run_sharded_probed(
+                        &sim.model::<A>(),
+                        nodes,
+                        threads,
+                        sim.kernel_config(),
+                        probe,
+                    )?
+                    .into())
+                }
+            }
         }
     }
 
@@ -656,6 +746,36 @@ impl<'g> Simulator<'g> {
         A: Algorithm + Send,
         A::Msg: Send,
     {
+        match JsonlProbe::from_run_config(cfg, "congest") {
+            Some(probe) => self.run_cfg_plain_probed(nodes, cfg, &probe),
+            None => self.run_cfg_plain_probed(nodes, cfg, &NoopProbe),
+        }
+    }
+
+    /// [`Simulator::run_cfg_plain`] with an explicit [`Probe`] attached
+    /// (enum plane only; see [`Simulator::run_cfg_probed`] for the
+    /// neutrality contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a node violates the communication model
+    /// or the round budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph size.
+    pub fn run_cfg_plain_probed<A, P>(
+        &self,
+        nodes: Vec<A>,
+        cfg: &RunConfig,
+        probe: &P,
+    ) -> Result<Report<A::Output>, SimError>
+    where
+        A: Algorithm + Send,
+        A::Msg: Send,
+        P: Probe,
+    {
+        self.assert_node_count(&nodes);
         let mut sim = *self;
         sim.scheduling = cfg.scheduling;
         if let Some(max) = cfg.max_rounds {
@@ -663,9 +783,47 @@ impl<'g> Simulator<'g> {
         }
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);
-            return sim.run_adversary(nodes, cfg.engine, &adversary);
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            return Ok(pga_runtime::fault::run_faulty_probed(
+                &sim.model::<A>(),
+                nodes,
+                sim.fault_threads(cfg.engine),
+                sim.kernel_config(),
+                &adversary,
+                probe,
+            )?
+            .into());
         }
-        sim.run_with(nodes, cfg.engine)
+        let sequential = |nodes: Vec<A>| -> Result<Report<A::Output>, SimError> {
+            Ok(pga_runtime::run_sequential_probed(
+                &sim.model::<A>(),
+                nodes,
+                sim.kernel_config(),
+                probe,
+            )?
+            .into())
+        };
+        match cfg.engine {
+            Engine::Sequential => sequential(nodes),
+            Engine::Parallel { threads: 0 } if self.g.num_nodes() < PARALLEL_MIN_NODES => {
+                sequential(nodes)
+            }
+            Engine::Parallel { threads } => {
+                let threads = if threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    threads
+                };
+                Ok(pga_runtime::run_sharded_probed(
+                    &sim.model::<A>(),
+                    nodes,
+                    threads,
+                    sim.kernel_config(),
+                    probe,
+                )?
+                .into())
+            }
+        }
     }
 
     /// The thread count a fault run uses for `engine`: the adversarial

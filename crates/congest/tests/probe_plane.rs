@@ -1,0 +1,139 @@
+//! Property-based tests for the telemetry plane at the CONGEST
+//! simulator level: **observer neutrality** — attaching any probe must
+//! leave outputs, metrics, and errors bit-identical to the unobserved
+//! run across engines, thread counts, message planes, and fault
+//! specs — plus consistency checks between what the `RecordingProbe`
+//! captures and what the `Metrics` report.
+
+use pga_congest::primitives::FloodMax;
+use pga_congest::{FaultSpec, NoopProbe, RecordingProbe, RunConfig, Simulator};
+use pga_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// The instance families of the engine-parity suites: uniform gnm,
+/// heavy-tailed Barabási–Albert, and the quiescent-tail lollipop.
+fn arb_instance() -> impl Strategy<Value = Graph> {
+    (4usize..24, any::<u64>(), 0u8..3).prop_map(|(n, seed, family)| match family {
+        0 => {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = (n + seed as usize % (2 * n)).min(n * (n - 1) / 2);
+            generators::connected_gnm(n, m, &mut rng)
+        }
+        1 => generators::barabasi_albert(n, 3.min(n - 1).max(1), seed),
+        _ => {
+            let blob_m = (n + n / 2).min(n * (n - 1) / 2);
+            generators::gnm_lollipop(n, blob_m, 1 + (seed as usize % 10), seed)
+        }
+    })
+}
+
+fn flood(n: usize) -> Vec<FloodMax> {
+    (0..n)
+        .map(|i| FloodMax::new(NodeId::from_index(i)))
+        .collect()
+}
+
+/// A moderately hostile schedule: every fault class active, bounded
+/// delays, a small crash budget.
+fn hostile(seed: u64) -> FaultSpec {
+    FaultSpec::seeded(seed)
+        .drop(0.03)
+        .duplicate(0.02)
+        .delay(0.03, 3)
+        .crash(0.02, 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Observer neutrality, clean runs: a `RecordingProbe` leaves
+    /// outputs and metrics bit-identical to the `NoopProbe` run at
+    /// every thread count and on both message planes.
+    #[test]
+    fn recording_probe_is_neutral_on_clean_runs(g in arb_instance()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = RunConfig::new().parallel(threads).codec(codec);
+                let plain = sim.run_cfg_probed(flood(n), &cfg, &NoopProbe).unwrap();
+                let probe = RecordingProbe::new();
+                let observed = sim.run_cfg_probed(flood(n), &cfg, &probe).unwrap();
+                prop_assert_eq!(&observed.outputs, &plain.outputs,
+                    "outputs, threads {} codec {}", threads, codec);
+                prop_assert_eq!(&observed.metrics, &plain.metrics,
+                    "metrics, threads {} codec {}", threads, codec);
+
+                // And the recorded telemetry agrees with the metrics it
+                // observed (clean runs deliver everything they charge).
+                let t = probe.into_telemetry();
+                prop_assert!(t.completed);
+                prop_assert_eq!(t.rounds.len(), observed.metrics.rounds);
+                let msgs: u64 = t.rounds.iter().map(|r| r.messages).sum();
+                prop_assert_eq!(msgs, observed.metrics.messages);
+                let bits: u64 = t.rounds.iter().map(|r| r.volume).sum();
+                prop_assert_eq!(bits, observed.metrics.bits);
+            }
+        }
+    }
+
+    /// Observer neutrality under seeded faults: the hostile adversary's
+    /// run is bit-identical with and without a `RecordingProbe`, at
+    /// every thread count and on both planes — whether it converges or
+    /// errors.
+    #[test]
+    fn recording_probe_is_neutral_under_faults(g in arb_instance(), seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = RunConfig::new()
+                    .parallel(threads)
+                    .codec(codec)
+                    .max_rounds(300)
+                    .adversary(hostile(seed));
+                let plain = sim.run_cfg_probed(flood(n), &cfg, &NoopProbe);
+                let probe = RecordingProbe::new();
+                let observed = sim.run_cfg_probed(flood(n), &cfg, &probe);
+                match (&plain, &observed) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.outputs, &b.outputs,
+                            "outputs, threads {} codec {}", threads, codec);
+                        prop_assert_eq!(&a.metrics, &b.metrics,
+                            "metrics, threads {} codec {}", threads, codec);
+                        // The probe's fault tally is the metrics' tally.
+                        let t = probe.into_telemetry();
+                        prop_assert!(t.completed);
+                        prop_assert_eq!(&t.fault, &b.metrics.fault,
+                            "fault tally, threads {} codec {}", threads, codec);
+                    }
+                    (Err(a), Err(b)) => {
+                        prop_assert_eq!(a, b, "threads {} codec {}", threads, codec);
+                        // Aborted runs never see `on_run_end`.
+                        prop_assert!(!probe.into_telemetry().completed);
+                    }
+                    _ => prop_assert!(false,
+                        "Ok/Err divergence at threads {} codec {}", threads, codec),
+                }
+            }
+        }
+    }
+
+    /// Error neutrality: an exhausted round budget surfaces as the same
+    /// `SimError` with any probe attached.
+    #[test]
+    fn recording_probe_is_neutral_on_errors(g in arb_instance()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        let cfg = RunConfig::new().max_rounds(1);
+        let plain = sim.run_cfg_probed(flood(n), &cfg, &NoopProbe).unwrap_err();
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::new().parallel(threads).max_rounds(1);
+            let probe = RecordingProbe::new();
+            let observed = sim.run_cfg_probed(flood(n), &cfg, &probe).unwrap_err();
+            prop_assert_eq!(&observed, &plain, "threads {}", threads);
+            prop_assert!(!probe.into_telemetry().completed);
+        }
+    }
+}

@@ -20,7 +20,8 @@ use std::fmt;
 
 pub use pga_congest::{Engine, Scheduling};
 pub use pga_runtime::{
-    Adversary, FaultSpec, FaultTrace, RunConfig, SeededAdversary, TraceAdversary,
+    Adversary, FaultSpec, FaultTrace, JsonlProbe, NoopProbe, Probe, RunConfig, SeededAdversary,
+    TraceAdversary,
 };
 
 /// Identifier of a machine in an MPC execution.
@@ -485,6 +486,9 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
             let copies = sink.deliver(self, to, ctx.id, msg);
             messages += u64::from(copies);
             volume += u64::from(copies) * w as u64;
+            // Telemetry only: a no-op unless a probe allocated the
+            // histogram (word sizes, not bits, on this plane).
+            acc.observe_size(w as u64, copies);
         }
         acc.messages += messages;
         acc.volume += volume;
@@ -690,16 +694,78 @@ impl MpcSimulator {
         A: Machine + Send,
         A::Msg: Send,
     {
+        match JsonlProbe::from_run_config(cfg, "mpc") {
+            Some(probe) => self.run_cfg_probed(machines, cfg, &probe),
+            None => self.run_cfg_probed(machines, cfg, &NoopProbe),
+        }
+    }
+
+    /// [`MpcSimulator::run_cfg`] with an explicit [`Probe`] attached.
+    ///
+    /// The probe observes every executor this dispatch can select —
+    /// sequential, sharded, or adversarial — without changing outputs,
+    /// [`MpcMetrics`], or errors (*observer neutrality*; see
+    /// [`pga_runtime::probe`]). Passing [`NoopProbe`] is exactly the
+    /// un-probed run: the kernel monomorphizes every callback and timer
+    /// away.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MpcError`] like [`MpcSimulator::run`].
+    pub fn run_cfg_probed<A, P>(
+        &self,
+        machines: Vec<A>,
+        cfg: &RunConfig,
+        probe: &P,
+    ) -> Result<MpcReport<A::Output>, MpcError>
+    where
+        A: Machine + Send,
+        A::Msg: Send,
+        P: Probe,
+    {
         let mut sim = *self;
         sim.scheduling = cfg.scheduling;
         if let Some(max) = cfg.max_rounds {
             sim.max_rounds = max;
         }
+        let m = machines.len();
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);
-            return sim.run_adversary(machines, cfg.engine, &adversary);
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            return Ok(pga_runtime::fault::run_faulty_probed(
+                &sim.model::<A>(m),
+                machines,
+                Self::fault_threads(cfg.engine),
+                sim.kernel_config(),
+                &adversary,
+                probe,
+            )?
+            .into());
         }
-        sim.run_with(machines, cfg.engine)
+        match cfg.engine {
+            Engine::Sequential => Ok(pga_runtime::run_sequential_probed(
+                &sim.model::<A>(m),
+                machines,
+                sim.kernel_config(),
+                probe,
+            )?
+            .into()),
+            Engine::Parallel { threads } => {
+                let threads = if threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    threads
+                };
+                Ok(pga_runtime::run_sharded_probed(
+                    &sim.model::<A>(m),
+                    machines,
+                    threads,
+                    sim.kernel_config(),
+                    probe,
+                )?
+                .into())
+            }
+        }
     }
 
     /// The thread count a fault run uses for `engine` (the adversarial

@@ -75,6 +75,13 @@ pub use pga_congest::{
 /// re-exported so adapter callers can implement packed codecs and build
 /// [`RunConfig`]s without another dependency edge.
 pub use pga_congest::{CodecFns, MsgCodec, MsgCost, RunConfig};
+/// Telemetry-plane vocabulary (shared with `pga-congest`), re-exported
+/// so benches and tests can attach probes to
+/// [`MpcSimulator::run_cfg_probed`] without another dependency edge.
+pub use pga_congest::{
+    JsonlProbe, NoopProbe, Probe, ProbeMode, RecordingProbe, RoundObs, RoundTelemetry,
+    RunTelemetry, ShardTelemetry, SizeHist,
+};
 pub use ruling_set::{
     g2_ruling_set_mpc, g2_ruling_set_mpc_auto, g2_ruling_set_mpc_cfg, lex_first_g2_mis,
     recommended_ruling_set_memory_words, RulingSetResult,

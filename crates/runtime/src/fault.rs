@@ -47,6 +47,7 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::probe::{NoopProbe, Probe, RoundObs};
 use crate::{
     balanced_partition, outputs, split_by_bounds, ActorId, ExecModel, KernelConfig, MsgSink,
     PackedModel, RoundProfile, Run, Scheduling,
@@ -552,10 +553,38 @@ where
     M::Msg: Send,
     M::Error: Send,
 {
+    #[allow(clippy::disallowed_methods)] // the probed twin of this wrapper
+    run_faulty_probed(model, nodes, threads, cfg, adversary, &NoopProbe)
+}
+
+/// [`run_faulty`] with a [`Probe`] attached: identical outputs,
+/// metrics, and errors (observer neutrality), plus per-round telemetry
+/// including the round's fault-stat delta and the delay-queue depth
+/// ([`Probe::on_fault_event`]). With [`NoopProbe`] this monomorphizes
+/// to exactly [`run_faulty`].
+///
+/// # Errors
+///
+/// Returns the model's error like [`run_faulty`].
+pub fn run_faulty_probed<M, P>(
+    model: &M,
+    nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    adversary: &dyn Adversary,
+    probe: &P,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+    P: Probe,
+{
     if model.packs() {
-        run_faulty_inner(&PackedModel(model), nodes, threads, cfg, adversary)
+        run_faulty_inner(&PackedModel(model), nodes, threads, cfg, adversary, probe)
     } else {
-        run_faulty_inner(model, nodes, threads, cfg, adversary)
+        run_faulty_inner(model, nodes, threads, cfg, adversary, probe)
     }
 }
 
@@ -601,18 +630,20 @@ fn sweep_faulty<M: ExecModel>(
     all_done && !in_flight
 }
 
-fn run_faulty_inner<M>(
+fn run_faulty_inner<M, P>(
     model: &M,
     mut nodes: Vec<M::Node>,
     threads: usize,
     cfg: KernelConfig,
     adversary: &dyn Adversary,
+    probe: &P,
 ) -> Result<Run<M::Output, M::Metrics>, M::Error>
 where
     M: ExecModel,
     M::Node: Send,
     M::Msg: Send,
     M::Error: Send,
+    P: Probe,
 {
     let n = nodes.len();
     let mut metrics = M::Metrics::default();
@@ -624,17 +655,21 @@ where
     let crash: Vec<Option<u32>> = (0..n).map(|i| adversary.crash_round(i as u32)).collect();
     let mut crashed = vec![false; n];
 
-    let bounds = if threads > 1 && n >= 2 * threads {
+    let (bounds, costs) = if threads > 1 && n >= 2 * threads {
         let costs: Vec<u64> = nodes
             .iter()
             .enumerate()
             .map(|(i, node)| model.actor_cost(node, i))
             .collect();
-        balanced_partition(&costs, threads)
+        (balanced_partition(&costs, threads), costs)
     } else {
-        vec![0, n]
+        (vec![0, n], Vec::new())
     };
     let num_shards = bounds.len() - 1;
+    let run_start = P::ENABLED.then(std::time::Instant::now);
+    if P::ENABLED {
+        probe.on_run_start(n, &bounds, &costs);
+    }
 
     let mut inboxes: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
     let mut staging: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
@@ -648,6 +683,9 @@ where
     let mut shard_state: Vec<ShardFault<M>> = (0..num_shards).map(|_| ShardFault::new()).collect();
     let mut delay: Vec<Parked<M>> = Vec::new();
     let mut stats = FaultStats::default();
+    // Previous round's cumulative fault snapshot, so the probe can be
+    // handed per-round deltas (probed runs only).
+    let mut fault_seen = FaultStats::default();
     let mut round = 0;
     let mut delivered: u64 = 0;
     let mut convergence = 0usize;
@@ -683,11 +721,17 @@ where
             return Err(model.round_limit_error(cfg.max_rounds));
         }
 
+        let round_start = P::ENABLED.then(std::time::Instant::now);
+        if P::ENABLED {
+            probe.on_round_start(round);
+        }
+
         // Phase A: shards step their active actors concurrently,
         // staging surviving messages per shard (single-sharded runs
         // step inline on the driving thread).
-        let mut acc = RoundProfile::default();
+        let mut acc = RoundProfile::for_probe::<P>();
         if num_shards == 1 {
+            let shard_start = P::ENABLED.then(std::time::Instant::now);
             let st = &mut shard_state[0];
             let mut sink = FaultSink::<M> {
                 adversary,
@@ -717,8 +761,18 @@ where
                 // swap.
                 inboxes[i].clear();
             }
+            if P::ENABLED {
+                probe.on_shard(
+                    round,
+                    0,
+                    shard_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    acc.messages,
+                    acc.volume,
+                );
+            }
         } else {
-            let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = {
+            type ShardOut<M> = (Result<RoundProfile, <M as ExecModel>::Error>, u64);
+            let shard_results: Vec<Option<ShardOut<M>>> = {
                 let bounds = &bounds;
                 let active = &active;
                 let crash = &crash;
@@ -735,7 +789,8 @@ where
                                 return None;
                             }
                             Some(s.spawn(move || {
-                                let mut acc = RoundProfile::default();
+                                let shard_start = P::ENABLED.then(std::time::Instant::now);
+                                let mut acc = RoundProfile::for_probe::<P>();
                                 let mut sink = FaultSink::<M> {
                                     adversary,
                                     crash,
@@ -745,12 +800,13 @@ where
                                     parked: &mut st.parked,
                                     stats: &mut st.stats,
                                 };
+                                let mut stepped = Ok(());
                                 for (k, node) in shard_nodes.iter_mut().enumerate() {
                                     if !act[k] {
                                         continue;
                                     }
                                     sink.seq = 0;
-                                    model.step(
+                                    if let Err(e) = model.step(
                                         node,
                                         base + k,
                                         round,
@@ -758,10 +814,14 @@ where
                                         &mut st.scratch,
                                         &mut acc,
                                         &mut sink,
-                                    )?;
+                                    ) {
+                                        stepped = Err(e);
+                                        break;
+                                    }
                                     shard_inboxes[k].clear();
                                 }
-                                Ok(acc)
+                                let ns = shard_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                (stepped.map(|()| acc), ns)
                             }))
                         })
                         .collect();
@@ -775,14 +835,20 @@ where
             };
             // Lowest shard's error = lowest actor's error, exactly like
             // the clean sharded executor.
-            for r in shard_results.into_iter().flatten() {
-                acc.merge(&r?);
+            for (si, r) in shard_results.into_iter().enumerate() {
+                let Some((r, shard_ns)) = r else { continue };
+                let p = r?;
+                if P::ENABLED {
+                    probe.on_shard(round, si, shard_ns, p.messages, p.volume);
+                }
+                acc.merge(&p);
             }
         }
 
         // Phase B (driving thread): merge shard buffers in shard order
         // — ascending sender order, the sequential delivery order —
         // then append delay-queue releases due next round.
+        let exchange_start = P::ENABLED.then(std::time::Instant::now);
         let mut delivered_now = 0u64;
         for st in shard_state.iter_mut() {
             for (to, from, msg) in st.out.drain(..) {
@@ -807,6 +873,12 @@ where
             delivered_now += 1;
             false
         });
+        if P::ENABLED {
+            probe.on_exchange(
+                round,
+                exchange_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
+        }
 
         if M::TRACK_RECV {
             model.check_recv(&recv, round)?;
@@ -818,6 +890,33 @@ where
         }
         delivered += delivered_now;
         model.end_round(&acc, &recv, round, &mut metrics);
+        if P::ENABLED {
+            // Per-round fault tallies are the delta between this round's
+            // cumulative snapshot and the last one handed to the probe.
+            let mut now = FaultStats::default();
+            for st in &shard_state {
+                now.absorb(&st.stats);
+            }
+            now.crashed += stats.crashed;
+            let delta = FaultStats {
+                delivered: delivered_now,
+                dropped: now.dropped - fault_seen.dropped,
+                duplicated: now.duplicated - fault_seen.duplicated,
+                delayed: now.delayed - fault_seen.delayed,
+                crashed: now.crashed - fault_seen.crashed,
+            };
+            probe.on_fault_event(round, &delta, delay.len());
+            fault_seen = now;
+            probe.on_round_end(&RoundObs {
+                round,
+                wall_ns: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                messages: acc.messages,
+                volume: acc.volume,
+                peak_link: acc.peak_link,
+                active: active.iter().filter(|&&a| a).count(),
+                sizes: acc.sizes.as_deref(),
+            });
+        }
         if M::TRACK_RECV {
             recv.fill(0);
         }
@@ -833,6 +932,25 @@ where
     // queue, so this equals the models' whole-run message count.
     stats.delivered = delivered;
     model.finish(&mut metrics, &stats, convergence);
+    if P::ENABLED {
+        // Crashes activate at the top of the loop, so an actor whose
+        // crash round is the quiescence check itself is tallied in the
+        // metrics without any round having run. Hand the probe that
+        // residual delta (only `crashed` can move between the last
+        // round event and here) so its whole-run tally matches the
+        // metrics.
+        if stats.crashed > fault_seen.crashed {
+            let residual = FaultStats {
+                crashed: stats.crashed - fault_seen.crashed,
+                ..FaultStats::default()
+            };
+            probe.on_fault_event(round, &residual, delay.len());
+        }
+        probe.on_run_end(
+            round,
+            run_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        );
+    }
     Ok(Run {
         outputs: outputs(model, &nodes, round),
         metrics,

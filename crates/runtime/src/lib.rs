@@ -127,10 +127,15 @@
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod probe;
 
 pub use fault::{
     run_faulty, Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary,
     TraceAdversary,
+};
+pub use probe::{
+    JsonlProbe, NoopProbe, Probe, ProbeMode, RecordingProbe, RoundObs, RoundTelemetry,
+    RunTelemetry, ShardTelemetry, SizeHist,
 };
 
 use pga_graph::NodeId;
@@ -322,6 +327,12 @@ pub struct RunConfig {
     /// small budget so runs that an adversary starves into livelock
     /// abort quickly with the model's round-limit error.
     pub max_rounds: Option<usize>,
+    /// Trace-sink activation policy (default [`ProbeMode::Env`]: the
+    /// run streams a [`JsonlProbe`] trace to the path named by the
+    /// `PGA_TRACE` environment variable, if any). Probes are read-only
+    /// observers — attaching one never changes outputs, metrics, or
+    /// errors.
+    pub probe: ProbeMode,
 }
 
 impl RunConfig {
@@ -378,6 +389,13 @@ impl RunConfig {
         self.max_rounds = Some(rounds);
         self
     }
+
+    /// Selects the trace-sink activation policy (see
+    /// [`RunConfig::probe`]).
+    pub fn probe(mut self, mode: ProbeMode) -> Self {
+        self.probe = mode;
+        self
+    }
 }
 
 /// Round-scheduling policy of the kernel (see the crate docs for the
@@ -427,9 +445,40 @@ pub struct RoundProfile {
     /// Largest per-actor declared state size this round (MPC's memory
     /// peak).
     pub peak_state: usize,
+    /// Log-bucketed histogram of the charged message sizes this round.
+    /// `None` (the default) outside probed runs: the executors allocate
+    /// it only when an enabled [`Probe`] is attached, so models can
+    /// call [`RoundProfile::observe_size`] unconditionally and the
+    /// unprobed path pays one branch per message. Telemetry only —
+    /// never read by [`ExecModel::end_round`], so metrics cannot
+    /// depend on it.
+    pub sizes: Option<Box<SizeHist>>,
 }
 
 impl RoundProfile {
+    /// A profile whose size histogram is allocated iff the probe `P` is
+    /// enabled — the executors' per-round accumulator constructor.
+    fn for_probe<P: Probe>() -> Self {
+        RoundProfile {
+            sizes: P::ENABLED.then(Box::default),
+            ..Self::default()
+        }
+    }
+
+    /// Records `copies` charged copies of a `size`-unit message into the
+    /// round's size histogram, when one is attached (no-op otherwise —
+    /// the unprobed executors never allocate one). Models call this
+    /// next to their per-message charging.
+    #[inline]
+    pub fn observe_size(&mut self, size: u64, copies: u32) {
+        if copies == 0 {
+            return;
+        }
+        if let Some(h) = self.sizes.as_deref_mut() {
+            h.record(size, u64::from(copies));
+        }
+    }
+
     /// Folds another shard's partial profile into this one (sums and
     /// maxima; shard order does not matter for the result).
     pub fn merge(&mut self, other: &RoundProfile) {
@@ -438,6 +487,12 @@ impl RoundProfile {
         self.peak_link = self.peak_link.max(other.peak_link);
         self.peak_actor_out = self.peak_actor_out.max(other.peak_actor_out);
         self.peak_state = self.peak_state.max(other.peak_state);
+        if let Some(o) = other.sizes.as_deref() {
+            match self.sizes.as_deref_mut() {
+                Some(s) => s.merge(o),
+                None => self.sizes = Some(Box::new(o.clone())),
+            }
+        }
     }
 }
 
@@ -955,12 +1010,33 @@ fn outputs<M: ExecModel>(model: &M, nodes: &[M::Node], round: usize) -> Vec<M::O
 /// aborts, or the round budget is exhausted.
 pub fn run_sequential<M: ExecModel>(
     model: &M,
+    nodes: Vec<M::Node>,
+    cfg: KernelConfig,
+) -> Result<Run<M::Output, M::Metrics>, M::Error> {
+    run_sequential_probed(model, nodes, cfg, &NoopProbe)
+}
+
+/// [`run_sequential`] with a [`Probe`] attached: identical outputs,
+/// metrics, and errors (observer neutrality), plus per-round telemetry
+/// callbacks on the driving thread. With [`NoopProbe`] this
+/// monomorphizes to exactly [`run_sequential`].
+///
+/// # Errors
+///
+/// Returns the model's error like [`run_sequential`].
+pub fn run_sequential_probed<M: ExecModel, P: Probe>(
+    model: &M,
     mut nodes: Vec<M::Node>,
     cfg: KernelConfig,
+    probe: &P,
 ) -> Result<Run<M::Output, M::Metrics>, M::Error> {
     let n = nodes.len();
     let mut metrics = M::Metrics::default();
     model.pre_run(&nodes, &mut metrics)?;
+    let run_start = P::ENABLED.then(std::time::Instant::now);
+    if P::ENABLED {
+        probe.on_run_start(n, &[0, n], &[]);
+    }
 
     let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
     let mut staging: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
@@ -992,7 +1068,11 @@ pub fn run_sequential<M: ExecModel>(
             return Err(model.round_limit_error(cfg.max_rounds));
         }
 
-        let mut acc = RoundProfile::default();
+        let round_start = P::ENABLED.then(std::time::Instant::now);
+        if P::ENABLED {
+            probe.on_round_start(round);
+        }
+        let mut acc = RoundProfile::for_probe::<P>();
         for (i, node) in nodes.iter_mut().enumerate() {
             if !active[i] {
                 continue;
@@ -1029,6 +1109,17 @@ pub fn run_sequential<M: ExecModel>(
             recv.fill(0);
         }
         std::mem::swap(&mut inboxes, &mut staging);
+        if P::ENABLED {
+            probe.on_round_end(&RoundObs {
+                round,
+                wall_ns: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                messages: acc.messages,
+                volume: acc.volume,
+                peak_link: acc.peak_link,
+                active: active.iter().filter(|&&a| a).count(),
+                sizes: acc.sizes.as_deref(),
+            });
+        }
         round += 1;
     }
 
@@ -1040,6 +1131,12 @@ pub fn run_sequential<M: ExecModel>(
         },
         convergence,
     );
+    if P::ENABLED {
+        probe.on_run_end(
+            round,
+            run_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        );
+    }
     Ok(Run {
         outputs: outputs(model, &nodes, round),
         metrics,
@@ -1064,7 +1161,7 @@ fn split_by_bounds<'a, T>(mut slice: &'a mut [T], bounds: &[usize]) -> Vec<&'a m
 /// counting-sorts each lane by destination so the scatter phase can
 /// drain it sequentially.
 #[allow(clippy::too_many_arguments)]
-fn run_shard_round<M: ExecModel>(
+fn run_shard_round<M: ExecModel, P: Probe>(
     model: &M,
     base: usize,
     shard_nodes: &mut [M::Node],
@@ -1075,7 +1172,7 @@ fn run_shard_round<M: ExecModel>(
     scratch: &mut WorkerScratch<M>,
     round: usize,
 ) -> Result<RoundProfile, M::Error> {
-    let mut acc = RoundProfile::default();
+    let mut acc = RoundProfile::for_probe::<P>();
     {
         let mut sink = LaneSink::<M> {
             lanes,
@@ -1329,30 +1426,58 @@ where
     M::Msg: Send,
     M::Error: Send,
 {
-    if model.packs() {
-        run_sharded_inner(&PackedModel(model), nodes, threads, cfg)
-    } else {
-        run_sharded_inner(model, nodes, threads, cfg)
-    }
+    run_sharded_probed(model, nodes, threads, cfg, &NoopProbe)
 }
 
-/// The sharded round loop proper, over whichever wire representation
-/// ([`run_sharded`]'s dispatch) the run uses.
-fn run_sharded_inner<M>(
+/// [`run_sharded`] with a [`Probe`] attached: identical outputs,
+/// metrics, and errors (observer neutrality), plus per-round and
+/// per-shard telemetry callbacks on the driving thread (workers only
+/// *time* their own shard). With [`NoopProbe`] this monomorphizes to
+/// exactly [`run_sharded`].
+///
+/// # Errors
+///
+/// Returns the model's error like [`run_sequential`].
+pub fn run_sharded_probed<M, P>(
     model: &M,
-    mut nodes: Vec<M::Node>,
+    nodes: Vec<M::Node>,
     threads: usize,
     cfg: KernelConfig,
+    probe: &P,
 ) -> Result<Run<M::Output, M::Metrics>, M::Error>
 where
     M: ExecModel,
     M::Node: Send,
     M::Msg: Send,
     M::Error: Send,
+    P: Probe,
+{
+    if model.packs() {
+        run_sharded_inner(&PackedModel(model), nodes, threads, cfg, probe)
+    } else {
+        run_sharded_inner(model, nodes, threads, cfg, probe)
+    }
+}
+
+/// The sharded round loop proper, over whichever wire representation
+/// ([`run_sharded_probed`]'s dispatch) the run uses.
+fn run_sharded_inner<M, P>(
+    model: &M,
+    mut nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    probe: &P,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+    P: Probe,
 {
     let n = nodes.len();
     if threads <= 1 || n < 2 * threads {
-        return run_sequential(model, nodes, cfg);
+        return run_sequential_probed(model, nodes, cfg, probe);
     }
     let costs: Vec<u64> = nodes
         .iter()
@@ -1362,11 +1487,15 @@ where
     let meta = ShardMeta::new(balanced_partition(&costs, threads));
     let num_shards = meta.num_shards();
     if num_shards <= 1 {
-        return run_sequential(model, nodes, cfg);
+        return run_sequential_probed(model, nodes, cfg, probe);
     }
 
     let mut metrics = M::Metrics::default();
     model.pre_run(&nodes, &mut metrics)?;
+    let run_start = P::ENABLED.then(std::time::Instant::now);
+    if P::ENABLED {
+        probe.on_run_start(n, &meta.starts, &costs);
+    }
 
     let mut recv: Vec<usize> = if M::TRACK_RECV {
         vec![0; n]
@@ -1408,9 +1537,17 @@ where
             return Err(model.round_limit_error(cfg.max_rounds));
         }
 
+        let round_start = P::ENABLED.then(std::time::Instant::now);
+        if P::ENABLED {
+            probe.on_round_start(round);
+        }
+
         // Phase A: every shard with at least one active actor steps its
         // actors on a worker thread and pre-groups its outgoing lanes.
-        let shard_results: Vec<Option<Result<RoundProfile, M::Error>>> = {
+        // Workers time their own shard (probed runs only); callbacks
+        // stay on the driving thread.
+        type ShardOut<M> = (Result<RoundProfile, <M as ExecModel>::Error>, u64);
+        let shard_results: Vec<Option<ShardOut<M>>> = {
             let meta = &meta;
             let active = &active;
             std::thread::scope(|s| {
@@ -1424,7 +1561,8 @@ where
                         let act = &active[meta.starts[si]..meta.starts[si + 1]];
                         if act.iter().any(|&a| a) {
                             Some(s.spawn(move || {
-                                run_shard_round(
+                                let shard_start = P::ENABLED.then(std::time::Instant::now);
+                                let r = run_shard_round::<M, P>(
                                     model,
                                     meta.starts[si],
                                     shard_nodes,
@@ -1434,7 +1572,9 @@ where
                                     meta,
                                     scratch,
                                     round,
-                                )
+                                );
+                                let ns = shard_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                (r, ns)
                             }))
                         } else {
                             None
@@ -1451,8 +1591,13 @@ where
         // The lowest-indexed shard's error is the lowest-indexed
         // actor's error, exactly like the sequential executor.
         let mut acc = RoundProfile::default();
-        for r in shard_results.into_iter().flatten() {
-            acc.merge(&r?);
+        for (si, r) in shard_results.into_iter().enumerate() {
+            let Some((r, shard_ns)) = r else { continue };
+            let p = r?;
+            if P::ENABLED {
+                probe.on_shard(round, si, shard_ns, p.messages, p.volume);
+            }
+            acc.merge(&p);
         }
 
         // Phase B: scatter the lanes into the destination arenas, one
@@ -1466,6 +1611,7 @@ where
                 incoming[j] |= !lane.pay.is_empty();
             }
         }
+        let exchange_start = P::ENABLED.then(std::time::Instant::now);
         if incoming.iter().any(|&b| b) || arenas.iter().any(|a| a.dirty) {
             let mut columns: Vec<Vec<&mut Lane<M>>> = (0..num_shards)
                 .map(|_| Vec::with_capacity(num_shards))
@@ -1495,6 +1641,12 @@ where
                 }
             });
         }
+        if P::ENABLED {
+            probe.on_exchange(
+                round,
+                exchange_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
+        }
 
         if M::TRACK_RECV {
             model.check_recv(&recv, round)?;
@@ -1507,6 +1659,17 @@ where
         if M::TRACK_RECV {
             recv.fill(0);
         }
+        if P::ENABLED {
+            probe.on_round_end(&RoundObs {
+                round,
+                wall_ns: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                messages: acc.messages,
+                volume: acc.volume,
+                peak_link: acc.peak_link,
+                active: active.iter().filter(|&&a| a).count(),
+                sizes: acc.sizes.as_deref(),
+            });
+        }
         round += 1;
     }
 
@@ -1518,6 +1681,12 @@ where
         },
         convergence,
     );
+    if P::ENABLED {
+        probe.on_run_end(
+            round,
+            run_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        );
+    }
     Ok(Run {
         outputs: outputs(model, &nodes, round),
         metrics,
