@@ -26,18 +26,36 @@
 //! requires active-set scheduling to be at least 1.3× faster than the
 //! full sweep (exit code 2 otherwise).
 //!
+//! Two `G²`-materialization workloads ride along:
+//!
+//! * `square_gnm` times the scalar mark-array square against the
+//!   bitset-blocked BMM kernel (sequential and sharded) on the pinned
+//!   gnm instance; with `--assert-speedup` the sequential bitset kernel
+//!   must be ≥ 1.5× faster than scalar (exit code 2) — gated even on a
+//!   single-CPU host, since it is a single-thread comparison.
+//! * `bmm_sbm` runs the deterministic clique-MVC pipeline on a pinned
+//!   planted-partition (SBM) instance under both `G²` preparations —
+//!   the relay Phase I and the BMM-prep direct Phase I — and feeds the
+//!   bit-identity gate (exit code 1): the covers must match exactly,
+//!   and the parallel BMM run must reproduce the sequential one.
+//!
 //! Environment overrides: `BENCH_SIM_N` (vertices), `BENCH_SIM_AVG_DEG`
 //! (average degree), `BENCH_SIM_SEED`, `BENCH_SIM_THREADS` (gate
 //! thread count), `BENCH_SIM_REPS` (best-of repetitions),
 //! `BENCH_SIM_OUT` (artifact path), `BENCH_SIM_BA_N` / `BENCH_SIM_BA_K`
 //! (the second pinned Barabási–Albert instance), `BENCH_SIM_TAIL_BLOB_N`
-//! / `BENCH_SIM_TAIL_BLOB_M` / `BENCH_SIM_TAIL_LEN` (the lollipop).
+//! / `BENCH_SIM_TAIL_BLOB_M` / `BENCH_SIM_TAIL_LEN` (the lollipop),
+//! `BENCH_SIM_SBM_N` / `BENCH_SIM_SBM_K` (the SBM instance).
 
 use pga_bench::harness::{
     env_u64, env_usize, time_ms, EngineTiming, ShardLoad, SimBench, WorkloadRecord,
 };
 use pga_congest::primitives::FloodMax;
-use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, Scheduling, Simulator};
+use pga_congest::{Algorithm, Ctx, Metrics, MsgSize, Report, RunConfig, Scheduling, Simulator};
+use pga_core::mvc::clique_det::g2_mvc_clique_det_cfg;
+use pga_core::mvc::congest::LocalSolver;
+use pga_graph::bmm::{square_bmm, square_bmm_sharded};
+use pga_graph::power::square_scalar;
 use pga_graph::{generators, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -280,6 +298,134 @@ fn bench_tail_workload(g: &Graph, threads: usize, reps: usize) -> WorkloadRecord
     }
 }
 
+/// Best-of-`reps` wall time for an arbitrary computation.
+fn best_wall<T>(reps: usize, f: impl Fn() -> T) -> (T, f64) {
+    let mut best_ms = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let (r, ms) = time_ms(&f);
+        best_ms = best_ms.min(ms);
+        out = Some(r);
+    }
+    (out.unwrap(), best_ms)
+}
+
+/// `G²` materialization on the pinned gnm instance: the scalar
+/// mark-array loop against the bitset-blocked BMM kernel (sequential
+/// and sharded). Not a message workload — rounds/messages/bits are 0 —
+/// but the record's `speedup` (scalar / sequential-bitset) is the CI
+/// floor for the kernel, and `identical` asserts all three squares
+/// agree CSR-array for CSR-array.
+fn bench_square_workload(g: &Graph, threads: usize, reps: usize) -> WorkloadRecord {
+    let (scalar, scalar_ms) = best_wall(reps, || square_scalar(g));
+    let (bmm, bmm_ms) = best_wall(reps, || square_bmm(g));
+    let (sharded, sharded_ms) = best_wall(reps, || square_bmm_sharded(g, threads));
+    let identical = bmm.csr() == scalar.csr() && sharded.csr() == bmm.csr();
+    if !identical {
+        eprintln!("DIVERGENCE in workload 'square_gnm': BMM square != scalar square");
+    }
+    WorkloadRecord {
+        name: "square_gnm".into(),
+        graph: "connected_gnm".into(),
+        n: g.num_nodes(),
+        m: g.num_edges(),
+        rounds: 0,
+        messages: 0,
+        bits: 0,
+        peak_edge_bits: 0,
+        congestion_p95: 0,
+        engines: vec![
+            EngineTiming {
+                engine: "sequential_square_scalar".into(),
+                threads: 1,
+                wall_ms: scalar_ms,
+            },
+            EngineTiming {
+                engine: "sequential_square_bmm".into(),
+                threads: 1,
+                wall_ms: bmm_ms,
+            },
+            EngineTiming {
+                engine: "parallel_square_bmm".into(),
+                threads,
+                wall_ms: sharded_ms,
+            },
+        ],
+        shard_load: Vec::new(),
+        io: None,
+        speedup: scalar_ms / bmm_ms,
+        identical,
+    }
+}
+
+/// The clustered-workload pipeline comparison on the pinned SBM
+/// instance: the relay clique-MVC pipeline against the BMM-prep one
+/// (`RunConfig::bmm_prep`), sequential and at the gate thread count.
+/// `identical` is the acceptance gate: the BMM cover must equal the
+/// relay cover bit for bit, and the parallel BMM run must reproduce the
+/// sequential one exactly (cover and metrics). `speedup` compares the
+/// two sequential pipelines (relay / BMM).
+fn bench_bmm_sbm_workload(sbm: &Graph, threads: usize, reps: usize) -> WorkloadRecord {
+    let eps = 0.5;
+    let run = |cfg: &RunConfig| {
+        g2_mvc_clique_det_cfg(sbm, eps, LocalSolver::FiveThirds, cfg).expect("clique MVC run")
+    };
+    let (relay, relay_ms) = best_wall(reps, || run(&RunConfig::new()));
+    let (bmm, bmm_ms) = best_wall(reps, || run(&RunConfig::new().bmm_prep()));
+    let (par, par_ms) = best_wall(reps, || run(&RunConfig::new().bmm_prep().parallel(threads)));
+
+    let cover_identical = relay.cover == bmm.cover;
+    let engines_identical = par.cover == bmm.cover
+        && par.phase1_metrics == bmm.phase1_metrics
+        && par.phase2_metrics == bmm.phase2_metrics;
+    if !cover_identical {
+        eprintln!("DIVERGENCE in workload 'bmm_sbm': BMM cover != relay cover");
+    }
+    if !engines_identical {
+        eprintln!("DIVERGENCE in workload 'bmm_sbm': parallel BMM run != sequential BMM run");
+    }
+
+    // The communication columns report the BMM pipeline (both phases).
+    let rounds = bmm.phase1_metrics.rounds + bmm.phase2_metrics.rounds;
+    let messages = bmm.phase1_metrics.messages + bmm.phase2_metrics.messages;
+    let bits = bmm.phase1_metrics.bits + bmm.phase2_metrics.bits;
+    WorkloadRecord {
+        name: "bmm_sbm".into(),
+        graph: "planted_partition".into(),
+        n: sbm.num_nodes(),
+        m: sbm.num_edges(),
+        rounds,
+        messages,
+        bits,
+        peak_edge_bits: bmm
+            .phase1_metrics
+            .peak_edge_bits()
+            .max(bmm.phase2_metrics.peak_edge_bits()),
+        congestion_p95: bmm.phase1_metrics.congestion_percentile(0.95),
+        engines: vec![
+            EngineTiming {
+                engine: "sequential_relay_mvc".into(),
+                threads: 1,
+                wall_ms: relay_ms,
+            },
+            EngineTiming {
+                engine: "sequential_bmm_mvc".into(),
+                threads: 1,
+                wall_ms: bmm_ms,
+            },
+            EngineTiming {
+                engine: "parallel_bmm_mvc".into(),
+                threads,
+                wall_ms: par_ms,
+            },
+        ],
+        shard_load: shard_load(sbm, threads),
+        io: None,
+        speedup: relay_ms / bmm_ms,
+        identical: cover_identical && engines_identical,
+    }
+}
+
 fn main() {
     let assert_speedup = std::env::args().any(|a| a == "--assert-speedup");
     let n = env_usize("BENCH_SIM_N", 60_000);
@@ -327,6 +473,17 @@ fn main() {
         lolli.num_edges()
     );
 
+    // Clustered instance: a pinned planted-partition (SBM) graph with
+    // contiguous 64-wide clusters — the workload class on which the
+    // congested-clique BMM is fast (rows pack into few 64-bit blocks).
+    let sbm_n = env_usize("BENCH_SIM_SBM_N", 2_048);
+    let sbm_k = env_usize("BENCH_SIM_SBM_K", 32);
+    let (sbm, sbm_ms) = time_ms(|| generators::planted_partition(sbm_n, sbm_k, 0.25, 0.0015, seed));
+    println!(
+        "  planted_partition({sbm_n}, {sbm_k}, 0.25, 0.0015, {seed}) generated in {sbm_ms:.0} ms ({} edges)",
+        sbm.num_edges()
+    );
+
     let workloads = vec![
         bench_workload("floodmax", "connected_gnm", &g, threads, reps, || {
             (0..n)
@@ -347,6 +504,8 @@ fn main() {
                 .collect()
         }),
         bench_tail_workload(&lolli, threads, reps),
+        bench_square_workload(&g, threads, reps),
+        bench_bmm_sbm_workload(&sbm, threads, reps),
     ];
 
     for w in &workloads {
@@ -433,6 +592,28 @@ fn main() {
                 std::process::exit(2);
             }
         }
+
+        // Bitset-square gate: the BMM kernel must beat the scalar
+        // mark-array loop by ≥ 1.5× on the pinned gnm instance. This is
+        // a single-thread comparison, so it is gated even on a
+        // single-CPU host.
+        let sq = doc
+            .workloads
+            .iter()
+            .find(|w| w.name == "square_gnm")
+            .expect("square workload present");
+        if sq.speedup < 1.5 {
+            eprintln!(
+                "FAIL: bitset square only {:.2}x over scalar (floor 1.5x) on gnm({n}, {})",
+                sq.speedup,
+                g.num_edges()
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "  square kernel floor passed: bitset {:.2}x >= 1.5x over scalar",
+            sq.speedup
+        );
 
         // Quiescent-tail gate: active-set scheduling must beat the full
         // sweep on the lollipop's long quiet tail.

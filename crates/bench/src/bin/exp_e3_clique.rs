@@ -69,8 +69,62 @@ fn main() {
         ]);
     }
 
+    banner("E3c: G² materialization — relay Phase I vs BMM-prep direct Phase I (det)");
+    let t = Table::new(&[
+        "instance",
+        "n",
+        "relay iters",
+        "bmm iters",
+        "relay p1 rounds",
+        "bmm p1 rounds",
+        "relay p1 kbit",
+        "bmm p1 kbit",
+        "cover ==",
+    ]);
+    let instances: Vec<(&str, pga_graph::Graph)> = vec![
+        ("caterpillar(20,20)", generators::caterpillar(20, 20)),
+        ("clique_chain(6,8)", generators::clique_chain(6, 8)),
+        (
+            "sbm(256,8)",
+            generators::planted_partition(256, 8, 0.35, 0.01, 45_803),
+        ),
+        (
+            "sbm(512,16)",
+            generators::planted_partition(512, 16, 0.30, 0.005, 45_803),
+        ),
+    ];
+    for (name, g) in &instances {
+        let n = g.num_nodes();
+        let relay =
+            g2_mvc_clique_det_cfg(g, eps, LocalSolver::FiveThirds, &exp_cfg()).expect("det");
+        let bmm = g2_mvc_clique_det_cfg(g, eps, LocalSolver::FiveThirds, &exp_cfg().bmm_prep())
+            .expect("det bmm");
+        // The acceptance bar: the BMM-prepared pipeline must induce the
+        // relay pipeline's cover bit for bit.
+        assert_eq!(relay.cover, bmm.cover, "{name}: covers diverged");
+        assert!(is_vertex_cover_on_square(g, &bmm.cover));
+        // Relay iterations are 4 rounds each (Cand, relay, JoinS, LeftR);
+        // direct iterations are 3 (the one-hop relay round is gone). The
+        // BMM Phase I round count includes the O(log n) clique-BMM
+        // preamble that materialized the G² rows.
+        t.row(&[
+            (*name).to_string(),
+            n.to_string(),
+            relay.phase1_metrics.rounds.div_ceil(4).to_string(),
+            bmm.phase1_metrics.rounds.div_ceil(3).to_string(),
+            relay.phase1_metrics.rounds.to_string(),
+            bmm.phase1_metrics.rounds.to_string(),
+            (relay.phase1_metrics.bits / 1000).to_string(),
+            (bmm.phase1_metrics.bits / 1000).to_string(),
+            "yes".to_string(),
+        ]);
+    }
+
     println!("\nshape check: on the id-gradient caterpillar the deterministic Phase I");
     println!("iterations grow ~linearly with the spine (Θ(εn) worst case), while the");
     println!("voting scheme stays O(1)–O(log n) — Theorem 11's speedup. Phase II is");
-    println!("O(1/ε) in the clique for both (Lemma 9).");
+    println!("O(1/ε) in the clique for both (Lemma 9). E3c: materializing G² rows");
+    println!("once via clique BMM removes the per-iteration relay round (4 -> 3");
+    println!("rounds/iteration) and the MaxCand forwarding storm, at the price of a");
+    println!("one-shot O(log n)-round row broadcast — same cover, bit for bit.");
 }

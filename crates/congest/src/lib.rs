@@ -70,8 +70,10 @@ mod error;
 mod metrics;
 mod sim;
 
+pub mod bmm;
 pub mod primitives;
 
+pub use bmm::{clique_bmm, default_cap_words, BmmBlock, CliqueBmm, G2Row};
 pub use metrics::Metrics;
 /// Re-exported so engine consumers (benches, tests) can inspect the
 /// cost-balanced shard boundaries the parallel engine draws.
@@ -86,7 +88,7 @@ pub use pga_runtime::{
 /// Runtime-level message-plane vocabulary, re-exported so algorithm
 /// crates can implement packed codecs and build [`RunConfig`]s without
 /// depending on `pga-runtime` directly.
-pub use pga_runtime::{CodecFns, MsgCodec, MsgCost, RunConfig};
+pub use pga_runtime::{CodecFns, G2Prep, MsgCodec, MsgCost, RunConfig};
 /// Telemetry-plane vocabulary ([`Probe`] and its stock
 /// implementations), re-exported so benches and tests can attach probes
 /// to [`Simulator::run_cfg_probed`] without depending on `pga-runtime`

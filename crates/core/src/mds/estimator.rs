@@ -214,12 +214,18 @@ pub fn estimate_two_hop_sizes_cfg(
 }
 
 /// The exact quantity being estimated: `|N²[v] ∩ U|` for every `v`.
+///
+/// One [`TwoHopScratch`](pga_graph::bmm::TwoHopScratch) is shared
+/// across all vertices, so the bitset register and the heavy-row cache
+/// are built once instead of per query.
 pub fn exact_two_hop_sizes(g: &Graph, in_u: &[bool]) -> Vec<usize> {
+    let mut scratch = pga_graph::bmm::TwoHopScratch::new(g);
+    let mut row: Vec<NodeId> = Vec::new();
     g.nodes()
         .map(|v| {
-            let mut members: Vec<NodeId> = pga_graph::power::two_hop_neighborhood(g, v);
-            members.push(v);
-            members.iter().filter(|u| in_u[u.index()]).count()
+            row.clear();
+            scratch.row_into(g, v, &mut row);
+            usize::from(in_u[v.index()]) + row.iter().filter(|u| in_u[u.index()]).count()
         })
         .collect()
 }

@@ -8,11 +8,13 @@
 //! verdict in a single round.
 
 use crate::mvc::congest::G2MvcResult;
-use crate::mvc::phase1::{P1Output, Phase1};
+use crate::mvc::phase1::P1Output;
+use crate::mvc::phase1_direct::run_phase1_with_prep;
 use crate::mvc::remainder::{f_edges_for_node, solve_remainder, FEdge, LocalSolver};
 use pga_congest::primitives::GsPack;
 use pga_congest::{
-    Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
+    default_cap_words, Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError,
+    Simulator,
 };
 use pga_graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -229,10 +231,17 @@ pub fn g2_mvc_clique_det_with(
 }
 
 /// [`g2_mvc_clique_det`] under an explicit [`RunConfig`] (engine, thread
-/// count, scheduling policy, packed message plane).
+/// count, scheduling policy, packed message plane, `G²` preprocessing).
 ///
 /// Every configuration is bit-identical; a parallel engine simply runs
-/// large instances faster.
+/// large instances faster. With
+/// [`G2Prep::Bmm`](pga_congest::G2Prep::Bmm) selected, Phase I first
+/// materializes exact `G²` rows via [`pga_congest::clique_bmm`] and
+/// then runs a three-round-per-iteration direct machine on them (the
+/// relay round disappears); the cover is provably the relay cover bit
+/// for bit, and the preprocessing rounds are charged to
+/// `phase1_metrics`. If any row overflows the word budget, Phase I
+/// falls back wholesale to the relay machine, preserving the guarantee.
 ///
 /// # Errors
 ///
@@ -254,9 +263,8 @@ pub fn g2_mvc_clique_det_cfg(
         });
     }
     let l = crate::mvc::congest::threshold_for_eps(eps);
-    let p1 =
-        Simulator::congested_clique(g).run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, cfg)
+    let (p1_out, p1_metrics) = run_phase1_with_prep(g, l, default_cap_words(n), cfg)?;
+    run_clique_phase2(g, &p1_out, p1_metrics, solver, cfg)
 }
 
 #[cfg(test)]
@@ -326,6 +334,49 @@ mod tests {
     fn single_node() {
         let r = g2_mvc_clique_det(&Graph::empty(1), 0.5, LocalSolver::Exact).unwrap();
         assert_eq!(r.size(), 0);
+    }
+
+    #[test]
+    fn bmm_prep_cover_bit_identical_to_relay() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let graphs = vec![
+            generators::clique_chain(4, 6),
+            generators::complete_bipartite(7, 7),
+            generators::connected_gnp(25, 0.25, &mut rng),
+            generators::planted_partition(96, 6, 0.5, 0.02, 9),
+        ];
+        for g in graphs {
+            let relay = g2_mvc_clique_det(&g, 0.5, LocalSolver::Exact).unwrap();
+            let bmm =
+                g2_mvc_clique_det_cfg(&g, 0.5, LocalSolver::Exact, &RunConfig::new().bmm_prep())
+                    .unwrap();
+            assert_eq!(relay.cover, bmm.cover, "covers diverged");
+            assert!(is_vertex_cover_on_square(&g, &bmm.cover));
+            // The BMM pipeline pays its materialization up front (every
+            // graph here has edges, so blocks were exchanged), but the
+            // direct machine may still win on totals: it never pays the
+            // relay's MaxCand storm.
+            assert!(bmm.phase1_metrics.messages > 0);
+        }
+    }
+
+    #[test]
+    fn bmm_prep_bit_identical_across_engines_and_threads() {
+        let g = generators::planted_partition(128, 4, 0.4, 0.03, 17);
+        let base = RunConfig::new().bmm_prep();
+        let reference = g2_mvc_clique_det_cfg(&g, 0.5, LocalSolver::Exact, &base).unwrap();
+        assert!(is_vertex_cover_on_square(&g, &reference.cover));
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = base.parallel(threads).codec(codec);
+                let r = g2_mvc_clique_det_cfg(&g, 0.5, LocalSolver::Exact, &cfg).unwrap();
+                assert_eq!(
+                    reference.cover, r.cover,
+                    "threads={threads} codec={codec} diverged"
+                );
+                assert_eq!(reference.phase1_metrics, r.phase1_metrics);
+            }
+        }
     }
 }
 

@@ -19,9 +19,11 @@
 use crate::mvc::clique_det::run_clique_phase2;
 use crate::mvc::congest::G2MvcResult;
 use crate::mvc::phase1::P1Output;
+use crate::mvc::phase1_direct::merge_metrics;
 use crate::mvc::remainder::LocalSolver;
 use pga_congest::{
-    Algorithm, Ctx, Engine, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
+    clique_bmm, default_cap_words, Algorithm, Ctx, Engine, G2Prep, Metrics, MsgCodec, MsgSize,
+    RunConfig, SimError, Simulator,
 };
 use pga_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -251,11 +253,21 @@ pub fn g2_mvc_clique_rand_with(
 }
 
 /// [`g2_mvc_clique_rand`] under an explicit [`RunConfig`] (engine,
-/// thread count, scheduling policy, packed message plane).
+/// thread count, scheduling policy, packed message plane, `G²`
+/// preprocessing).
 ///
 /// Every configuration is bit-identical — the same `seed` yields the
 /// same cover under any configuration; a parallel engine simply runs
 /// large instances faster.
+///
+/// With [`G2Prep::Bmm`] selected, the pipeline first materializes
+/// exact `G²` rows via [`clique_bmm`] and charges the materialization
+/// to `phase1_metrics`. The voting Phase I itself is strictly one-hop,
+/// so the rows cannot change its trajectory — the cover is the relay
+/// cover by construction. The knob exists so the randomized pipeline
+/// can be compared apples-to-apples with the deterministic one, which
+/// *does* consume the rows: selecting it here measures what row
+/// materialization costs this pipeline in rounds and bits.
 ///
 /// # Errors
 ///
@@ -277,9 +289,17 @@ pub fn g2_mvc_clique_rand_cfg(
             phase2_metrics: Metrics::default(),
         });
     }
+    let prep_metrics = match cfg.g2_prep {
+        G2Prep::Relay => None,
+        G2Prep::Bmm => Some(clique_bmm(g, default_cap_words(n), cfg)?.metrics),
+    };
     let p1 = Simulator::congested_clique(g)
         .run_cfg((0..n).map(|i| VotePhase1::new(eps, seed, i)).collect(), cfg)?;
-    run_clique_phase2(g, &p1.outputs, p1.metrics, solver, cfg)
+    let p1_metrics = match prep_metrics {
+        Some(prep) => merge_metrics(prep, p1.metrics),
+        None => p1.metrics,
+    };
+    run_clique_phase2(g, &p1.outputs, p1_metrics, solver, cfg)
 }
 
 #[cfg(test)]
@@ -336,6 +356,25 @@ mod tests {
         let b = g2_mvc_clique_rand(&g, 0.5, LocalSolver::Exact, 5).unwrap();
         assert_eq!(a.cover, b.cover);
         assert_eq!(a.total_rounds(), b.total_rounds());
+    }
+
+    #[test]
+    fn bmm_prep_same_cover_extra_prep_metrics() {
+        // The voting Phase I is one-hop: BMM prep cannot change the
+        // cover, only the accounting.
+        let g = generators::complete_bipartite(12, 12);
+        let relay = g2_mvc_clique_rand(&g, 0.5, LocalSolver::Exact, 5).unwrap();
+        let bmm =
+            g2_mvc_clique_rand_cfg(&g, 0.5, LocalSolver::Exact, 5, &RunConfig::new().bmm_prep())
+                .unwrap();
+        assert_eq!(relay.cover, bmm.cover);
+        assert!(
+            bmm.phase1_metrics.rounds > relay.phase1_metrics.rounds,
+            "prep rounds must be charged: {} vs {}",
+            bmm.phase1_metrics.rounds,
+            relay.phase1_metrics.rounds
+        );
+        assert!(bmm.phase1_metrics.bits > relay.phase1_metrics.bits);
     }
 
     #[test]

@@ -8,4 +8,5 @@ pub mod trivial;
 pub mod weighted;
 
 pub(crate) mod phase1;
+pub(crate) mod phase1_direct;
 pub(crate) mod remainder;

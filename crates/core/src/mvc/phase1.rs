@@ -65,7 +65,7 @@ impl MsgCodec for P1Msg {
 }
 
 /// Per-node output of Phase I.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct P1Output {
     /// Whether this node joined the cover `S`.
     pub in_s: bool,

@@ -139,6 +139,50 @@ proptest! {
         }
     }
 
+    /// Corollary 10 with BMM preprocessing: the direct Phase I on
+    /// materialized G² rows is engine- and thread-bit-identical, and
+    /// its *cover* equals the relay pipeline's on every instance
+    /// (metrics differ by design — the prep run is charged).
+    #[test]
+    fn g2_mvc_clique_det_bmm_prep_bit_identical(g in arb_instance()) {
+        let base = RunConfig::new().bmm_prep();
+        let reference = mvc_key(g2_mvc_clique_det_cfg(&g, 0.4, LocalSolver::FiveThirds, &base));
+        let relay = mvc_key(g2_mvc_clique_det_cfg(
+            &g, 0.4, LocalSolver::FiveThirds, &RunConfig::new(),
+        ));
+        match (&reference, &relay) {
+            (Ok(bmm), Ok(relay)) => prop_assert_eq!(&bmm.0, &relay.0, "cover diverged from relay"),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "one pipeline errored, the other did not"),
+        }
+        for cfg in parallel_cfgs() {
+            let cfg = cfg.bmm_prep();
+            let par = mvc_key(g2_mvc_clique_det_cfg(&g, 0.4, LocalSolver::FiveThirds, &cfg));
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
+        }
+    }
+
+    /// SBM is the workload BMM preprocessing targets: clustered rows
+    /// pack into few words, so the prep stays exact and fast. Pin the
+    /// bit-identity acceptance criterion on it explicitly.
+    #[test]
+    fn g2_mvc_clique_det_bmm_prep_sbm(n in 24usize..96, seed in any::<u64>()) {
+        let g = generators::planted_partition(n, n / 12 + 1, 0.5, 0.05, seed);
+        let base = RunConfig::new().bmm_prep();
+        let reference = mvc_key(g2_mvc_clique_det_cfg(&g, 0.4, LocalSolver::FiveThirds, &base));
+        let relay = mvc_key(g2_mvc_clique_det_cfg(
+            &g, 0.4, LocalSolver::FiveThirds, &RunConfig::new(),
+        ));
+        let cover = reference.as_ref().unwrap().0.clone();
+        prop_assert_eq!(&cover, &relay.unwrap().0, "cover diverged from relay");
+        prop_assert!(pga_graph::cover::is_vertex_cover_on_square(&g, &cover));
+        for cfg in parallel_cfgs() {
+            let cfg = cfg.bmm_prep();
+            let par = mvc_key(g2_mvc_clique_det_cfg(&g, 0.4, LocalSolver::FiveThirds, &cfg));
+            prop_assert_eq!(&par, &reference, "{:?}", cfg);
+        }
+    }
+
     /// Theorem 11 (randomized CONGESTED CLIQUE; same seed, same result).
     #[test]
     fn g2_mvc_clique_rand_engines_bit_identical(g in arb_instance(), seed in any::<u64>()) {

@@ -349,6 +349,143 @@ pub fn gnm_lollipop(blob_n: usize, blob_m: usize, tail: usize, seed: u64) -> Gra
     b.build()
 }
 
+/// Planted-partition (stochastic block model) graph: `n` vertices in `k`
+/// contiguous clusters, each intra-cluster pair an edge with probability
+/// `p_in` and each inter-cluster pair with probability `p_out`.
+///
+/// Cluster `c` covers a contiguous id range (sizes `⌈n/k⌉` for the first
+/// `n mod k` clusters, `⌊n/k⌋` for the rest), so cluster membership of
+/// vertex `v` is recoverable arithmetically and — with `p_in ≫ p_out` —
+/// the rows of the adjacency matrix concentrate in `k` diagonal blocks.
+/// This is the *clustered* workload class on which Boolean matrix
+/// multiplication is fast (Lingas, arXiv 2405.16103): the bitset rows of
+/// [`crate::bmm`] have few nonzero words, and the congested-clique
+/// `clique_bmm` primitive ships them in `O(1)`-ish rounds.
+///
+/// Sampling skips geometrically through each pair block
+/// (Batagelj–Brandes), so the expected running time is `O(m + k²)`
+/// rather than `Θ(n²)`. Takes the seed directly (the instance is pinned
+/// by `(n, k, p_in, p_out, seed)` alone), like [`barabasi_albert`] and
+/// [`gnm_lollipop`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` or a probability is outside `[0, 1]`.
+pub fn planted_partition(n: usize, k: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(k >= 1, "need at least one cluster");
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be a probability");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Contiguous cluster boundaries: starts[c]..starts[c + 1].
+    let (base, extra) = (n / k, n % k);
+    let mut starts = Vec::with_capacity(k + 1);
+    starts.push(0usize);
+    for c in 0..k {
+        starts.push(starts[c] + base + usize::from(c < extra));
+    }
+    // Intra-cluster blocks: Batagelj–Brandes geometric skipping through
+    // the triangular pair space of each cluster.
+    for c in 0..k {
+        let (lo, s) = (starts[c], starts[c + 1] - starts[c]);
+        sample_triangular(&mut b, &mut rng, lo, s, p_in);
+    }
+    // Inter-cluster blocks: geometric skipping through each s_a × s_b
+    // rectangular pair grid.
+    for a in 0..k {
+        for bb in (a + 1)..k {
+            let (lo_a, s_a) = (starts[a], starts[a + 1] - starts[a]);
+            let (lo_b, s_b) = (starts[bb], starts[bb + 1] - starts[bb]);
+            sample_rectangular(&mut b, &mut rng, lo_a, s_a, lo_b, s_b, p_out);
+        }
+    }
+    b.build()
+}
+
+/// Geometric skip length for per-pair probability `p`, given
+/// `log1mp = ln(1 - p)` (caller guarantees `0 < p < 1`). The `f64 → u64`
+/// cast saturates, so an extreme draw yields a skip past any block.
+fn geometric_skip(rng: &mut impl Rng, log1mp: f64) -> u64 {
+    let r: f64 = rng.random();
+    ((1.0 - r).ln() / log1mp) as u64
+}
+
+/// Samples each pair `{lo + i, lo + j}`, `0 ≤ j < i < s`, with
+/// probability `p` by geometric skipping over the linearized triangular
+/// pair space (Batagelj–Brandes): index `t` maps to the pair whose
+/// larger endpoint `i` satisfies `i(i-1)/2 ≤ t < i(i+1)/2`.
+fn sample_triangular(b: &mut GraphBuilder, rng: &mut impl Rng, lo: usize, s: usize, p: f64) {
+    if p <= 0.0 || s < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        let nodes: Vec<NodeId> = (lo..lo + s).map(NodeId::from_index).collect();
+        b.add_clique(&nodes);
+        return;
+    }
+    let tri = |i: u64| i * (i - 1) / 2;
+    let log1mp = (1.0 - p).ln();
+    let total = tri(s as u64 + 1) - s as u64; // s(s-1)/2
+    let mut t = geometric_skip(rng, log1mp);
+    while t < total {
+        // Invert t -> larger endpoint i via sqrt, then correct the
+        // float estimate by at most a step in either direction.
+        let mut i = ((1.0 + ((1 + 8 * t) as f64).sqrt()) / 2.0) as u64;
+        while tri(i + 1) <= t {
+            i += 1;
+        }
+        while tri(i) > t {
+            i -= 1;
+        }
+        let j = t - tri(i);
+        b.add_edge(
+            NodeId::from_index(lo + i as usize),
+            NodeId::from_index(lo + j as usize),
+        );
+        t = t
+            .saturating_add(1)
+            .saturating_add(geometric_skip(rng, log1mp));
+    }
+}
+
+/// Samples each pair `{lo_a + i, lo_b + j}` of the `s_a × s_b` grid with
+/// probability `p` by geometric skipping over the linearized grid.
+fn sample_rectangular(
+    b: &mut GraphBuilder,
+    rng: &mut impl Rng,
+    lo_a: usize,
+    s_a: usize,
+    lo_b: usize,
+    s_b: usize,
+    p: f64,
+) {
+    if p <= 0.0 || s_a == 0 || s_b == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..s_a {
+            for j in 0..s_b {
+                b.add_edge(NodeId::from_index(lo_a + i), NodeId::from_index(lo_b + j));
+            }
+        }
+        return;
+    }
+    let log1mp = (1.0 - p).ln();
+    let total = (s_a as u64) * (s_b as u64);
+    let mut t = geometric_skip(rng, log1mp);
+    while t < total {
+        b.add_edge(
+            NodeId::from_index(lo_a + (t / s_b as u64) as usize),
+            NodeId::from_index(lo_b + (t % s_b as u64) as usize),
+        );
+        t = t
+            .saturating_add(1)
+            .saturating_add(geometric_skip(rng, log1mp));
+    }
+}
+
 /// The exact edge count of [`barabasi_albert`]`(n, k, _)`:
 /// `Σ_{v=1}^{n-1} min(k, v)`.
 pub fn barabasi_albert_edge_count(n: usize, k: usize) -> usize {
@@ -597,6 +734,71 @@ mod tests {
         );
         // A zero tail degenerates to the blob.
         assert_eq!(gnm_lollipop(20, 40, 0, 11).num_edges(), 40);
+    }
+
+    #[test]
+    fn planted_partition_extremes() {
+        // p_in = 1, p_out = 0: k disjoint cliques on the contiguous
+        // cluster ranges.
+        let g = planted_partition(12, 3, 1.0, 0.0, 1);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * (4 * 3 / 2));
+        assert_eq!(connected_components(&g).num_components, 3);
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g.has_edge(NodeId(3), NodeId(4)));
+        // p_in = 0, p_out = 1: complete multipartite.
+        let h = planted_partition(9, 3, 0.0, 1.0, 1);
+        assert_eq!(h.num_edges(), 3 * 9);
+        assert!(!h.has_edge(NodeId(0), NodeId(1)));
+        assert!(h.has_edge(NodeId(0), NodeId(3)));
+        // Everything off: edgeless.
+        assert_eq!(planted_partition(10, 2, 0.0, 0.0, 1).num_edges(), 0);
+        // p = 1 everywhere: complete graph.
+        assert_eq!(planted_partition(10, 3, 1.0, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn planted_partition_uneven_clusters_cover_all_ids() {
+        // n = 11, k = 3: cluster sizes 4, 4, 3.
+        let g = planted_partition(11, 3, 1.0, 0.0, 7);
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_edges(), 6 + 6 + 3);
+        assert_eq!(g.degree(NodeId(10)), 2);
+        // More clusters than vertices degenerates gracefully.
+        let h = planted_partition(2, 5, 1.0, 0.5, 7);
+        assert_eq!(h.num_nodes(), 2);
+    }
+
+    #[test]
+    fn planted_partition_deterministic_in_seed() {
+        let a = planted_partition(300, 10, 0.3, 0.01, 42);
+        let b = planted_partition(300, 10, 0.3, 0.01, 42);
+        let c = planted_partition(300, 10, 0.3, 0.01, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn planted_partition_density_sane() {
+        // Expected m = k·C(s,2)·p_in + C(k,2)·s²·p_out
+        //            = 20·C(50,2)·0.2 + C(20,2)·2500·0.002 = 4900 + 950.
+        let g = planted_partition(1000, 20, 0.2, 0.002, 3);
+        let m = g.num_edges() as f64;
+        assert!((m - 5850.0).abs() < 700.0, "m={m} far from 5850");
+        // Intra-cluster degree dominates: vertex 0's neighbors are
+        // mostly inside cluster 0 (ids 0..50).
+        let intra = g
+            .neighbors(NodeId(0))
+            .iter()
+            .filter(|v| v.index() < 50)
+            .count();
+        assert!(intra * 2 > g.degree(NodeId(0)), "clusters not planted");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn planted_partition_zero_clusters_panics() {
+        planted_partition(5, 0, 0.5, 0.1, 1);
     }
 
     #[test]

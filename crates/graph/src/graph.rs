@@ -160,6 +160,36 @@ impl Graph {
         (&self.offsets, &self.targets)
     }
 
+    /// Assembles a graph directly from prebuilt CSR arrays.
+    ///
+    /// The caller guarantees the CSR invariants: `offsets` has length
+    /// `n + 1` with `offsets[0] == 0` and `offsets[n] == targets.len()`,
+    /// each per-vertex slice is sorted, duplicate- and self-loop-free,
+    /// and the adjacency relation is symmetric (so `targets.len()` is
+    /// even). The invariants are `debug_assert`ed, not re-established:
+    /// this is the zero-copy back door the bitset-BMM kernel uses to
+    /// emit `G²` rows already in final layout, skipping the
+    /// [`GraphBuilder`] sort/dedup pass entirely.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(targets.len() % 2, 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        #[cfg(debug_assertions)]
+        for v in 0..offsets.len() - 1 {
+            let row = &targets[offsets[v]..offsets[v + 1]];
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {v} not sorted");
+            debug_assert!(!row.contains(&NodeId::from_index(v)), "self-loop at {v}");
+        }
+        let num_edges = targets.len() / 2;
+        Graph {
+            offsets,
+            targets,
+            num_edges,
+        }
+    }
+
     /// Whether `{u, v}` is an edge. Self-queries return `false`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         if u == v {

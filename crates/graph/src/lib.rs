@@ -8,6 +8,13 @@
 //! * [`power`] — computation of graph powers `G^r` (in particular the square
 //!   `G²` that the PODC 2020 paper *Distributed Approximation on Power
 //!   Graphs* studies),
+//! * [`bmm`] — bitset-blocked Boolean matrix multiplication: the fast `G²`
+//!   materialization kernel (packed `u64` row bitmaps, degree-capped sparse
+//!   path, sharded variant) that [`power::square`] routes to above a size
+//!   threshold,
+//! * [`partition`] — cost-balanced contiguous partitioning
+//!   ([`balanced_partition`]), shared by the BMM kernel and the round engines
+//!   in `pga-runtime`,
 //! * [`generators`] — deterministic and seeded-random graph families used by
 //!   the test suite and the benchmark harness,
 //! * [`traversal`] — BFS, connected components and distance computations,
@@ -37,6 +44,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bmm;
 #[cfg(feature = "compact")]
 pub mod compact;
 pub mod cover;
@@ -44,6 +52,7 @@ pub mod generators;
 mod graph;
 pub mod io;
 pub mod matching;
+pub mod partition;
 pub mod power;
 pub mod properties;
 pub mod subgraph;
@@ -51,4 +60,5 @@ pub mod traversal;
 pub mod weights;
 
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use partition::balanced_partition;
 pub use weights::VertexWeights;

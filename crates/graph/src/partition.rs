@@ -1,0 +1,104 @@
+//! Cost-balanced contiguous partitioning.
+//!
+//! [`balanced_partition`] draws shard boundaries on the prefix sums of a
+//! per-item cost vector. It started life in the round-execution kernel
+//! (`pga-runtime`, which still re-exports it) as the load balancer of the
+//! sharded engines, and lives here so the graph substrate's own
+//! multi-threaded kernels ([`crate::bmm::square_bmm_sharded`]) can draw
+//! the same boundaries over per-row costs without a dependency cycle.
+
+/// Splits `costs.len()` items into at most `shards` contiguous,
+/// non-empty ranges whose total costs are as even as a prefix walk
+/// allows, and returns the boundary offsets
+/// `0 = b_0 < b_1 < … < b_k = n` (so shard `j` covers `b_j..b_{j+1}`).
+///
+/// Boundary `j` is the smallest index whose cost prefix reaches the
+/// ideal share `j / k` of the total, clamped so every shard keeps at
+/// least one item. With uniform costs this reproduces even
+/// `n / shards` ranges; with skewed costs (heavy-tail degree
+/// distributions) the hub-carrying prefix is cut short so no shard
+/// inherits a disproportionate share of the work.
+///
+/// The function is deterministic and pure, and every consumer in the
+/// workspace (the sharded round engines, the blocked-BMM kernel)
+/// preserves bit-identity for *any* contiguous partition — boundaries
+/// only affect wall-clock balance. Public so benches and tests can
+/// inspect the boundaries the engines will use.
+pub fn balanced_partition(costs: &[u64], shards: usize) -> Vec<usize> {
+    let n = costs.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let k = shards.clamp(1, n);
+    let mut prefix: Vec<u128> = Vec::with_capacity(n + 1);
+    let mut acc: u128 = 0;
+    prefix.push(0);
+    for &c in costs {
+        acc += u128::from(c);
+        prefix.push(acc);
+    }
+    let total = acc;
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    for j in 1..k {
+        // Smallest b with prefix[b] ≥ total · j / k (rounded up), kept
+        // strictly increasing and leaving ≥ 1 item per remaining shard.
+        let target = (total * j as u128).div_ceil(k as u128);
+        let b = prefix
+            .partition_point(|&p| p < target)
+            .clamp(j, n - (k - j))
+            .max(bounds[j - 1] + 1);
+        bounds.push(b);
+    }
+    bounds.push(n);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partition_uniform_costs_even_ranges() {
+        let bounds = balanced_partition(&[1; 12], 4);
+        assert_eq!(bounds, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn balanced_partition_skewed_costs_isolate_the_head() {
+        // One huge item followed by small ones: the first shard must stop
+        // right after the hub instead of swallowing a quarter of the items.
+        let mut costs = vec![1u64; 16];
+        costs[0] = 1000;
+        let bounds = balanced_partition(&costs, 4);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[1], 1, "hub isolated into its own shard");
+        assert_eq!(*bounds.last().unwrap(), 16);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn balanced_partition_edge_cases() {
+        assert_eq!(balanced_partition(&[], 4), vec![0]);
+        assert_eq!(balanced_partition(&[5], 4), vec![0, 1]);
+        assert_eq!(balanced_partition(&[1, 1], 1), vec![0, 2]);
+        // All-zero costs still produce non-empty shards.
+        let bounds = balanced_partition(&[0; 10], 3);
+        assert_eq!(bounds.len(), 4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        // More shards than items degrades to one item per shard.
+        let bounds = balanced_partition(&[7; 3], 9);
+        assert_eq!(bounds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn balanced_partition_monotone_prefix_targets() {
+        let costs: Vec<u64> = (0..50).map(|i| (i % 7) + 1).collect();
+        for shards in 1..10 {
+            let bounds = balanced_partition(&costs, shards);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), 50);
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "shards: {shards}");
+        }
+    }
+}

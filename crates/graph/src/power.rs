@@ -12,8 +12,12 @@ use std::collections::VecDeque;
 ///
 /// `{u, v}` is an edge of `G²` iff `u ≠ v` and `dist_G(u, v) ≤ 2`.
 ///
-/// Runs in `O(Σ_v deg(v)²)` time, which is the size of the output in the
-/// worst case.
+/// Dispatches on size: at and above
+/// [`SQUARE_BMM_MIN_NODES`](crate::bmm::SQUARE_BMM_MIN_NODES) vertices
+/// the bitset-blocked BMM kernel ([`crate::bmm::square_bmm`]) runs;
+/// below it the scalar mark-array loop ([`square_scalar`]) does. The two
+/// paths produce the same graph bit for bit (a proptest invariant), so
+/// the threshold is purely a wall-clock knob.
 ///
 /// # Example
 ///
@@ -27,6 +31,19 @@ use std::collections::VecDeque;
 /// assert_eq!(s2.num_edges(), 6);
 /// ```
 pub fn square(g: &Graph) -> Graph {
+    if g.num_nodes() >= crate::bmm::SQUARE_BMM_MIN_NODES {
+        crate::bmm::square_bmm(g)
+    } else {
+        square_scalar(g)
+    }
+}
+
+/// The scalar mark-array reference implementation of [`square`].
+///
+/// Runs in `O(Σ_v deg(v)²)` time, which is the size of the output in the
+/// worst case. Kept public as the oracle the BMM kernel is proven
+/// against and as the baseline the benchmark harness times.
+pub fn square_scalar(g: &Graph) -> Graph {
     let n = g.num_nodes();
     let mut b = GraphBuilder::new(n);
     // mark[] based two-hop expansion: for each u, every neighbor and
@@ -102,21 +119,28 @@ pub fn power(g: &Graph, r: usize) -> Graph {
 
 /// Returns the sorted set of vertices at `G`-distance exactly 1 or 2
 /// from `v` (the `G²`-neighborhood of `v`, excluding `v`).
+///
+/// Runs on the bitset row kernel: one register union over `N(v)` and its
+/// neighbors' rows, emitted already sorted and deduplicated — no
+/// `O(deg²)` intermediate list, no sort/dedup pass. Bulk callers that
+/// query many vertices of the same graph should hold a
+/// [`crate::bmm::TwoHopScratch`] instead, which amortizes the register
+/// allocation and the heavy-row packing across queries.
 pub fn two_hop_neighborhood(g: &Graph, v: NodeId) -> Vec<NodeId> {
-    let mut out: Vec<NodeId> = Vec::new();
-    for &u in g.neighbors(v) {
-        out.push(u);
-        out.extend(g.neighbors(u).iter().copied().filter(|&w| w != v));
-    }
-    out.sort_unstable();
-    out.dedup();
+    let mut scratch = crate::bmm::TwoHopScratch::new(g);
+    let mut out = Vec::new();
+    scratch.row_into(g, v, &mut out);
     out
 }
 
 /// Number of vertices within `G`-distance 2 of `v`, excluding `v`
 /// (the degree of `v` in `G²`).
+///
+/// A popcount over the bitset row — the neighborhood is never
+/// materialized as an id list.
 pub fn two_hop_degree(g: &Graph, v: NodeId) -> usize {
-    two_hop_neighborhood(g, v).len()
+    let mut scratch = crate::bmm::TwoHopScratch::new(g);
+    scratch.degree(g, v)
 }
 
 #[cfg(test)]
@@ -230,6 +254,14 @@ mod tests {
             assert_eq!(two_hop_neighborhood(&g, v), g2.neighbors(v).to_vec());
             assert_eq!(two_hop_degree(&g, v), g2.degree(v));
         }
+    }
+
+    #[test]
+    fn square_dispatch_above_threshold_matches_scalar() {
+        // path(5000) crosses SQUARE_BMM_MIN_NODES, so `square` routes to
+        // the BMM kernel; the scalar loop must agree bit for bit.
+        let g = generators::path(crate::bmm::SQUARE_BMM_MIN_NODES + 904);
+        assert_eq!(square(&g), square_scalar(&g));
     }
 
     #[test]

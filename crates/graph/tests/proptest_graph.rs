@@ -1,7 +1,8 @@
 //! Property-based tests for the graph substrate.
 
+use pga_graph::bmm::{square_bmm, square_bmm_sharded};
 use pga_graph::cover::{is_independent_set, is_vertex_cover, members, membership};
-use pga_graph::power::{power, square, two_hop_neighborhood};
+use pga_graph::power::{power, square, square_scalar, two_hop_neighborhood};
 use pga_graph::traversal::{bfs_distances, connected_components, is_connected};
 use pga_graph::{generators, Graph, GraphBuilder, NodeId};
 use proptest::prelude::*;
@@ -169,6 +170,7 @@ proptest! {
             generators::barabasi_albert(n, 3, seed),
             generators::clique_chain(n / 4 + 1, 4),
             generators::disjoint_union(&generators::path(n / 2), &generators::star(n / 2 + 1)),
+            generators::planted_partition(n, n / 4 + 1, 0.6, 0.1, seed),
         ];
         for g in &graphs {
             let (offsets, targets) = g.csr();
@@ -191,6 +193,50 @@ proptest! {
                     prop_assert!(u != v, "self-loop in {:?}", g);
                     prop_assert!(g.neighbors(u).binary_search(&v).is_ok(), "asymmetry in {:?}", g);
                 }
+            }
+        }
+    }
+}
+
+/// The workload families the BMM kernel targets: random mass (gnm),
+/// heavy-tailed degrees (Barabási–Albert), dense-blob-plus-path
+/// (lollipop), and clustered/SBM (planted partition).
+fn bmm_families(n: usize, seed: u64) -> Vec<Graph> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m_max = n * (n - 1) / 2;
+    vec![
+        generators::gnm(n, (2 * n).min(m_max), &mut rng),
+        generators::barabasi_albert(n, 3, seed),
+        generators::gnm_lollipop(n / 2 + 2, n, n / 2, seed),
+        generators::planted_partition(n, n / 16 + 1, 0.5, 0.02, seed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bitset BMM kernel is the scalar square, bit for bit: same
+    /// CSR arrays, not just the same edge set.
+    #[test]
+    fn square_bmm_matches_scalar(n in 2usize..96, seed in any::<u64>()) {
+        for g in bmm_families(n, seed) {
+            let bmm = square_bmm(&g);
+            let scalar = square_scalar(&g);
+            prop_assert_eq!(bmm.csr(), scalar.csr());
+            prop_assert_eq!(bmm, square(&g));
+        }
+    }
+
+    /// The sharded kernel is the sequential kernel at every thread
+    /// count: `balanced_partition` only moves work, never results.
+    #[test]
+    fn sharded_bmm_matches_sequential(n in 2usize..96, seed in any::<u64>()) {
+        for g in bmm_families(n, seed) {
+            let seq = square_bmm(&g);
+            for threads in [1usize, 2, 4, 8] {
+                let sharded = square_bmm_sharded(&g, threads);
+                prop_assert_eq!(sharded.csr(), seq.csr(), "threads={}", threads);
             }
         }
     }

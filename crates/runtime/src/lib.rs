@@ -333,6 +333,35 @@ pub struct RunConfig {
     /// observers — attaching one never changes outputs, metrics, or
     /// errors.
     pub probe: ProbeMode,
+    /// How the `G²` clique pipelines obtain two-hop structure before
+    /// Phase 1 (default [`G2Prep::Relay`]). Both strategies induce the
+    /// same cover bit for bit; the knob trades relay rounds against
+    /// bitmap-materialization rounds, which favors clustered inputs.
+    pub g2_prep: G2Prep,
+}
+
+/// Two-hop preprocessing strategy of the congested-clique `G²`
+/// pipelines (selected via [`RunConfig::g2_prep`]).
+///
+/// The deterministic MVC pipeline needs each candidate's view of its
+/// `G²`-neighborhood. [`G2Prep::Relay`] obtains it online, one
+/// neighbor-relay round per Phase-1 iteration. [`G2Prep::Bmm`] instead
+/// materializes the Boolean-matrix-product rows up front with the
+/// `clique_bmm` primitive (nodes broadcast their adjacency bitmaps as
+/// packed 64-bit blocks; `O(1)`–`O(log n)` rounds on clustered inputs)
+/// and then runs the relay-free Phase-1 variant on the materialized
+/// rows. Both strategies are proven to induce the same cover bit for
+/// bit; if any row overflows the word budget, the BMM path falls back
+/// to the relay protocol wholesale, preserving that guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum G2Prep {
+    /// Per-iteration one-hop relay of candidacies (the default; the
+    /// paper's original protocol shape).
+    #[default]
+    Relay,
+    /// Up-front `G²`-row materialization via blocked Boolean matrix
+    /// multiplication over packed bitmap words.
+    Bmm,
 }
 
 impl RunConfig {
@@ -395,6 +424,18 @@ impl RunConfig {
     pub fn probe(mut self, mode: ProbeMode) -> Self {
         self.probe = mode;
         self
+    }
+
+    /// Selects the two-hop preprocessing strategy of the `G²` clique
+    /// pipelines (see [`G2Prep`]).
+    pub fn g2_prep(mut self, prep: G2Prep) -> Self {
+        self.g2_prep = prep;
+        self
+    }
+
+    /// Shorthand for [`RunConfig::g2_prep`]`(`[`G2Prep::Bmm`]`)`.
+    pub fn bmm_prep(self) -> Self {
+        self.g2_prep(G2Prep::Bmm)
     }
 }
 
@@ -696,51 +737,16 @@ pub struct Run<O, M> {
     pub metrics: M,
 }
 
-/// Splits `costs.len()` actors into at most `shards` contiguous,
-/// non-empty ranges whose total costs are as even as a prefix walk
-/// allows, and returns the boundary offsets
-/// `0 = b_0 < b_1 < … < b_k = n` (so shard `j` covers `b_j..b_{j+1}`).
+/// Cost-balanced contiguous shard boundaries; the load balancer of
+/// [`run_sharded`].
 ///
-/// Boundary `j` is the smallest index whose cost prefix reaches the
-/// ideal share `j / k` of the total, clamped so every shard keeps at
-/// least one actor. With uniform costs this reproduces even
-/// `n / shards` ranges; with skewed costs (heavy-tail degree
-/// distributions) the hub-carrying prefix is cut short so no shard
-/// inherits a disproportionate share of the message work.
-///
-/// The function is deterministic and pure, and [`run_sharded`] preserves
-/// bit-identity for *any* contiguous partition — boundaries only affect
-/// wall-clock balance. Public so benches and tests can inspect the
-/// boundaries the engines will use.
-pub fn balanced_partition(costs: &[u64], shards: usize) -> Vec<usize> {
-    let n = costs.len();
-    if n == 0 {
-        return vec![0];
-    }
-    let k = shards.clamp(1, n);
-    let mut prefix: Vec<u128> = Vec::with_capacity(n + 1);
-    let mut acc: u128 = 0;
-    prefix.push(0);
-    for &c in costs {
-        acc += u128::from(c);
-        prefix.push(acc);
-    }
-    let total = acc;
-    let mut bounds = Vec::with_capacity(k + 1);
-    bounds.push(0usize);
-    for j in 1..k {
-        // Smallest b with prefix[b] ≥ total · j / k (rounded up), kept
-        // strictly increasing and leaving ≥ 1 actor per remaining shard.
-        let target = (total * j as u128).div_ceil(k as u128);
-        let b = prefix
-            .partition_point(|&p| p < target)
-            .clamp(j, n - (k - j))
-            .max(bounds[j - 1] + 1);
-        bounds.push(b);
-    }
-    bounds.push(n);
-    bounds
-}
+/// The implementation lives in the graph substrate
+/// ([`pga_graph::partition`]) so its blocked-BMM kernel can shard along
+/// the same boundaries; re-exported here unchanged for the engines and
+/// every existing call site. [`run_sharded`] preserves bit-identity for
+/// *any* contiguous partition — boundaries only affect wall-clock
+/// balance.
+pub use pga_graph::partition::balanced_partition;
 
 /// Inbox buffers of the sequential executor: one `Vec<(from, msg)>` per
 /// actor, reused across rounds.
@@ -2120,65 +2126,18 @@ mod tests {
         assert_eq!(run.metrics.messages, 6);
     }
 
-    /// Checks the partition invariants: boundaries start at 0, end at
-    /// `n`, are strictly increasing (every shard non-empty), and use at
-    /// most `shards` ranges.
-    fn assert_valid_partition(bounds: &[usize], n: usize, shards: usize) {
-        assert_eq!(*bounds.first().unwrap(), 0);
-        assert_eq!(*bounds.last().unwrap(), n);
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
-        assert!(bounds.len() - 1 <= shards.max(1), "{bounds:?}");
-    }
-
+    // The balanced_partition unit suite lives with the implementation
+    // in pga-graph now; this smoke test pins the re-export so the
+    // engines' load balancer cannot silently detach from it.
     #[test]
-    fn balanced_partition_uniform_costs_even_ranges() {
-        let bounds = balanced_partition(&[1; 12], 4);
-        assert_eq!(bounds, vec![0, 3, 6, 9, 12]);
-        assert_valid_partition(&bounds, 12, 4);
-    }
-
-    #[test]
-    fn balanced_partition_skewed_costs_isolate_the_head() {
-        // One hub worth half the total: the hub's shard must not also
-        // swallow a proportional share of the tail.
+    fn balanced_partition_reexport_smoke() {
         let mut costs = vec![1u64; 16];
         costs[0] = 16;
         let bounds = balanced_partition(&costs, 4);
-        assert_valid_partition(&bounds, 16, 4);
-        // The first shard ends right after the hub.
-        assert_eq!(bounds[1], 1);
-        // The tail is spread across the remaining shards.
-        assert_eq!(bounds[4] - bounds[1], 15);
-        let loads: Vec<u64> = bounds
-            .windows(2)
-            .map(|w| costs[w[0]..w[1]].iter().sum())
-            .collect();
-        assert_eq!(loads[0], 16);
-        assert!(loads[1..].iter().all(|&l| l <= 8), "{loads:?}");
-    }
-
-    #[test]
-    fn balanced_partition_edge_cases() {
-        assert_eq!(balanced_partition(&[], 4), vec![0]);
-        assert_eq!(balanced_partition(&[5], 4), vec![0, 1]);
-        assert_eq!(balanced_partition(&[1, 1], 1), vec![0, 2]);
-        // All-zero costs still produce a valid (uniform-ish) partition.
-        let bounds = balanced_partition(&[0; 10], 3);
-        assert_valid_partition(&bounds, 10, 3);
-        // More shards than actors: one actor per shard.
-        let bounds = balanced_partition(&[7; 3], 9);
-        assert_eq!(bounds, vec![0, 1, 2, 3]);
-    }
-
-    #[test]
-    fn balanced_partition_monotone_prefix_targets() {
-        // A deterministic pseudo-random cost vector stays valid for
-        // every shard count.
-        let costs: Vec<u64> = (0..97u64).map(|i| (i * 2654435761) % 100).collect();
-        for shards in 1..=16 {
-            let bounds = balanced_partition(&costs, shards);
-            assert_valid_partition(&bounds, costs.len(), shards);
-        }
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 16);
+        assert_eq!(bounds[1], 1, "hub isolated into its own shard");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
     }
 
     /// A hand-scripted adversary: one fate override for the message at
