@@ -3,7 +3,9 @@
 //! Reads a trace produced by `PGA_TRACE=<path>` (see the Observability
 //! section of the workspace README) and renders, per run: the top-k
 //! hottest rounds by wall time, the per-round shard-imbalance timeline,
-//! and the log-bucket message-size histogram (p50/p90/max). Modes:
+//! the log-bucket message-size histogram (p50/p90/max), and — for runs
+//! under the reliable executor — the retransmission/ack/dead-link
+//! totals plus a per-round retransmit timeline. Modes:
 //!
 //! ```text
 //! trace_view <trace.jsonl> [--topk K]    summaries (default K = 10)
@@ -123,6 +125,36 @@ fn summarize(runs: &[TraceRun], topk: usize) {
         let faults = run.total_faults();
         if faults > 0 {
             println!("\nfault events: {faults} across the run");
+        }
+
+        let (retransmitted, acks, dead_links) = run.arq_totals();
+        if retransmitted + acks + dead_links > 0 {
+            println!(
+                "reliable executor: {retransmitted} retransmissions, {acks} ack frames, \
+                 {dead_links} dead link(s)"
+            );
+            let peak = run
+                .rounds
+                .iter()
+                .filter_map(|r| r.fault.map(|f| f.retransmitted))
+                .max()
+                .unwrap_or(0);
+            if peak > 0 {
+                println!("\nretransmit timeline (per round):");
+                let t = Table::new(&["round", "retransmits", "acks", "dead", "profile"]);
+                for r in &run.rounds {
+                    let Some(f) = r.fault.filter(|f| f.retransmitted + f.dead_links > 0) else {
+                        continue;
+                    };
+                    t.row(&[
+                        r.round.to_string(),
+                        f.retransmitted.to_string(),
+                        f.acks.to_string(),
+                        f.dead_links.to_string(),
+                        bar(f.retransmitted as f64 / peak as f64, 40),
+                    ]);
+                }
+            }
         }
     }
 }

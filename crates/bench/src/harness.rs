@@ -602,6 +602,11 @@ pub fn parse_engine_walls(json: &str) -> Vec<EngineWall> {
 pub struct FaultRecord {
     /// Workload name (e.g. `"mvc_gnm"`, `"ruling_set_gnm"`).
     pub workload: String,
+    /// Delivery pipeline the cell ran under: `"raw"` (faulted channels,
+    /// no recovery), `"arq"` (sliding-window ack/retransmit), or
+    /// `"arq_timeout"` (ARQ plus phase-level deadlines with
+    /// partial-aggregate fallback).
+    pub pipeline: String,
     /// Generator family of the instance.
     pub graph: String,
     /// Vertices of the instance.
@@ -622,6 +627,12 @@ pub struct FaultRecord {
     /// here is the adversary starving the algorithm, not a harness
     /// failure).
     pub converged: bool,
+    /// Why a non-converged cell stalled: `Some("round_limit")` when the
+    /// round/tick budget ran out with every link still alive,
+    /// `Some("dead_link")` when the ARQ retry budget (or a crash sever)
+    /// killed a link and the algorithm waited forever for its traffic.
+    /// `None` on converged cells.
+    pub stall: Option<String>,
     /// Whether the converged output still satisfies the workload's
     /// correctness predicate (vertex cover of `G²`, dominating set of
     /// `G²`, …). Always `true` at zero fault rates; under faults this
@@ -649,6 +660,16 @@ pub struct FaultRecord {
     pub delayed: u64,
     /// Actors crashed during the run.
     pub crashed: u64,
+    /// Data frames retransmitted by the reliable executor (0 on the raw
+    /// pipeline) — the congestion price of reliability.
+    pub retransmitted: u64,
+    /// Cumulative ack frames the reliable executor transmitted.
+    pub acks: u64,
+    /// Links declared dead (ARQ retry exhaustion or crash sever).
+    pub dead_links: u64,
+    /// Phases that hit their deadline and fell back to a partial
+    /// aggregate (`arq_timeout` pipeline only).
+    pub degraded: u64,
     /// Whether re-executing the same `(seed, FaultSpec)` on a different
     /// engine (or replaying the recorded trace) reproduced the run bit
     /// for bit — the replay-determinism gate.
@@ -659,9 +680,11 @@ pub struct FaultRecord {
 }
 
 /// The `BENCH_fault.json` document: pinned instances swept over a grid
-/// of drop rates and crash fractions, recording convergence, validity,
-/// approximation degradation, fault-plane accounting, and the
-/// replay-identity verdict per cell.
+/// of drop rates and crash fractions, each cell executed under all
+/// three delivery pipelines (`raw`, `arq`, `arq_timeout`), recording
+/// convergence, validity, approximation degradation, fault- and
+/// reliability-plane accounting, and the replay-identity verdict per
+/// cell.
 ///
 /// Serialized shape:
 ///
@@ -672,20 +695,28 @@ pub struct FaultRecord {
 ///   "workloads": [
 ///     {
 ///       "workload": "mvc_gnm",
+///       "pipeline": "arq",
 ///       "graph": "connected_gnm",
 ///       "n": 96, "m": 288, "seed": 45803,
 ///       "drop_ppm": 50000, "dup_ppm": 0, "delay_ppm": 0, "crash_ppm": 0,
-///       "converged": true, "valid": true,
+///       "converged": true, "stall": null, "valid": true,
 ///       "rounds": 41, "convergence_round": 39,
 ///       "output_size": 64, "clean_size": 61, "degradation": 1.049,
 ///       "delivered": 5120, "dropped": 270, "duplicated": 0,
 ///       "delayed": 0, "crashed": 0,
+///       "retransmitted": 264, "acks": 4890, "dead_links": 0,
+///       "degraded": 0,
 ///       "replay_identical": true,
 ///       "wall_ms": 3.1
 ///     }
 ///   ]
 /// }
 /// ```
+///
+/// `stall` is `null` on converged cells, `"round_limit"` when the
+/// round/tick budget starved the run with all links alive, and
+/// `"dead_link"` when ARQ retry exhaustion (or a crash sever) killed a
+/// link the algorithm was waiting on.
 ///
 /// Everything except `wall_ms` is a pure function of
 /// `(instance seed, FaultSpec)`, so CI diffs the committed snapshot
@@ -717,6 +748,10 @@ impl FaultBench {
                 json_escape(&w.workload)
             ));
             s.push_str(&format!(
+                "      \"pipeline\": \"{}\",\n",
+                json_escape(&w.pipeline)
+            ));
+            s.push_str(&format!(
                 "      \"graph\": \"{}\",\n",
                 json_escape(&w.graph)
             ));
@@ -728,6 +763,13 @@ impl FaultBench {
             s.push_str(&format!("      \"delay_ppm\": {},\n", w.delay_ppm));
             s.push_str(&format!("      \"crash_ppm\": {},\n", w.crash_ppm));
             s.push_str(&format!("      \"converged\": {},\n", w.converged));
+            s.push_str(&format!(
+                "      \"stall\": {},\n",
+                match &w.stall {
+                    Some(why) => format!("\"{}\"", json_escape(why)),
+                    None => "null".to_string(),
+                }
+            ));
             s.push_str(&format!("      \"valid\": {},\n", w.valid));
             s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
             s.push_str(&format!(
@@ -742,6 +784,10 @@ impl FaultBench {
             s.push_str(&format!("      \"duplicated\": {},\n", w.duplicated));
             s.push_str(&format!("      \"delayed\": {},\n", w.delayed));
             s.push_str(&format!("      \"crashed\": {},\n", w.crashed));
+            s.push_str(&format!("      \"retransmitted\": {},\n", w.retransmitted));
+            s.push_str(&format!("      \"acks\": {},\n", w.acks));
+            s.push_str(&format!("      \"dead_links\": {},\n", w.dead_links));
+            s.push_str(&format!("      \"degraded\": {},\n", w.degraded));
             s.push_str(&format!(
                 "      \"replay_identical\": {},\n",
                 w.replay_identical
@@ -1103,6 +1149,7 @@ mod tests {
             seed: 45803,
             workloads: vec![FaultRecord {
                 workload: "mvc_gnm".into(),
+                pipeline: "arq".into(),
                 graph: "connected_gnm".into(),
                 n: 96,
                 m: 288,
@@ -1112,6 +1159,7 @@ mod tests {
                 delay_ppm: 0,
                 crash_ppm: 0,
                 converged: true,
+                stall: None,
                 valid: true,
                 rounds: 41,
                 convergence_round: 39,
@@ -1123,6 +1171,10 @@ mod tests {
                 duplicated: 0,
                 delayed: 0,
                 crashed: 0,
+                retransmitted: 264,
+                acks: 4890,
+                dead_links: 0,
+                degraded: 0,
                 replay_identical: true,
                 wall_ms,
             }],
@@ -1134,8 +1186,17 @@ mod tests {
         let doc = fault_sample(3.25).to_json();
         assert!(doc.contains("\"bench\": \"fault_plane\""));
         assert!(doc.contains("\"drop_ppm\": 50000"));
+        assert!(doc.contains("\"pipeline\": \"arq\""));
+        assert!(doc.contains("\"stall\": null"));
+        assert!(doc.contains("\"retransmitted\": 264"));
+        assert!(doc.contains("\"acks\": 4890"));
         assert!(doc.contains("\"replay_identical\": true"));
         assert!(doc.contains("\"wall_ms\": 3.250"));
+        // A stalled cell names its cause as a JSON string.
+        let mut stalled = fault_sample(1.0);
+        stalled.workloads[0].converged = false;
+        stalled.workloads[0].stall = Some("dead_link".into());
+        assert!(stalled.to_json().contains("\"stall\": \"dead_link\""));
         // The fingerprint is timing-invariant and nothing else.
         let other = fault_sample(99.0).to_json();
         assert_ne!(doc, other);

@@ -268,8 +268,8 @@ pub struct TraceShard {
     pub volume: u64,
 }
 
-/// The fault-delta object of a `round` event (omitted from the JSONL
-/// when all zero).
+/// The fault-delta object of a `round` (or residual `run_end`) event,
+/// omitted from the JSONL when all zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceFault {
     /// Messages dropped this round.
@@ -280,6 +280,15 @@ pub struct TraceFault {
     pub delayed: u64,
     /// Actors crashed this round.
     pub crashed: u64,
+    /// Data frames retransmitted by the reliable executor this round
+    /// (0 on raw-path traces, which omit the whole ARQ trio).
+    pub retransmitted: u64,
+    /// Cumulative ack frames the reliable executor transmitted this
+    /// round.
+    pub acks: u64,
+    /// Links declared dead this round (retry-budget exhaustion or a
+    /// crash-induced sever).
+    pub dead_links: u64,
 }
 
 /// One `round` event of a trace.
@@ -360,6 +369,10 @@ pub struct TraceRun {
     /// `(rounds, wall_ns)` of the `run_end` event; `None` when the run
     /// aborted with a model error before completing.
     pub end: Option<(u64, u64)>,
+    /// The residual fault delta of the `run_end` record (crashes
+    /// activated by the final quiescence check, or the reliable
+    /// executor's trailing ack drain), when it carried one.
+    pub end_fault: Option<TraceFault>,
 }
 
 impl TraceRun {
@@ -389,14 +402,29 @@ impl TraceRun {
         by_wall
     }
 
-    /// Total faults recorded across all rounds (dropped + duplicated +
-    /// delayed + crashed).
-    pub fn total_faults(&self) -> u64 {
+    /// Every fault delta of the run, in order: each round's (when
+    /// present), then the `run_end` residual (when present).
+    pub fn fault_deltas(&self) -> impl Iterator<Item = &TraceFault> {
         self.rounds
             .iter()
             .filter_map(|r| r.fault.as_ref())
+            .chain(self.end_fault.as_ref())
+    }
+
+    /// Total faults recorded across all rounds and the `run_end`
+    /// residual (dropped + duplicated + delayed + crashed).
+    pub fn total_faults(&self) -> u64 {
+        self.fault_deltas()
             .map(|f| f.dropped + f.duplicated + f.delayed + f.crashed)
             .sum()
+    }
+
+    /// `(retransmitted, acks, dead_links)` totals over the whole run —
+    /// all zero on raw-path traces, which never emit the ARQ trio.
+    pub fn arq_totals(&self) -> (u64, u64, u64) {
+        self.fault_deltas().fold((0, 0, 0), |(r, a, d), f| {
+            (r + f.retransmitted, a + f.acks, d + f.dead_links)
+        })
     }
 }
 
@@ -422,6 +450,9 @@ pub enum TraceEvent {
         rounds: u64,
         /// Whole-run wall time, ns.
         wall_ns: u64,
+        /// Residual fault delta (crashes from the final quiescence
+        /// check, the reliable executor's trailing ack drain).
+        fault: Option<TraceFault>,
     },
 }
 
@@ -430,6 +461,40 @@ fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing field \"{key}\""))?
         .as_u64()
         .ok_or_else(|| format!("field \"{key}\" is not an unsigned integer"))
+}
+
+/// Parses a fault-delta object. The base quartet is required; the ARQ
+/// trio (`retransmitted`/`acks`/`dead_links`) is optional but
+/// all-or-none — the reliable executor always emits the three together,
+/// so a partial trio means a malformed (hand-edited or truncated) line.
+fn parse_fault(fault: &Json) -> Result<TraceFault, String> {
+    let trio = ["retransmitted", "acks", "dead_links"];
+    let present = trio.iter().filter(|k| fault.get(k).is_some()).count();
+    if present != 0 && present != trio.len() {
+        return Err(
+            "fault object carries a partial ARQ trio (retransmitted/acks/dead_links \
+             must appear together or not at all)"
+                .into(),
+        );
+    }
+    let arq = present == trio.len();
+    Ok(TraceFault {
+        dropped: req_u64(fault, "dropped")?,
+        duplicated: req_u64(fault, "duplicated")?,
+        delayed: req_u64(fault, "delayed")?,
+        crashed: req_u64(fault, "crashed")?,
+        retransmitted: if arq {
+            req_u64(fault, "retransmitted")?
+        } else {
+            0
+        },
+        acks: if arq { req_u64(fault, "acks")? } else { 0 },
+        dead_links: if arq {
+            req_u64(fault, "dead_links")?
+        } else {
+            0
+        },
+    })
 }
 
 /// Parses and validates one trace line against the JSONL schema.
@@ -535,18 +600,14 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
                 }
             }
             if let Some(fault) = v.get("fault") {
-                r.fault = Some(TraceFault {
-                    dropped: req_u64(fault, "dropped")?,
-                    duplicated: req_u64(fault, "duplicated")?,
-                    delayed: req_u64(fault, "delayed")?,
-                    crashed: req_u64(fault, "crashed")?,
-                });
+                r.fault = Some(parse_fault(fault)?);
             }
             Ok(TraceEvent::Round(r))
         }
         "run_end" => Ok(TraceEvent::RunEnd {
             rounds: req_u64(&v, "rounds")?,
             wall_ns: req_u64(&v, "wall_ns")?,
+            fault: v.get("fault").map(parse_fault).transpose()?,
         }),
         other => Err(format!("unknown event type \"{other}\"")),
     }
@@ -601,11 +662,17 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceRun>, (usize, String)> {
                 }
                 run.rounds.push(r);
             }
-            TraceEvent::RunEnd { rounds, wall_ns } => {
+            TraceEvent::RunEnd {
+                rounds,
+                wall_ns,
+                fault,
+            } => {
                 if !open {
                     return Err((lineno, "run_end event outside a run".into()));
                 }
-                runs.last_mut().unwrap().end = Some((rounds, wall_ns));
+                let run = runs.last_mut().unwrap();
+                run.end = Some((rounds, wall_ns));
+                run.end_fault = fault;
                 open = false;
             }
         }
@@ -779,9 +846,48 @@ mod tests {
             parse_line(line).unwrap(),
             TraceEvent::RunEnd {
                 rounds: 1,
-                wall_ns: 5
+                wall_ns: 5,
+                fault: None
             }
         );
+    }
+
+    #[test]
+    fn parses_arq_fault_trio() {
+        // A reliable-executor trace: the fault objects carry the ARQ
+        // trio, on round events and on the run_end residual alike.
+        let text = concat!(
+            "{\"event\":\"run_start\",\"label\":\"congest\",\"actors\":4,\"shards\":1,\"bounds\":[0,4]}\n",
+            "{\"event\":\"round\",\"round\":0,\"wall_ns\":10,\"messages\":4,\"volume\":40,\
+             \"peak_link\":10,\"active\":4,\"exchange_ns\":1,\"delay_depth\":0,\
+             \"fault\":{\"dropped\":2,\"duplicated\":0,\"delayed\":0,\"crashed\":0,\
+             \"retransmitted\":2,\"acks\":3,\"dead_links\":0}}\n",
+            "{\"event\":\"round\",\"round\":1,\"wall_ns\":10,\"messages\":2,\"volume\":20,\
+             \"peak_link\":10,\"active\":4,\"exchange_ns\":1,\"delay_depth\":0,\
+             \"fault\":{\"dropped\":1,\"duplicated\":0,\"delayed\":0,\"crashed\":0,\
+             \"retransmitted\":1,\"acks\":2,\"dead_links\":1}}\n",
+            "{\"event\":\"run_end\",\"rounds\":2,\"wall_ns\":30,\
+             \"fault\":{\"dropped\":0,\"duplicated\":0,\"delayed\":0,\"crashed\":1,\
+             \"retransmitted\":0,\"acks\":1,\"dead_links\":0}}\n",
+        );
+        let runs = parse_trace(text).unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.rounds[0].fault.unwrap().retransmitted, 2);
+        assert_eq!(run.end_fault.unwrap().crashed, 1);
+        assert_eq!(run.arq_totals(), (3, 6, 1));
+        // Base quartet total includes the run_end residual crash.
+        assert_eq!(run.total_faults(), 4);
+    }
+
+    #[test]
+    fn rejects_partial_arq_trio() {
+        let line = "{\"event\":\"round\",\"round\":0,\"wall_ns\":1,\"messages\":0,\"volume\":0,\
+                    \"peak_link\":0,\"active\":0,\"exchange_ns\":0,\"delay_depth\":0,\
+                    \"fault\":{\"dropped\":1,\"duplicated\":0,\"delayed\":0,\"crashed\":0,\
+                    \"retransmitted\":1}}";
+        let err = parse_line(line).unwrap_err();
+        assert!(err.contains("partial ARQ trio"), "got: {err}");
     }
 
     #[test]

@@ -83,7 +83,8 @@ pub use pga_runtime::balanced_partition;
 /// and replay [`FaultTrace`]s without depending on `pga-runtime`
 /// directly.
 pub use pga_runtime::{
-    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary, TraceAdversary,
+    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, ReliabilitySpec,
+    SeededAdversary, TraceAdversary,
 };
 /// Runtime-level message-plane vocabulary, re-exported so algorithm
 /// crates can implement packed codecs and build [`RunConfig`]s without

@@ -35,8 +35,15 @@ pub enum GsMsg<I, D> {
     UpDone,
     /// One pipelined response item traveling from the root to everyone.
     Down(D),
-    /// No more response items.
-    DownEnd,
+    /// No more response items. `complete` tells the subtree whether the
+    /// response was computed from the *full* gather (`true` on every
+    /// clean run) or from a partial aggregate after the root's phase
+    /// deadline expired (see [`GatherScatter::with_deadline`]).
+    DownEnd {
+        /// Whether the broadcast response reflects every item in the
+        /// network.
+        complete: bool,
+    },
 }
 
 impl<I: MsgSize, D: MsgSize> MsgSize for GsMsg<I, D> {
@@ -47,7 +54,7 @@ impl<I: MsgSize, D: MsgSize> MsgSize for GsMsg<I, D> {
             GsMsg::Up(i) => i.size_bits(id_bits),
             GsMsg::UpDone => 0,
             GsMsg::Down(d) => d.size_bits(id_bits),
-            GsMsg::DownEnd => 0,
+            GsMsg::DownEnd { .. } => 1,
         }
     }
 }
@@ -97,7 +104,7 @@ where
                 let (w, flag) = d.pack3();
                 [3 | (u64::from(flag) << 4), w[0], w[1], w[2]]
             }
-            GsMsg::DownEnd => [4, 0, 0, 0],
+            GsMsg::DownEnd { complete } => [4 | (u64::from(*complete) << 4), 0, 0, 0],
         }
     }
 
@@ -111,7 +118,7 @@ where
             1 => GsMsg::Up(I::unpack3(payload, flag)),
             2 => GsMsg::UpDone,
             3 => GsMsg::Down(D::unpack3(payload, flag)),
-            4 => GsMsg::DownEnd,
+            4 => GsMsg::DownEnd { complete: flag },
             tag => unreachable!("invalid GsMsg tag {tag}"),
         }
     }
@@ -139,6 +146,20 @@ enum Phase {
     Done,
 }
 
+/// Per-node result of a [`GatherScatter`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GsOutput<D> {
+    /// The response items this node received (the full leader response
+    /// on a clean run; a prefix of it after a timeout).
+    pub response: Vec<D>,
+    /// Whether this node knows the response reflects **every** item in
+    /// the network: `true` exactly when a `DownEnd` flagged complete
+    /// arrived. Always `true` on a clean run; after a phase timeout a
+    /// node with `complete == false` must treat its own contribution as
+    /// unprocessed and fall back conservatively.
+    pub complete: bool,
+}
+
 /// Per-node state machine for the gather–compute–scatter pattern.
 ///
 /// Every node contributes a list of items; node 0 acts as the leader,
@@ -160,6 +181,11 @@ pub struct GatherScatter<I, D> {
     down_queue: VecDeque<D>,
     down_end_pending: bool,
     sent_up_done: bool,
+    /// Phase deadline in rounds (see [`GatherScatter::with_deadline`]).
+    deadline: Option<usize>,
+    /// Whether the received (or, at the root, computed) response covers
+    /// every item in the network.
+    complete: bool,
 }
 
 impl<I, D> GatherScatter<I, D> {
@@ -181,7 +207,23 @@ impl<I, D> GatherScatter<I, D> {
             down_queue: VecDeque::new(),
             down_end_pending: false,
             sent_up_done: false,
+            deadline: None,
+            complete: false,
         }
+    }
+
+    /// Arms the phase timeout: if the root has not completed its gather
+    /// by round `deadline`, it computes from the **partial aggregate**
+    /// it holds and broadcasts the response flagged incomplete; any node
+    /// still unfinished at the hard deadline (`2 * deadline + 8`,
+    /// covering the downcast of the late response) finalizes with what
+    /// it has, `complete == false`. On a run where every message
+    /// eventually arrives (e.g. under the ARQ plane with no dead links)
+    /// a large enough deadline never fires and the output is exactly
+    /// the clean run's. `None` (the default) waits forever.
+    pub fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn is_root(&self, ctx: &Ctx) -> bool {
@@ -202,13 +244,14 @@ impl<I, D> GatherScatter<I, D> {
 }
 
 impl<I, D: Clone> GatherScatter<I, D> {
-    fn start_downcast(&mut self, ctx: &Ctx) {
+    fn start_downcast(&mut self, ctx: &Ctx, complete: bool) {
         let gathered = std::mem::take(&mut self.gathered);
         let mut items: Vec<I> = gathered;
         items.extend(std::mem::take(&mut self.items));
         self.response = (self.compute)(items);
         self.down_queue = self.response.iter().cloned().collect::<VecDeque<D>>();
         self.down_end_pending = true;
+        self.complete = complete;
         self.phase = Phase::Downcast;
         let _ = ctx;
     }
@@ -216,7 +259,7 @@ impl<I, D: Clone> GatherScatter<I, D> {
 
 impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
     type Msg = GsMsg<I, D>;
-    type Output = Vec<D>;
+    type Output = GsOutput<D>;
 
     fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, Self::Msg)]) -> Vec<(NodeId, Self::Msg)> {
         let mut out: Vec<(NodeId, Self::Msg)> = Vec::new();
@@ -245,9 +288,24 @@ impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
                     self.response.push(d.clone());
                     self.down_queue.push_back(d.clone());
                 }
-                GsMsg::DownEnd => {
+                GsMsg::DownEnd { complete } => {
                     self.down_end_pending = true;
+                    self.complete = *complete;
                 }
+            }
+        }
+
+        // Phase-timeout fallback (see `with_deadline`): past the hard
+        // deadline every node finalizes with what it holds; past the
+        // soft deadline the root computes from its partial aggregate
+        // and downcasts the response flagged incomplete.
+        if let Some(d) = self.deadline {
+            if ctx.round >= 2 * d + 8 && !matches!(self.phase, Phase::Done) {
+                self.phase = Phase::Done;
+                return out;
+            }
+            if self.is_root(ctx) && matches!(self.phase, Phase::Upcast) && ctx.round >= d {
+                self.start_downcast(ctx, false);
             }
         }
 
@@ -259,7 +317,7 @@ impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
             }
             // Handle the single-node network.
             if ctx.graph_neighbors.is_empty() {
-                self.start_downcast(ctx);
+                self.start_downcast(ctx, true);
                 self.phase = Phase::Done;
             }
             return out;
@@ -284,7 +342,7 @@ impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
                 if self.tree_known(ctx) {
                     if self.is_root(ctx) {
                         if self.upcast_complete() {
-                            self.start_downcast(ctx);
+                            self.start_downcast(ctx, true);
                         }
                     } else if let Some(p) = self.parent {
                         // Pipeline: forward received items first, then our
@@ -314,7 +372,12 @@ impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
                 }
             } else if self.down_end_pending {
                 for &c in &self.children {
-                    out.push((c, GsMsg::DownEnd));
+                    out.push((
+                        c,
+                        GsMsg::DownEnd {
+                            complete: self.complete,
+                        },
+                    ));
                 }
                 self.down_end_pending = false;
                 self.phase = Phase::Done;
@@ -328,8 +391,11 @@ impl<I: Clone + MsgSize, D: Clone + MsgSize> Algorithm for GatherScatter<I, D> {
         matches!(self.phase, Phase::Done)
     }
 
-    fn output(&self, _ctx: &Ctx) -> Vec<D> {
-        self.response.clone()
+    fn output(&self, _ctx: &Ctx) -> GsOutput<D> {
+        GsOutput {
+            response: self.response.clone(),
+            complete: self.complete,
+        }
     }
 }
 
@@ -372,7 +438,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run_sum(g: &pga_graph::Graph) -> (Vec<Vec<SizedU64>>, crate::Metrics) {
+    fn run_sum(g: &pga_graph::Graph) -> (Vec<GsOutput<SizedU64>>, crate::Metrics) {
         let n = g.num_nodes();
         let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items: Vec<SizedU64>| {
             let s: u64 = items.iter().map(|i| i.value).sum();
@@ -399,8 +465,9 @@ mod tests {
         let (outputs, metrics) = run_sum(&g);
         let expect: u64 = (0..7).sum();
         for o in &outputs {
-            assert_eq!(o.len(), 1);
-            assert_eq!(o[0].value, expect);
+            assert_eq!(o.response.len(), 1);
+            assert_eq!(o.response[0].value, expect);
+            assert!(o.complete);
         }
         assert!(metrics.rounds > 0);
     }
@@ -409,7 +476,8 @@ mod tests {
     fn gather_scatter_on_single_node() {
         let g = pga_graph::Graph::empty(1);
         let (outputs, _metrics) = run_sum(&g);
-        assert_eq!(outputs[0][0].value, 0);
+        assert_eq!(outputs[0].response[0].value, 0);
+        assert!(outputs[0].complete);
     }
 
     #[test]
@@ -418,7 +486,9 @@ mod tests {
             let n = g.num_nodes();
             let (outputs, _m) = run_sum(&g);
             let expect: u64 = (0..n as u64).sum();
-            assert!(outputs.iter().all(|o| o[0].value == expect));
+            assert!(outputs
+                .iter()
+                .all(|o| o.response[0].value == expect && o.complete));
         }
     }
 
@@ -429,7 +499,9 @@ mod tests {
             let g = generators::connected_gnp(40, 0.05, &mut rng);
             let (outputs, _m) = run_sum(&g);
             let expect: u64 = (0..40u64).sum();
-            assert!(outputs.iter().all(|o| o[0].value == expect));
+            assert!(outputs
+                .iter()
+                .all(|o| o.response[0].value == expect && o.complete));
         }
     }
 
@@ -456,8 +528,8 @@ mod tests {
             .collect();
         let report = Simulator::congest(&g).run(nodes).unwrap();
         for o in &report.outputs {
-            assert_eq!(o.len(), 18);
-            let values: Vec<u64> = o.iter().map(|d| d.value).collect();
+            assert_eq!(o.response.len(), 18);
+            let values: Vec<u64> = o.response.iter().map(|d| d.value).collect();
             assert_eq!(values, (0..18u64).collect::<Vec<_>>());
         }
     }
@@ -492,7 +564,67 @@ mod tests {
         assert!(report
             .outputs
             .iter()
-            .all(|o| o == &vec![SizedU64 { value: 7, bits: 8 }]));
+            .all(|o| o.response == vec![SizedU64 { value: 7, bits: 8 }] && o.complete));
+    }
+
+    /// A deadline larger than the clean round count never fires: the
+    /// output is exactly the clean run's, complete everywhere.
+    #[test]
+    fn generous_deadline_is_invisible() {
+        let g = generators::path(7);
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items: Vec<SizedU64>| {
+            let s: u64 = items.iter().map(|i| i.value).sum();
+            vec![SizedU64 { value: s, bits: 64 }]
+        });
+        let nodes = (0..7)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 {
+                        value: i as u64,
+                        bits: 64,
+                    }],
+                    Arc::clone(&compute),
+                )
+                .with_deadline(Some(1_000))
+            })
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        let (clean, _) = run_sum(&g);
+        assert_eq!(report.outputs, clean);
+    }
+
+    /// A deadline shorter than the gather forces the root to compute
+    /// from a partial aggregate: the run still terminates, the root's
+    /// output is flagged incomplete, and every node that received the
+    /// late response carries the same (partial) sum.
+    #[test]
+    fn tight_deadline_degrades_to_partial_aggregate() {
+        let g = generators::path(7);
+        let compute: LeaderCompute<SizedU64, SizedU64> = Arc::new(|items: Vec<SizedU64>| {
+            let s: u64 = items.iter().map(|i| i.value).sum();
+            vec![SizedU64 { value: s, bits: 64 }]
+        });
+        let nodes = (0..7)
+            .map(|i| {
+                GatherScatter::new(
+                    vec![SizedU64 {
+                        value: i as u64,
+                        bits: 64,
+                    }],
+                    Arc::clone(&compute),
+                )
+                .with_deadline(Some(2))
+            })
+            .collect();
+        let report = Simulator::congest(&g).run(nodes).unwrap();
+        // The root times out before the far end of the path reports.
+        assert!(!report.outputs[0].complete);
+        let full: u64 = (0..7).sum();
+        assert!(report.outputs[0].response[0].value < full);
+        // Incomplete outputs are never mistaken for complete ones.
+        for o in &report.outputs {
+            assert!(!o.complete);
+        }
     }
 }
 
@@ -635,7 +767,7 @@ mod codec_roundtrip_tests {
             arb_sized().prop_map(GsMsg::Up),
             Just(GsMsg::UpDone),
             arb_sized().prop_map(GsMsg::Down),
-            Just(GsMsg::DownEnd),
+            any::<bool>().prop_map(|complete| GsMsg::DownEnd { complete }),
         ]
     }
 

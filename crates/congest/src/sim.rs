@@ -326,6 +326,22 @@ impl<A: Algorithm, W: Copy + Send> ExecModel for CongestModel<'_, '_, A, W> {
         Ok(())
     }
 
+    fn wire_charge(&self, msg: &A::Msg) -> u64 {
+        msg.size_bits(id_bits(self.sim.g.num_nodes())) as u64
+    }
+
+    fn arq_header_charge(&self) -> u64 {
+        // One fixed 64-bit control word per data copy: the per-link
+        // sequence number (and piggyback room), same width as the
+        // B = Θ(log n) message budget's id fields.
+        64
+    }
+
+    fn arq_ack_charge(&self) -> u64 {
+        // A cumulative ack is one control word.
+        64
+    }
+
     fn end_round(&self, acc: &RoundProfile, _recv: &[usize], round: usize, metrics: &mut Metrics) {
         metrics.messages += acc.messages;
         metrics.bits += acc.volume;
@@ -655,6 +671,37 @@ impl<'g> Simulator<'g> {
         if let Some(max) = cfg.max_rounds {
             sim.max_rounds = max;
         }
+        if let Some(rel) = cfg.reliability {
+            // The reliable (ARQ) executor subsumes the adversary: with
+            // no fault armed it runs over a never-interfering one.
+            let adversary = SeededAdversary::new(cfg.fault.unwrap_or_else(FaultSpec::none));
+            let threads = sim.fault_threads(cfg.engine);
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            let run: Result<Report<A::Output>, SimError> = if cfg.codec {
+                pga_runtime::arq::run_reliable_probed(
+                    &sim.model_codec::<A>(),
+                    nodes,
+                    threads,
+                    sim.kernel_config(),
+                    rel,
+                    &adversary,
+                    probe,
+                )
+                .map(Into::into)
+            } else {
+                pga_runtime::arq::run_reliable_probed(
+                    &sim.model::<A>(),
+                    nodes,
+                    threads,
+                    sim.kernel_config(),
+                    rel,
+                    &adversary,
+                    probe,
+                )
+                .map(Into::into)
+            };
+            return run;
+        }
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);
             let threads = sim.fault_threads(cfg.engine);
@@ -780,6 +827,20 @@ impl<'g> Simulator<'g> {
         sim.scheduling = cfg.scheduling;
         if let Some(max) = cfg.max_rounds {
             sim.max_rounds = max;
+        }
+        if let Some(rel) = cfg.reliability {
+            let adversary = SeededAdversary::new(cfg.fault.unwrap_or_else(FaultSpec::none));
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            return Ok(pga_runtime::arq::run_reliable_probed(
+                &sim.model::<A>(),
+                nodes,
+                sim.fault_threads(cfg.engine),
+                sim.kernel_config(),
+                rel,
+                &adversary,
+                probe,
+            )?
+            .into());
         }
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);

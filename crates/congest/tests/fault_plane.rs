@@ -5,7 +5,7 @@
 //! planes, and a recorded trace must replay bit for bit.
 
 use pga_congest::primitives::FloodMax;
-use pga_congest::{FaultSpec, RunConfig, Simulator};
+use pga_congest::{FaultSpec, ReliabilitySpec, RunConfig, Simulator};
 use pga_graph::{generators, Graph, NodeId};
 use proptest::prelude::*;
 
@@ -105,6 +105,100 @@ proptest! {
                     .codec(codec)
                     .max_rounds(300)
                     .adversary(spec);
+                let r = sim.run_cfg(flood(n), &cfg);
+                match (&base, &r) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.outputs, &b.outputs, "threads {} codec {}", threads, codec);
+                        prop_assert_eq!(&a.metrics, &b.metrics, "threads {} codec {}", threads, codec);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "threads {} codec {}", threads, codec),
+                    _ => prop_assert!(false, "Ok/Err divergence at threads {} codec {}", threads, codec),
+                }
+            }
+        }
+    }
+
+    /// With no adversary armed, the reliable (ARQ) executor reproduces
+    /// the clean engines' outputs at every thread count and on both
+    /// message planes, and the whole run (metrics included) is
+    /// bit-identical across those choices.
+    #[test]
+    fn arq_without_faults_reproduces_clean_outputs(g in arb_instance()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        let clean = sim.run(flood(n)).unwrap();
+        let base_cfg = RunConfig::new().sequential().reliability(ReliabilitySpec::arq());
+        let base = sim.run_cfg(flood(n), &base_cfg).unwrap();
+        prop_assert_eq!(&base.outputs, &clean.outputs);
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = RunConfig::new()
+                    .parallel(threads)
+                    .codec(codec)
+                    .reliability(ReliabilitySpec::arq());
+                let r = sim.run_cfg(flood(n), &cfg).unwrap();
+                prop_assert_eq!(&r.outputs, &clean.outputs, "threads {} codec {}", threads, codec);
+                prop_assert_eq!(&r.metrics, &base.metrics, "threads {} codec {}", threads, codec);
+            }
+        }
+    }
+
+    /// ARQ under drop-only faults (below the dead-link threshold)
+    /// delivers the clean run's outputs **bit-identically** — the
+    /// barrier absorbs retransmission jitter, so actors never observe
+    /// the loss — at threads {1, 2, 4, 8} × both codec planes, with
+    /// replay-identical metrics across all of them.
+    #[test]
+    fn arq_drop_only_recovers_clean_outputs(g in arb_instance(), seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        let clean = sim.run(flood(n)).unwrap();
+        let spec = FaultSpec::seeded(seed).drop(0.10);
+        let base_cfg = RunConfig::new()
+            .sequential()
+            .max_rounds(5_000)
+            .adversary(spec)
+            .reliability(ReliabilitySpec::arq());
+        let base = sim.run_cfg(flood(n), &base_cfg).unwrap();
+        prop_assert_eq!(&base.outputs, &clean.outputs);
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = RunConfig::new()
+                    .parallel(threads)
+                    .codec(codec)
+                    .max_rounds(5_000)
+                    .adversary(spec)
+                    .reliability(ReliabilitySpec::arq());
+                let r = sim.run_cfg(flood(n), &cfg).unwrap();
+                prop_assert_eq!(&r.outputs, &clean.outputs, "threads {} codec {}", threads, codec);
+                prop_assert_eq!(&r.metrics, &base.metrics, "threads {} codec {}", threads, codec);
+            }
+        }
+    }
+
+    /// The full hostile schedule (drops, duplicates, delays, crashes)
+    /// under ARQ stays deterministic across engines, thread counts, and
+    /// planes — degraded, possibly, but reproducibly so.
+    #[test]
+    fn arq_hostile_is_bit_identical_across_engines(g in arb_instance(), seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let sim = Simulator::congest(&g);
+        let spec = hostile(seed);
+        let rel = ReliabilitySpec::arq().with_max_retries(4);
+        let base_cfg = RunConfig::new()
+            .sequential()
+            .max_rounds(2_000)
+            .adversary(spec)
+            .reliability(rel);
+        let base = sim.run_cfg(flood(n), &base_cfg);
+        for threads in [1usize, 2, 4, 8] {
+            for codec in [false, true] {
+                let cfg = RunConfig::new()
+                    .parallel(threads)
+                    .codec(codec)
+                    .max_rounds(2_000)
+                    .adversary(spec)
+                    .reliability(rel);
                 let r = sim.run_cfg(flood(n), &cfg);
                 match (&base, &r) {
                     (Ok(a), Ok(b)) => {

@@ -116,8 +116,9 @@ proptest! {
         let report = Simulator::congest(&g).run(nodes).unwrap();
         let expect: u64 = (0..n as u64).map(|i| i * i).sum();
         for o in &report.outputs {
-            prop_assert_eq!(o.len(), 1);
-            prop_assert_eq!(o[0].value, expect);
+            prop_assert_eq!(o.response.len(), 1);
+            prop_assert_eq!(o.response[0].value, expect);
+            prop_assert!(o.complete);
         }
     }
 
@@ -147,7 +148,8 @@ proptest! {
         );
         // Every node received all k items.
         for o in &report.outputs {
-            prop_assert_eq!(o.len(), k);
+            prop_assert_eq!(o.response.len(), k);
+            prop_assert!(o.complete);
         }
     }
 

@@ -148,27 +148,52 @@ pub fn g2_mvc_congest_mpc_cfg(
     let l = threshold_for_eps(eps);
     let driver = CongestOnMpc::congest(g).with_memory_words(memory_words);
 
-    // Phase I: clique harvesting.
-    let p1 = driver.run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
+    // Phase I: clique harvesting, with the CONGEST entry point's phase
+    // deadline when the reliability plane is armed.
+    let p1_deadline = cfg.phase_deadline(4 * n + 8);
+    let p1 = driver.run_cfg(
+        (0..n)
+            .map(|_| Phase1::new(l).with_deadline(p1_deadline))
+            .collect(),
+        cfg,
+    )?;
+    let mut phase1_metrics = p1.congest;
+    phase1_metrics.fault.degraded += p1.outputs.iter().filter(|o| o.timed_out).count() as u64;
     let p1_out = p1.outputs;
 
-    // Phase II: gather F at the leader, solve, scatter R*.
+    // Phase II: gather F at the leader, solve, scatter R* — with the
+    // same phase deadline as the CONGEST entry point when the
+    // reliability plane is armed.
     let compute: LeaderCompute<FEdge, CoverId> =
         Arc::new(move |edges: Vec<FEdge>| solve_remainder(&edges, solver));
-    let nodes = (0..n)
+    let per_node: Vec<Vec<FEdge>> = (0..n)
         .map(|i| {
             let o = &p1_out[i];
-            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1);
-            GatherScatter::new(items, Arc::clone(&compute))
+            f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1)
         })
+        .collect();
+    let k_total: usize = per_node.iter().map(Vec::len).sum();
+    let deadline = cfg.phase_deadline(4 * (k_total + n) + 10);
+    let nodes = per_node
+        .into_iter()
+        .map(|items| GatherScatter::new(items, Arc::clone(&compute)).with_deadline(deadline))
         .collect();
     let p2 = driver.run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_size = cover.iter().filter(|&&b| b).count();
-    let r_star = &p2.outputs[0];
+    let r_star = &p2.outputs[0].response;
     for c in r_star {
         cover[c.0.index()] = true;
+    }
+    // Phase-timeout fallback: incomplete nodes self-add (validity over
+    // approximation), mirroring the CONGEST entry point.
+    let mut phase2_metrics = p2.congest;
+    for (i, o) in p2.outputs.iter().enumerate() {
+        if !o.complete {
+            phase2_metrics.fault.degraded += 1;
+            cover[i] = true;
+        }
     }
 
     let mut mpc_metrics = p1.mpc;
@@ -178,8 +203,8 @@ pub fn g2_mvc_congest_mpc_cfg(
             cover,
             s_size,
             r_star_size: r_star.len(),
-            phase1_metrics: p1.congest,
-            phase2_metrics: p2.congest,
+            phase1_metrics,
+            phase2_metrics,
         },
         machines: p1.machines.max(p2.machines),
         mpc_metrics,

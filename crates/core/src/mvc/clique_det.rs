@@ -82,6 +82,17 @@ pub(crate) struct CliquePhase2 {
     pub done_count: usize,
     pub solver: LocalSolver,
     pub answered: bool,
+    /// Phase deadline in rounds. At the deadline with reports still
+    /// missing the leader answers `Verdict(true)` to *everyone*: a
+    /// silent node in `S` is the sole reporter of its `R`-incident
+    /// edges, so the two-hop `H`-edges through it are invisible and no
+    /// per-node repair can cover them (same global degradation as an
+    /// incomplete [`GatherScatter`](pga_congest::primitives::GatherScatter)
+    /// gather). A non-leader whose verdict never arrives self-adds at
+    /// `deadline + 8`. Either fallback keeps the cover valid — only
+    /// the approximation degrades.
+    pub deadline: Option<usize>,
+    pub timed_out: bool,
 }
 
 impl CliquePhase2 {
@@ -95,7 +106,15 @@ impl CliquePhase2 {
             done_count: 0,
             solver,
             answered: false,
+            deadline: None,
+            timed_out: false,
         }
+    }
+
+    /// Arms the phase timeout (see the `deadline` field).
+    pub(crate) fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 }
 
@@ -103,7 +122,9 @@ const LEADER: NodeId = NodeId(0);
 
 impl Algorithm for CliquePhase2 {
     type Msg = CliqueMsg;
-    type Output = bool;
+    /// `(in_cover, timed_out)` — membership plus whether this node fell
+    /// back to the phase-timeout path.
+    type Output = (bool, bool);
 
     fn round(&mut self, ctx: &Ctx, inbox: &[(NodeId, CliqueMsg)]) -> Vec<(NodeId, CliqueMsg)> {
         let mut out = Vec::new();
@@ -116,27 +137,50 @@ impl Algorithm for CliquePhase2 {
         }
 
         if ctx.id == LEADER {
-            if !self.answered && self.done_count == ctx.n - 1 {
-                // Everyone reported: solve and answer all nodes at once
-                // (n−1 messages in one round — legal in the clique).
-                let mut edges = std::mem::take(&mut self.gathered);
-                edges.extend(self.items.drain(..));
-                let chosen = solve_remainder(&edges, self.solver);
-                let mut in_cover = vec![false; ctx.n];
-                for c in &chosen {
-                    in_cover[c.0.index()] = true;
-                }
+            let deadline_hit = self.deadline.is_some_and(|d| ctx.round >= d);
+            if !self.answered && (self.done_count == ctx.n - 1 || deadline_hit) {
+                // Everyone reported (or the deadline fired): solve and
+                // answer all nodes at once (n−1 messages in one round —
+                // legal in the clique).
+                let forced = self.done_count != ctx.n - 1;
+                let in_cover = if forced {
+                    // Reports are missing and the leader cannot tell
+                    // which H-edges it never saw (see the `deadline`
+                    // doc): degrade globally, everyone joins.
+                    self.timed_out = true;
+                    vec![true; ctx.n]
+                } else {
+                    let mut edges = std::mem::take(&mut self.gathered);
+                    edges.extend(self.items.drain(..));
+                    let chosen = solve_remainder(&edges, self.solver);
+                    let mut in_cover = vec![false; ctx.n];
+                    for c in &chosen {
+                        in_cover[c.0.index()] = true;
+                    }
+                    in_cover
+                };
                 self.verdict = Some(in_cover[LEADER.index()]);
                 for (j, &in_c) in in_cover.iter().enumerate().skip(1) {
                     out.push((NodeId::from_index(j), CliqueMsg::Verdict(in_c)));
                 }
                 self.answered = true;
             }
-        } else if let Some(e) = self.items.pop_front() {
-            out.push((LEADER, CliqueMsg::Edge(e)));
-        } else if !self.sent_done {
-            out.push((LEADER, CliqueMsg::Done));
-            self.sent_done = true;
+        } else {
+            // Hard deadline: the verdict never arrived (dead link) —
+            // self-add, which covers every F-edge incident to us.
+            if let Some(d) = self.deadline {
+                if ctx.round >= d + 8 && self.verdict.is_none() {
+                    self.verdict = Some(true);
+                    self.timed_out = true;
+                    return out;
+                }
+            }
+            if let Some(e) = self.items.pop_front() {
+                out.push((LEADER, CliqueMsg::Edge(e)));
+            } else if !self.sent_done {
+                out.push((LEADER, CliqueMsg::Done));
+                self.sent_done = true;
+            }
         }
         out
     }
@@ -149,8 +193,18 @@ impl Algorithm for CliquePhase2 {
         }
     }
 
-    fn output(&self, _ctx: &Ctx) -> bool {
-        self.in_s || self.verdict.unwrap_or(false)
+    fn output(&self, ctx: &Ctx) -> (bool, bool) {
+        // No verdict at collection time means the node never finished
+        // the exchange — crashed mid-phase, or the leader's answer was
+        // lost past the deadline fallback. Self-add: conservative, and
+        // unreachable on a clean run (`is_done` requires a verdict).
+        // The single-node leader legitimately never answers itself;
+        // `run_clique_phase2` overrides that case from Phase-I state.
+        let missing = self.verdict.is_none() && ctx.n > 1;
+        (
+            self.in_s || self.verdict.unwrap_or(missing),
+            self.timed_out || missing,
+        )
     }
 }
 
@@ -163,29 +217,39 @@ pub(crate) fn run_clique_phase2(
     cfg: &RunConfig,
 ) -> Result<G2MvcResult, SimError> {
     let n = g.num_nodes();
-    let nodes = (0..n)
+    let per_node: Vec<Vec<FEdge>> = (0..n)
         .map(|i| {
             let o = &p1_out[i];
-            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1);
-            CliquePhase2::new(items, o.in_s, solver)
+            f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1)
         })
+        .collect();
+    // Clean bound: one edge per round per node plus the Done/Verdict
+    // exchange — the upload finishes in k_max + O(1) rounds.
+    let k_max = per_node.iter().map(Vec::len).max().unwrap_or(0);
+    let deadline = cfg.phase_deadline(k_max + 8);
+    let nodes = per_node
+        .into_iter()
+        .zip(p1_out)
+        .map(|(items, o)| CliquePhase2::new(items, o.in_s, solver).with_deadline(deadline))
         .collect();
     let p2 = Simulator::congested_clique(g).run_cfg(nodes, cfg)?;
 
     // Special case n == 1: the leader never answers itself over the wire.
-    let mut cover: Vec<bool> = p2.outputs.clone();
+    let mut cover: Vec<bool> = p2.outputs.iter().map(|&(in_c, _)| in_c).collect();
     if n == 1 {
         cover[0] = p1_out[0].in_s;
     }
     let s_size = p1_out.iter().filter(|o| o.in_s).count();
     let total = cover.iter().filter(|&&b| b).count();
+    let mut phase2_metrics = p2.metrics;
+    phase2_metrics.fault.degraded += p2.outputs.iter().filter(|&&(_, t)| t).count() as u64;
 
     Ok(G2MvcResult {
         cover,
         s_size,
         r_star_size: total - s_size,
         phase1_metrics: p1_metrics,
-        phase2_metrics: p2.metrics,
+        phase2_metrics,
     })
 }
 

@@ -84,6 +84,11 @@ struct VotePhase1 {
     candidate_now: bool,
     votes: usize,
     initialized: bool,
+    /// Phase deadline in rounds (see `Phase1::with_deadline`). The
+    /// voting phase is randomized — only w.h.p. `O(log n)` iterations —
+    /// so under message loss a deadline is what guarantees termination.
+    deadline: Option<usize>,
+    timed_out: bool,
 }
 
 impl VotePhase1 {
@@ -97,7 +102,17 @@ impl VotePhase1 {
             candidate_now: false,
             votes: 0,
             initialized: false,
+            deadline: None,
+            timed_out: false,
         }
+    }
+
+    /// Arms the phase timeout (same conservative fallback as
+    /// `Phase1::with_deadline`: withdraw from `C`, keep the stale —
+    /// superset — R-neighborhood).
+    fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn eligible(&self) -> bool {
@@ -139,6 +154,17 @@ impl Algorithm for VotePhase1 {
                     }
                 }
                 VoteMsg::LeftR => self.remove_r_neighbor(*from),
+            }
+        }
+
+        // Phase-timeout fallback: an undecided node past the deadline
+        // withdraws from C (conservative — see `with_deadline`).
+        if let Some(d) = self.deadline {
+            if ctx.round >= d && self.eligible() {
+                self.in_c = false;
+                self.candidate_now = false;
+                self.timed_out = true;
+                return out;
             }
         }
 
@@ -203,6 +229,7 @@ impl Algorithm for VotePhase1 {
         P1Output {
             in_s: self.in_s,
             r_neighbors: self.r_neighbors.clone(),
+            timed_out: self.timed_out,
         }
     }
 }
@@ -293,12 +320,22 @@ pub fn g2_mvc_clique_rand_cfg(
         G2Prep::Relay => None,
         G2Prep::Bmm => Some(clique_bmm(g, default_cap_words(n), cfg)?.metrics),
     };
-    let p1 = Simulator::congested_clique(g)
-        .run_cfg((0..n).map(|i| VotePhase1::new(eps, seed, i)).collect(), cfg)?;
-    let p1_metrics = match prep_metrics {
+    // Clean w.h.p. bound: O(log n) voting iterations of 4 rounds. The
+    // deadline also guarantees termination when the potential-drop
+    // argument is broken by message loss.
+    let bits = usize::BITS - n.leading_zeros();
+    let p1_deadline = cfg.phase_deadline(4 * (4 * bits as usize + 8) + 8);
+    let p1 = Simulator::congested_clique(g).run_cfg(
+        (0..n)
+            .map(|i| VotePhase1::new(eps, seed, i).with_deadline(p1_deadline))
+            .collect(),
+        cfg,
+    )?;
+    let mut p1_metrics = match prep_metrics {
         Some(prep) => merge_metrics(prep, p1.metrics),
         None => p1.metrics,
     };
+    p1_metrics.fault.degraded += p1.outputs.iter().filter(|o| o.timed_out).count() as u64;
     run_clique_phase2(g, &p1.outputs, p1_metrics, solver, cfg)
 }
 

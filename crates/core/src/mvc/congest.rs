@@ -139,37 +139,66 @@ pub fn g2_mvc_congest_cfg(
     }
     let l = threshold_for_eps(eps);
 
-    // Phase I.
+    // Phase I. Under the reliability plane it carries a deadline from
+    // the clean bound (≤ n winner iterations of 4 rounds each).
+    let p1_deadline = cfg.phase_deadline(4 * n + 8);
     let sim = Simulator::congest(g);
-    let p1 = sim.run_cfg((0..n).map(|_| Phase1::new(l)).collect(), cfg)?;
+    let p1 = sim.run_cfg(
+        (0..n)
+            .map(|_| Phase1::new(l).with_deadline(p1_deadline))
+            .collect(),
+        cfg,
+    )?;
+    let mut phase1_metrics = p1.metrics;
+    phase1_metrics.fault.degraded += p1.outputs.iter().filter(|o| o.timed_out).count() as u64;
     let p1_out = p1.outputs;
 
-    // Phase II: gather F at the leader, solve, scatter R*.
+    // Phase II: gather F at the leader, solve, scatter R*. Under the
+    // reliability plane the gather carries a phase deadline derived
+    // from the clean pipelined-convergecast bound O(k + D); past it the
+    // leader solves over the partial edge set it holds.
     let compute: LeaderCompute<FEdge, CoverId> =
         Arc::new(move |edges: Vec<FEdge>| solve_remainder(&edges, solver));
-    let nodes = (0..n)
+    let per_node: Vec<Vec<FEdge>> = (0..n)
         .map(|i| {
             let o = &p1_out[i];
-            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1);
-            GatherScatter::new(items, Arc::clone(&compute))
+            f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |_| 1)
         })
+        .collect();
+    let k_total: usize = per_node.iter().map(Vec::len).sum();
+    let deadline = cfg.phase_deadline(4 * (k_total + n) + 10);
+    let nodes = per_node
+        .into_iter()
+        .map(|items| GatherScatter::new(items, Arc::clone(&compute)).with_deadline(deadline))
         .collect();
     let p2 = Simulator::congest(g).run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_size = cover.iter().filter(|&&b| b).count();
     // Every node receives the full R* broadcast; membership is local.
-    let r_star = &p2.outputs[0];
+    let r_star = &p2.outputs[0].response;
     for c in r_star {
         cover[c.0.index()] = true;
+    }
+    // Conservative fallback after a phase timeout: a node whose
+    // response is not flagged complete cannot trust R* to cover its
+    // F-edges (the leader may never have seen them), so it self-adds.
+    // Every H-edge then has a covered endpoint — validity is preserved,
+    // only the approximation degrades.
+    let mut phase2_metrics = p2.metrics;
+    for (i, o) in p2.outputs.iter().enumerate() {
+        if !o.complete {
+            phase2_metrics.fault.degraded += 1;
+            cover[i] = true;
+        }
     }
 
     Ok(G2MvcResult {
         cover,
         s_size,
         r_star_size: r_star.len(),
-        phase1_metrics: p1.metrics,
-        phase2_metrics: p2.metrics,
+        phase1_metrics,
+        phase2_metrics,
     })
 }
 

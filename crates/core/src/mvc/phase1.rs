@@ -70,8 +70,15 @@ pub(crate) struct P1Output {
     /// Whether this node joined the cover `S`.
     pub in_s: bool,
     /// Neighbors still in `R = V \ S` at the end of the phase
-    /// (each is at most `threshold` many, Lemma 2).
+    /// (each is at most `threshold` many, Lemma 2). After a phase
+    /// timeout this is a *superset* of the true R-neighborhood (missed
+    /// `LeftR` announcements leave stale entries), which only enlarges
+    /// the edge set Phase II covers — validity is unaffected.
     pub r_neighbors: Vec<NodeId>,
+    /// Whether this node hit the phase deadline and forced itself out
+    /// of the candidate process (see `with_deadline` on the phase
+    /// states). Always `false` on a clean run.
+    pub timed_out: bool,
 }
 
 /// Phase I node state.
@@ -88,6 +95,10 @@ pub(crate) struct Phase1 {
     /// Max candidate id within one hop, computed in step 2.
     one_hop_max: Option<u32>,
     initialized: bool,
+    /// Phase deadline in rounds; at the deadline an undecided node
+    /// withdraws from `C` so the phase quiesces (see `with_deadline`).
+    deadline: Option<usize>,
+    timed_out: bool,
 }
 
 impl Phase1 {
@@ -100,7 +111,21 @@ impl Phase1 {
             candidate_now: false,
             one_hop_max: None,
             initialized: false,
+            deadline: None,
+            timed_out: false,
         }
+    }
+
+    /// Arms the phase timeout: a node still eligible at round
+    /// `deadline` withdraws from the candidate set instead of waiting
+    /// forever (dead links can starve the symmetry breaking). Its
+    /// `r_neighbors` then stays a superset of the true R-neighborhood,
+    /// so the Phase II cover only grows — the result stays a valid
+    /// cover, only the approximation factor degrades. `None` (the
+    /// default) never fires.
+    pub(crate) fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn eligible(&self) -> bool {
@@ -147,6 +172,17 @@ impl Algorithm for Phase1 {
                 P1Msg::LeftR => {
                     self.remove_r_neighbor(*from);
                 }
+            }
+        }
+
+        // Phase-timeout fallback: an undecided node past the deadline
+        // withdraws from C (conservative — see `with_deadline`).
+        if let Some(d) = self.deadline {
+            if ctx.round >= d && self.eligible() {
+                self.in_c = false;
+                self.candidate_now = false;
+                self.timed_out = true;
+                return out;
             }
         }
 
@@ -231,6 +267,7 @@ impl Algorithm for Phase1 {
         P1Output {
             in_s: self.in_s,
             r_neighbors: self.r_neighbors.clone(),
+            timed_out: self.timed_out,
         }
     }
 }

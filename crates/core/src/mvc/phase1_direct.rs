@@ -26,8 +26,7 @@
 
 use crate::mvc::phase1::{P1Output, Phase1};
 use pga_congest::{
-    clique_bmm, Algorithm, Ctx, FaultStats, G2Prep, Metrics, MsgCodec, MsgSize, RunConfig,
-    SimError, Simulator,
+    clique_bmm, Algorithm, Ctx, G2Prep, Metrics, MsgCodec, MsgSize, RunConfig, SimError, Simulator,
 };
 use pga_graph::{Graph, NodeId};
 
@@ -90,6 +89,9 @@ pub(crate) struct DirectPhase1 {
     r_neighbors: Vec<NodeId>,
     candidate_now: bool,
     initialized: bool,
+    /// Phase deadline in rounds (see `Phase1::with_deadline`).
+    deadline: Option<usize>,
+    timed_out: bool,
 }
 
 impl DirectPhase1 {
@@ -102,7 +104,17 @@ impl DirectPhase1 {
             r_neighbors: Vec::new(),
             candidate_now: false,
             initialized: false,
+            deadline: None,
+            timed_out: false,
         }
+    }
+
+    /// Arms the phase timeout (same conservative fallback as
+    /// `Phase1::with_deadline`: withdraw from `C`, keep the stale —
+    /// superset — R-neighborhood).
+    pub(crate) fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn eligible(&self) -> bool {
@@ -146,6 +158,17 @@ impl Algorithm for DirectPhase1 {
                 DirectP1Msg::LeftR => {
                     self.remove_r_neighbor(*from);
                 }
+            }
+        }
+
+        // Phase-timeout fallback: an undecided node past the deadline
+        // withdraws from C (conservative — see `with_deadline`).
+        if let Some(d) = self.deadline {
+            if ctx.round >= d && self.eligible() {
+                self.in_c = false;
+                self.candidate_now = false;
+                self.timed_out = true;
+                return out;
             }
         }
 
@@ -202,6 +225,7 @@ impl Algorithm for DirectPhase1 {
         P1Output {
             in_s: self.in_s,
             r_neighbors: self.r_neighbors.clone(),
+            timed_out: self.timed_out,
         }
     }
 }
@@ -224,9 +248,15 @@ pub(crate) fn run_phase1_with_prep(
     cfg: &RunConfig,
 ) -> Result<(Vec<P1Output>, Metrics), SimError> {
     let n = g.num_nodes();
+    // Clean bound: at most n winner iterations of ≤ 4 rounds each.
+    let deadline = cfg.phase_deadline(4 * n + 8);
     let relay = |cfg: &RunConfig| {
-        Simulator::congested_clique(g)
-            .run_cfg((0..n).map(|_| Phase1::new(threshold)).collect(), cfg)
+        Simulator::congested_clique(g).run_cfg(
+            (0..n)
+                .map(|_| Phase1::new(threshold).with_deadline(deadline))
+                .collect(),
+            cfg,
+        )
     };
     if cfg.g2_prep == G2Prep::Relay {
         let p1 = relay(cfg)?;
@@ -237,7 +267,7 @@ pub(crate) fn run_phase1_with_prep(
         let nodes = prep
             .outputs
             .into_iter()
-            .map(|r| DirectPhase1::new(threshold, r.neighbors))
+            .map(|r| DirectPhase1::new(threshold, r.neighbors).with_deadline(deadline))
             .collect();
         Simulator::congested_clique(g).run_cfg(nodes, cfg)?
     } else {
@@ -265,12 +295,10 @@ pub(crate) fn merge_metrics(prep: Metrics, main: Metrics) -> Metrics {
         bits: prep.bits + main.bits,
         max_message_bits: prep.max_message_bits.max(main.max_message_bits),
         congestion_profile,
-        fault: FaultStats {
-            delivered: prep.fault.delivered + main.fault.delivered,
-            dropped: prep.fault.dropped + main.fault.dropped,
-            duplicated: prep.fault.duplicated + main.fault.duplicated,
-            delayed: prep.fault.delayed + main.fault.delayed,
-            crashed: prep.fault.crashed + main.fault.crashed,
+        fault: {
+            let mut f = prep.fault;
+            f.absorb(&main.fault);
+            f
         },
         convergence_round,
     }
@@ -279,6 +307,7 @@ pub(crate) fn merge_metrics(prep: Metrics, main: Metrics) -> Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pga_congest::FaultStats;
     use pga_graph::generators;
     use pga_graph::power::square;
     use rand::rngs::StdRng;

@@ -406,7 +406,7 @@ mod codec_roundtrip_tests {
             arb_fedge().prop_map(GsMsg::Up),
             Just(GsMsg::UpDone),
             any::<u32>().prop_map(|id| GsMsg::Down(CoverId(NodeId(id)))),
-            Just(GsMsg::DownEnd),
+            any::<bool>().prop_map(|complete| GsMsg::DownEnd { complete }),
         ]
     }
 

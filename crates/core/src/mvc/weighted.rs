@@ -119,6 +119,9 @@ struct WPhase1 {
     w_star: Option<u64>,
     candidate_now: bool,
     one_hop_max: Option<u32>,
+    /// Phase deadline in rounds (see `Phase1::with_deadline`).
+    deadline: Option<usize>,
+    timed_out: bool,
 }
 
 impl WPhase1 {
@@ -133,7 +136,17 @@ impl WPhase1 {
             w_star: None,
             candidate_now: false,
             one_hop_max: None,
+            deadline: None,
+            timed_out: false,
         }
+    }
+
+    /// Arms the phase timeout (same conservative fallback as
+    /// `Phase1::with_deadline`: withdraw from `C`, keep the stale —
+    /// superset — R-neighborhood).
+    fn with_deadline(mut self, deadline: Option<usize>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn bucket_of(&self, w: u64) -> u32 {
@@ -218,6 +231,17 @@ impl Algorithm for WPhase1 {
             return out;
         }
 
+        // Phase-timeout fallback: an undecided node past the deadline
+        // withdraws from C (conservative — see `with_deadline`).
+        if let Some(d) = self.deadline {
+            if ctx.round >= d && self.eligible_bucket().is_some() {
+                self.in_c = false;
+                self.candidate_now = false;
+                self.timed_out = true;
+                return out;
+            }
+        }
+
         // Iterations of four rounds, starting at round 1.
         match (ctx.round - 1) % 4 {
             0 => {
@@ -296,10 +320,25 @@ impl Algorithm for WPhase1 {
         self.is_done(ctx) && !self.candidate_now
     }
 
-    fn output(&self, _ctx: &Ctx) -> crate::mvc::phase1::P1Output {
+    fn output(&self, ctx: &Ctx) -> crate::mvc::phase1::P1Output {
+        // Conservative report set: a neighbor whose Weight announcement
+        // never arrived (crash, dead link) has unknown R-status, so its
+        // edge is reported as if the neighbor were still in R — the
+        // leader's instance only grows. On a clean run every weight
+        // arrives (zero-weight included) and the union is a no-op.
+        let mut r = self.r_neighbors.clone();
+        r.extend(
+            ctx.graph_neighbors
+                .iter()
+                .copied()
+                .filter(|v| !self.nbr_weight.contains_key(v)),
+        );
+        r.sort_unstable();
+        r.dedup();
         crate::mvc::phase1::P1Output {
             in_s: self.in_s,
-            r_neighbors: self.r_neighbors.clone(),
+            r_neighbors: r,
+            timed_out: self.timed_out,
         }
     }
 }
@@ -366,32 +405,42 @@ pub fn g2_mwvc_congest_cfg(
     }
     let n = g.num_nodes();
 
+    // Clean bound: each center wins at most once per weight class
+    // (≤ 65 u64 buckets), 4 rounds per iteration, plus the weight
+    // exchange round.
+    let p1_deadline = cfg.phase_deadline(4 * 65 * n + 12);
     let p1 = Simulator::congest(g).run_cfg(
         (0..n)
-            .map(|i| WPhase1::new(eps, w.get(NodeId::from_index(i))))
+            .map(|i| WPhase1::new(eps, w.get(NodeId::from_index(i))).with_deadline(p1_deadline))
             .collect(),
         cfg,
     )?;
+    let mut phase1_metrics = p1.metrics;
+    phase1_metrics.fault.degraded += p1.outputs.iter().filter(|o| o.timed_out).count() as u64;
     let p1_out = p1.outputs;
 
     let w_vec: Vec<u64> = w.as_slice().to_vec();
     let compute: LeaderCompute<FEdge, CoverId> =
         Arc::new(move |edges: Vec<FEdge>| solve_remainder_weighted(&edges));
-    let nodes = (0..n)
+    let per_node: Vec<Vec<FEdge>> = (0..n)
         .map(|i| {
             let o = &p1_out[i];
-            let wv = w_vec.clone();
-            let items = f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |u| {
-                wv[u.index()]
-            });
-            GatherScatter::new(items, Arc::clone(&compute))
+            f_edges_for_node(NodeId::from_index(i), !o.in_s, &o.r_neighbors, |u| {
+                w_vec[u.index()]
+            })
         })
+        .collect();
+    let k_total: usize = per_node.iter().map(Vec::len).sum();
+    let deadline = cfg.phase_deadline(4 * (k_total + n) + 10);
+    let nodes = per_node
+        .into_iter()
+        .map(|items| GatherScatter::new(items, Arc::clone(&compute)).with_deadline(deadline))
         .collect();
     let p2 = Simulator::congest(g).run_cfg(nodes, cfg)?;
 
     let mut cover: Vec<bool> = p1_out.iter().map(|o| o.in_s).collect();
     let s_weight = w.subset_weight(&cover);
-    let r_star = &p2.outputs[0];
+    let r_star = &p2.outputs[0].response;
     let mut r_star_weight = 0;
     for c in r_star {
         if !cover[c.0.index()] {
@@ -399,13 +448,22 @@ pub fn g2_mwvc_congest_cfg(
         }
         cover[c.0.index()] = true;
     }
+    // Phase-timeout fallback: an incomplete node self-adds so its
+    // F-edges stay covered (validity over approximation).
+    let mut phase2_metrics = p2.metrics;
+    for (i, o) in p2.outputs.iter().enumerate() {
+        if !o.complete {
+            phase2_metrics.fault.degraded += 1;
+            cover[i] = true;
+        }
+    }
 
     Ok(G2MwvcResult {
         cover,
         s_weight,
         r_star_weight,
-        phase1_metrics: p1.metrics,
-        phase2_metrics: p2.metrics,
+        phase1_metrics,
+        phase2_metrics,
     })
 }
 

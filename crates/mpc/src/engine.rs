@@ -502,6 +502,20 @@ impl<A: Machine> ExecModel for MpcModel<'_, A> {
         msg.size_words().max(1)
     }
 
+    fn wire_charge(&self, msg: &A::Msg) -> u64 {
+        msg.size_words().max(1) as u64
+    }
+
+    fn arq_header_charge(&self) -> u64 {
+        // The per-link sequence number rides in one machine word.
+        1
+    }
+
+    fn arq_ack_charge(&self) -> u64 {
+        // A cumulative ack is one machine word.
+        1
+    }
+
     fn check_recv(&self, recv: &[usize], round: usize) -> Result<(), MpcError> {
         // Checked in machine order so both engines report the same
         // first violation.
@@ -729,6 +743,22 @@ impl MpcSimulator {
             sim.max_rounds = max;
         }
         let m = machines.len();
+        if let Some(rel) = cfg.reliability {
+            // The reliable (ARQ) executor subsumes the adversary: with
+            // no fault armed it runs over a never-interfering one.
+            let adversary = SeededAdversary::new(cfg.fault.unwrap_or_else(FaultSpec::none));
+            #[allow(clippy::disallowed_methods)] // the sanctioned wrapper
+            return Ok(pga_runtime::arq::run_reliable_probed(
+                &sim.model::<A>(m),
+                machines,
+                Self::fault_threads(cfg.engine),
+                sim.kernel_config(),
+                rel,
+                &adversary,
+                probe,
+            )?
+            .into());
+        }
         if let Some(spec) = cfg.fault {
             let adversary = SeededAdversary::new(spec);
             #[allow(clippy::disallowed_methods)] // the sanctioned wrapper

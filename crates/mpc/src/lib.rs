@@ -69,7 +69,8 @@ pub use metrics::MpcMetrics;
 /// Fault-injection vocabulary of the adversarial execution plane
 /// (shared with `pga-congest`), re-exported for the same reason.
 pub use pga_congest::{
-    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary, TraceAdversary,
+    Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, ReliabilitySpec,
+    SeededAdversary, TraceAdversary,
 };
 /// Runtime-level message-plane vocabulary (shared with `pga-congest`),
 /// re-exported so adapter callers can implement packed codecs and build

@@ -91,6 +91,13 @@ struct RsMachine<'g> {
     ghost_r1: HashSet<u32>,
     starts: Arc<Vec<usize>>,
     adjacency_words: usize,
+    /// Phase deadline in rounds. At the deadline every hosted vertex
+    /// still undecided joins `R`: `RULED` is truthful (only ever set
+    /// within 2 hops of `R`), so force-joining the undecided preserves
+    /// `G²`-domination — only independence (and the lex-first equality)
+    /// can degrade. `None` (the default) never fires.
+    deadline: Option<usize>,
+    timed_out: bool,
 }
 
 impl RsMachine<'_> {
@@ -164,7 +171,9 @@ impl RsMachine<'_> {
 
 impl Machine for RsMachine<'_> {
     type Msg = RsMsg;
-    type Output = Vec<bool>;
+    /// Hosted membership bits plus whether this machine fell back to
+    /// the phase-timeout path.
+    type Output = (Vec<bool>, bool);
 
     fn round(
         &mut self,
@@ -184,6 +193,26 @@ impl Machine for RsMachine<'_> {
                         self.ghost_r1.insert(*v);
                     }
                 }
+            }
+        }
+
+        // Phase-timeout fallback: all deadlines fire at the same global
+        // round, so every machine force-decides consistently (see the
+        // `deadline` field).
+        if let Some(d) = self.deadline {
+            if ctx.round >= d && self.active() {
+                self.timed_out = true;
+                for s in &mut self.status {
+                    if *s == UNDECIDED {
+                        *s = IN_R;
+                    }
+                }
+                for s in self.ghost_status.values_mut() {
+                    if *s == UNDECIDED {
+                        *s = RULED;
+                    }
+                }
+                return Ok(Vec::new());
             }
         }
 
@@ -304,8 +333,18 @@ impl Machine for RsMachine<'_> {
         false
     }
 
-    fn output(&self, _ctx: &MpcCtx) -> Vec<bool> {
-        self.status.iter().map(|&s| s == IN_R).collect()
+    fn output(&self, _ctx: &MpcCtx) -> (Vec<bool>, bool) {
+        // A vertex still UNDECIDED at collection time (the machine
+        // crashed mid-run, before the deadline fallback could fire)
+        // force-joins R: RULED verdicts are truthful — only ever set
+        // with a ruler within two hops — so joining every undecided
+        // vertex preserves G²-domination. Unreachable on a clean run,
+        // where `is_done` requires every vertex decided.
+        let undecided = self.status.contains(&UNDECIDED);
+        (
+            self.status.iter().map(|&s| s != RULED).collect(),
+            self.timed_out || undecided,
+        )
     }
 }
 
@@ -412,17 +451,23 @@ pub fn g2_ruling_set_mpc_cfg(
             ghost_r1: HashSet::new(),
             starts: Arc::clone(&starts),
             adjacency_words: (lo..hi).map(|v| g.degree(NodeId::from_index(v))).sum(),
+            // Clean bound: ≤ n+1 four-round iterations (the globally
+            // minimal undecided id joins R every iteration).
+            deadline: cfg.phase_deadline(4 * (n + 1) + 8),
+            timed_out: false,
         });
     }
 
     let report = MpcSimulator::new(memory_words).run_cfg(machines, cfg)?;
     let mut in_r = Vec::with_capacity(n);
-    for shard in report.outputs {
+    let mut mpc = report.metrics;
+    for (shard, timed_out) in report.outputs {
         in_r.extend(shard);
+        mpc.fault.degraded += u64::from(timed_out);
     }
     Ok(RulingSetResult {
         in_r,
-        mpc: report.metrics,
+        mpc,
         machines: num_machines,
     })
 }

@@ -8,7 +8,7 @@
 use pga_graph::{generators, Graph};
 use pga_mpc::{
     g2_ruling_set_mpc, g2_ruling_set_mpc_cfg, recommended_ruling_set_memory_words, FaultSpec,
-    Machine, MachineId, MpcCtx, MpcError, MpcSimulator, RunConfig, WordSize,
+    Machine, MachineId, MpcCtx, MpcError, MpcSimulator, ReliabilitySpec, RunConfig, WordSize,
 };
 use proptest::prelude::*;
 
@@ -182,6 +182,71 @@ proptest! {
         }
     }
 
+    /// With no adversary armed, the reliable (ARQ) executor reproduces
+    /// the clean MPC engines' outputs, bit-identically across thread
+    /// counts (metrics included).
+    #[test]
+    fn arq_without_faults_reproduces_clean_outputs(m in 2usize..16) {
+        let sim = MpcSimulator::new(256);
+        let clean = sim.run(gossip(m)).unwrap();
+        let base = sim
+            .run_cfg(gossip(m), &RunConfig::new().sequential().reliability(ReliabilitySpec::arq()))
+            .unwrap();
+        prop_assert_eq!(&base.outputs, &clean.outputs);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = RunConfig::new().parallel(threads).reliability(ReliabilitySpec::arq());
+            let r = sim.run_cfg(gossip(m), &cfg).unwrap();
+            prop_assert_eq!(&r.outputs, &clean.outputs, "threads {}", threads);
+            prop_assert_eq!(&r.metrics, &base.metrics, "threads {}", threads);
+        }
+    }
+
+    /// ARQ under drop-only faults (below the dead-link threshold)
+    /// delivers the clean run's outputs bit-identically at threads
+    /// {1, 2, 4, 8}, with replay-identical metrics.
+    #[test]
+    fn arq_drop_only_recovers_clean_outputs(m in 2usize..16, seed in any::<u64>()) {
+        let sim = MpcSimulator::new(256);
+        let clean = sim.run(gossip(m)).unwrap();
+        let spec = FaultSpec::seeded(seed).drop(0.10);
+        let base_cfg = RunConfig::new()
+            .sequential()
+            .max_rounds(5_000)
+            .adversary(spec)
+            .reliability(ReliabilitySpec::arq());
+        let base = sim.run_cfg(gossip(m), &base_cfg).unwrap();
+        prop_assert_eq!(&base.outputs, &clean.outputs);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = RunConfig::new()
+                .parallel(threads)
+                .max_rounds(5_000)
+                .adversary(spec)
+                .reliability(ReliabilitySpec::arq());
+            let r = sim.run_cfg(gossip(m), &cfg).unwrap();
+            prop_assert_eq!(&r.outputs, &clean.outputs, "threads {}", threads);
+            prop_assert_eq!(&r.metrics, &base.metrics, "threads {}", threads);
+        }
+    }
+
+    /// The native G² ruling set under ARQ with drop-only faults
+    /// reproduces the clean ruling set exactly: the ghost-table
+    /// exchange survives loss via retransmission.
+    #[test]
+    fn ruling_set_arq_drop_only_matches_clean(g in arb_graph(), seed in any::<u64>()) {
+        let words = recommended_ruling_set_memory_words(&g);
+        let clean = g2_ruling_set_mpc(&g, words, pga_mpc::Engine::Sequential).unwrap();
+        let spec = FaultSpec::seeded(seed).drop(0.08);
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::new()
+                .parallel(threads)
+                .max_rounds(20_000)
+                .adversary(spec)
+                .reliability(ReliabilitySpec::arq());
+            let r = g2_ruling_set_mpc_cfg(&g, words, &cfg).unwrap();
+            prop_assert_eq!(&r.in_r, &clean.in_r, "threads {}", threads);
+        }
+    }
+
     /// The `_cfg` ruling-set entry point under `FaultSpec::none()`
     /// reproduces the clean entry point bit for bit.
     #[test]
@@ -219,6 +284,39 @@ proptest! {
                 (Err(a), Err(b)) => prop_assert_eq!(a, b, "threads {}", threads),
                 _ => prop_assert!(false, "Ok/Err divergence at threads {}", threads),
             }
+        }
+    }
+
+    /// The ruling set under the full hostile schedule with ARQ plus
+    /// phase timeouts armed: the fallback force-joins undecided
+    /// vertices into R (RULED verdicts are truthful, so domination is
+    /// preserved), the run always terminates, the result always
+    /// dominates `G²`, and the degradation is deterministic across
+    /// thread counts.
+    #[test]
+    fn ruling_set_timeout_fallback_stays_dominating(g in arb_graph(), seed in any::<u64>()) {
+        let words = recommended_ruling_set_memory_words(&g);
+        let spec = hostile(seed);
+        let rel = ReliabilitySpec::arq().with_max_retries(3).with_phase_timeouts(2);
+        let base_cfg = RunConfig::new()
+            .sequential()
+            .max_rounds(100_000)
+            .adversary(spec)
+            .reliability(rel);
+        let base = g2_ruling_set_mpc_cfg(&g, words, &base_cfg).unwrap();
+        prop_assert!(pga_graph::cover::is_dominating_set_on_square(&g, &base.in_r));
+        for threads in [1usize, 4] {
+            let cfg = RunConfig::new()
+                .parallel(threads)
+                .max_rounds(100_000)
+                .adversary(spec)
+                .reliability(rel);
+            let r = g2_ruling_set_mpc_cfg(&g, words, &cfg).unwrap();
+            prop_assert_eq!(&r.in_r, &base.in_r, "threads {}", threads);
+            prop_assert_eq!(
+                r.mpc.fault.degraded, base.mpc.fault.degraded,
+                "threads {}", threads
+            );
         }
     }
 }

@@ -1,0 +1,915 @@
+//! The reliable delivery plane: a kernel-level sliding-window ARQ
+//! between the [`ExecModel`] round loop and the [`Adversary`]-faulted
+//! network.
+//!
+//! [`run_reliable`] adds a fourth executor family next to the clean
+//! engines and [`run_faulty`](crate::fault::run_faulty). Every
+//! application message rides a per-link (sender → receiver) **sequence
+//! number**; receivers accept frames in order (buffering out-of-order
+//! arrivals), flag a **cumulative ack** back to the sender, and senders
+//! **retransmit** frames unacknowledged for
+//! [`ReliabilitySpec::ack_timeout_rounds`] kernel ticks, up to
+//! [`ReliabilitySpec::max_retries`] times — after which the link is
+//! declared **dead** and its traffic abandoned.
+//!
+//! # Ticks vs. application rounds
+//!
+//! The executor decouples the **kernel tick** (the unit the adversary,
+//! the round budget, the metrics, and the probe plane are clocked on)
+//! from the **application round** (the `round` the actors observe). A
+//! global barrier advances the application clock only when every frame
+//! of the previous application round has been accepted or abandoned,
+//! so under any adversary that kills no link the actors see exactly
+//! the clean run's inboxes in exactly the clean run's order — outputs
+//! are **bit-identical** to the clean executors, and the entire price
+//! of the faults is paid in ticks (rounds stretch), retransmissions,
+//! and ack traffic. Dead links degrade delivery like permanent drops;
+//! phase-level timeouts in the algorithm layer (see
+//! [`ReliabilitySpec::phase_timeout_slack`]) bound the damage.
+//!
+//! # Accounting
+//!
+//! The model charges each logical send once at `step` time, exactly
+//! like the clean engines (first transmission, payload lane). The
+//! executor additionally charges, per actual transmission: the
+//! fixed-width control lane ([`ExecModel::arq_header_charge`]) on
+//! every data copy, full payload + header for every retransmission and
+//! duplicated copy, and [`ExecModel::arq_ack_charge`] per ack frame.
+//! Congestion accounting therefore reflects what actually traversed
+//! each link, retransmits included. The per-payload peak
+//! (`RoundProfile::peak_link`) stays on the payload lane: control
+//! words ride beside the payload, not inside the bandwidth budget.
+//!
+//! # Determinism
+//!
+//! All ARQ state lives on the driving thread in deterministic
+//! containers (`BTreeMap`/`BTreeSet`), frames are ingested in shard
+//! order (ascending sender order, the sequential delivery order), and
+//! adversary verdicts are pure functions of `(tick, sender, transmit
+//! index)` — so outputs, metrics, and errors are bit-identical at
+//! every thread count and across both codec planes, and replay from
+//! `(seed, FaultSpec, ReliabilitySpec)` is exact.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::fault::{sweep_faulty, Adversary, Fate, FaultStats};
+use crate::probe::{NoopProbe, Probe, RoundObs};
+use crate::{
+    balanced_partition, outputs, split_by_bounds, ActorId, ExecModel, KernelConfig, MsgSink,
+    PackedModel, RoundProfile, Run,
+};
+
+/// Knobs of the reliable delivery plane, consumed via
+/// [`RunConfig::reliability`](crate::RunConfig::reliability).
+///
+/// ```
+/// use pga_runtime::ReliabilitySpec;
+///
+/// let spec = ReliabilitySpec::arq().with_phase_timeouts(2);
+/// assert_eq!(spec.window, 32);
+/// assert_eq!(spec.ack_timeout_rounds, 2);
+/// assert_eq!(spec.phase_timeout_slack, 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReliabilitySpec {
+    /// Per-link sliding-window size: how many frames may be
+    /// unacknowledged on one (sender, receiver) link before further
+    /// frames queue at the sender.
+    pub window: u32,
+    /// Retransmit a frame unacknowledged for this many kernel ticks.
+    /// The clean round trip is exactly 2 ticks (data out, ack back),
+    /// so the default of 2 retransmits as early as possible without
+    /// spurious copies on a fault-free link.
+    pub ack_timeout_rounds: u32,
+    /// Give up on a frame after this many retransmissions and declare
+    /// the link **dead**: all of its queued and future traffic is
+    /// abandoned, [`FaultStats::dead_links`] is incremented, and the
+    /// application-level phase timeouts are the remaining safety net.
+    pub max_retries: u32,
+    /// Multiplier on the algorithms' clean-run round bounds that arms
+    /// **phase-level timeouts** in the pipeline layer; `0` (default)
+    /// leaves phases waiting forever. The kernel never reads this —
+    /// pipelines consult it via
+    /// [`ReliabilitySpec::phase_deadline`] when constructing their
+    /// actors.
+    pub phase_timeout_slack: u32,
+}
+
+impl Default for ReliabilitySpec {
+    fn default() -> Self {
+        ReliabilitySpec {
+            window: 32,
+            ack_timeout_rounds: 2,
+            max_retries: 16,
+            phase_timeout_slack: 0,
+        }
+    }
+}
+
+impl ReliabilitySpec {
+    /// The default ARQ plan: window 32, retransmit after 2 ticks, give
+    /// up (dead link) after 16 retries, no phase timeouts.
+    pub fn arq() -> Self {
+        Self::default()
+    }
+
+    /// Sets the sliding-window size.
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Sets the ack timeout in kernel ticks.
+    pub fn with_ack_timeout(mut self, ticks: u32) -> Self {
+        self.ack_timeout_rounds = ticks.max(1);
+        self
+    }
+
+    /// Sets the retry budget before a link is declared dead.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Arms phase-level timeouts with the given slack multiplier on
+    /// each phase's clean-run round bound.
+    pub fn with_phase_timeouts(mut self, slack: u32) -> Self {
+        self.phase_timeout_slack = slack;
+        self
+    }
+
+    /// The application-round deadline for a phase whose clean run is
+    /// bounded by `clean_bound` rounds, or `None` when phase timeouts
+    /// are not armed.
+    pub fn phase_deadline(&self, clean_bound: usize) -> Option<usize> {
+        (self.phase_timeout_slack > 0)
+            .then(|| clean_bound.saturating_mul(self.phase_timeout_slack as usize))
+    }
+}
+
+/// One unacknowledged frame at a sender.
+struct Frame<M: ExecModel> {
+    seq: u64,
+    msg: M::Msg,
+    last_tx: usize,
+    retries: u32,
+}
+
+/// Per-(sender, receiver) link state: the sender's window on the left,
+/// the receiver's in-order acceptance cursor on the right. Everything
+/// lives on the driving thread.
+struct LinkState<M: ExecModel> {
+    /// Sender: next fresh sequence number.
+    next_seq: u64,
+    /// Sender: frames accepted by the app but waiting for window room.
+    queued: VecDeque<(u64, M::Msg)>,
+    /// Sender: transmitted frames awaiting acknowledgment.
+    unacked: VecDeque<Frame<M>>,
+    /// Receiver: next in-order sequence number to accept.
+    expected: u64,
+    /// Receiver: out-of-order arrivals buffered until the gap fills.
+    reorder: BTreeMap<u64, M::Msg>,
+    /// Declared dead (retry budget exhausted, or an endpoint crashed):
+    /// all traffic is abandoned and arrivals are discarded.
+    dead: bool,
+}
+
+impl<M: ExecModel> LinkState<M> {
+    fn new() -> Self {
+        LinkState {
+            next_seq: 0,
+            queued: VecDeque::new(),
+            unacked: VecDeque::new(),
+            expected: 0,
+            reorder: BTreeMap::new(),
+            dead: false,
+        }
+    }
+
+    /// Abandons every frame this link still owes the application and
+    /// returns how many of them counted against the global barrier.
+    fn kill(&mut self) -> u64 {
+        self.dead = true;
+        let mut abandoned = 0u64;
+        for f in self.unacked.drain(..) {
+            // An unacked frame holds the barrier unless the receiver
+            // already accepted it (its ack was lost in flight).
+            if f.seq >= self.expected && !self.reorder.contains_key(&f.seq) {
+                abandoned += 1;
+            }
+        }
+        abandoned += self.reorder.len() as u64;
+        self.reorder.clear();
+        abandoned += self.queued.len() as u64;
+        self.queued.clear();
+        abandoned
+    }
+}
+
+/// A copy in flight: delivered when the tick clock reaches `arrive`.
+struct InFlight<M: ExecModel> {
+    arrive: usize,
+    from: u32,
+    to: u32,
+    payload: Payload<M>,
+}
+
+enum Payload<M: ExecModel> {
+    Data {
+        from_id: M::Id,
+        seq: u64,
+        msg: M::Msg,
+    },
+    /// Cumulative: every data seq `< cum` on the `from → to`-reversed
+    /// link is acknowledged.
+    Ack { cum: u64 },
+}
+
+/// The staging sink of the reliable executor: raw sends are collected
+/// per shard (in outbox order) and handed to the driving-thread ARQ
+/// pump; the model charges each logical send once, exactly like the
+/// clean sinks.
+struct ReliableSink<'a, M: ExecModel> {
+    out: &'a mut Vec<(u32, M::Id, M::Msg)>,
+}
+
+impl<M: ExecModel> MsgSink<M> for ReliableSink<'_, M> {
+    #[inline]
+    fn deliver(&mut self, _model: &M, to: M::Id, from: M::Id, msg: M::Msg) -> u32 {
+        self.out.push((to.index() as u32, from, msg));
+        1
+    }
+}
+
+/// Per-shard staging reused across ticks.
+struct ShardStage<M: ExecModel> {
+    out: Vec<(u32, M::Id, M::Msg)>,
+    scratch: M::SendScratch,
+}
+
+impl<M: ExecModel> ShardStage<M> {
+    fn new() -> Self {
+        ShardStage {
+            out: Vec::new(),
+            scratch: M::SendScratch::default(),
+        }
+    }
+}
+
+/// Runs `nodes` to completion on the reliable (ARQ) executor under
+/// `adversary`.
+///
+/// See the module docs for the tick/application-round split, the
+/// accounting contract, and the determinism guarantees. A run under a
+/// never-interfering adversary produces the clean executors' outputs
+/// with a constant tick tail (the final ack drain); under drop, delay,
+/// and duplicate faults the outputs stay bit-identical to the clean
+/// run and only the metrics stretch; dead links (retry exhaustion or
+/// crashes) degrade delivery like permanent drops.
+///
+/// # Errors
+///
+/// Returns the model's error exactly like the other executors: the
+/// lowest-indexed actor's violation, or the round-limit error when the
+/// **tick** budget runs out.
+pub fn run_reliable<M>(
+    model: &M,
+    nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    spec: ReliabilitySpec,
+    adversary: &dyn Adversary,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+{
+    #[allow(clippy::disallowed_methods)] // the probed twin of this wrapper
+    run_reliable_probed(model, nodes, threads, cfg, spec, adversary, &NoopProbe)
+}
+
+/// [`run_reliable`] with a [`Probe`] attached: identical outputs,
+/// metrics, and errors (observer neutrality), plus per-tick telemetry
+/// including retransmit/ack counters in the fault-stat deltas handed
+/// to [`Probe::on_fault_event`].
+///
+/// # Errors
+///
+/// Returns the model's error like [`run_reliable`].
+pub fn run_reliable_probed<M, P>(
+    model: &M,
+    nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    spec: ReliabilitySpec,
+    adversary: &dyn Adversary,
+    probe: &P,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+    P: Probe,
+{
+    if model.packs() {
+        run_reliable_inner(
+            &PackedModel(model),
+            nodes,
+            threads,
+            cfg,
+            spec,
+            adversary,
+            probe,
+        )
+    } else {
+        run_reliable_inner(model, nodes, threads, cfg, spec, adversary, probe)
+    }
+}
+
+/// Central ARQ bookkeeping of one run (driving thread only).
+struct ArqState<M: ExecModel> {
+    /// Directional link table, keyed `(sender index, receiver index)`.
+    links: BTreeMap<(u32, u32), LinkState<M>>,
+    /// Copies in flight on the faulted network.
+    wire: Vec<InFlight<M>>,
+    /// Receivers owing a cumulative ack, keyed
+    /// `(receiver index, sender index)`.
+    ack_pending: BTreeSet<(u32, u32)>,
+    /// Frames sent by the application and not yet accepted or
+    /// abandoned — the global barrier is open iff this is zero.
+    outstanding: u64,
+    /// Transmitted frames awaiting acknowledgment, across all links.
+    unacked_total: u64,
+    stats: FaultStats,
+}
+
+/// Rolls the adversary for one transmission and places the surviving
+/// copies on the wire. Returns the number of copies. A free function
+/// over the disjoint [`ArqState`] fields so the link pump can call it
+/// while iterating the link table.
+#[allow(clippy::too_many_arguments)]
+fn transmit<M: ExecModel>(
+    wire: &mut Vec<InFlight<M>>,
+    stats: &mut FaultStats,
+    adversary: &dyn Adversary,
+    tick: usize,
+    tx_seq: &mut [u32],
+    from: u32,
+    to: u32,
+    payload: Payload<M>,
+) -> u32 {
+    let k = tx_seq[from as usize];
+    tx_seq[from as usize] += 1;
+    match adversary.fate(tick as u32, from, k) {
+        Fate::Drop => {
+            stats.dropped += 1;
+            0
+        }
+        Fate::Deliver => {
+            wire.push(InFlight {
+                arrive: tick + 1,
+                from,
+                to,
+                payload,
+            });
+            1
+        }
+        Fate::Duplicate => {
+            stats.duplicated += 1;
+            let copy = match &payload {
+                Payload::Data { from_id, seq, msg } => Payload::Data {
+                    from_id: *from_id,
+                    seq: *seq,
+                    msg: msg.clone(),
+                },
+                Payload::Ack { cum } => Payload::Ack { cum: *cum },
+            };
+            wire.push(InFlight {
+                arrive: tick + 1,
+                from,
+                to,
+                payload: copy,
+            });
+            wire.push(InFlight {
+                arrive: tick + 1,
+                from,
+                to,
+                payload,
+            });
+            2
+        }
+        Fate::Delay(d) => {
+            stats.delayed += 1;
+            wire.push(InFlight {
+                arrive: tick + 1 + d.max(1) as usize,
+                from,
+                to,
+                payload,
+            });
+            1
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_reliable_inner<M, P>(
+    model: &M,
+    mut nodes: Vec<M::Node>,
+    threads: usize,
+    cfg: KernelConfig,
+    spec: ReliabilitySpec,
+    adversary: &dyn Adversary,
+    probe: &P,
+) -> Result<Run<M::Output, M::Metrics>, M::Error>
+where
+    M: ExecModel,
+    M::Node: Send,
+    M::Msg: Send,
+    M::Error: Send,
+    P: Probe,
+{
+    let n = nodes.len();
+    let mut metrics = M::Metrics::default();
+    model.pre_run(&nodes, &mut metrics)?;
+
+    let window = spec.window.max(1) as usize;
+    let ack_timeout = spec.ack_timeout_rounds.max(1) as usize;
+    let header = model.arq_header_charge();
+    let ack_charge = model.arq_ack_charge();
+
+    // Crash table fixed up front, exactly like the adversarial
+    // executor (tick clock): a crash severs every link of the actor,
+    // in-flight mail included.
+    let crash: Vec<Option<u32>> = (0..n).map(|i| adversary.crash_round(i as u32)).collect();
+    let mut crashed = vec![false; n];
+
+    let (bounds, costs) = if threads > 1 && n >= 2 * threads {
+        let costs: Vec<u64> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| model.actor_cost(node, i))
+            .collect();
+        (balanced_partition(&costs, threads), costs)
+    } else {
+        (vec![0, n], Vec::new())
+    };
+    let num_shards = bounds.len() - 1;
+    let run_start = P::ENABLED.then(std::time::Instant::now);
+    if P::ENABLED {
+        probe.on_run_start(n, &bounds, &costs);
+    }
+
+    let mut inboxes: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut staging: Vec<Vec<(M::Id, M::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut recv: Vec<usize> = if M::TRACK_RECV {
+        vec![0; n]
+    } else {
+        Vec::new()
+    };
+    let mut active = vec![true; n];
+    let mut dormant = vec![false; n];
+    let mut shard_state: Vec<ShardStage<M>> = (0..num_shards).map(|_| ShardStage::new()).collect();
+    let mut arq: ArqState<M> = ArqState {
+        links: BTreeMap::new(),
+        wire: Vec::new(),
+        ack_pending: BTreeSet::new(),
+        outstanding: 0,
+        unacked_total: 0,
+        stats: FaultStats::default(),
+    };
+    let mut tx_seq = vec![0u32; n];
+    let mut fault_seen = FaultStats::default();
+    let mut tick = 0usize;
+    let mut app_round = 0usize;
+    let mut delivered: u64 = 0;
+    let mut convergence = 0usize;
+
+    loop {
+        // Crash activation (tick clock): sever the victim's links.
+        for i in 0..n {
+            if !crashed[i] && matches!(crash[i], Some(r) if (r as usize) <= tick) {
+                crashed[i] = true;
+                arq.stats.crashed += 1;
+                let v = i as u32;
+                for (&(a, b), link) in arq.links.iter_mut() {
+                    if (a == v || b == v) && !link.dead {
+                        let abandoned = link.kill();
+                        arq.outstanding -= abandoned;
+                        arq.unacked_total = arq.unacked_total.saturating_sub(abandoned);
+                    }
+                }
+            }
+        }
+        // Fix the per-link unacked totals after a kill sweep: `kill`
+        // drains unacked wholesale, so recompute the global tally from
+        // the surviving links only when a crash actually fired. (The
+        // dead-link path below adjusts incrementally.)
+        if arq.stats.crashed > fault_seen.crashed || tick == 0 {
+            arq.unacked_total = arq
+                .links
+                .values()
+                .map(|l| l.unacked.len() as u64)
+                .sum::<u64>();
+        }
+
+        // Wire delivery: copies transmitted earlier whose arrival tick
+        // is now.
+        let mut delivered_now = 0u64;
+        let mut i = 0;
+        while i < arq.wire.len() {
+            if arq.wire[i].arrive != tick {
+                i += 1;
+                continue;
+            }
+            let InFlight {
+                from, to, payload, ..
+            } = arq.wire.swap_remove(i);
+            match payload {
+                Payload::Data { from_id, seq, msg } => {
+                    let link = arq
+                        .links
+                        .entry((from, to))
+                        .or_insert_with(LinkState::<M>::new);
+                    if link.dead || crashed[to as usize] {
+                        arq.stats.dropped += 1;
+                        continue;
+                    }
+                    if seq < link.expected || link.reorder.contains_key(&seq) {
+                        // Stale or duplicate copy: the cumulative ack
+                        // was lost — re-flag it.
+                        arq.ack_pending.insert((to, from));
+                        continue;
+                    }
+                    link.reorder.insert(seq, msg);
+                    while let Some(m) = link.reorder.remove(&link.expected) {
+                        if M::TRACK_RECV {
+                            recv[to as usize] += model.recv_charge(&m);
+                        }
+                        staging[to as usize].push((from_id, m));
+                        link.expected += 1;
+                        arq.outstanding -= 1;
+                        delivered_now += 1;
+                    }
+                    arq.ack_pending.insert((to, from));
+                }
+                Payload::Ack { cum } => {
+                    // Ack for the reversed link: `from` here is the
+                    // receiver acknowledging `to`'s data.
+                    if let Some(link) = arq.links.get_mut(&(to, from)) {
+                        while link.unacked.front().is_some_and(|f| f.seq < cum) {
+                            link.unacked.pop_front();
+                            arq.unacked_total -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Barrier: the application clock advances only when every
+        // frame of the previous application round is resolved.
+        let barrier_open = arq.outstanding == 0;
+        let mut quiescent = false;
+        if barrier_open {
+            for (i, stage) in staging.iter_mut().enumerate() {
+                if !stage.is_empty() {
+                    // Acceptance order can interleave senders across
+                    // ticks; the stable per-sender sort restores the
+                    // sequential executor's inbox order (per-link
+                    // frames are already in send order).
+                    stage.sort_by_key(|(from, _)| from.index());
+                    std::mem::swap(&mut inboxes[i], stage);
+                    stage.clear();
+                }
+            }
+            quiescent = sweep_faulty(
+                model,
+                &nodes,
+                &inboxes,
+                &crashed,
+                app_round,
+                cfg.scheduling,
+                &mut active,
+                &mut dormant,
+            );
+            if quiescent
+                && arq.wire.is_empty()
+                && arq.unacked_total == 0
+                && arq.ack_pending.is_empty()
+            {
+                break;
+            }
+        }
+        if tick >= cfg.max_rounds {
+            return Err(model.round_limit_error(cfg.max_rounds));
+        }
+
+        let round_start = P::ENABLED.then(std::time::Instant::now);
+        if P::ENABLED {
+            probe.on_round_start(tick);
+        }
+        let mut acc = RoundProfile::for_probe::<P>();
+
+        // Phase A: step one application round (sharded), staging raw
+        // sends — only when the barrier is open and someone is live.
+        let stepped = barrier_open && !quiescent;
+        if stepped {
+            if num_shards == 1 {
+                let shard_start = P::ENABLED.then(std::time::Instant::now);
+                let st = &mut shard_state[0];
+                let mut sink = ReliableSink::<M> { out: &mut st.out };
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    model.step(
+                        node,
+                        i,
+                        app_round,
+                        &inboxes[i],
+                        &mut st.scratch,
+                        &mut acc,
+                        &mut sink,
+                    )?;
+                    inboxes[i].clear();
+                }
+                if P::ENABLED {
+                    probe.on_shard(
+                        tick,
+                        0,
+                        shard_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                        acc.messages,
+                        acc.volume,
+                    );
+                }
+            } else {
+                type ShardOut<M> = (Result<RoundProfile, <M as ExecModel>::Error>, u64);
+                let shard_results: Vec<Option<ShardOut<M>>> = {
+                    let bounds = &bounds;
+                    let active = &active;
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = split_by_bounds(&mut nodes, bounds)
+                            .into_iter()
+                            .zip(split_by_bounds(&mut inboxes, bounds))
+                            .zip(shard_state.iter_mut())
+                            .enumerate()
+                            .map(|(si, ((shard_nodes, shard_inboxes), st))| {
+                                let base = bounds[si];
+                                let act = &active[base..bounds[si + 1]];
+                                if !act.iter().any(|&a| a) {
+                                    return None;
+                                }
+                                Some(s.spawn(move || {
+                                    let shard_start = P::ENABLED.then(std::time::Instant::now);
+                                    let mut acc = RoundProfile::for_probe::<P>();
+                                    let mut sink = ReliableSink::<M> { out: &mut st.out };
+                                    let mut stepped = Ok(());
+                                    for (k, node) in shard_nodes.iter_mut().enumerate() {
+                                        if !act[k] {
+                                            continue;
+                                        }
+                                        if let Err(e) = model.step(
+                                            node,
+                                            base + k,
+                                            app_round,
+                                            &shard_inboxes[k],
+                                            &mut st.scratch,
+                                            &mut acc,
+                                            &mut sink,
+                                        ) {
+                                            stepped = Err(e);
+                                            break;
+                                        }
+                                        shard_inboxes[k].clear();
+                                    }
+                                    let ns =
+                                        shard_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                    (stepped.map(|()| acc), ns)
+                                }))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| {
+                                h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                            })
+                            .collect()
+                    })
+                };
+                for (si, r) in shard_results.into_iter().enumerate() {
+                    let Some((r, shard_ns)) = r else { continue };
+                    let p = r?;
+                    if P::ENABLED {
+                        probe.on_shard(tick, si, shard_ns, p.messages, p.volume);
+                    }
+                    acc.merge(&p);
+                }
+            }
+            app_round += 1;
+        }
+
+        // Phase B (driving thread): ingest fresh sends in shard order
+        // — ascending sender order — then pump every link.
+        let exchange_start = P::ENABLED.then(std::time::Instant::now);
+        tx_seq.fill(0);
+        for st in shard_state.iter_mut() {
+            for (to, from_id, msg) in st.out.drain(..) {
+                let from = from_id.index() as u32;
+                let link = arq
+                    .links
+                    .entry((from, to))
+                    .or_insert_with(LinkState::<M>::new);
+                if link.dead || crashed[to as usize] {
+                    // Permanent loss: the frame is charged (it left the
+                    // sender) but never traverses.
+                    arq.stats.dropped += 1;
+                    continue;
+                }
+                let seq = link.next_seq;
+                link.next_seq += 1;
+                link.queued.push_back((seq, msg));
+                arq.outstanding += 1;
+            }
+        }
+        // Pump: retransmit due frames, declare dead links, then open
+        // the window for fresh frames — in deterministic link order.
+        let mut killed: Vec<(u32, u32)> = Vec::new();
+        for (&(from, to), link) in arq.links.iter_mut() {
+            if link.dead {
+                continue;
+            }
+            let mut give_up = false;
+            for fi in 0..link.unacked.len() {
+                let due = {
+                    let f = &link.unacked[fi];
+                    tick - f.last_tx >= ack_timeout
+                };
+                if !due {
+                    continue;
+                }
+                if link.unacked[fi].retries >= spec.max_retries {
+                    give_up = true;
+                    break;
+                }
+                link.unacked[fi].retries += 1;
+                link.unacked[fi].last_tx = tick;
+                let (seq, msg) = {
+                    let f = &link.unacked[fi];
+                    (f.seq, f.msg.clone())
+                };
+                arq.stats.retransmitted += 1;
+                let wire_cost = model.wire_charge(&msg);
+                let copies = transmit(
+                    &mut arq.wire,
+                    &mut arq.stats,
+                    adversary,
+                    tick,
+                    &mut tx_seq,
+                    from,
+                    to,
+                    Payload::Data {
+                        from_id: M::Id::from_index(from as usize),
+                        seq,
+                        msg,
+                    },
+                );
+                acc.messages += 1 + u64::from(copies.saturating_sub(1));
+                acc.volume += u64::from(copies.max(1)) * (wire_cost + header);
+                acc.observe_size(wire_cost, copies.max(1));
+            }
+            if give_up {
+                let before_unacked = link.unacked.len() as u64;
+                let abandoned = link.kill();
+                arq.outstanding -= abandoned;
+                arq.unacked_total -= before_unacked;
+                arq.stats.dead_links += 1;
+                killed.push((to, from));
+                continue;
+            }
+            while link.unacked.len() < window {
+                let Some((seq, msg)) = link.queued.pop_front() else {
+                    break;
+                };
+                let wire_cost = model.wire_charge(&msg);
+                let copies = transmit(
+                    &mut arq.wire,
+                    &mut arq.stats,
+                    adversary,
+                    tick,
+                    &mut tx_seq,
+                    from,
+                    to,
+                    Payload::Data {
+                        from_id: M::Id::from_index(from as usize),
+                        seq,
+                        msg: msg.clone(),
+                    },
+                );
+                // The model charged this frame's payload at step time;
+                // the executor adds the control lane and any extra
+                // adversary copy.
+                acc.volume += u64::from(copies.max(1)) * header;
+                if copies > 1 {
+                    acc.messages += u64::from(copies - 1);
+                    acc.volume += u64::from(copies - 1) * wire_cost;
+                    acc.observe_size(wire_cost, copies - 1);
+                }
+                link.unacked.push_back(Frame {
+                    seq,
+                    msg,
+                    last_tx: tick,
+                    retries: 0,
+                });
+                arq.unacked_total += 1;
+            }
+        }
+        // Acks: one cumulative control frame per flagged (receiver,
+        // sender) pair, in deterministic order.
+        let pending: Vec<(u32, u32)> = std::mem::take(&mut arq.ack_pending).into_iter().collect();
+        for (to, from) in pending {
+            // `to` acknowledges data it received from `from` — the ack
+            // travels to → from.
+            let cum = arq.links.get(&(from, to)).map_or(0, |l| l.expected);
+            arq.stats.acks += 1;
+            let copies = transmit(
+                &mut arq.wire,
+                &mut arq.stats,
+                adversary,
+                tick,
+                &mut tx_seq,
+                to,
+                from,
+                Payload::Ack { cum },
+            );
+            acc.messages += 1;
+            acc.volume += u64::from(copies.max(1)) * ack_charge;
+        }
+        let _ = killed;
+        if P::ENABLED {
+            probe.on_exchange(
+                tick,
+                exchange_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
+        }
+
+        if M::TRACK_RECV {
+            model.check_recv(&recv, tick)?;
+        }
+        if delivered_now > 0 {
+            convergence = tick + 2;
+        }
+        delivered += delivered_now;
+        model.end_round(&acc, &recv, tick, &mut metrics);
+        if P::ENABLED {
+            let now = arq.stats;
+            let delta = FaultStats {
+                delivered: delivered_now,
+                dropped: now.dropped - fault_seen.dropped,
+                duplicated: now.duplicated - fault_seen.duplicated,
+                delayed: now.delayed - fault_seen.delayed,
+                crashed: now.crashed - fault_seen.crashed,
+                retransmitted: now.retransmitted - fault_seen.retransmitted,
+                acks: now.acks - fault_seen.acks,
+                dead_links: now.dead_links - fault_seen.dead_links,
+                degraded: 0,
+            };
+            probe.on_fault_event(tick, &delta, arq.wire.len());
+            fault_seen = now;
+            probe.on_round_end(&RoundObs {
+                round: tick,
+                wall_ns: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                messages: acc.messages,
+                volume: acc.volume,
+                peak_link: acc.peak_link,
+                active: active.iter().filter(|&&a| a).count(),
+                sizes: acc.sizes.as_deref(),
+            });
+        } else {
+            fault_seen = arq.stats;
+        }
+        if M::TRACK_RECV {
+            recv.fill(0);
+        }
+        tick += 1;
+    }
+
+    let mut stats = arq.stats;
+    stats.delivered = delivered;
+    model.finish(&mut metrics, &stats, convergence);
+    if P::ENABLED {
+        if stats.crashed > fault_seen.crashed {
+            let residual = FaultStats {
+                crashed: stats.crashed - fault_seen.crashed,
+                ..FaultStats::default()
+            };
+            probe.on_fault_event(tick, &residual, arq.wire.len());
+        }
+        probe.on_run_end(tick, run_start.map_or(0, |t| t.elapsed().as_nanos() as u64));
+    }
+    Ok(Run {
+        outputs: outputs(model, &nodes, app_round),
+        metrics,
+    })
+}

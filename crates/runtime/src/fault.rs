@@ -406,15 +406,32 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Actors whose crash round fell inside the run.
     pub crashed: u64,
+    /// Data frames retransmitted by the reliable executor (always 0 on
+    /// the raw adversarial path).
+    pub retransmitted: u64,
+    /// Cumulative ack frames transmitted by the reliable executor.
+    pub acks: u64,
+    /// Links declared dead after exhausting the ARQ retry budget or
+    /// losing an endpoint to a crash-induced sever.
+    pub dead_links: u64,
+    /// Phases that hit their timeout and fell back to a partial
+    /// aggregate (set by the pipeline layer, not the kernel).
+    pub degraded: u64,
 }
 
 impl FaultStats {
-    fn absorb(&mut self, other: &FaultStats) {
+    /// Adds every counter of `other` into `self` — for merging the
+    /// tallies of back-to-back phases into one run's worth.
+    pub fn absorb(&mut self, other: &FaultStats) {
         self.delivered += other.delivered;
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
         self.delayed += other.delayed;
         self.crashed += other.crashed;
+        self.retransmitted += other.retransmitted;
+        self.acks += other.acks;
+        self.dead_links += other.dead_links;
+        self.degraded += other.degraded;
     }
 }
 
@@ -592,7 +609,7 @@ where
 /// never stepped; everything else matches the clean kernel sweep
 /// (including the active-set dormancy cache).
 #[allow(clippy::too_many_arguments)]
-fn sweep_faulty<M: ExecModel>(
+pub(crate) fn sweep_faulty<M: ExecModel>(
     model: &M,
     nodes: &[M::Node],
     inboxes: &[Vec<(M::Id, M::Msg)>],
@@ -904,6 +921,7 @@ where
                 duplicated: now.duplicated - fault_seen.duplicated,
                 delayed: now.delayed - fault_seen.delayed,
                 crashed: now.crashed - fault_seen.crashed,
+                ..FaultStats::default()
             };
             probe.on_fault_event(round, &delta, delay.len());
             fault_seen = now;

@@ -126,9 +126,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arq;
 pub mod fault;
 pub mod probe;
 
+pub use arq::{run_reliable, ReliabilitySpec};
 pub use fault::{
     run_faulty, Adversary, Fate, FaultEvent, FaultSpec, FaultStats, FaultTrace, SeededAdversary,
     TraceAdversary,
@@ -327,6 +329,16 @@ pub struct RunConfig {
     /// small budget so runs that an adversary starves into livelock
     /// abort quickly with the model's round-limit error.
     pub max_rounds: Option<usize>,
+    /// Reliable-delivery plan for the run (default `None` = raw
+    /// delivery). `Some(spec)` routes the run through the ARQ executor
+    /// ([`arq::run_reliable`]), which sequences, acknowledges, and
+    /// retransmits every application message over the (possibly
+    /// faulted) network — composable with [`RunConfig::fault`]: with no
+    /// adversary armed the ARQ run reproduces the clean outputs with a
+    /// constant round tail, and under drop/delay/duplicate faults the
+    /// outputs stay bit-identical to the clean run while the metrics
+    /// record the price of reliability.
+    pub reliability: Option<ReliabilitySpec>,
     /// Trace-sink activation policy (default [`ProbeMode::Env`]: the
     /// run streams a [`JsonlProbe`] trace to the path named by the
     /// `PGA_TRACE` environment variable, if any). Probes are read-only
@@ -417,6 +429,20 @@ impl RunConfig {
     pub fn max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = Some(rounds);
         self
+    }
+
+    /// Arms the reliable delivery plane (see [`RunConfig::reliability`]
+    /// and [`ReliabilitySpec`]).
+    pub fn reliability(mut self, spec: ReliabilitySpec) -> Self {
+        self.reliability = Some(spec);
+        self
+    }
+
+    /// The application-round deadline for a phase whose clean run is
+    /// bounded by `clean_bound` rounds: `Some` only when a
+    /// [`ReliabilitySpec`] with phase timeouts armed is attached.
+    pub fn phase_deadline(&self, clean_bound: usize) -> Option<usize> {
+        self.reliability.and_then(|r| r.phase_deadline(clean_bound))
     }
 
     /// Selects the trace-sink activation policy (see
@@ -689,6 +715,28 @@ pub trait ExecModel: Sync {
     /// (only consulted when [`ExecModel::TRACK_RECV`] is set).
     fn recv_charge(&self, _msg: &Self::Msg) -> usize {
         0
+    }
+
+    /// The payload cost of one wire copy of `msg` in the model's volume
+    /// unit (bits for CONGEST, words for MPC) — what the reliable
+    /// executor charges for each *re*transmission, matching what the
+    /// model charged the first transmission at `step` time. Only
+    /// consulted by [`arq::run_reliable`].
+    fn wire_charge(&self, _msg: &Self::Msg) -> u64 {
+        1
+    }
+
+    /// The fixed-width ARQ control-lane cost (sequence number) that
+    /// rides beside every data copy, in the model's volume unit. Only
+    /// consulted by [`arq::run_reliable`].
+    fn arq_header_charge(&self) -> u64 {
+        0
+    }
+
+    /// The cost of one cumulative-ack control frame, in the model's
+    /// volume unit. Only consulted by [`arq::run_reliable`].
+    fn arq_ack_charge(&self) -> u64 {
+        1
     }
 
     /// Validates the per-destination receive tally after all actors
@@ -1366,6 +1414,18 @@ where
 
     fn recv_charge(&self, msg: &M::Packed) -> usize {
         self.0.recv_charge(&self.0.unpack(*msg))
+    }
+
+    fn wire_charge(&self, msg: &M::Packed) -> u64 {
+        self.0.wire_charge(&self.0.unpack(*msg))
+    }
+
+    fn arq_header_charge(&self) -> u64 {
+        self.0.arq_header_charge()
+    }
+
+    fn arq_ack_charge(&self) -> u64 {
+        self.0.arq_ack_charge()
     }
 
     fn check_recv(&self, recv: &[usize], round: usize) -> Result<(), M::Error> {

@@ -422,6 +422,10 @@ impl Probe for RecordingProbe {
             f.duplicated += pending.fault.duplicated;
             f.delayed += pending.fault.delayed;
             f.crashed += pending.fault.crashed;
+            f.retransmitted += pending.fault.retransmitted;
+            f.acks += pending.fault.acks;
+            f.dead_links += pending.fault.dead_links;
+            f.degraded += pending.fault.degraded;
         }
         s.0.rounds.push(RoundTelemetry {
             round: obs.round,
@@ -449,6 +453,10 @@ impl Probe for RecordingProbe {
         s.0.fault.duplicated += residual.duplicated;
         s.0.fault.delayed += residual.delayed;
         s.0.fault.crashed += residual.crashed;
+        s.0.fault.retransmitted += residual.retransmitted;
+        s.0.fault.acks += residual.acks;
+        s.0.fault.dead_links += residual.dead_links;
+        s.0.fault.degraded += residual.degraded;
         s.0.wall_ns = wall_ns;
         s.0.completed = true;
     }
@@ -471,7 +479,16 @@ impl Probe for RecordingProbe {
 /// `shards`, `sizes`, and `fault` are omitted when empty/all-zero. A
 /// `run_end` record may also carry a `fault` object: the residual delta
 /// of crashes activated by the final quiescence check (after the last
-/// round ran).
+/// round ran). Under the reliable executor the `fault` object also
+/// carries `"retransmitted"`, `"acks"`, and `"dead_links"` counters
+/// (omitted as a trio when all zero, so raw-path traces are unchanged):
+///
+/// ```json
+/// {"event":"round","round":3,"wall_ns":9001,"messages":18,"volume":600,
+///  "peak_link":40,"active":64,"exchange_ns":800,"delay_depth":0,
+///  "fault":{"dropped":2,"duplicated":0,"delayed":0,"crashed":0,
+///           "retransmitted":2,"acks":14,"dead_links":0}}
+/// ```
 /// Write errors are swallowed (a trace sink must never abort a run);
 /// the writer is flushed at `on_run_end`.
 #[derive(Debug)]
@@ -623,11 +640,8 @@ impl<W: Write> Probe for JsonlProbe<W> {
             line.push(']');
         }
         let f = &pending.fault;
-        if f.dropped + f.duplicated + f.delayed + f.crashed > 0 {
-            line.push_str(&format!(
-                ",\"fault\":{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\"crashed\":{}}}",
-                f.dropped, f.duplicated, f.delayed, f.crashed
-            ));
+        if let Some(obj) = fault_json(f) {
+            line.push_str(&format!(",\"fault\":{obj}"));
         }
         line.push('}');
         self.emit(&line);
@@ -639,16 +653,39 @@ impl<W: Write> Probe for JsonlProbe<W> {
         // on the run_end record (optional field, all-zero omitted).
         let residual = std::mem::take(&mut self.state.borrow_mut().1).fault;
         let mut line = format!("{{\"event\":\"run_end\",\"rounds\":{rounds},\"wall_ns\":{wall_ns}");
-        if residual.dropped + residual.duplicated + residual.delayed + residual.crashed > 0 {
-            line.push_str(&format!(
-                ",\"fault\":{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\"crashed\":{}}}",
-                residual.dropped, residual.duplicated, residual.delayed, residual.crashed
-            ));
+        if let Some(obj) = fault_json(&residual) {
+            line.push_str(&format!(",\"fault\":{obj}"));
         }
         line.push('}');
         self.emit(&line);
         let _ = self.state.borrow_mut().0.flush();
     }
+}
+
+/// Renders a fault-stat delta as its trace-record JSON object, or
+/// `None` when every counter is zero (field omitted). The base quartet
+/// is always present when the object is; the ARQ trio
+/// (`retransmitted`/`acks`/`dead_links`) is appended only when the
+/// reliable executor produced any, so raw-path traces keep the
+/// pre-reliability shape byte for byte.
+fn fault_json(f: &FaultStats) -> Option<String> {
+    let base = f.dropped + f.duplicated + f.delayed + f.crashed;
+    let arq = f.retransmitted + f.acks + f.dead_links;
+    if base + arq == 0 {
+        return None;
+    }
+    let mut obj = format!(
+        "{{\"dropped\":{},\"duplicated\":{},\"delayed\":{},\"crashed\":{}",
+        f.dropped, f.duplicated, f.delayed, f.crashed
+    );
+    if arq > 0 {
+        obj.push_str(&format!(
+            ",\"retransmitted\":{},\"acks\":{},\"dead_links\":{}",
+            f.retransmitted, f.acks, f.dead_links
+        ));
+    }
+    obj.push('}');
+    Some(obj)
 }
 
 #[cfg(test)]
@@ -769,7 +806,7 @@ mod tests {
                 dropped: 2,
                 duplicated: 1,
                 delayed: 1,
-                crashed: 0,
+                ..FaultStats::default()
             },
             3,
         );
